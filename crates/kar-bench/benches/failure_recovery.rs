@@ -1,0 +1,32 @@
+//! Criterion bench for the failure detection and recovery path (Table 1 /
+//! Figure 7a, §6.1): one full kill → detect → consensus → reconcile → resume
+//! cycle of the Reefer application at 1/250 time compression.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kar_bench::fault::{run_fault_experiment, FaultConfig};
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failure_recovery");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(20));
+    group.bench_function("single_node_failure_cycle", |b| {
+        b.iter(|| {
+            let config = FaultConfig {
+                failures: 1,
+                time_scale: 0.004,
+                orders_per_failure: 2,
+                paired: false,
+                seed: 3,
+            };
+            let report = run_fault_experiment(&config);
+            assert!(report.ok(), "invariants violated during bench");
+            report.samples.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

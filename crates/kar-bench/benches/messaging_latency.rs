@@ -1,0 +1,31 @@
+//! Criterion bench for Table 2 (§6.2): round-trip latency of the Direct,
+//! Kafka-only and KAR-actor configurations on the ClusterDev profile.
+//!
+//! The `table2_latency` binary produces the full three-profile table; this
+//! bench tracks the ClusterDev column over time.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kar_bench::latency::{measure_direct, measure_kafka_only, measure_kar_actor, LatencyConfig};
+use kar_types::DeploymentProfile;
+
+fn bench_messaging(c: &mut Criterion) {
+    let profile = DeploymentProfile::ClusterDev;
+    let config = LatencyConfig { iterations: 10, payload_bytes: 20 };
+    let mut group = c.benchmark_group("table2_clusterdev");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("direct_http_10rt", |b| b.iter(|| measure_direct(profile, &config)));
+    group.bench_function("kafka_only_10rt", |b| b.iter(|| measure_kafka_only(profile, &config)));
+    group.bench_function("kar_actor_10rt", |b| {
+        b.iter(|| measure_kar_actor(profile, &config, true))
+    });
+    group.bench_function("kar_actor_no_cache_10rt", |b| {
+        b.iter(|| measure_kar_actor(profile, &config, false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_messaging);
+criterion_main!(benches);

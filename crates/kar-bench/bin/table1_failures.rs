@@ -1,0 +1,53 @@
+//! Regenerates Table 1: summary statistics for the total outage, detection,
+//! consensus and reconciliation phases over a series of injected single-node
+//! failures.
+//!
+//! Usage: `cargo run --release -p kar-bench --bin table1_failures [failures] [time_scale]`
+//! (defaults: 25 failures at 1/100 time compression; the paper injects 1,000
+//! failures over 48 hours at full scale).
+
+use kar_bench::fault::{run_fault_experiment, FaultConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let failures = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(25);
+    let time_scale = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(0.01);
+    let config = FaultConfig { failures, time_scale, ..FaultConfig::default() };
+    eprintln!(
+        "injecting {failures} single-node failures at time scale {time_scale} \
+         (paper-equivalent durations reported)..."
+    );
+    let report = run_fault_experiment(&config);
+
+    println!("# Table 1: summary statistics for {} failures (paper-equivalent seconds)", failures);
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "", "Average", "StdDev", "Median", "Min", "Max"
+    );
+    if let Some(summaries) = report.summaries() {
+        for (label, summary) in summaries {
+            println!("{}", summary.row(&label));
+        }
+    }
+    println!();
+    println!("# Paper (Table 1, 1,000 failures):");
+    println!("{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}", "", "Average", "StdDev", "Median", "Min", "Max");
+    println!("{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}", "Total Outage", 22.139, 2.114, 22.015, 16.117, 31.207);
+    println!("{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}", "Detection", 9.053, 0.907, 9.084, 7.217, 11.022);
+    println!("{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}", "Consensus", 2.437, 0.086, 2.443, 2.232, 3.197);
+    println!("{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}", "Reconciliation", 10.649, 1.967, 9.098, 6.019, 21.035);
+    println!();
+    println!(
+        "orders: {} confirmed, {} rejected, {} failed; invariant violations: {}",
+        report.orders_confirmed,
+        report.orders_rejected,
+        report.orders_failed,
+        report.invariant_violations.len()
+    );
+    for violation in &report.invariant_violations {
+        println!("  violation: {violation}");
+    }
+    if !report.ok() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,406 @@
+//! The fault-injection harness of §6.1.
+//!
+//! The harness deploys the Reefer application on a time-compressed mesh with
+//! two victim nodes (each hosting an actors server and a singletons server,
+//! as in Figure 5b), drives it with the order/ship/anomaly simulators from a
+//! never-killed client node, and injects a configurable sequence of abrupt
+//! node failures, replacing each killed node with fresh replicas once the
+//! application has recovered ("fast forwarding" through the failure-free
+//! intervals like the paper).
+//!
+//! For every failure it records the detection / consensus / reconciliation
+//! phases (Figure 7a, Table 1) and the maximum order latency observed in the
+//! window around the failure (Figure 7b), re-expanded to paper-equivalent
+//! seconds. At the end it checks the §6.1 application invariants.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kar::{Client, Mesh, MeshConfig};
+use kar_reefer::app::{actors_server, singletons_server};
+use kar_reefer::refs;
+use kar_reefer::{AnomalySimulator, InvariantChecker, OrderSimulator, ShipSimulator};
+use kar_types::{KarResult, NodeId, Value};
+
+use crate::report::Summary;
+
+/// Configuration of a fault-injection experiment.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Time compression applied to the paper-scale failure-detection and
+    /// recovery constants (0.01 turns the 10 s session timeout into 100 ms).
+    pub time_scale: f64,
+    /// Number of failures to inject.
+    pub failures: usize,
+    /// Orders submitted while each failure is being handled.
+    pub orders_per_failure: usize,
+    /// Inject a second node failure while the first one is still being
+    /// recovered (the paired-failure scenario of §6.1).
+    pub paired: bool,
+    /// Random seed for victim selection and the simulators.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { time_scale: 0.01, failures: 25, orders_per_failure: 8, paired: false, seed: 17 }
+    }
+}
+
+/// Phase breakdown and application impact of one injected failure, expressed
+/// in paper-equivalent seconds (wall-clock measurements divided by the time
+/// scale).
+#[derive(Debug, Clone)]
+pub struct FailureSample {
+    /// Failure index (1-based, as in Figure 7).
+    pub index: usize,
+    /// Time for the substrate to detect the failure (Kafka session timeout).
+    pub detection: Duration,
+    /// Time to agree on the new membership (rebalance stabilization).
+    pub consensus: Duration,
+    /// Time spent in reconciliation.
+    pub reconciliation: Duration,
+    /// Total outage (kill to resumption of normal processing).
+    pub total: Duration,
+    /// Maximum order latency observed in the window around this failure.
+    pub max_order_latency: Duration,
+    /// Number of requests re-homed by reconciliation.
+    pub rehomed_requests: usize,
+}
+
+/// The result of a fault-injection experiment.
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// One sample per injected failure (in injection order).
+    pub samples: Vec<FailureSample>,
+    /// Violations of the §6.1 application invariants (empty on success).
+    pub invariant_violations: Vec<String>,
+    /// Orders confirmed to the client over the whole experiment.
+    pub orders_confirmed: u64,
+    /// Orders rejected by the application (no capacity).
+    pub orders_rejected: u64,
+    /// Bookings that failed at the infrastructure level (should be zero: the
+    /// runtime retries across failures).
+    pub orders_failed: u64,
+}
+
+impl FaultReport {
+    /// Table 1 style summaries: total outage, detection, consensus,
+    /// reconciliation.
+    pub fn summaries(&self) -> Option<[(String, Summary); 4]> {
+        let totals: Vec<Duration> = self.samples.iter().map(|s| s.total).collect();
+        let detections: Vec<Duration> = self.samples.iter().map(|s| s.detection).collect();
+        let consensus: Vec<Duration> = self.samples.iter().map(|s| s.consensus).collect();
+        let reconciliation: Vec<Duration> =
+            self.samples.iter().map(|s| s.reconciliation).collect();
+        Some([
+            ("Total Outage".to_owned(), Summary::of(&totals)?),
+            ("Detection".to_owned(), Summary::of(&detections)?),
+            ("Consensus".to_owned(), Summary::of(&consensus)?),
+            ("Reconciliation".to_owned(), Summary::of(&reconciliation)?),
+        ])
+    }
+
+    /// True when every invariant held and no booking was lost.
+    pub fn ok(&self) -> bool {
+        self.invariant_violations.is_empty()
+    }
+}
+
+const PORTS: [&str; 4] = ["Oakland", "Shanghai", "Singapore", "Rotterdam"];
+const CONTAINERS_PER_DEPOT: i64 = 5_000;
+
+/// Runs the single-failure (or paired-failure) experiment of §6.1.
+pub fn run_fault_experiment(config: &FaultConfig) -> FaultReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let scale = config.time_scale;
+    let mesh = Mesh::new(MeshConfig::for_fault_experiments(scale));
+
+    // Two victim nodes, each hosting an actors server and a singletons server.
+    let mut victims: Vec<NodeId> = Vec::new();
+    for n in 0..2 {
+        let node = mesh.add_node();
+        mesh.add_component(node, &format!("actors-{n}"), actors_server);
+        mesh.add_component(node, &format!("singletons-{n}"), singletons_server);
+        victims.push(node);
+    }
+
+    let client = mesh.client();
+    let voyages = bootstrap_world(&client, config.failures).expect("bootstrap must succeed");
+    let mut orders = OrderSimulator::new(mesh.client(), voyages, config.seed);
+    let mut ships = ShipSimulator::new(mesh.client());
+    let mut anomalies = AnomalySimulator::new(mesh.client(), config.seed + 1);
+
+    // Warm up: place the managers and a few orders before the first failure.
+    for _ in 0..4 {
+        let _ = orders.submit_one();
+    }
+    let _ = ships.advance_day();
+
+    let mut report = FaultReport::default();
+    let mut replacement = victims.len();
+    for index in 1..=config.failures {
+        let recoveries_before = mesh.recoveries();
+        // Pick a victim node and hard-stop it shortly after resuming load.
+        let victim_index = rng.gen_range(0..victims.len());
+        let victim = victims[victim_index];
+
+        let paired_victim = if config.paired {
+            Some(victims[(victim_index + 1) % victims.len()])
+        } else {
+            None
+        };
+
+        // Submit orders concurrently with the failure from a helper thread,
+        // and keep submitting until the recovery completes, so some bookings
+        // straddle the outage (Figure 7b measures exactly that).
+        let client_for_load = mesh.client();
+        let order_voyages: Vec<String> = orders_voyages_snapshot(&orders);
+        let orders_per_failure = config.orders_per_failure;
+        let seed = config.seed + index as u64 * 101;
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_for_load = stop.clone();
+        let load = std::thread::spawn(move || {
+            let mut background = OrderSimulator::new(client_for_load, order_voyages, seed);
+            let mut submitted = 0usize;
+            while !stop_for_load.load(std::sync::atomic::Ordering::SeqCst)
+                || submitted < orders_per_failure
+            {
+                let _ = background.submit_one();
+                submitted += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            background
+        });
+
+        std::thread::sleep(Duration::from_secs_f64(0.2 * scale * 10.0));
+        mesh.kill_node(victim);
+
+        if let Some(second) = paired_victim {
+            // Wait until detection is roughly due, then kill a second node so
+            // the failure lands during the consensus/reconciliation phases.
+            std::thread::sleep(mesh.config().scaled_session_timeout());
+            mesh.kill_node(second);
+        }
+
+        // Wait for the recovery (or recoveries) to complete.
+        let expected = recoveries_before + 1;
+        assert!(
+            mesh.wait_for_recoveries(expected, recovery_deadline(scale)),
+            "recovery {index} did not complete in time"
+        );
+        if paired_victim.is_some() {
+            // The second failure triggers its own recovery.
+            let _ = mesh.wait_for_recoveries(expected + 1, recovery_deadline(scale));
+        }
+
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let background = load.join().expect("load thread");
+        merge_order_stats(&mut report, &background);
+
+        // Replace the failed node(s) with fresh replicas, like the paper's
+        // harness restarting the victim node.
+        let mut replaced = vec![victim_index];
+        if paired_victim.is_some() {
+            replaced.push((victim_index + 1) % victims.len());
+        }
+        for slot in replaced {
+            let node = mesh.add_node();
+            mesh.add_component(node, &format!("actors-r{replacement}"), actors_server);
+            mesh.add_component(node, &format!("singletons-r{replacement}"), singletons_server);
+            victims[slot] = node;
+            replacement += 1;
+        }
+
+        // Keep the world moving between failures.
+        let _ = ships.advance_day();
+        let _ = anomalies.inject_random(background_containers(&background));
+
+        // Record the sample for the first recovery of this iteration.
+        if let Some(outage) = mesh.recovery_log().get(expected - 1) {
+            let expand = |d: Duration| Duration::from_secs_f64(d.as_secs_f64() / scale);
+            report.samples.push(FailureSample {
+                index,
+                detection: expand(outage.detection().unwrap_or_default()),
+                consensus: expand(outage.consensus()),
+                reconciliation: expand(outage.reconciliation()),
+                total: expand(outage.total().unwrap_or_default()),
+                max_order_latency: expand(background.stats().max_latency()),
+                rehomed_requests: outage.rehomed_requests,
+            });
+        }
+    }
+
+    merge_order_stats(&mut report, &orders);
+
+    // Quiesce, then check the application invariants.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut checker = InvariantChecker::new(mesh.client(), &PORTS, CONTAINERS_PER_DEPOT);
+    let mut confirmed: Vec<String> = orders.confirmed_orders().to_vec();
+    confirmed.truncate(200); // bound the per-order queries
+    match checker.check(&confirmed) {
+        Ok(invariants) => report.invariant_violations = invariants.violations,
+        Err(error) => report.invariant_violations.push(format!("invariant check failed: {error}")),
+    }
+    mesh.shutdown();
+    report
+}
+
+/// Runs the complete-application-failure scenario of §6.1: every application
+/// component (but not the simulators) is killed at once, then restarted after
+/// a delay. Returns true if the application recovered (a booking succeeds and
+/// the invariants hold) for every iteration.
+pub fn run_total_failure_experiment(iterations: usize, time_scale: f64) -> bool {
+    for round in 0..iterations {
+        let mesh = Mesh::new(MeshConfig::for_fault_experiments(time_scale));
+        let node = mesh.add_node();
+        mesh.add_component(node, "actors", actors_server);
+        mesh.add_component(node, "singletons", singletons_server);
+        let client = mesh.client();
+        let voyages = kar_reefer::app::bootstrap(&client, &PORTS[..2], 1_000, 2, 1_000)
+            .expect("bootstrap must succeed");
+        let mut orders = OrderSimulator::new(mesh.client(), voyages, round as u64);
+        for _ in 0..3 {
+            let _ = orders.submit_one();
+        }
+
+        // Kill every application component abruptly.
+        mesh.kill_node(node);
+        // Paper: restart after 30 seconds (compressed).
+        std::thread::sleep(Duration::from_secs_f64(30.0 * time_scale));
+        let replacement = mesh.add_node();
+        mesh.add_component(replacement, "actors-restarted", actors_server);
+        mesh.add_component(replacement, "singletons-restarted", singletons_server);
+
+        // The application must accept new work after the restart.
+        let recovered = orders.submit_one().is_ok() || orders.submit_one().is_ok();
+        let mut checker = InvariantChecker::new(mesh.client(), &PORTS[..2], 1_000);
+        std::thread::sleep(Duration::from_millis(200));
+        let invariants_ok = checker
+            .check(orders.confirmed_orders())
+            .map(|report| report.ok())
+            .unwrap_or(false);
+        mesh.shutdown();
+        if !recovered || !invariants_ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Creates the depots and voyages used by the fault experiments.
+///
+/// Two "early" voyages depart within the first simulated days (exercising the
+/// departure/arrival and anomaly paths), while the voyages used by the order
+/// simulators depart far in the future so bookings remain possible for the
+/// whole experiment regardless of how many days it spans.
+fn bootstrap_world(client: &Client, failures: usize) -> KarResult<Vec<String>> {
+    for port in PORTS {
+        client.call(&refs::depot(port), "create", vec![Value::from(CONTAINERS_PER_DEPOT)])?;
+    }
+    let horizon = (failures as i64 + 10) * 4;
+    let create = |id: &str, origin: &str, destination: &str, depart: i64, capacity: i64| {
+        client.call(
+            &refs::voyage_manager(),
+            "create_voyage",
+            vec![
+                Value::from(id),
+                Value::from(origin),
+                Value::from(destination),
+                Value::from(depart),
+                Value::from(2i64),
+                Value::from(capacity),
+            ],
+        )
+    };
+    // Early voyages: depart on day 1, arrive on day 3.
+    create("EARLY-0", PORTS[0], PORTS[1], 1, 200)?;
+    create("EARLY-1", PORTS[1], PORTS[2], 1, 200)?;
+    // Booking targets for the simulators: depart after the experiment ends.
+    let mut bookable = Vec::new();
+    for v in 0..6 {
+        let id = format!("V{v:03}");
+        create(&id, PORTS[v % PORTS.len()], PORTS[(v + 1) % PORTS.len()], horizon, 100_000)?;
+        bookable.push(id);
+    }
+    // A couple of orders on the early voyages so departures carry real cargo.
+    for (i, voyage) in ["EARLY-0", "EARLY-1"].iter().enumerate() {
+        client.call(
+            &refs::order_manager(),
+            "book",
+            vec![
+                Value::from(format!("early-{i}")),
+                Value::from(*voyage),
+                Value::from("reefer goods"),
+                Value::from(2i64),
+            ],
+        )?;
+    }
+    Ok(bookable)
+}
+
+fn recovery_deadline(scale: f64) -> Duration {
+    // Paper outages are ~22 s (max 31 s); allow a generous multiple.
+    Duration::from_secs_f64((120.0 * scale).max(10.0))
+}
+
+fn merge_order_stats(report: &mut FaultReport, simulator: &OrderSimulator) {
+    report.orders_confirmed += simulator.stats().confirmed;
+    report.orders_rejected += simulator.stats().rejected;
+    report.orders_failed += simulator.stats().failed;
+}
+
+fn orders_voyages_snapshot(simulator: &OrderSimulator) -> Vec<String> {
+    // The background load books onto the same voyages as the main simulator.
+    // (Voyages are immutable identifiers; cloning them is enough.)
+    simulator_voyages(simulator)
+}
+
+fn simulator_voyages(simulator: &OrderSimulator) -> Vec<String> {
+    simulator.voyages().to_vec()
+}
+
+fn background_containers(simulator: &OrderSimulator) -> &[String] {
+    simulator.containers()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_fault_experiment_completes_with_invariants_intact() {
+        let config = FaultConfig {
+            time_scale: 0.004,
+            failures: 2,
+            orders_per_failure: 3,
+            paired: false,
+            seed: 5,
+        };
+        let report = run_fault_experiment(&config);
+        assert_eq!(report.samples.len(), 2, "one sample per failure");
+        assert!(report.ok(), "invariant violations: {:?}", report.invariant_violations);
+        assert!(report.orders_confirmed > 0);
+        assert_eq!(report.orders_failed, 0, "bookings must survive failures");
+        let summaries = report.summaries().unwrap();
+        // The shape of Table 1: detection is dominated by the 10 s session
+        // timeout, consensus by the 2.4 s stabilization window, and the total
+        // adds reconciliation on top.
+        let detection = summaries[1].1.average;
+        let consensus = summaries[2].1.average;
+        let total = summaries[0].1.average;
+        assert!(detection >= Duration::from_secs(5), "detection {detection:?}");
+        assert!(consensus >= Duration::from_secs(1), "consensus {consensus:?}");
+        assert!(total > detection + consensus, "total {total:?}");
+        for sample in &report.samples {
+            assert!(sample.max_order_latency > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn total_failure_experiment_recovers() {
+        assert!(run_total_failure_experiment(1, 0.004));
+    }
+}

@@ -1,0 +1,111 @@
+//! Summary statistics and table formatting.
+
+use std::time::Duration;
+
+/// Summary statistics over a series of durations, reported in seconds like
+/// Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub average: Duration,
+    /// Population standard deviation.
+    pub stddev: Duration,
+    /// Median.
+    pub median: Duration,
+    /// Minimum.
+    pub min: Duration,
+    /// Maximum.
+    pub max: Duration,
+}
+
+impl Summary {
+    /// Computes summary statistics for `samples`. Returns `None` when the
+    /// series is empty.
+    pub fn of(samples: &[Duration]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let n = sorted.len();
+        let total: Duration = sorted.iter().sum();
+        let mean = total / n as u32;
+        let mean_secs = mean.as_secs_f64();
+        let variance =
+            sorted.iter().map(|d| (d.as_secs_f64() - mean_secs).powi(2)).sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+        };
+        Some(Summary {
+            average: mean,
+            stddev: Duration::from_secs_f64(variance.sqrt()),
+            median,
+            min: sorted[0],
+            max: sorted[n - 1],
+        })
+    }
+
+    /// Formats the summary as a Table 1 row: average, stddev, median, min,
+    /// max in seconds.
+    pub fn row(&self, label: &str) -> String {
+        format!(
+            "{label:<16} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            self.average.as_secs_f64(),
+            self.stddev.as_secs_f64(),
+            self.median.as_secs_f64(),
+            self.min.as_secs_f64(),
+            self.max.as_secs_f64(),
+        )
+    }
+}
+
+/// Formats a duration in milliseconds with two decimals (Table 2 cells).
+pub fn millis(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Computes the median of a series of durations.
+pub fn median(samples: &[Duration]) -> Duration {
+    Summary::of(samples).map(|s| s.median).unwrap_or(Duration::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(values: &[f64]) -> Vec<Duration> {
+        values.iter().map(|v| Duration::from_secs_f64(*v)).collect()
+    }
+
+    #[test]
+    fn summary_of_empty_series_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_statistics_match_hand_computation() {
+        let samples = secs(&[1.0, 2.0, 3.0, 4.0]);
+        let summary = Summary::of(&samples).unwrap();
+        assert_eq!(summary.average, Duration::from_secs_f64(2.5));
+        assert_eq!(summary.median, Duration::from_secs_f64(2.5));
+        assert_eq!(summary.min, Duration::from_secs(1));
+        assert_eq!(summary.max, Duration::from_secs(4));
+        assert!((summary.stddev.as_secs_f64() - 1.118).abs() < 1e-3);
+        let row = summary.row("Total Outage");
+        assert!(row.contains("Total Outage"));
+        assert!(row.contains("2.500"));
+    }
+
+    #[test]
+    fn median_of_odd_series_is_middle_element() {
+        assert_eq!(median(&secs(&[3.0, 1.0, 2.0])), Duration::from_secs(2));
+        assert_eq!(median(&[]), Duration::ZERO);
+    }
+
+    #[test]
+    fn millis_formatting() {
+        assert_eq!(millis(Duration::from_micros(2600)), "2.60");
+    }
+}

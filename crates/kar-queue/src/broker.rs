@@ -1,0 +1,791 @@
+//! The broker: topics, partitions, producers/consumers, fencing and the
+//! group coordinator.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver};
+use parking_lot::Mutex;
+
+use kar_types::{ComponentId, Epoch, KarError, KarResult};
+
+use crate::config::BrokerConfig;
+use crate::group::{Group, GroupEvent, GroupView, MemberInfo, MemberState};
+use crate::log::PartitionLog;
+use crate::record::Record;
+
+/// A Kafka-like broker holding every topic, partition and consumer group of
+/// an application.
+///
+/// Cloning a `Broker` returns another handle to the same underlying state.
+/// The broker itself never fails: the paper's fault model assumes the message
+/// queue survives the (non catastrophic) failures under study (§3.3).
+#[derive(Debug)]
+pub struct Broker<M> {
+    inner: Arc<BrokerInner<M>>,
+}
+
+impl<M> Clone for Broker<M> {
+    fn clone(&self) -> Self {
+        Broker { inner: self.inner.clone() }
+    }
+}
+
+#[derive(Debug)]
+struct BrokerInner<M> {
+    config: BrokerConfig,
+    origin: Instant,
+    topics: Mutex<HashMap<String, Vec<PartitionLog<M>>>>,
+    allowed_epochs: Mutex<HashMap<ComponentId, Epoch>>,
+    groups: Mutex<HashMap<String, Group>>,
+    shutdown: AtomicBool,
+}
+
+impl<M: Clone + Send + Sync + 'static> Default for Broker<M> {
+    fn default() -> Self {
+        Broker::new(BrokerConfig::default())
+    }
+}
+
+impl<M: Clone + Send + Sync + 'static> Broker<M> {
+    /// Creates a broker with the given configuration.
+    pub fn new(config: BrokerConfig) -> Self {
+        Broker {
+            inner: Arc::new(BrokerInner {
+                config,
+                origin: Instant::now(),
+                topics: Mutex::new(HashMap::new()),
+                allowed_epochs: Mutex::new(HashMap::new()),
+                groups: Mutex::new(HashMap::new()),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// The broker configuration.
+    pub fn config(&self) -> &BrokerConfig {
+        &self.inner.config
+    }
+
+    /// Broker-clock time: elapsed since the broker was created.
+    pub fn now(&self) -> Duration {
+        self.inner.origin.elapsed()
+    }
+
+    // ------------------------------------------------------------------
+    // Topic administration
+    // ------------------------------------------------------------------
+
+    /// Creates a topic with `partitions` partitions.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Queue` if the topic already exists or
+    /// `partitions` is zero.
+    pub fn create_topic(&self, name: &str, partitions: usize) -> KarResult<()> {
+        if partitions == 0 {
+            return Err(KarError::Queue(format!("topic {name} needs at least one partition")));
+        }
+        let mut topics = self.inner.topics.lock();
+        if topics.contains_key(name) {
+            return Err(KarError::Queue(format!("topic {name} already exists")));
+        }
+        topics.insert(name.to_owned(), (0..partitions).map(|_| PartitionLog::default()).collect());
+        Ok(())
+    }
+
+    /// Ensures `topic` exists and has at least `at_least` partitions,
+    /// creating it or growing it as needed. Returns the partition count.
+    pub fn ensure_partitions(&self, topic: &str, at_least: usize) -> KarResult<usize> {
+        if at_least == 0 {
+            return Err(KarError::Queue("cannot size a topic to zero partitions".to_owned()));
+        }
+        let mut topics = self.inner.topics.lock();
+        let logs = topics.entry(topic.to_owned()).or_default();
+        while logs.len() < at_least {
+            logs.push(PartitionLog::default());
+        }
+        Ok(logs.len())
+    }
+
+    /// Number of partitions of `topic` (zero if it does not exist).
+    pub fn partition_count(&self, topic: &str) -> usize {
+        self.inner.topics.lock().get(topic).map_or(0, Vec::len)
+    }
+
+    /// True if `topic` exists.
+    pub fn topic_exists(&self, topic: &str) -> bool {
+        self.inner.topics.lock().contains_key(topic)
+    }
+
+    // ------------------------------------------------------------------
+    // Fencing
+    // ------------------------------------------------------------------
+
+    /// Forcefully disconnects `component` from the broker: every producer or
+    /// consumer it opened before this call fails from now on. Returns the new
+    /// epoch the component must reconnect with.
+    pub fn fence(&self, component: ComponentId) -> Epoch {
+        let mut epochs = self.inner.allowed_epochs.lock();
+        let entry = epochs.entry(component).or_insert(Epoch::ZERO);
+        *entry = entry.next();
+        *entry
+    }
+
+    /// The epoch currently allowed for `component`.
+    pub fn current_epoch(&self, component: ComponentId) -> Epoch {
+        self.inner.allowed_epochs.lock().get(&component).copied().unwrap_or(Epoch::ZERO)
+    }
+
+    fn check_epoch(&self, component: ComponentId, epoch: Epoch) -> KarResult<()> {
+        let allowed =
+            self.inner.allowed_epochs.lock().get(&component).copied().unwrap_or(Epoch::ZERO);
+        if epoch < allowed {
+            Err(KarError::Fenced {
+                component,
+                detail: format!("queue client at {epoch} but component fenced to {allowed}"),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Producers and consumers
+    // ------------------------------------------------------------------
+
+    /// Opens a producer on behalf of `component`, bound to the component's
+    /// current fencing epoch.
+    pub fn producer(&self, component: ComponentId) -> Producer<M> {
+        Producer { broker: self.clone(), component, epoch: self.current_epoch(component) }
+    }
+
+    /// Opens a manually-assigned consumer reading `topic[partition]` from the
+    /// current end of the partition onwards, on behalf of `component`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Queue` if the partition does not exist.
+    pub fn consumer(&self, component: ComponentId, topic: &str, partition: usize) -> KarResult<Consumer<M>> {
+        self.consumer_from(component, topic, partition, 0)
+    }
+
+    /// Opens a consumer starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Queue` if the partition does not exist.
+    pub fn consumer_from(
+        &self,
+        component: ComponentId,
+        topic: &str,
+        partition: usize,
+        offset: u64,
+    ) -> KarResult<Consumer<M>> {
+        let topics = self.inner.topics.lock();
+        let logs = topics
+            .get(topic)
+            .ok_or_else(|| KarError::Queue(format!("unknown topic {topic}")))?;
+        if partition >= logs.len() {
+            return Err(KarError::Queue(format!("topic {topic} has no partition {partition}")));
+        }
+        drop(topics);
+        Ok(Consumer {
+            broker: self.clone(),
+            component,
+            epoch: self.current_epoch(component),
+            topic: topic.to_owned(),
+            partition,
+            position: Mutex::new(offset),
+        })
+    }
+
+    fn append(
+        &self,
+        component: ComponentId,
+        epoch: Epoch,
+        topic: &str,
+        partition: usize,
+        payload: M,
+    ) -> KarResult<u64> {
+        if !self.inner.config.append_latency.is_zero() {
+            std::thread::sleep(self.inner.config.append_latency);
+        }
+        self.check_epoch(component, epoch)?;
+        let now = self.now();
+        let mut topics = self.inner.topics.lock();
+        let logs = topics
+            .get_mut(topic)
+            .ok_or_else(|| KarError::Queue(format!("unknown topic {topic}")))?;
+        let log = logs
+            .get_mut(partition)
+            .ok_or_else(|| KarError::Queue(format!("topic {topic} has no partition {partition}")))?;
+        let offset = log.append(now, payload);
+        log.expire(now, self.inner.config.retention, self.inner.config.max_partition_records);
+        Ok(offset)
+    }
+
+    fn fetch(
+        &self,
+        component: ComponentId,
+        epoch: Epoch,
+        topic: &str,
+        partition: usize,
+        from_offset: u64,
+        max: usize,
+    ) -> KarResult<Vec<Record<M>>> {
+        if !self.inner.config.deliver_latency.is_zero() {
+            std::thread::sleep(self.inner.config.deliver_latency);
+        }
+        self.check_epoch(component, epoch)?;
+        let topics = self.inner.topics.lock();
+        let logs = topics
+            .get(topic)
+            .ok_or_else(|| KarError::Queue(format!("unknown topic {topic}")))?;
+        let log = logs
+            .get(partition)
+            .ok_or_else(|| KarError::Queue(format!("topic {topic} has no partition {partition}")))?;
+        Ok(log.read_from(from_offset, max))
+    }
+
+    // ------------------------------------------------------------------
+    // Administrative access (reconciliation)
+    // ------------------------------------------------------------------
+
+    /// Reads every live (unexpired) record of a partition, bypassing fencing.
+    /// Used by the reconciliation leader to catalog the unexpired messages of
+    /// failed components (§4.3).
+    pub fn read_partition(&self, topic: &str, partition: usize) -> Vec<Record<M>> {
+        let topics = self.inner.topics.lock();
+        topics
+            .get(topic)
+            .and_then(|logs| logs.get(partition))
+            .map(|log| log.read_all())
+            .unwrap_or_default()
+    }
+
+    /// Number of live records in a partition.
+    pub fn partition_len(&self, topic: &str, partition: usize) -> usize {
+        let topics = self.inner.topics.lock();
+        topics.get(topic).and_then(|logs| logs.get(partition)).map_or(0, PartitionLog::len)
+    }
+
+    /// Number of records dropped from a partition by retention or truncation
+    /// since the broker was created.
+    pub fn expired_count(&self, topic: &str, partition: usize) -> u64 {
+        let topics = self.inner.topics.lock();
+        topics
+            .get(topic)
+            .and_then(|logs| logs.get(partition))
+            .map_or(0, PartitionLog::expired_count)
+    }
+
+    /// Offset that will be assigned to the next record appended to the
+    /// partition.
+    pub fn end_offset(&self, topic: &str, partition: usize) -> u64 {
+        let topics = self.inner.topics.lock();
+        topics
+            .get(topic)
+            .and_then(|logs| logs.get(partition))
+            .map_or(0, PartitionLog::end_offset)
+    }
+
+    /// Appends a record on behalf of the runtime itself (reconciliation),
+    /// bypassing component fencing.
+    pub fn admin_append(&self, topic: &str, partition: usize, payload: M) -> KarResult<u64> {
+        let now = self.now();
+        let mut topics = self.inner.topics.lock();
+        let logs = topics
+            .get_mut(topic)
+            .ok_or_else(|| KarError::Queue(format!("unknown topic {topic}")))?;
+        let log = logs
+            .get_mut(partition)
+            .ok_or_else(|| KarError::Queue(format!("topic {topic} has no partition {partition}")))?;
+        Ok(log.append(now, payload))
+    }
+
+    /// Discards every live record of a partition (flushing the queue of a
+    /// failed component after its requests have been re-homed). Returns the
+    /// number of dropped records.
+    pub fn truncate_partition(&self, topic: &str, partition: usize) -> usize {
+        let mut topics = self.inner.topics.lock();
+        topics
+            .get_mut(topic)
+            .and_then(|logs| logs.get_mut(partition))
+            .map_or(0, PartitionLog::truncate)
+    }
+
+    /// Runs retention on every partition of every topic, returning the total
+    /// number of expired records.
+    pub fn expire_now(&self) -> usize {
+        let now = self.now();
+        let mut topics = self.inner.topics.lock();
+        let mut dropped = 0;
+        for logs in topics.values_mut() {
+            for log in logs.iter_mut() {
+                dropped +=
+                    log.expire(now, self.inner.config.retention, self.inner.config.max_partition_records);
+            }
+        }
+        dropped
+    }
+
+    // ------------------------------------------------------------------
+    // Consumer groups
+    // ------------------------------------------------------------------
+
+    /// Joins `component` to `group`, consuming `partition`. Triggers a
+    /// rebalance after the stabilization window.
+    pub fn join_group(&self, group: &str, component: ComponentId, partition: usize) {
+        let now = self.now();
+        let mut groups = self.inner.groups.lock();
+        let g = groups.entry(group.to_owned()).or_default();
+        g.members.insert(
+            component,
+            MemberInfo { component, partition, state: MemberState::Live, last_heartbeat: now },
+        );
+        g.rebalance_deadline = Some(now + self.inner.config.rebalance_stabilization);
+        g.emit(GroupEvent::MemberJoined { component, at: now });
+    }
+
+    /// Gracefully removes `component` from `group`.
+    pub fn leave_group(&self, group: &str, component: ComponentId) {
+        let now = self.now();
+        let mut groups = self.inner.groups.lock();
+        if let Some(g) = groups.get_mut(group) {
+            if g.members.remove(&component).is_some() {
+                g.rebalance_deadline = Some(now + self.inner.config.rebalance_stabilization);
+                g.emit(GroupEvent::MemberLeft { component, at: now });
+            }
+        }
+    }
+
+    /// Records a heartbeat from `component`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component is not a live member of
+    /// the group (it has been declared failed or never joined).
+    pub fn heartbeat(&self, group: &str, component: ComponentId) -> KarResult<()> {
+        let now = self.now();
+        let mut groups = self.inner.groups.lock();
+        let g = groups
+            .get_mut(group)
+            .ok_or_else(|| KarError::Queue(format!("unknown group {group}")))?;
+        match g.members.get_mut(&component) {
+            Some(m) if m.state == MemberState::Live => {
+                m.last_heartbeat = now;
+                Ok(())
+            }
+            _ => Err(KarError::Fenced {
+                component,
+                detail: format!("not a live member of group {group}"),
+            }),
+        }
+    }
+
+    /// Subscribes to the event stream of `group`.
+    pub fn subscribe(&self, group: &str) -> Receiver<GroupEvent> {
+        let (tx, rx) = unbounded();
+        let mut groups = self.inner.groups.lock();
+        groups.entry(group.to_owned()).or_default().subscribers.push(tx);
+        rx
+    }
+
+    /// A snapshot of `group` (empty view if the group does not exist).
+    pub fn group_view(&self, group: &str) -> GroupView {
+        self.inner
+            .groups
+            .lock()
+            .get(group)
+            .map(Group::view)
+            .unwrap_or(GroupView { generation: 0, members: Vec::new() })
+    }
+
+    /// Advances failure detection and rebalancing for every group, based on
+    /// the broker clock. Called periodically by the background coordinator
+    /// (see [`Broker::spawn_coordinator`]) or manually by tests.
+    ///
+    /// Members whose heartbeat is older than the session timeout are declared
+    /// failed, **fenced** (forcefully disconnected, §4.2), and a rebalance is
+    /// scheduled after the stabilization window. Once the window elapses with
+    /// no further change the generation is bumped and a
+    /// [`GroupEvent::RebalanceCompleted`] is emitted.
+    pub fn tick(&self) {
+        let now = self.now();
+        let mut to_fence: Vec<ComponentId> = Vec::new();
+        {
+            let mut groups = self.inner.groups.lock();
+            for g in groups.values_mut() {
+                let failed = g.detect_failures(now, self.inner.config.session_timeout);
+                if !failed.is_empty() {
+                    g.rebalance_deadline = Some(now + self.inner.config.rebalance_stabilization);
+                    for component in failed {
+                        to_fence.push(component);
+                        g.emit(GroupEvent::FailureDetected { component, at: now });
+                    }
+                }
+                if let Some(deadline) = g.rebalance_deadline {
+                    if now >= deadline {
+                        let event = g.complete_rebalance(now);
+                        g.emit(event);
+                    }
+                }
+            }
+        }
+        for component in to_fence {
+            self.fence(component);
+        }
+    }
+
+    /// Spawns a background coordinator thread that calls [`Broker::tick`]
+    /// every `coordinator_interval` until the broker is shut down or every
+    /// other handle to it is dropped.
+    pub fn spawn_coordinator(&self) {
+        let weak: Weak<BrokerInner<M>> = Arc::downgrade(&self.inner);
+        let interval = self.inner.config.coordinator_interval;
+        std::thread::Builder::new()
+            .name("kar-queue-coordinator".to_owned())
+            .spawn(move || loop {
+                let Some(inner) = weak.upgrade() else { break };
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                let broker = Broker { inner };
+                broker.tick();
+                drop(broker);
+                std::thread::sleep(interval);
+            })
+            .expect("failed to spawn coordinator thread");
+    }
+
+    /// Stops background coordinator threads.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A fenced producer bound to a component and an epoch.
+#[derive(Debug)]
+pub struct Producer<M> {
+    broker: Broker<M>,
+    component: ComponentId,
+    epoch: Epoch,
+}
+
+impl<M: Clone + Send + Sync + 'static> Producer<M> {
+    /// Appends `payload` to `topic[partition]` and waits for the append to be
+    /// acknowledged (durable). Returns the record offset.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the owning component has been
+    /// forcefully disconnected, or `KarError::Queue` if the partition does
+    /// not exist.
+    pub fn send(&self, topic: &str, partition: usize, payload: M) -> KarResult<u64> {
+        self.broker.append(self.component, self.epoch, topic, partition, payload)
+    }
+
+    /// The component this producer belongs to.
+    pub fn component(&self) -> ComponentId {
+        self.component
+    }
+}
+
+/// A fenced, manually-assigned consumer of a single partition.
+#[derive(Debug)]
+pub struct Consumer<M> {
+    broker: Broker<M>,
+    component: ComponentId,
+    epoch: Epoch,
+    topic: String,
+    partition: usize,
+    position: Mutex<u64>,
+}
+
+impl<M: Clone + Send + Sync + 'static> Consumer<M> {
+    /// Fetches up to `max` records past the consumer's current position and
+    /// advances the position past the returned records.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the owning component has been
+    /// forcefully disconnected.
+    pub fn poll(&self, max: usize) -> KarResult<Vec<Record<M>>> {
+        let mut position = self.position.lock();
+        let records =
+            self.broker.fetch(self.component, self.epoch, &self.topic, self.partition, *position, max)?;
+        if let Some(last) = records.last() {
+            *position = last.offset + 1;
+        }
+        Ok(records)
+    }
+
+    /// The next offset this consumer will read.
+    pub fn position(&self) -> u64 {
+        *self.position.lock()
+    }
+
+    /// Moves the consumer to `offset`.
+    pub fn seek(&self, offset: u64) {
+        *self.position.lock() = offset;
+    }
+
+    /// The partition this consumer reads.
+    pub fn partition(&self) -> usize {
+        self.partition
+    }
+
+    /// The component this consumer belongs to.
+    pub fn component(&self) -> ComponentId {
+        self.component
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u64) -> ComponentId {
+        ComponentId::from_raw(id)
+    }
+
+    #[test]
+    fn create_topic_and_produce_consume() {
+        let broker: Broker<String> = Broker::new(BrokerConfig::default());
+        broker.create_topic("app", 2).unwrap();
+        assert!(broker.topic_exists("app"));
+        assert_eq!(broker.partition_count("app"), 2);
+        assert!(broker.create_topic("app", 2).is_err());
+        assert!(broker.create_topic("bad", 0).is_err());
+
+        let producer = broker.producer(c(1));
+        assert_eq!(producer.send("app", 0, "a".into()).unwrap(), 0);
+        assert_eq!(producer.send("app", 0, "b".into()).unwrap(), 1);
+        assert_eq!(producer.send("app", 1, "c".into()).unwrap(), 0);
+        assert_eq!(producer.component(), c(1));
+
+        let consumer = broker.consumer(c(2), "app", 0).unwrap();
+        let records = consumer.poll(10).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].payload, "a");
+        assert_eq!(consumer.position(), 2);
+        assert!(consumer.poll(10).unwrap().is_empty());
+        assert_eq!(consumer.partition(), 0);
+        assert_eq!(consumer.component(), c(2));
+        consumer.seek(0);
+        assert_eq!(consumer.poll(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_topics_and_partitions_are_rejected() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::default());
+        let producer = broker.producer(c(1));
+        assert!(producer.send("missing", 0, 1).is_err());
+        assert!(broker.consumer(c(1), "missing", 0).is_err());
+        broker.create_topic("t", 1).unwrap();
+        assert!(producer.send("t", 5, 1).is_err());
+        assert!(broker.consumer(c(1), "t", 5).is_err());
+        assert_eq!(broker.partition_count("missing"), 0);
+        assert_eq!(broker.end_offset("missing", 0), 0);
+        assert_eq!(broker.partition_len("missing", 0), 0);
+        assert!(broker.admin_append("missing", 0, 1).is_err());
+    }
+
+    #[test]
+    fn ensure_partitions_grows_topics() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::default());
+        assert_eq!(broker.ensure_partitions("t", 3).unwrap(), 3);
+        assert_eq!(broker.ensure_partitions("t", 2).unwrap(), 3);
+        assert_eq!(broker.ensure_partitions("t", 5).unwrap(), 5);
+        assert!(broker.ensure_partitions("t", 0).is_err());
+    }
+
+    #[test]
+    fn fencing_blocks_stale_producers_and_consumers() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 1).unwrap();
+        let producer = broker.producer(c(1));
+        let consumer = broker.consumer(c(1), "t", 0).unwrap();
+        producer.send("t", 0, 1).unwrap();
+        let epoch = broker.fence(c(1));
+        assert_eq!(epoch, Epoch::from_raw(1));
+        assert!(producer.send("t", 0, 2).unwrap_err().is_fenced());
+        assert!(consumer.poll(1).unwrap_err().is_fenced());
+        // Data written before the fence survives; a new client works.
+        assert_eq!(broker.partition_len("t", 0), 1);
+        let producer2 = broker.producer(c(1));
+        producer2.send("t", 0, 3).unwrap();
+        assert_eq!(broker.current_epoch(c(1)), Epoch::from_raw(1));
+    }
+
+    #[test]
+    fn admin_reads_appends_and_truncation() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 1).unwrap();
+        let producer = broker.producer(c(1));
+        producer.send("t", 0, 1).unwrap();
+        producer.send("t", 0, 2).unwrap();
+        broker.fence(c(1));
+        // Reconciliation reads and rewrites messages regardless of fencing.
+        let records = broker.read_partition("t", 0);
+        assert_eq!(records.len(), 2);
+        broker.admin_append("t", 0, 99).unwrap();
+        assert_eq!(broker.partition_len("t", 0), 3);
+        assert_eq!(broker.end_offset("t", 0), 3);
+        assert_eq!(broker.truncate_partition("t", 0), 3);
+        assert_eq!(broker.partition_len("t", 0), 0);
+        assert_eq!(broker.end_offset("t", 0), 3);
+        assert_eq!(broker.truncate_partition("missing", 0), 0);
+    }
+
+    #[test]
+    fn retention_expires_oldest_records() {
+        let config = BrokerConfig { max_partition_records: 3, ..BrokerConfig::default() };
+        let broker: Broker<u32> = Broker::new(config);
+        broker.create_topic("t", 1).unwrap();
+        let producer = broker.producer(c(1));
+        for i in 0..10 {
+            producer.send("t", 0, i).unwrap();
+        }
+        // Size-based retention keeps the newest 3 records.
+        assert_eq!(broker.partition_len("t", 0), 3);
+        let payloads: Vec<u32> = broker.read_partition("t", 0).into_iter().map(|r| r.payload).collect();
+        assert_eq!(payloads, vec![7, 8, 9]);
+        assert_eq!(broker.expired_count("t", 0), 7);
+        assert_eq!(broker.expire_now(), 0);
+    }
+
+    #[test]
+    fn group_membership_failure_detection_and_rebalance() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::fast());
+        let events = broker.subscribe("g");
+        broker.join_group("g", c(1), 0);
+        broker.join_group("g", c(2), 1);
+        // Both joins visible.
+        assert_eq!(broker.group_view("g").members.len(), 2);
+        // Wait out the stabilization window, then tick to complete the join
+        // rebalance.
+        std::thread::sleep(Duration::from_millis(30));
+        broker.tick();
+        let view = broker.group_view("g");
+        assert_eq!(view.generation, 1);
+        assert_eq!(view.live_components(), vec![c(1), c(2)]);
+
+        // Component 2 stops heartbeating; component 1 keeps heartbeating.
+        for _ in 0..12 {
+            broker.heartbeat("g", c(1)).unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+            broker.tick();
+        }
+        let view = broker.group_view("g");
+        assert_eq!(view.generation, 2);
+        assert_eq!(view.live_components(), vec![c(1)]);
+        // The failed member is fenced at the broker.
+        assert_eq!(broker.current_epoch(c(2)), Epoch::from_raw(1));
+        assert!(broker.heartbeat("g", c(2)).unwrap_err().is_fenced());
+
+        // The event stream contains join, failure detection and rebalances in
+        // a sensible order.
+        let collected: Vec<GroupEvent> = events.try_iter().collect();
+        assert!(collected.iter().any(|e| matches!(e, GroupEvent::MemberJoined { component, .. } if *component == c(1))));
+        let detect_at = collected.iter().find_map(|e| match e {
+            GroupEvent::FailureDetected { component, at } if *component == c(2) => Some(*at),
+            _ => None,
+        });
+        let rebalance_at = collected.iter().rev().find_map(|e| match e {
+            GroupEvent::RebalanceCompleted { removed, at, .. } if removed.contains(&c(2)) => Some(*at),
+            _ => None,
+        });
+        let detect_at = detect_at.expect("failure detected");
+        let rebalance_at = rebalance_at.expect("rebalance completed");
+        assert!(rebalance_at >= detect_at);
+    }
+
+    #[test]
+    fn heartbeat_on_unknown_group_or_member_fails() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::fast());
+        assert!(broker.heartbeat("nope", c(1)).is_err());
+        broker.join_group("g", c(1), 0);
+        assert!(broker.heartbeat("g", c(2)).is_err());
+        assert!(broker.heartbeat("g", c(1)).is_ok());
+    }
+
+    #[test]
+    fn leave_group_triggers_rebalance_without_failure() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::fast());
+        let events = broker.subscribe("g");
+        broker.join_group("g", c(1), 0);
+        broker.join_group("g", c(2), 1);
+        std::thread::sleep(Duration::from_millis(30));
+        broker.tick();
+        broker.leave_group("g", c(2));
+        broker.leave_group("g", c(99)); // unknown member: no-op
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(10));
+            broker.heartbeat("g", c(1)).unwrap();
+            broker.tick();
+        }
+        let view = broker.group_view("g");
+        assert_eq!(view.live_components(), vec![c(1)]);
+        let collected: Vec<GroupEvent> = events.try_iter().collect();
+        assert!(collected.iter().any(|e| matches!(e, GroupEvent::MemberLeft { component, .. } if *component == c(2))));
+        assert!(!collected
+            .iter()
+            .any(|e| matches!(e, GroupEvent::FailureDetected { component, .. } if *component == c(2))));
+        // A graceful leave is not fenced.
+        assert_eq!(broker.current_epoch(c(2)), Epoch::ZERO);
+    }
+
+    #[test]
+    fn background_coordinator_detects_failures() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::fast());
+        broker.spawn_coordinator();
+        let events = broker.subscribe("g");
+        broker.join_group("g", c(1), 0);
+        // Never heartbeat: the coordinator should detect the failure and
+        // complete a rebalance on its own.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut saw_rebalance_removing_1 = false;
+        while Instant::now() < deadline && !saw_rebalance_removing_1 {
+            if let Ok(event) = events.recv_timeout(Duration::from_millis(100)) {
+                if let GroupEvent::RebalanceCompleted { removed, .. } = event {
+                    if removed.contains(&c(1)) {
+                        saw_rebalance_removing_1 = true;
+                    }
+                }
+            }
+        }
+        broker.shutdown();
+        assert!(saw_rebalance_removing_1, "coordinator never removed the dead member");
+    }
+
+    #[test]
+    fn latency_injection_slows_send_and_poll() {
+        let config = BrokerConfig {
+            append_latency: Duration::from_millis(5),
+            deliver_latency: Duration::from_millis(5),
+            ..BrokerConfig::default()
+        };
+        let broker: Broker<u32> = Broker::new(config);
+        broker.create_topic("t", 1).unwrap();
+        let producer = broker.producer(c(1));
+        let consumer = broker.consumer(c(1), "t", 0).unwrap();
+        let t0 = Instant::now();
+        producer.send("t", 0, 1).unwrap();
+        consumer.poll(1).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn broker_clone_shares_state_and_default_works() {
+        let broker: Broker<u32> = Broker::default();
+        let broker2 = broker.clone();
+        broker.create_topic("t", 1).unwrap();
+        assert!(broker2.topic_exists("t"));
+        assert!(broker.config().session_timeout >= Duration::from_secs(1));
+        assert!(broker.now() <= Duration::from_secs(60));
+    }
+}

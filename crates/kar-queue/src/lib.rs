@@ -1,0 +1,54 @@
+//! A Kafka-like in-process reliable message broker.
+//!
+//! The KAR runtime delegates four responsibilities to Apache Kafka (§4.1–4.2
+//! of the paper): durable per-component message queues, consumer-group
+//! membership with heartbeat-based failure detection, a consensus/rebalance
+//! step after membership changes, and fencing of removed members ("once Kafka
+//! removes a runtime process from the consumer group … it is also prevented
+//! from sending more messages"). This crate provides exactly those mechanisms
+//! as an in-process substrate:
+//!
+//! * [`Broker`] — topics split into append-only partitions with offsets,
+//!   bulk expiry (time- and size-based retention) and administrative reads
+//!   used by reconciliation,
+//! * [`Producer`] / [`Consumer`] — fenced clients bound to a component and an
+//!   epoch; fenced clients fail with `KarError::Fenced`,
+//! * consumer groups ([`GroupEvent`], [`GroupView`]) with heartbeats, session
+//!   timeouts, a stabilization (consensus) delay, monotonically increasing
+//!   generations, and an event stream the runtime uses to drive recovery,
+//! * configurable latency injection to emulate the deployments of Table 2.
+//!
+//! The broker is generic over the message type `M`, so the runtime stores its
+//! [`Envelope`](kar_types::Envelope)s directly without a serialization layer.
+//!
+//! # Example
+//!
+//! ```
+//! use kar_queue::{Broker, BrokerConfig};
+//! use kar_types::ComponentId;
+//!
+//! let broker: Broker<String> = Broker::new(BrokerConfig::default());
+//! broker.create_topic("app", 2)?;
+//! let producer = broker.producer(ComponentId::from_raw(1));
+//! producer.send("app", 0, "hello".to_owned())?;
+//!
+//! let consumer = broker.consumer(ComponentId::from_raw(2), "app", 0)?;
+//! let records = consumer.poll(10)?;
+//! assert_eq!(records.len(), 1);
+//! assert_eq!(records[0].payload, "hello");
+//! # Ok::<(), kar_types::KarError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broker;
+mod config;
+mod group;
+mod log;
+mod record;
+
+pub use broker::{Broker, Consumer, Producer};
+pub use config::BrokerConfig;
+pub use group::{GroupEvent, GroupView, MemberInfo, MemberState};
+pub use record::{Record, TopicPartition};

@@ -1,0 +1,168 @@
+//! Append-only partition logs with bulk expiry.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::record::Record;
+
+/// One partition: an append-only log of records with monotonically increasing
+/// offsets.
+///
+/// Matching the constraints of production message queues described in §4.1 of
+/// the paper, the log only supports (1) appending at the end and (2) expiring
+/// the oldest records in bulk; records are never altered or removed from the
+/// middle.
+#[derive(Debug)]
+pub(crate) struct PartitionLog<M> {
+    records: VecDeque<Record<M>>,
+    next_offset: u64,
+    expired: u64,
+}
+
+impl<M> Default for PartitionLog<M> {
+    fn default() -> Self {
+        PartitionLog { records: VecDeque::new(), next_offset: 0, expired: 0 }
+    }
+}
+
+impl<M: Clone> PartitionLog<M> {
+    /// Appends a record, returning its offset.
+    pub(crate) fn append(&mut self, appended_at: Duration, payload: M) -> u64 {
+        let offset = self.next_offset;
+        self.next_offset += 1;
+        self.records.push_back(Record { offset, appended_at, payload });
+        offset
+    }
+
+    /// All live (unexpired) records at or after `from_offset`, up to `max`.
+    pub(crate) fn read_from(&self, from_offset: u64, max: usize) -> Vec<Record<M>> {
+        self.records
+            .iter()
+            .filter(|r| r.offset >= from_offset)
+            .take(max)
+            .cloned()
+            .collect()
+    }
+
+    /// All live records.
+    pub(crate) fn read_all(&self) -> Vec<Record<M>> {
+        self.records.iter().cloned().collect()
+    }
+
+    /// Offset that will be assigned to the next appended record.
+    pub(crate) fn end_offset(&self) -> u64 {
+        self.next_offset
+    }
+
+    /// Number of live records.
+    pub(crate) fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of records dropped by expiry or truncation since creation.
+    pub(crate) fn expired_count(&self) -> u64 {
+        self.expired
+    }
+
+    /// Expires the oldest records that are older than `retention` relative to
+    /// `now`, or that exceed the `max_records` bound. Returns the number of
+    /// expired records.
+    pub(crate) fn expire(&mut self, now: Duration, retention: Duration, max_records: usize) -> usize {
+        let mut dropped = 0;
+        let cutoff = now.checked_sub(retention);
+        while let Some(front) = self.records.front() {
+            let too_old = cutoff.map(|c| front.appended_at < c).unwrap_or(false);
+            let too_many = self.records.len() > max_records;
+            if too_old || too_many {
+                self.records.pop_front();
+                dropped += 1;
+            } else {
+                break;
+            }
+        }
+        self.expired += dropped as u64;
+        dropped
+    }
+
+    /// Drops every live record (used when a failed component's queue is
+    /// flushed after reconciliation). Offsets keep increasing afterwards.
+    pub(crate) fn truncate(&mut self) -> usize {
+        let dropped = self.records.len();
+        self.expired += dropped as u64;
+        self.records.clear();
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_with(n: u64) -> PartitionLog<u64> {
+        let mut log = PartitionLog::default();
+        for i in 0..n {
+            log.append(Duration::from_millis(i), i);
+        }
+        log
+    }
+
+    #[test]
+    fn append_assigns_monotonic_offsets() {
+        let log = log_with(5);
+        assert_eq!(log.end_offset(), 5);
+        let all = log.read_all();
+        assert_eq!(all.len(), 5);
+        for (i, r) in all.iter().enumerate() {
+            assert_eq!(r.offset, i as u64);
+            assert_eq!(r.payload, i as u64);
+        }
+    }
+
+    #[test]
+    fn read_from_respects_offset_and_max() {
+        let log = log_with(10);
+        let r = log.read_from(4, 3);
+        assert_eq!(r.iter().map(|r| r.offset).collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert!(log.read_from(10, 5).is_empty());
+    }
+
+    #[test]
+    fn time_based_expiry_drops_only_old_records() {
+        let mut log = log_with(10);
+        // Records appended at 0..9 ms; retain only those within the last 5 ms
+        // as of t=12 ms (cutoff 7 ms).
+        let dropped = log.expire(Duration::from_millis(12), Duration::from_millis(5), 1000);
+        assert_eq!(dropped, 7);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.read_all()[0].offset, 7);
+        assert_eq!(log.expired_count(), 7);
+        // Offsets are never reused after expiry.
+        assert_eq!(log.append(Duration::from_millis(13), 99), 10);
+    }
+
+    #[test]
+    fn size_based_expiry_keeps_at_most_max_records() {
+        let mut log = log_with(10);
+        let dropped = log.expire(Duration::from_millis(10), Duration::from_secs(100), 4);
+        assert_eq!(dropped, 6);
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.read_all()[0].offset, 6);
+    }
+
+    #[test]
+    fn truncate_clears_but_preserves_offsets() {
+        let mut log = log_with(3);
+        assert_eq!(log.truncate(), 3);
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.append(Duration::ZERO, 7), 3);
+        assert_eq!(log.expired_count(), 3);
+    }
+
+    #[test]
+    fn expire_with_zero_elapsed_time_is_noop_for_time() {
+        let mut log = log_with(3);
+        // now < retention: checked_sub yields None, nothing is too old.
+        assert_eq!(log.expire(Duration::from_millis(1), Duration::from_secs(10), 100), 0);
+        assert_eq!(log.len(), 3);
+    }
+}

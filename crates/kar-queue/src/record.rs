@@ -1,0 +1,69 @@
+//! Records and partition coordinates.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Identifies one partition of one topic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicPartition {
+    /// Topic name.
+    pub topic: String,
+    /// Partition index within the topic.
+    pub partition: usize,
+}
+
+impl TopicPartition {
+    /// Builds a topic/partition coordinate.
+    pub fn new(topic: impl Into<String>, partition: usize) -> Self {
+        TopicPartition { topic: topic.into(), partition }
+    }
+}
+
+impl fmt::Display for TopicPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.topic, self.partition)
+    }
+}
+
+/// One message appended to a partition log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record<M> {
+    /// Position of the record in its partition (monotonically increasing,
+    /// never reused even after expiry/truncation).
+    pub offset: u64,
+    /// Broker time at which the record was appended, used for time-based
+    /// retention.
+    pub appended_at: Duration,
+    /// The message payload.
+    pub payload: M,
+}
+
+impl<M> Record<M> {
+    /// Maps the payload while preserving offset and timestamp.
+    pub fn map<N>(self, f: impl FnOnce(M) -> N) -> Record<N> {
+        Record { offset: self.offset, appended_at: self.appended_at, payload: f(self.payload) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_partition_display_and_ordering() {
+        let a = TopicPartition::new("app", 0);
+        let b = TopicPartition::new("app", 1);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "app[0]");
+        assert_eq!(a, TopicPartition::new("app", 0));
+    }
+
+    #[test]
+    fn record_map_preserves_metadata() {
+        let r = Record { offset: 7, appended_at: Duration::from_secs(1), payload: 21u32 };
+        let mapped = r.map(|p| p * 2);
+        assert_eq!(mapped.offset, 7);
+        assert_eq!(mapped.appended_at, Duration::from_secs(1));
+        assert_eq!(mapped.payload, 42);
+    }
+}

@@ -1,0 +1,115 @@
+//! The `AnomalyRouter` singleton actor.
+//!
+//! The router maintains a mapping from container ids to their current
+//! location (a voyage/order pair while in transit, or a depot) so that
+//! refrigeration anomaly events can be routed to the actor that owns the
+//! container's business logic (§5).
+
+use kar::{Actor, ActorContext, Outcome};
+use kar_types::{KarError, KarResult, Value};
+
+use crate::types::{refs, string_arg};
+
+/// The anomaly router singleton.
+///
+/// Methods: `register_on_voyage(containers, voyage, order)`,
+/// `register_at_depot(containers, port)`, `anomaly(container)`,
+/// `lookup(container)`, `tracked` (number of tracked containers).
+#[derive(Debug, Default)]
+pub struct AnomalyRouter;
+
+impl Actor for AnomalyRouter {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "register_on_voyage" => {
+                let containers = args.first().and_then(Value::as_list).unwrap_or(&[]).to_vec();
+                let voyage = string_arg(args, 1, "voyage id")?;
+                let order = string_arg(args, 2, "order id")?;
+                let entries: Vec<(String, Value)> = containers
+                    .iter()
+                    .filter_map(Value::as_str)
+                    .map(|container| {
+                        (
+                            format!("container/{container}"),
+                            Value::map([
+                                ("location", Value::from("voyage")),
+                                ("voyage", Value::from(voyage.clone())),
+                                ("order", Value::from(order.clone())),
+                            ]),
+                        )
+                    })
+                    .collect();
+                ctx.state().set_multi(entries)?;
+                Ok(Outcome::value(Value::Null))
+            }
+            "register_at_depot" => {
+                let containers = args.first().and_then(Value::as_list).unwrap_or(&[]).to_vec();
+                let port = string_arg(args, 1, "port")?;
+                let entries: Vec<(String, Value)> = containers
+                    .iter()
+                    .filter_map(Value::as_str)
+                    .map(|container| {
+                        (
+                            format!("container/{container}"),
+                            Value::map([
+                                ("location", Value::from("depot")),
+                                ("port", Value::from(port.clone())),
+                            ]),
+                        )
+                    })
+                    .collect();
+                ctx.state().set_multi(entries)?;
+                Ok(Outcome::value(Value::Null))
+            }
+            "anomaly" => {
+                let container = string_arg(args, 0, "container id")?;
+                let Some(record) = ctx.state().get(&format!("container/{container}"))? else {
+                    return Ok(Outcome::value(Value::from("unknown")));
+                };
+                match record.get("location").and_then(Value::as_str) {
+                    Some("voyage") => {
+                        let voyage = record.get("voyage").and_then(Value::as_str).unwrap_or("");
+                        let order = record.get("order").and_then(Value::as_str).unwrap_or("");
+                        ctx.tell(
+                            &refs::voyage(voyage),
+                            "container_anomaly",
+                            vec![Value::from(container), Value::from(order)],
+                        )?;
+                        Ok(Outcome::value(Value::from("voyage")))
+                    }
+                    Some("depot") => {
+                        let port = record.get("port").and_then(Value::as_str).unwrap_or("");
+                        ctx.tell(
+                            &refs::depot(port),
+                            "container_anomaly",
+                            vec![Value::from(container)],
+                        )?;
+                        Ok(Outcome::value(Value::from("depot")))
+                    }
+                    _ => Ok(Outcome::value(Value::from("unknown"))),
+                }
+            }
+            "lookup" => {
+                let container = string_arg(args, 0, "container id")?;
+                Ok(Outcome::value(
+                    ctx.state().get(&format!("container/{container}"))?.unwrap_or(Value::Null),
+                ))
+            }
+            "tracked" => {
+                let count = ctx
+                    .state()
+                    .get_all()?
+                    .keys()
+                    .filter(|k| k.starts_with("container/"))
+                    .count();
+                Ok(Outcome::value(Value::from(count)))
+            }
+            other => Err(KarError::application(format!("AnomalyRouter has no method {other}"))),
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Deployment helpers reproducing the application architecture of Figure 5b.
+//!
+//! The production deployment splits actor types across two replicated
+//! component kinds: an *actors server* hosting the `Order`, `Voyage` and
+//! `Depot` actors, and a *singletons server* hosting the manager singletons
+//! and the anomaly router. Simulators and the Web API run on a separate node
+//! that is never targeted by fault injection (§6.1).
+
+use kar::{Client, ComponentBuilder, Mesh};
+use kar_types::{ComponentId, KarResult, NodeId, Value};
+
+use crate::anomaly::AnomalyRouter;
+use crate::depot::{Depot, DepotManager};
+use crate::order::{Order, OrderManager};
+use crate::types::refs;
+use crate::voyage::{ScheduleManager, Voyage, VoyageManager};
+
+/// Registers the actor types of the "Actors Server" (Order, Voyage, Depot).
+pub fn actors_server(builder: ComponentBuilder) -> ComponentBuilder {
+    builder
+        .host("Order", || Box::new(Order))
+        .host("Voyage", || Box::new(Voyage))
+        .host("Depot", || Box::new(Depot))
+}
+
+/// Registers the actor types of the "Singletons Server" (managers and the
+/// anomaly router).
+pub fn singletons_server(builder: ComponentBuilder) -> ComponentBuilder {
+    builder
+        .host("OrderManager", || Box::new(OrderManager))
+        .host("VoyageManager", || Box::new(VoyageManager))
+        .host("DepotManager", || Box::new(DepotManager))
+        .host("ScheduleManager", || Box::new(ScheduleManager))
+        .host("AnomalyRouter", || Box::new(AnomalyRouter))
+}
+
+/// A deployed Reefer application.
+#[derive(Debug, Clone)]
+pub struct ReeferDeployment {
+    /// The node reserved for simulators and clients; never killed by the
+    /// fault injection helpers.
+    pub stable_node: NodeId,
+    /// The victim nodes hosting application components.
+    pub victim_nodes: Vec<NodeId>,
+    /// All application components, grouped by the node they run on.
+    pub components_by_node: Vec<(NodeId, Vec<ComponentId>)>,
+}
+
+impl ReeferDeployment {
+    /// Every application component.
+    pub fn components(&self) -> Vec<ComponentId> {
+        self.components_by_node.iter().flat_map(|(_, cs)| cs.iter().copied()).collect()
+    }
+}
+
+/// Deploys a minimal (non replicated) Reefer application: one node hosting
+/// one actors server and one singletons server.
+pub fn deploy(mesh: &Mesh) -> ReeferDeployment {
+    deploy_replicated(mesh, 1, 1)
+}
+
+/// Deploys the replicated topology of Figure 5b: `victim_nodes` nodes, each
+/// hosting `replicas_per_node` actors servers and singletons servers, plus a
+/// stable node reserved for clients and simulators.
+pub fn deploy_replicated(
+    mesh: &Mesh,
+    victim_nodes: usize,
+    replicas_per_node: usize,
+) -> ReeferDeployment {
+    assert!(victim_nodes >= 1, "at least one victim node is required");
+    assert!(replicas_per_node >= 1, "at least one replica per node is required");
+    let stable_node = mesh.add_node();
+    let mut nodes = Vec::new();
+    let mut components_by_node = Vec::new();
+    for n in 0..victim_nodes {
+        let node = mesh.add_node();
+        nodes.push(node);
+        let mut components = Vec::new();
+        for r in 0..replicas_per_node {
+            components.push(mesh.add_component(node, &format!("actors-{n}-{r}"), actors_server));
+            components
+                .push(mesh.add_component(node, &format!("singletons-{n}-{r}"), singletons_server));
+        }
+        components_by_node.push((node, components));
+    }
+    ReeferDeployment { stable_node, victim_nodes: nodes, components_by_node }
+}
+
+/// Bootstraps the shipping world: creates the depots of `ports` (each with
+/// `containers_per_depot` containers) and schedules `voyages` between
+/// consecutive ports.
+///
+/// Returns the ids of the scheduled voyages.
+///
+/// # Errors
+///
+/// Propagates any error returned by the application actors.
+pub fn bootstrap(
+    client: &Client,
+    ports: &[&str],
+    containers_per_depot: i64,
+    voyages: usize,
+    voyage_capacity: i64,
+) -> KarResult<Vec<String>> {
+    for port in ports {
+        client.call(
+            &refs::depot(port),
+            "create",
+            vec![Value::from(containers_per_depot)],
+        )?;
+    }
+    let mut voyage_ids = Vec::new();
+    for v in 0..voyages {
+        let origin = ports[v % ports.len()];
+        let destination = ports[(v + 1) % ports.len()];
+        let voyage_id = format!("V{v:03}");
+        client.call(
+            &refs::voyage_manager(),
+            "create_voyage",
+            vec![
+                Value::from(voyage_id.clone()),
+                Value::from(origin),
+                Value::from(destination),
+                Value::from((v as i64 % 3) + 1), // depart day 1..=3
+                Value::from(2i64),               // two days at sea
+                Value::from(voyage_capacity),
+            ],
+        )?;
+        voyage_ids.push(voyage_id);
+    }
+    Ok(voyage_ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar::MeshConfig;
+
+    #[test]
+    fn booking_workflow_follows_figure_6() {
+        let mesh = Mesh::new(MeshConfig::for_tests());
+        let deployment = deploy(&mesh);
+        assert_eq!(deployment.victim_nodes.len(), 1);
+        assert_eq!(deployment.components().len(), 2);
+        let client = mesh.client();
+        let voyages = bootstrap(&client, &["Oakland", "Shanghai"], 100, 2, 20).unwrap();
+        assert_eq!(voyages.len(), 2);
+
+        // Book an order through the order manager: the workflow spans the
+        // OrderManager, Order, Voyage and Depot actors via tail calls and
+        // returns the booking confirmation of the last step.
+        let confirmation = client
+            .call(
+                &refs::order_manager(),
+                "book",
+                vec![
+                    Value::from("order-1"),
+                    Value::from(voyages[0].clone()),
+                    Value::from("bananas"),
+                    Value::from(3i64),
+                ],
+            )
+            .unwrap();
+        assert_eq!(confirmation.get("status"), Some(&Value::from("booked")));
+        assert_eq!(confirmation.get("order"), Some(&Value::from("order-1")));
+        let containers = confirmation.get("containers").and_then(Value::as_list).unwrap();
+        assert_eq!(containers.len(), 3);
+
+        // The voyage lost 3 slots of capacity; the depot allocated 3
+        // containers; the order manager recorded the booking synchronously.
+        let voyage_info = client.call(&refs::voyage(&voyages[0]), "info", vec![]).unwrap();
+        assert_eq!(voyage_info.get("free_capacity"), Some(&Value::from(17i64)));
+        let depot_info = client.call(&refs::depot("Oakland"), "info", vec![]).unwrap();
+        assert_eq!(depot_info.get("available"), Some(&Value::from(97i64)));
+        let record = client
+            .call(&refs::order_manager(), "order_record", vec![Value::from("order-1")])
+            .unwrap();
+        assert_eq!(record.get("status"), Some(&Value::from("booked")));
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn voyages_depart_and_arrive_with_their_cargo() {
+        let mesh = Mesh::new(MeshConfig::for_tests());
+        let _deployment = deploy(&mesh);
+        let client = mesh.client();
+        let voyages = bootstrap(&client, &["Oakland", "Shanghai"], 50, 1, 10).unwrap();
+        client
+            .call(
+                &refs::order_manager(),
+                "book",
+                vec![
+                    Value::from("order-7"),
+                    Value::from(voyages[0].clone()),
+                    Value::from("fish"),
+                    Value::from(2i64),
+                ],
+            )
+            .unwrap();
+
+        // Advance simulated time past departure and arrival.
+        for day in 1..=5i64 {
+            client.call(&refs::voyage_manager(), "advance_time", vec![Value::from(day)]).unwrap();
+        }
+        // Tells propagate asynchronously: wait for the order to be delivered.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let info = client.call(&refs::order("order-7"), "info", vec![]).unwrap();
+            if info.get("status") == Some(&Value::from("delivered")) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "order never delivered: {info}");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        // The destination depot received the two containers.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let depot = client.call(&refs::depot("Shanghai"), "info", vec![]).unwrap();
+            if depot.get("received_total") == Some(&Value::from(2i64)) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "containers never received: {depot}");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn anomalies_are_routed_to_the_owning_order() {
+        let mesh = Mesh::new(MeshConfig::for_tests());
+        let _deployment = deploy(&mesh);
+        let client = mesh.client();
+        let voyages = bootstrap(&client, &["Oakland", "Shanghai"], 50, 1, 10).unwrap();
+        let confirmation = client
+            .call(
+                &refs::order_manager(),
+                "book",
+                vec![
+                    Value::from("order-9"),
+                    Value::from(voyages[0].clone()),
+                    Value::from("vaccine"),
+                    Value::from(1i64),
+                ],
+            )
+            .unwrap();
+        let container = confirmation
+            .get("containers")
+            .and_then(Value::as_list)
+            .and_then(|l| l.first())
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_owned();
+
+        // The anomaly router knows the container is on the voyage (the
+        // registration is an asynchronous tell, so poll briefly).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let location =
+                client.call(&refs::anomaly_router(), "lookup", vec![Value::from(container.clone())]).unwrap();
+            if location.get("location") == Some(&Value::from("voyage")) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "container never registered");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        // Inject the anomaly and wait for the order to become spoilt.
+        let routed = client
+            .call(&refs::anomaly_router(), "anomaly", vec![Value::from(container.clone())])
+            .unwrap();
+        assert_eq!(routed, Value::from("voyage"));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let info = client.call(&refs::order("order-9"), "info", vec![]).unwrap();
+            if info.get("status") == Some(&Value::from("spoilt")) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "order never spoilt: {info}");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        // Unknown containers are reported as such.
+        let unknown =
+            client.call(&refs::anomaly_router(), "anomaly", vec![Value::from("nope")]).unwrap();
+        assert_eq!(unknown, Value::from("unknown"));
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn overbooking_a_voyage_is_rejected() {
+        let mesh = Mesh::new(MeshConfig::for_tests());
+        let _deployment = deploy(&mesh);
+        let client = mesh.client();
+        let voyages = bootstrap(&client, &["Oakland", "Shanghai"], 50, 1, 2).unwrap();
+        client
+            .call(
+                &refs::order_manager(),
+                "book",
+                vec![
+                    Value::from("order-a"),
+                    Value::from(voyages[0].clone()),
+                    Value::from("milk"),
+                    Value::from(2i64),
+                ],
+            )
+            .unwrap();
+        let rejected = client.call(
+            &refs::order_manager(),
+            "book",
+            vec![
+                Value::from("order-b"),
+                Value::from(voyages[0].clone()),
+                Value::from("milk"),
+                Value::from(1i64),
+            ],
+        );
+        assert!(rejected.is_err(), "expected the overbooked order to be rejected");
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn replicated_deployment_creates_expected_topology() {
+        let mesh = Mesh::new(MeshConfig::for_tests());
+        let deployment = deploy_replicated(&mesh, 2, 1);
+        assert_eq!(deployment.victim_nodes.len(), 2);
+        assert_eq!(deployment.components().len(), 4);
+        for (node, components) in &deployment.components_by_node {
+            assert_eq!(mesh.components_on(*node).len(), components.len());
+        }
+        mesh.shutdown();
+    }
+}

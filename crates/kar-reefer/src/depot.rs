@@ -1,0 +1,190 @@
+//! Depots: the per-port `Depot` actor and the `DepotManager` singleton.
+
+use kar::{Actor, ActorContext, Outcome};
+use kar_types::{KarError, KarResult, Value};
+
+use crate::types::{int_arg, refs, string_arg};
+
+/// The `Depot` actor: manages the reefer container inventory of one port.
+///
+/// The actor id is the port name. Methods:
+///
+/// * `create(containers)` — initialize the inventory,
+/// * `reserve_containers(order, voyage, quantity)` — allocate containers to
+///   an order, register them with the anomaly router, notify the voyage of
+///   its cargo, and tail call the order's `booked` step (Fig. 6),
+/// * `receive_containers(containers)` — take delivery of containers arriving
+///   on a voyage,
+/// * `container_anomaly(container)` — handle a refrigeration anomaly for a
+///   container sitting in the depot,
+/// * `info` — inventory counters.
+#[derive(Debug, Default)]
+pub struct Depot;
+
+/// Default inventory of a depot that was never explicitly created.
+pub const DEFAULT_DEPOT_CAPACITY: i64 = 10_000;
+
+impl Depot {
+    fn counter(ctx: &ActorContext<'_>, field: &str, default: i64) -> KarResult<i64> {
+        Ok(ctx.state().get(field)?.and_then(|v| v.as_i64()).unwrap_or(default))
+    }
+}
+
+impl Actor for Depot {
+    fn activate(&mut self, ctx: &mut ActorContext<'_>) -> KarResult<()> {
+        // Lazily provision the inventory on first use so simulators can refer
+        // to ports that were not explicitly created.
+        if ctx.state().get("available")?.is_none() {
+            ctx.state().set_multi([
+                ("initial".to_owned(), Value::from(DEFAULT_DEPOT_CAPACITY)),
+                ("available".to_owned(), Value::from(DEFAULT_DEPOT_CAPACITY)),
+                ("allocated_total".to_owned(), Value::from(0)),
+                ("received_total".to_owned(), Value::from(0)),
+                ("damaged_total".to_owned(), Value::from(0)),
+                ("next_container".to_owned(), Value::from(0)),
+            ])?;
+        }
+        Ok(())
+    }
+
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        let port = ctx.self_ref().actor_id().to_owned();
+        match method {
+            "create" => {
+                let containers = int_arg(args, 0, "container count")?;
+                ctx.state().set_multi([
+                    ("initial".to_owned(), Value::from(containers)),
+                    ("available".to_owned(), Value::from(containers)),
+                    ("allocated_total".to_owned(), Value::from(0)),
+                    ("received_total".to_owned(), Value::from(0)),
+                    ("damaged_total".to_owned(), Value::from(0)),
+                    ("next_container".to_owned(), Value::from(0)),
+                ])?;
+                ctx.tell(
+                    &refs::depot_manager(),
+                    "depot_created",
+                    vec![Value::from(port), Value::from(containers)],
+                )?;
+                Ok(Outcome::value(Value::from(containers)))
+            }
+            "reserve_containers" => {
+                let order = string_arg(args, 0, "order id")?;
+                let voyage = string_arg(args, 1, "voyage id")?;
+                let quantity = int_arg(args, 2, "quantity")?;
+                let available = Self::counter(ctx, "available", DEFAULT_DEPOT_CAPACITY)?;
+                if available < quantity {
+                    return Err(KarError::application(format!(
+                        "depot {port} has only {available} containers available"
+                    )));
+                }
+                let next = Self::counter(ctx, "next_container", 0)?;
+                let allocated_total = Self::counter(ctx, "allocated_total", 0)?;
+                let containers: Vec<String> =
+                    (0..quantity).map(|i| format!("{port}-C{}", next + i)).collect();
+                ctx.state().set("available", Value::from(available - quantity))?;
+                ctx.state().set("next_container", Value::from(next + quantity))?;
+                ctx.state().set("allocated_total", Value::from(allocated_total + quantity))?;
+                ctx.state().set(&format!("order_containers/{order}"), Value::from(quantity))?;
+                let container_values: Vec<Value> =
+                    containers.iter().map(|c| Value::from(c.clone())).collect();
+                // Track the containers for anomaly routing while in transit.
+                ctx.tell(
+                    &refs::anomaly_router(),
+                    "register_on_voyage",
+                    vec![
+                        Value::List(container_values.clone()),
+                        Value::from(voyage.clone()),
+                        Value::from(order.clone()),
+                    ],
+                )?;
+                // Let the voyage know what cargo it carries.
+                ctx.tell(&refs::voyage(&voyage), "loaded", vec![Value::List(container_values.clone())])?;
+                ctx.tell(&refs::depot_manager(), "containers_allocated", vec![Value::from(quantity)])?;
+                // Complete the booking on the order actor (Fig. 6).
+                Ok(ctx.tail_call(&refs::order(&order), "booked", vec![Value::List(container_values)]))
+            }
+            "receive_containers" => {
+                let count = args
+                    .first()
+                    .and_then(Value::as_list)
+                    .map(<[Value]>::len)
+                    .unwrap_or(0) as i64;
+                // Arrival notifications may be re-sent when a failure races a
+                // voyage's arrival; deduplicate by voyage so containers are
+                // only counted into the inventory once.
+                if let Some(voyage) = args.get(1).and_then(Value::as_str) {
+                    let marker = format!("received_voyage/{voyage}");
+                    if ctx.state().get(&marker)?.is_some() {
+                        return Ok(Outcome::value(Value::from(0i64)));
+                    }
+                    ctx.state().set(&marker, Value::from(count))?;
+                }
+                let available = Self::counter(ctx, "available", DEFAULT_DEPOT_CAPACITY)?;
+                let received = Self::counter(ctx, "received_total", 0)?;
+                ctx.state().set("available", Value::from(available + count))?;
+                ctx.state().set("received_total", Value::from(received + count))?;
+                ctx.tell(&refs::depot_manager(), "containers_received", vec![Value::from(count)])?;
+                Ok(Outcome::value(Value::from(count)))
+            }
+            "container_anomaly" => {
+                let _container = string_arg(args, 0, "container id")?;
+                let damaged = Self::counter(ctx, "damaged_total", 0)?;
+                ctx.state().set("damaged_total", Value::from(damaged + 1))?;
+                ctx.tell(&refs::depot_manager(), "container_damaged", vec![Value::from(port)])?;
+                Ok(Outcome::value(Value::Null))
+            }
+            "info" => Ok(Outcome::value(Value::Map(ctx.state().get_all()?))),
+            other => Err(KarError::application(format!("Depot has no method {other}"))),
+        }
+    }
+}
+
+/// The `DepotManager` singleton: tracks depots and fleet-wide container
+/// statistics.
+#[derive(Debug, Default)]
+pub struct DepotManager;
+
+impl DepotManager {
+    fn bump(ctx: &ActorContext<'_>, field: &str, delta: i64) -> KarResult<()> {
+        let current = ctx.state().get(field)?.and_then(|v| v.as_i64()).unwrap_or(0);
+        ctx.state().set(field, Value::from(current + delta))?;
+        Ok(())
+    }
+}
+
+impl Actor for DepotManager {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "depot_created" => {
+                let port = string_arg(args, 0, "port")?;
+                let containers = int_arg(args, 1, "containers")?;
+                ctx.state().set(&format!("depot/{port}"), Value::from(containers))?;
+                Ok(Outcome::value(Value::Null))
+            }
+            "containers_allocated" => {
+                Self::bump(ctx, "allocated_total", int_arg(args, 0, "count")?)?;
+                Ok(Outcome::value(Value::Null))
+            }
+            "containers_received" => {
+                Self::bump(ctx, "received_total", int_arg(args, 0, "count")?)?;
+                Ok(Outcome::value(Value::Null))
+            }
+            "container_damaged" => {
+                Self::bump(ctx, "damaged_total", 1)?;
+                Ok(Outcome::value(Value::Null))
+            }
+            "stats" => Ok(Outcome::value(Value::Map(ctx.state().get_all()?))),
+            other => Err(KarError::application(format!("DepotManager has no method {other}"))),
+        }
+    }
+}

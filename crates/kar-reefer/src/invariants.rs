@@ -1,0 +1,252 @@
+//! Application-level invariants checked during the fault-injection
+//! experiments (§6.1).
+//!
+//! The paper verifies, across 1,000 injected failures, that:
+//!
+//! * submitted orders are never lost,
+//! * ships depart and arrive as scheduled carrying their expected cargo,
+//! * containers neither disappear nor appear out of thin air,
+//! * simulated time continuously advances.
+//!
+//! The [`InvariantChecker`] performs the same checks against a quiescent
+//! application (simulators paused, asynchronous notifications drained).
+
+use kar::Client;
+use kar_types::{KarResult, Value};
+
+use crate::types::refs;
+
+/// The result of one invariant check pass.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantReport {
+    /// Human-readable descriptions of every violated invariant (empty when
+    /// all invariants hold).
+    pub violations: Vec<String>,
+    /// Number of orders checked.
+    pub orders_checked: usize,
+    /// Containers currently available across all depots.
+    pub containers_in_depots: i64,
+    /// Containers currently allocated to orders still travelling.
+    pub containers_in_transit: i64,
+    /// The simulated day observed by this pass.
+    pub simulated_day: i64,
+}
+
+impl InvariantReport {
+    /// True when every invariant holds.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks the §6.1 application invariants through a [`Client`].
+#[derive(Debug)]
+pub struct InvariantChecker {
+    client: Client,
+    ports: Vec<String>,
+    initial_containers: i64,
+    last_day: i64,
+}
+
+impl InvariantChecker {
+    /// Creates a checker for an application whose depots are `ports`, each
+    /// bootstrapped with `containers_per_depot` containers.
+    pub fn new(client: Client, ports: &[&str], containers_per_depot: i64) -> Self {
+        InvariantChecker {
+            client,
+            ports: ports.iter().map(|p| (*p).to_owned()).collect(),
+            initial_containers: containers_per_depot * ports.len() as i64,
+            last_day: 0,
+        }
+    }
+
+    /// Runs one invariant pass. `submitted_orders` are the orders whose
+    /// booking was confirmed to a client; each must still be tracked by the
+    /// application.
+    ///
+    /// # Errors
+    ///
+    /// Propagates infrastructure errors encountered while querying the
+    /// application (the check should be run while the application is
+    /// healthy).
+    pub fn check(&mut self, submitted_orders: &[String]) -> KarResult<InvariantReport> {
+        let mut report = InvariantReport::default();
+
+        // --- Orders are never lost -------------------------------------
+        let stats = self.client.call(&refs::order_manager(), "stats", vec![])?;
+        let tracked = stats.get("orders").and_then(Value::as_map).cloned().unwrap_or_default();
+        report.orders_checked = submitted_orders.len();
+        for order in submitted_orders {
+            match tracked.get(order) {
+                None => report
+                    .violations
+                    .push(format!("order {order} was confirmed to the client but is not tracked")),
+                Some(record) => {
+                    let status = record.get("status").and_then(Value::as_str).unwrap_or("missing");
+                    if status == "accepted" {
+                        report.violations.push(format!(
+                            "order {order} was confirmed to the client but is still only accepted"
+                        ));
+                    }
+                }
+            }
+        }
+
+        // --- Container conservation -------------------------------------
+        let mut available = 0i64;
+        let mut allocated = 0i64;
+        let mut received = 0i64;
+        for port in &self.ports {
+            let info = self.client.call(&refs::depot(port), "info", vec![])?;
+            let get = |field: &str| info.get(field).and_then(Value::as_i64).unwrap_or(0);
+            available += get("available");
+            allocated += get("allocated_total");
+            received += get("received_total");
+            // Per-depot accounting identity.
+            if get("available") != get("initial") - get("allocated_total") + get("received_total") {
+                report.violations.push(format!(
+                    "depot {port} accounting is inconsistent: available {} != initial {} - allocated {} + received {}",
+                    get("available"),
+                    get("initial"),
+                    get("allocated_total"),
+                    get("received_total")
+                ));
+            }
+            if get("available") < 0 {
+                report.violations.push(format!("depot {port} has negative inventory"));
+            }
+        }
+        let in_transit = allocated - received;
+        report.containers_in_depots = available;
+        report.containers_in_transit = in_transit;
+        if in_transit < 0 {
+            report
+                .violations
+                .push(format!("more containers received ({received}) than allocated ({allocated})"));
+        }
+        if available + in_transit != self.initial_containers {
+            report.violations.push(format!(
+                "container conservation violated: {available} in depots + {in_transit} in transit \
+                 != {} initially",
+                self.initial_containers
+            ));
+        }
+
+        // --- Ships depart and arrive as scheduled ------------------------
+        let voyages = self.client.call(&refs::voyage_manager(), "list_voyages", vec![])?;
+        let day_value = self.client.call(&refs::voyage_manager(), "current_day", vec![])?;
+        let day = day_value.as_i64().unwrap_or(0);
+        if let Some(map) = voyages.as_map() {
+            for (voyage_id, summary) in map {
+                let info = self.client.call(&refs::voyage(voyage_id), "info", vec![])?;
+                let phase = info.get("phase").and_then(Value::as_str).unwrap_or("missing");
+                let depart = info.get("depart_day").and_then(Value::as_i64).unwrap_or(0);
+                let duration = info.get("duration").and_then(Value::as_i64).unwrap_or(0);
+                // A voyage whose departure day has passed must have departed
+                // (or already arrived); one past its arrival day must have
+                // arrived.
+                if day > depart + duration && phase != "arrived" {
+                    report.violations.push(format!(
+                        "voyage {voyage_id} should have arrived by day {day} but is {phase}"
+                    ));
+                } else if day > depart && phase == "scheduled" {
+                    report.violations.push(format!(
+                        "voyage {voyage_id} should have departed by day {day} but is still scheduled"
+                    ));
+                }
+                // The manager's view must agree with the voyage actor once
+                // notifications have drained.
+                let manager_phase =
+                    summary.get("phase").and_then(Value::as_str).unwrap_or("missing");
+                if manager_phase != phase {
+                    report.violations.push(format!(
+                        "voyage {voyage_id} phase mismatch: manager says {manager_phase}, actor says {phase}"
+                    ));
+                }
+                // Arrived voyages delivered (or spoiled) every order they carried.
+                if phase == "arrived" {
+                    if let Some(orders) = info.get("orders").and_then(Value::as_list) {
+                        for order in orders.iter().filter_map(Value::as_str) {
+                            let record = self
+                                .client
+                                .call(&refs::order(order), "info", vec![])?;
+                            let status =
+                                record.get("status").and_then(Value::as_str).unwrap_or("missing");
+                            if status != "delivered" && status != "spoilt" {
+                                report.violations.push(format!(
+                                    "voyage {voyage_id} arrived but its order {order} is {status}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Simulated time advances -------------------------------------
+        report.simulated_day = day;
+        if day < self.last_day {
+            report
+                .violations
+                .push(format!("simulated time went backwards: {day} < {}", self.last_day));
+        }
+        self.last_day = day;
+
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{bootstrap, deploy};
+    use crate::simulator::{OrderSimulator, ShipSimulator};
+    use kar::{Mesh, MeshConfig};
+    use std::time::Duration;
+
+    #[test]
+    fn invariants_hold_for_a_healthy_run() {
+        let mesh = Mesh::new(MeshConfig::for_tests());
+        let _deployment = deploy(&mesh);
+        let client = mesh.client();
+        let ports = ["Oakland", "Shanghai"];
+        let voyages = bootstrap(&client, &ports, 100, 2, 30).unwrap();
+
+        let mut orders = OrderSimulator::new(mesh.client(), voyages, 5);
+        for _ in 0..8 {
+            orders.submit_one().unwrap();
+        }
+        let mut ships = ShipSimulator::new(mesh.client());
+        for _ in 0..6 {
+            ships.advance_day().unwrap();
+        }
+        // Let asynchronous notifications drain before checking.
+        std::thread::sleep(Duration::from_millis(300));
+
+        let mut checker = InvariantChecker::new(mesh.client(), &ports, 100);
+        let report = checker.check(orders.confirmed_orders()).unwrap();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.orders_checked, 8);
+        assert_eq!(
+            report.containers_in_depots + report.containers_in_transit,
+            200,
+            "container conservation bookkeeping"
+        );
+        assert_eq!(report.simulated_day, 6);
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn a_lost_order_is_reported() {
+        let mesh = Mesh::new(MeshConfig::for_tests());
+        let _deployment = deploy(&mesh);
+        let client = mesh.client();
+        let ports = ["Oakland", "Shanghai"];
+        bootstrap(&client, &ports, 100, 1, 30).unwrap();
+        let mut checker = InvariantChecker::new(mesh.client(), &ports, 100);
+        let report = checker.check(&["ghost-order".to_owned()]).unwrap();
+        assert!(!report.ok());
+        assert!(report.violations[0].contains("ghost-order"));
+        mesh.shutdown();
+    }
+}

@@ -1,0 +1,220 @@
+//! Order handling: the `Order` actor and the `OrderManager` singleton.
+
+use kar::{Actor, ActorContext, Outcome};
+use kar_types::{KarError, KarResult, Value};
+
+use crate::types::{int_arg, refs, string_arg, OrderStatus};
+
+/// The `Order` actor: owns the persistent state of a single order and walks
+/// it through the booking workflow of Figure 6 using tail calls.
+///
+/// The actor id is the order id. Methods:
+///
+/// * `create(voyage, product, quantity)` — record the order and tail call the
+///   voyage to reserve capacity,
+/// * `booked(containers...)` — record the reserved containers, synchronously
+///   notify the `OrderManager`, asynchronously poke the `ScheduleManager`,
+///   and return the booking confirmation to the original caller,
+/// * `departed` / `delivered` / `spoilt(container)` — life-cycle transitions
+///   driven by voyages and the anomaly router,
+/// * `info` — the order's persistent state.
+#[derive(Debug, Default)]
+pub struct Order;
+
+impl Actor for Order {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        let order_id = ctx.self_ref().actor_id().to_owned();
+        match method {
+            "create" => {
+                let voyage = string_arg(args, 0, "voyage id")?;
+                let product = string_arg(args, 1, "product")?;
+                let quantity = int_arg(args, 2, "quantity")?;
+                ctx.state().set_multi([
+                    ("voyage".to_owned(), Value::from(voyage.clone())),
+                    ("product".to_owned(), Value::from(product)),
+                    ("quantity".to_owned(), Value::from(quantity)),
+                    ("status".to_owned(), OrderStatus::Accepted.into()),
+                ])?;
+                // Reserve capacity on the voyage; the chain continues there.
+                Ok(ctx.tail_call(
+                    &refs::voyage(&voyage),
+                    "reserve",
+                    vec![Value::from(order_id), Value::from(quantity)],
+                ))
+            }
+            "booked" => {
+                let containers = args.first().cloned().unwrap_or(Value::List(vec![]));
+                ctx.state().set("containers", containers.clone())?;
+                ctx.state().set("status", OrderStatus::Booked.into())?;
+                let voyage = ctx.state().get("voyage")?.unwrap_or(Value::Null);
+                // Synchronous notification sub-orchestration (Fig. 6): the
+                // order manager records the booking before the client is told.
+                ctx.call(
+                    &refs::order_manager(),
+                    "order_booked",
+                    vec![Value::from(order_id.clone()), voyage.clone()],
+                )?;
+                // Background schedule refresh (asynchronous tell in Fig. 6).
+                ctx.tell(&refs::schedule_manager(), "update_voyage", vec![voyage.clone()])?;
+                Ok(Outcome::value(Value::map([
+                    ("order", Value::from(order_id)),
+                    ("status", OrderStatus::Booked.into()),
+                    ("voyage", voyage),
+                    ("containers", containers),
+                ])))
+            }
+            "departed" => {
+                if self.status(ctx)? == Some(OrderStatus::Booked) {
+                    ctx.state().set("status", OrderStatus::InTransit.into())?;
+                    ctx.tell(&refs::order_manager(), "order_departed", vec![Value::from(order_id)])?;
+                }
+                Ok(Outcome::value(Value::Null))
+            }
+            "delivered" => {
+                // Spoilt orders remain spoilt on arrival.
+                if self.status(ctx)? != Some(OrderStatus::Spoilt) {
+                    ctx.state().set("status", OrderStatus::Delivered.into())?;
+                    ctx.tell(&refs::order_manager(), "order_delivered", vec![Value::from(order_id)])?;
+                }
+                Ok(Outcome::value(Value::Null))
+            }
+            "spoilt" => {
+                let container = string_arg(args, 0, "container id").unwrap_or_default();
+                if !matches!(self.status(ctx)?, Some(OrderStatus::Delivered) | Some(OrderStatus::Spoilt)) {
+                    ctx.state().set("status", OrderStatus::Spoilt.into())?;
+                    ctx.state().set("spoilt_container", Value::from(container))?;
+                    ctx.tell(&refs::order_manager(), "order_spoilt", vec![Value::from(order_id)])?;
+                }
+                Ok(Outcome::value(Value::Null))
+            }
+            "info" => {
+                let state = ctx.state().get_all()?;
+                Ok(Outcome::value(Value::Map(state)))
+            }
+            other => Err(KarError::application(format!("Order has no method {other}"))),
+        }
+    }
+}
+
+impl Order {
+    fn status(&self, ctx: &ActorContext<'_>) -> KarResult<Option<OrderStatus>> {
+        Ok(ctx
+            .state()
+            .get("status")?
+            .as_ref()
+            .and_then(Value::as_str)
+            .and_then(OrderStatus::parse))
+    }
+}
+
+/// The `OrderManager` singleton: entry point for booking orders and keeper of
+/// global order statistics.
+///
+/// Methods: `book(order, voyage, product, quantity)` (tail calls the order
+/// actor), `order_booked` / `order_departed` / `order_delivered` /
+/// `order_spoilt` (notifications), `stats`, `order_record(order)`.
+#[derive(Debug, Default)]
+pub struct OrderManager;
+
+impl OrderManager {
+    fn bump(ctx: &ActorContext<'_>, counter: &str, delta: i64) -> KarResult<i64> {
+        let current = ctx.state().get(counter)?.and_then(|v| v.as_i64()).unwrap_or(0);
+        let next = current + delta;
+        ctx.state().set(counter, Value::from(next))?;
+        Ok(next)
+    }
+
+    fn set_order_status(ctx: &ActorContext<'_>, order: &str, status: OrderStatus) -> KarResult<()> {
+        let field = format!("order/{order}");
+        if let Some(Value::Map(mut record)) = ctx.state().get(&field)? {
+            record.insert("status".to_owned(), status.into());
+            ctx.state().set(&field, Value::Map(record))?;
+        }
+        Ok(())
+    }
+}
+
+impl Actor for OrderManager {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "book" => {
+                let order = string_arg(args, 0, "order id")?;
+                let voyage = string_arg(args, 1, "voyage id")?;
+                let product = string_arg(args, 2, "product")?;
+                let quantity = int_arg(args, 3, "quantity")?;
+                ctx.state().set(
+                    &format!("order/{order}"),
+                    Value::map([
+                        ("status", OrderStatus::Accepted.into()),
+                        ("voyage", Value::from(voyage.clone())),
+                        ("quantity", Value::from(quantity)),
+                    ]),
+                )?;
+                Self::bump(ctx, "accepted_total", 1)?;
+                Ok(ctx.tail_call(
+                    &refs::order(&order),
+                    "create",
+                    vec![Value::from(voyage), Value::from(product), Value::from(quantity)],
+                ))
+            }
+            "order_booked" => {
+                let order = string_arg(args, 0, "order id")?;
+                Self::set_order_status(ctx, &order, OrderStatus::Booked)?;
+                Self::bump(ctx, "booked_total", 1)?;
+                Ok(Outcome::value(Value::Null))
+            }
+            "order_departed" => {
+                let order = string_arg(args, 0, "order id")?;
+                Self::set_order_status(ctx, &order, OrderStatus::InTransit)?;
+                Self::bump(ctx, "departed_total", 1)?;
+                Ok(Outcome::value(Value::Null))
+            }
+            "order_delivered" => {
+                let order = string_arg(args, 0, "order id")?;
+                Self::set_order_status(ctx, &order, OrderStatus::Delivered)?;
+                Self::bump(ctx, "delivered_total", 1)?;
+                Ok(Outcome::value(Value::Null))
+            }
+            "order_spoilt" => {
+                let order = string_arg(args, 0, "order id")?;
+                Self::set_order_status(ctx, &order, OrderStatus::Spoilt)?;
+                Self::bump(ctx, "spoilt_total", 1)?;
+                Ok(Outcome::value(Value::Null))
+            }
+            "order_record" => {
+                let order = string_arg(args, 0, "order id")?;
+                Ok(Outcome::value(ctx.state().get(&format!("order/{order}"))?.unwrap_or(Value::Null)))
+            }
+            "stats" => {
+                let state = ctx.state().get_all()?;
+                let counter = |name: &str| {
+                    state.get(name).and_then(Value::as_i64).unwrap_or(0)
+                };
+                let orders: Vec<(String, Value)> = state
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("order/"))
+                    .map(|(k, v)| (k.trim_start_matches("order/").to_owned(), v.clone()))
+                    .collect();
+                Ok(Outcome::value(Value::map([
+                    ("accepted_total", Value::from(counter("accepted_total"))),
+                    ("booked_total", Value::from(counter("booked_total"))),
+                    ("departed_total", Value::from(counter("departed_total"))),
+                    ("delivered_total", Value::from(counter("delivered_total"))),
+                    ("spoilt_total", Value::from(counter("spoilt_total"))),
+                    ("orders", Value::map(orders)),
+                ])))
+            }
+            other => Err(KarError::application(format!("OrderManager has no method {other}"))),
+        }
+    }
+}

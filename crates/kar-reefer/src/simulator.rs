@@ -1,0 +1,285 @@
+//! Event simulators driving the Reefer application (§5–6.1).
+//!
+//! The simulators are deliberately stateless with respect to the application
+//! (they only keep local bookkeeping for statistics): they interface with the
+//! application exclusively through a [`Client`], exactly like the paper's
+//! simulators interface with the Web API. The fault-injection harness calls
+//! their `step`-style methods in a loop, which keeps experiments
+//! deterministic and lets the harness interleave failures at will.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kar::Client;
+use kar_types::{KarResult, Value};
+
+use crate::types::refs;
+
+/// Statistics accumulated by the order simulator.
+#[derive(Debug, Clone, Default)]
+pub struct SimulatorStats {
+    /// Orders submitted (booking requests issued).
+    pub submitted: u64,
+    /// Orders confirmed (booking response received).
+    pub confirmed: u64,
+    /// Orders rejected by the application (for example no capacity left).
+    pub rejected: u64,
+    /// Orders whose booking call failed at the infrastructure level
+    /// (timeout); these are the candidates for the "orders never lost" check.
+    pub failed: u64,
+    /// Latency of every confirmed booking.
+    pub latencies: Vec<Duration>,
+}
+
+impl SimulatorStats {
+    /// The maximum observed booking latency.
+    pub fn max_latency(&self) -> Duration {
+        self.latencies.iter().copied().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// The mean observed booking latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        self.latencies.iter().sum::<Duration>() / self.latencies.len() as u32
+    }
+}
+
+/// Generates client orders at the harness's pace.
+#[derive(Debug)]
+pub struct OrderSimulator {
+    client: Client,
+    voyages: Vec<String>,
+    rng: StdRng,
+    next_order: u64,
+    prefix: String,
+    stats: SimulatorStats,
+    confirmed_orders: Vec<String>,
+    containers: Vec<String>,
+}
+
+impl OrderSimulator {
+    /// Creates an order simulator booking onto `voyages`.
+    pub fn new(client: Client, voyages: Vec<String>, seed: u64) -> Self {
+        OrderSimulator {
+            client,
+            voyages,
+            rng: StdRng::seed_from_u64(seed),
+            next_order: 0,
+            prefix: format!("sim{seed}"),
+            stats: SimulatorStats::default(),
+            confirmed_orders: Vec::new(),
+            containers: Vec::new(),
+        }
+    }
+
+    /// Submits one order for a random voyage and records its booking latency.
+    /// Returns the booking latency when the order is confirmed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the application or infrastructure error of the booking call;
+    /// the failure is also recorded in the statistics.
+    pub fn submit_one(&mut self) -> KarResult<Duration> {
+        let order_id = format!("{}-O{:06}", self.prefix, self.next_order);
+        self.next_order += 1;
+        let voyage = self.voyages[self.rng.gen_range(0..self.voyages.len())].clone();
+        let quantity = self.rng.gen_range(1..=3i64);
+        self.stats.submitted += 1;
+        let started = Instant::now();
+        let result = self.client.call(
+            &refs::order_manager(),
+            "book",
+            vec![
+                Value::from(order_id.clone()),
+                Value::from(voyage),
+                Value::from("reefer goods"),
+                Value::from(quantity),
+            ],
+        );
+        match result {
+            Ok(confirmation) => {
+                let latency = started.elapsed();
+                self.stats.confirmed += 1;
+                self.stats.latencies.push(latency);
+                self.confirmed_orders.push(order_id);
+                if let Some(containers) = confirmation.get("containers").and_then(Value::as_list) {
+                    self.containers
+                        .extend(containers.iter().filter_map(Value::as_str).map(str::to_owned));
+                }
+                Ok(latency)
+            }
+            Err(error) => {
+                if matches!(error, kar_types::KarError::Application(_)) {
+                    self.stats.rejected += 1;
+                } else {
+                    self.stats.failed += 1;
+                }
+                Err(error)
+            }
+        }
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &SimulatorStats {
+        &self.stats
+    }
+
+    /// Orders whose booking was confirmed to the client.
+    pub fn confirmed_orders(&self) -> &[String] {
+        &self.confirmed_orders
+    }
+
+    /// The voyages this simulator books onto.
+    pub fn voyages(&self) -> &[String] {
+        &self.voyages
+    }
+
+    /// Containers allocated to confirmed orders (used by the anomaly
+    /// simulator).
+    pub fn containers(&self) -> &[String] {
+        &self.containers
+    }
+}
+
+/// Advances the simulated shipping calendar: ships depart, sail and arrive as
+/// scheduled.
+#[derive(Debug)]
+pub struct ShipSimulator {
+    client: Client,
+    day: i64,
+}
+
+impl ShipSimulator {
+    /// Creates a ship simulator starting at day zero.
+    pub fn new(client: Client) -> Self {
+        ShipSimulator { client, day: 0 }
+    }
+
+    /// Advances the calendar by one day and notifies every voyage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the voyage manager call.
+    pub fn advance_day(&mut self) -> KarResult<i64> {
+        self.day += 1;
+        let confirmed =
+            self.client.call(&refs::voyage_manager(), "advance_time", vec![Value::from(self.day)])?;
+        Ok(confirmed.as_i64().unwrap_or(self.day))
+    }
+
+    /// The current simulated day.
+    pub fn day(&self) -> i64 {
+        self.day
+    }
+}
+
+/// Injects container refrigeration anomalies.
+#[derive(Debug)]
+pub struct AnomalySimulator {
+    client: Client,
+    rng: StdRng,
+    injected: u64,
+}
+
+impl AnomalySimulator {
+    /// Creates an anomaly simulator.
+    pub fn new(client: Client, seed: u64) -> Self {
+        AnomalySimulator { client, rng: StdRng::seed_from_u64(seed), injected: 0 }
+    }
+
+    /// Injects an anomaly on a random container of `containers`. Returns the
+    /// routing decision of the anomaly router (voyage, depot or unknown), or
+    /// `None` when no container exists yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the anomaly router call.
+    pub fn inject_random(&mut self, containers: &[String]) -> KarResult<Option<String>> {
+        if containers.is_empty() {
+            return Ok(None);
+        }
+        let container = containers[self.rng.gen_range(0..containers.len())].clone();
+        let routed =
+            self.client.call(&refs::anomaly_router(), "anomaly", vec![Value::from(container)])?;
+        self.injected += 1;
+        Ok(routed.as_str().map(str::to_owned))
+    }
+
+    /// Number of anomalies injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{bootstrap, deploy};
+    use kar::{Mesh, MeshConfig};
+
+    #[test]
+    fn simulators_drive_the_application() {
+        let mesh = Mesh::new(MeshConfig::for_tests());
+        let _deployment = deploy(&mesh);
+        let client = mesh.client();
+        let voyages = bootstrap(&client, &["Oakland", "Shanghai", "Singapore"], 200, 3, 50).unwrap();
+
+        let mut orders = OrderSimulator::new(mesh.client(), voyages, 7);
+        for _ in 0..10 {
+            orders.submit_one().unwrap();
+        }
+        assert_eq!(orders.stats().submitted, 10);
+        assert_eq!(orders.stats().confirmed, 10);
+        assert_eq!(orders.confirmed_orders().len(), 10);
+        assert!(!orders.containers().is_empty());
+        assert!(orders.stats().max_latency() >= orders.stats().mean_latency());
+
+        let mut ships = ShipSimulator::new(mesh.client());
+        for _ in 0..4 {
+            ships.advance_day().unwrap();
+        }
+        assert_eq!(ships.day(), 4);
+
+        let mut anomalies = AnomalySimulator::new(mesh.client(), 11);
+        let routed = anomalies.inject_random(orders.containers()).unwrap();
+        assert!(routed.is_some());
+        assert_eq!(anomalies.injected(), 1);
+        assert_eq!(anomalies.inject_random(&[]).unwrap(), None);
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn rejected_orders_are_counted_separately() {
+        let mesh = Mesh::new(MeshConfig::for_tests());
+        let _deployment = deploy(&mesh);
+        let client = mesh.client();
+        // Tiny voyage: only two slots, so repeated bookings get rejected.
+        let voyages = bootstrap(&client, &["Oakland", "Shanghai"], 50, 1, 2).unwrap();
+        let mut orders = OrderSimulator::new(mesh.client(), voyages, 3);
+        let mut rejections = 0;
+        for _ in 0..6 {
+            if orders.submit_one().is_err() {
+                rejections += 1;
+            }
+        }
+        assert!(rejections > 0);
+        assert_eq!(orders.stats().rejected, rejections);
+        assert_eq!(orders.stats().failed, 0);
+        assert_eq!(
+            orders.stats().confirmed + orders.stats().rejected,
+            orders.stats().submitted
+        );
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn empty_latency_stats_are_zero() {
+        let stats = SimulatorStats::default();
+        assert_eq!(stats.max_latency(), Duration::ZERO);
+        assert_eq!(stats.mean_latency(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,206 @@
+//! Shared domain vocabulary of the Reefer application.
+
+use kar_types::{ActorRef, Value};
+
+/// Life cycle of an order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderStatus {
+    /// Accepted by the order manager, not yet booked on a voyage.
+    Accepted,
+    /// Containers reserved and voyage booked.
+    Booked,
+    /// The voyage departed with the order on board.
+    InTransit,
+    /// Delivered at the destination port.
+    Delivered,
+    /// At least one of the order's containers suffered an anomaly.
+    Spoilt,
+}
+
+impl OrderStatus {
+    /// Parses a status from its wire representation.
+    pub fn parse(value: &str) -> Option<OrderStatus> {
+        match value {
+            "accepted" => Some(OrderStatus::Accepted),
+            "booked" => Some(OrderStatus::Booked),
+            "intransit" => Some(OrderStatus::InTransit),
+            "delivered" => Some(OrderStatus::Delivered),
+            "spoilt" => Some(OrderStatus::Spoilt),
+            _ => None,
+        }
+    }
+
+    /// The wire representation of the status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OrderStatus::Accepted => "accepted",
+            OrderStatus::Booked => "booked",
+            OrderStatus::InTransit => "intransit",
+            OrderStatus::Delivered => "delivered",
+            OrderStatus::Spoilt => "spoilt",
+        }
+    }
+
+    /// True for states that end the active life of an order.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, OrderStatus::Delivered | OrderStatus::Spoilt)
+    }
+}
+
+impl From<OrderStatus> for Value {
+    fn from(status: OrderStatus) -> Value {
+        Value::from(status.as_str())
+    }
+}
+
+/// Life cycle of a voyage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VoyagePhase {
+    /// Scheduled but not yet departed.
+    Scheduled,
+    /// At sea.
+    Departed,
+    /// Arrived at its destination port.
+    Arrived,
+}
+
+impl VoyagePhase {
+    /// Parses a phase from its wire representation.
+    pub fn parse(value: &str) -> Option<VoyagePhase> {
+        match value {
+            "scheduled" => Some(VoyagePhase::Scheduled),
+            "departed" => Some(VoyagePhase::Departed),
+            "arrived" => Some(VoyagePhase::Arrived),
+            _ => None,
+        }
+    }
+
+    /// The wire representation of the phase.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VoyagePhase::Scheduled => "scheduled",
+            VoyagePhase::Departed => "departed",
+            VoyagePhase::Arrived => "arrived",
+        }
+    }
+}
+
+impl From<VoyagePhase> for Value {
+    fn from(phase: VoyagePhase) -> Value {
+        Value::from(phase.as_str())
+    }
+}
+
+/// Canonical actor references of the application.
+pub mod refs {
+    use super::*;
+
+    /// The order actor for `order_id`.
+    pub fn order(order_id: &str) -> ActorRef {
+        ActorRef::new("Order", order_id)
+    }
+
+    /// The voyage actor for `voyage_id`.
+    pub fn voyage(voyage_id: &str) -> ActorRef {
+        ActorRef::new("Voyage", voyage_id)
+    }
+
+    /// The depot actor of `port`.
+    pub fn depot(port: &str) -> ActorRef {
+        ActorRef::new("Depot", port)
+    }
+
+    /// The singleton order manager.
+    pub fn order_manager() -> ActorRef {
+        ActorRef::new("OrderManager", "singleton")
+    }
+
+    /// The singleton voyage manager.
+    pub fn voyage_manager() -> ActorRef {
+        ActorRef::new("VoyageManager", "singleton")
+    }
+
+    /// The singleton depot manager.
+    pub fn depot_manager() -> ActorRef {
+        ActorRef::new("DepotManager", "singleton")
+    }
+
+    /// The singleton schedule manager.
+    pub fn schedule_manager() -> ActorRef {
+        ActorRef::new("ScheduleManager", "singleton")
+    }
+
+    /// The singleton anomaly router.
+    pub fn anomaly_router() -> ActorRef {
+        ActorRef::new("AnomalyRouter", "singleton")
+    }
+}
+
+/// Extracts a string argument at `index`, with a readable error.
+pub(crate) fn string_arg(args: &[Value], index: usize, what: &str) -> kar_types::KarResult<String> {
+    args.get(index)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| kar_types::KarError::application(format!("missing {what} argument")))
+}
+
+/// Extracts an integer argument at `index`, with a readable error.
+pub(crate) fn int_arg(args: &[Value], index: usize, what: &str) -> kar_types::KarResult<i64> {
+    args.get(index)
+        .and_then(Value::as_i64)
+        .ok_or_else(|| kar_types::KarError::application(format!("missing {what} argument")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_status_roundtrip() {
+        for status in [
+            OrderStatus::Accepted,
+            OrderStatus::Booked,
+            OrderStatus::InTransit,
+            OrderStatus::Delivered,
+            OrderStatus::Spoilt,
+        ] {
+            assert_eq!(OrderStatus::parse(status.as_str()), Some(status));
+        }
+        assert_eq!(OrderStatus::parse("junk"), None);
+        assert!(OrderStatus::Delivered.is_terminal());
+        assert!(OrderStatus::Spoilt.is_terminal());
+        assert!(!OrderStatus::Booked.is_terminal());
+        assert_eq!(Value::from(OrderStatus::Booked), Value::from("booked"));
+    }
+
+    #[test]
+    fn voyage_phase_roundtrip() {
+        for phase in [VoyagePhase::Scheduled, VoyagePhase::Departed, VoyagePhase::Arrived] {
+            assert_eq!(VoyagePhase::parse(phase.as_str()), Some(phase));
+        }
+        assert_eq!(VoyagePhase::parse("junk"), None);
+        assert_eq!(Value::from(VoyagePhase::Arrived), Value::from("arrived"));
+    }
+
+    #[test]
+    fn refs_are_stable() {
+        assert_eq!(refs::order("o1"), ActorRef::new("Order", "o1"));
+        assert_eq!(refs::order_manager().actor_id(), "singleton");
+        assert_eq!(refs::depot("Oakland").actor_id(), "Oakland");
+        assert_eq!(refs::voyage("v"), ActorRef::new("Voyage", "v"));
+        assert_eq!(refs::anomaly_router().actor_type(), "AnomalyRouter");
+        assert_eq!(refs::schedule_manager().actor_type(), "ScheduleManager");
+        assert_eq!(refs::depot_manager().actor_type(), "DepotManager");
+        assert_eq!(refs::voyage_manager().actor_type(), "VoyageManager");
+    }
+
+    #[test]
+    fn argument_helpers_report_missing_values() {
+        let args = vec![Value::from("x"), Value::from(3)];
+        assert_eq!(string_arg(&args, 0, "name").unwrap(), "x");
+        assert_eq!(int_arg(&args, 1, "count").unwrap(), 3);
+        assert!(string_arg(&args, 1, "name").is_err());
+        assert!(int_arg(&args, 0, "count").is_err());
+        assert!(string_arg(&args, 5, "name").is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Voyages: the `Voyage` actor, the `VoyageManager` singleton and the
+//! `ScheduleManager` singleton.
+
+use kar::{Actor, ActorContext, Outcome};
+use kar_types::{KarError, KarResult, Value};
+
+use crate::types::{int_arg, refs, string_arg, VoyagePhase};
+
+/// The `Voyage` actor: owns the persistent state of a single ship voyage.
+///
+/// The actor id is the voyage id. Methods:
+///
+/// * `create(origin, destination, depart_day, duration, capacity)`,
+/// * `reserve(order, quantity)` — reserve capacity for an order, then tail
+///   call the origin depot to allocate containers (Fig. 6),
+/// * `advance(day)` — depart, sail or arrive depending on the simulated day,
+/// * `container_anomaly(container, order)` — forward a refrigeration anomaly
+///   to the affected order,
+/// * `info` — the voyage's persistent state.
+#[derive(Debug, Default)]
+pub struct Voyage;
+
+impl Voyage {
+    fn phase(ctx: &ActorContext<'_>) -> KarResult<Option<VoyagePhase>> {
+        Ok(ctx
+            .state()
+            .get("phase")?
+            .as_ref()
+            .and_then(Value::as_str)
+            .and_then(VoyagePhase::parse))
+    }
+
+    fn orders(ctx: &ActorContext<'_>) -> KarResult<Vec<String>> {
+        Ok(ctx
+            .state()
+            .get("orders")?
+            .and_then(|v| v.as_list().map(<[Value]>::to_vec))
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_owned))
+            .collect())
+    }
+
+    fn containers(ctx: &ActorContext<'_>) -> KarResult<Vec<String>> {
+        Ok(ctx
+            .state()
+            .get("containers")?
+            .and_then(|v| v.as_list().map(<[Value]>::to_vec))
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_owned))
+            .collect())
+    }
+}
+
+impl Actor for Voyage {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        let voyage_id = ctx.self_ref().actor_id().to_owned();
+        match method {
+            "create" => {
+                let origin = string_arg(args, 0, "origin")?;
+                let destination = string_arg(args, 1, "destination")?;
+                let depart_day = int_arg(args, 2, "depart day")?;
+                let duration = int_arg(args, 3, "duration")?;
+                let capacity = int_arg(args, 4, "capacity")?;
+                ctx.state().set_multi([
+                    ("origin".to_owned(), Value::from(origin)),
+                    ("destination".to_owned(), Value::from(destination)),
+                    ("depart_day".to_owned(), Value::from(depart_day)),
+                    ("duration".to_owned(), Value::from(duration)),
+                    ("capacity".to_owned(), Value::from(capacity)),
+                    ("free_capacity".to_owned(), Value::from(capacity)),
+                    ("position".to_owned(), Value::from(0)),
+                    ("phase".to_owned(), VoyagePhase::Scheduled.into()),
+                    ("orders".to_owned(), Value::List(vec![])),
+                    ("containers".to_owned(), Value::List(vec![])),
+                ])?;
+                Ok(Outcome::value(Value::from(voyage_id)))
+            }
+            "reserve" => {
+                let order = string_arg(args, 0, "order id")?;
+                let quantity = int_arg(args, 1, "quantity")?;
+                if Self::phase(ctx)? != Some(VoyagePhase::Scheduled) {
+                    return Err(KarError::application(format!(
+                        "voyage {voyage_id} is not open for booking"
+                    )));
+                }
+                let free = ctx.state().get("free_capacity")?.and_then(|v| v.as_i64()).unwrap_or(0);
+                if free < quantity {
+                    return Err(KarError::application(format!(
+                        "voyage {voyage_id} has only {free} free container slots"
+                    )));
+                }
+                ctx.state().set("free_capacity", Value::from(free - quantity))?;
+                let mut orders = ctx.state().get("orders")?.unwrap_or(Value::List(vec![]));
+                if let Value::List(list) = &mut orders {
+                    list.push(Value::from(order.clone()));
+                }
+                ctx.state().set("orders", orders)?;
+                let origin = ctx
+                    .state()
+                    .get("origin")?
+                    .and_then(|v| v.as_str().map(str::to_owned))
+                    .unwrap_or_default();
+                // Allocate containers at the origin depot (Fig. 6).
+                Ok(ctx.tail_call(
+                    &refs::depot(&origin),
+                    "reserve_containers",
+                    vec![Value::from(order), Value::from(voyage_id), Value::from(quantity)],
+                ))
+            }
+            "loaded" => {
+                // The depot confirms which containers were loaded for an order.
+                let containers = args.first().cloned().unwrap_or(Value::List(vec![]));
+                let mut all = ctx.state().get("containers")?.unwrap_or(Value::List(vec![]));
+                if let (Value::List(all_list), Some(new)) = (&mut all, containers.as_list()) {
+                    all_list.extend(new.iter().cloned());
+                }
+                ctx.state().set("containers", all)?;
+                Ok(Outcome::value(Value::Null))
+            }
+            "advance" => {
+                let day = int_arg(args, 0, "day")?;
+                let depart_day =
+                    ctx.state().get("depart_day")?.and_then(|v| v.as_i64()).unwrap_or(0);
+                let duration = ctx.state().get("duration")?.and_then(|v| v.as_i64()).unwrap_or(1);
+                match Self::phase(ctx)? {
+                    Some(VoyagePhase::Scheduled) if day >= depart_day => {
+                        // Send the (idempotent) notifications before flipping
+                        // the phase: if a failure interrupts this step, the
+                        // retry re-sends them instead of silently skipping
+                        // them.
+                        for order in Self::orders(ctx)? {
+                            ctx.tell(&refs::order(&order), "departed", vec![])?;
+                        }
+                        ctx.tell(
+                            &refs::voyage_manager(),
+                            "voyage_departed",
+                            vec![Value::from(voyage_id)],
+                        )?;
+                        ctx.state().set("phase", VoyagePhase::Departed.into())?;
+                    }
+                    Some(VoyagePhase::Departed) if day >= depart_day + duration => {
+                        let destination = ctx
+                            .state()
+                            .get("destination")?
+                            .and_then(|v| v.as_str().map(str::to_owned))
+                            .unwrap_or_default();
+                        let containers = Self::containers(ctx)?;
+                        for order in Self::orders(ctx)? {
+                            ctx.tell(&refs::order(&order), "delivered", vec![])?;
+                        }
+                        ctx.tell(
+                            &refs::depot(&destination),
+                            "receive_containers",
+                            vec![
+                                Value::from(
+                                    containers
+                                        .iter()
+                                        .map(|c| Value::from(c.clone()))
+                                        .collect::<Vec<_>>(),
+                                ),
+                                Value::from(voyage_id.clone()),
+                            ],
+                        )?;
+                        ctx.tell(
+                            &refs::anomaly_router(),
+                            "register_at_depot",
+                            vec![
+                                Value::from(
+                                    containers.into_iter().map(Value::from).collect::<Vec<_>>(),
+                                ),
+                                Value::from(destination),
+                            ],
+                        )?;
+                        ctx.tell(
+                            &refs::voyage_manager(),
+                            "voyage_arrived",
+                            vec![Value::from(voyage_id)],
+                        )?;
+                        // Flip the phase last (see the departure case).
+                        ctx.state().set("phase", VoyagePhase::Arrived.into())?;
+                    }
+                    Some(VoyagePhase::Arrived) => {
+                        // Re-assert the arrival to the manager: this makes the
+                        // manager's view converge even if the original
+                        // notification raced a failure.
+                        ctx.tell(
+                            &refs::voyage_manager(),
+                            "voyage_arrived",
+                            vec![Value::from(voyage_id)],
+                        )?;
+                    }
+                    Some(VoyagePhase::Departed) => {
+                        let position =
+                            ctx.state().get("position")?.and_then(|v| v.as_i64()).unwrap_or(0);
+                        ctx.state().set("position", Value::from(position + 1))?;
+                    }
+                    _ => {}
+                }
+                Ok(Outcome::value(Value::Null))
+            }
+            "container_anomaly" => {
+                let container = string_arg(args, 0, "container id")?;
+                let order = string_arg(args, 1, "order id")?;
+                if Self::orders(ctx)?.contains(&order) {
+                    ctx.tell(&refs::order(&order), "spoilt", vec![Value::from(container)])?;
+                }
+                Ok(Outcome::value(Value::Null))
+            }
+            "info" => Ok(Outcome::value(Value::Map(ctx.state().get_all()?))),
+            other => Err(KarError::application(format!("Voyage has no method {other}"))),
+        }
+    }
+}
+
+/// The `VoyageManager` singleton: keeps the voyage schedule, the simulated
+/// clock, and global voyage statistics.
+#[derive(Debug, Default)]
+pub struct VoyageManager;
+
+impl Actor for VoyageManager {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "create_voyage" => {
+                let voyage = string_arg(args, 0, "voyage id")?;
+                let origin = string_arg(args, 1, "origin")?;
+                let destination = string_arg(args, 2, "destination")?;
+                let depart_day = int_arg(args, 3, "depart day")?;
+                let duration = int_arg(args, 4, "duration")?;
+                let capacity = int_arg(args, 5, "capacity")?;
+                ctx.state().set(
+                    &format!("voyage/{voyage}"),
+                    Value::map([
+                        ("phase", VoyagePhase::Scheduled.into()),
+                        ("origin", Value::from(origin.clone())),
+                        ("destination", Value::from(destination.clone())),
+                        ("depart_day", Value::from(depart_day)),
+                        ("duration", Value::from(duration)),
+                        ("capacity", Value::from(capacity)),
+                    ]),
+                )?;
+                Ok(ctx.tail_call(
+                    &refs::voyage(&voyage),
+                    "create",
+                    vec![
+                        Value::from(origin),
+                        Value::from(destination),
+                        Value::from(depart_day),
+                        Value::from(duration),
+                        Value::from(capacity),
+                    ],
+                ))
+            }
+            "advance_time" => {
+                let day = int_arg(args, 0, "day")?;
+                let current = ctx.state().get("day")?.and_then(|v| v.as_i64()).unwrap_or(0);
+                let next = current.max(day);
+                ctx.state().set("day", Value::from(next))?;
+                for (field, _) in ctx.state().get_all()? {
+                    if let Some(voyage) = field.strip_prefix("voyage/") {
+                        ctx.tell(&refs::voyage(voyage), "advance", vec![Value::from(next)])?;
+                    }
+                }
+                Ok(Outcome::value(Value::from(next)))
+            }
+            "voyage_departed" | "voyage_arrived" => {
+                let voyage = string_arg(args, 0, "voyage id")?;
+                let phase = if method == "voyage_departed" {
+                    VoyagePhase::Departed
+                } else {
+                    VoyagePhase::Arrived
+                };
+                let field = format!("voyage/{voyage}");
+                if let Some(Value::Map(mut record)) = ctx.state().get(&field)? {
+                    record.insert("phase".to_owned(), phase.into());
+                    ctx.state().set(&field, Value::Map(record))?;
+                }
+                Ok(Outcome::value(Value::Null))
+            }
+            "current_day" => {
+                Ok(Outcome::value(ctx.state().get("day")?.unwrap_or(Value::Int(0))))
+            }
+            "list_voyages" => {
+                let state = ctx.state().get_all()?;
+                let voyages: Vec<(String, Value)> = state
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("voyage/"))
+                    .map(|(k, v)| (k.trim_start_matches("voyage/").to_owned(), v.clone()))
+                    .collect();
+                Ok(Outcome::value(Value::map(voyages)))
+            }
+            other => Err(KarError::application(format!("VoyageManager has no method {other}"))),
+        }
+    }
+}
+
+/// The `ScheduleManager` singleton: receives asynchronous schedule refresh
+/// notifications (the background tell of Fig. 6) and counts them.
+#[derive(Debug, Default)]
+pub struct ScheduleManager;
+
+impl Actor for ScheduleManager {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "update_voyage" => {
+                let voyage = args
+                    .first()
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown")
+                    .to_owned();
+                let field = format!("updates/{voyage}");
+                let count = ctx.state().get(&field)?.and_then(|v| v.as_i64()).unwrap_or(0);
+                ctx.state().set(&field, Value::from(count + 1))?;
+                let total = ctx.state().get("total")?.and_then(|v| v.as_i64()).unwrap_or(0);
+                ctx.state().set("total", Value::from(total + 1))?;
+                Ok(Outcome::value(Value::Null))
+            }
+            "updates" => Ok(Outcome::value(ctx.state().get("total")?.unwrap_or(Value::Int(0)))),
+            other => Err(KarError::application(format!("ScheduleManager has no method {other}"))),
+        }
+    }
+}

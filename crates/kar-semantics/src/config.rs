@@ -1,0 +1,281 @@
+//! Runtime configurations `R = F, E, S` of the message-passing semantics
+//! (§3.2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use kar_types::RequestId;
+
+use crate::term::{ActorName, Sequel, Val};
+
+/// A message in the flow: an invocation request `i ↦r a.m(v)` or a response
+/// `i ↦r v` (§3.2). The return address `r` is the caller's request id, or
+/// `None` for asynchronous invocations and the root request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Message {
+    /// An invocation request.
+    Request {
+        /// Request id.
+        id: RequestId,
+        /// Return address (caller request id).
+        return_to: Option<RequestId>,
+        /// Target actor.
+        target: ActorName,
+        /// Method name.
+        method: String,
+        /// Argument value.
+        arg: Val,
+    },
+    /// A response message.
+    Response {
+        /// Id of the completed request.
+        id: RequestId,
+        /// Return address (caller request id).
+        return_to: Option<RequestId>,
+        /// The result value.
+        value: Val,
+    },
+}
+
+impl Message {
+    /// The request id carried by the message.
+    pub fn id(&self) -> RequestId {
+        match self {
+            Message::Request { id, .. } | Message::Response { id, .. } => *id,
+        }
+    }
+
+    /// True if this is a request message.
+    pub fn is_request(&self) -> bool {
+        matches!(self, Message::Request { .. })
+    }
+
+    /// The return address of the message.
+    pub fn return_to(&self) -> Option<RequestId> {
+        match self {
+            Message::Request { return_to, .. } | Message::Response { return_to, .. } => *return_to,
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Message::Request { id, return_to, target, method, arg } => match return_to {
+                Some(r) => write!(f, "{id} ↦[{r}] {target}.{method}({arg})"),
+                None => write!(f, "{id} ↦ {target}.{method}({arg})"),
+            },
+            Message::Response { id, return_to, value } => match return_to {
+                Some(r) => write!(f, "{id} ↦[{r}] {value}"),
+                None => write!(f, "{id} ↦ {value}"),
+            },
+        }
+    }
+}
+
+/// The body of a process: a plain sequel `s` or a guarded sequel `i ⊲ s`
+/// waiting for the result of nested invocation `i` (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ProcessBody {
+    /// A running sequel.
+    Sequel(Sequel),
+    /// A sequel blocked on the response of a nested invocation.
+    Guarded {
+        /// The nested invocation this process waits for.
+        callee: RequestId,
+        /// The remainder of the caller.
+        sequel: Sequel,
+    },
+}
+
+/// A process of the ensemble: a body tagged with the actor it runs on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Process {
+    /// The actor the process runs on (the ensemble tag).
+    pub actor: ActorName,
+    /// The process body.
+    pub body: ProcessBody,
+}
+
+/// A runtime configuration `R = F, E, S`: the flow of messages, the ensemble
+/// of processes (keyed by request id), and the persistent actor state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Config {
+    /// The totally ordered flow of messages.
+    pub flow: Vec<Message>,
+    /// The ensemble: one process per running invocation, keyed by request id.
+    pub ensemble: BTreeMap<RequestId, Process>,
+    /// Persistent actor state; absent entries denote the default empty state
+    /// (`0` in this value domain).
+    pub store: BTreeMap<ActorName, Val>,
+    /// Next request id to allocate; the (call) and (tell) rules require ids
+    /// that were never used before.
+    pub next_id: u64,
+    /// Number of failures injected so far along this execution (used by the
+    /// explorer to bound the failure rule).
+    pub failures: u32,
+}
+
+impl Config {
+    /// The initial configuration `{i ↦ a.m(v)}, ∅, ∅`: a single root request
+    /// with no return address, an empty ensemble, an empty store.
+    pub fn initial(id: RequestId, target: impl Into<ActorName>, method: impl Into<String>, arg: Val) -> Self {
+        Config {
+            flow: vec![Message::Request {
+                id,
+                return_to: None,
+                target: target.into(),
+                method: method.into(),
+                arg,
+            }],
+            ensemble: BTreeMap::new(),
+            store: BTreeMap::new(),
+            next_id: id.as_u64() + 1,
+            failures: 0,
+        }
+    }
+
+    /// Allocates a fresh request id, never used before in this execution.
+    pub fn fresh_id(&mut self) -> RequestId {
+        let id = RequestId::from_raw(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// The persisted state of `actor` (default `0`).
+    pub fn state_of(&self, actor: &str) -> Val {
+        self.store.get(actor).copied().unwrap_or(0)
+    }
+
+    /// The request message with id `i`, if present in the flow.
+    pub fn request(&self, i: RequestId) -> Option<&Message> {
+        self.flow.iter().find(|m| m.is_request() && m.id() == i)
+    }
+
+    /// The response message with id `i`, if present in the flow.
+    pub fn response(&self, i: RequestId) -> Option<&Message> {
+        self.flow.iter().find(|m| !m.is_request() && m.id() == i)
+    }
+
+    /// Position of the request message with id `i` in the flow.
+    pub fn request_index(&self, i: RequestId) -> Option<usize> {
+        self.flow.iter().position(|m| m.is_request() && m.id() == i)
+    }
+
+    /// All request ids present in the flow, in flow order.
+    pub fn request_ids(&self) -> Vec<RequestId> {
+        self.flow.iter().filter(|m| m.is_request()).map(Message::id).collect()
+    }
+
+    /// True when the flow contains a response for `i`.
+    pub fn has_response(&self, i: RequestId) -> bool {
+        self.response(i).is_some()
+    }
+
+    /// Renders the configuration on several lines for debugging and
+    /// counter-example reporting.
+    pub fn pretty(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "flow:");
+        for m in &self.flow {
+            let _ = writeln!(out, "  {m}");
+        }
+        let _ = writeln!(out, "ensemble:");
+        for (id, p) in &self.ensemble {
+            match &p.body {
+                ProcessBody::Sequel(s) => {
+                    let _ = writeln!(out, "  {id} @{}: {s}", p.actor);
+                }
+                ProcessBody::Guarded { callee, sequel } => {
+                    let _ = writeln!(out, "  {id} @{}: {callee} ⊲ {sequel}", p.actor);
+                }
+            }
+        }
+        let _ = writeln!(out, "store:");
+        for (a, v) in &self.store {
+            let _ = writeln!(out, "  {a} = {v}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Env;
+
+    fn rid(i: u64) -> RequestId {
+        RequestId::from_raw(i)
+    }
+
+    #[test]
+    fn initial_config_matches_paper_shape() {
+        let c = Config::initial(rid(1), "A/a", "main", 42);
+        assert_eq!(c.flow.len(), 1);
+        assert!(c.ensemble.is_empty());
+        assert!(c.store.is_empty());
+        assert_eq!(c.state_of("A/a"), 0);
+        let m = &c.flow[0];
+        assert!(m.is_request());
+        assert_eq!(m.id(), rid(1));
+        assert_eq!(m.return_to(), None);
+    }
+
+    #[test]
+    fn request_and_response_lookup() {
+        let mut c = Config::initial(rid(1), "A/a", "main", 0);
+        c.flow.push(Message::Response { id: rid(2), return_to: Some(rid(1)), value: 7 });
+        assert!(c.request(rid(1)).is_some());
+        assert!(c.request(rid(2)).is_none());
+        assert!(c.response(rid(2)).is_some());
+        assert!(c.has_response(rid(2)));
+        assert!(!c.has_response(rid(1)));
+        assert_eq!(c.request_index(rid(1)), Some(0));
+        assert_eq!(c.request_index(rid(9)), None);
+        assert_eq!(c.request_ids(), vec![rid(1)]);
+    }
+
+    #[test]
+    fn pretty_renders_every_section() {
+        let mut c = Config::initial(rid(1), "A/a", "main", 0);
+        c.ensemble.insert(
+            rid(1),
+            Process {
+                actor: "A/a".into(),
+                body: ProcessBody::Sequel(Sequel { method: "main".into(), pc: 0, env: Env::entry(0) }),
+            },
+        );
+        c.ensemble.insert(
+            rid(2),
+            Process {
+                actor: "A/a".into(),
+                body: ProcessBody::Guarded {
+                    callee: rid(3),
+                    sequel: Sequel { method: "main".into(), pc: 1, env: Env::entry(0) },
+                },
+            },
+        );
+        c.store.insert("A/a".into(), 5);
+        let p = c.pretty();
+        assert!(p.contains("flow:"));
+        assert!(p.contains("ensemble:"));
+        assert!(p.contains("store:"));
+        assert!(p.contains("A/a = 5"));
+        assert!(p.contains("⊲"));
+    }
+
+    #[test]
+    fn message_display_includes_return_address() {
+        let m = Message::Request {
+            id: rid(2),
+            return_to: Some(rid(1)),
+            target: "B/b".into(),
+            method: "task".into(),
+            arg: 3,
+        };
+        assert_eq!(m.to_string(), "req-2 ↦[req-1] B/b.task(3)");
+        let m = Message::Response { id: rid(2), return_to: None, value: 3 };
+        assert_eq!(m.to_string(), "req-2 ↦ 3");
+    }
+}

@@ -1,0 +1,377 @@
+//! Exhaustive state-space exploration checking the paper's guarantees
+//! (Theorems 3.1–3.4) on every reachable configuration.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+use kar_types::RequestId;
+
+use crate::config::{Config, Message};
+use crate::program::Program;
+use crate::rules::{reachable, runnable, successors, RuleOptions};
+
+/// Options controlling an exploration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExploreOptions {
+    /// Maximum number of (failure) rule applications along one execution.
+    pub max_failures: u32,
+    /// Enable the optional (cancel) rule.
+    pub cancellation: bool,
+    /// Enable the optional (preempt) rule.
+    pub preemption: bool,
+    /// Stop after visiting this many configurations (the report is marked
+    /// truncated).
+    pub max_states: usize,
+    /// Also require that every terminal configuration (one with no enabled
+    /// transition) contains a response for the root request, i.e. bounded
+    /// failures cannot prevent the root invocation from completing.
+    pub check_root_completion: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_failures: 0,
+            cancellation: false,
+            preemption: false,
+            max_states: 200_000,
+            check_root_completion: true,
+        }
+    }
+}
+
+/// A violated invariant, with the offending configuration rendered for
+/// debugging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which guarantee was violated.
+    pub invariant: String,
+    /// Pretty-printed offending configuration.
+    pub config: String,
+}
+
+/// The result of an exploration run.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Number of distinct configurations visited.
+    pub states_explored: usize,
+    /// Number of transitions (edges) traversed.
+    pub transitions: usize,
+    /// Number of terminal configurations (no enabled transition).
+    pub terminal_states: usize,
+    /// Invariant violations found (empty means every checked guarantee held).
+    pub violations: Vec<Violation>,
+    /// True if the exploration stopped early because `max_states` was reached.
+    pub truncated: bool,
+}
+
+impl ExploreReport {
+    /// True if no violation was found and the exploration was complete.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty() && !self.truncated
+    }
+}
+
+/// An exhaustive explorer of the semantics for one program and one initial
+/// configuration.
+pub struct Explorer {
+    program: Arc<dyn Program>,
+    initial: Config,
+    root: RequestId,
+}
+
+impl Explorer {
+    /// Creates an explorer. The root request id is taken from the first
+    /// request of the initial configuration's flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial configuration has an empty flow.
+    pub fn new(program: Arc<dyn Program>, initial: Config) -> Self {
+        let root = initial
+            .flow
+            .iter()
+            .find(|m| m.is_request())
+            .map(Message::id)
+            .expect("initial configuration must contain a root request");
+        Explorer { program, initial, root }
+    }
+
+    /// The root request id used for the completion check.
+    pub fn root(&self) -> RequestId {
+        self.root
+    }
+
+    /// Exhaustively explores every configuration reachable from the initial
+    /// one under the enabled rules, checking the per-state invariants derived
+    /// from Theorems 3.1–3.4 (and optionally root completion at terminal
+    /// states).
+    pub fn run(&self, options: &ExploreOptions) -> ExploreReport {
+        let rule_options = RuleOptions {
+            max_failures: options.max_failures,
+            cancellation: options.cancellation,
+            preemption: options.preemption,
+        };
+        let mut report = ExploreReport::default();
+        let mut visited: HashSet<Config> = HashSet::new();
+        let mut queue: VecDeque<Config> = VecDeque::new();
+        visited.insert(self.initial.clone());
+        queue.push_back(self.initial.clone());
+
+        while let Some(config) = queue.pop_front() {
+            report.states_explored += 1;
+            self.check_invariants(&config, &mut report);
+
+            let next = successors(&config, &self.program, &rule_options);
+            if next.is_empty() {
+                report.terminal_states += 1;
+                if options.check_root_completion && !config.has_response(self.root) {
+                    report.violations.push(Violation {
+                        invariant: "root completion: terminal configuration without a response \
+                                    for the root request"
+                            .to_owned(),
+                        config: config.pretty(),
+                    });
+                }
+            }
+            for (_, succ) in next {
+                report.transitions += 1;
+                if visited.len() >= options.max_states {
+                    report.truncated = true;
+                    continue;
+                }
+                if visited.insert(succ.clone()) {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        report
+    }
+
+    /// Performs `walks` random walks of at most `max_steps` transitions each,
+    /// checking the same invariants as [`Explorer::run`] along the way. This
+    /// scales to programs whose full state space is too large to enumerate.
+    pub fn random_walks(
+        &self,
+        options: &ExploreOptions,
+        walks: usize,
+        max_steps: usize,
+        seed: u64,
+    ) -> ExploreReport {
+        let rule_options = RuleOptions {
+            max_failures: options.max_failures,
+            cancellation: options.cancellation,
+            preemption: options.preemption,
+        };
+        let mut report = ExploreReport::default();
+        let mut rng = seed.max(1);
+        let mut next_rand = move || {
+            // xorshift64*: deterministic, dependency-free pseudo randomness.
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for _ in 0..walks {
+            let mut config = self.initial.clone();
+            for _ in 0..max_steps {
+                report.states_explored += 1;
+                self.check_invariants(&config, &mut report);
+                let next = successors(&config, &self.program, &rule_options);
+                if next.is_empty() {
+                    report.terminal_states += 1;
+                    if options.check_root_completion && !config.has_response(self.root) {
+                        report.violations.push(Violation {
+                            invariant: "root completion: terminal configuration without a \
+                                        response for the root request"
+                                .to_owned(),
+                            config: config.pretty(),
+                        });
+                    }
+                    break;
+                }
+                report.transitions += 1;
+                let pick = (next_rand() as usize) % next.len();
+                config = next.into_iter().nth(pick).expect("index in range").1;
+            }
+        }
+        report
+    }
+
+    /// Per-configuration invariants derived from the paper's theorems.
+    fn check_invariants(&self, config: &Config, report: &mut ExploreReport) {
+        // Theorem 3.1 (per-state form): every running process corresponds to
+        // a request still present in the flow and reachable from its actor.
+        for (id, process) in &config.ensemble {
+            match config.request(*id) {
+                None => report.violations.push(Violation {
+                    invariant: format!(
+                        "theorem 3.1: process {id} is running but its request left the flow"
+                    ),
+                    config: config.pretty(),
+                }),
+                Some(_) => {
+                    if !reachable(*id, &process.actor, &config.flow) {
+                        report.violations.push(Violation {
+                            invariant: format!(
+                                "theorem 3.1: process {id} on {} is running but not reachable",
+                                process.actor
+                            ),
+                            config: config.pretty(),
+                        });
+                    }
+                }
+            }
+        }
+        // Theorem 3.2: once a response for id exists, no process and no
+        // request with that id may exist.
+        for message in &config.flow {
+            if let Message::Response { id, .. } = message {
+                if config.ensemble.contains_key(id) {
+                    report.violations.push(Violation {
+                        invariant: format!(
+                            "theorem 3.2: request {id} completed but a process with its id is \
+                             still running"
+                        ),
+                        config: config.pretty(),
+                    });
+                }
+                if config.request(*id).is_some() {
+                    report.violations.push(Violation {
+                        invariant: format!(
+                            "theorem 3.2: request {id} has both a response and a pending request"
+                        ),
+                        config: config.pretty(),
+                    });
+                }
+            }
+        }
+        // Theorem 3.3: at most one process and at most one request message
+        // per id (no concurrent retries of the same invocation).
+        let mut request_ids = HashSet::new();
+        for message in &config.flow {
+            if message.is_request() && !request_ids.insert(message.id()) {
+                report.violations.push(Violation {
+                    invariant: format!(
+                        "theorem 3.3: two request messages with id {} coexist",
+                        message.id()
+                    ),
+                    config: config.pretty(),
+                });
+            }
+        }
+        // Theorem 3.4: a caller with a pending nested invocation is never
+        // runnable (the past cannot leak into the present).
+        for message in &config.flow {
+            if let Message::Request { return_to: Some(caller), .. } = message {
+                if runnable(*caller, &config.flow) {
+                    report.violations.push(Violation {
+                        invariant: format!(
+                            "theorem 3.4: caller {caller} is runnable while a nested request \
+                             addressed to it is still queued"
+                        ),
+                        config: config.pretty(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Expr, Op, ProgramBuilder};
+
+    fn rid(i: u64) -> RequestId {
+        RequestId::from_raw(i)
+    }
+
+    fn simple_call_program() -> Arc<dyn Program> {
+        ProgramBuilder::new()
+            .method(
+                "main",
+                vec![
+                    Op::Call { target: "B".into(), method: "task".into(), arg: Expr::Arg },
+                    Op::Return(Expr::Local),
+                ],
+            )
+            .method("task", vec![Op::Return(Expr::ArgPlus(1))])
+            .build()
+    }
+
+    #[test]
+    fn failure_free_exploration_completes_the_root() {
+        let explorer =
+            Explorer::new(simple_call_program(), Config::initial(rid(1), "A", "main", 1));
+        let report = explorer.run(&ExploreOptions::default());
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        assert!(report.states_explored > 3);
+        assert!(report.terminal_states >= 1);
+        assert_eq!(explorer.root(), rid(1));
+    }
+
+    #[test]
+    fn exploration_with_failures_still_satisfies_all_theorems() {
+        let explorer =
+            Explorer::new(simple_call_program(), Config::initial(rid(1), "A", "main", 1));
+        let report = explorer.run(&ExploreOptions { max_failures: 2, ..Default::default() });
+        assert!(report.holds(), "violations: {:?}", report.violations.first());
+        // Failures multiply the reachable configurations considerably.
+        let baseline = explorer.run(&ExploreOptions::default());
+        assert!(report.states_explored > baseline.states_explored);
+    }
+
+    #[test]
+    fn truncated_exploration_is_reported() {
+        let explorer =
+            Explorer::new(simple_call_program(), Config::initial(rid(1), "A", "main", 1));
+        let report = explorer.run(&ExploreOptions {
+            max_failures: 1,
+            max_states: 3,
+            ..Default::default()
+        });
+        assert!(report.truncated);
+        assert!(!report.holds());
+    }
+
+    #[test]
+    fn random_walks_visit_states_and_respect_invariants() {
+        let explorer =
+            Explorer::new(simple_call_program(), Config::initial(rid(1), "A", "main", 1));
+        let report = explorer.random_walks(
+            &ExploreOptions { max_failures: 1, ..Default::default() },
+            20,
+            200,
+            42,
+        );
+        assert!(report.violations.is_empty(), "violations: {:?}", report.violations.first());
+        assert!(report.states_explored > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "root request")]
+    fn explorer_requires_a_root_request() {
+        let _ = Explorer::new(simple_call_program(), Config::default());
+    }
+
+    #[test]
+    fn a_broken_program_is_caught_by_the_completion_check() {
+        // A program whose method calls a method that does not exist: the call
+        // can never complete, so with completion checking the explorer
+        // reports a terminal state without a root response.
+        let program = ProgramBuilder::new()
+            .method(
+                "main",
+                vec![
+                    Op::Call { target: "B".into(), method: "missing".into(), arg: Expr::Arg },
+                    Op::Return(Expr::Local),
+                ],
+            )
+            .build();
+        let explorer = Explorer::new(program, Config::initial(rid(1), "A", "main", 1));
+        let report = explorer.run(&ExploreOptions::default());
+        assert!(!report.holds());
+        assert!(report.violations.iter().any(|v| v.invariant.contains("root completion")));
+    }
+}

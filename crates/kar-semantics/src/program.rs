@@ -1,0 +1,349 @@
+//! Base language programs (§3.1): an abstract transition relation plus a
+//! small operation-list DSL for writing them conveniently.
+//!
+//! The paper abstracts the base language as a set of valid transitions
+//! `T/p → T'/p'` with seven forms (*begin*, *end*, *step*, *return*, *call*,
+//! *tell*, *tail-call*). A [`Program`] provides exactly that relation. The
+//! [`ProgramBuilder`] DSL generates it from method bodies written as lists of
+//! [`Op`]s, which is how the sample programs in [`crate::programs`] and the
+//! test suites define actors.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::term::{ActorName, Env, Sequel, Term, Val};
+
+/// A pure expression evaluated against the local environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A constant.
+    Const(Val),
+    /// The method argument.
+    Arg,
+    /// The local accumulator.
+    Local,
+    /// `local + c`.
+    LocalPlus(Val),
+    /// `arg + c`.
+    ArgPlus(Val),
+}
+
+impl Expr {
+    /// Evaluates the expression in `env`.
+    pub fn eval(&self, env: &Env) -> Val {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Arg => env.arg,
+            Expr::Local => env.local,
+            Expr::LocalPlus(c) => env.local + c,
+            Expr::ArgPlus(c) => env.arg + c,
+        }
+    }
+}
+
+/// One operation of a method body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `local := state` — a (step) transition reading the actor state.
+    ReadState,
+    /// `state := expr` — a (step) transition writing the actor state.
+    WriteState(Expr),
+    /// `local := expr` — a (step) transition updating the local accumulator.
+    SetLocal(Expr),
+    /// A nested blocking call; the result is stored in `local` when it
+    /// arrives (a (call) transition then a (return) transition).
+    Call {
+        /// Callee actor.
+        target: ActorName,
+        /// Callee method.
+        method: String,
+        /// Callee argument expression.
+        arg: Expr,
+    },
+    /// An asynchronous invocation (a (tell) transition).
+    Tell {
+        /// Callee actor.
+        target: ActorName,
+        /// Callee method.
+        method: String,
+        /// Callee argument expression.
+        arg: Expr,
+    },
+    /// A tail call (a (tail-call) transition); the method completes.
+    TailCall {
+        /// Callee actor.
+        target: ActorName,
+        /// Callee method.
+        method: String,
+        /// Callee argument expression.
+        arg: Expr,
+    },
+    /// Return a value (an (end) transition); the method completes.
+    Return(Expr),
+}
+
+/// The base program: the abstract transition relation of §3.1.
+///
+/// The relation is consulted with terms of the forms `m(v)` (to apply a
+/// *begin* transition), `s` (to apply *step*, *end*, *call*, *tell* or
+/// *tail-call*), and `v ⊲ s` (to apply *return*). It returns every possible
+/// successor `(T', p')`; an empty vector means the term is stuck.
+pub trait Program: Send + Sync {
+    /// All transitions `T/p → T'/p'` enabled for `actor` at `(term, state)`.
+    fn transitions(&self, actor: &str, term: &Term, state: Val) -> Vec<(Term, Val)>;
+
+    /// The method names defined for `actor` (used by diagnostics).
+    fn methods(&self, actor: &str) -> Vec<String>;
+}
+
+/// A [`Program`] built from per-method operation lists.
+///
+/// Method bodies are shared by every actor (the calculus does not need
+/// classes; distinct instances are distinguished by their state), which keeps
+/// example programs short.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    methods: HashMap<String, Vec<Op>>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Defines (or replaces) a method body.
+    #[must_use]
+    pub fn method(mut self, name: impl Into<String>, body: Vec<Op>) -> Self {
+        self.methods.insert(name.into(), body);
+        self
+    }
+
+    /// Finishes the program.
+    pub fn build(self) -> Arc<dyn Program> {
+        Arc::new(OpProgram { methods: self.methods })
+    }
+}
+
+#[derive(Debug)]
+struct OpProgram {
+    methods: HashMap<String, Vec<Op>>,
+}
+
+impl OpProgram {
+    /// Executes the operation at `sequel.pc`, producing the successor term.
+    fn step_sequel(&self, sequel: &Sequel, state: Val) -> Vec<(Term, Val)> {
+        let Some(body) = self.methods.get(&sequel.method) else {
+            return Vec::new();
+        };
+        let Some(op) = body.get(sequel.pc) else {
+            // Falling off the end of a method returns its local accumulator.
+            return vec![(Term::Value(sequel.env.local), state)];
+        };
+        let next = |env: Env| Sequel { method: sequel.method.clone(), pc: sequel.pc + 1, env };
+        match op {
+            Op::ReadState => {
+                let env = Env { arg: sequel.env.arg, local: state };
+                vec![(Term::Sequel(next(env)), state)]
+            }
+            Op::WriteState(expr) => {
+                let new_state = expr.eval(&sequel.env);
+                vec![(Term::Sequel(next(sequel.env)), new_state)]
+            }
+            Op::SetLocal(expr) => {
+                let env = Env { arg: sequel.env.arg, local: expr.eval(&sequel.env) };
+                vec![(Term::Sequel(next(env)), state)]
+            }
+            Op::Call { target, method, arg } => vec![(
+                Term::CallThen {
+                    target: target.clone(),
+                    method: method.clone(),
+                    arg: arg.eval(&sequel.env),
+                    sequel: next(sequel.env),
+                },
+                state,
+            )],
+            Op::Tell { target, method, arg } => vec![(
+                Term::TellThen {
+                    target: target.clone(),
+                    method: method.clone(),
+                    arg: arg.eval(&sequel.env),
+                    sequel: next(sequel.env),
+                },
+                state,
+            )],
+            Op::TailCall { target, method, arg } => vec![(
+                Term::TailCall {
+                    target: target.clone(),
+                    method: method.clone(),
+                    arg: arg.eval(&sequel.env),
+                },
+                state,
+            )],
+            Op::Return(expr) => vec![(Term::Value(expr.eval(&sequel.env)), state)],
+        }
+    }
+}
+
+impl Program for OpProgram {
+    fn transitions(&self, _actor: &str, term: &Term, state: Val) -> Vec<(Term, Val)> {
+        match term {
+            Term::Invoke { method, arg } => {
+                if self.methods.contains_key(method) {
+                    // (begin): m(v)/p → s/p with s the entry point of the body.
+                    vec![(
+                        Term::Sequel(Sequel { method: method.clone(), pc: 0, env: Env::entry(*arg) }),
+                        state,
+                    )]
+                } else {
+                    Vec::new()
+                }
+            }
+            Term::Sequel(sequel) => self.step_sequel(sequel, state),
+            Term::ResumeThen { value, sequel } => {
+                // (return): v ⊲ s/p → s'/p where the received value lands in
+                // the local accumulator.
+                let env = Env { arg: sequel.env.arg, local: *value };
+                vec![(
+                    Term::Sequel(Sequel { method: sequel.method.clone(), pc: sequel.pc, env }),
+                    state,
+                )]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn methods(&self, _actor: &str) -> Vec<String> {
+        let mut names: Vec<String> = self.methods.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn getset_program() -> Arc<dyn Program> {
+        // The Latch getset example of §3.1: read the state into local, write
+        // the argument to the state, return the previous value.
+        ProgramBuilder::new()
+            .method(
+                "getset",
+                vec![Op::ReadState, Op::WriteState(Expr::Arg), Op::Return(Expr::Local)],
+            )
+            .build()
+    }
+
+    #[test]
+    fn expressions_evaluate_against_env() {
+        let env = Env { arg: 10, local: 3 };
+        assert_eq!(Expr::Const(7).eval(&env), 7);
+        assert_eq!(Expr::Arg.eval(&env), 10);
+        assert_eq!(Expr::Local.eval(&env), 3);
+        assert_eq!(Expr::LocalPlus(1).eval(&env), 4);
+        assert_eq!(Expr::ArgPlus(-2).eval(&env), 8);
+    }
+
+    #[test]
+    fn begin_step_end_chain_for_getset() {
+        let program = getset_program();
+        // begin
+        let t0 = Term::Invoke { method: "getset".into(), arg: 42 };
+        let (t1, p1) = program.transitions("L/l", &t0, 7).pop().unwrap();
+        assert_eq!(p1, 7);
+        // step: read state into local
+        let (t2, p2) = program.transitions("L/l", &t1, 7).pop().unwrap();
+        assert_eq!(p2, 7);
+        // step: write arg to state
+        let (t3, p3) = program.transitions("L/l", &t2, 7).pop().unwrap();
+        assert_eq!(p3, 42);
+        // end: return previous value
+        let (t4, p4) = program.transitions("L/l", &t3, p3).pop().unwrap();
+        assert_eq!(p4, 42);
+        assert_eq!(t4, Term::Value(7));
+    }
+
+    #[test]
+    fn unknown_method_or_terminal_terms_have_no_transitions() {
+        let program = getset_program();
+        assert!(program
+            .transitions("L/l", &Term::Invoke { method: "missing".into(), arg: 0 }, 0)
+            .is_empty());
+        assert!(program.transitions("L/l", &Term::Value(1), 0).is_empty());
+        let sequel = Sequel { method: "missing".into(), pc: 0, env: Env::entry(0) };
+        assert!(program.transitions("L/l", &Term::Sequel(sequel), 0).is_empty());
+    }
+
+    #[test]
+    fn resume_injects_result_into_local() {
+        let program = ProgramBuilder::new()
+            .method(
+                "main",
+                vec![
+                    Op::Call { target: "B/b".into(), method: "task".into(), arg: Expr::Arg },
+                    Op::Return(Expr::Local),
+                ],
+            )
+            .method("task", vec![Op::Return(Expr::ArgPlus(1))])
+            .build();
+        let t0 = Term::Invoke { method: "main".into(), arg: 5 };
+        let (t1, _) = program.transitions("A/a", &t0, 0).pop().unwrap();
+        let (t2, _) = program.transitions("A/a", &t1, 0).pop().unwrap();
+        let Term::CallThen { target, method, arg, sequel } = t2 else {
+            panic!("expected a call term");
+        };
+        assert_eq!(target, "B/b");
+        assert_eq!(method, "task");
+        assert_eq!(arg, 5);
+        // Simulate the response arriving.
+        let resume = Term::ResumeThen { value: 6, sequel };
+        let (t3, _) = program.transitions("A/a", &resume, 0).pop().unwrap();
+        let (t4, _) = program.transitions("A/a", &t3, 0).pop().unwrap();
+        assert_eq!(t4, Term::Value(6));
+    }
+
+    #[test]
+    fn tell_and_tailcall_ops_produce_matching_terms() {
+        let program = ProgramBuilder::new()
+            .method(
+                "m",
+                vec![
+                    Op::Tell { target: "B/b".into(), method: "log".into(), arg: Expr::Const(1) },
+                    Op::TailCall { target: "C/c".into(), method: "next".into(), arg: Expr::Const(2) },
+                ],
+            )
+            .build();
+        let (t1, _) = program
+            .transitions("A/a", &Term::Invoke { method: "m".into(), arg: 0 }, 0)
+            .pop()
+            .unwrap();
+        let (t2, _) = program.transitions("A/a", &t1, 0).pop().unwrap();
+        assert!(matches!(t2, Term::TellThen { .. }));
+        let Term::TellThen { sequel, .. } = t2 else { unreachable!() };
+        let (t3, _) = program.transitions("A/a", &Term::Sequel(sequel), 0).pop().unwrap();
+        assert!(matches!(t3, Term::TailCall { ref target, .. } if target == "C/c"));
+    }
+
+    #[test]
+    fn falling_off_the_end_returns_local() {
+        let program =
+            ProgramBuilder::new().method("m", vec![Op::SetLocal(Expr::Const(9))]).build();
+        let (t1, _) = program
+            .transitions("A/a", &Term::Invoke { method: "m".into(), arg: 0 }, 0)
+            .pop()
+            .unwrap();
+        let (t2, _) = program.transitions("A/a", &t1, 0).pop().unwrap();
+        let (t3, _) = program.transitions("A/a", &t2, 0).pop().unwrap();
+        assert_eq!(t3, Term::Value(9));
+    }
+
+    #[test]
+    fn methods_listing_is_sorted() {
+        let program = ProgramBuilder::new()
+            .method("b", vec![])
+            .method("a", vec![])
+            .build();
+        assert_eq!(program.methods("X/x"), vec!["a".to_string(), "b".to_string()]);
+    }
+}

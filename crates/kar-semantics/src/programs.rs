@@ -1,0 +1,291 @@
+//! The example programs used in the paper, expressed in the operation DSL.
+//!
+//! These are used by the crate's own test suite, by the integration tests at
+//! the workspace root, and by downstream documentation examples.
+
+use std::sync::Arc;
+
+use kar_types::RequestId;
+
+use crate::config::Config;
+use crate::program::{Expr, Op, Program, ProgramBuilder};
+
+/// Root request id used by all the initial configurations below.
+pub const ROOT: RequestId = RequestId::from_raw(1);
+
+/// The `Latch` actor of §2 / §3.1: `getset(v)` swaps the actor state with `v`
+/// and returns the previous value.
+pub fn latch() -> Arc<dyn Program> {
+    ProgramBuilder::new()
+        .method("getset", vec![Op::ReadState, Op::WriteState(Expr::Arg), Op::Return(Expr::Local)])
+        .method("set", vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Const(0))])
+        .method("get", vec![Op::ReadState, Op::Return(Expr::Local)])
+        .build()
+}
+
+/// Initial configuration invoking `Latch.getset(42)`.
+pub fn latch_initial() -> Config {
+    Config::initial(ROOT, "Latch/l", "getset", 42)
+}
+
+/// The reentrant callback example of §2.2: `A.main(v)` calls `B.task(v)`,
+/// which calls back `A.callback(v)`; the callback runs reentrantly while
+/// `main` is suspended.
+pub fn reentrant_callback() -> Arc<dyn Program> {
+    ProgramBuilder::new()
+        .method(
+            "main",
+            vec![
+                Op::Call { target: "B/b".into(), method: "task".into(), arg: Expr::Arg },
+                Op::Return(Expr::Local),
+            ],
+        )
+        .method(
+            "task",
+            vec![
+                Op::Call { target: "A/a".into(), method: "callback".into(), arg: Expr::Arg },
+                Op::Return(Expr::Local),
+            ],
+        )
+        .method("callback", vec![Op::Return(Expr::ArgPlus(0))])
+        .build()
+}
+
+/// Initial configuration invoking `A.main(42)`.
+pub fn reentrant_callback_initial() -> Config {
+    Config::initial(ROOT, "A/a", "main", 42)
+}
+
+/// The fault-tolerant `Accumulator` of §2.3: `incr()` reads the value from
+/// the store (the actor state) and makes a tail call to `set(value + 1)`,
+/// which writes it back. The tail call guarantees exactly-once increments.
+pub fn accumulator() -> Arc<dyn Program> {
+    ProgramBuilder::new()
+        .method(
+            "incr",
+            vec![
+                Op::ReadState,
+                Op::TailCall {
+                    target: "Acc/a".into(),
+                    method: "set".into(),
+                    arg: Expr::LocalPlus(1),
+                },
+            ],
+        )
+        .method("set", vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Const(1))])
+        .method("get", vec![Op::ReadState, Op::Return(Expr::Local)])
+        .build()
+}
+
+/// Initial configuration invoking `Acc.incr()`.
+pub fn accumulator_initial() -> Config {
+    Config::initial(ROOT, "Acc/a", "incr", 0)
+}
+
+/// The *incorrect* accumulator variant of §2.3 that reads and writes from a
+/// single method body (`incr` performs both the read and the write). Under a
+/// failure injected between the write and the return, the retry repeats the
+/// write with a re-read value — the classic double increment. This program is
+/// used by tests to demonstrate that the semantics does not magically make
+/// non-tail-call code exactly-once.
+pub fn broken_accumulator() -> Arc<dyn Program> {
+    ProgramBuilder::new()
+        .method(
+            "incr",
+            vec![Op::ReadState, Op::WriteState(Expr::LocalPlus(1)), Op::Return(Expr::Const(1))],
+        )
+        .method("get", vec![Op::ReadState, Op::Return(Expr::Local)])
+        .build()
+}
+
+/// Initial configuration invoking the broken `Acc.incr()`.
+pub fn broken_accumulator_initial() -> Config {
+    Config::initial(ROOT, "Acc/a", "incr", 0)
+}
+
+/// A three-step chain of tail calls across three different actors, modelling
+/// the state-machine / business-process pattern of §2.4 (an order workflow
+/// hopping from actor to actor).
+pub fn tail_chain() -> Arc<dyn Program> {
+    ProgramBuilder::new()
+        .method(
+            "start",
+            vec![
+                Op::WriteState(Expr::Const(1)),
+                Op::TailCall { target: "Payment/p".into(), method: "pay".into(), arg: Expr::Arg },
+            ],
+        )
+        .method(
+            "pay",
+            vec![
+                Op::WriteState(Expr::Arg),
+                Op::TailCall { target: "Shipment/s".into(), method: "ship".into(), arg: Expr::ArgPlus(1) },
+            ],
+        )
+        .method("ship", vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Arg)])
+        .build()
+}
+
+/// Initial configuration invoking `Order.start(10)`.
+pub fn tail_chain_initial() -> Config {
+    Config::initial(ROOT, "Order/o", "start", 10)
+}
+
+/// A caller that uses a nested call (instead of a tail call) for the last
+/// step, matching the second incorrect `incr` variant of §2.3. Retrying the
+/// caller after the callee completed repeats the callee.
+pub fn nested_instead_of_tail() -> Arc<dyn Program> {
+    ProgramBuilder::new()
+        .method(
+            "incr",
+            vec![
+                Op::ReadState,
+                Op::Call { target: "Acc/a".into(), method: "set".into(), arg: Expr::LocalPlus(1) },
+                Op::Return(Expr::Local),
+            ],
+        )
+        .method("set", vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Const(1))])
+        .build()
+}
+
+/// Initial configuration for [`nested_instead_of_tail`].
+pub fn nested_instead_of_tail_initial() -> Config {
+    Config::initial(ROOT, "Acc/a", "incr", 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{ExploreOptions, Explorer};
+
+    fn explore(program: Arc<dyn Program>, initial: Config, failures: u32) -> crate::ExploreReport {
+        let explorer = Explorer::new(program, initial);
+        explorer.run(&ExploreOptions { max_failures: failures, ..Default::default() })
+    }
+
+    #[test]
+    fn latch_satisfies_theorems_without_and_with_failures() {
+        assert!(explore(latch(), latch_initial(), 0).holds());
+        assert!(explore(latch(), latch_initial(), 2).holds());
+    }
+
+    #[test]
+    fn reentrant_callback_satisfies_theorems_with_failures() {
+        let report = explore(reentrant_callback(), reentrant_callback_initial(), 1);
+        assert!(report.holds(), "violation: {:?}", report.violations.first());
+        // The state space with a failure is significantly larger.
+        assert!(report.states_explored > 50);
+    }
+
+    #[test]
+    fn accumulator_increments_exactly_once_despite_failures() {
+        // Explore every execution with up to two injected failures and check
+        // that whenever the root invocation has completed the accumulator's
+        // state is exactly 1 (the §2.3 exactly-once increment guarantee).
+        let explorer = Explorer::new(accumulator(), accumulator_initial());
+        let report = explorer.run(&ExploreOptions { max_failures: 2, ..Default::default() });
+        assert!(report.holds(), "violation: {:?}", report.violations.first());
+
+        // Re-run the exploration manually to inspect terminal stores.
+        let options = crate::rules::RuleOptions { max_failures: 2, ..Default::default() };
+        let mut stack = vec![accumulator_initial()];
+        let mut seen = std::collections::HashSet::new();
+        let program = accumulator();
+        let mut terminals = 0;
+        while let Some(config) = stack.pop() {
+            if !seen.insert(config.clone()) {
+                continue;
+            }
+            let succ = crate::rules::successors(&config, &program, &options);
+            if succ.is_empty() {
+                terminals += 1;
+                assert!(config.has_response(ROOT), "terminal without completion");
+                assert_eq!(config.state_of("Acc/a"), 1, "increment applied other than once");
+            }
+            stack.extend(succ.into_iter().map(|(_, c)| c));
+        }
+        assert!(terminals > 0);
+    }
+
+    #[test]
+    fn broken_accumulator_can_double_increment_under_failures() {
+        // The single-method read/modify/write variant is *not* exactly-once:
+        // some execution with one failure ends with the state at 2.
+        let options = crate::rules::RuleOptions { max_failures: 1, ..Default::default() };
+        let program = broken_accumulator();
+        let mut stack = vec![broken_accumulator_initial()];
+        let mut seen = std::collections::HashSet::new();
+        let mut saw_double = false;
+        while let Some(config) = stack.pop() {
+            if !seen.insert(config.clone()) {
+                continue;
+            }
+            let succ = crate::rules::successors(&config, &program, &options);
+            if succ.is_empty() && config.state_of("Acc/a") >= 2 {
+                saw_double = true;
+            }
+            stack.extend(succ.into_iter().map(|(_, c)| c));
+        }
+        assert!(saw_double, "expected at least one double-increment execution");
+    }
+
+    #[test]
+    fn nested_instead_of_tail_can_also_double_increment() {
+        let options = crate::rules::RuleOptions { max_failures: 1, ..Default::default() };
+        let program = nested_instead_of_tail();
+        let mut stack = vec![nested_instead_of_tail_initial()];
+        let mut seen = std::collections::HashSet::new();
+        let mut saw_double = false;
+        while let Some(config) = stack.pop() {
+            if !seen.insert(config.clone()) {
+                continue;
+            }
+            let succ = crate::rules::successors(&config, &program, &options);
+            if succ.is_empty() && config.state_of("Acc/a") >= 2 {
+                saw_double = true;
+            }
+            stack.extend(succ.into_iter().map(|(_, c)| c));
+        }
+        assert!(saw_double, "expected the nested-call variant to admit double increments");
+    }
+
+    #[test]
+    fn tail_chain_completes_and_reaches_every_actor() {
+        let explorer = Explorer::new(tail_chain(), tail_chain_initial());
+        let report = explorer.run(&ExploreOptions { max_failures: 1, ..Default::default() });
+        assert!(report.holds(), "violation: {:?}", report.violations.first());
+
+        // In the failure-free terminal state all three actors were updated.
+        let options = crate::rules::RuleOptions::default();
+        let program = tail_chain();
+        let mut config = tail_chain_initial();
+        loop {
+            let mut succ = crate::rules::successors(&config, &program, &options);
+            if succ.is_empty() {
+                break;
+            }
+            config = succ.remove(0).1;
+        }
+        assert!(config.has_response(ROOT));
+        assert_eq!(config.state_of("Order/o"), 1);
+        assert_eq!(config.state_of("Payment/p"), 10);
+        assert_eq!(config.state_of("Shipment/s"), 11);
+    }
+
+    #[test]
+    fn cancellation_and_preemption_preserve_the_theorems() {
+        let explorer = Explorer::new(reentrant_callback(), reentrant_callback_initial());
+        let with_cancel = explorer.run(&ExploreOptions {
+            max_failures: 1,
+            cancellation: true,
+            ..Default::default()
+        });
+        assert!(with_cancel.holds(), "violation: {:?}", with_cancel.violations.first());
+        let with_preempt = explorer.run(&ExploreOptions {
+            max_failures: 1,
+            preemption: true,
+            ..Default::default()
+        });
+        assert!(with_preempt.holds(), "violation: {:?}", with_preempt.violations.first());
+    }
+}

@@ -1,0 +1,805 @@
+//! The transition rules of the message-passing semantics (Fig. 3), the
+//! failure rule (§3.3), the `reachable`/`runnable` predicates (§3.4) and the
+//! optional cancellation and preemption rules (Fig. 4).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use kar_types::RequestId;
+
+use crate::config::{Config, Message, Process, ProcessBody};
+use crate::program::Program;
+use crate::term::{ActorName, Term};
+
+/// Identifies which rule produced a successor configuration. Carried along
+/// explored edges so counter-examples can be replayed and reported.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RuleKind {
+    /// (begin) — start executing a runnable pending request.
+    Begin(RequestId),
+    /// (step) — an internal step of a running invocation.
+    Step(RequestId),
+    /// (end) — an invocation returns a value.
+    End(RequestId),
+    /// (call) — a nested blocking invocation is issued.
+    Call {
+        /// The caller.
+        caller: RequestId,
+        /// The freshly allocated callee request id.
+        callee: RequestId,
+    },
+    /// (tell) — an asynchronous invocation is issued.
+    Tell {
+        /// The caller.
+        caller: RequestId,
+        /// The freshly allocated callee request id.
+        callee: RequestId,
+    },
+    /// (return) — a blocked caller consumes the response of its callee.
+    Return(RequestId),
+    /// (tail-self) — a tail call to the same actor, retaining the lock.
+    TailSelf(RequestId),
+    /// (tail-other) — a tail call to a different actor.
+    TailOther(RequestId),
+    /// (failure) — every process running on the given actor is lost.
+    Failure(ActorName),
+    /// (cancel) — a runnable pending nested request whose caller failed is
+    /// removed from the flow before it starts.
+    Cancel(RequestId),
+    /// (preempt) — a runnable nested request whose (transitive) caller failed
+    /// is removed, interrupting it if it is running.
+    Preempt(RequestId),
+}
+
+impl fmt::Display for RuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleKind::Begin(i) => write!(f, "begin({i})"),
+            RuleKind::Step(i) => write!(f, "step({i})"),
+            RuleKind::End(i) => write!(f, "end({i})"),
+            RuleKind::Call { caller, callee } => write!(f, "call({caller}→{callee})"),
+            RuleKind::Tell { caller, callee } => write!(f, "tell({caller}→{callee})"),
+            RuleKind::Return(i) => write!(f, "return({i})"),
+            RuleKind::TailSelf(i) => write!(f, "tail-self({i})"),
+            RuleKind::TailOther(i) => write!(f, "tail-other({i})"),
+            RuleKind::Failure(a) => write!(f, "failure({a})"),
+            RuleKind::Cancel(i) => write!(f, "cancel({i})"),
+            RuleKind::Preempt(i) => write!(f, "preempt({i})"),
+        }
+    }
+}
+
+/// Which optional rules are enabled when computing successors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuleOptions {
+    /// Maximum number of (failure) rule applications along one execution.
+    pub max_failures: u32,
+    /// Enable the (cancel) rule of §3.6.
+    pub cancellation: bool,
+    /// Enable the (preempt) rule of §3.6.
+    pub preemption: bool,
+}
+
+/// The `reachable(i, a, F)` predicate of §3.4.
+///
+/// Invocation `i` is reachable from actor `a` if it is the oldest (leftmost)
+/// request targeting `a` in the flow, or if it is transitively nested in that
+/// invocation.
+pub fn reachable(i: RequestId, actor: &str, flow: &[Message]) -> bool {
+    let Some(pos) = flow.iter().position(|m| m.is_request() && m.id() == i) else {
+        return false;
+    };
+    let Message::Request { target, return_to, .. } = &flow[pos] else { return false };
+    // (leftmost): the request targets `actor` and no earlier request does.
+    if target == actor {
+        let earlier = flow[..pos]
+            .iter()
+            .any(|m| matches!(m, Message::Request { target: t, .. } if t == actor));
+        if !earlier {
+            return true;
+        }
+    }
+    // (nested): the caller is reachable from `actor`.
+    match return_to {
+        Some(parent) => reachable(*parent, actor, flow),
+        None => false,
+    }
+}
+
+/// The `runnable(i, F)` predicate of §3.4.
+///
+/// A request is runnable if it is reachable from its target actor (it holds or
+/// may share the actor's logical lock) and no nested invocation with return
+/// address `i` is still queued in the flow (the happen-before condition: a
+/// retry of the caller must wait for every callee from a prior execution).
+pub fn runnable(i: RequestId, flow: &[Message]) -> bool {
+    let Some(Message::Request { target, .. }) =
+        flow.iter().find(|m| m.is_request() && m.id() == i)
+    else {
+        return false;
+    };
+    if !reachable(i, target, flow) {
+        return false;
+    }
+    !flow.iter().any(|m| m.is_request() && m.return_to() == Some(i))
+}
+
+/// The `preemptable(i, F, E)` predicate of §3.6.
+///
+/// An invocation is preemptable if its caller has failed (no process is
+/// waiting for its result) or if it is nested in a preemptable invocation.
+pub fn preemptable(i: RequestId, config: &Config) -> bool {
+    let Some(Message::Request { return_to, .. }) = config.request(i) else { return false };
+    let Some(caller) = return_to else { return false };
+    let caller_waiting = config.ensemble.get(caller).is_some_and(|p| {
+        matches!(&p.body, ProcessBody::Guarded { callee, .. } if *callee == i)
+    });
+    if !caller_waiting {
+        return true;
+    }
+    preemptable(*caller, config)
+}
+
+/// Computes every successor configuration of `config` under the rules of
+/// Fig. 3 (plus failure/cancel/preempt per `options`), labelled with the rule
+/// that produced it.
+pub fn successors(
+    config: &Config,
+    program: &Arc<dyn Program>,
+    options: &RuleOptions,
+) -> Vec<(RuleKind, Config)> {
+    let mut out = Vec::new();
+    begin_successors(config, program, &mut out);
+    process_successors(config, program, &mut out);
+    failure_successors(config, options, &mut out);
+    if options.cancellation {
+        cancel_successors(config, &mut out);
+    }
+    if options.preemption {
+        preempt_successors(config, &mut out);
+    }
+    out
+}
+
+/// (begin): start any runnable pending request that is not already running.
+fn begin_successors(config: &Config, program: &Arc<dyn Program>, out: &mut Vec<(RuleKind, Config)>) {
+    for message in &config.flow {
+        let Message::Request { id, target, method, arg, .. } = message else { continue };
+        if config.ensemble.contains_key(id) {
+            continue;
+        }
+        if !runnable(*id, &config.flow) {
+            continue;
+        }
+        let state = config.state_of(target);
+        let invoke = Term::Invoke { method: method.clone(), arg: *arg };
+        for (term, new_state) in program.transitions(target, &invoke, state) {
+            // (begin) does not modify the actor state.
+            debug_assert_eq!(new_state, state, "(begin) transitions must preserve actor state");
+            if let Term::Sequel(sequel) = term {
+                let mut next = config.clone();
+                next.ensemble.insert(
+                    *id,
+                    Process { actor: target.clone(), body: ProcessBody::Sequel(sequel) },
+                );
+                out.push((RuleKind::Begin(*id), next));
+            }
+        }
+    }
+}
+
+/// (step), (end), (call), (tell), (tail-self), (tail-other), (return).
+fn process_successors(
+    config: &Config,
+    program: &Arc<dyn Program>,
+    out: &mut Vec<(RuleKind, Config)>,
+) {
+    for (id, process) in &config.ensemble {
+        match &process.body {
+            ProcessBody::Sequel(sequel) => {
+                let actor = &process.actor;
+                let state = config.state_of(actor);
+                for (term, new_state) in
+                    program.transitions(actor, &Term::Sequel(sequel.clone()), state)
+                {
+                    match term {
+                        Term::Sequel(next_sequel) => {
+                            // (step): only the running actor's state may change.
+                            let mut next = config.clone();
+                            next.ensemble.insert(
+                                *id,
+                                Process {
+                                    actor: actor.clone(),
+                                    body: ProcessBody::Sequel(next_sequel),
+                                },
+                            );
+                            next.store.insert(actor.clone(), new_state);
+                            out.push((RuleKind::Step(*id), next));
+                        }
+                        Term::Value(value) => {
+                            // (end): discard the process and the request,
+                            // enqueue the response at the tail.
+                            debug_assert_eq!(new_state, state);
+                            let Some(pos) = config.request_index(*id) else { continue };
+                            let Message::Request { return_to, .. } = &config.flow[pos] else {
+                                continue;
+                            };
+                            let mut next = config.clone();
+                            let return_to = *return_to;
+                            next.flow.remove(pos);
+                            next.flow.push(Message::Response { id: *id, return_to, value });
+                            next.ensemble.remove(id);
+                            out.push((RuleKind::End(*id), next));
+                        }
+                        Term::CallThen { target, method, arg, sequel: cont } => {
+                            // (call): allocate a fresh id, enqueue the nested
+                            // request at the tail, suspend the caller.
+                            debug_assert_eq!(new_state, state);
+                            let mut next = config.clone();
+                            let callee = next.fresh_id();
+                            next.flow.push(Message::Request {
+                                id: callee,
+                                return_to: Some(*id),
+                                target,
+                                method,
+                                arg,
+                            });
+                            next.ensemble.insert(
+                                *id,
+                                Process {
+                                    actor: actor.clone(),
+                                    body: ProcessBody::Guarded { callee, sequel: cont },
+                                },
+                            );
+                            out.push((RuleKind::Call { caller: *id, callee }, next));
+                        }
+                        Term::TellThen { target, method, arg, sequel: cont } => {
+                            // (tell): allocate a fresh id, enqueue the request
+                            // with no return address, continue the caller.
+                            debug_assert_eq!(new_state, state);
+                            let mut next = config.clone();
+                            let callee = next.fresh_id();
+                            next.flow.push(Message::Request {
+                                id: callee,
+                                return_to: None,
+                                target,
+                                method,
+                                arg,
+                            });
+                            next.ensemble.insert(
+                                *id,
+                                Process { actor: actor.clone(), body: ProcessBody::Sequel(cont) },
+                            );
+                            out.push((RuleKind::Tell { caller: *id, callee }, next));
+                        }
+                        Term::TailCall { target, method, arg } => {
+                            // (tail-self) keeps the request at its position in
+                            // the flow (retaining the lock); (tail-other)
+                            // moves it to the tail. Both reuse the caller's id
+                            // and return address and discard the process.
+                            debug_assert_eq!(new_state, state);
+                            let Some(pos) = config.request_index(*id) else { continue };
+                            let Message::Request { return_to, .. } = &config.flow[pos] else {
+                                continue;
+                            };
+                            let return_to = *return_to;
+                            let mut next = config.clone();
+                            next.ensemble.remove(id);
+                            let replacement = Message::Request {
+                                id: *id,
+                                return_to,
+                                target: target.clone(),
+                                method,
+                                arg,
+                            };
+                            if target == *actor {
+                                next.flow[pos] = replacement;
+                                out.push((RuleKind::TailSelf(*id), next));
+                            } else {
+                                next.flow.remove(pos);
+                                next.flow.push(replacement);
+                                out.push((RuleKind::TailOther(*id), next));
+                            }
+                        }
+                        Term::Invoke { .. } | Term::ResumeThen { .. } => {
+                            // Not legal outputs of the base-language relation.
+                        }
+                    }
+                }
+            }
+            ProcessBody::Guarded { callee, sequel } => {
+                // (return): consume the callee's response from the flow.
+                let Some(pos) = config.flow.iter().position(|m| {
+                    matches!(m, Message::Response { id: response_id, return_to, .. }
+                        if response_id == callee && *return_to == Some(*id))
+                }) else {
+                    continue;
+                };
+                let Message::Response { value, .. } = &config.flow[pos] else { continue };
+                let actor = &process.actor;
+                let state = config.state_of(actor);
+                let resume = Term::ResumeThen { value: *value, sequel: sequel.clone() };
+                for (term, new_state) in program.transitions(actor, &resume, state) {
+                    debug_assert_eq!(new_state, state, "(return) transitions must preserve state");
+                    if let Term::Sequel(next_sequel) = term {
+                        let mut next = config.clone();
+                        next.flow.remove(pos);
+                        next.ensemble.insert(
+                            *id,
+                            Process { actor: actor.clone(), body: ProcessBody::Sequel(next_sequel) },
+                        );
+                        out.push((RuleKind::Return(*id), next));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// (failure): lose every process running on one actor. Failures of larger
+/// sets of actors are covered by consecutive single-actor failures, which the
+/// bounded explorer enumerates.
+fn failure_successors(config: &Config, options: &RuleOptions, out: &mut Vec<(RuleKind, Config)>) {
+    if config.failures >= options.max_failures {
+        return;
+    }
+    let actors: BTreeSet<&ActorName> = config.ensemble.values().map(|p| &p.actor).collect();
+    for actor in actors {
+        let mut next = config.clone();
+        next.ensemble.retain(|_, p| &p.actor != actor);
+        next.failures += 1;
+        out.push((RuleKind::Failure(actor.clone()), next));
+    }
+}
+
+/// (cancel): remove a runnable pending nested request whose caller is gone,
+/// provided it is not already running.
+fn cancel_successors(config: &Config, out: &mut Vec<(RuleKind, Config)>) {
+    for message in &config.flow {
+        let Message::Request { id, return_to: Some(caller), .. } = message else { continue };
+        if config.ensemble.contains_key(id) {
+            continue;
+        }
+        if !runnable(*id, &config.flow) {
+            continue;
+        }
+        let caller_waiting = config.ensemble.get(caller).is_some_and(|p| {
+            matches!(&p.body, ProcessBody::Guarded { callee, .. } if callee == id)
+        });
+        if caller_waiting {
+            continue;
+        }
+        let mut next = config.clone();
+        let pos = next.request_index(*id).expect("request present");
+        next.flow.remove(pos);
+        out.push((RuleKind::Cancel(*id), next));
+    }
+}
+
+/// (preempt): remove a runnable, preemptable nested request, interrupting the
+/// matching process if it is running.
+fn preempt_successors(config: &Config, out: &mut Vec<(RuleKind, Config)>) {
+    for message in &config.flow {
+        let Message::Request { id, return_to: Some(_), .. } = message else { continue };
+        if !runnable(*id, &config.flow) {
+            continue;
+        }
+        if !preemptable(*id, config) {
+            continue;
+        }
+        let mut next = config.clone();
+        let pos = next.request_index(*id).expect("request present");
+        next.flow.remove(pos);
+        next.ensemble.remove(id);
+        out.push((RuleKind::Preempt(*id), next));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Expr, Op, ProgramBuilder};
+    use crate::term::{Env, Sequel};
+
+    fn rid(i: u64) -> RequestId {
+        RequestId::from_raw(i)
+    }
+
+    fn request(id: u64, return_to: Option<u64>, target: &str, method: &str) -> Message {
+        Message::Request {
+            id: rid(id),
+            return_to: return_to.map(rid),
+            target: target.into(),
+            method: method.into(),
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn reachable_leftmost_and_nested() {
+        // Flow: 1 ↦ A.main, 2 ↦[1] B.task, 3 ↦[2] A.callback, 4 ↦ A.other
+        let flow = vec![
+            request(1, None, "A", "main"),
+            request(2, Some(1), "B", "task"),
+            request(3, Some(2), "A", "callback"),
+            request(4, None, "A", "other"),
+        ];
+        // 1 is the leftmost request on A.
+        assert!(reachable(rid(1), "A", &flow));
+        // 3 targets A and is nested (via 2) in 1, so it is reachable from A:
+        // this is exactly call-chain reentrancy.
+        assert!(reachable(rid(3), "A", &flow));
+        // 2 is nested in 1 so it is reachable from A (and from B as leftmost).
+        assert!(reachable(rid(2), "B", &flow));
+        assert!(reachable(rid(2), "A", &flow));
+        // 4 targets A but is not the leftmost request on A and not nested.
+        assert!(!reachable(rid(4), "A", &flow));
+        // Unknown request.
+        assert!(!reachable(rid(9), "A", &flow));
+    }
+
+    #[test]
+    fn runnable_requires_reachability_and_no_pending_callee() {
+        let flow = vec![
+            request(1, None, "A", "main"),
+            request(2, Some(1), "B", "task"),
+            request(4, None, "A", "other"),
+        ];
+        // 1 has a pending nested invocation (2) so it is not runnable: a retry
+        // of the caller must wait for the callee (happen-before).
+        assert!(!runnable(rid(1), &flow));
+        assert!(runnable(rid(2), &flow));
+        // 4 is queued behind 1 on actor A.
+        assert!(!runnable(rid(4), &flow));
+        // Once the callee's request is gone, the caller becomes runnable again.
+        let flow2 = vec![request(1, None, "A", "main"), request(4, None, "A", "other")];
+        assert!(runnable(rid(1), &flow2));
+        assert!(!runnable(rid(9), &flow2));
+    }
+
+    #[test]
+    fn reentrant_callback_is_runnable_while_ancestor_holds_the_lock() {
+        // A.main called B.task which calls back A.callback: the callback must
+        // be runnable even though A's oldest request (1) is still in the flow.
+        let flow = vec![
+            request(1, None, "A", "main"),
+            request(2, Some(1), "B", "task"),
+            request(3, Some(2), "A", "callback"),
+        ];
+        assert!(runnable(rid(3), &flow));
+        assert!(!runnable(rid(1), &flow));
+        assert!(!runnable(rid(2), &flow));
+    }
+
+    fn latch_program() -> Arc<dyn Program> {
+        ProgramBuilder::new()
+            .method("getset", vec![Op::ReadState, Op::WriteState(Expr::Arg), Op::Return(Expr::Local)])
+            .build()
+    }
+
+    #[test]
+    fn begin_step_end_produce_a_response_and_consume_the_request() {
+        let program = latch_program();
+        let options = RuleOptions::default();
+        let mut config = Config::initial(rid(1), "L", "getset", 42);
+        config.store.insert("L".into(), 7);
+
+        // begin
+        let succ = successors(&config, &program, &options);
+        assert_eq!(succ.len(), 1);
+        assert!(matches!(succ[0].0, RuleKind::Begin(i) if i == rid(1)));
+        let config = succ[0].1.clone();
+        assert!(config.ensemble.contains_key(&rid(1)));
+
+        // step (read), step (write), end
+        let config = successors(&config, &program, &options).remove(0).1;
+        let config = successors(&config, &program, &options).remove(0).1;
+        let succ = successors(&config, &program, &options);
+        assert_eq!(succ.len(), 1);
+        assert!(matches!(succ[0].0, RuleKind::End(i) if i == rid(1)));
+        let final_config = &succ[0].1;
+        assert!(final_config.ensemble.is_empty());
+        assert!(final_config.request(rid(1)).is_none());
+        assert_eq!(
+            final_config.response(rid(1)),
+            Some(&Message::Response { id: rid(1), return_to: None, value: 7 })
+        );
+        assert_eq!(final_config.state_of("L"), 42);
+        // Terminal: nothing further is enabled.
+        assert!(successors(final_config, &program, &options).is_empty());
+    }
+
+    #[test]
+    fn second_request_on_same_actor_waits_for_the_first() {
+        let program = latch_program();
+        let options = RuleOptions::default();
+        let mut config = Config::initial(rid(1), "L", "getset", 1);
+        config.flow.push(request(2, None, "L", "getset"));
+        config.next_id = 3;
+        let succ = successors(&config, &program, &options);
+        // Only request 1 can begin.
+        assert_eq!(succ.len(), 1);
+        assert!(matches!(succ[0].0, RuleKind::Begin(i) if i == rid(1)));
+    }
+
+    #[test]
+    fn failure_rule_is_bounded_and_removes_only_that_actors_processes() {
+        let program = latch_program();
+        let mut config = Config::initial(rid(1), "L", "getset", 1);
+        config.ensemble.insert(
+            rid(1),
+            Process {
+                actor: "L".into(),
+                body: ProcessBody::Sequel(Sequel { method: "getset".into(), pc: 0, env: Env::entry(1) }),
+            },
+        );
+        config.ensemble.insert(
+            rid(2),
+            Process {
+                actor: "M".into(),
+                body: ProcessBody::Sequel(Sequel { method: "getset".into(), pc: 0, env: Env::entry(1) }),
+            },
+        );
+        let with_failures = RuleOptions { max_failures: 1, ..Default::default() };
+        let succ = successors(&config, &program, &with_failures);
+        let failures: Vec<&Config> = succ
+            .iter()
+            .filter_map(|(k, c)| matches!(k, RuleKind::Failure(_)).then_some(c))
+            .collect();
+        assert_eq!(failures.len(), 2);
+        for c in &failures {
+            assert_eq!(c.ensemble.len(), 1);
+            assert_eq!(c.failures, 1);
+            // Messages and store are untouched by a failure.
+            assert_eq!(c.flow, config.flow);
+            assert_eq!(c.store, config.store);
+        }
+        // With the budget exhausted the failure rule is disabled.
+        let mut exhausted = config.clone();
+        exhausted.failures = 1;
+        let succ = successors(&exhausted, &program, &with_failures);
+        assert!(succ.iter().all(|(k, _)| !matches!(k, RuleKind::Failure(_))));
+    }
+
+    #[test]
+    fn cancel_removes_orphan_pending_request_but_not_running_or_awaited_ones() {
+        let program = latch_program();
+        let options = RuleOptions { cancellation: true, ..Default::default() };
+        // Request 2 is nested under 1, but no process for 1 exists (caller
+        // failed) and 2 has not started: it can be cancelled.
+        let mut config = Config::initial(rid(1), "A", "main", 0);
+        config.flow.push(request(2, Some(1), "L", "getset"));
+        config.next_id = 3;
+        let succ = successors(&config, &program, &options);
+        assert!(succ.iter().any(|(k, _)| matches!(k, RuleKind::Cancel(i) if *i == rid(2))));
+        let cancelled =
+            succ.iter().find(|(k, _)| matches!(k, RuleKind::Cancel(_))).unwrap().1.clone();
+        assert!(cancelled.request(rid(2)).is_none());
+        assert!(cancelled.request(rid(1)).is_some());
+
+        // If the caller is waiting for it, it cannot be cancelled.
+        let mut waiting = config.clone();
+        waiting.ensemble.insert(
+            rid(1),
+            Process {
+                actor: "A".into(),
+                body: ProcessBody::Guarded {
+                    callee: rid(2),
+                    sequel: Sequel { method: "main".into(), pc: 1, env: Env::entry(0) },
+                },
+            },
+        );
+        let succ = successors(&waiting, &program, &options);
+        assert!(succ.iter().all(|(k, _)| !matches!(k, RuleKind::Cancel(_))));
+
+        // If it is already running, it cannot be cancelled either.
+        let mut running = config.clone();
+        running.ensemble.insert(
+            rid(2),
+            Process {
+                actor: "L".into(),
+                body: ProcessBody::Sequel(Sequel { method: "getset".into(), pc: 0, env: Env::entry(0) }),
+            },
+        );
+        let succ = successors(&running, &program, &options);
+        assert!(succ.iter().all(|(k, _)| !matches!(k, RuleKind::Cancel(_))));
+    }
+
+    #[test]
+    fn preempt_interrupts_running_callees_of_failed_callers_top_down() {
+        let program = latch_program();
+        let options = RuleOptions { preemption: true, ..Default::default() };
+        // a calls b calls c; a has failed (no process for 1). Request 3 (c) is
+        // running; request 2 (b) is waiting on 3.
+        let mut config = Config::initial(rid(1), "A", "main", 0);
+        config.flow.push(request(2, Some(1), "B", "task"));
+        config.flow.push(request(3, Some(2), "C", "leaf"));
+        config.next_id = 4;
+        config.ensemble.insert(
+            rid(2),
+            Process {
+                actor: "B".into(),
+                body: ProcessBody::Guarded {
+                    callee: rid(3),
+                    sequel: Sequel { method: "task".into(), pc: 1, env: Env::entry(0) },
+                },
+            },
+        );
+        config.ensemble.insert(
+            rid(3),
+            Process {
+                actor: "C".into(),
+                body: ProcessBody::Sequel(Sequel { method: "leaf".into(), pc: 0, env: Env::entry(0) }),
+            },
+        );
+        // Both 2 and 3 are preemptable (2's caller failed; 3 is nested in 2),
+        // but only 3 is runnable (2 still has a pending nested request), so
+        // preemption proceeds from the bottom of the stack up: c before b.
+        assert!(preemptable(rid(2), &config));
+        assert!(preemptable(rid(3), &config));
+        let succ = successors(&config, &program, &options);
+        let preempted: Vec<RequestId> = succ
+            .iter()
+            .filter_map(|(k, _)| match k {
+                RuleKind::Preempt(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(preempted, vec![rid(3)]);
+        // After preempting 3, request 2 becomes preemptable and runnable.
+        let after = succ
+            .into_iter()
+            .find(|(k, _)| matches!(k, RuleKind::Preempt(_)))
+            .unwrap()
+            .1;
+        assert!(after.request(rid(3)).is_none());
+        assert!(!after.ensemble.contains_key(&rid(3)));
+        let succ2 = successors(&after, &program, &options);
+        assert!(succ2.iter().any(|(k, _)| matches!(k, RuleKind::Preempt(i) if *i == rid(2))));
+        // An invocation whose caller is alive and waiting is not preemptable.
+        let mut healthy = Config::initial(rid(1), "A", "main", 0);
+        healthy.flow.push(request(2, Some(1), "B", "task"));
+        healthy.ensemble.insert(
+            rid(1),
+            Process {
+                actor: "A".into(),
+                body: ProcessBody::Guarded {
+                    callee: rid(2),
+                    sequel: Sequel { method: "main".into(), pc: 1, env: Env::entry(0) },
+                },
+            },
+        );
+        assert!(!preemptable(rid(2), &healthy));
+        assert!(!preemptable(rid(1), &healthy));
+    }
+
+    #[test]
+    fn tail_self_keeps_flow_position_and_tail_other_moves_to_tail() {
+        let program = ProgramBuilder::new()
+            .method("to_self", vec![Op::TailCall { target: "L".into(), method: "getset".into(), arg: Expr::Arg }])
+            .method("to_other", vec![Op::TailCall { target: "M".into(), method: "getset".into(), arg: Expr::Arg }])
+            .method("getset", vec![Op::ReadState, Op::WriteState(Expr::Arg), Op::Return(Expr::Local)])
+            .build();
+        let options = RuleOptions::default();
+
+        // tail-self: the rewritten request stays at index 0, ahead of the
+        // other queued request, so the lock is retained.
+        let mut config = Config::initial(rid(1), "L", "to_self", 5);
+        config.flow.push(request(2, None, "L", "getset"));
+        config.next_id = 3;
+        let config = successors(&config, &program, &options).remove(0).1; // begin(1)
+        let succ = successors(&config, &program, &options);
+        let (kind, next) = succ
+            .into_iter()
+            .find(|(k, _)| matches!(k, RuleKind::TailSelf(_)))
+            .expect("tail-self enabled");
+        assert_eq!(kind, RuleKind::TailSelf(rid(1)));
+        assert_eq!(next.flow[0].id(), rid(1));
+        assert!(matches!(&next.flow[0], Message::Request { method, .. } if method == "getset"));
+        assert!(!next.ensemble.contains_key(&rid(1)));
+
+        // tail-other: the rewritten request moves to the tail of the flow.
+        let mut config = Config::initial(rid(1), "L", "to_other", 5);
+        config.flow.push(request(2, None, "M", "getset"));
+        config.next_id = 3;
+        let config = successors(&config, &program, &options).remove(0).1; // begin(1)
+        let succ = successors(&config, &program, &options);
+        let (_, next) = succ
+            .into_iter()
+            .find(|(k, _)| matches!(k, RuleKind::TailOther(_)))
+            .expect("tail-other enabled");
+        assert_eq!(next.flow.last().unwrap().id(), rid(1));
+        assert!(matches!(next.flow.last().unwrap(), Message::Request { target, .. } if target == "M"));
+    }
+
+    #[test]
+    fn call_and_return_roundtrip_through_the_flow() {
+        let program = ProgramBuilder::new()
+            .method(
+                "main",
+                vec![
+                    Op::Call { target: "B".into(), method: "task".into(), arg: Expr::Arg },
+                    Op::Return(Expr::Local),
+                ],
+            )
+            .method("task", vec![Op::Return(Expr::ArgPlus(1))])
+            .build();
+        let options = RuleOptions::default();
+        let config = Config::initial(rid(1), "A", "main", 10);
+        // begin(1), step to call
+        let config = successors(&config, &program, &options).remove(0).1;
+        let succ = successors(&config, &program, &options);
+        let (kind, config) =
+            succ.into_iter().find(|(k, _)| matches!(k, RuleKind::Call { .. })).unwrap();
+        let RuleKind::Call { caller, callee } = kind else { unreachable!() };
+        assert_eq!(caller, rid(1));
+        assert_eq!(callee, rid(2));
+        assert!(matches!(
+            &config.ensemble[&rid(1)].body,
+            ProcessBody::Guarded { callee, .. } if *callee == rid(2)
+        ));
+        // The nested request is at the flow tail with return address 1.
+        assert_eq!(config.flow.last().unwrap().return_to(), Some(rid(1)));
+
+        // Run the callee: begin(2), end(2).
+        let config = successors(&config, &program, &options)
+            .into_iter()
+            .find(|(k, _)| matches!(k, RuleKind::Begin(i) if *i == rid(2)))
+            .unwrap()
+            .1;
+        let config = successors(&config, &program, &options)
+            .into_iter()
+            .find(|(k, _)| matches!(k, RuleKind::End(i) if *i == rid(2)))
+            .unwrap()
+            .1;
+        assert!(config.has_response(rid(2)));
+        // return(1): the caller consumes the response.
+        let config = successors(&config, &program, &options)
+            .into_iter()
+            .find(|(k, _)| matches!(k, RuleKind::Return(i) if *i == rid(1)))
+            .unwrap()
+            .1;
+        assert!(!config.has_response(rid(2)));
+        // end(1) returns the callee's value.
+        let config = successors(&config, &program, &options)
+            .into_iter()
+            .find(|(k, _)| matches!(k, RuleKind::End(i) if *i == rid(1)))
+            .unwrap()
+            .1;
+        assert_eq!(
+            config.response(rid(1)),
+            Some(&Message::Response { id: rid(1), return_to: None, value: 11 })
+        );
+    }
+
+    #[test]
+    fn tell_runs_concurrently_with_caller() {
+        let program = ProgramBuilder::new()
+            .method(
+                "main",
+                vec![
+                    Op::Tell { target: "B".into(), method: "log".into(), arg: Expr::Const(1) },
+                    Op::Return(Expr::Const(0)),
+                ],
+            )
+            .method("log", vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Const(0))])
+            .build();
+        let options = RuleOptions::default();
+        let config = Config::initial(rid(1), "A", "main", 0);
+        let config = successors(&config, &program, &options).remove(0).1; // begin
+        let succ = successors(&config, &program, &options);
+        let (kind, config) =
+            succ.into_iter().find(|(k, _)| matches!(k, RuleKind::Tell { .. })).unwrap();
+        let RuleKind::Tell { callee, .. } = kind else { unreachable!() };
+        // The caller keeps running (still has a plain sequel) and the tell has
+        // no return address.
+        assert!(matches!(config.ensemble[&rid(1)].body, ProcessBody::Sequel(_)));
+        assert_eq!(config.request(callee).unwrap().return_to(), None);
+        // Both the caller's end and the callee's begin are now enabled.
+        let kinds: Vec<RuleKind> =
+            successors(&config, &program, &options).into_iter().map(|(k, _)| k).collect();
+        assert!(kinds.iter().any(|k| matches!(k, RuleKind::End(i) if *i == rid(1))));
+        assert!(kinds.iter().any(|k| matches!(k, RuleKind::Begin(i) if *i == callee)));
+    }
+}

@@ -1,0 +1,178 @@
+//! The term language of §3.1.
+
+use std::fmt;
+
+/// Abstract values. The calculus only needs an arbitrary value domain; small
+/// integers keep the state space of exhaustive exploration tractable.
+pub type Val = i64;
+
+/// Actor references. The calculus treats them as opaque names.
+pub type ActorName = String;
+
+/// The local environment of a method execution: the original argument plus a
+/// single local accumulator. Together with the program counter inside a
+/// [`Sequel`] this encodes the paper's "code remaining to be executed combined
+/// with the local state".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Env {
+    /// The argument the method was invoked with.
+    pub arg: Val,
+    /// The method's single local variable.
+    pub local: Val,
+}
+
+impl Env {
+    /// Environment at method entry.
+    pub fn entry(arg: Val) -> Self {
+        Env { arg, local: 0 }
+    }
+}
+
+/// An intermediate point in the execution of a method (the paper's sequel
+/// `s`): which method, how far into its body, and the local environment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sequel {
+    /// The method being executed.
+    pub method: String,
+    /// Index of the next operation of the method body to execute.
+    pub pc: usize,
+    /// Local environment.
+    pub env: Env,
+}
+
+impl fmt::Display for Sequel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}(arg={},local={})", self.method, self.pc, self.env.arg, self.env.local)
+    }
+}
+
+/// A point in the execution of a method (§3.1):
+///
+/// ```text
+/// T ::= m(v) | v | s | a.m(v) ⊲ s | v ⊲ s | a.m(v) ≀ s | a.m(v)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// `m(v)` — the initial method invocation.
+    Invoke {
+        /// Method name.
+        method: String,
+        /// Argument value.
+        arg: Val,
+    },
+    /// `v` — the return value of a completed method.
+    Value(Val),
+    /// `s` — an intermediate point in the method execution.
+    Sequel(Sequel),
+    /// `a.m(v) ⊲ s` — a nested blocking invocation (`actor.call`) with the
+    /// remainder `s` of the caller.
+    CallThen {
+        /// Callee actor.
+        target: ActorName,
+        /// Callee method.
+        method: String,
+        /// Callee argument.
+        arg: Val,
+        /// Remainder of the caller once the nested invocation completes.
+        sequel: Sequel,
+    },
+    /// `v ⊲ s` — reception of the result `v` of a nested invocation.
+    ResumeThen {
+        /// The received result.
+        value: Val,
+        /// Remainder of the caller.
+        sequel: Sequel,
+    },
+    /// `a.m(v) ≀ s` — an asynchronous invocation (`actor.tell`) with the
+    /// remainder `s` of the caller, which runs concurrently with the callee.
+    TellThen {
+        /// Callee actor.
+        target: ActorName,
+        /// Callee method.
+        method: String,
+        /// Callee argument.
+        arg: Val,
+        /// Remainder of the caller.
+        sequel: Sequel,
+    },
+    /// `a.m(v)` — a tail call (`actor.tailCall`): the caller completes while
+    /// issuing the next invocation.
+    TailCall {
+        /// Callee actor.
+        target: ActorName,
+        /// Callee method.
+        method: String,
+        /// Callee argument.
+        arg: Val,
+    },
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Invoke { method, arg } => write!(f, "{method}({arg})"),
+            Term::Value(v) => write!(f, "{v}"),
+            Term::Sequel(s) => write!(f, "{s}"),
+            Term::CallThen { target, method, arg, sequel } => {
+                write!(f, "{target}.{method}({arg}) ⊲ {sequel}")
+            }
+            Term::ResumeThen { value, sequel } => write!(f, "{value} ⊲ {sequel}"),
+            Term::TellThen { target, method, arg, sequel } => {
+                write!(f, "{target}.{method}({arg}) ≀ {sequel}")
+            }
+            Term::TailCall { target, method, arg } => write!(f, "{target}.{method}({arg})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_entry_zeroes_local() {
+        let e = Env::entry(7);
+        assert_eq!(e.arg, 7);
+        assert_eq!(e.local, 0);
+    }
+
+    #[test]
+    fn display_renders_paper_notation() {
+        let s = Sequel { method: "incr".into(), pc: 1, env: Env { arg: 3, local: 5 } };
+        assert_eq!(s.to_string(), "incr@1(arg=3,local=5)");
+        let call = Term::CallThen {
+            target: "B/b".into(),
+            method: "task".into(),
+            arg: 42,
+            sequel: s.clone(),
+        };
+        assert!(call.to_string().contains("⊲"));
+        let tell = Term::TellThen {
+            target: "B/b".into(),
+            method: "task".into(),
+            arg: 42,
+            sequel: s.clone(),
+        };
+        assert!(tell.to_string().contains("≀"));
+        assert_eq!(Term::Value(3).to_string(), "3");
+        assert_eq!(
+            Term::Invoke { method: "main".into(), arg: 1 }.to_string(),
+            "main(1)"
+        );
+        assert_eq!(
+            Term::TailCall { target: "A/a".into(), method: "set".into(), arg: 2 }.to_string(),
+            "A/a.set(2)"
+        );
+        assert_eq!(Term::ResumeThen { value: 9, sequel: s }.to_string(), "9 ⊲ incr@1(arg=3,local=5)");
+    }
+
+    #[test]
+    fn terms_are_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Term::Value(1));
+        set.insert(Term::Value(1));
+        set.insert(Term::Value(2));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,415 @@
+//! Fenced client connections to the store.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use kar_types::{ComponentId, Epoch, KarResult, Value};
+
+use crate::store::StoreInner;
+
+/// A client session bound to a component and a fencing [`Epoch`].
+///
+/// All operations first apply the configured operation latency and then check
+/// that the owning component has not been fenced; a fenced connection fails
+/// every operation with `KarError::Fenced`.
+#[derive(Debug, Clone)]
+pub struct Connection {
+    inner: Arc<StoreInner>,
+    component: ComponentId,
+    epoch: Epoch,
+}
+
+impl Connection {
+    pub(crate) fn new(inner: Arc<StoreInner>, component: ComponentId, epoch: Epoch) -> Self {
+        Connection { inner, component, epoch }
+    }
+
+    /// The component this connection belongs to.
+    pub fn component(&self) -> ComponentId {
+        self.component
+    }
+
+    /// The fencing epoch this connection was opened at.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    fn check_in(&self) -> KarResult<()> {
+        self.inner.check_in(self.component, self.epoch)
+    }
+
+    /// Reads a string key.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected.
+    pub fn get(&self, key: &str) -> KarResult<Option<Value>> {
+        self.check_in()?;
+        let mut data = self.inner.data.lock();
+        data.stats.reads += 1;
+        Ok(data.strings.get(key).cloned())
+    }
+
+    /// Writes a string key, returning the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected.
+    pub fn set(&self, key: &str, value: Value) -> KarResult<Option<Value>> {
+        self.check_in()?;
+        let mut data = self.inner.data.lock();
+        data.stats.writes += 1;
+        Ok(data.strings.insert(key.to_owned(), value))
+    }
+
+    /// Writes a string key only if it does not exist yet. Returns `true` if
+    /// the write happened.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected.
+    pub fn set_nx(&self, key: &str, value: Value) -> KarResult<bool> {
+        self.check_in()?;
+        let mut data = self.inner.data.lock();
+        data.stats.cas += 1;
+        if data.strings.contains_key(key) {
+            Ok(false)
+        } else {
+            data.strings.insert(key.to_owned(), value);
+            Ok(true)
+        }
+    }
+
+    /// Atomically replaces the value of `key` with `new` if its current value
+    /// equals `expected` (where `None` means "key absent").
+    ///
+    /// Returns `Ok(Ok(()))` on success and `Ok(Err(actual))` with the actual
+    /// current value on a lost race. This is the primitive the KAR runtime
+    /// uses to coordinate actor placement (§4.1).
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected.
+    pub fn compare_and_swap(
+        &self,
+        key: &str,
+        expected: Option<&Value>,
+        new: Value,
+    ) -> KarResult<Result<(), Option<Value>>> {
+        self.check_in()?;
+        let mut data = self.inner.data.lock();
+        data.stats.cas += 1;
+        let current = data.strings.get(key).cloned();
+        if current.as_ref() == expected {
+            data.strings.insert(key.to_owned(), new);
+            Ok(Ok(()))
+        } else {
+            Ok(Err(current))
+        }
+    }
+
+    /// Deletes a string key, returning the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected.
+    pub fn del(&self, key: &str) -> KarResult<Option<Value>> {
+        self.check_in()?;
+        let mut data = self.inner.data.lock();
+        data.stats.writes += 1;
+        Ok(data.strings.remove(key))
+    }
+
+    /// True if the string key exists.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected.
+    pub fn exists(&self, key: &str) -> KarResult<bool> {
+        self.check_in()?;
+        let mut data = self.inner.data.lock();
+        data.stats.reads += 1;
+        Ok(data.strings.contains_key(key))
+    }
+
+    /// Lists string keys starting with `prefix`, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected.
+    pub fn keys_with_prefix(&self, prefix: &str) -> KarResult<Vec<String>> {
+        self.check_in()?;
+        let mut data = self.inner.data.lock();
+        data.stats.reads += 1;
+        let mut keys: Vec<String> =
+            data.strings.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+        keys.sort();
+        Ok(keys)
+    }
+
+    /// Reads one field of a hash.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected.
+    pub fn hget(&self, key: &str, field: &str) -> KarResult<Option<Value>> {
+        self.check_in()?;
+        let mut data = self.inner.data.lock();
+        data.stats.reads += 1;
+        Ok(data.hashes.get(key).and_then(|h| h.get(field)).cloned())
+    }
+
+    /// Writes one field of a hash, returning the previous value of the field.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected.
+    pub fn hset(&self, key: &str, field: &str, value: Value) -> KarResult<Option<Value>> {
+        self.check_in()?;
+        let mut data = self.inner.data.lock();
+        data.stats.writes += 1;
+        Ok(data.hashes.entry(key.to_owned()).or_default().insert(field.to_owned(), value))
+    }
+
+    /// Writes several fields of a hash at once.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected.
+    pub fn hset_multi(
+        &self,
+        key: &str,
+        entries: impl IntoIterator<Item = (String, Value)>,
+    ) -> KarResult<()> {
+        self.check_in()?;
+        let mut data = self.inner.data.lock();
+        data.stats.writes += 1;
+        let hash = data.hashes.entry(key.to_owned()).or_default();
+        for (field, value) in entries {
+            hash.insert(field, value);
+        }
+        Ok(())
+    }
+
+    /// Deletes one field of a hash, returning its previous value.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected.
+    pub fn hdel(&self, key: &str, field: &str) -> KarResult<Option<Value>> {
+        self.check_in()?;
+        let mut data = self.inner.data.lock();
+        data.stats.writes += 1;
+        Ok(data.hashes.get_mut(key).and_then(|h| h.remove(field)))
+    }
+
+    /// Reads a whole hash (empty map if the key does not exist).
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected.
+    pub fn hgetall(&self, key: &str) -> KarResult<BTreeMap<String, Value>> {
+        self.check_in()?;
+        let mut data = self.inner.data.lock();
+        data.stats.reads += 1;
+        Ok(data.hashes.get(key).cloned().unwrap_or_default())
+    }
+
+    /// Deletes a whole hash, returning `true` if it existed.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected.
+    pub fn hclear(&self, key: &str) -> KarResult<bool> {
+        self.check_in()?;
+        let mut data = self.inner.data.lock();
+        data.stats.writes += 1;
+        Ok(data.hashes.remove(key).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Store;
+    use proptest::prelude::*;
+
+    fn store_and_conn() -> (Store, Connection) {
+        let store = Store::new();
+        let conn = store.connect(ComponentId::from_raw(1));
+        (store, conn)
+    }
+
+    #[test]
+    fn string_operations_roundtrip() {
+        let (_s, conn) = store_and_conn();
+        assert_eq!(conn.get("k").unwrap(), None);
+        assert!(!conn.exists("k").unwrap());
+        assert_eq!(conn.set("k", Value::from(1)).unwrap(), None);
+        assert_eq!(conn.set("k", Value::from(2)).unwrap(), Some(Value::from(1)));
+        assert!(conn.exists("k").unwrap());
+        assert_eq!(conn.get("k").unwrap(), Some(Value::from(2)));
+        assert_eq!(conn.del("k").unwrap(), Some(Value::from(2)));
+        assert_eq!(conn.del("k").unwrap(), None);
+    }
+
+    #[test]
+    fn set_nx_only_writes_once() {
+        let (_s, conn) = store_and_conn();
+        assert!(conn.set_nx("k", Value::from(1)).unwrap());
+        assert!(!conn.set_nx("k", Value::from(2)).unwrap());
+        assert_eq!(conn.get("k").unwrap(), Some(Value::from(1)));
+    }
+
+    #[test]
+    fn compare_and_swap_success_and_failure() {
+        let (_s, conn) = store_and_conn();
+        // CAS from absent succeeds.
+        assert_eq!(conn.compare_and_swap("k", None, Value::from("a")).unwrap(), Ok(()));
+        // CAS with wrong expectation reports the actual value.
+        assert_eq!(
+            conn.compare_and_swap("k", None, Value::from("b")).unwrap(),
+            Err(Some(Value::from("a")))
+        );
+        // CAS with the right expectation succeeds.
+        assert_eq!(
+            conn.compare_and_swap("k", Some(&Value::from("a")), Value::from("b")).unwrap(),
+            Ok(())
+        );
+        assert_eq!(conn.get("k").unwrap(), Some(Value::from("b")));
+    }
+
+    #[test]
+    fn concurrent_cas_single_winner() {
+        let store = Store::new();
+        let mut handles = Vec::new();
+        for i in 0..16u64 {
+            let conn = store.connect(ComponentId::from_raw(i));
+            handles.push(std::thread::spawn(move || {
+                conn.compare_and_swap("owner", None, Value::from(i as i64)).unwrap().is_ok()
+            }));
+        }
+        let winners: usize = handles.into_iter().map(|h| usize::from(h.join().unwrap())).sum();
+        assert_eq!(winners, 1);
+    }
+
+    #[test]
+    fn hash_operations_roundtrip() {
+        let (_s, conn) = store_and_conn();
+        assert_eq!(conn.hget("h", "f").unwrap(), None);
+        assert_eq!(conn.hset("h", "f", Value::from(1)).unwrap(), None);
+        assert_eq!(conn.hset("h", "f", Value::from(2)).unwrap(), Some(Value::from(1)));
+        conn.hset_multi("h", [("g".to_string(), Value::from(3)), ("k".to_string(), Value::from(4))])
+            .unwrap();
+        let all = conn.hgetall("h").unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all["g"], Value::from(3));
+        assert_eq!(conn.hdel("h", "g").unwrap(), Some(Value::from(3)));
+        assert_eq!(conn.hdel("h", "g").unwrap(), None);
+        assert!(conn.hclear("h").unwrap());
+        assert!(!conn.hclear("h").unwrap());
+        assert!(conn.hgetall("h").unwrap().is_empty());
+    }
+
+    #[test]
+    fn keys_with_prefix_is_sorted_and_filtered() {
+        let (_s, conn) = store_and_conn();
+        conn.set("p/b", Value::from(1)).unwrap();
+        conn.set("p/a", Value::from(1)).unwrap();
+        conn.set("q/c", Value::from(1)).unwrap();
+        assert_eq!(conn.keys_with_prefix("p/").unwrap(), vec!["p/a".to_string(), "p/b".to_string()]);
+    }
+
+    #[test]
+    fn connection_reports_identity() {
+        let store = Store::new();
+        let conn = store.connect(ComponentId::from_raw(9));
+        assert_eq!(conn.component(), ComponentId::from_raw(9));
+        assert_eq!(conn.epoch(), kar_types::Epoch::ZERO);
+        store.fence(ComponentId::from_raw(9));
+        let conn2 = store.connect(ComponentId::from_raw(9));
+        assert_eq!(conn2.epoch(), kar_types::Epoch::from_raw(1));
+    }
+
+    #[test]
+    fn every_operation_is_fenced() {
+        let store = Store::new();
+        let c = ComponentId::from_raw(3);
+        let conn = store.connect(c);
+        store.fence(c);
+        assert!(conn.get("k").is_err());
+        assert!(conn.set("k", Value::Null).is_err());
+        assert!(conn.set_nx("k", Value::Null).is_err());
+        assert!(conn.compare_and_swap("k", None, Value::Null).is_err());
+        assert!(conn.del("k").is_err());
+        assert!(conn.exists("k").is_err());
+        assert!(conn.keys_with_prefix("k").is_err());
+        assert!(conn.hget("k", "f").is_err());
+        assert!(conn.hset("k", "f", Value::Null).is_err());
+        assert!(conn.hset_multi("k", []).is_err());
+        assert!(conn.hdel("k", "f").is_err());
+        assert!(conn.hgetall("k").is_err());
+        assert!(conn.hclear("k").is_err());
+    }
+
+    #[test]
+    fn stats_count_reads_writes_cas() {
+        let (store, conn) = store_and_conn();
+        conn.set("a", Value::from(1)).unwrap();
+        conn.get("a").unwrap();
+        conn.set_nx("b", Value::from(1)).unwrap();
+        conn.compare_and_swap("c", None, Value::from(1)).unwrap().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.cas, 2);
+        assert_eq!(stats.total(), 4);
+    }
+
+    proptest! {
+        /// Sequential set/get on distinct keys behaves like a HashMap.
+        #[test]
+        fn acts_like_a_map(ops in prop::collection::vec(("[a-c]", -100i64..100), 1..40)) {
+            let (_s, conn) = store_and_conn();
+            let mut model = std::collections::HashMap::new();
+            for (k, v) in ops {
+                conn.set(&k, Value::from(v)).unwrap();
+                model.insert(k.clone(), v);
+                prop_assert_eq!(conn.get(&k).unwrap(), Some(Value::from(*model.get(&k).unwrap())));
+            }
+            for (k, v) in &model {
+                prop_assert_eq!(conn.get(k).unwrap(), Some(Value::from(*v)));
+            }
+        }
+
+        /// A hash behaves like a BTreeMap under hset/hdel.
+        #[test]
+        fn hash_acts_like_a_map(ops in prop::collection::vec(("[a-c]", any::<bool>(), -5i64..5), 1..40)) {
+            let (_s, conn) = store_and_conn();
+            let mut model: BTreeMap<String, Value> = BTreeMap::new();
+            for (f, del, v) in ops {
+                if del {
+                    conn.hdel("h", &f).unwrap();
+                    model.remove(&f);
+                } else {
+                    conn.hset("h", &f, Value::from(v)).unwrap();
+                    model.insert(f.clone(), Value::from(v));
+                }
+            }
+            prop_assert_eq!(conn.hgetall("h").unwrap(), model);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Operation counters exposed by the store.
+
+/// Counters of the operations performed against a [`Store`](crate::Store)
+/// since its creation.
+///
+/// The KAR runtime uses these counters in tests and benchmarks, for example
+/// to show that the actor placement cache removes store reads from the hot
+/// invocation path (Table 2, "KAR Actor" vs "KAR Actor (no cache)").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of read operations (get, exists, hget, hgetall, keys).
+    pub reads: u64,
+    /// Number of write operations (set, del, hset, hdel, hclear).
+    pub writes: u64,
+    /// Number of conditional writes (set_nx, compare_and_swap).
+    pub cas: u64,
+}
+
+impl StoreStats {
+    /// Total number of operations.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes + self.cas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_all_categories() {
+        let stats = StoreStats { reads: 1, writes: 2, cas: 3 };
+        assert_eq!(stats.total(), 6);
+        assert_eq!(StoreStats::default().total(), 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! The store proper: shared data, fencing epochs, and administration.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use kar_types::{ComponentId, Epoch, KarError, KarResult, Value};
+
+use crate::connection::Connection;
+use crate::stats::StoreStats;
+
+/// Configuration of a [`Store`].
+#[derive(Debug, Clone, Default)]
+pub struct StoreConfig {
+    /// Latency added to every store operation (emulating the network and
+    /// server-side cost of a Redis command).
+    pub op_latency: Duration,
+}
+
+impl StoreConfig {
+    /// A configuration with the given per-operation latency.
+    pub fn with_op_latency(op_latency: Duration) -> Self {
+        StoreConfig { op_latency }
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct StoreData {
+    /// Plain string keys.
+    pub(crate) strings: HashMap<String, Value>,
+    /// Hash keys (one hash per actor instance in the KAR runtime).
+    pub(crate) hashes: HashMap<String, BTreeMap<String, Value>>,
+    /// Highest epoch each component is still allowed to use. A connection
+    /// created at an earlier epoch is fenced.
+    pub(crate) allowed_epochs: HashMap<ComponentId, Epoch>,
+    /// Operation counters.
+    pub(crate) stats: StoreStats,
+}
+
+/// A Redis-like key/value + hash store shared by every component of an
+/// application.
+///
+/// Cloning a `Store` produces another handle to the same underlying data
+/// (like connecting to the same Redis deployment twice).
+///
+/// The store itself never fails in the reproduction: the paper's fault model
+/// (§3.3) assumes message queues and data stores survive the (non
+/// catastrophic) failures under study.
+#[derive(Debug, Clone)]
+pub struct Store {
+    inner: Arc<StoreInner>,
+}
+
+#[derive(Debug)]
+pub(crate) struct StoreInner {
+    pub(crate) config: StoreConfig,
+    pub(crate) data: Mutex<StoreData>,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::new()
+    }
+}
+
+impl Store {
+    /// Creates an empty store with zero added latency.
+    pub fn new() -> Self {
+        Store::with_config(StoreConfig::default())
+    }
+
+    /// Creates an empty store with the given configuration.
+    pub fn with_config(config: StoreConfig) -> Self {
+        Store { inner: Arc::new(StoreInner { config, data: Mutex::new(StoreData::default()) }) }
+    }
+
+    /// Opens a client connection on behalf of `component`.
+    ///
+    /// The connection is bound to the component's current epoch: if the
+    /// component is later [fenced](Store::fence), the connection starts
+    /// failing with `KarError::Fenced`.
+    pub fn connect(&self, component: ComponentId) -> Connection {
+        let epoch = {
+            let data = self.inner.data.lock();
+            data.allowed_epochs.get(&component).copied().unwrap_or(Epoch::ZERO)
+        };
+        Connection::new(self.inner.clone(), component, epoch)
+    }
+
+    /// Forcefully disconnects `component`: every connection it opened before
+    /// this call is rejected from now on.
+    ///
+    /// This implements the paper's *forceful disconnection* requirement: once
+    /// a component is deemed failed, none of its in-flight store operations
+    /// can be applied, so the state updates of a failed actor cannot overlap
+    /// with those of its replacement (§4.2).
+    ///
+    /// Returns the new epoch the component must reconnect with.
+    pub fn fence(&self, component: ComponentId) -> Epoch {
+        let mut data = self.inner.data.lock();
+        let entry = data.allowed_epochs.entry(component).or_insert(Epoch::ZERO);
+        *entry = entry.next();
+        *entry
+    }
+
+    /// The epoch currently allowed for `component`.
+    pub fn current_epoch(&self, component: ComponentId) -> Epoch {
+        let data = self.inner.data.lock();
+        data.allowed_epochs.get(&component).copied().unwrap_or(Epoch::ZERO)
+    }
+
+    /// A snapshot of the operation counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.data.lock().stats.clone()
+    }
+
+    /// Number of string keys plus hash keys currently stored.
+    pub fn len(&self) -> usize {
+        let data = self.inner.data.lock();
+        data.strings.len() + data.hashes.len()
+    }
+
+    /// True if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every key (both strings and hashes). Fencing epochs and
+    /// statistics are preserved. Intended for test harnesses.
+    pub fn clear(&self) {
+        let mut data = self.inner.data.lock();
+        data.strings.clear();
+        data.hashes.clear();
+    }
+
+    /// Administrative (unfenced) read of a string key, used by test harnesses
+    /// and invariant checkers that are not part of the application.
+    pub fn admin_get(&self, key: &str) -> Option<Value> {
+        self.inner.data.lock().strings.get(key).cloned()
+    }
+
+    /// Administrative (unfenced) read of a whole hash.
+    pub fn admin_hgetall(&self, key: &str) -> BTreeMap<String, Value> {
+        self.inner.data.lock().hashes.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Administrative list of string keys starting with `prefix`.
+    pub fn admin_keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        let data = self.inner.data.lock();
+        let mut keys: Vec<String> =
+            data.strings.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Administrative removal of a string key, bypassing fencing. Returns the
+    /// previous value if any. Used by the runtime's reconciliation leader,
+    /// which operates on behalf of the surviving application as a whole
+    /// rather than a single (fence-able) component.
+    pub fn admin_del(&self, key: &str) -> Option<Value> {
+        self.inner.data.lock().strings.remove(key)
+    }
+
+    /// Administrative write of a string key, bypassing fencing. Returns the
+    /// previous value if any. Used by reconciliation to rewrite placement
+    /// decisions for actors hosted by failed components.
+    pub fn admin_set(&self, key: &str, value: Value) -> Option<Value> {
+        self.inner.data.lock().strings.insert(key.to_owned(), value)
+    }
+}
+
+impl StoreInner {
+    /// Applies the configured operation latency and checks fencing before an
+    /// operation performed by `component` at `epoch`.
+    pub(crate) fn check_in(&self, component: ComponentId, epoch: Epoch) -> KarResult<()> {
+        if !self.config.op_latency.is_zero() {
+            std::thread::sleep(self.config.op_latency);
+        }
+        let data = self.data.lock();
+        let allowed = data.allowed_epochs.get(&component).copied().unwrap_or(Epoch::ZERO);
+        if epoch < allowed {
+            return Err(KarError::Fenced {
+                component,
+                detail: format!("store connection at {epoch} but component fenced to {allowed}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fence_bumps_epoch_and_new_connection_works() {
+        let store = Store::new();
+        let c1 = ComponentId::from_raw(1);
+        assert_eq!(store.current_epoch(c1), Epoch::ZERO);
+        let conn = store.connect(c1);
+        conn.set("k", Value::from(1)).unwrap();
+
+        let e = store.fence(c1);
+        assert_eq!(e, Epoch::from_raw(1));
+        assert!(conn.set("k", Value::from(2)).unwrap_err().is_fenced());
+        // Data written before the fence survives.
+        assert_eq!(store.admin_get("k"), Some(Value::from(1)));
+
+        // A fresh connection (the restarted replacement) works.
+        let conn2 = store.connect(c1);
+        conn2.set("k", Value::from(3)).unwrap();
+        assert_eq!(conn2.get("k").unwrap(), Some(Value::from(3)));
+    }
+
+    #[test]
+    fn fencing_is_per_component() {
+        let store = Store::new();
+        let a = store.connect(ComponentId::from_raw(1));
+        let b = store.connect(ComponentId::from_raw(2));
+        store.fence(ComponentId::from_raw(1));
+        assert!(a.get("x").is_err());
+        assert!(b.get("x").is_ok());
+    }
+
+    #[test]
+    fn clear_and_len() {
+        let store = Store::new();
+        assert!(store.is_empty());
+        let conn = store.connect(ComponentId::from_raw(1));
+        conn.set("a", Value::from(1)).unwrap();
+        conn.hset("h", "f", Value::from(2)).unwrap();
+        assert_eq!(store.len(), 2);
+        store.clear();
+        assert!(store.is_empty());
+        // Connection still usable after clear.
+        assert_eq!(conn.get("a").unwrap(), None);
+    }
+
+    #[test]
+    fn admin_accessors_bypass_fencing() {
+        let store = Store::new();
+        let c = ComponentId::from_raw(7);
+        let conn = store.connect(c);
+        conn.set("placement/Order/1", Value::from("component-7")).unwrap();
+        conn.set("placement/Order/2", Value::from("component-7")).unwrap();
+        conn.set("other", Value::from(1)).unwrap();
+        store.fence(c);
+        assert_eq!(
+            store.admin_keys_with_prefix("placement/"),
+            vec!["placement/Order/1".to_string(), "placement/Order/2".to_string()]
+        );
+        assert_eq!(store.admin_del("placement/Order/1"), Some(Value::from("component-7")));
+        assert_eq!(store.admin_get("placement/Order/1"), None);
+        assert_eq!(store.admin_set("placement/Order/1", Value::from("component-8")), None);
+        assert_eq!(store.admin_get("placement/Order/1"), Some(Value::from("component-8")));
+    }
+
+    #[test]
+    fn store_clone_shares_data() {
+        let store = Store::new();
+        let store2 = store.clone();
+        store.connect(ComponentId::from_raw(1)).set("k", Value::from(1)).unwrap();
+        assert_eq!(store2.admin_get("k"), Some(Value::from(1)));
+    }
+
+    #[test]
+    fn op_latency_is_applied() {
+        let store = Store::with_config(StoreConfig::with_op_latency(Duration::from_millis(5)));
+        let conn = store.connect(ComponentId::from_raw(1));
+        let t0 = std::time::Instant::now();
+        conn.get("missing").unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(4));
+    }
+}

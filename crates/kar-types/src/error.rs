@@ -1,0 +1,166 @@
+//! The shared error type of the KAR reproduction.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ActorRef, ComponentId, RequestId};
+
+/// Convenient result alias using [`KarError`].
+pub type KarResult<T> = Result<T, KarError>;
+
+/// Errors surfaced by the KAR runtime, its substrates, and application actors.
+///
+/// Application-raised errors ([`KarError::Application`]) are propagated from
+/// callees to callers like exceptions in the paper's JavaScript SDK (§2);
+/// every other variant is an infrastructure error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KarError {
+    /// An error raised by application actor code; propagated to the caller.
+    Application(String),
+    /// The target actor type is not hosted by any live component.
+    NoHostForActorType {
+        /// The actor type that could not be placed.
+        actor_type: String,
+    },
+    /// The invoked method is not defined by the target actor.
+    UnknownMethod {
+        /// The target actor.
+        actor: ActorRef,
+        /// The missing method name.
+        method: String,
+    },
+    /// The component issuing the operation has been fenced (forcefully
+    /// disconnected) by the substrate because it was declared failed.
+    Fenced {
+        /// The fenced component.
+        component: ComponentId,
+        /// Human readable description of which substrate rejected the call.
+        detail: String,
+    },
+    /// The component or node executing the invocation was killed while the
+    /// invocation was in flight.
+    Killed {
+        /// The killed component.
+        component: ComponentId,
+    },
+    /// The invocation was cancelled by retry orchestration because its caller
+    /// failed (§3.6, §4.4). A synthetic response carrying this error is
+    /// produced instead of running the callee.
+    Cancelled {
+        /// The request that was cancelled.
+        request: RequestId,
+    },
+    /// A blocking call did not receive a response within its deadline.
+    Timeout {
+        /// The request that timed out.
+        request: RequestId,
+        /// The configured deadline in milliseconds.
+        after_ms: u64,
+    },
+    /// The message queue substrate rejected or failed an operation.
+    Queue(String),
+    /// The persistent store substrate rejected or failed an operation.
+    Store(String),
+    /// The runtime is shutting down and cannot accept new work.
+    ShuttingDown,
+    /// Internal invariant violation (a bug in the runtime, not the app).
+    Internal(String),
+}
+
+impl KarError {
+    /// Builds an application-level error.
+    pub fn application(msg: impl Into<String>) -> Self {
+        KarError::Application(msg.into())
+    }
+
+    /// Builds an internal error.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        KarError::Internal(msg.into())
+    }
+
+    /// True if the error is transient from the point of view of retry
+    /// orchestration: the invocation did not complete and may be retried by
+    /// the runtime (as opposed to an application error that is a completed,
+    /// failed result).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            KarError::Fenced { .. }
+                | KarError::Killed { .. }
+                | KarError::Timeout { .. }
+                | KarError::Queue(_)
+                | KarError::Store(_)
+        )
+    }
+
+    /// True if the error represents a fencing/forceful-disconnection event.
+    pub fn is_fenced(&self) -> bool {
+        matches!(self, KarError::Fenced { .. })
+    }
+}
+
+impl fmt::Display for KarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KarError::Application(m) => write!(f, "application error: {m}"),
+            KarError::NoHostForActorType { actor_type } => {
+                write!(f, "no live component hosts actor type {actor_type}")
+            }
+            KarError::UnknownMethod { actor, method } => {
+                write!(f, "actor {actor} has no method {method}")
+            }
+            KarError::Fenced { component, detail } => {
+                write!(f, "{component} has been fenced: {detail}")
+            }
+            KarError::Killed { component } => write!(f, "{component} was killed"),
+            KarError::Cancelled { request } => write!(f, "{request} was cancelled"),
+            KarError::Timeout { request, after_ms } => {
+                write!(f, "{request} timed out after {after_ms} ms")
+            }
+            KarError::Queue(m) => write!(f, "queue error: {m}"),
+            KarError::Store(m) => write!(f, "store error: {m}"),
+            KarError::ShuttingDown => write!(f, "runtime is shutting down"),
+            KarError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for KarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = KarError::application("boom");
+        assert_eq!(e.to_string(), "application error: boom");
+        let e = KarError::NoHostForActorType { actor_type: "Order".into() };
+        assert!(e.to_string().contains("Order"));
+        let e = KarError::UnknownMethod { actor: ActorRef::new("A", "1"), method: "m".into() };
+        assert!(e.to_string().contains("A/1"));
+        let e = KarError::Timeout { request: RequestId::from_raw(3), after_ms: 10 };
+        assert!(e.to_string().contains("10 ms"));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(!KarError::application("x").is_retryable());
+        assert!(!KarError::Cancelled { request: RequestId::from_raw(1) }.is_retryable());
+        assert!(KarError::Killed { component: ComponentId::from_raw(1) }.is_retryable());
+        assert!(KarError::Queue("q".into()).is_retryable());
+        assert!(KarError::Store("s".into()).is_retryable());
+        assert!(
+            KarError::Fenced { component: ComponentId::from_raw(1), detail: "d".into() }
+                .is_fenced()
+        );
+        assert!(!KarError::internal("x").is_fenced());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<KarError>();
+    }
+}

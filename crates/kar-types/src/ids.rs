@@ -1,0 +1,279 @@
+//! Strongly typed identifiers used throughout the KAR runtime.
+//!
+//! The paper identifies an actor by a *(type, instance id)* pair (§2), a
+//! pending invocation by a *request id* (§3.2), and an application component
+//! (paired application + sidecar process) by a component id (§4.1). Nodes
+//! group components that fail together (a node failure abruptly terminates
+//! every component placed on it, §6.1).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// The name of an actor type (e.g. `"Latch"`, `"Order"`).
+///
+/// Actor types are the unit of placement: application components announce
+/// which actor types they can host and the runtime places each instance in a
+/// compatible component (§4.1).
+pub type ActorType = String;
+
+/// The unique instance id of an actor within its type (e.g. `"myInstance"`).
+pub type ActorId = String;
+
+/// A reference to a (virtual) actor instance: a *(type, instance id)* pair.
+///
+/// Constructing an `ActorRef` never instantiates an actor; actors are
+/// instantiated implicitly when first invoked, mirroring `actor.proxy` in the
+/// paper (§2).
+///
+/// ```
+/// use kar_types::ActorRef;
+/// let a = ActorRef::new("Latch", "l1");
+/// let b = ActorRef::new("Latch", "l1");
+/// assert_eq!(a, b); // equivalent references denote the same instance
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ActorRef {
+    actor_type: ActorType,
+    actor_id: ActorId,
+}
+
+impl ActorRef {
+    /// Synthesizes a reference to the actor instance `id` of type `ty`.
+    pub fn new(ty: impl Into<ActorType>, id: impl Into<ActorId>) -> Self {
+        ActorRef { actor_type: ty.into(), actor_id: id.into() }
+    }
+
+    /// The actor type of the referenced instance.
+    pub fn actor_type(&self) -> &str {
+        &self.actor_type
+    }
+
+    /// The instance id of the referenced instance.
+    pub fn actor_id(&self) -> &str {
+        &self.actor_id
+    }
+
+    /// A stable, human readable `Type/id` rendering used as a store key.
+    pub fn qualified_name(&self) -> String {
+        format!("{}/{}", self.actor_type, self.actor_id)
+    }
+}
+
+impl fmt::Display for ActorRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.actor_type, self.actor_id)
+    }
+}
+
+/// Globally unique identifier of a method invocation request.
+///
+/// Retries of the same logical invocation reuse the same request id; a tail
+/// call also reuses the id of the caller it completes (§3.2, rules
+/// *tail-self* / *tail-other*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Wraps a raw id. Mostly useful in tests and in the formal semantics
+    /// where ids are allocated by the explorer.
+    pub const fn from_raw(raw: u64) -> Self {
+        RequestId(raw)
+    }
+
+    /// The raw numeric id.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// A monotonically increasing generator of fresh [`RequestId`]s.
+///
+/// The formal semantics requires call/tell to allocate ids that were *never
+/// used before* (§3.2); a process-wide atomic counter provides that.
+#[derive(Debug, Default)]
+pub struct RequestIdGenerator {
+    next: AtomicU64,
+}
+
+impl RequestIdGenerator {
+    /// Creates a generator starting at id 1.
+    pub fn new() -> Self {
+        RequestIdGenerator { next: AtomicU64::new(1) }
+    }
+
+    /// Returns a fresh, never-before-returned request id.
+    pub fn fresh(&self) -> RequestId {
+        RequestId(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Identifier of an application component (paired application + runtime
+/// sidecar process).
+///
+/// Each component owns a dedicated message queue (§4.1) and is the unit of
+/// actor placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ComponentId(u64);
+
+impl ComponentId {
+    /// Wraps a raw component id.
+    pub const fn from_raw(raw: u64) -> Self {
+        ComponentId(raw)
+    }
+
+    /// The raw numeric id.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "component-{}", self.0)
+    }
+}
+
+/// Identifier of a (virtual) node hosting one or more components.
+///
+/// Fault injection operates at node granularity, matching the paper's
+/// experiments that hard-stop a randomly selected victim node (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Wraps a raw node id.
+    pub const fn from_raw(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw numeric id.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// A fencing epoch.
+///
+/// Both substrates (queue and store) associate an epoch with every client
+/// session. Declaring a component failed bumps the epoch it is allowed to use,
+/// so stale operations from the "past" are rejected — the paper's *forceful
+/// disconnection* requirement (§1, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Epoch(u64);
+
+impl Epoch {
+    /// The initial epoch.
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// Wraps a raw epoch number.
+    pub const fn from_raw(raw: u64) -> Self {
+        Epoch(raw)
+    }
+
+    /// The raw epoch number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The epoch following this one.
+    #[must_use]
+    pub const fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn actor_ref_equality_and_display() {
+        let a = ActorRef::new("Latch", "x");
+        let b = ActorRef::new("Latch", "x");
+        let c = ActorRef::new("Latch", "y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_string(), "Latch/x");
+        assert_eq!(a.qualified_name(), "Latch/x");
+        assert_eq!(a.actor_type(), "Latch");
+        assert_eq!(a.actor_id(), "x");
+    }
+
+    #[test]
+    fn request_id_generator_produces_unique_ids() {
+        let gen = RequestIdGenerator::new();
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(gen.fresh()));
+        }
+    }
+
+    #[test]
+    fn request_id_generator_is_thread_safe() {
+        let gen = std::sync::Arc::new(RequestIdGenerator::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let gen = gen.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| gen.fresh()).collect::<Vec<_>>()
+            }));
+        }
+        let mut seen = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(seen.insert(id), "duplicate id {id}");
+            }
+        }
+        assert_eq!(seen.len(), 8000);
+    }
+
+    #[test]
+    fn epoch_ordering_and_next() {
+        assert!(Epoch::ZERO < Epoch::ZERO.next());
+        assert_eq!(Epoch::from_raw(3).next(), Epoch::from_raw(4));
+        assert_eq!(Epoch::from_raw(7).as_u64(), 7);
+    }
+
+    #[test]
+    fn ids_roundtrip_raw() {
+        assert_eq!(RequestId::from_raw(9).as_u64(), 9);
+        assert_eq!(ComponentId::from_raw(2).as_u64(), 2);
+        assert_eq!(NodeId::from_raw(5).as_u64(), 5);
+        assert_eq!(ComponentId::from_raw(2).to_string(), "component-2");
+        assert_eq!(NodeId::from_raw(5).to_string(), "node-5");
+        assert_eq!(RequestId::from_raw(9).to_string(), "req-9");
+    }
+
+    #[test]
+    fn hash_and_ord_are_consistent_for_refs() {
+        let mut v = vec![
+            ActorRef::new("B", "2"),
+            ActorRef::new("A", "1"),
+            ActorRef::new("A", "2"),
+        ];
+        v.sort();
+        assert_eq!(v[0], ActorRef::new("A", "1"));
+        assert_eq!(v[2], ActorRef::new("B", "2"));
+    }
+}

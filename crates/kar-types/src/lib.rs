@@ -1,0 +1,40 @@
+//! Shared foundation types for the KAR reliable-actors reproduction.
+//!
+//! This crate holds the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`ids`] — strongly typed identifiers for actors, requests, components and
+//!   nodes.
+//! * [`value`] — the self-describing [`Value`] data model used for actor
+//!   method arguments, results and persisted state.
+//! * [`message`] — the wire-level request/response messages exchanged through
+//!   the reliable queue substrate.
+//! * [`error`] — the [`KarError`] error type shared across the workspace.
+//! * [`time`] — wall-clock/scaled clocks and the latency profiles used to
+//!   emulate the paper's three deployment configurations.
+//!
+//! # Example
+//!
+//! ```
+//! use kar_types::{ActorRef, Value};
+//!
+//! let latch = ActorRef::new("Latch", "myInstance");
+//! assert_eq!(latch.actor_type(), "Latch");
+//! let v = Value::from(42);
+//! assert_eq!(v.as_i64(), Some(42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod message;
+pub mod time;
+pub mod value;
+
+pub use error::{KarError, KarResult};
+pub use ids::{ActorId, ActorRef, ActorType, ComponentId, Epoch, NodeId, RequestId};
+pub use message::{CallKind, Envelope, Payload, RequestMessage, ResponseMessage};
+pub use time::{Clock, DeploymentProfile, LatencyProfile, ScaledClock, SystemClock, TimeScale};
+pub use value::Value;

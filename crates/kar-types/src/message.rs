@@ -1,0 +1,291 @@
+//! Wire-level messages exchanged through the reliable queue substrate.
+//!
+//! The formal semantics (§3.2) models two message shapes: an invocation
+//! request `i ↦r a.m(v)` and a response `i ↦r v`, where `i` is the request id
+//! and `r` the optional return address (the caller's request id). The
+//! implementation (§4.1, §4.3) additionally carries:
+//!
+//! * the *call kind* (blocking call, asynchronous tell, or tail call),
+//! * the caller *lineage* (the stack of ancestor request ids) used to detect
+//!   reentrant calls that must bypass the actor mailbox, and
+//! * an optional *pending callee* id attached during reconciliation, which
+//!   instructs the receiving sidecar to postpone the retry of the request
+//!   until a response from that callee arrives (the happen-before guarantee).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::KarError;
+use crate::ids::{ActorRef, ComponentId, RequestId};
+use crate::value::Value;
+
+/// The completion payload of an invocation: a value or a propagated error.
+pub type Payload = Result<Value, KarError>;
+
+/// How an invocation request was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CallKind {
+    /// A blocking invocation (`actor.call`): the caller waits for the result.
+    Call,
+    /// An asynchronous invocation (`actor.tell`): no result is returned and
+    /// errors are logged and discarded.
+    Tell,
+    /// A tail call (`actor.tailCall`): atomically completes the caller while
+    /// issuing the next invocation, reusing the caller's request id and
+    /// return address.
+    TailCall,
+}
+
+impl CallKind {
+    /// True for invocations whose completion produces a response message that
+    /// some caller is waiting for.
+    pub fn expects_response(self) -> bool {
+        matches!(self, CallKind::Call | CallKind::TailCall)
+    }
+}
+
+/// An invocation request message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestMessage {
+    /// Unique id of this invocation. Retries and tail-call continuations
+    /// reuse the id.
+    pub id: RequestId,
+    /// Return address: the request id of the blocked caller, if any.
+    pub caller: Option<RequestId>,
+    /// Target actor instance.
+    pub target: ActorRef,
+    /// Method to invoke on the target actor.
+    pub method: String,
+    /// Method arguments.
+    pub args: Vec<Value>,
+    /// How the invocation was issued.
+    pub kind: CallKind,
+    /// Request ids of every ancestor in the call stack, oldest first. Used to
+    /// grant reentrant calls access to actors locked by an ancestor.
+    pub lineage: Vec<RequestId>,
+    /// When reconciliation re-enqueues a request that had a live nested call,
+    /// this records the callee's id: the retry must wait for that callee's
+    /// response first (happen-before, §4.3).
+    pub pending_callee: Option<RequestId>,
+    /// The actor the caller is running on, if the caller is itself an actor
+    /// invocation. Responses to nested calls are routed to the component
+    /// currently hosting this actor, which stays correct across failures and
+    /// re-placements.
+    pub caller_actor: Option<ActorRef>,
+    /// The component whose queue should receive the response when the caller
+    /// is not an actor (an external client); clients are never re-placed.
+    pub reply_to: Option<ComponentId>,
+}
+
+impl RequestMessage {
+    /// Builds a root (external) blocking request with no caller.
+    pub fn root(id: RequestId, target: ActorRef, method: impl Into<String>, args: Vec<Value>) -> Self {
+        RequestMessage {
+            id,
+            caller: None,
+            target,
+            method: method.into(),
+            args,
+            kind: CallKind::Call,
+            lineage: Vec::new(),
+            pending_callee: None,
+            caller_actor: None,
+            reply_to: None,
+        }
+    }
+
+    /// The full chain of request ids from the root of the call stack down to
+    /// and including this request.
+    pub fn chain(&self) -> Vec<RequestId> {
+        let mut chain = self.lineage.clone();
+        chain.push(self.id);
+        chain
+    }
+
+    /// An approximation of the encoded size of this message in bytes.
+    pub fn approximate_size(&self) -> usize {
+        32 + self.method.len()
+            + self.args.iter().map(Value::approximate_size).sum::<usize>()
+            + self.lineage.len() * 8
+            + self.target.qualified_name().len()
+    }
+}
+
+/// A response message carrying the completion of a request back to its caller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseMessage {
+    /// The request this response completes.
+    pub id: RequestId,
+    /// The request id of the caller waiting for this response, if any.
+    pub caller: Option<RequestId>,
+    /// The completion payload.
+    pub result: Payload,
+}
+
+impl ResponseMessage {
+    /// Builds a successful response.
+    pub fn ok(id: RequestId, caller: Option<RequestId>, value: Value) -> Self {
+        ResponseMessage { id, caller, result: Ok(value) }
+    }
+
+    /// Builds an error response.
+    pub fn err(id: RequestId, caller: Option<RequestId>, error: KarError) -> Self {
+        ResponseMessage { id, caller, result: Err(error) }
+    }
+}
+
+/// A message flowing through a component queue: either a request or a
+/// response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Envelope {
+    /// An invocation request.
+    Request(RequestMessage),
+    /// An invocation response.
+    Response(ResponseMessage),
+}
+
+impl Envelope {
+    /// The request id carried by this envelope.
+    pub fn id(&self) -> RequestId {
+        match self {
+            Envelope::Request(r) => r.id,
+            Envelope::Response(r) => r.id,
+        }
+    }
+
+    /// Returns the request if this envelope is a request.
+    pub fn as_request(&self) -> Option<&RequestMessage> {
+        match self {
+            Envelope::Request(r) => Some(r),
+            Envelope::Response(_) => None,
+        }
+    }
+
+    /// Returns the response if this envelope is a response.
+    pub fn as_response(&self) -> Option<&ResponseMessage> {
+        match self {
+            Envelope::Response(r) => Some(r),
+            Envelope::Request(_) => None,
+        }
+    }
+
+    /// True if this envelope is a request.
+    pub fn is_request(&self) -> bool {
+        matches!(self, Envelope::Request(_))
+    }
+
+    /// An approximation of the encoded size of this envelope in bytes.
+    pub fn approximate_size(&self) -> usize {
+        match self {
+            Envelope::Request(r) => r.approximate_size(),
+            Envelope::Response(r) => {
+                24 + match &r.result {
+                    Ok(v) => v.approximate_size(),
+                    Err(e) => e.to_string().len(),
+                }
+            }
+        }
+    }
+}
+
+impl From<RequestMessage> for Envelope {
+    fn from(r: RequestMessage) -> Self {
+        Envelope::Request(r)
+    }
+}
+
+impl From<ResponseMessage> for Envelope {
+    fn from(r: ResponseMessage) -> Self {
+        Envelope::Response(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> RequestMessage {
+        RequestMessage::root(
+            RequestId::from_raw(1),
+            ActorRef::new("Latch", "l"),
+            "set",
+            vec![Value::from(42)],
+        )
+    }
+
+    #[test]
+    fn call_kind_response_expectations() {
+        assert!(CallKind::Call.expects_response());
+        assert!(CallKind::TailCall.expects_response());
+        assert!(!CallKind::Tell.expects_response());
+    }
+
+    #[test]
+    fn root_request_has_no_caller_or_lineage() {
+        let r = sample_request();
+        assert_eq!(r.caller, None);
+        assert!(r.lineage.is_empty());
+        assert_eq!(r.chain(), vec![RequestId::from_raw(1)]);
+        assert_eq!(r.kind, CallKind::Call);
+        assert_eq!(r.pending_callee, None);
+        assert_eq!(r.caller_actor, None);
+        assert_eq!(r.reply_to, None);
+    }
+
+    #[test]
+    fn chain_appends_self_to_lineage() {
+        let mut r = sample_request();
+        r.lineage = vec![RequestId::from_raw(10), RequestId::from_raw(20)];
+        assert_eq!(
+            r.chain(),
+            vec![RequestId::from_raw(10), RequestId::from_raw(20), RequestId::from_raw(1)]
+        );
+    }
+
+    #[test]
+    fn envelope_accessors() {
+        let req = Envelope::from(sample_request());
+        assert!(req.is_request());
+        assert_eq!(req.id(), RequestId::from_raw(1));
+        assert!(req.as_request().is_some());
+        assert!(req.as_response().is_none());
+
+        let resp = Envelope::from(ResponseMessage::ok(
+            RequestId::from_raw(2),
+            Some(RequestId::from_raw(1)),
+            Value::from("OK"),
+        ));
+        assert!(!resp.is_request());
+        assert_eq!(resp.id(), RequestId::from_raw(2));
+        assert!(resp.as_response().is_some());
+        assert!(resp.as_request().is_none());
+    }
+
+    #[test]
+    fn response_constructors() {
+        let ok = ResponseMessage::ok(RequestId::from_raw(1), None, Value::Null);
+        assert_eq!(ok.result, Ok(Value::Null));
+        let err = ResponseMessage::err(
+            RequestId::from_raw(1),
+            None,
+            KarError::application("bad"),
+        );
+        assert!(err.result.is_err());
+    }
+
+    #[test]
+    fn sizes_scale_with_payload() {
+        let small = Envelope::from(sample_request());
+        let mut big_req = sample_request();
+        big_req.args = vec![Value::from("x".repeat(1000))];
+        let big = Envelope::from(big_req);
+        assert!(big.approximate_size() > small.approximate_size() + 900);
+        let resp = Envelope::from(ResponseMessage::ok(RequestId::from_raw(1), None, Value::Null));
+        assert!(resp.approximate_size() >= 24);
+        let err_resp = Envelope::from(ResponseMessage::err(
+            RequestId::from_raw(1),
+            None,
+            KarError::application("some error message"),
+        ));
+        assert!(err_resp.approximate_size() > 24);
+    }
+}

@@ -1,0 +1,342 @@
+//! The self-describing value model used for actor method arguments, results
+//! and persisted actor state.
+//!
+//! The KAR paper is language neutral and marshals JSON between application
+//! components; this crate provides an equivalent JSON-like [`Value`] type so
+//! the reproduction does not need an external JSON crate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A JSON-like dynamically typed value.
+///
+/// `Value` is used for actor method parameters and results (which the runtime
+/// persists in message queues) and for actor state persisted in the store.
+///
+/// ```
+/// use kar_types::Value;
+/// let v = Value::map([("count", Value::from(3)), ("open", Value::from(true))]);
+/// assert_eq!(v.get("count").and_then(Value::as_i64), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum Value {
+    /// The absence of a value.
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// An ordered list of values.
+    List(Vec<Value>),
+    /// A string-keyed map of values (ordered for determinism).
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds a [`Value::Map`] from key/value pairs.
+    pub fn map<K: Into<String>>(entries: impl IntoIterator<Item = (K, Value)>) -> Value {
+        Value::Map(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a [`Value::List`] from values.
+    pub fn list(entries: impl IntoIterator<Item = Value>) -> Value {
+        Value::List(entries.into_iter().collect())
+    }
+
+    /// Returns `true` if this value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the boolean payload if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload if this is a [`Value::Int`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload if this is a [`Value::Float`] or
+    /// [`Value::Int`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the list payload if this is a [`Value::List`].
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns the map payload if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` if this is a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.get(key))
+    }
+
+    /// Looks up the element at `index` if this is a [`Value::List`].
+    pub fn at(&self, index: usize) -> Option<&Value> {
+        self.as_list().and_then(|l| l.get(index))
+    }
+
+    /// Inserts `key = value` if this is a [`Value::Map`], returning the
+    /// previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this value is not a map.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        match self {
+            Value::Map(m) => m.insert(key.into(), value),
+            other => panic!("Value::insert on non-map value {other:?}"),
+        }
+    }
+
+    /// An approximation of the encoded size of this value in bytes, used by
+    /// the benchmarks to build payloads of a given size and by the queue to
+    /// implement size-based retention.
+    pub fn approximate_size(&self) -> usize {
+        match self {
+            Value::Null => 4,
+            Value::Bool(_) => 5,
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => s.len() + 2,
+            Value::List(l) => 2 + l.iter().map(Value::approximate_size).sum::<usize>(),
+            Value::Map(m) => {
+                2 + m
+                    .iter()
+                    .map(|(k, v)| k.len() + 3 + v.approximate_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k:?}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        match o {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::List(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Value::List(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conversions_and_accessors() {
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(7i64).as_i64(), Some(7));
+        assert_eq!(Value::from(7i32).as_i64(), Some(7));
+        assert_eq!(Value::from(7u32).as_i64(), Some(7));
+        assert_eq!(Value::from(7usize).as_i64(), Some(7));
+        assert_eq!(Value::from(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::from(3).as_f64(), Some(3.0));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::from(String::from("hi")).as_str(), Some("hi"));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(2i64)), Value::Int(2));
+        assert!(Value::Null.is_null());
+        assert!(Value::default().is_null());
+        assert_eq!(Value::from(vec![1i64, 2]).at(1), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn map_helpers() {
+        let mut m = Value::map([("a", Value::from(1)), ("b", Value::from("x"))]);
+        assert_eq!(m.get("a"), Some(&Value::Int(1)));
+        assert_eq!(m.get("missing"), None);
+        assert_eq!(m.insert("a", Value::from(2)), Some(Value::Int(1)));
+        assert_eq!(m.get("a"), Some(&Value::Int(2)));
+        assert_eq!(m.as_map().unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-map")]
+    fn insert_on_non_map_panics() {
+        Value::Null.insert("k", Value::Null);
+    }
+
+    #[test]
+    fn display_is_json_like() {
+        let v = Value::map([
+            ("n", Value::Null),
+            ("l", Value::list([Value::from(1), Value::from("a")])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"l": [1, "a"], "n": null}"#);
+    }
+
+    #[test]
+    fn wrong_type_accessors_return_none() {
+        let v = Value::from("text");
+        assert_eq!(v.as_bool(), None);
+        assert_eq!(v.as_i64(), None);
+        assert_eq!(v.as_f64(), None);
+        assert_eq!(v.as_list(), None);
+        assert_eq!(v.as_map(), None);
+        assert_eq!(v.get("k"), None);
+        assert_eq!(v.at(0), None);
+    }
+
+    fn arbitrary_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            (-1e12f64..1e12).prop_map(Value::Float),
+            "[a-z]{0,12}".prop_map(Value::Str),
+        ];
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+                prop::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(Value::Map),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn approximate_size_is_positive_and_monotone_in_nesting(v in arbitrary_value()) {
+            let sz = v.approximate_size();
+            prop_assert!(sz >= 2 || matches!(v, Value::Null | Value::Bool(_)));
+            let wrapped = Value::list([v.clone()]);
+            prop_assert!(wrapped.approximate_size() > v.approximate_size());
+        }
+
+        #[test]
+        fn clone_preserves_equality(v in arbitrary_value()) {
+            prop_assert_eq!(v.clone(), v);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The actor programming model surface: the [`Actor`] trait and invocation
+//! [`Outcome`]s.
+
+use kar_types::{ActorRef, KarResult, Value};
+
+use crate::context::ActorContext;
+
+/// The result of an actor method invocation: either a value (or error), or a
+/// tail call that atomically completes this invocation while issuing the next
+/// one (§2.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The method completed with a value; the caller (if any) receives it.
+    Value(Value),
+    /// The method completes by tail-calling another method. The eventual
+    /// return value of the chain is what the original caller receives. A tail
+    /// call to the same actor retains the actor lock.
+    TailCall {
+        /// The actor to tail call.
+        target: ActorRef,
+        /// The method to invoke.
+        method: String,
+        /// The invocation arguments.
+        args: Vec<Value>,
+    },
+}
+
+impl Outcome {
+    /// A completed invocation returning `value`.
+    pub fn value(value: impl Into<Value>) -> Outcome {
+        Outcome::Value(value.into())
+    }
+
+    /// A tail call to `target.method(args)`.
+    pub fn tail_call(target: ActorRef, method: impl Into<String>, args: Vec<Value>) -> Outcome {
+        Outcome::TailCall { target, method: method.into(), args }
+    }
+
+    /// True if this outcome is a tail call.
+    pub fn is_tail_call(&self) -> bool {
+        matches!(self, Outcome::TailCall { .. })
+    }
+}
+
+/// A KAR actor.
+///
+/// Actors are single threaded: the runtime serializes invocations of one
+/// actor instance, except for reentrant invocations nested in the instance's
+/// own call chain, which bypass the mailbox (§2.2). Actor in-memory state is
+/// lost on failure; durable state should be written through
+/// [`ActorContext::state`] or any external service of the application's
+/// choosing (§2.1).
+pub trait Actor: Send {
+    /// Invoked when the instance is (re)created, before the first method
+    /// invocation is delivered. The default implementation does nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error fails the triggering invocation; the runtime will
+    /// retry it (recreating the instance) according to retry orchestration.
+    fn activate(&mut self, ctx: &mut ActorContext<'_>) -> KarResult<()> {
+        let _ = ctx;
+        Ok(())
+    }
+
+    /// Invoked on graceful passivation or shutdown. Not invoked on failures
+    /// (failures are abrupt). The default implementation does nothing.
+    ///
+    /// # Errors
+    ///
+    /// Errors are logged and otherwise ignored.
+    fn deactivate(&mut self, ctx: &mut ActorContext<'_>) -> KarResult<()> {
+        let _ = ctx;
+        Ok(())
+    }
+
+    /// Handles one method invocation.
+    ///
+    /// # Errors
+    ///
+    /// Application errors are propagated to the caller of `actor.call` (§2);
+    /// for `actor.tell` they are logged and discarded.
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome>;
+}
+
+/// A factory creating fresh instances of one actor type. Registered per
+/// component via [`crate::ComponentBuilder::host`].
+pub type ActorFactory = std::sync::Arc<dyn Fn() -> Box<dyn Actor> + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_constructors() {
+        let v = Outcome::value(3);
+        assert_eq!(v, Outcome::Value(Value::Int(3)));
+        assert!(!v.is_tail_call());
+        let t = Outcome::tail_call(ActorRef::new("A", "1"), "m", vec![Value::Null]);
+        assert!(t.is_tail_call());
+        match t {
+            Outcome::TailCall { target, method, args } => {
+                assert_eq!(target, ActorRef::new("A", "1"));
+                assert_eq!(method, "m");
+                assert_eq!(args, vec![Value::Null]);
+            }
+            Outcome::Value(_) => panic!("expected tail call"),
+        }
+    }
+}

@@ -1,0 +1,785 @@
+//! Application components: the paired application + runtime sidecar process.
+//!
+//! Each component owns a dedicated queue partition, announces the actor types
+//! it hosts, consumes requests from its queue, dispatches them to per-actor
+//! mailboxes (honouring the actor lock, reentrancy and tail-call lock
+//! retention of §2.2–2.3 and §4.1), sends responses back to callers' queues,
+//! heartbeats the consumer group, and defers re-homed requests until their
+//! pending callee settles (the happen-before guarantee of §4.3).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use kar_queue::{Broker, Producer};
+use kar_store::{Connection, Store};
+use kar_types::{
+    ActorRef, CallKind, ComponentId, Envelope, KarError, KarResult, NodeId, Payload,
+    RequestMessage, ResponseMessage, Value,
+};
+use kar_types::ids::RequestIdGenerator;
+use kar_types::RequestId;
+
+use crate::actor::{ActorFactory, Outcome};
+use crate::config::{CancellationPolicy, MeshConfig};
+use crate::context::ActorContext;
+use crate::placement::{LiveSet, PlacementService};
+
+/// Execution counters of one component, useful in tests and benchmarks.
+#[derive(Debug, Default)]
+pub struct ComponentStats {
+    /// Invocations executed to completion (value, error, or tail call).
+    pub executed: AtomicU64,
+    /// Requests whose retry was postponed waiting for a pending callee.
+    pub deferred: AtomicU64,
+    /// Requests elided because their caller's component had failed (§4.4).
+    pub cancelled: AtomicU64,
+    /// Tail calls issued.
+    pub tail_calls: AtomicU64,
+    /// Requests forwarded because this component does not host the type.
+    pub forwarded: AtomicU64,
+}
+
+/// Per-actor dispatch state: the in-memory instance, the actor lock, and the
+/// in-memory mailbox of §4.1.
+#[derive(Default)]
+struct ActorSlot {
+    instance: Option<Box<dyn crate::actor::Actor>>,
+    busy: bool,
+    busy_chain: Vec<RequestId>,
+    awaiting_tail: Option<RequestId>,
+    mailbox: VecDeque<RequestMessage>,
+}
+
+/// The runtime core of one application component.
+pub struct ComponentCore {
+    pub(crate) id: ComponentId,
+    pub(crate) node: NodeId,
+    pub(crate) name: String,
+    pub(crate) config: MeshConfig,
+    pub(crate) topic: String,
+    pub(crate) group: String,
+    pub(crate) partition: usize,
+    pub(crate) broker: Broker<Envelope>,
+    #[allow(dead_code)]
+    pub(crate) store: Store,
+    pub(crate) producer: Producer<Envelope>,
+    /// Store connection used by the persistence API of hosted actors.
+    pub(crate) conn: Connection,
+    pub(crate) placement: PlacementService,
+    pub(crate) partitions: Arc<RwLock<HashMap<ComponentId, usize>>>,
+    pub(crate) live: LiveSet,
+    pub(crate) ids: Arc<RequestIdGenerator>,
+    pub(crate) hosted: HashMap<String, ActorFactory>,
+    pub(crate) stats: ComponentStats,
+    alive: AtomicBool,
+    paused: AtomicBool,
+    /// Offset of the next record this component's consumer will read from its
+    /// partition; used by reconciliation to decide whether a request copy in
+    /// this queue is still going to be processed.
+    consumed_offset: AtomicU64,
+    actors: Mutex<HashMap<ActorRef, ActorSlot>>,
+    pending_calls: Mutex<HashMap<RequestId, Sender<Payload>>>,
+    deferred: Mutex<HashMap<RequestId, Vec<RequestMessage>>>,
+    seen_responses: Mutex<HashSet<RequestId>>,
+    inflight: Mutex<HashSet<RequestId>>,
+    completed: Mutex<HashSet<RequestId>>,
+}
+
+#[allow(clippy::too_many_arguments)]
+impl ComponentCore {
+    pub(crate) fn new(
+        id: ComponentId,
+        node: NodeId,
+        name: String,
+        config: MeshConfig,
+        topic: String,
+        group: String,
+        partition: usize,
+        broker: Broker<Envelope>,
+        store: Store,
+        partitions: Arc<RwLock<HashMap<ComponentId, usize>>>,
+        live: LiveSet,
+        ids: Arc<RequestIdGenerator>,
+        hosted: HashMap<String, ActorFactory>,
+    ) -> Self {
+        let producer = broker.producer(id);
+        let conn = store.connect(id);
+        let placement = PlacementService::new(
+            store.connect(id),
+            live.clone(),
+            config.placement_cache,
+            config.call_timeout,
+        );
+        ComponentCore {
+            id,
+            node,
+            name,
+            config,
+            topic,
+            group,
+            partition,
+            broker,
+            store,
+            producer,
+            conn,
+            placement,
+            partitions,
+            live,
+            ids,
+            hosted,
+            stats: ComponentStats::default(),
+            alive: AtomicBool::new(true),
+            paused: AtomicBool::new(false),
+            consumed_offset: AtomicU64::new(0),
+            actors: Mutex::new(HashMap::new()),
+            pending_calls: Mutex::new(HashMap::new()),
+            deferred: Mutex::new(HashMap::new()),
+            seen_responses: Mutex::new(HashSet::new()),
+            inflight: Mutex::new(HashSet::new()),
+            completed: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// The component's id.
+    pub fn id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// The node the component runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The component's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True until the component is killed or shut down.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// True while recovery has paused normal message processing.
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn pause(&self) {
+        self.paused.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn resume(&self) {
+        self.placement.clear_cache();
+        self.paused.store(false, Ordering::SeqCst);
+    }
+
+    /// Abruptly terminates the component: in-memory state (actor instances,
+    /// mailboxes, blocked calls) is dropped and every thread unwinds at its
+    /// next interaction with the runtime. Queue contents and persisted actor
+    /// state survive.
+    pub(crate) fn kill(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+        self.actors.lock().clear();
+        // Dropping the senders wakes every thread blocked on a nested call.
+        self.pending_calls.lock().clear();
+        self.deferred.lock().clear();
+        self.inflight.lock().clear();
+    }
+
+    fn partition_of(&self, component: ComponentId) -> Option<usize> {
+        self.partitions.read().get(&component).copied()
+    }
+
+    /// Offset of the next record this component's consumer will read.
+    pub(crate) fn consumed_offset(&self) -> u64 {
+        self.consumed_offset.load(Ordering::SeqCst)
+    }
+
+    /// True if request `id` is queued, deferred, or executing at this
+    /// component (used by reconciliation to decide whether a copy found in a
+    /// failed queue is superseded or must be re-homed).
+    pub(crate) fn locally_pending(&self, id: RequestId) -> bool {
+        if self.inflight.lock().contains(&id) {
+            return true;
+        }
+        if self.deferred.lock().values().any(|requests| requests.iter().any(|r| r.id == id)) {
+            return true;
+        }
+        let actors = self.actors.lock();
+        actors.values().any(|slot| {
+            slot.awaiting_tail == Some(id) || slot.mailbox.iter().any(|r| r.id == id)
+        })
+    }
+
+    fn sidecar_hop(&self) {
+        let hop = self.config.latency.sidecar_hop;
+        if !hop.is_zero() {
+            std::thread::sleep(hop);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sending
+    // ------------------------------------------------------------------
+
+    /// Resolves the target actor's placement and appends the request to the
+    /// hosting component's queue.
+    pub(crate) fn send_request(&self, message: RequestMessage) -> KarResult<()> {
+        let component = self.placement.resolve(&message.target)?;
+        let partition = self.partition_of(component).ok_or_else(|| {
+            KarError::internal(format!("no partition recorded for {component}"))
+        })?;
+        self.producer.send(&self.topic, partition, Envelope::Request(message))?;
+        Ok(())
+    }
+
+    fn send_request_to_partition(&self, message: RequestMessage, partition: usize) -> KarResult<()> {
+        self.producer.send(&self.topic, partition, Envelope::Request(message))?;
+        Ok(())
+    }
+
+    /// Sends the response for `request` to the queue of whoever is waiting
+    /// for it: the component recorded in `reply_to` if it is still live, or
+    /// the component currently hosting the caller actor otherwise (which is
+    /// how responses survive the re-placement of their caller).
+    pub(crate) fn send_response(self: &Arc<Self>, request: &RequestMessage, result: Payload) {
+        if !request.kind.expects_response() {
+            return;
+        }
+        self.sidecar_hop();
+        let response = ResponseMessage { id: request.id, caller: request.caller, result };
+        // Fast path: the caller's component is alive, deliver directly.
+        if let Some(reply_to) = request.reply_to {
+            if self.live.read().contains(&reply_to) {
+                if let Some(partition) = self.partition_of(reply_to) {
+                    let _ =
+                        self.producer.send(&self.topic, partition, Envelope::Response(response));
+                    return;
+                }
+            }
+        }
+        // Slow path: the caller's component failed. Wait (on a separate
+        // thread, so the actor lock is released promptly) for reconciliation
+        // to re-place the caller actor and deliver to its new home.
+        let core = Arc::clone(self);
+        let request = request.clone();
+        std::thread::Builder::new()
+            .name(format!("kar-response-{}", request.id))
+            .spawn(move || {
+                if let Some(partition) = core.response_partition(&request) {
+                    let _ = core.producer.send(&core.topic, partition, Envelope::Response(response));
+                }
+            })
+            .expect("failed to spawn response routing thread");
+    }
+
+    fn response_partition(&self, request: &RequestMessage) -> Option<usize> {
+        if let Some(reply_to) = request.reply_to {
+            if self.live.read().contains(&reply_to) {
+                return self.partition_of(reply_to);
+            }
+        }
+        if let Some(caller_actor) = &request.caller_actor {
+            // The caller's component failed: wait (bounded) for reconciliation
+            // to re-place the caller, then deliver to its new home.
+            let deadline = Instant::now() + self.config.call_timeout;
+            loop {
+                if !self.is_alive() {
+                    return None;
+                }
+                if let Ok(component) = self.placement.resolve(caller_actor) {
+                    return self.partition_of(component);
+                }
+                if Instant::now() >= deadline {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        // reply_to points at a dead external client: drop the response.
+        request.reply_to.and_then(|c| self.partition_of(c))
+    }
+
+    // ------------------------------------------------------------------
+    // Invocation entry points
+    // ------------------------------------------------------------------
+
+    /// A blocking root invocation issued by an external client (no caller).
+    pub(crate) fn external_call(
+        &self,
+        target: &ActorRef,
+        method: &str,
+        args: Vec<Value>,
+    ) -> KarResult<Value> {
+        if !self.is_alive() {
+            return Err(KarError::Killed { component: self.id });
+        }
+        let id = self.ids.fresh();
+        let message = RequestMessage {
+            id,
+            caller: None,
+            target: target.clone(),
+            method: method.to_owned(),
+            args,
+            kind: CallKind::Call,
+            lineage: Vec::new(),
+            pending_callee: None,
+            caller_actor: None,
+            reply_to: Some(self.id),
+        };
+        self.sidecar_hop();
+        let receiver = self.register_pending(id);
+        self.send_request(message)?;
+        self.wait_for_response(id, receiver)
+    }
+
+    /// An asynchronous root invocation issued by an external client.
+    pub(crate) fn external_tell(
+        &self,
+        target: &ActorRef,
+        method: &str,
+        args: Vec<Value>,
+    ) -> KarResult<()> {
+        if !self.is_alive() {
+            return Err(KarError::Killed { component: self.id });
+        }
+        let id = self.ids.fresh();
+        let message = RequestMessage {
+            id,
+            caller: None,
+            target: target.clone(),
+            method: method.to_owned(),
+            args,
+            kind: CallKind::Tell,
+            lineage: Vec::new(),
+            pending_callee: None,
+            caller_actor: None,
+            reply_to: None,
+        };
+        self.sidecar_hop();
+        self.send_request(message)
+    }
+
+    /// A nested blocking call issued from inside an actor invocation.
+    pub(crate) fn nested_call(
+        &self,
+        caller: &RequestMessage,
+        caller_actor: &ActorRef,
+        target: &ActorRef,
+        method: &str,
+        args: Vec<Value>,
+    ) -> KarResult<Value> {
+        if !self.is_alive() {
+            return Err(KarError::Killed { component: self.id });
+        }
+        let id = self.ids.fresh();
+        let message = RequestMessage {
+            id,
+            caller: Some(caller.id),
+            target: target.clone(),
+            method: method.to_owned(),
+            args,
+            kind: CallKind::Call,
+            lineage: caller.chain(),
+            pending_callee: None,
+            caller_actor: Some(caller_actor.clone()),
+            reply_to: Some(self.id),
+        };
+        self.sidecar_hop();
+        let receiver = self.register_pending(id);
+        self.send_request(message)?;
+        self.wait_for_response(id, receiver)
+    }
+
+    /// A nested asynchronous invocation issued from inside an actor
+    /// invocation.
+    pub(crate) fn nested_tell(
+        &self,
+        _caller: &RequestMessage,
+        target: &ActorRef,
+        method: &str,
+        args: Vec<Value>,
+    ) -> KarResult<()> {
+        if !self.is_alive() {
+            return Err(KarError::Killed { component: self.id });
+        }
+        let id = self.ids.fresh();
+        let message = RequestMessage {
+            id,
+            caller: None,
+            target: target.clone(),
+            method: method.to_owned(),
+            args,
+            kind: CallKind::Tell,
+            lineage: Vec::new(),
+            pending_callee: None,
+            caller_actor: None,
+            reply_to: None,
+        };
+        self.sidecar_hop();
+        self.send_request(message)
+    }
+
+    fn register_pending(&self, id: RequestId) -> crossbeam::channel::Receiver<Payload> {
+        let (tx, rx) = bounded(1);
+        self.pending_calls.lock().insert(id, tx);
+        rx
+    }
+
+    fn wait_for_response(
+        &self,
+        id: RequestId,
+        receiver: crossbeam::channel::Receiver<Payload>,
+    ) -> KarResult<Value> {
+        let outcome = receiver.recv_timeout(self.config.call_timeout);
+        self.pending_calls.lock().remove(&id);
+        match outcome {
+            Ok(payload) => {
+                self.sidecar_hop();
+                payload
+            }
+            Err(RecvTimeoutError::Timeout) => Err(KarError::Timeout {
+                request: id,
+                after_ms: self.config.call_timeout.as_millis() as u64,
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(KarError::Killed { component: self.id }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    /// Handles one envelope read from this component's queue.
+    pub(crate) fn handle_envelope(self: &Arc<Self>, envelope: Envelope) {
+        match envelope {
+            Envelope::Response(response) => self.handle_response(response),
+            Envelope::Request(request) => self.dispatch_request(request),
+        }
+    }
+
+    fn handle_response(self: &Arc<Self>, response: ResponseMessage) {
+        self.seen_responses.lock().insert(response.id);
+        if let Some(sender) = self.pending_calls.lock().remove(&response.id) {
+            let _ = sender.send(response.result.clone());
+        }
+        // Unblock any re-homed caller whose retry was waiting for this callee
+        // to settle (happen-before).
+        let deferred = self.deferred.lock().remove(&response.id);
+        if let Some(requests) = deferred {
+            for mut request in requests {
+                request.pending_callee = None;
+                self.dispatch_request(request);
+            }
+        }
+    }
+
+    fn dispatch_request(self: &Arc<Self>, mut request: RequestMessage) {
+        if !self.is_alive() {
+            return;
+        }
+        if self.completed.lock().contains(&request.id) || self.inflight.lock().contains(&request.id)
+        {
+            return;
+        }
+        // Happen-before: a retried caller waits for its pending callee.
+        if let Some(callee) = request.pending_callee {
+            if !self.seen_responses.lock().contains(&callee) {
+                self.stats.deferred.fetch_add(1, Ordering::Relaxed);
+                self.deferred.lock().entry(callee).or_default().push(request);
+                return;
+            }
+            request.pending_callee = None;
+        }
+        // Mis-routed request (placement changed): forward to the current host.
+        if !self.hosted.contains_key(request.target.actor_type()) {
+            self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+            let _ = self.send_request(request);
+            return;
+        }
+        let mut actors = self.actors.lock();
+        let slot = actors.entry(request.target.clone()).or_default();
+        if slot.awaiting_tail == Some(request.id) {
+            // Continuation of a tail call to self: it owns the lock already.
+            slot.awaiting_tail = None;
+            slot.busy_chain = request.chain();
+            drop(actors);
+            self.inflight.lock().insert(request.id);
+            self.spawn_invocation(request, true, false);
+        } else if slot.busy {
+            let reentrant = request.lineage.iter().any(|id| slot.busy_chain.contains(id));
+            if reentrant {
+                // Reentrant nested call: bypass the mailbox (§2.2).
+                drop(actors);
+                self.inflight.lock().insert(request.id);
+                self.spawn_invocation(request, false, true);
+            } else {
+                slot.mailbox.push_back(request.clone());
+                drop(actors);
+                self.inflight.lock().insert(request.id);
+            }
+        } else {
+            slot.busy = true;
+            slot.busy_chain = request.chain();
+            drop(actors);
+            self.inflight.lock().insert(request.id);
+            self.spawn_invocation(request, true, false);
+        }
+    }
+
+    fn spawn_invocation(self: &Arc<Self>, request: RequestMessage, holds_lock: bool, reentrant: bool) {
+        let core = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("kar-{}-{}", self.name, request.id))
+            .spawn(move || core.run_invocation(request, holds_lock, reentrant))
+            .expect("failed to spawn invocation thread");
+    }
+
+    fn run_invocation(self: Arc<Self>, mut request: RequestMessage, holds_lock: bool, reentrant: bool) {
+        let mut reentrant = reentrant;
+        loop {
+            if !self.is_alive() {
+                return;
+            }
+            self.sidecar_hop();
+            if self.config.cancellation == CancellationPolicy::Cancel && self.should_cancel(&request)
+            {
+                self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                self.send_response(&request, Err(KarError::Cancelled { request: request.id }));
+                self.finish(&request);
+            } else {
+                match self.execute(&request, reentrant) {
+                    Ok(Outcome::Value(value)) => {
+                        self.stats.executed.fetch_add(1, Ordering::Relaxed);
+                        self.send_response(&request, Ok(value));
+                        self.finish(&request);
+                    }
+                    Ok(Outcome::TailCall { target, method, args }) => {
+                        self.stats.executed.fetch_add(1, Ordering::Relaxed);
+                        self.stats.tail_calls.fetch_add(1, Ordering::Relaxed);
+                        let same_actor = target == request.target;
+                        let tail = RequestMessage {
+                            id: request.id,
+                            caller: request.caller,
+                            target,
+                            method,
+                            args,
+                            kind: CallKind::TailCall,
+                            lineage: request.lineage.clone(),
+                            pending_callee: None,
+                            caller_actor: request.caller_actor.clone(),
+                            reply_to: request.reply_to,
+                        };
+                        self.inflight.lock().remove(&request.id);
+                        if same_actor && holds_lock {
+                            // Retain the actor lock across the tail call: the
+                            // continuation bypasses the mailbox when its queue
+                            // copy arrives (§4.1).
+                            {
+                                let mut actors = self.actors.lock();
+                                if let Some(slot) = actors.get_mut(&request.target) {
+                                    slot.awaiting_tail = Some(request.id);
+                                }
+                            }
+                            let _ = self.send_request_to_partition(tail, self.partition);
+                            return;
+                        }
+                        let _ = self.send_request(tail);
+                        // A tail call to a different actor releases the lock:
+                        // fall through to mailbox processing.
+                    }
+                    Err(error) if matches!(error, KarError::Killed { .. } | KarError::Fenced { .. }) => {
+                        // The invocation was interrupted by a failure: no
+                        // response, no completion; retry orchestration takes
+                        // over during reconciliation.
+                        return;
+                    }
+                    Err(error) => {
+                        self.stats.executed.fetch_add(1, Ordering::Relaxed);
+                        if request.kind.expects_response() {
+                            self.send_response(&request, Err(error));
+                        }
+                        self.finish(&request);
+                    }
+                }
+            }
+            if !holds_lock {
+                return;
+            }
+            // Process the next queued invocation for this actor, or release
+            // the actor lock.
+            let next = {
+                let mut actors = self.actors.lock();
+                let Some(slot) = actors.get_mut(&request.target) else { return };
+                if slot.awaiting_tail.is_some() {
+                    return;
+                }
+                match slot.mailbox.pop_front() {
+                    Some(next) => {
+                        slot.busy_chain = next.chain();
+                        Some(next)
+                    }
+                    None => {
+                        slot.busy = false;
+                        slot.busy_chain.clear();
+                        None
+                    }
+                }
+            };
+            match next {
+                Some(next) => {
+                    request = next;
+                    reentrant = false;
+                }
+                None => return,
+            }
+        }
+    }
+
+    fn should_cancel(&self, request: &RequestMessage) -> bool {
+        if request.caller.is_none() {
+            return false;
+        }
+        // §4.4: check the list of live components; if the caller's component
+        // is not listed, elide execution and send a synthetic response. The
+        // caller's component is approximated by its reply_to component or by
+        // the current placement of the caller actor.
+        if let Some(reply_to) = request.reply_to {
+            return !self.live.read().contains(&reply_to);
+        }
+        false
+    }
+
+    fn make_instance(
+        self: &Arc<Self>,
+        request: &RequestMessage,
+    ) -> KarResult<Box<dyn crate::actor::Actor>> {
+        let factory = self.hosted.get(request.target.actor_type()).ok_or_else(|| {
+            KarError::internal(format!(
+                "component {} does not host actor type {}",
+                self.id,
+                request.target.actor_type()
+            ))
+        })?;
+        let mut instance = factory();
+        let mut ctx = ActorContext::new(self, request, request.target.clone());
+        instance.activate(&mut ctx)?;
+        Ok(instance)
+    }
+
+    fn execute(self: &Arc<Self>, request: &RequestMessage, reentrant: bool) -> KarResult<Outcome> {
+        if !self.is_alive() {
+            return Err(KarError::Killed { component: self.id });
+        }
+        // Reentrant invocations run on a fresh activation of the actor (the
+        // cached instance is checked out by the suspended ancestor frame);
+        // durable state is shared through the persistence API.
+        let mut instance = if reentrant {
+            self.make_instance(request)?
+        } else {
+            let taken = {
+                let mut actors = self.actors.lock();
+                actors.get_mut(&request.target).and_then(|slot| slot.instance.take())
+            };
+            match taken {
+                Some(instance) => instance,
+                None => self.make_instance(request)?,
+            }
+        };
+        let result = {
+            let mut ctx = ActorContext::new(self, request, request.target.clone());
+            instance.invoke(&mut ctx, &request.method, &request.args)
+        };
+        if !reentrant && self.is_alive() {
+            let mut actors = self.actors.lock();
+            if let Some(slot) = actors.get_mut(&request.target) {
+                slot.instance = Some(instance);
+            }
+        }
+        result
+    }
+
+    fn finish(&self, request: &RequestMessage) {
+        self.completed.lock().insert(request.id);
+        self.inflight.lock().remove(&request.id);
+    }
+
+    // ------------------------------------------------------------------
+    // Background threads
+    // ------------------------------------------------------------------
+
+    /// Spawns the consumer and heartbeat threads of this component.
+    pub(crate) fn start(self: &Arc<Self>) {
+        let consumer_core = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("kar-consumer-{}", self.name))
+            .spawn(move || consumer_core.consumer_loop())
+            .expect("failed to spawn consumer thread");
+        let heartbeat_core = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("kar-heartbeat-{}", self.name))
+            .spawn(move || heartbeat_core.heartbeat_loop())
+            .expect("failed to spawn heartbeat thread");
+    }
+
+    fn consumer_loop(self: Arc<Self>) {
+        let consumer = match self.broker.consumer(self.id, &self.topic, self.partition) {
+            Ok(consumer) => consumer,
+            Err(_) => return,
+        };
+        let idle = Duration::from_micros(200);
+        while self.is_alive() {
+            if self.is_paused() {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            match consumer.poll(64) {
+                Ok(records) => {
+                    if records.is_empty() {
+                        std::thread::sleep(idle);
+                    } else {
+                        for record in records {
+                            self.consumed_offset.store(record.offset + 1, Ordering::SeqCst);
+                            self.handle_envelope(record.payload);
+                        }
+                    }
+                }
+                Err(_) => return, // fenced: the component has been disconnected
+            }
+        }
+    }
+
+    fn heartbeat_loop(self: Arc<Self>) {
+        let interval = self
+            .config
+            .scaled_heartbeat_interval()
+            .max(Duration::from_millis(1));
+        while self.is_alive() {
+            if self.broker.heartbeat(&self.group, self.id).is_err() {
+                return;
+            }
+            std::thread::sleep(interval);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_stats_default_to_zero() {
+        let stats = ComponentStats::default();
+        assert_eq!(stats.executed.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.deferred.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.cancelled.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.tail_calls.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.forwarded.load(Ordering::Relaxed), 0);
+    }
+}

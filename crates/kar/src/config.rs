@@ -1,0 +1,194 @@
+//! Runtime configuration.
+
+use std::time::Duration;
+
+use kar_queue::BrokerConfig;
+use kar_store::StoreConfig;
+use kar_types::{DeploymentProfile, LatencyProfile, TimeScale};
+
+/// What to do with callees whose caller's component has failed (§3.6, §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CancellationPolicy {
+    /// Let orphaned callees run to completion (scenario (4) of Fig. 1). This
+    /// is the default, matching the paper's implementation choice to not
+    /// preempt running tasks.
+    #[default]
+    Await,
+    /// Elide pending callees whose caller's component is no longer live, and
+    /// send a synthetic response instead (§4.4).
+    Cancel,
+}
+
+/// Configuration of a [`Mesh`](crate::Mesh).
+#[derive(Debug, Clone)]
+pub struct MeshConfig {
+    /// Latency profile injected into the substrates (queue append/deliver,
+    /// store operations, sidecar hops). [`LatencyProfile::ZERO`] for
+    /// functional tests.
+    pub latency: LatencyProfile,
+    /// Compression applied to failure-detection/recovery time constants
+    /// (session timeout, stabilization, heartbeats). Measurements can be
+    /// re-expanded to paper-equivalent durations with this scale.
+    pub time_scale: TimeScale,
+    /// Paper-scale session timeout before a silent component is declared
+    /// failed (default 10 s, compressed by `time_scale`).
+    pub session_timeout: Duration,
+    /// Paper-scale membership stabilization window (consensus phase,
+    /// default 2.4 s, compressed by `time_scale`).
+    pub rebalance_stabilization: Duration,
+    /// Paper-scale heartbeat period (default 1 s, compressed by `time_scale`).
+    pub heartbeat_interval: Duration,
+    /// Paper-scale pacing of the reconciliation leader per re-homed message
+    /// (models the cost of cataloguing/copying messages; default 40 ms,
+    /// compressed by `time_scale`).
+    pub reconciliation_per_message: Duration,
+    /// Paper-scale fixed overhead of one reconciliation round (default 6 s,
+    /// compressed by `time_scale`).
+    pub reconciliation_base: Duration,
+    /// How long a blocking call waits for its response before giving up
+    /// (wall-clock, not scaled). Must comfortably exceed one recovery cycle.
+    pub call_timeout: Duration,
+    /// Message retention in the queues (paper default: 10 minutes).
+    pub retention: Duration,
+    /// Enable the actor placement cache (Table 2 compares both settings).
+    pub placement_cache: bool,
+    /// Cancellation policy for orphaned callees.
+    pub cancellation: CancellationPolicy,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            latency: LatencyProfile::ZERO,
+            time_scale: TimeScale::REAL_TIME,
+            session_timeout: Duration::from_secs(10),
+            rebalance_stabilization: Duration::from_millis(2400),
+            heartbeat_interval: Duration::from_secs(1),
+            reconciliation_per_message: Duration::from_millis(40),
+            reconciliation_base: Duration::from_secs(6),
+            call_timeout: Duration::from_secs(120),
+            retention: Duration::from_secs(600),
+            placement_cache: true,
+            cancellation: CancellationPolicy::Await,
+        }
+    }
+}
+
+impl MeshConfig {
+    /// A configuration suitable for fast functional tests: no injected
+    /// latency and aggressively compressed failure-detection timings.
+    pub fn for_tests() -> Self {
+        MeshConfig {
+            time_scale: TimeScale::new(0.005),
+            call_timeout: Duration::from_secs(20),
+            ..MeshConfig::default()
+        }
+    }
+
+    /// The configuration used by the fault-injection experiments: paper-scale
+    /// timings compressed by `time_scale` (e.g. `0.01` turns the 10 s session
+    /// timeout into 100 ms).
+    pub fn for_fault_experiments(time_scale: f64) -> Self {
+        MeshConfig {
+            time_scale: TimeScale::new(time_scale),
+            call_timeout: Duration::from_secs(60),
+            ..MeshConfig::default()
+        }
+    }
+
+    /// A configuration emulating one of the paper's Table 2 deployments.
+    pub fn for_deployment(profile: DeploymentProfile) -> Self {
+        MeshConfig { latency: profile.latency_profile(), ..MeshConfig::default() }
+    }
+
+    /// Disables the placement cache (the "KAR Actor (no cache)" column of
+    /// Table 2).
+    #[must_use]
+    pub fn without_placement_cache(mut self) -> Self {
+        self.placement_cache = false;
+        self
+    }
+
+    /// Sets the cancellation policy.
+    #[must_use]
+    pub fn with_cancellation(mut self, policy: CancellationPolicy) -> Self {
+        self.cancellation = policy;
+        self
+    }
+
+    /// The compressed (wall-clock) session timeout.
+    pub fn scaled_session_timeout(&self) -> Duration {
+        self.time_scale.compress(self.session_timeout)
+    }
+
+    /// The compressed (wall-clock) heartbeat interval.
+    pub fn scaled_heartbeat_interval(&self) -> Duration {
+        self.time_scale.compress(self.heartbeat_interval)
+    }
+
+    /// The broker configuration derived from this mesh configuration.
+    pub fn broker_config(&self) -> BrokerConfig {
+        BrokerConfig {
+            session_timeout: self.time_scale.compress(self.session_timeout),
+            rebalance_stabilization: self.time_scale.compress(self.rebalance_stabilization),
+            // Retention lives on the same compressed clock as the rest of the
+            // failure-recovery machinery.
+            retention: self.time_scale.compress(self.retention),
+            max_partition_records: 1_000_000,
+            append_latency: self.latency.queue_append,
+            deliver_latency: self.latency.queue_deliver,
+            coordinator_interval: self
+                .time_scale
+                .compress(Duration::from_millis(200))
+                .max(Duration::from_millis(1)),
+        }
+    }
+
+    /// The store configuration derived from this mesh configuration.
+    pub fn store_config(&self) -> StoreConfig {
+        StoreConfig { op_latency: self.latency.store_op }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_scale() {
+        let c = MeshConfig::default();
+        assert_eq!(c.session_timeout, Duration::from_secs(10));
+        assert_eq!(c.rebalance_stabilization, Duration::from_millis(2400));
+        assert_eq!(c.retention, Duration::from_secs(600));
+        assert!(c.placement_cache);
+        assert_eq!(c.cancellation, CancellationPolicy::Await);
+    }
+
+    #[test]
+    fn scaled_timings_are_compressed() {
+        let c = MeshConfig::for_fault_experiments(0.01);
+        assert_eq!(c.scaled_session_timeout(), Duration::from_millis(100));
+        assert_eq!(c.broker_config().session_timeout, Duration::from_millis(100));
+        assert_eq!(c.broker_config().rebalance_stabilization, Duration::from_millis(24));
+        assert!(c.broker_config().coordinator_interval >= Duration::from_millis(1));
+        assert!(c.scaled_heartbeat_interval() <= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn deployment_profiles_inject_latency() {
+        let c = MeshConfig::for_deployment(DeploymentProfile::Managed);
+        assert!(c.broker_config().append_latency > Duration::ZERO);
+        assert!(c.store_config().op_latency > Duration::ZERO);
+        let dev = MeshConfig::for_deployment(DeploymentProfile::ClusterDev);
+        assert!(dev.broker_config().append_latency < c.broker_config().append_latency);
+    }
+
+    #[test]
+    fn builders_toggle_cache_and_cancellation() {
+        let c = MeshConfig::for_tests()
+            .without_placement_cache()
+            .with_cancellation(CancellationPolicy::Cancel);
+        assert!(!c.placement_cache);
+        assert_eq!(c.cancellation, CancellationPolicy::Cancel);
+    }
+}

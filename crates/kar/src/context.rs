@@ -1,0 +1,195 @@
+//! The invocation context handed to actor methods.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use kar_types::{ActorRef, ComponentId, KarResult, RequestId, RequestMessage, Value};
+
+use crate::actor::Outcome;
+use crate::component::ComponentCore;
+
+/// The context of one actor method invocation.
+///
+/// It identifies the actor instance and the request being executed, and gives
+/// access to nested invocations ([`ActorContext::call`], [`ActorContext::tell`])
+/// and to the persistence API ([`ActorContext::state`]).
+pub struct ActorContext<'a> {
+    core: &'a Arc<ComponentCore>,
+    request: &'a RequestMessage,
+    self_ref: ActorRef,
+}
+
+impl<'a> ActorContext<'a> {
+    pub(crate) fn new(
+        core: &'a Arc<ComponentCore>,
+        request: &'a RequestMessage,
+        self_ref: ActorRef,
+    ) -> Self {
+        ActorContext { core, request, self_ref }
+    }
+
+    /// A reference to the actor instance executing the current method.
+    pub fn self_ref(&self) -> &ActorRef {
+        &self.self_ref
+    }
+
+    /// The id of the request being executed. Retries of the same logical
+    /// invocation observe the same id.
+    pub fn request_id(&self) -> RequestId {
+        self.request.id
+    }
+
+    /// The component hosting this invocation.
+    pub fn component_id(&self) -> ComponentId {
+        self.core.id()
+    }
+
+    /// The method arguments of the request being executed.
+    pub fn args(&self) -> &[Value] {
+        &self.request.args
+    }
+
+    /// Performs a blocking nested call to `target.method(args)` and returns
+    /// its result.
+    ///
+    /// The callee may call back into this actor (reentrancy): nested calls
+    /// that stay within the current call chain bypass the actor mailbox
+    /// (§2.2).
+    ///
+    /// # Errors
+    ///
+    /// Application errors raised by the callee are propagated. Infrastructure
+    /// errors (`Killed`, `Fenced`, `Timeout`) indicate the invocation was
+    /// interrupted; retry orchestration takes over.
+    pub fn call(&self, target: &ActorRef, method: &str, args: Vec<Value>) -> KarResult<Value> {
+        self.core.nested_call(self.request, &self.self_ref, target, method, args)
+    }
+
+    /// Issues an asynchronous invocation of `target.method(args)`. The call
+    /// returns once the request has been durably enqueued; errors raised by
+    /// the callee are logged and discarded (§2).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the request could not be enqueued (for example because this
+    /// component has been fenced).
+    pub fn tell(&self, target: &ActorRef, method: &str, args: Vec<Value>) -> KarResult<()> {
+        self.core.nested_tell(self.request, target, method, args)
+    }
+
+    /// Builds a tail-call outcome targeting another actor (or this one).
+    ///
+    /// Returning this outcome from [`crate::Actor::invoke`] atomically
+    /// completes the current invocation while issuing the next one; the
+    /// original caller receives the return value of the last call in the
+    /// chain (§2.3).
+    pub fn tail_call(&self, target: &ActorRef, method: &str, args: Vec<Value>) -> Outcome {
+        Outcome::tail_call(target.clone(), method, args)
+    }
+
+    /// Builds a tail-call outcome targeting this actor, which retains the
+    /// actor lock across the transition (§2.3).
+    pub fn tail_call_self(&self, method: &str, args: Vec<Value>) -> Outcome {
+        Outcome::tail_call(self.self_ref.clone(), method, args)
+    }
+
+    /// The `actor.state` persistence API for this actor instance (§2.1).
+    pub fn state(&self) -> ActorState<'_> {
+        ActorState { core: self.core, key: state_key(&self.self_ref) }
+    }
+}
+
+/// Store key of the persistent state hash of `actor`.
+pub(crate) fn state_key(actor: &ActorRef) -> String {
+    format!("state/{}", actor.qualified_name())
+}
+
+/// The persistence API of one actor instance: a durable map of named values
+/// backed by the store substrate.
+///
+/// KAR does not prescribe its use — actors are free to interface with any
+/// external service — but state written here survives failures and is
+/// typically reloaded in [`crate::Actor::activate`].
+pub struct ActorState<'a> {
+    core: &'a Arc<ComponentCore>,
+    key: String,
+}
+
+impl ActorState<'_> {
+    /// Reads one field of the actor's persistent state.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected from the store.
+    pub fn get(&self, field: &str) -> KarResult<Option<Value>> {
+        self.core.conn.hget(&self.key, field)
+    }
+
+    /// Writes one field of the actor's persistent state, returning the
+    /// previous value.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected from the store.
+    pub fn set(&self, field: &str, value: Value) -> KarResult<Option<Value>> {
+        self.core.conn.hset(&self.key, field, value)
+    }
+
+    /// Writes several fields at once.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected from the store.
+    pub fn set_multi(&self, entries: impl IntoIterator<Item = (String, Value)>) -> KarResult<()> {
+        self.core.conn.hset_multi(&self.key, entries)
+    }
+
+    /// Deletes one field, returning its previous value.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected from the store.
+    pub fn remove(&self, field: &str) -> KarResult<Option<Value>> {
+        self.core.conn.hdel(&self.key, field)
+    }
+
+    /// Reads the whole persistent state of the actor.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected from the store.
+    pub fn get_all(&self) -> KarResult<BTreeMap<String, Value>> {
+        self.core.conn.hgetall(&self.key)
+    }
+
+    /// Deletes the actor's entire persistent state (used when an actor
+    /// instance reaches the end of its life cycle, e.g. an order delivered to
+    /// its destination).
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected from the store.
+    pub fn clear(&self) -> KarResult<bool> {
+        self.core.conn.hclear(&self.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_key_is_namespaced_per_actor() {
+        assert_eq!(state_key(&ActorRef::new("Order", "o-1")), "state/Order/o-1");
+        assert_ne!(
+            state_key(&ActorRef::new("Order", "o-1")),
+            state_key(&ActorRef::new("Order", "o-2"))
+        );
+    }
+}

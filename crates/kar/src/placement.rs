@@ -1,0 +1,330 @@
+//! Actor placement: compare-and-swap on the store plus a per-component cache.
+//!
+//! Components announce the actor types they host (§4.1). The first invocation
+//! of an actor instance places it on a compatible live component using a
+//! compare-and-swap on the store; subsequent invocations hit the placement
+//! cache. Placement decisions for actors hosted by failed components are
+//! invalidated during reconciliation, and caches are flushed when recovery
+//! completes.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+use kar_store::Connection;
+use kar_types::{ActorRef, ComponentId, KarError, KarResult, Value};
+
+/// The set of components currently believed to be live, shared by every
+/// component of a mesh and refreshed on every completed rebalance.
+pub type LiveSet = Arc<RwLock<HashSet<ComponentId>>>;
+
+/// Store key holding the placement of `actor`.
+pub fn placement_key(actor: &ActorRef) -> String {
+    format!("placement/{}", actor.qualified_name())
+}
+
+/// Store key announcing that `component` hosts actor type `actor_type`.
+pub fn host_key(actor_type: &str, component: ComponentId) -> String {
+    format!("host/{}/{}", actor_type, component.as_u64())
+}
+
+/// Prefix of the host keys of one actor type.
+pub fn host_prefix(actor_type: &str) -> String {
+    format!("host/{}/", actor_type)
+}
+
+/// Per-component placement service.
+#[derive(Debug)]
+pub struct PlacementService {
+    conn: Connection,
+    live: LiveSet,
+    cache: Mutex<HashMap<ActorRef, ComponentId>>,
+    cache_enabled: bool,
+    lookup_timeout: Duration,
+}
+
+impl PlacementService {
+    /// Creates a placement service using the given (fenced) store connection.
+    pub fn new(conn: Connection, live: LiveSet, cache_enabled: bool, lookup_timeout: Duration) -> Self {
+        PlacementService { conn, live, cache: Mutex::new(HashMap::new()), cache_enabled, lookup_timeout }
+    }
+
+    /// Empties the placement cache (called when recovery completes, §4.1).
+    pub fn clear_cache(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// Number of cached placements (used by tests and benchmarks).
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Resolves the component hosting `actor`, placing the actor on a
+    /// compatible live component if it has no placement yet.
+    ///
+    /// If the recorded placement points to a component that is not live the
+    /// lookup waits (bounded by the configured timeout) for reconciliation to
+    /// invalidate or rewrite it rather than double-placing the actor.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`KarError::NoHostForActorType`] if no live component hosts
+    /// the actor's type, with [`KarError::Timeout`] if a stale placement is
+    /// not repaired in time, or with a store error if the component has been
+    /// fenced.
+    pub fn resolve(&self, actor: &ActorRef) -> KarResult<ComponentId> {
+        if self.cache_enabled {
+            if let Some(component) = self.cache.lock().get(actor) {
+                if self.is_live(*component) {
+                    return Ok(*component);
+                }
+            }
+        }
+        let deadline = Instant::now() + self.lookup_timeout;
+        loop {
+            match self.resolve_uncached(actor)? {
+                Some(component) => {
+                    if self.cache_enabled {
+                        self.cache.lock().insert(actor.clone(), component);
+                    }
+                    return Ok(component);
+                }
+                None => {
+                    if Instant::now() >= deadline {
+                        return Err(KarError::Timeout {
+                            request: kar_types::RequestId::from_raw(0),
+                            after_ms: self.lookup_timeout.as_millis() as u64,
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+    }
+
+    /// One placement attempt. Returns `Ok(None)` when the recorded placement
+    /// points at a dead component (the caller should retry after
+    /// reconciliation has repaired it).
+    fn resolve_uncached(&self, actor: &ActorRef) -> KarResult<Option<ComponentId>> {
+        let key = placement_key(actor);
+        let current = self.conn.get(&key)?;
+        if let Some(value) = &current {
+            if let Some(component) = component_from_value(value) {
+                if self.is_live(component) {
+                    return Ok(Some(component));
+                }
+                // Stale placement pointing at a failed component: wait for
+                // reconciliation to invalidate it instead of racing it.
+                return Ok(None);
+            }
+        }
+        // No placement yet: pick a live host for the type and try to claim it.
+        let candidates = self.live_hosts(actor.actor_type())?;
+        if candidates.is_empty() {
+            return Err(KarError::NoHostForActorType { actor_type: actor.actor_type().to_owned() });
+        }
+        let pick = candidates[spread_index(actor, candidates.len())];
+        match self.conn.compare_and_swap(&key, current.as_ref(), component_to_value(pick))? {
+            Ok(()) => Ok(Some(pick)),
+            Err(actual) => {
+                // Lost the race: use whatever won if it is live.
+                match actual.as_ref().and_then(component_from_value) {
+                    Some(winner) if self.is_live(winner) => Ok(Some(winner)),
+                    _ => Ok(None),
+                }
+            }
+        }
+    }
+
+    /// The live components announcing support for `actor_type`, sorted.
+    pub fn live_hosts(&self, actor_type: &str) -> KarResult<Vec<ComponentId>> {
+        let prefix = host_prefix(actor_type);
+        let keys = self.conn.keys_with_prefix(&prefix)?;
+        let mut hosts: Vec<ComponentId> = keys
+            .iter()
+            .filter_map(|k| k.strip_prefix(&prefix))
+            .filter_map(|suffix| suffix.parse::<u64>().ok())
+            .map(ComponentId::from_raw)
+            .filter(|c| self.is_live(*c))
+            .collect();
+        hosts.sort();
+        hosts.dedup();
+        Ok(hosts)
+    }
+
+    fn is_live(&self, component: ComponentId) -> bool {
+        self.live.read().contains(&component)
+    }
+}
+
+/// Deterministically spreads actor instances across candidate hosts.
+fn spread_index(actor: &ActorRef, candidates: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    actor.hash(&mut hasher);
+    (hasher.finish() as usize) % candidates
+}
+
+/// Encodes a component id as a placement value.
+pub fn component_to_value(component: ComponentId) -> Value {
+    Value::Int(component.as_u64() as i64)
+}
+
+/// Decodes a placement value back into a component id.
+pub fn component_from_value(value: &Value) -> Option<ComponentId> {
+    value.as_i64().map(|raw| ComponentId::from_raw(raw as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_store::Store;
+
+    fn live(ids: &[u64]) -> LiveSet {
+        Arc::new(RwLock::new(ids.iter().map(|i| ComponentId::from_raw(*i)).collect()))
+    }
+
+    fn announce(store: &Store, actor_type: &str, component: u64) {
+        let conn = store.connect(ComponentId::from_raw(component));
+        conn.set(&host_key(actor_type, ComponentId::from_raw(component)), Value::Int(1)).unwrap();
+    }
+
+    fn service(store: &Store, id: u64, live_set: &LiveSet, cache: bool) -> PlacementService {
+        PlacementService::new(
+            store.connect(ComponentId::from_raw(id)),
+            live_set.clone(),
+            cache,
+            Duration::from_millis(100),
+        )
+    }
+
+    #[test]
+    fn places_actor_on_a_live_host_and_caches_it() {
+        let store = Store::new();
+        announce(&store, "Order", 1);
+        announce(&store, "Order", 2);
+        let live_set = live(&[1, 2]);
+        let placement = service(&store, 1, &live_set, true);
+        let actor = ActorRef::new("Order", "o-1");
+        let first = placement.resolve(&actor).unwrap();
+        assert!(matches!(first.as_u64(), 1 | 2));
+        assert_eq!(placement.cache_len(), 1);
+        // A second resolve from another component agrees (placement is
+        // coordinated through the store, not local state).
+        let other = service(&store, 2, &live_set, true);
+        assert_eq!(other.resolve(&actor).unwrap(), first);
+    }
+
+    #[test]
+    fn no_live_host_is_an_error() {
+        let store = Store::new();
+        let live_set = live(&[1]);
+        let placement = service(&store, 1, &live_set, true);
+        let err = placement.resolve(&ActorRef::new("Ghost", "g")).unwrap_err();
+        assert!(matches!(err, KarError::NoHostForActorType { .. }));
+    }
+
+    #[test]
+    fn dead_hosts_are_not_considered() {
+        let store = Store::new();
+        announce(&store, "Order", 1);
+        announce(&store, "Order", 2);
+        let live_set = live(&[2]); // component 1 is dead
+        let placement = service(&store, 2, &live_set, true);
+        for i in 0..8 {
+            let c = placement.resolve(&ActorRef::new("Order", format!("o-{i}"))).unwrap();
+            assert_eq!(c, ComponentId::from_raw(2));
+        }
+    }
+
+    #[test]
+    fn stale_placement_waits_for_repair_and_times_out() {
+        let store = Store::new();
+        announce(&store, "Order", 2);
+        let live_set = live(&[2]);
+        let placement = service(&store, 2, &live_set, true);
+        let actor = ActorRef::new("Order", "o-1");
+        // Simulate a placement pointing at dead component 9.
+        store
+            .connect(ComponentId::from_raw(2))
+            .set(&placement_key(&actor), component_to_value(ComponentId::from_raw(9)))
+            .unwrap();
+        let err = placement.resolve(&actor).unwrap_err();
+        assert!(matches!(err, KarError::Timeout { .. }));
+        // Once reconciliation rewrites the placement, resolve succeeds.
+        store
+            .connect(ComponentId::from_raw(2))
+            .set(&placement_key(&actor), component_to_value(ComponentId::from_raw(2)))
+            .unwrap();
+        assert_eq!(placement.resolve(&actor).unwrap(), ComponentId::from_raw(2));
+    }
+
+    #[test]
+    fn cache_can_be_disabled_and_cleared() {
+        let store = Store::new();
+        announce(&store, "Order", 1);
+        let live_set = live(&[1]);
+        let without_cache = service(&store, 1, &live_set, false);
+        without_cache.resolve(&ActorRef::new("Order", "o")).unwrap();
+        assert_eq!(without_cache.cache_len(), 0);
+
+        let with_cache = service(&store, 1, &live_set, true);
+        with_cache.resolve(&ActorRef::new("Order", "o")).unwrap();
+        assert_eq!(with_cache.cache_len(), 1);
+        with_cache.clear_cache();
+        assert_eq!(with_cache.cache_len(), 0);
+    }
+
+    #[test]
+    fn cached_entry_pointing_at_dead_component_is_ignored() {
+        let store = Store::new();
+        announce(&store, "Order", 1);
+        announce(&store, "Order", 2);
+        let live_set = live(&[1, 2]);
+        let placement = service(&store, 1, &live_set, true);
+        let actor = ActorRef::new("Order", "o");
+        let first = placement.resolve(&actor).unwrap();
+        // The placed component dies; reconciliation rewrites the placement.
+        live_set.write().remove(&first);
+        let survivor = if first == ComponentId::from_raw(1) { 2 } else { 1 };
+        store
+            .connect(ComponentId::from_raw(survivor))
+            .set(&placement_key(&actor), component_to_value(ComponentId::from_raw(survivor)))
+            .unwrap();
+        assert_eq!(placement.resolve(&actor).unwrap(), ComponentId::from_raw(survivor));
+    }
+
+    #[test]
+    fn concurrent_resolution_agrees_on_one_placement() {
+        let store = Store::new();
+        announce(&store, "Order", 1);
+        announce(&store, "Order", 2);
+        announce(&store, "Order", 3);
+        let live_set = live(&[1, 2, 3]);
+        let actor = ActorRef::new("Order", "contended");
+        let mut handles = Vec::new();
+        for i in 1..=3u64 {
+            let store = store.clone();
+            let live_set = live_set.clone();
+            let actor = actor.clone();
+            handles.push(std::thread::spawn(move || {
+                let placement = service(&store, i, &live_set, true);
+                placement.resolve(&actor).unwrap()
+            }));
+        }
+        let results: Vec<ComponentId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "divergent placements: {results:?}");
+    }
+
+    #[test]
+    fn value_roundtrip_and_keys() {
+        let c = ComponentId::from_raw(7);
+        assert_eq!(component_from_value(&component_to_value(c)), Some(c));
+        assert_eq!(component_from_value(&Value::from("junk")), None);
+        assert_eq!(placement_key(&ActorRef::new("Order", "1")), "placement/Order/1");
+        assert_eq!(host_key("Order", c), "host/Order/7");
+        assert!(host_key("Order", c).starts_with(&host_prefix("Order")));
+    }
+}

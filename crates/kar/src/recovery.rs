@@ -1,0 +1,538 @@
+//! Failure detection, consensus and reconciliation (§4.3).
+//!
+//! The queue substrate detects failures (heartbeat session timeout) and
+//! announces a new membership generation after a stabilization window (the
+//! *detection* and *consensus* phases of Figure 7a). The recovery manager of
+//! this module then runs **reconciliation**: it forcefully disconnects failed
+//! components from the store, catalogs unexpired messages, discards requests
+//! that already completed (matching response) or were superseded by a tail
+//! call, invalidates placement decisions for actors hosted by failed
+//! components, eagerly re-places actors with pending requests, re-homes their
+//! pending requests (annotated with their pending callee to preserve
+//! happen-before), and finally flushes the failed queues.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use parking_lot::{Mutex, RwLock};
+
+use kar_queue::{Broker, GroupEvent};
+use kar_store::Store;
+use kar_types::{ComponentId, Envelope, RequestId, RequestMessage, Value};
+
+use crate::component::ComponentCore;
+use crate::config::MeshConfig;
+use crate::placement::{component_from_value, component_to_value, host_prefix, placement_key};
+
+/// Timings and size of one recovery (one completed rebalance that removed at
+/// least one component), mirroring the phases of Figure 7a / Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutageRecord {
+    /// The group generation announced by this recovery.
+    pub generation: u64,
+    /// The components removed by this recovery.
+    pub failed_components: Vec<ComponentId>,
+    /// Broker time at which the first of the failed components was killed
+    /// (recorded by the fault injector; `None` for failures not injected
+    /// through the mesh API).
+    pub killed_at: Option<Duration>,
+    /// Broker time at which the first failure was detected (end of the
+    /// detection phase).
+    pub detected_at: Duration,
+    /// Broker time at which the new membership generation was announced (end
+    /// of the consensus phase).
+    pub consensus_at: Duration,
+    /// Broker time at which reconciliation finished and normal processing
+    /// resumed.
+    pub reconciled_at: Duration,
+    /// Number of pending requests re-homed onto surviving components.
+    pub rehomed_requests: usize,
+}
+
+impl OutageRecord {
+    /// Duration of the detection phase (kill → detection), if the kill time
+    /// is known.
+    pub fn detection(&self) -> Option<Duration> {
+        self.killed_at.map(|killed| self.detected_at.saturating_sub(killed))
+    }
+
+    /// Duration of the consensus phase (detection → new generation).
+    pub fn consensus(&self) -> Duration {
+        self.consensus_at.saturating_sub(self.detected_at)
+    }
+
+    /// Duration of the reconciliation phase (new generation → resume).
+    pub fn reconciliation(&self) -> Duration {
+        self.reconciled_at.saturating_sub(self.consensus_at)
+    }
+
+    /// Total outage (kill → resume), if the kill time is known.
+    pub fn total(&self) -> Option<Duration> {
+        self.killed_at.map(|killed| self.reconciled_at.saturating_sub(killed))
+    }
+}
+
+/// The log of every recovery performed by a mesh.
+#[derive(Debug, Default)]
+pub struct RecoveryLog {
+    records: Mutex<Vec<OutageRecord>>,
+}
+
+impl RecoveryLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        RecoveryLog::default()
+    }
+
+    pub(crate) fn push(&self, record: OutageRecord) {
+        self.records.lock().push(record);
+    }
+
+    /// Number of recoveries performed so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True if no recovery has been performed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of every recovery record.
+    pub fn snapshot(&self) -> Vec<OutageRecord> {
+        self.records.lock().clone()
+    }
+
+    /// The most recent recovery record, if any.
+    pub fn last(&self) -> Option<OutageRecord> {
+        self.records.lock().last().cloned()
+    }
+}
+
+/// Everything the recovery manager needs, shared with the mesh.
+pub(crate) struct RecoveryContext {
+    pub(crate) config: MeshConfig,
+    pub(crate) topic: String,
+    pub(crate) broker: Broker<Envelope>,
+    pub(crate) store: Store,
+    pub(crate) partitions: Arc<RwLock<HashMap<ComponentId, usize>>>,
+    pub(crate) components: Arc<RwLock<HashMap<ComponentId, Arc<ComponentCore>>>>,
+    pub(crate) live: Arc<RwLock<HashSet<ComponentId>>>,
+    pub(crate) kill_times: Arc<Mutex<HashMap<ComponentId, Duration>>>,
+    pub(crate) log: Arc<RecoveryLog>,
+    pub(crate) orphans: Arc<Mutex<Vec<RequestMessage>>>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+}
+
+/// Runs the recovery manager loop until shutdown. Spawned by the mesh on a
+/// dedicated thread; it plays the role of the elected reconciliation leader
+/// among the surviving components (§4.3).
+pub(crate) fn run_recovery_manager(ctx: RecoveryContext, events: Receiver<GroupEvent>) {
+    let mut detections: HashMap<ComponentId, Duration> = HashMap::new();
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let event = match events.recv_timeout(Duration::from_millis(20)) {
+            Ok(event) => event,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        match event {
+            GroupEvent::MemberJoined { .. } | GroupEvent::MemberLeft { .. } => {}
+            GroupEvent::FailureDetected { component, at } => {
+                detections.entry(component).or_insert(at);
+            }
+            GroupEvent::RebalanceCompleted { generation, live, removed, at } => {
+                {
+                    let mut live_set = ctx.live.write();
+                    for c in &removed {
+                        live_set.remove(c);
+                    }
+                    live_set.extend(live.iter().copied());
+                }
+                if removed.is_empty() {
+                    retry_orphans(&ctx);
+                    continue;
+                }
+                // Pause message processing on the survivors while the leader
+                // reconciles ("all components temporarily stop sending and
+                // receiving messages").
+                let survivors: Vec<Arc<ComponentCore>> = {
+                    let components = ctx.components.read();
+                    live.iter().filter_map(|c| components.get(c).cloned()).collect()
+                };
+                for component in &survivors {
+                    component.pause();
+                }
+                let rehomed = reconcile(&ctx, &removed, &live);
+                for component in &survivors {
+                    component.resume();
+                }
+                let reconciled_at = ctx.broker.now();
+                let killed_at = {
+                    let kill_times = ctx.kill_times.lock();
+                    removed.iter().filter_map(|c| kill_times.get(c).copied()).min()
+                };
+                let detected_at = removed
+                    .iter()
+                    .filter_map(|c| detections.remove(c))
+                    .min()
+                    .unwrap_or(at);
+                ctx.log.push(OutageRecord {
+                    generation,
+                    failed_components: removed,
+                    killed_at,
+                    detected_at,
+                    consensus_at: at,
+                    reconciled_at,
+                    rehomed_requests: rehomed,
+                });
+            }
+        }
+    }
+}
+
+/// Re-homes orphaned requests (whose actor type had no live host) once new
+/// components join (§4.3: "KAR queues requests to unavailable types
+/// separately, revisiting this queue when new components are added").
+fn retry_orphans(ctx: &RecoveryContext) {
+    let pending: Vec<RequestMessage> = std::mem::take(&mut *ctx.orphans.lock());
+    if pending.is_empty() {
+        return;
+    }
+    let live: Vec<ComponentId> = ctx.live.read().iter().copied().collect();
+    for request in pending {
+        rehome_request(ctx, request, &live, &HashSet::new(), &[]);
+    }
+}
+
+/// The reconciliation algorithm of §4.3. Returns the number of re-homed
+/// requests.
+fn reconcile(ctx: &RecoveryContext, removed: &[ComponentId], live: &[ComponentId]) -> usize {
+    // 1. Forcefully disconnect failed components from the store (the broker
+    //    already fenced them when their failure was detected).
+    for component in removed {
+        ctx.store.fence(*component);
+    }
+    // Fixed leader overhead (election, cataloguing setup).
+    sleep_scaled(ctx, ctx.config.reconciliation_base);
+
+    // 2. Catalog unexpired messages across every queue. A request id counts
+    //    as "pending at a live component" only if that component has not
+    //    consumed (or is still holding) the copy: a copy it already processed
+    //    was either completed (a response exists) or superseded by a tail
+    //    call whose latest hop lives elsewhere — possibly in a failed queue
+    //    that must be re-homed.
+    let partitions = ctx.partitions.read().clone();
+    let components = ctx.components.read().clone();
+    let mut responses: HashSet<RequestId> = HashSet::new();
+    let mut live_requests: HashSet<RequestId> = HashSet::new();
+    let mut all_requests: Vec<RequestMessage> = Vec::new();
+    let mut dead_queues: Vec<(ComponentId, Vec<RequestMessage>)> = Vec::new();
+    for (component, partition) in &partitions {
+        let records = ctx.broker.read_partition(&ctx.topic, *partition);
+        let mut requests_here = Vec::new();
+        let live_core = if live.contains(component) { components.get(component) } else { None };
+        for record in records {
+            match record.payload {
+                Envelope::Response(response) => {
+                    responses.insert(response.id);
+                }
+                Envelope::Request(request) => {
+                    if let Some(core) = live_core {
+                        let still_queued = record.offset >= core.consumed_offset();
+                        if still_queued || core.locally_pending(request.id) {
+                            live_requests.insert(request.id);
+                        }
+                    }
+                    requests_here.push(request.clone());
+                    all_requests.push(request);
+                }
+            }
+        }
+        if removed.contains(component) {
+            dead_queues.push((*component, requests_here));
+        }
+    }
+
+    // 3. Pending requests of failed components: keep the last occurrence of
+    //    each id (a tail call supersedes the request it completed), drop
+    //    requests with a matching response or already present in a live
+    //    queue (already re-homed by a previous, interrupted reconciliation).
+    let mut pending: Vec<RequestMessage> = Vec::new();
+    for (_, requests) in &dead_queues {
+        let mut last_index: HashMap<RequestId, usize> = HashMap::new();
+        for (index, request) in requests.iter().enumerate() {
+            last_index.insert(request.id, index);
+        }
+        for (index, request) in requests.iter().enumerate() {
+            if last_index[&request.id] != index {
+                continue;
+            }
+            if responses.contains(&request.id) || live_requests.contains(&request.id) {
+                continue;
+            }
+            pending.push(request.clone());
+        }
+    }
+    let pending = reorder_tail_calls_first(pending);
+
+    // 4. Invalidate placements and host announcements of failed components.
+    let dead: HashSet<ComponentId> = removed.iter().copied().collect();
+    for key in ctx.store.admin_keys_with_prefix("placement/") {
+        if let Some(value) = ctx.store.admin_get(&key) {
+            if component_from_value(&value).is_some_and(|c| dead.contains(&c)) {
+                ctx.store.admin_del(&key);
+            }
+        }
+    }
+    for key in ctx.store.admin_keys_with_prefix("host/") {
+        if let Some(raw) = key.rsplit('/').next().and_then(|s| s.parse::<u64>().ok()) {
+            if dead.contains(&ComponentId::from_raw(raw)) {
+                ctx.store.admin_del(&key);
+            }
+        }
+    }
+
+    // 5. Re-home pending requests, annotating each with its pending callee so
+    //    the retry happens after the callee settles (happen-before).
+    let mut rehomed = 0;
+    let mut rehomed_ids: HashSet<RequestId> = HashSet::new();
+    for mut request in pending {
+        let pending_callee = all_requests
+            .iter()
+            .find(|r| r.caller == Some(request.id) && !responses.contains(&r.id))
+            .map(|r| r.id);
+        request.pending_callee = pending_callee;
+        rehomed_ids.insert(request.id);
+        if rehome_request(ctx, request, live, &responses, &all_requests) {
+            rehomed += 1;
+        }
+        sleep_scaled(ctx, ctx.config.reconciliation_per_message);
+    }
+
+    // 6. Second sweep: requests appended to the failed queues *while* the
+    //    leader was cataloguing (senders may race placement invalidation)
+    //    would otherwise be flushed and lost; re-home them too.
+    for component in removed {
+        let Some(partition) = partitions.get(component) else { continue };
+        for record in ctx.broker.read_partition(&ctx.topic, *partition) {
+            if let Envelope::Request(request) = record.payload {
+                if responses.contains(&request.id)
+                    || live_requests.contains(&request.id)
+                    || rehomed_ids.contains(&request.id)
+                {
+                    continue;
+                }
+                rehomed_ids.insert(request.id);
+                if rehome_request(ctx, request, live, &responses, &all_requests) {
+                    rehomed += 1;
+                }
+            }
+        }
+    }
+
+    // 7. Flush the failed queues for later reuse.
+    for component in removed {
+        if let Some(partition) = partitions.get(component) {
+            ctx.broker.truncate_partition(&ctx.topic, *partition);
+        }
+    }
+    rehomed
+}
+
+/// Chooses a replacement component for one pending request, updates the
+/// actor's placement, and appends the request to the replacement's queue.
+/// Returns false (and parks the request in the orphan list) when no live
+/// component hosts the actor type.
+fn rehome_request(
+    ctx: &RecoveryContext,
+    request: RequestMessage,
+    live: &[ComponentId],
+    _responses: &HashSet<RequestId>,
+    _all_requests: &[RequestMessage],
+) -> bool {
+    let partitions = ctx.partitions.read().clone();
+    let key = placement_key(&request.target);
+    // If the actor is already placed on a live component (for example because
+    // a previous interrupted reconciliation re-placed it), respect that
+    // placement instead of moving it again.
+    let existing = ctx
+        .store
+        .admin_get(&key)
+        .as_ref()
+        .and_then(component_from_value)
+        .filter(|c| live.contains(c));
+    let target_component = match existing {
+        Some(component) => component,
+        None => {
+            let hosts = live_hosts(ctx, request.target.actor_type(), live);
+            if hosts.is_empty() {
+                ctx.orphans.lock().push(request);
+                return false;
+            }
+            let chosen = hosts[spread(&request.target.qualified_name(), hosts.len())];
+            ctx.store.admin_set(&key, component_to_value(chosen));
+            chosen
+        }
+    };
+    let Some(partition) = partitions.get(&target_component).copied() else {
+        ctx.orphans.lock().push(request);
+        return false;
+    };
+    let _ = ctx.broker.admin_append(&ctx.topic, partition, Envelope::Request(request));
+    true
+}
+
+/// The live components announcing support for `actor_type`.
+fn live_hosts(ctx: &RecoveryContext, actor_type: &str, live: &[ComponentId]) -> Vec<ComponentId> {
+    let prefix = host_prefix(actor_type);
+    let mut hosts: Vec<ComponentId> = ctx
+        .store
+        .admin_keys_with_prefix(&prefix)
+        .iter()
+        .filter_map(|k| k.strip_prefix(&prefix))
+        .filter_map(|s| s.parse::<u64>().ok())
+        .map(ComponentId::from_raw)
+        .filter(|c| live.contains(c))
+        .collect();
+    hosts.sort();
+    hosts.dedup();
+    hosts
+}
+
+/// Moves tail-call continuations ahead of other requests targeting the same
+/// actor, so a chain interrupted mid-tail-call resumes before other queued
+/// invocations of that actor (the lock-retention rule of §4.1), while
+/// preserving the relative order of everything else.
+fn reorder_tail_calls_first(pending: Vec<RequestMessage>) -> Vec<RequestMessage> {
+    let mut actor_order: Vec<String> = Vec::new();
+    let mut buckets: HashMap<String, (Vec<RequestMessage>, Vec<RequestMessage>)> = HashMap::new();
+    for request in pending {
+        let actor = request.target.qualified_name();
+        if !buckets.contains_key(&actor) {
+            actor_order.push(actor.clone());
+        }
+        let bucket = buckets.entry(actor).or_default();
+        if request.kind == kar_types::CallKind::TailCall {
+            bucket.0.push(request);
+        } else {
+            bucket.1.push(request);
+        }
+    }
+    let mut out = Vec::new();
+    for actor in actor_order {
+        let (tails, others) = buckets.remove(&actor).unwrap_or_default();
+        out.extend(tails);
+        out.extend(others);
+    }
+    out
+}
+
+fn sleep_scaled(ctx: &RecoveryContext, paper_duration: Duration) {
+    let compressed = ctx.config.time_scale.compress(paper_duration);
+    if !compressed.is_zero() {
+        std::thread::sleep(compressed);
+    }
+}
+
+fn spread(key: &str, len: usize) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % len
+}
+
+/// Placement value helpers re-exported for tests.
+#[allow(dead_code)]
+pub(crate) fn placement_value(component: ComponentId) -> Value {
+    component_to_value(component)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_types::{ActorRef, CallKind};
+
+    fn request(id: u64, target: &str, kind: CallKind) -> RequestMessage {
+        RequestMessage {
+            id: RequestId::from_raw(id),
+            caller: None,
+            target: ActorRef::new(target, "x"),
+            method: "m".into(),
+            args: vec![],
+            kind,
+            lineage: vec![],
+            pending_callee: None,
+            caller_actor: None,
+            reply_to: None,
+        }
+    }
+
+    #[test]
+    fn outage_record_phase_arithmetic() {
+        let record = OutageRecord {
+            generation: 3,
+            failed_components: vec![ComponentId::from_raw(1)],
+            killed_at: Some(Duration::from_secs(100)),
+            detected_at: Duration::from_secs(109),
+            consensus_at: Duration::from_secs(111),
+            reconciled_at: Duration::from_secs(122),
+            rehomed_requests: 4,
+        };
+        assert_eq!(record.detection(), Some(Duration::from_secs(9)));
+        assert_eq!(record.consensus(), Duration::from_secs(2));
+        assert_eq!(record.reconciliation(), Duration::from_secs(11));
+        assert_eq!(record.total(), Some(Duration::from_secs(22)));
+
+        let unknown_kill = OutageRecord { killed_at: None, ..record };
+        assert_eq!(unknown_kill.detection(), None);
+        assert_eq!(unknown_kill.total(), None);
+    }
+
+    #[test]
+    fn recovery_log_snapshot_and_last() {
+        let log = RecoveryLog::new();
+        assert!(log.is_empty());
+        log.push(OutageRecord {
+            generation: 1,
+            failed_components: vec![],
+            killed_at: None,
+            detected_at: Duration::ZERO,
+            consensus_at: Duration::ZERO,
+            reconciled_at: Duration::ZERO,
+            rehomed_requests: 0,
+        });
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.snapshot().len(), 1);
+        assert_eq!(log.last().unwrap().generation, 1);
+    }
+
+    #[test]
+    fn tail_calls_are_moved_ahead_of_other_requests_per_actor() {
+        let pending = vec![
+            request(1, "Order", CallKind::Call),
+            request(2, "Order", CallKind::TailCall),
+            request(3, "Voyage", CallKind::Call),
+            request(4, "Order", CallKind::Call),
+        ];
+        let out = reorder_tail_calls_first(pending);
+        let ids: Vec<u64> = out.iter().map(|r| r.id.as_u64()).collect();
+        // Order's tail call (2) comes before Order's other requests (1, 4);
+        // the Voyage request keeps its own position class.
+        assert_eq!(ids, vec![2, 1, 4, 3]);
+    }
+
+    #[test]
+    fn spread_is_stable_and_in_range() {
+        for len in 1..5 {
+            let a = spread("Order/o-1", len);
+            assert!(a < len);
+            assert_eq!(a, spread("Order/o-1", len));
+        }
+    }
+}

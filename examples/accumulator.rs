@@ -1,0 +1,82 @@
+//! The fault-tolerant accumulator of §2.3: exactly-once increments over a
+//! store that only offers `get` and `set`, obtained by splitting the
+//! increment into two steps joined by a tail call.
+//!
+//! The example increments the counter while repeatedly killing the component
+//! hosting it, then verifies that every acknowledged increment happened
+//! exactly once.
+//!
+//! Run with `cargo run --example accumulator`.
+
+use kar::{Actor, ActorContext, Mesh, MeshConfig, Outcome};
+use kar_types::{ActorRef, KarError, KarResult, Value};
+
+/// The Accumulator actor of §2.3.
+struct Accumulator;
+
+impl Actor for Accumulator {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "get" => Ok(Outcome::value(ctx.state().get("key")?.unwrap_or(Value::Int(0)))),
+            "set" => {
+                ctx.state().set("key", args[0].clone())?;
+                Ok(Outcome::value("OK"))
+            }
+            // Read the value, then *tail call* set with the incremented value:
+            // a failure can interrupt either step but never repeat a completed
+            // one, so the increment is exactly-once.
+            "incr" => {
+                let value = ctx.state().get("key")?.and_then(|v| v.as_i64()).unwrap_or(0);
+                Ok(ctx.tail_call_self("set", vec![Value::Int(value + 1)]))
+            }
+            other => Err(KarError::application(format!("no method {other}"))),
+        }
+    }
+}
+
+fn main() -> KarResult<()> {
+    let mesh = Mesh::new(MeshConfig::for_tests());
+    let node = mesh.add_node();
+    // Two replicas so the actor can be re-placed when one is killed.
+    mesh.add_component(node, "replica-1", |c| c.host("Accumulator", || Box::new(Accumulator)));
+    mesh.add_component(node, "replica-2", |c| c.host("Accumulator", || Box::new(Accumulator)));
+    let client = mesh.client();
+    let counter = ActorRef::new("Accumulator", "shared");
+    client.call(&counter, "set", vec![Value::Int(0)])?;
+
+    let mut acknowledged = 0i64;
+    for round in 0..20 {
+        // Every few increments, abruptly kill whichever component currently
+        // hosts the actor; the runtime re-places it and retries the
+        // interrupted invocation.
+        if round % 5 == 2 {
+            if let Some(victim) = mesh.live_components().into_iter().rev().find(|c| {
+                *c != client.component_id()
+            }) {
+                println!("killing {victim} while incrementing...");
+                mesh.kill_component(victim);
+                // Replace the killed replica so capacity is maintained.
+                mesh.add_component(node, "replacement", |c| {
+                    c.host("Accumulator", || Box::new(Accumulator))
+                });
+            }
+        }
+        match client.call(&counter, "incr", vec![]) {
+            Ok(_) => acknowledged += 1,
+            Err(error) => println!("increment {round} failed: {error}"),
+        }
+    }
+
+    let value = client.call(&counter, "get", vec![])?.as_i64().unwrap_or(-1);
+    println!("acknowledged increments: {acknowledged}, stored value: {value}");
+    assert!(value >= acknowledged, "an acknowledged increment was lost");
+    assert!(value <= 20, "an increment was applied more than once");
+    mesh.shutdown();
+    println!("accumulator example finished");
+    Ok(())
+}

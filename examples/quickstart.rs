@@ -1,0 +1,54 @@
+//! Quickstart: define an actor, start a mesh, invoke it.
+//!
+//! This is the `PersistentLatch` example of §2.1 of the paper: the actor
+//! persists its state through the `actor.state` API so it survives failures.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use kar::{Actor, ActorContext, Mesh, MeshConfig, Outcome};
+use kar_types::{ActorRef, KarError, KarResult, Value};
+
+/// A latch holding a single value, persisted across failures.
+struct PersistentLatch;
+
+impl Actor for PersistentLatch {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "set" => {
+                ctx.state().set("v", args[0].clone())?;
+                Ok(Outcome::value(Value::Null))
+            }
+            "get" => Ok(Outcome::value(ctx.state().get("v")?.unwrap_or(Value::Int(0)))),
+            other => Err(KarError::application(format!("Latch has no method {other}"))),
+        }
+    }
+}
+
+fn main() -> KarResult<()> {
+    // Start a mesh with one node hosting one component that announces the
+    // Latch actor type.
+    let mesh = Mesh::new(MeshConfig::for_tests());
+    let node = mesh.add_node();
+    mesh.add_component(node, "latch-server", |c| c.host("Latch", || Box::new(PersistentLatch)));
+
+    // Invoke the actor from a client. The actor is instantiated implicitly on
+    // first use and placed on a compatible component by the runtime.
+    let client = mesh.client();
+    let latch = ActorRef::new("Latch", "myInstance");
+    client.call(&latch, "set", vec![Value::Int(42)])?;
+    let value = client.call(&latch, "get", vec![])?;
+    println!("Latch/myInstance holds {value}");
+    assert_eq!(value, Value::Int(42));
+
+    // Asynchronous invocation: returns as soon as the request is durable.
+    client.tell(&latch, "set", vec![Value::Int(7)])?;
+
+    mesh.shutdown();
+    println!("quickstart finished");
+    Ok(())
+}

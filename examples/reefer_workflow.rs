@@ -1,0 +1,66 @@
+//! The Container Shipping order workflow of Figure 6: book an order through
+//! the manager, watch it hop across the Order, Voyage and Depot actors via
+//! tail calls, then advance the shipping calendar until the order is
+//! delivered.
+//!
+//! Run with `cargo run --example reefer_workflow`.
+
+use kar::{Mesh, MeshConfig};
+use kar_reefer::app::{bootstrap, deploy};
+use kar_reefer::refs;
+use kar_types::{KarResult, Value};
+
+fn main() -> KarResult<()> {
+    let mesh = Mesh::new(MeshConfig::for_tests());
+    let _deployment = deploy(&mesh);
+    let client = mesh.client();
+
+    // Create two depots and one voyage from Oakland to Shanghai.
+    let voyages = bootstrap(&client, &["Oakland", "Shanghai"], 100, 1, 20)?;
+    println!("scheduled voyages: {voyages:?}");
+
+    // Book an order: the call spans OrderManager → Order → Voyage → Depot →
+    // Order, orchestrated by tail calls, and returns the booking confirmation.
+    let confirmation = client.call(
+        &refs::order_manager(),
+        "book",
+        vec![
+            Value::from("order-1"),
+            Value::from(voyages[0].clone()),
+            Value::from("avocados"),
+            Value::from(4i64),
+        ],
+    )?;
+    println!("booking confirmation: {confirmation}");
+
+    // Advance the simulated calendar: the ship departs on day 1 and arrives
+    // two days later, delivering the order.
+    for day in 1..=4i64 {
+        client.call(&refs::voyage_manager(), "advance_time", vec![Value::from(day)])?;
+        let voyage = client.call(&refs::voyage(&voyages[0]), "info", vec![])?;
+        println!(
+            "day {day}: voyage {} is {}",
+            voyages[0],
+            voyage.get("phase").and_then(Value::as_str).unwrap_or("?")
+        );
+    }
+
+    // Wait for the asynchronous delivery notifications to drain.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let order = client.call(&refs::order("order-1"), "info", vec![])?;
+        let status = order.get("status").and_then(Value::as_str).unwrap_or("?").to_owned();
+        if status == "delivered" {
+            println!("order-1 delivered: {order}");
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "order was not delivered in time");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let stats = client.call(&refs::order_manager(), "stats", vec![])?;
+    println!("order manager stats: {stats}");
+    mesh.shutdown();
+    println!("reefer workflow example finished");
+    Ok(())
+}

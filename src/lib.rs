@@ -1,0 +1,12 @@
+//! Workspace-level umbrella crate.
+//!
+//! This crate exists to host the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/` at the workspace root. It simply
+//! re-exports the workspace crates for convenience.
+
+pub use kar;
+pub use kar_queue;
+pub use kar_reefer;
+pub use kar_semantics;
+pub use kar_store;
+pub use kar_types;

@@ -1,0 +1,67 @@
+//! Integration test of the full evaluation pipeline: the Reefer application
+//! under fault injection, with the §6.1 application invariants checked at the
+//! end (a scaled-down version of the paper's 48-hour, 1,000-failure run).
+
+use std::time::Duration;
+
+use kar::{Mesh, MeshConfig};
+use kar_reefer::app::{actors_server, bootstrap, singletons_server};
+use kar_reefer::{InvariantChecker, OrderSimulator, ShipSimulator};
+
+#[test]
+fn reefer_survives_a_node_failure_under_load() {
+    let mesh = Mesh::new(MeshConfig::for_fault_experiments(0.005));
+    let stable = mesh.add_node();
+    let victim = mesh.add_node();
+    mesh.add_component(stable, "actors-stable", actors_server);
+    mesh.add_component(stable, "singletons-stable", singletons_server);
+    mesh.add_component(victim, "actors-victim", actors_server);
+    mesh.add_component(victim, "singletons-victim", singletons_server);
+
+    let client = mesh.client();
+    let ports = ["Oakland", "Shanghai", "Singapore"];
+    let voyages = bootstrap(&client, &ports, 2_000, 3, 50_000).expect("bootstrap");
+    let mut orders = OrderSimulator::new(mesh.client(), voyages.clone(), 1);
+    let mut ships = ShipSimulator::new(mesh.client());
+    for _ in 0..6 {
+        orders.submit_one().expect("booking before the failure");
+    }
+
+    // Kill the victim node while more orders are being submitted.
+    let load_client = mesh.client();
+    let load = std::thread::spawn(move || {
+        let mut simulator = OrderSimulator::new(load_client, voyages, 2);
+        for _ in 0..8 {
+            let _ = simulator.submit_one();
+        }
+        simulator
+    });
+    std::thread::sleep(Duration::from_millis(10));
+    mesh.kill_node(victim);
+    assert!(mesh.wait_for_recoveries(1, Duration::from_secs(30)), "no recovery recorded");
+    let background = load.join().unwrap();
+
+    // Replace the failed node, keep the world moving, then check invariants.
+    let replacement = mesh.add_node();
+    mesh.add_component(replacement, "actors-replacement", actors_server);
+    mesh.add_component(replacement, "singletons-replacement", singletons_server);
+    ships.advance_day().expect("time advances after recovery");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut confirmed = orders.confirmed_orders().to_vec();
+    confirmed.extend(background.confirmed_orders().iter().cloned());
+    assert!(!confirmed.is_empty());
+    assert_eq!(background.stats().failed, 0, "bookings failed at the infrastructure level");
+
+    let mut checker = InvariantChecker::new(mesh.client(), &ports, 2_000);
+    let report = checker.check(&confirmed).expect("invariant check");
+    assert!(report.ok(), "invariant violations: {:?}", report.violations);
+
+    // The recovery record has the Figure 7a shape: detection dominated by the
+    // session timeout, consensus by the stabilization window.
+    let outage = mesh.recovery_log().remove(0);
+    assert!(outage.detection().is_some());
+    assert!(outage.reconciliation() > Duration::ZERO);
+    assert!(outage.total().unwrap() > outage.consensus());
+    mesh.shutdown();
+}
