@@ -22,7 +22,9 @@ impl Actor for Counter {
         args: &[Value],
     ) -> KarResult<Outcome> {
         match method {
-            "get" => Ok(Outcome::value(ctx.state().get("v")?.unwrap_or(Value::Int(0)))),
+            "get" => Ok(Outcome::value(
+                ctx.state().get("v")?.unwrap_or(Value::Int(0)),
+            )),
             "set" => {
                 ctx.state().set("v", args[0].clone())?;
                 Ok(Outcome::value("OK"))
@@ -31,7 +33,9 @@ impl Actor for Counter {
                 let v = ctx.state().get("v")?.and_then(|v| v.as_i64()).unwrap_or(0);
                 Ok(ctx.tail_call_self("set", vec![Value::Int(v + 1)]))
             }
-            other => Err(kar_types::KarError::application(format!("no method {other}"))),
+            other => Err(kar_types::KarError::application(format!(
+                "no method {other}"
+            ))),
         }
     }
 }
@@ -52,7 +56,11 @@ fn bench_tail_call_vs_nested(c: &mut Criterion) {
     });
     group.bench_function("client_get_then_set", |b| {
         b.iter(|| {
-            let v = client.call(&actor, "get", vec![]).unwrap().as_i64().unwrap_or(0);
+            let v = client
+                .call(&actor, "get", vec![])
+                .unwrap()
+                .as_i64()
+                .unwrap_or(0);
             client.call(&actor, "set", vec![Value::Int(v + 1)]).unwrap()
         })
     });
@@ -61,7 +69,10 @@ fn bench_tail_call_vs_nested(c: &mut Criterion) {
 }
 
 fn bench_placement_cache(c: &mut Criterion) {
-    let config = LatencyConfig { iterations: 10, payload_bytes: 20 };
+    let config = LatencyConfig {
+        iterations: 10,
+        payload_bytes: 20,
+    };
     let mut group = c.benchmark_group("ablation_placement_cache");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(10));

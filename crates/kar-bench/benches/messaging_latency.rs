@@ -12,12 +12,19 @@ use kar_types::DeploymentProfile;
 
 fn bench_messaging(c: &mut Criterion) {
     let profile = DeploymentProfile::ClusterDev;
-    let config = LatencyConfig { iterations: 10, payload_bytes: 20 };
+    let config = LatencyConfig {
+        iterations: 10,
+        payload_bytes: 20,
+    };
     let mut group = c.benchmark_group("table2_clusterdev");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(5));
-    group.bench_function("direct_http_10rt", |b| b.iter(|| measure_direct(profile, &config)));
-    group.bench_function("kafka_only_10rt", |b| b.iter(|| measure_kafka_only(profile, &config)));
+    group.bench_function("direct_http_10rt", |b| {
+        b.iter(|| measure_direct(profile, &config))
+    });
+    group.bench_function("kafka_only_10rt", |b| {
+        b.iter(|| measure_kafka_only(profile, &config))
+    });
     group.bench_function("kar_actor_10rt", |b| {
         b.iter(|| measure_kar_actor(profile, &config, true))
     });

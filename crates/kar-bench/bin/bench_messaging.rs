@@ -1,0 +1,39 @@
+//! Messaging-throughput sweep over dispatch worker counts.
+//!
+//! Drives the multi-actor workload of `kar_bench::throughput` at 1/2/4/8
+//! dispatch workers, prints the table, and writes `BENCH_messaging.json`
+//! (throughput + p50/p99 latency per worker count) to the current directory —
+//! the start of the repository's performance trajectory.
+//!
+//! Usage: `cargo run --release -p kar-bench --bin bench_messaging [out.json]`
+
+use kar_bench::throughput::{sweep, table_row, to_json, ThroughputConfig};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_messaging.json".to_owned());
+    let config = ThroughputConfig::default();
+    println!(
+        "Messaging throughput: {} actors x {} calls, {}us service time per call",
+        config.actors, config.calls_per_actor, config.service_time_us
+    );
+    println!(
+        "{:>7} {:>12} {:>12} {:>10} {:>10}",
+        "workers", "calls", "calls/s", "p50 ms", "p99 ms"
+    );
+    let mut reports = Vec::new();
+    for report in sweep(&config, &[1, 2, 4, 8]) {
+        println!("{}", table_row(&report));
+        reports.push(report);
+    }
+    let single = reports[0].throughput;
+    let at_four = reports[2].throughput;
+    println!(
+        "speedup at 4 workers: {:.2}x over 1 worker",
+        at_four / single
+    );
+    let json = to_json(&config, &reports);
+    std::fs::write(&out_path, &json).expect("write BENCH_messaging.json");
+    println!("wrote {out_path}");
+}

@@ -9,7 +9,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let failures = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(25);
     let time_scale = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(0.01);
-    let config = FaultConfig { failures, time_scale, ..FaultConfig::default() };
+    let config = FaultConfig {
+        failures,
+        time_scale,
+        ..FaultConfig::default()
+    };
     eprintln!("injecting {failures} failures at time scale {time_scale}...");
     let report = run_fault_experiment(&config);
 

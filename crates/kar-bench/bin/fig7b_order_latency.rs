@@ -10,15 +10,23 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let failures = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(25);
     let time_scale = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(0.01);
-    let config =
-        FaultConfig { failures, time_scale, orders_per_failure: 12, ..FaultConfig::default() };
+    let config = FaultConfig {
+        failures,
+        time_scale,
+        orders_per_failure: 12,
+        ..FaultConfig::default()
+    };
     eprintln!("injecting {failures} failures at time scale {time_scale}...");
     let report = run_fault_experiment(&config);
 
     println!("# Figure 7b: maximum order latency around failure time (paper-equivalent seconds)");
     println!("failure,max_order_latency");
     for sample in &report.samples {
-        println!("{},{:.3}", sample.index, sample.max_order_latency.as_secs_f64());
+        println!(
+            "{},{:.3}",
+            sample.index,
+            sample.max_order_latency.as_secs_f64()
+        );
     }
     let latencies: Vec<_> = report.samples.iter().map(|s| s.max_order_latency).collect();
     if let Some(summary) = Summary::of(&latencies) {

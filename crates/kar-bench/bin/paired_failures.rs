@@ -10,10 +10,17 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let failures = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(10);
     let time_scale = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(0.01);
-    let config = FaultConfig { failures, time_scale, paired: true, ..FaultConfig::default() };
+    let config = FaultConfig {
+        failures,
+        time_scale,
+        paired: true,
+        ..FaultConfig::default()
+    };
     eprintln!("injecting {failures} paired node failures at time scale {time_scale}...");
     let report = run_fault_experiment(&config);
-    println!("# Paired failures: second failure injected during recovery (paper: 1,000 iterations)");
+    println!(
+        "# Paired failures: second failure injected during recovery (paper: 1,000 iterations)"
+    );
     println!(
         "recovered from every paired failure: {} ({} recoveries recorded)",
         report.ok(),

@@ -12,14 +12,21 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let failures = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(25);
     let time_scale = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(0.01);
-    let config = FaultConfig { failures, time_scale, ..FaultConfig::default() };
+    let config = FaultConfig {
+        failures,
+        time_scale,
+        ..FaultConfig::default()
+    };
     eprintln!(
         "injecting {failures} single-node failures at time scale {time_scale} \
          (paper-equivalent durations reported)..."
     );
     let report = run_fault_experiment(&config);
 
-    println!("# Table 1: summary statistics for {} failures (paper-equivalent seconds)", failures);
+    println!(
+        "# Table 1: summary statistics for {} failures (paper-equivalent seconds)",
+        failures
+    );
     println!(
         "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "", "Average", "StdDev", "Median", "Min", "Max"
@@ -31,11 +38,26 @@ fn main() {
     }
     println!();
     println!("# Paper (Table 1, 1,000 failures):");
-    println!("{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}", "", "Average", "StdDev", "Median", "Min", "Max");
-    println!("{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}", "Total Outage", 22.139, 2.114, 22.015, 16.117, 31.207);
-    println!("{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}", "Detection", 9.053, 0.907, 9.084, 7.217, 11.022);
-    println!("{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}", "Consensus", 2.437, 0.086, 2.443, 2.232, 3.197);
-    println!("{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}", "Reconciliation", 10.649, 1.967, 9.098, 6.019, 21.035);
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "", "Average", "StdDev", "Median", "Min", "Max"
+    );
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Total Outage", 22.139, 2.114, 22.015, 16.117, 31.207
+    );
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Detection", 9.053, 0.907, 9.084, 7.217, 11.022
+    );
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Consensus", 2.437, 0.086, 2.443, 2.232, 3.197
+    );
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Reconciliation", 10.649, 1.967, 9.098, 6.019, 21.035
+    );
     println!();
     println!(
         "orders: {} confirmed, {} rejected, {} failed; invariant violations: {}",

@@ -12,7 +12,10 @@ use kar_types::DeploymentProfile;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let iterations = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(200);
-    let config = LatencyConfig { iterations, payload_bytes: 20 };
+    let config = LatencyConfig {
+        iterations,
+        payload_bytes: 20,
+    };
     println!("# Table 2: median round trip message latency in milliseconds ({iterations} iterations per cell)");
     println!(
         "{:<14} {:>12} {:>12} {:>12} {:>18}",

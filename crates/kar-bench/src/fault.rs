@@ -45,7 +45,13 @@ pub struct FaultConfig {
 
 impl Default for FaultConfig {
     fn default() -> Self {
-        FaultConfig { time_scale: 0.01, failures: 25, orders_per_failure: 8, paired: false, seed: 17 }
+        FaultConfig {
+            time_scale: 0.01,
+            failures: 25,
+            orders_per_failure: 8,
+            paired: false,
+            seed: 17,
+        }
     }
 }
 
@@ -93,8 +99,7 @@ impl FaultReport {
         let totals: Vec<Duration> = self.samples.iter().map(|s| s.total).collect();
         let detections: Vec<Duration> = self.samples.iter().map(|s| s.detection).collect();
         let consensus: Vec<Duration> = self.samples.iter().map(|s| s.consensus).collect();
-        let reconciliation: Vec<Duration> =
-            self.samples.iter().map(|s| s.reconciliation).collect();
+        let reconciliation: Vec<Duration> = self.samples.iter().map(|s| s.reconciliation).collect();
         Some([
             ("Total Outage".to_owned(), Summary::of(&totals)?),
             ("Detection".to_owned(), Summary::of(&detections)?),
@@ -209,7 +214,11 @@ pub fn run_fault_experiment(config: &FaultConfig) -> FaultReport {
         for slot in replaced {
             let node = mesh.add_node();
             mesh.add_component(node, &format!("actors-r{replacement}"), actors_server);
-            mesh.add_component(node, &format!("singletons-r{replacement}"), singletons_server);
+            mesh.add_component(
+                node,
+                &format!("singletons-r{replacement}"),
+                singletons_server,
+            );
             victims[slot] = node;
             replacement += 1;
         }
@@ -242,7 +251,9 @@ pub fn run_fault_experiment(config: &FaultConfig) -> FaultReport {
     confirmed.truncate(200); // bound the per-order queries
     match checker.check(&confirmed) {
         Ok(invariants) => report.invariant_violations = invariants.violations,
-        Err(error) => report.invariant_violations.push(format!("invariant check failed: {error}")),
+        Err(error) => report
+            .invariant_violations
+            .push(format!("invariant check failed: {error}")),
     }
     mesh.shutdown();
     report
@@ -298,7 +309,11 @@ pub fn run_total_failure_experiment(iterations: usize, time_scale: f64) -> bool 
 /// whole experiment regardless of how many days it spans.
 fn bootstrap_world(client: &Client, failures: usize) -> KarResult<Vec<String>> {
     for port in PORTS {
-        client.call(&refs::depot(port), "create", vec![Value::from(CONTAINERS_PER_DEPOT)])?;
+        client.call(
+            &refs::depot(port),
+            "create",
+            vec![Value::from(CONTAINERS_PER_DEPOT)],
+        )?;
     }
     let horizon = (failures as i64 + 10) * 4;
     let create = |id: &str, origin: &str, destination: &str, depart: i64, capacity: i64| {
@@ -322,7 +337,13 @@ fn bootstrap_world(client: &Client, failures: usize) -> KarResult<Vec<String>> {
     let mut bookable = Vec::new();
     for v in 0..6 {
         let id = format!("V{v:03}");
-        create(&id, PORTS[v % PORTS.len()], PORTS[(v + 1) % PORTS.len()], horizon, 100_000)?;
+        create(
+            &id,
+            PORTS[v % PORTS.len()],
+            PORTS[(v + 1) % PORTS.len()],
+            horizon,
+            100_000,
+        )?;
         bookable.push(id);
     }
     // A couple of orders on the early voyages so departures carry real cargo.
@@ -381,7 +402,11 @@ mod tests {
         };
         let report = run_fault_experiment(&config);
         assert_eq!(report.samples.len(), 2, "one sample per failure");
-        assert!(report.ok(), "invariant violations: {:?}", report.invariant_violations);
+        assert!(
+            report.ok(),
+            "invariant violations: {:?}",
+            report.invariant_violations
+        );
         assert!(report.orders_confirmed > 0);
         assert_eq!(report.orders_failed, 0, "bookings must survive failures");
         let summaries = report.summaries().unwrap();
@@ -391,8 +416,14 @@ mod tests {
         let detection = summaries[1].1.average;
         let consensus = summaries[2].1.average;
         let total = summaries[0].1.average;
-        assert!(detection >= Duration::from_secs(5), "detection {detection:?}");
-        assert!(consensus >= Duration::from_secs(1), "consensus {consensus:?}");
+        assert!(
+            detection >= Duration::from_secs(5),
+            "detection {detection:?}"
+        );
+        assert!(
+            consensus >= Duration::from_secs(1),
+            "consensus {consensus:?}"
+        );
         assert!(total > detection + consensus, "total {total:?}");
         for sample in &report.samples {
             assert!(sample.max_order_latency > Duration::ZERO);

@@ -31,7 +31,10 @@ pub struct LatencyConfig {
 
 impl Default for LatencyConfig {
     fn default() -> Self {
-        LatencyConfig { iterations: 200, payload_bytes: 20 }
+        LatencyConfig {
+            iterations: 200,
+            payload_bytes: 20,
+        }
     }
 }
 
@@ -63,7 +66,9 @@ impl Actor for Echo {
     ) -> KarResult<Outcome> {
         match method {
             "echo" => Ok(Outcome::value(args.first().cloned().unwrap_or(Value::Null))),
-            other => Err(kar_types::KarError::application(format!("no method {other}"))),
+            other => Err(kar_types::KarError::application(format!(
+                "no method {other}"
+            ))),
         }
     }
 }
@@ -116,7 +121,9 @@ pub fn measure_kafka_only(profile: DeploymentProfile, config: &LatencyConfig) ->
     let server_broker = broker.clone();
     let server = std::thread::spawn(move || {
         let producer = server_broker.producer(server_id);
-        let consumer = server_broker.consumer(server_id, "ping", 0).expect("partition 0");
+        let consumer = server_broker
+            .consumer(server_id, "ping", 0)
+            .expect("partition 0");
         loop {
             match consumer.poll(16) {
                 Ok(records) => {
@@ -145,7 +152,9 @@ pub fn measure_kafka_only(profile: DeploymentProfile, config: &LatencyConfig) ->
         }
         samples.push(started.elapsed());
     }
-    producer.send("ping", 0, Value::from("__stop__")).expect("send stop");
+    producer
+        .send("ping", 0, Value::from("__stop__"))
+        .expect("send stop");
     let _ = server.join();
     median(&samples)
 }
@@ -171,11 +180,15 @@ pub fn measure_kar_actor(
 ) -> Duration {
     let (mesh, client, actor) = kar_mesh(profile, placement_cache);
     // Warm up: instantiate the actor and (optionally) fill the cache.
-    client.call(&actor, "echo", vec![payload(config)]).expect("warmup call");
+    client
+        .call(&actor, "echo", vec![payload(config)])
+        .expect("warmup call");
     let mut samples = Vec::with_capacity(config.iterations);
     for _ in 0..config.iterations {
         let started = Instant::now();
-        client.call(&actor, "echo", vec![payload(config)]).expect("echo call");
+        client
+            .call(&actor, "echo", vec![payload(config)])
+            .expect("echo call");
         samples.push(started.elapsed());
     }
     mesh.shutdown();
@@ -208,7 +221,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> LatencyConfig {
-        LatencyConfig { iterations: 20, payload_bytes: 20 }
+        LatencyConfig {
+            iterations: 20,
+            payload_bytes: 20,
+        }
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   Managed deployment profiles.
 //! * [`report`] — summary statistics (average, standard deviation, median,
 //!   min, max) and table formatting shared by the binaries.
+//! * [`throughput`] — the multi-actor messaging-throughput harness for the
+//!   sharded parallel dispatcher: throughput and p50/p99 latency as a
+//!   function of `dispatch_workers` (the `bench_messaging` binary emits
+//!   `BENCH_messaging.json` from it).
 //!
 //! Each table/figure has a dedicated binary (see `bin/`) and a Criterion
 //! bench (see `benches/`); the binaries print the same rows the paper
@@ -23,7 +27,9 @@
 pub mod fault;
 pub mod latency;
 pub mod report;
+pub mod throughput;
 
-pub use fault::{FaultConfig, FaultReport, FailureSample};
+pub use fault::{FailureSample, FaultConfig, FaultReport};
 pub use latency::{LatencyConfig, LatencyRow};
 pub use report::Summary;
+pub use throughput::{ThroughputConfig, ThroughputReport};

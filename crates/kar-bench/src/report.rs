@@ -31,8 +31,11 @@ impl Summary {
         let total: Duration = sorted.iter().sum();
         let mean = total / n as u32;
         let mean_secs = mean.as_secs_f64();
-        let variance =
-            sorted.iter().map(|d| (d.as_secs_f64() - mean_secs).powi(2)).sum::<f64>() / n as f64;
+        let variance = sorted
+            .iter()
+            .map(|d| (d.as_secs_f64() - mean_secs).powi(2))
+            .sum::<f64>()
+            / n as f64;
         let median = if n % 2 == 1 {
             sorted[n / 2]
         } else {
@@ -68,7 +71,9 @@ pub fn millis(d: Duration) -> String {
 
 /// Computes the median of a series of durations.
 pub fn median(samples: &[Duration]) -> Duration {
-    Summary::of(samples).map(|s| s.median).unwrap_or(Duration::ZERO)
+    Summary::of(samples)
+        .map(|s| s.median)
+        .unwrap_or(Duration::ZERO)
 }
 
 #[cfg(test)]

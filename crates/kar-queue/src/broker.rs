@@ -29,7 +29,9 @@ pub struct Broker<M> {
 
 impl<M> Clone for Broker<M> {
     fn clone(&self) -> Self {
-        Broker { inner: self.inner.clone() }
+        Broker {
+            inner: self.inner.clone(),
+        }
     }
 }
 
@@ -41,6 +43,18 @@ struct BrokerInner<M> {
     allowed_epochs: Mutex<HashMap<ComponentId, Epoch>>,
     groups: Mutex<HashMap<String, Group>>,
     shutdown: AtomicBool,
+    /// Per-partition append signals, so consumers can park in
+    /// [`Consumer::poll_wait`] instead of busy polling, and an append wakes
+    /// only the consumers of the partition it landed in.
+    signals: Mutex<HashMap<(String, usize), Arc<PartitionSignal>>>,
+}
+
+/// Append counter + condvar of one partition. (std primitives, not
+/// parking_lot: a `Condvar` must pair with a `std::sync::Mutex`.)
+#[derive(Debug, Default)]
+struct PartitionSignal {
+    seq: std::sync::Mutex<u64>,
+    cond: std::sync::Condvar,
 }
 
 impl<M: Clone + Send + Sync + 'static> Default for Broker<M> {
@@ -60,6 +74,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
                 allowed_epochs: Mutex::new(HashMap::new()),
                 groups: Mutex::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
+                signals: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -86,13 +101,18 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
     /// `partitions` is zero.
     pub fn create_topic(&self, name: &str, partitions: usize) -> KarResult<()> {
         if partitions == 0 {
-            return Err(KarError::Queue(format!("topic {name} needs at least one partition")));
+            return Err(KarError::Queue(format!(
+                "topic {name} needs at least one partition"
+            )));
         }
         let mut topics = self.inner.topics.lock();
         if topics.contains_key(name) {
             return Err(KarError::Queue(format!("topic {name} already exists")));
         }
-        topics.insert(name.to_owned(), (0..partitions).map(|_| PartitionLog::default()).collect());
+        topics.insert(
+            name.to_owned(),
+            (0..partitions).map(|_| PartitionLog::default()).collect(),
+        );
         Ok(())
     }
 
@@ -100,7 +120,9 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
     /// creating it or growing it as needed. Returns the partition count.
     pub fn ensure_partitions(&self, topic: &str, at_least: usize) -> KarResult<usize> {
         if at_least == 0 {
-            return Err(KarError::Queue("cannot size a topic to zero partitions".to_owned()));
+            return Err(KarError::Queue(
+                "cannot size a topic to zero partitions".to_owned(),
+            ));
         }
         let mut topics = self.inner.topics.lock();
         let logs = topics.entry(topic.to_owned()).or_default();
@@ -136,12 +158,22 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
 
     /// The epoch currently allowed for `component`.
     pub fn current_epoch(&self, component: ComponentId) -> Epoch {
-        self.inner.allowed_epochs.lock().get(&component).copied().unwrap_or(Epoch::ZERO)
+        self.inner
+            .allowed_epochs
+            .lock()
+            .get(&component)
+            .copied()
+            .unwrap_or(Epoch::ZERO)
     }
 
     fn check_epoch(&self, component: ComponentId, epoch: Epoch) -> KarResult<()> {
-        let allowed =
-            self.inner.allowed_epochs.lock().get(&component).copied().unwrap_or(Epoch::ZERO);
+        let allowed = self
+            .inner
+            .allowed_epochs
+            .lock()
+            .get(&component)
+            .copied()
+            .unwrap_or(Epoch::ZERO);
         if epoch < allowed {
             Err(KarError::Fenced {
                 component,
@@ -159,7 +191,11 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
     /// Opens a producer on behalf of `component`, bound to the component's
     /// current fencing epoch.
     pub fn producer(&self, component: ComponentId) -> Producer<M> {
-        Producer { broker: self.clone(), component, epoch: self.current_epoch(component) }
+        Producer {
+            broker: self.clone(),
+            component,
+            epoch: self.current_epoch(component),
+        }
     }
 
     /// Opens a manually-assigned consumer reading `topic[partition]` from the
@@ -168,7 +204,12 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
     /// # Errors
     ///
     /// Fails with `KarError::Queue` if the partition does not exist.
-    pub fn consumer(&self, component: ComponentId, topic: &str, partition: usize) -> KarResult<Consumer<M>> {
+    pub fn consumer(
+        &self,
+        component: ComponentId,
+        topic: &str,
+        partition: usize,
+    ) -> KarResult<Consumer<M>> {
         self.consumer_from(component, topic, partition, 0)
     }
 
@@ -189,7 +230,9 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             .get(topic)
             .ok_or_else(|| KarError::Queue(format!("unknown topic {topic}")))?;
         if partition >= logs.len() {
-            return Err(KarError::Queue(format!("topic {topic} has no partition {partition}")));
+            return Err(KarError::Queue(format!(
+                "topic {topic} has no partition {partition}"
+            )));
         }
         drop(topics);
         Ok(Consumer {
@@ -219,12 +262,78 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
         let logs = topics
             .get_mut(topic)
             .ok_or_else(|| KarError::Queue(format!("unknown topic {topic}")))?;
-        let log = logs
-            .get_mut(partition)
-            .ok_or_else(|| KarError::Queue(format!("topic {topic} has no partition {partition}")))?;
+        let log = logs.get_mut(partition).ok_or_else(|| {
+            KarError::Queue(format!("topic {topic} has no partition {partition}"))
+        })?;
         let offset = log.append(now, payload);
-        log.expire(now, self.inner.config.retention, self.inner.config.max_partition_records);
+        log.expire(
+            now,
+            self.inner.config.retention,
+            self.inner.config.max_partition_records,
+        );
+        drop(topics);
+        self.notify_append(topic, partition);
         Ok(offset)
+    }
+
+    /// The append signal of one partition, created on first use.
+    fn signal_for(&self, topic: &str, partition: usize) -> Arc<PartitionSignal> {
+        let mut signals = self.inner.signals.lock();
+        if let Some(signal) = signals.get(&(topic.to_owned(), partition)) {
+            return signal.clone();
+        }
+        let signal = Arc::new(PartitionSignal::default());
+        signals.insert((topic.to_owned(), partition), signal.clone());
+        signal
+    }
+
+    /// Wakes the consumers of `topic[partition]` parked in
+    /// [`Consumer::poll_wait`].
+    fn notify_append(&self, topic: &str, partition: usize) {
+        let signal = self.signal_for(topic, partition);
+        let mut seq = signal
+            .seq
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *seq += 1;
+        drop(seq);
+        signal.cond.notify_all();
+    }
+
+    /// The current append sequence of one partition; pass it to
+    /// [`Broker::wait_for_append`] to park until the next append there.
+    fn append_seq(&self, topic: &str, partition: usize) -> u64 {
+        let signal = self.signal_for(topic, partition);
+        let seq = *signal
+            .seq
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        seq
+    }
+
+    /// Blocks until `topic[partition]` receives an append after sequence
+    /// `seen`, or `timeout` elapses.
+    fn wait_for_append(&self, topic: &str, partition: usize, seen: u64, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let signal = self.signal_for(topic, partition);
+        let mut seq = signal
+            .seq
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *seq == seen {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let (next, result) = signal
+                .cond
+                .wait_timeout(seq, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            seq = next;
+            if result.timed_out() {
+                return;
+            }
+        }
     }
 
     fn fetch(
@@ -244,9 +353,9 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
         let logs = topics
             .get(topic)
             .ok_or_else(|| KarError::Queue(format!("unknown topic {topic}")))?;
-        let log = logs
-            .get(partition)
-            .ok_or_else(|| KarError::Queue(format!("topic {topic} has no partition {partition}")))?;
+        let log = logs.get(partition).ok_or_else(|| {
+            KarError::Queue(format!("topic {topic} has no partition {partition}"))
+        })?;
         Ok(log.read_from(from_offset, max))
     }
 
@@ -269,7 +378,10 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
     /// Number of live records in a partition.
     pub fn partition_len(&self, topic: &str, partition: usize) -> usize {
         let topics = self.inner.topics.lock();
-        topics.get(topic).and_then(|logs| logs.get(partition)).map_or(0, PartitionLog::len)
+        topics
+            .get(topic)
+            .and_then(|logs| logs.get(partition))
+            .map_or(0, PartitionLog::len)
     }
 
     /// Number of records dropped from a partition by retention or truncation
@@ -300,10 +412,13 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
         let logs = topics
             .get_mut(topic)
             .ok_or_else(|| KarError::Queue(format!("unknown topic {topic}")))?;
-        let log = logs
-            .get_mut(partition)
-            .ok_or_else(|| KarError::Queue(format!("topic {topic} has no partition {partition}")))?;
-        Ok(log.append(now, payload))
+        let log = logs.get_mut(partition).ok_or_else(|| {
+            KarError::Queue(format!("topic {topic} has no partition {partition}"))
+        })?;
+        let offset = log.append(now, payload);
+        drop(topics);
+        self.notify_append(topic, partition);
+        Ok(offset)
     }
 
     /// Discards every live record of a partition (flushing the queue of a
@@ -325,8 +440,11 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
         let mut dropped = 0;
         for logs in topics.values_mut() {
             for log in logs.iter_mut() {
-                dropped +=
-                    log.expire(now, self.inner.config.retention, self.inner.config.max_partition_records);
+                dropped += log.expire(
+                    now,
+                    self.inner.config.retention,
+                    self.inner.config.max_partition_records,
+                );
             }
         }
         dropped
@@ -344,7 +462,12 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
         let g = groups.entry(group.to_owned()).or_default();
         g.members.insert(
             component,
-            MemberInfo { component, partition, state: MemberState::Live, last_heartbeat: now },
+            MemberInfo {
+                component,
+                partition,
+                state: MemberState::Live,
+                last_heartbeat: now,
+            },
         );
         g.rebalance_deadline = Some(now + self.inner.config.rebalance_stabilization);
         g.emit(GroupEvent::MemberJoined { component, at: now });
@@ -390,7 +513,11 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
     pub fn subscribe(&self, group: &str) -> Receiver<GroupEvent> {
         let (tx, rx) = unbounded();
         let mut groups = self.inner.groups.lock();
-        groups.entry(group.to_owned()).or_default().subscribers.push(tx);
+        groups
+            .entry(group.to_owned())
+            .or_default()
+            .subscribers
+            .push(tx);
         rx
     }
 
@@ -401,7 +528,10 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             .lock()
             .get(group)
             .map(Group::view)
-            .unwrap_or(GroupView { generation: 0, members: Vec::new() })
+            .unwrap_or(GroupView {
+                generation: 0,
+                members: Vec::new(),
+            })
     }
 
     /// Advances failure detection and rebalancing for every group, based on
@@ -485,7 +615,8 @@ impl<M: Clone + Send + Sync + 'static> Producer<M> {
     /// forcefully disconnected, or `KarError::Queue` if the partition does
     /// not exist.
     pub fn send(&self, topic: &str, partition: usize, payload: M) -> KarResult<u64> {
-        self.broker.append(self.component, self.epoch, topic, partition, payload)
+        self.broker
+            .append(self.component, self.epoch, topic, partition, payload)
     }
 
     /// The component this producer belongs to.
@@ -515,12 +646,46 @@ impl<M: Clone + Send + Sync + 'static> Consumer<M> {
     /// forcefully disconnected.
     pub fn poll(&self, max: usize) -> KarResult<Vec<Record<M>>> {
         let mut position = self.position.lock();
-        let records =
-            self.broker.fetch(self.component, self.epoch, &self.topic, self.partition, *position, max)?;
+        let records = self.broker.fetch(
+            self.component,
+            self.epoch,
+            &self.topic,
+            self.partition,
+            *position,
+            max,
+        )?;
         if let Some(last) = records.last() {
             *position = last.offset + 1;
         }
         Ok(records)
+    }
+
+    /// Like [`Consumer::poll`], but parks on the broker's append signal for
+    /// up to `timeout` when no record is immediately available, instead of
+    /// returning an empty batch at once. Returns an empty batch only after
+    /// the timeout elapses with nothing to read.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the owning component has been
+    /// forcefully disconnected.
+    pub fn poll_wait(&self, max: usize, timeout: Duration) -> KarResult<Vec<Record<M>>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Snapshot the append signal before polling: an append landing
+            // between the poll and the wait then wakes us immediately.
+            let seen = self.broker.append_seq(&self.topic, self.partition);
+            let records = self.poll(max)?;
+            if !records.is_empty() {
+                return Ok(records);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(records);
+            }
+            self.broker
+                .wait_for_append(&self.topic, self.partition, seen, deadline - now);
+        }
     }
 
     /// The next offset this consumer will read.
@@ -643,7 +808,10 @@ mod tests {
 
     #[test]
     fn retention_expires_oldest_records() {
-        let config = BrokerConfig { max_partition_records: 3, ..BrokerConfig::default() };
+        let config = BrokerConfig {
+            max_partition_records: 3,
+            ..BrokerConfig::default()
+        };
         let broker: Broker<u32> = Broker::new(config);
         broker.create_topic("t", 1).unwrap();
         let producer = broker.producer(c(1));
@@ -652,7 +820,11 @@ mod tests {
         }
         // Size-based retention keeps the newest 3 records.
         assert_eq!(broker.partition_len("t", 0), 3);
-        let payloads: Vec<u32> = broker.read_partition("t", 0).into_iter().map(|r| r.payload).collect();
+        let payloads: Vec<u32> = broker
+            .read_partition("t", 0)
+            .into_iter()
+            .map(|r| r.payload)
+            .collect();
         assert_eq!(payloads, vec![7, 8, 9]);
         assert_eq!(broker.expired_count("t", 0), 7);
         assert_eq!(broker.expire_now(), 0);
@@ -690,13 +862,17 @@ mod tests {
         // The event stream contains join, failure detection and rebalances in
         // a sensible order.
         let collected: Vec<GroupEvent> = events.try_iter().collect();
-        assert!(collected.iter().any(|e| matches!(e, GroupEvent::MemberJoined { component, .. } if *component == c(1))));
+        assert!(collected.iter().any(
+            |e| matches!(e, GroupEvent::MemberJoined { component, .. } if *component == c(1))
+        ));
         let detect_at = collected.iter().find_map(|e| match e {
             GroupEvent::FailureDetected { component, at } if *component == c(2) => Some(*at),
             _ => None,
         });
         let rebalance_at = collected.iter().rev().find_map(|e| match e {
-            GroupEvent::RebalanceCompleted { removed, at, .. } if removed.contains(&c(2)) => Some(*at),
+            GroupEvent::RebalanceCompleted { removed, at, .. } if removed.contains(&c(2)) => {
+                Some(*at)
+            }
             _ => None,
         });
         let detect_at = detect_at.expect("failure detected");
@@ -731,10 +907,12 @@ mod tests {
         let view = broker.group_view("g");
         assert_eq!(view.live_components(), vec![c(1)]);
         let collected: Vec<GroupEvent> = events.try_iter().collect();
-        assert!(collected.iter().any(|e| matches!(e, GroupEvent::MemberLeft { component, .. } if *component == c(2))));
-        assert!(!collected
+        assert!(collected
             .iter()
-            .any(|e| matches!(e, GroupEvent::FailureDetected { component, .. } if *component == c(2))));
+            .any(|e| matches!(e, GroupEvent::MemberLeft { component, .. } if *component == c(2))));
+        assert!(!collected.iter().any(
+            |e| matches!(e, GroupEvent::FailureDetected { component, .. } if *component == c(2))
+        ));
         // A graceful leave is not fenced.
         assert_eq!(broker.current_epoch(c(2)), Epoch::ZERO);
     }
@@ -750,16 +928,86 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(2);
         let mut saw_rebalance_removing_1 = false;
         while Instant::now() < deadline && !saw_rebalance_removing_1 {
-            if let Ok(event) = events.recv_timeout(Duration::from_millis(100)) {
-                if let GroupEvent::RebalanceCompleted { removed, .. } = event {
-                    if removed.contains(&c(1)) {
-                        saw_rebalance_removing_1 = true;
-                    }
+            if let Ok(GroupEvent::RebalanceCompleted { removed, .. }) =
+                events.recv_timeout(Duration::from_millis(100))
+            {
+                if removed.contains(&c(1)) {
+                    saw_rebalance_removing_1 = true;
                 }
             }
         }
         broker.shutdown();
-        assert!(saw_rebalance_removing_1, "coordinator never removed the dead member");
+        assert!(
+            saw_rebalance_removing_1,
+            "coordinator never removed the dead member"
+        );
+    }
+
+    #[test]
+    fn poll_wait_wakes_on_append_and_times_out_when_idle() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 1).unwrap();
+        let consumer = broker.consumer(c(2), "t", 0).unwrap();
+
+        // Idle partition: poll_wait returns empty after the timeout.
+        let t0 = Instant::now();
+        assert!(consumer
+            .poll_wait(10, Duration::from_millis(20))
+            .unwrap()
+            .is_empty());
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+
+        // A concurrent append wakes the parked consumer well before the
+        // timeout.
+        let producer_broker = broker.clone();
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            producer_broker.producer(c(1)).send("t", 0, 7).unwrap();
+        });
+        let t0 = Instant::now();
+        let records = consumer.poll_wait(10, Duration::from_secs(5)).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].payload, 7);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "poll_wait slept past the append"
+        );
+        producer.join().unwrap();
+
+        // Records already present are returned without waiting.
+        consumer.seek(0);
+        let t0 = Instant::now();
+        assert_eq!(
+            consumer
+                .poll_wait(10, Duration::from_secs(5))
+                .unwrap()
+                .len(),
+            1
+        );
+        assert!(t0.elapsed() < Duration::from_millis(100));
+
+        // admin_append (used by reconciliation to re-home requests) also
+        // wakes parked consumers.
+        let admin_broker = broker.clone();
+        let admin = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            admin_broker.admin_append("t", 0, 8).unwrap();
+        });
+        let records = consumer.poll_wait(10, Duration::from_secs(5)).unwrap();
+        assert_eq!(records[0].payload, 8);
+        admin.join().unwrap();
+    }
+
+    #[test]
+    fn poll_wait_propagates_fencing() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 1).unwrap();
+        let consumer = broker.consumer(c(1), "t", 0).unwrap();
+        broker.fence(c(1));
+        assert!(consumer
+            .poll_wait(1, Duration::from_millis(5))
+            .unwrap_err()
+            .is_fenced());
     }
 
     #[test]

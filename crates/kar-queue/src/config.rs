@@ -72,7 +72,10 @@ impl BrokerConfig {
             max_partition_records: self.max_partition_records,
             append_latency: self.append_latency,
             deliver_latency: self.deliver_latency,
-            coordinator_interval: self.coordinator_interval.mul_f64(factor).max(Duration::from_millis(1)),
+            coordinator_interval: self
+                .coordinator_interval
+                .mul_f64(factor)
+                .max(Duration::from_millis(1)),
         }
     }
 }

@@ -59,12 +59,17 @@ impl GroupView {
 
     /// True if `component` is a live member.
     pub fn is_live(&self, component: ComponentId) -> bool {
-        self.members.iter().any(|m| m.component == component && m.state == MemberState::Live)
+        self.members
+            .iter()
+            .any(|m| m.component == component && m.state == MemberState::Live)
     }
 
     /// The partition owned by `component`, if it is (or was) a member.
     pub fn partition_of(&self, component: ComponentId) -> Option<usize> {
-        self.members.iter().find(|m| m.component == component).map(|m| m.partition)
+        self.members
+            .iter()
+            .find(|m| m.component == component)
+            .map(|m| m.partition)
     }
 }
 
@@ -138,7 +143,10 @@ impl Group {
     pub(crate) fn view(&self) -> GroupView {
         let mut members: Vec<MemberInfo> = self.members.values().cloned().collect();
         members.sort_by_key(|m| m.component);
-        GroupView { generation: self.generation, members }
+        GroupView {
+            generation: self.generation,
+            members,
+        }
     }
 
     pub(crate) fn emit(&mut self, event: GroupEvent) {
@@ -184,7 +192,12 @@ impl Group {
         let mut removed = removed;
         removed.sort();
         self.rebalance_deadline = None;
-        GroupEvent::RebalanceCompleted { generation: self.generation, live, removed, at: now }
+        GroupEvent::RebalanceCompleted {
+            generation: self.generation,
+            live,
+            removed,
+            at: now,
+        }
     }
 }
 
@@ -204,8 +217,13 @@ mod tests {
     #[test]
     fn view_is_sorted_and_reports_liveness() {
         let mut group = Group::default();
-        group.members.insert(ComponentId::from_raw(2), member(2, 1, 0, MemberState::Live));
-        group.members.insert(ComponentId::from_raw(1), member(1, 0, 0, MemberState::Failed));
+        group
+            .members
+            .insert(ComponentId::from_raw(2), member(2, 1, 0, MemberState::Live));
+        group.members.insert(
+            ComponentId::from_raw(1),
+            member(1, 0, 0, MemberState::Failed),
+        );
         let view = group.view();
         assert_eq!(view.members[0].component, ComponentId::from_raw(1));
         assert_eq!(view.live_components(), vec![ComponentId::from_raw(2)]);
@@ -218,14 +236,27 @@ mod tests {
     #[test]
     fn detect_failures_only_flags_stale_live_members() {
         let mut group = Group::default();
-        group.members.insert(ComponentId::from_raw(1), member(1, 0, 0, MemberState::Live));
-        group.members.insert(ComponentId::from_raw(2), member(2, 1, 90, MemberState::Live));
-        group.members.insert(ComponentId::from_raw(3), member(3, 2, 0, MemberState::Failed));
-        let failed =
-            group.detect_failures(Duration::from_millis(100), Duration::from_millis(50));
+        group
+            .members
+            .insert(ComponentId::from_raw(1), member(1, 0, 0, MemberState::Live));
+        group.members.insert(
+            ComponentId::from_raw(2),
+            member(2, 1, 90, MemberState::Live),
+        );
+        group.members.insert(
+            ComponentId::from_raw(3),
+            member(3, 2, 0, MemberState::Failed),
+        );
+        let failed = group.detect_failures(Duration::from_millis(100), Duration::from_millis(50));
         assert_eq!(failed, vec![ComponentId::from_raw(1)]);
-        assert_eq!(group.members[&ComponentId::from_raw(1)].state, MemberState::Failed);
-        assert_eq!(group.members[&ComponentId::from_raw(2)].state, MemberState::Live);
+        assert_eq!(
+            group.members[&ComponentId::from_raw(1)].state,
+            MemberState::Failed
+        );
+        assert_eq!(
+            group.members[&ComponentId::from_raw(2)].state,
+            MemberState::Live
+        );
         // A second detection pass does not re-report the same member.
         let failed_again =
             group.detect_failures(Duration::from_millis(101), Duration::from_millis(50));
@@ -235,12 +266,22 @@ mod tests {
     #[test]
     fn complete_rebalance_removes_failed_members_and_bumps_generation() {
         let mut group = Group::default();
-        group.members.insert(ComponentId::from_raw(1), member(1, 0, 0, MemberState::Failed));
-        group.members.insert(ComponentId::from_raw(2), member(2, 1, 0, MemberState::Live));
+        group.members.insert(
+            ComponentId::from_raw(1),
+            member(1, 0, 0, MemberState::Failed),
+        );
+        group
+            .members
+            .insert(ComponentId::from_raw(2), member(2, 1, 0, MemberState::Live));
         group.rebalance_deadline = Some(Duration::from_millis(10));
         let event = group.complete_rebalance(Duration::from_millis(12));
         match event {
-            GroupEvent::RebalanceCompleted { generation, live, removed, at } => {
+            GroupEvent::RebalanceCompleted {
+                generation,
+                live,
+                removed,
+                at,
+            } => {
                 assert_eq!(generation, 1);
                 assert_eq!(live, vec![ComponentId::from_raw(2)]);
                 assert_eq!(removed, vec![ComponentId::from_raw(1)]);
@@ -276,7 +317,10 @@ mod tests {
             at: Duration::from_secs(3),
         };
         assert_eq!(e.at(), Duration::from_secs(3));
-        let e = GroupEvent::MemberLeft { component: ComponentId::from_raw(1), at: Duration::from_secs(4) };
+        let e = GroupEvent::MemberLeft {
+            component: ComponentId::from_raw(1),
+            at: Duration::from_secs(4),
+        };
         assert_eq!(e.at(), Duration::from_secs(4));
     }
 }

@@ -21,7 +21,11 @@ pub(crate) struct PartitionLog<M> {
 
 impl<M> Default for PartitionLog<M> {
     fn default() -> Self {
-        PartitionLog { records: VecDeque::new(), next_offset: 0, expired: 0 }
+        PartitionLog {
+            records: VecDeque::new(),
+            next_offset: 0,
+            expired: 0,
+        }
     }
 }
 
@@ -30,7 +34,11 @@ impl<M: Clone> PartitionLog<M> {
     pub(crate) fn append(&mut self, appended_at: Duration, payload: M) -> u64 {
         let offset = self.next_offset;
         self.next_offset += 1;
-        self.records.push_back(Record { offset, appended_at, payload });
+        self.records.push_back(Record {
+            offset,
+            appended_at,
+            payload,
+        });
         offset
     }
 
@@ -67,7 +75,12 @@ impl<M: Clone> PartitionLog<M> {
     /// Expires the oldest records that are older than `retention` relative to
     /// `now`, or that exceed the `max_records` bound. Returns the number of
     /// expired records.
-    pub(crate) fn expire(&mut self, now: Duration, retention: Duration, max_records: usize) -> usize {
+    pub(crate) fn expire(
+        &mut self,
+        now: Duration,
+        retention: Duration,
+        max_records: usize,
+    ) -> usize {
         let mut dropped = 0;
         let cutoff = now.checked_sub(retention);
         while let Some(front) = self.records.front() {
@@ -122,7 +135,10 @@ mod tests {
     fn read_from_respects_offset_and_max() {
         let log = log_with(10);
         let r = log.read_from(4, 3);
-        assert_eq!(r.iter().map(|r| r.offset).collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert_eq!(
+            r.iter().map(|r| r.offset).collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
         assert!(log.read_from(10, 5).is_empty());
     }
 
@@ -162,7 +178,10 @@ mod tests {
     fn expire_with_zero_elapsed_time_is_noop_for_time() {
         let mut log = log_with(3);
         // now < retention: checked_sub yields None, nothing is too old.
-        assert_eq!(log.expire(Duration::from_millis(1), Duration::from_secs(10), 100), 0);
+        assert_eq!(
+            log.expire(Duration::from_millis(1), Duration::from_secs(10), 100),
+            0
+        );
         assert_eq!(log.len(), 3);
     }
 }

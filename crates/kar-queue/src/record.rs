@@ -15,7 +15,10 @@ pub struct TopicPartition {
 impl TopicPartition {
     /// Builds a topic/partition coordinate.
     pub fn new(topic: impl Into<String>, partition: usize) -> Self {
-        TopicPartition { topic: topic.into(), partition }
+        TopicPartition {
+            topic: topic.into(),
+            partition,
+        }
     }
 }
 
@@ -41,7 +44,11 @@ pub struct Record<M> {
 impl<M> Record<M> {
     /// Maps the payload while preserving offset and timestamp.
     pub fn map<N>(self, f: impl FnOnce(M) -> N) -> Record<N> {
-        Record { offset: self.offset, appended_at: self.appended_at, payload: f(self.payload) }
+        Record {
+            offset: self.offset,
+            appended_at: self.appended_at,
+            payload: f(self.payload),
+        }
     }
 }
 
@@ -60,7 +67,11 @@ mod tests {
 
     #[test]
     fn record_map_preserves_metadata() {
-        let r = Record { offset: 7, appended_at: Duration::from_secs(1), payload: 21u32 };
+        let r = Record {
+            offset: 7,
+            appended_at: Duration::from_secs(1),
+            payload: 21u32,
+        };
         let mapped = r.map(|p| p * 2);
         assert_eq!(mapped.offset, 7);
         assert_eq!(mapped.appended_at, Duration::from_secs(1));

@@ -27,7 +27,11 @@ impl Actor for AnomalyRouter {
     ) -> KarResult<Outcome> {
         match method {
             "register_on_voyage" => {
-                let containers = args.first().and_then(Value::as_list).unwrap_or(&[]).to_vec();
+                let containers = args
+                    .first()
+                    .and_then(Value::as_list)
+                    .unwrap_or(&[])
+                    .to_vec();
                 let voyage = string_arg(args, 1, "voyage id")?;
                 let order = string_arg(args, 2, "order id")?;
                 let entries: Vec<(String, Value)> = containers
@@ -48,7 +52,11 @@ impl Actor for AnomalyRouter {
                 Ok(Outcome::value(Value::Null))
             }
             "register_at_depot" => {
-                let containers = args.first().and_then(Value::as_list).unwrap_or(&[]).to_vec();
+                let containers = args
+                    .first()
+                    .and_then(Value::as_list)
+                    .unwrap_or(&[])
+                    .to_vec();
                 let port = string_arg(args, 1, "port")?;
                 let entries: Vec<(String, Value)> = containers
                     .iter()
@@ -97,7 +105,9 @@ impl Actor for AnomalyRouter {
             "lookup" => {
                 let container = string_arg(args, 0, "container id")?;
                 Ok(Outcome::value(
-                    ctx.state().get(&format!("container/{container}"))?.unwrap_or(Value::Null),
+                    ctx.state()
+                        .get(&format!("container/{container}"))?
+                        .unwrap_or(Value::Null),
                 ))
             }
             "tracked" => {
@@ -109,7 +119,9 @@ impl Actor for AnomalyRouter {
                     .count();
                 Ok(Outcome::value(Value::from(count)))
             }
-            other => Err(KarError::application(format!("AnomalyRouter has no method {other}"))),
+            other => Err(KarError::application(format!(
+                "AnomalyRouter has no method {other}"
+            ))),
         }
     }
 }

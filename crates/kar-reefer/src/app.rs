@@ -49,7 +49,10 @@ pub struct ReeferDeployment {
 impl ReeferDeployment {
     /// Every application component.
     pub fn components(&self) -> Vec<ComponentId> {
-        self.components_by_node.iter().flat_map(|(_, cs)| cs.iter().copied()).collect()
+        self.components_by_node
+            .iter()
+            .flat_map(|(_, cs)| cs.iter().copied())
+            .collect()
     }
 }
 
@@ -68,7 +71,10 @@ pub fn deploy_replicated(
     replicas_per_node: usize,
 ) -> ReeferDeployment {
     assert!(victim_nodes >= 1, "at least one victim node is required");
-    assert!(replicas_per_node >= 1, "at least one replica per node is required");
+    assert!(
+        replicas_per_node >= 1,
+        "at least one replica per node is required"
+    );
     let stable_node = mesh.add_node();
     let mut nodes = Vec::new();
     let mut components_by_node = Vec::new();
@@ -78,12 +84,19 @@ pub fn deploy_replicated(
         let mut components = Vec::new();
         for r in 0..replicas_per_node {
             components.push(mesh.add_component(node, &format!("actors-{n}-{r}"), actors_server));
-            components
-                .push(mesh.add_component(node, &format!("singletons-{n}-{r}"), singletons_server));
+            components.push(mesh.add_component(
+                node,
+                &format!("singletons-{n}-{r}"),
+                singletons_server,
+            ));
         }
         components_by_node.push((node, components));
     }
-    ReeferDeployment { stable_node, victim_nodes: nodes, components_by_node }
+    ReeferDeployment {
+        stable_node,
+        victim_nodes: nodes,
+        components_by_node,
+    }
 }
 
 /// Bootstraps the shipping world: creates the depots of `ports` (each with
@@ -163,17 +176,28 @@ mod tests {
             .unwrap();
         assert_eq!(confirmation.get("status"), Some(&Value::from("booked")));
         assert_eq!(confirmation.get("order"), Some(&Value::from("order-1")));
-        let containers = confirmation.get("containers").and_then(Value::as_list).unwrap();
+        let containers = confirmation
+            .get("containers")
+            .and_then(Value::as_list)
+            .unwrap();
         assert_eq!(containers.len(), 3);
 
         // The voyage lost 3 slots of capacity; the depot allocated 3
         // containers; the order manager recorded the booking synchronously.
-        let voyage_info = client.call(&refs::voyage(&voyages[0]), "info", vec![]).unwrap();
+        let voyage_info = client
+            .call(&refs::voyage(&voyages[0]), "info", vec![])
+            .unwrap();
         assert_eq!(voyage_info.get("free_capacity"), Some(&Value::from(17i64)));
-        let depot_info = client.call(&refs::depot("Oakland"), "info", vec![]).unwrap();
+        let depot_info = client
+            .call(&refs::depot("Oakland"), "info", vec![])
+            .unwrap();
         assert_eq!(depot_info.get("available"), Some(&Value::from(97i64)));
         let record = client
-            .call(&refs::order_manager(), "order_record", vec![Value::from("order-1")])
+            .call(
+                &refs::order_manager(),
+                "order_record",
+                vec![Value::from("order-1")],
+            )
             .unwrap();
         assert_eq!(record.get("status"), Some(&Value::from("booked")));
         mesh.shutdown();
@@ -200,26 +224,42 @@ mod tests {
 
         // Advance simulated time past departure and arrival.
         for day in 1..=5i64 {
-            client.call(&refs::voyage_manager(), "advance_time", vec![Value::from(day)]).unwrap();
+            client
+                .call(
+                    &refs::voyage_manager(),
+                    "advance_time",
+                    vec![Value::from(day)],
+                )
+                .unwrap();
         }
         // Tells propagate asynchronously: wait for the order to be delivered.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         loop {
-            let info = client.call(&refs::order("order-7"), "info", vec![]).unwrap();
+            let info = client
+                .call(&refs::order("order-7"), "info", vec![])
+                .unwrap();
             if info.get("status") == Some(&Value::from("delivered")) {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "order never delivered: {info}");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "order never delivered: {info}"
+            );
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
         // The destination depot received the two containers.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         loop {
-            let depot = client.call(&refs::depot("Shanghai"), "info", vec![]).unwrap();
+            let depot = client
+                .call(&refs::depot("Shanghai"), "info", vec![])
+                .unwrap();
             if depot.get("received_total") == Some(&Value::from(2i64)) {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "containers never received: {depot}");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "containers never received: {depot}"
+            );
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
         mesh.shutdown();
@@ -255,31 +295,53 @@ mod tests {
         // registration is an asynchronous tell, so poll briefly).
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         loop {
-            let location =
-                client.call(&refs::anomaly_router(), "lookup", vec![Value::from(container.clone())]).unwrap();
+            let location = client
+                .call(
+                    &refs::anomaly_router(),
+                    "lookup",
+                    vec![Value::from(container.clone())],
+                )
+                .unwrap();
             if location.get("location") == Some(&Value::from("voyage")) {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "container never registered");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "container never registered"
+            );
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
         // Inject the anomaly and wait for the order to become spoilt.
         let routed = client
-            .call(&refs::anomaly_router(), "anomaly", vec![Value::from(container.clone())])
+            .call(
+                &refs::anomaly_router(),
+                "anomaly",
+                vec![Value::from(container.clone())],
+            )
             .unwrap();
         assert_eq!(routed, Value::from("voyage"));
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         loop {
-            let info = client.call(&refs::order("order-9"), "info", vec![]).unwrap();
+            let info = client
+                .call(&refs::order("order-9"), "info", vec![])
+                .unwrap();
             if info.get("status") == Some(&Value::from("spoilt")) {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "order never spoilt: {info}");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "order never spoilt: {info}"
+            );
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
         // Unknown containers are reported as such.
-        let unknown =
-            client.call(&refs::anomaly_router(), "anomaly", vec![Value::from("nope")]).unwrap();
+        let unknown = client
+            .call(
+                &refs::anomaly_router(),
+                "anomaly",
+                vec![Value::from("nope")],
+            )
+            .unwrap();
         assert_eq!(unknown, Value::from("unknown"));
         mesh.shutdown();
     }
@@ -312,7 +374,10 @@ mod tests {
                 Value::from(1i64),
             ],
         );
-        assert!(rejected.is_err(), "expected the overbooked order to be rejected");
+        assert!(
+            rejected.is_err(),
+            "expected the overbooked order to be rejected"
+        );
         mesh.shutdown();
     }
 

@@ -26,7 +26,11 @@ pub const DEFAULT_DEPOT_CAPACITY: i64 = 10_000;
 
 impl Depot {
     fn counter(ctx: &ActorContext<'_>, field: &str, default: i64) -> KarResult<i64> {
-        Ok(ctx.state().get(field)?.and_then(|v| v.as_i64()).unwrap_or(default))
+        Ok(ctx
+            .state()
+            .get(field)?
+            .and_then(|v| v.as_i64())
+            .unwrap_or(default))
     }
 }
 
@@ -84,12 +88,17 @@ impl Actor for Depot {
                 }
                 let next = Self::counter(ctx, "next_container", 0)?;
                 let allocated_total = Self::counter(ctx, "allocated_total", 0)?;
-                let containers: Vec<String> =
-                    (0..quantity).map(|i| format!("{port}-C{}", next + i)).collect();
-                ctx.state().set("available", Value::from(available - quantity))?;
-                ctx.state().set("next_container", Value::from(next + quantity))?;
-                ctx.state().set("allocated_total", Value::from(allocated_total + quantity))?;
-                ctx.state().set(&format!("order_containers/{order}"), Value::from(quantity))?;
+                let containers: Vec<String> = (0..quantity)
+                    .map(|i| format!("{port}-C{}", next + i))
+                    .collect();
+                ctx.state()
+                    .set("available", Value::from(available - quantity))?;
+                ctx.state()
+                    .set("next_container", Value::from(next + quantity))?;
+                ctx.state()
+                    .set("allocated_total", Value::from(allocated_total + quantity))?;
+                ctx.state()
+                    .set(&format!("order_containers/{order}"), Value::from(quantity))?;
                 let container_values: Vec<Value> =
                     containers.iter().map(|c| Value::from(c.clone())).collect();
                 // Track the containers for anomaly routing while in transit.
@@ -103,10 +112,22 @@ impl Actor for Depot {
                     ],
                 )?;
                 // Let the voyage know what cargo it carries.
-                ctx.tell(&refs::voyage(&voyage), "loaded", vec![Value::List(container_values.clone())])?;
-                ctx.tell(&refs::depot_manager(), "containers_allocated", vec![Value::from(quantity)])?;
+                ctx.tell(
+                    &refs::voyage(&voyage),
+                    "loaded",
+                    vec![Value::List(container_values.clone())],
+                )?;
+                ctx.tell(
+                    &refs::depot_manager(),
+                    "containers_allocated",
+                    vec![Value::from(quantity)],
+                )?;
                 // Complete the booking on the order actor (Fig. 6).
-                Ok(ctx.tail_call(&refs::order(&order), "booked", vec![Value::List(container_values)]))
+                Ok(ctx.tail_call(
+                    &refs::order(&order),
+                    "booked",
+                    vec![Value::List(container_values)],
+                ))
             }
             "receive_containers" => {
                 let count = args
@@ -126,20 +147,32 @@ impl Actor for Depot {
                 }
                 let available = Self::counter(ctx, "available", DEFAULT_DEPOT_CAPACITY)?;
                 let received = Self::counter(ctx, "received_total", 0)?;
-                ctx.state().set("available", Value::from(available + count))?;
-                ctx.state().set("received_total", Value::from(received + count))?;
-                ctx.tell(&refs::depot_manager(), "containers_received", vec![Value::from(count)])?;
+                ctx.state()
+                    .set("available", Value::from(available + count))?;
+                ctx.state()
+                    .set("received_total", Value::from(received + count))?;
+                ctx.tell(
+                    &refs::depot_manager(),
+                    "containers_received",
+                    vec![Value::from(count)],
+                )?;
                 Ok(Outcome::value(Value::from(count)))
             }
             "container_anomaly" => {
                 let _container = string_arg(args, 0, "container id")?;
                 let damaged = Self::counter(ctx, "damaged_total", 0)?;
                 ctx.state().set("damaged_total", Value::from(damaged + 1))?;
-                ctx.tell(&refs::depot_manager(), "container_damaged", vec![Value::from(port)])?;
+                ctx.tell(
+                    &refs::depot_manager(),
+                    "container_damaged",
+                    vec![Value::from(port)],
+                )?;
                 Ok(Outcome::value(Value::Null))
             }
             "info" => Ok(Outcome::value(Value::Map(ctx.state().get_all()?))),
-            other => Err(KarError::application(format!("Depot has no method {other}"))),
+            other => Err(KarError::application(format!(
+                "Depot has no method {other}"
+            ))),
         }
     }
 }
@@ -151,7 +184,11 @@ pub struct DepotManager;
 
 impl DepotManager {
     fn bump(ctx: &ActorContext<'_>, field: &str, delta: i64) -> KarResult<()> {
-        let current = ctx.state().get(field)?.and_then(|v| v.as_i64()).unwrap_or(0);
+        let current = ctx
+            .state()
+            .get(field)?
+            .and_then(|v| v.as_i64())
+            .unwrap_or(0);
         ctx.state().set(field, Value::from(current + delta))?;
         Ok(())
     }
@@ -168,7 +205,8 @@ impl Actor for DepotManager {
             "depot_created" => {
                 let port = string_arg(args, 0, "port")?;
                 let containers = int_arg(args, 1, "containers")?;
-                ctx.state().set(&format!("depot/{port}"), Value::from(containers))?;
+                ctx.state()
+                    .set(&format!("depot/{port}"), Value::from(containers))?;
                 Ok(Outcome::value(Value::Null))
             }
             "containers_allocated" => {
@@ -184,7 +222,9 @@ impl Actor for DepotManager {
                 Ok(Outcome::value(Value::Null))
             }
             "stats" => Ok(Outcome::value(Value::Map(ctx.state().get_all()?))),
-            other => Err(KarError::application(format!("DepotManager has no method {other}"))),
+            other => Err(KarError::application(format!(
+                "DepotManager has no method {other}"
+            ))),
         }
     }
 }

@@ -74,15 +74,22 @@ impl InvariantChecker {
 
         // --- Orders are never lost -------------------------------------
         let stats = self.client.call(&refs::order_manager(), "stats", vec![])?;
-        let tracked = stats.get("orders").and_then(Value::as_map).cloned().unwrap_or_default();
+        let tracked = stats
+            .get("orders")
+            .and_then(Value::as_map)
+            .cloned()
+            .unwrap_or_default();
         report.orders_checked = submitted_orders.len();
         for order in submitted_orders {
             match tracked.get(order) {
-                None => report
-                    .violations
-                    .push(format!("order {order} was confirmed to the client but is not tracked")),
+                None => report.violations.push(format!(
+                    "order {order} was confirmed to the client but is not tracked"
+                )),
                 Some(record) => {
-                    let status = record.get("status").and_then(Value::as_str).unwrap_or("missing");
+                    let status = record
+                        .get("status")
+                        .and_then(Value::as_str)
+                        .unwrap_or("missing");
                     if status == "accepted" {
                         report.violations.push(format!(
                             "order {order} was confirmed to the client but is still only accepted"
@@ -113,16 +120,18 @@ impl InvariantChecker {
                 ));
             }
             if get("available") < 0 {
-                report.violations.push(format!("depot {port} has negative inventory"));
+                report
+                    .violations
+                    .push(format!("depot {port} has negative inventory"));
             }
         }
         let in_transit = allocated - received;
         report.containers_in_depots = available;
         report.containers_in_transit = in_transit;
         if in_transit < 0 {
-            report
-                .violations
-                .push(format!("more containers received ({received}) than allocated ({allocated})"));
+            report.violations.push(format!(
+                "more containers received ({received}) than allocated ({allocated})"
+            ));
         }
         if available + in_transit != self.initial_containers {
             report.violations.push(format!(
@@ -133,13 +142,20 @@ impl InvariantChecker {
         }
 
         // --- Ships depart and arrive as scheduled ------------------------
-        let voyages = self.client.call(&refs::voyage_manager(), "list_voyages", vec![])?;
-        let day_value = self.client.call(&refs::voyage_manager(), "current_day", vec![])?;
+        let voyages = self
+            .client
+            .call(&refs::voyage_manager(), "list_voyages", vec![])?;
+        let day_value = self
+            .client
+            .call(&refs::voyage_manager(), "current_day", vec![])?;
         let day = day_value.as_i64().unwrap_or(0);
         if let Some(map) = voyages.as_map() {
             for (voyage_id, summary) in map {
                 let info = self.client.call(&refs::voyage(voyage_id), "info", vec![])?;
-                let phase = info.get("phase").and_then(Value::as_str).unwrap_or("missing");
+                let phase = info
+                    .get("phase")
+                    .and_then(Value::as_str)
+                    .unwrap_or("missing");
                 let depart = info.get("depart_day").and_then(Value::as_i64).unwrap_or(0);
                 let duration = info.get("duration").and_then(Value::as_i64).unwrap_or(0);
                 // A voyage whose departure day has passed must have departed
@@ -156,8 +172,10 @@ impl InvariantChecker {
                 }
                 // The manager's view must agree with the voyage actor once
                 // notifications have drained.
-                let manager_phase =
-                    summary.get("phase").and_then(Value::as_str).unwrap_or("missing");
+                let manager_phase = summary
+                    .get("phase")
+                    .and_then(Value::as_str)
+                    .unwrap_or("missing");
                 if manager_phase != phase {
                     report.violations.push(format!(
                         "voyage {voyage_id} phase mismatch: manager says {manager_phase}, actor says {phase}"
@@ -167,11 +185,11 @@ impl InvariantChecker {
                 if phase == "arrived" {
                     if let Some(orders) = info.get("orders").and_then(Value::as_list) {
                         for order in orders.iter().filter_map(Value::as_str) {
-                            let record = self
-                                .client
-                                .call(&refs::order(order), "info", vec![])?;
-                            let status =
-                                record.get("status").and_then(Value::as_str).unwrap_or("missing");
+                            let record = self.client.call(&refs::order(order), "info", vec![])?;
+                            let status = record
+                                .get("status")
+                                .and_then(Value::as_str)
+                                .unwrap_or("missing");
                             if status != "delivered" && status != "spoilt" {
                                 report.violations.push(format!(
                                     "voyage {voyage_id} arrived but its order {order} is {status}"
@@ -186,9 +204,10 @@ impl InvariantChecker {
         // --- Simulated time advances -------------------------------------
         report.simulated_day = day;
         if day < self.last_day {
-            report
-                .violations
-                .push(format!("simulated time went backwards: {day} < {}", self.last_day));
+            report.violations.push(format!(
+                "simulated time went backwards: {day} < {}",
+                self.last_day
+            ));
         }
         self.last_day = day;
 

@@ -60,7 +60,11 @@ impl Actor for Order {
                     vec![Value::from(order_id.clone()), voyage.clone()],
                 )?;
                 // Background schedule refresh (asynchronous tell in Fig. 6).
-                ctx.tell(&refs::schedule_manager(), "update_voyage", vec![voyage.clone()])?;
+                ctx.tell(
+                    &refs::schedule_manager(),
+                    "update_voyage",
+                    vec![voyage.clone()],
+                )?;
                 Ok(Outcome::value(Value::map([
                     ("order", Value::from(order_id)),
                     ("status", OrderStatus::Booked.into()),
@@ -71,7 +75,11 @@ impl Actor for Order {
             "departed" => {
                 if self.status(ctx)? == Some(OrderStatus::Booked) {
                     ctx.state().set("status", OrderStatus::InTransit.into())?;
-                    ctx.tell(&refs::order_manager(), "order_departed", vec![Value::from(order_id)])?;
+                    ctx.tell(
+                        &refs::order_manager(),
+                        "order_departed",
+                        vec![Value::from(order_id)],
+                    )?;
                 }
                 Ok(Outcome::value(Value::Null))
             }
@@ -79,16 +87,28 @@ impl Actor for Order {
                 // Spoilt orders remain spoilt on arrival.
                 if self.status(ctx)? != Some(OrderStatus::Spoilt) {
                     ctx.state().set("status", OrderStatus::Delivered.into())?;
-                    ctx.tell(&refs::order_manager(), "order_delivered", vec![Value::from(order_id)])?;
+                    ctx.tell(
+                        &refs::order_manager(),
+                        "order_delivered",
+                        vec![Value::from(order_id)],
+                    )?;
                 }
                 Ok(Outcome::value(Value::Null))
             }
             "spoilt" => {
                 let container = string_arg(args, 0, "container id").unwrap_or_default();
-                if !matches!(self.status(ctx)?, Some(OrderStatus::Delivered) | Some(OrderStatus::Spoilt)) {
+                if !matches!(
+                    self.status(ctx)?,
+                    Some(OrderStatus::Delivered) | Some(OrderStatus::Spoilt)
+                ) {
                     ctx.state().set("status", OrderStatus::Spoilt.into())?;
-                    ctx.state().set("spoilt_container", Value::from(container))?;
-                    ctx.tell(&refs::order_manager(), "order_spoilt", vec![Value::from(order_id)])?;
+                    ctx.state()
+                        .set("spoilt_container", Value::from(container))?;
+                    ctx.tell(
+                        &refs::order_manager(),
+                        "order_spoilt",
+                        vec![Value::from(order_id)],
+                    )?;
                 }
                 Ok(Outcome::value(Value::Null))
             }
@@ -96,7 +116,9 @@ impl Actor for Order {
                 let state = ctx.state().get_all()?;
                 Ok(Outcome::value(Value::Map(state)))
             }
-            other => Err(KarError::application(format!("Order has no method {other}"))),
+            other => Err(KarError::application(format!(
+                "Order has no method {other}"
+            ))),
         }
     }
 }
@@ -123,7 +145,11 @@ pub struct OrderManager;
 
 impl OrderManager {
     fn bump(ctx: &ActorContext<'_>, counter: &str, delta: i64) -> KarResult<i64> {
-        let current = ctx.state().get(counter)?.and_then(|v| v.as_i64()).unwrap_or(0);
+        let current = ctx
+            .state()
+            .get(counter)?
+            .and_then(|v| v.as_i64())
+            .unwrap_or(0);
         let next = current + delta;
         ctx.state().set(counter, Value::from(next))?;
         Ok(next)
@@ -164,7 +190,11 @@ impl Actor for OrderManager {
                 Ok(ctx.tail_call(
                     &refs::order(&order),
                     "create",
-                    vec![Value::from(voyage), Value::from(product), Value::from(quantity)],
+                    vec![
+                        Value::from(voyage),
+                        Value::from(product),
+                        Value::from(quantity),
+                    ],
                 ))
             }
             "order_booked" => {
@@ -193,13 +223,15 @@ impl Actor for OrderManager {
             }
             "order_record" => {
                 let order = string_arg(args, 0, "order id")?;
-                Ok(Outcome::value(ctx.state().get(&format!("order/{order}"))?.unwrap_or(Value::Null)))
+                Ok(Outcome::value(
+                    ctx.state()
+                        .get(&format!("order/{order}"))?
+                        .unwrap_or(Value::Null),
+                ))
             }
             "stats" => {
                 let state = ctx.state().get_all()?;
-                let counter = |name: &str| {
-                    state.get(name).and_then(Value::as_i64).unwrap_or(0)
-                };
+                let counter = |name: &str| state.get(name).and_then(Value::as_i64).unwrap_or(0);
                 let orders: Vec<(String, Value)> = state
                     .iter()
                     .filter(|(k, _)| k.starts_with("order/"))
@@ -214,7 +246,9 @@ impl Actor for OrderManager {
                     ("orders", Value::map(orders)),
                 ])))
             }
-            other => Err(KarError::application(format!("OrderManager has no method {other}"))),
+            other => Err(KarError::application(format!(
+                "OrderManager has no method {other}"
+            ))),
         }
     }
 }

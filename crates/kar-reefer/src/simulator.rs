@@ -36,7 +36,11 @@ pub struct SimulatorStats {
 impl SimulatorStats {
     /// The maximum observed booking latency.
     pub fn max_latency(&self) -> Duration {
-        self.latencies.iter().copied().max().unwrap_or(Duration::ZERO)
+        self.latencies
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Duration::ZERO)
     }
 
     /// The mean observed booking latency.
@@ -107,8 +111,12 @@ impl OrderSimulator {
                 self.stats.latencies.push(latency);
                 self.confirmed_orders.push(order_id);
                 if let Some(containers) = confirmation.get("containers").and_then(Value::as_list) {
-                    self.containers
-                        .extend(containers.iter().filter_map(Value::as_str).map(str::to_owned));
+                    self.containers.extend(
+                        containers
+                            .iter()
+                            .filter_map(Value::as_str)
+                            .map(str::to_owned),
+                    );
                 }
                 Ok(latency)
             }
@@ -166,8 +174,11 @@ impl ShipSimulator {
     /// Propagates errors from the voyage manager call.
     pub fn advance_day(&mut self) -> KarResult<i64> {
         self.day += 1;
-        let confirmed =
-            self.client.call(&refs::voyage_manager(), "advance_time", vec![Value::from(self.day)])?;
+        let confirmed = self.client.call(
+            &refs::voyage_manager(),
+            "advance_time",
+            vec![Value::from(self.day)],
+        )?;
         Ok(confirmed.as_i64().unwrap_or(self.day))
     }
 
@@ -188,7 +199,11 @@ pub struct AnomalySimulator {
 impl AnomalySimulator {
     /// Creates an anomaly simulator.
     pub fn new(client: Client, seed: u64) -> Self {
-        AnomalySimulator { client, rng: StdRng::seed_from_u64(seed), injected: 0 }
+        AnomalySimulator {
+            client,
+            rng: StdRng::seed_from_u64(seed),
+            injected: 0,
+        }
     }
 
     /// Injects an anomaly on a random container of `containers`. Returns the
@@ -203,8 +218,11 @@ impl AnomalySimulator {
             return Ok(None);
         }
         let container = containers[self.rng.gen_range(0..containers.len())].clone();
-        let routed =
-            self.client.call(&refs::anomaly_router(), "anomaly", vec![Value::from(container)])?;
+        let routed = self.client.call(
+            &refs::anomaly_router(),
+            "anomaly",
+            vec![Value::from(container)],
+        )?;
         self.injected += 1;
         Ok(routed.as_str().map(str::to_owned))
     }
@@ -226,7 +244,8 @@ mod tests {
         let mesh = Mesh::new(MeshConfig::for_tests());
         let _deployment = deploy(&mesh);
         let client = mesh.client();
-        let voyages = bootstrap(&client, &["Oakland", "Shanghai", "Singapore"], 200, 3, 50).unwrap();
+        let voyages =
+            bootstrap(&client, &["Oakland", "Shanghai", "Singapore"], 200, 3, 50).unwrap();
 
         let mut orders = OrderSimulator::new(mesh.client(), voyages, 7);
         for _ in 0..10 {

@@ -175,7 +175,11 @@ mod tests {
 
     #[test]
     fn voyage_phase_roundtrip() {
-        for phase in [VoyagePhase::Scheduled, VoyagePhase::Departed, VoyagePhase::Arrived] {
+        for phase in [
+            VoyagePhase::Scheduled,
+            VoyagePhase::Departed,
+            VoyagePhase::Arrived,
+        ] {
             assert_eq!(VoyagePhase::parse(phase.as_str()), Some(phase));
         }
         assert_eq!(VoyagePhase::parse("junk"), None);

@@ -90,13 +90,18 @@ impl Actor for Voyage {
                         "voyage {voyage_id} is not open for booking"
                     )));
                 }
-                let free = ctx.state().get("free_capacity")?.and_then(|v| v.as_i64()).unwrap_or(0);
+                let free = ctx
+                    .state()
+                    .get("free_capacity")?
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(0);
                 if free < quantity {
                     return Err(KarError::application(format!(
                         "voyage {voyage_id} has only {free} free container slots"
                     )));
                 }
-                ctx.state().set("free_capacity", Value::from(free - quantity))?;
+                ctx.state()
+                    .set("free_capacity", Value::from(free - quantity))?;
                 let mut orders = ctx.state().get("orders")?.unwrap_or(Value::List(vec![]));
                 if let Value::List(list) = &mut orders {
                     list.push(Value::from(order.clone()));
@@ -111,13 +116,20 @@ impl Actor for Voyage {
                 Ok(ctx.tail_call(
                     &refs::depot(&origin),
                     "reserve_containers",
-                    vec![Value::from(order), Value::from(voyage_id), Value::from(quantity)],
+                    vec![
+                        Value::from(order),
+                        Value::from(voyage_id),
+                        Value::from(quantity),
+                    ],
                 ))
             }
             "loaded" => {
                 // The depot confirms which containers were loaded for an order.
                 let containers = args.first().cloned().unwrap_or(Value::List(vec![]));
-                let mut all = ctx.state().get("containers")?.unwrap_or(Value::List(vec![]));
+                let mut all = ctx
+                    .state()
+                    .get("containers")?
+                    .unwrap_or(Value::List(vec![]));
                 if let (Value::List(all_list), Some(new)) = (&mut all, containers.as_list()) {
                     all_list.extend(new.iter().cloned());
                 }
@@ -126,9 +138,16 @@ impl Actor for Voyage {
             }
             "advance" => {
                 let day = int_arg(args, 0, "day")?;
-                let depart_day =
-                    ctx.state().get("depart_day")?.and_then(|v| v.as_i64()).unwrap_or(0);
-                let duration = ctx.state().get("duration")?.and_then(|v| v.as_i64()).unwrap_or(1);
+                let depart_day = ctx
+                    .state()
+                    .get("depart_day")?
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(0);
+                let duration = ctx
+                    .state()
+                    .get("duration")?
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(1);
                 match Self::phase(ctx)? {
                     Some(VoyagePhase::Scheduled) if day >= depart_day => {
                         // Send the (idempotent) notifications before flipping
@@ -197,8 +216,11 @@ impl Actor for Voyage {
                         )?;
                     }
                     Some(VoyagePhase::Departed) => {
-                        let position =
-                            ctx.state().get("position")?.and_then(|v| v.as_i64()).unwrap_or(0);
+                        let position = ctx
+                            .state()
+                            .get("position")?
+                            .and_then(|v| v.as_i64())
+                            .unwrap_or(0);
                         ctx.state().set("position", Value::from(position + 1))?;
                     }
                     _ => {}
@@ -214,7 +236,9 @@ impl Actor for Voyage {
                 Ok(Outcome::value(Value::Null))
             }
             "info" => Ok(Outcome::value(Value::Map(ctx.state().get_all()?))),
-            other => Err(KarError::application(format!("Voyage has no method {other}"))),
+            other => Err(KarError::application(format!(
+                "Voyage has no method {other}"
+            ))),
         }
     }
 }
@@ -264,7 +288,11 @@ impl Actor for VoyageManager {
             }
             "advance_time" => {
                 let day = int_arg(args, 0, "day")?;
-                let current = ctx.state().get("day")?.and_then(|v| v.as_i64()).unwrap_or(0);
+                let current = ctx
+                    .state()
+                    .get("day")?
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(0);
                 let next = current.max(day);
                 ctx.state().set("day", Value::from(next))?;
                 for (field, _) in ctx.state().get_all()? {
@@ -288,9 +316,9 @@ impl Actor for VoyageManager {
                 }
                 Ok(Outcome::value(Value::Null))
             }
-            "current_day" => {
-                Ok(Outcome::value(ctx.state().get("day")?.unwrap_or(Value::Int(0))))
-            }
+            "current_day" => Ok(Outcome::value(
+                ctx.state().get("day")?.unwrap_or(Value::Int(0)),
+            )),
             "list_voyages" => {
                 let state = ctx.state().get_all()?;
                 let voyages: Vec<(String, Value)> = state
@@ -300,7 +328,9 @@ impl Actor for VoyageManager {
                     .collect();
                 Ok(Outcome::value(Value::map(voyages)))
             }
-            other => Err(KarError::application(format!("VoyageManager has no method {other}"))),
+            other => Err(KarError::application(format!(
+                "VoyageManager has no method {other}"
+            ))),
         }
     }
 }
@@ -325,14 +355,26 @@ impl Actor for ScheduleManager {
                     .unwrap_or("unknown")
                     .to_owned();
                 let field = format!("updates/{voyage}");
-                let count = ctx.state().get(&field)?.and_then(|v| v.as_i64()).unwrap_or(0);
+                let count = ctx
+                    .state()
+                    .get(&field)?
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(0);
                 ctx.state().set(&field, Value::from(count + 1))?;
-                let total = ctx.state().get("total")?.and_then(|v| v.as_i64()).unwrap_or(0);
+                let total = ctx
+                    .state()
+                    .get("total")?
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(0);
                 ctx.state().set("total", Value::from(total + 1))?;
                 Ok(Outcome::value(Value::Null))
             }
-            "updates" => Ok(Outcome::value(ctx.state().get("total")?.unwrap_or(Value::Int(0)))),
-            other => Err(KarError::application(format!("ScheduleManager has no method {other}"))),
+            "updates" => Ok(Outcome::value(
+                ctx.state().get("total")?.unwrap_or(Value::Int(0)),
+            )),
+            other => Err(KarError::application(format!(
+                "ScheduleManager has no method {other}"
+            ))),
         }
     }
 }

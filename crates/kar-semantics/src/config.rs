@@ -61,11 +61,21 @@ impl Message {
 impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Message::Request { id, return_to, target, method, arg } => match return_to {
+            Message::Request {
+                id,
+                return_to,
+                target,
+                method,
+                arg,
+            } => match return_to {
                 Some(r) => write!(f, "{id} ↦[{r}] {target}.{method}({arg})"),
                 None => write!(f, "{id} ↦ {target}.{method}({arg})"),
             },
-            Message::Response { id, return_to, value } => match return_to {
+            Message::Response {
+                id,
+                return_to,
+                value,
+            } => match return_to {
                 Some(r) => write!(f, "{id} ↦[{r}] {value}"),
                 None => write!(f, "{id} ↦ {value}"),
             },
@@ -119,7 +129,12 @@ pub struct Config {
 impl Config {
     /// The initial configuration `{i ↦ a.m(v)}, ∅, ∅`: a single root request
     /// with no return address, an empty ensemble, an empty store.
-    pub fn initial(id: RequestId, target: impl Into<ActorName>, method: impl Into<String>, arg: Val) -> Self {
+    pub fn initial(
+        id: RequestId,
+        target: impl Into<ActorName>,
+        method: impl Into<String>,
+        arg: Val,
+    ) -> Self {
         Config {
             flow: vec![Message::Request {
                 id,
@@ -164,7 +179,11 @@ impl Config {
 
     /// All request ids present in the flow, in flow order.
     pub fn request_ids(&self) -> Vec<RequestId> {
-        self.flow.iter().filter(|m| m.is_request()).map(Message::id).collect()
+        self.flow
+            .iter()
+            .filter(|m| m.is_request())
+            .map(Message::id)
+            .collect()
     }
 
     /// True when the flow contains a response for `i`.
@@ -225,7 +244,11 @@ mod tests {
     #[test]
     fn request_and_response_lookup() {
         let mut c = Config::initial(rid(1), "A/a", "main", 0);
-        c.flow.push(Message::Response { id: rid(2), return_to: Some(rid(1)), value: 7 });
+        c.flow.push(Message::Response {
+            id: rid(2),
+            return_to: Some(rid(1)),
+            value: 7,
+        });
         assert!(c.request(rid(1)).is_some());
         assert!(c.request(rid(2)).is_none());
         assert!(c.response(rid(2)).is_some());
@@ -243,7 +266,11 @@ mod tests {
             rid(1),
             Process {
                 actor: "A/a".into(),
-                body: ProcessBody::Sequel(Sequel { method: "main".into(), pc: 0, env: Env::entry(0) }),
+                body: ProcessBody::Sequel(Sequel {
+                    method: "main".into(),
+                    pc: 0,
+                    env: Env::entry(0),
+                }),
             },
         );
         c.ensemble.insert(
@@ -252,7 +279,11 @@ mod tests {
                 actor: "A/a".into(),
                 body: ProcessBody::Guarded {
                     callee: rid(3),
-                    sequel: Sequel { method: "main".into(), pc: 1, env: Env::entry(0) },
+                    sequel: Sequel {
+                        method: "main".into(),
+                        pc: 1,
+                        env: Env::entry(0),
+                    },
                 },
             },
         );
@@ -275,7 +306,11 @@ mod tests {
             arg: 3,
         };
         assert_eq!(m.to_string(), "req-2 ↦[req-1] B/b.task(3)");
-        let m = Message::Response { id: rid(2), return_to: None, value: 3 };
+        let m = Message::Response {
+            id: rid(2),
+            return_to: None,
+            value: 3,
+        };
         assert_eq!(m.to_string(), "req-2 ↦ 3");
     }
 }

@@ -94,7 +94,11 @@ impl Explorer {
             .find(|m| m.is_request())
             .map(Message::id)
             .expect("initial configuration must contain a root request");
-        Explorer { program, initial, root }
+        Explorer {
+            program,
+            initial,
+            root,
+        }
     }
 
     /// The root request id used for the completion check.
@@ -263,7 +267,11 @@ impl Explorer {
         // Theorem 3.4: a caller with a pending nested invocation is never
         // runnable (the past cannot leak into the present).
         for message in &config.flow {
-            if let Message::Request { return_to: Some(caller), .. } = message {
+            if let Message::Request {
+                return_to: Some(caller),
+                ..
+            } = message
+            {
                 if runnable(*caller, &config.flow) {
                     report.violations.push(Violation {
                         invariant: format!(
@@ -292,7 +300,11 @@ mod tests {
             .method(
                 "main",
                 vec![
-                    Op::Call { target: "B".into(), method: "task".into(), arg: Expr::Arg },
+                    Op::Call {
+                        target: "B".into(),
+                        method: "task".into(),
+                        arg: Expr::Arg,
+                    },
                     Op::Return(Expr::Local),
                 ],
             )
@@ -302,8 +314,10 @@ mod tests {
 
     #[test]
     fn failure_free_exploration_completes_the_root() {
-        let explorer =
-            Explorer::new(simple_call_program(), Config::initial(rid(1), "A", "main", 1));
+        let explorer = Explorer::new(
+            simple_call_program(),
+            Config::initial(rid(1), "A", "main", 1),
+        );
         let report = explorer.run(&ExploreOptions::default());
         assert!(report.holds(), "violations: {:?}", report.violations);
         assert!(report.states_explored > 3);
@@ -313,10 +327,19 @@ mod tests {
 
     #[test]
     fn exploration_with_failures_still_satisfies_all_theorems() {
-        let explorer =
-            Explorer::new(simple_call_program(), Config::initial(rid(1), "A", "main", 1));
-        let report = explorer.run(&ExploreOptions { max_failures: 2, ..Default::default() });
-        assert!(report.holds(), "violations: {:?}", report.violations.first());
+        let explorer = Explorer::new(
+            simple_call_program(),
+            Config::initial(rid(1), "A", "main", 1),
+        );
+        let report = explorer.run(&ExploreOptions {
+            max_failures: 2,
+            ..Default::default()
+        });
+        assert!(
+            report.holds(),
+            "violations: {:?}",
+            report.violations.first()
+        );
         // Failures multiply the reachable configurations considerably.
         let baseline = explorer.run(&ExploreOptions::default());
         assert!(report.states_explored > baseline.states_explored);
@@ -324,8 +347,10 @@ mod tests {
 
     #[test]
     fn truncated_exploration_is_reported() {
-        let explorer =
-            Explorer::new(simple_call_program(), Config::initial(rid(1), "A", "main", 1));
+        let explorer = Explorer::new(
+            simple_call_program(),
+            Config::initial(rid(1), "A", "main", 1),
+        );
         let report = explorer.run(&ExploreOptions {
             max_failures: 1,
             max_states: 3,
@@ -337,15 +362,24 @@ mod tests {
 
     #[test]
     fn random_walks_visit_states_and_respect_invariants() {
-        let explorer =
-            Explorer::new(simple_call_program(), Config::initial(rid(1), "A", "main", 1));
+        let explorer = Explorer::new(
+            simple_call_program(),
+            Config::initial(rid(1), "A", "main", 1),
+        );
         let report = explorer.random_walks(
-            &ExploreOptions { max_failures: 1, ..Default::default() },
+            &ExploreOptions {
+                max_failures: 1,
+                ..Default::default()
+            },
             20,
             200,
             42,
         );
-        assert!(report.violations.is_empty(), "violations: {:?}", report.violations.first());
+        assert!(
+            report.violations.is_empty(),
+            "violations: {:?}",
+            report.violations.first()
+        );
         assert!(report.states_explored > 0);
     }
 
@@ -364,7 +398,11 @@ mod tests {
             .method(
                 "main",
                 vec![
-                    Op::Call { target: "B".into(), method: "missing".into(), arg: Expr::Arg },
+                    Op::Call {
+                        target: "B".into(),
+                        method: "missing".into(),
+                        arg: Expr::Arg,
+                    },
                     Op::Return(Expr::Local),
                 ],
             )
@@ -372,6 +410,9 @@ mod tests {
         let explorer = Explorer::new(program, Config::initial(rid(1), "A", "main", 1));
         let report = explorer.run(&ExploreOptions::default());
         assert!(!report.holds());
-        assert!(report.violations.iter().any(|v| v.invariant.contains("root completion")));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant.contains("root completion")));
     }
 }

@@ -121,7 +121,9 @@ impl ProgramBuilder {
 
     /// Finishes the program.
     pub fn build(self) -> Arc<dyn Program> {
-        Arc::new(OpProgram { methods: self.methods })
+        Arc::new(OpProgram {
+            methods: self.methods,
+        })
     }
 }
 
@@ -140,10 +142,17 @@ impl OpProgram {
             // Falling off the end of a method returns its local accumulator.
             return vec![(Term::Value(sequel.env.local), state)];
         };
-        let next = |env: Env| Sequel { method: sequel.method.clone(), pc: sequel.pc + 1, env };
+        let next = |env: Env| Sequel {
+            method: sequel.method.clone(),
+            pc: sequel.pc + 1,
+            env,
+        };
         match op {
             Op::ReadState => {
-                let env = Env { arg: sequel.env.arg, local: state };
+                let env = Env {
+                    arg: sequel.env.arg,
+                    local: state,
+                };
                 vec![(Term::Sequel(next(env)), state)]
             }
             Op::WriteState(expr) => {
@@ -151,10 +160,17 @@ impl OpProgram {
                 vec![(Term::Sequel(next(sequel.env)), new_state)]
             }
             Op::SetLocal(expr) => {
-                let env = Env { arg: sequel.env.arg, local: expr.eval(&sequel.env) };
+                let env = Env {
+                    arg: sequel.env.arg,
+                    local: expr.eval(&sequel.env),
+                };
                 vec![(Term::Sequel(next(env)), state)]
             }
-            Op::Call { target, method, arg } => vec![(
+            Op::Call {
+                target,
+                method,
+                arg,
+            } => vec![(
                 Term::CallThen {
                     target: target.clone(),
                     method: method.clone(),
@@ -163,7 +179,11 @@ impl OpProgram {
                 },
                 state,
             )],
-            Op::Tell { target, method, arg } => vec![(
+            Op::Tell {
+                target,
+                method,
+                arg,
+            } => vec![(
                 Term::TellThen {
                     target: target.clone(),
                     method: method.clone(),
@@ -172,7 +192,11 @@ impl OpProgram {
                 },
                 state,
             )],
-            Op::TailCall { target, method, arg } => vec![(
+            Op::TailCall {
+                target,
+                method,
+                arg,
+            } => vec![(
                 Term::TailCall {
                     target: target.clone(),
                     method: method.clone(),
@@ -192,7 +216,11 @@ impl Program for OpProgram {
                 if self.methods.contains_key(method) {
                     // (begin): m(v)/p → s/p with s the entry point of the body.
                     vec![(
-                        Term::Sequel(Sequel { method: method.clone(), pc: 0, env: Env::entry(*arg) }),
+                        Term::Sequel(Sequel {
+                            method: method.clone(),
+                            pc: 0,
+                            env: Env::entry(*arg),
+                        }),
                         state,
                     )]
                 } else {
@@ -203,9 +231,16 @@ impl Program for OpProgram {
             Term::ResumeThen { value, sequel } => {
                 // (return): v ⊲ s/p → s'/p where the received value lands in
                 // the local accumulator.
-                let env = Env { arg: sequel.env.arg, local: *value };
+                let env = Env {
+                    arg: sequel.env.arg,
+                    local: *value,
+                };
                 vec![(
-                    Term::Sequel(Sequel { method: sequel.method.clone(), pc: sequel.pc, env }),
+                    Term::Sequel(Sequel {
+                        method: sequel.method.clone(),
+                        pc: sequel.pc,
+                        env,
+                    }),
                     state,
                 )]
             }
@@ -230,7 +265,11 @@ mod tests {
         ProgramBuilder::new()
             .method(
                 "getset",
-                vec![Op::ReadState, Op::WriteState(Expr::Arg), Op::Return(Expr::Local)],
+                vec![
+                    Op::ReadState,
+                    Op::WriteState(Expr::Arg),
+                    Op::Return(Expr::Local),
+                ],
             )
             .build()
     }
@@ -249,7 +288,10 @@ mod tests {
     fn begin_step_end_chain_for_getset() {
         let program = getset_program();
         // begin
-        let t0 = Term::Invoke { method: "getset".into(), arg: 42 };
+        let t0 = Term::Invoke {
+            method: "getset".into(),
+            arg: 42,
+        };
         let (t1, p1) = program.transitions("L/l", &t0, 7).pop().unwrap();
         assert_eq!(p1, 7);
         // step: read state into local
@@ -268,11 +310,24 @@ mod tests {
     fn unknown_method_or_terminal_terms_have_no_transitions() {
         let program = getset_program();
         assert!(program
-            .transitions("L/l", &Term::Invoke { method: "missing".into(), arg: 0 }, 0)
+            .transitions(
+                "L/l",
+                &Term::Invoke {
+                    method: "missing".into(),
+                    arg: 0
+                },
+                0
+            )
             .is_empty());
         assert!(program.transitions("L/l", &Term::Value(1), 0).is_empty());
-        let sequel = Sequel { method: "missing".into(), pc: 0, env: Env::entry(0) };
-        assert!(program.transitions("L/l", &Term::Sequel(sequel), 0).is_empty());
+        let sequel = Sequel {
+            method: "missing".into(),
+            pc: 0,
+            env: Env::entry(0),
+        };
+        assert!(program
+            .transitions("L/l", &Term::Sequel(sequel), 0)
+            .is_empty());
     }
 
     #[test]
@@ -281,16 +336,29 @@ mod tests {
             .method(
                 "main",
                 vec![
-                    Op::Call { target: "B/b".into(), method: "task".into(), arg: Expr::Arg },
+                    Op::Call {
+                        target: "B/b".into(),
+                        method: "task".into(),
+                        arg: Expr::Arg,
+                    },
                     Op::Return(Expr::Local),
                 ],
             )
             .method("task", vec![Op::Return(Expr::ArgPlus(1))])
             .build();
-        let t0 = Term::Invoke { method: "main".into(), arg: 5 };
+        let t0 = Term::Invoke {
+            method: "main".into(),
+            arg: 5,
+        };
         let (t1, _) = program.transitions("A/a", &t0, 0).pop().unwrap();
         let (t2, _) = program.transitions("A/a", &t1, 0).pop().unwrap();
-        let Term::CallThen { target, method, arg, sequel } = t2 else {
+        let Term::CallThen {
+            target,
+            method,
+            arg,
+            sequel,
+        } = t2
+        else {
             panic!("expected a call term");
         };
         assert_eq!(target, "B/b");
@@ -309,28 +377,56 @@ mod tests {
             .method(
                 "m",
                 vec![
-                    Op::Tell { target: "B/b".into(), method: "log".into(), arg: Expr::Const(1) },
-                    Op::TailCall { target: "C/c".into(), method: "next".into(), arg: Expr::Const(2) },
+                    Op::Tell {
+                        target: "B/b".into(),
+                        method: "log".into(),
+                        arg: Expr::Const(1),
+                    },
+                    Op::TailCall {
+                        target: "C/c".into(),
+                        method: "next".into(),
+                        arg: Expr::Const(2),
+                    },
                 ],
             )
             .build();
         let (t1, _) = program
-            .transitions("A/a", &Term::Invoke { method: "m".into(), arg: 0 }, 0)
+            .transitions(
+                "A/a",
+                &Term::Invoke {
+                    method: "m".into(),
+                    arg: 0,
+                },
+                0,
+            )
             .pop()
             .unwrap();
         let (t2, _) = program.transitions("A/a", &t1, 0).pop().unwrap();
         assert!(matches!(t2, Term::TellThen { .. }));
-        let Term::TellThen { sequel, .. } = t2 else { unreachable!() };
-        let (t3, _) = program.transitions("A/a", &Term::Sequel(sequel), 0).pop().unwrap();
+        let Term::TellThen { sequel, .. } = t2 else {
+            unreachable!()
+        };
+        let (t3, _) = program
+            .transitions("A/a", &Term::Sequel(sequel), 0)
+            .pop()
+            .unwrap();
         assert!(matches!(t3, Term::TailCall { ref target, .. } if target == "C/c"));
     }
 
     #[test]
     fn falling_off_the_end_returns_local() {
-        let program =
-            ProgramBuilder::new().method("m", vec![Op::SetLocal(Expr::Const(9))]).build();
+        let program = ProgramBuilder::new()
+            .method("m", vec![Op::SetLocal(Expr::Const(9))])
+            .build();
         let (t1, _) = program
-            .transitions("A/a", &Term::Invoke { method: "m".into(), arg: 0 }, 0)
+            .transitions(
+                "A/a",
+                &Term::Invoke {
+                    method: "m".into(),
+                    arg: 0,
+                },
+                0,
+            )
             .pop()
             .unwrap();
         let (t2, _) = program.transitions("A/a", &t1, 0).pop().unwrap();
@@ -344,6 +440,9 @@ mod tests {
             .method("b", vec![])
             .method("a", vec![])
             .build();
-        assert_eq!(program.methods("X/x"), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            program.methods("X/x"),
+            vec!["a".to_string(), "b".to_string()]
+        );
     }
 }

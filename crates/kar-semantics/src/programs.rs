@@ -17,8 +17,18 @@ pub const ROOT: RequestId = RequestId::from_raw(1);
 /// and returns the previous value.
 pub fn latch() -> Arc<dyn Program> {
     ProgramBuilder::new()
-        .method("getset", vec![Op::ReadState, Op::WriteState(Expr::Arg), Op::Return(Expr::Local)])
-        .method("set", vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Const(0))])
+        .method(
+            "getset",
+            vec![
+                Op::ReadState,
+                Op::WriteState(Expr::Arg),
+                Op::Return(Expr::Local),
+            ],
+        )
+        .method(
+            "set",
+            vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Const(0))],
+        )
         .method("get", vec![Op::ReadState, Op::Return(Expr::Local)])
         .build()
 }
@@ -36,14 +46,22 @@ pub fn reentrant_callback() -> Arc<dyn Program> {
         .method(
             "main",
             vec![
-                Op::Call { target: "B/b".into(), method: "task".into(), arg: Expr::Arg },
+                Op::Call {
+                    target: "B/b".into(),
+                    method: "task".into(),
+                    arg: Expr::Arg,
+                },
                 Op::Return(Expr::Local),
             ],
         )
         .method(
             "task",
             vec![
-                Op::Call { target: "A/a".into(), method: "callback".into(), arg: Expr::Arg },
+                Op::Call {
+                    target: "A/a".into(),
+                    method: "callback".into(),
+                    arg: Expr::Arg,
+                },
                 Op::Return(Expr::Local),
             ],
         )
@@ -72,7 +90,10 @@ pub fn accumulator() -> Arc<dyn Program> {
                 },
             ],
         )
-        .method("set", vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Const(1))])
+        .method(
+            "set",
+            vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Const(1))],
+        )
         .method("get", vec![Op::ReadState, Op::Return(Expr::Local)])
         .build()
 }
@@ -92,7 +113,11 @@ pub fn broken_accumulator() -> Arc<dyn Program> {
     ProgramBuilder::new()
         .method(
             "incr",
-            vec![Op::ReadState, Op::WriteState(Expr::LocalPlus(1)), Op::Return(Expr::Const(1))],
+            vec![
+                Op::ReadState,
+                Op::WriteState(Expr::LocalPlus(1)),
+                Op::Return(Expr::Const(1)),
+            ],
         )
         .method("get", vec![Op::ReadState, Op::Return(Expr::Local)])
         .build()
@@ -112,17 +137,28 @@ pub fn tail_chain() -> Arc<dyn Program> {
             "start",
             vec![
                 Op::WriteState(Expr::Const(1)),
-                Op::TailCall { target: "Payment/p".into(), method: "pay".into(), arg: Expr::Arg },
+                Op::TailCall {
+                    target: "Payment/p".into(),
+                    method: "pay".into(),
+                    arg: Expr::Arg,
+                },
             ],
         )
         .method(
             "pay",
             vec![
                 Op::WriteState(Expr::Arg),
-                Op::TailCall { target: "Shipment/s".into(), method: "ship".into(), arg: Expr::ArgPlus(1) },
+                Op::TailCall {
+                    target: "Shipment/s".into(),
+                    method: "ship".into(),
+                    arg: Expr::ArgPlus(1),
+                },
             ],
         )
-        .method("ship", vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Arg)])
+        .method(
+            "ship",
+            vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Arg)],
+        )
         .build()
 }
 
@@ -140,11 +176,18 @@ pub fn nested_instead_of_tail() -> Arc<dyn Program> {
             "incr",
             vec![
                 Op::ReadState,
-                Op::Call { target: "Acc/a".into(), method: "set".into(), arg: Expr::LocalPlus(1) },
+                Op::Call {
+                    target: "Acc/a".into(),
+                    method: "set".into(),
+                    arg: Expr::LocalPlus(1),
+                },
                 Op::Return(Expr::Local),
             ],
         )
-        .method("set", vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Const(1))])
+        .method(
+            "set",
+            vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Const(1))],
+        )
         .build()
 }
 
@@ -160,7 +203,10 @@ mod tests {
 
     fn explore(program: Arc<dyn Program>, initial: Config, failures: u32) -> crate::ExploreReport {
         let explorer = Explorer::new(program, initial);
-        explorer.run(&ExploreOptions { max_failures: failures, ..Default::default() })
+        explorer.run(&ExploreOptions {
+            max_failures: failures,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -183,11 +229,17 @@ mod tests {
         // that whenever the root invocation has completed the accumulator's
         // state is exactly 1 (the §2.3 exactly-once increment guarantee).
         let explorer = Explorer::new(accumulator(), accumulator_initial());
-        let report = explorer.run(&ExploreOptions { max_failures: 2, ..Default::default() });
+        let report = explorer.run(&ExploreOptions {
+            max_failures: 2,
+            ..Default::default()
+        });
         assert!(report.holds(), "violation: {:?}", report.violations.first());
 
         // Re-run the exploration manually to inspect terminal stores.
-        let options = crate::rules::RuleOptions { max_failures: 2, ..Default::default() };
+        let options = crate::rules::RuleOptions {
+            max_failures: 2,
+            ..Default::default()
+        };
         let mut stack = vec![accumulator_initial()];
         let mut seen = std::collections::HashSet::new();
         let program = accumulator();
@@ -200,7 +252,11 @@ mod tests {
             if succ.is_empty() {
                 terminals += 1;
                 assert!(config.has_response(ROOT), "terminal without completion");
-                assert_eq!(config.state_of("Acc/a"), 1, "increment applied other than once");
+                assert_eq!(
+                    config.state_of("Acc/a"),
+                    1,
+                    "increment applied other than once"
+                );
             }
             stack.extend(succ.into_iter().map(|(_, c)| c));
         }
@@ -211,7 +267,10 @@ mod tests {
     fn broken_accumulator_can_double_increment_under_failures() {
         // The single-method read/modify/write variant is *not* exactly-once:
         // some execution with one failure ends with the state at 2.
-        let options = crate::rules::RuleOptions { max_failures: 1, ..Default::default() };
+        let options = crate::rules::RuleOptions {
+            max_failures: 1,
+            ..Default::default()
+        };
         let program = broken_accumulator();
         let mut stack = vec![broken_accumulator_initial()];
         let mut seen = std::collections::HashSet::new();
@@ -226,12 +285,18 @@ mod tests {
             }
             stack.extend(succ.into_iter().map(|(_, c)| c));
         }
-        assert!(saw_double, "expected at least one double-increment execution");
+        assert!(
+            saw_double,
+            "expected at least one double-increment execution"
+        );
     }
 
     #[test]
     fn nested_instead_of_tail_can_also_double_increment() {
-        let options = crate::rules::RuleOptions { max_failures: 1, ..Default::default() };
+        let options = crate::rules::RuleOptions {
+            max_failures: 1,
+            ..Default::default()
+        };
         let program = nested_instead_of_tail();
         let mut stack = vec![nested_instead_of_tail_initial()];
         let mut seen = std::collections::HashSet::new();
@@ -246,13 +311,19 @@ mod tests {
             }
             stack.extend(succ.into_iter().map(|(_, c)| c));
         }
-        assert!(saw_double, "expected the nested-call variant to admit double increments");
+        assert!(
+            saw_double,
+            "expected the nested-call variant to admit double increments"
+        );
     }
 
     #[test]
     fn tail_chain_completes_and_reaches_every_actor() {
         let explorer = Explorer::new(tail_chain(), tail_chain_initial());
-        let report = explorer.run(&ExploreOptions { max_failures: 1, ..Default::default() });
+        let report = explorer.run(&ExploreOptions {
+            max_failures: 1,
+            ..Default::default()
+        });
         assert!(report.holds(), "violation: {:?}", report.violations.first());
 
         // In the failure-free terminal state all three actors were updated.
@@ -280,12 +351,20 @@ mod tests {
             cancellation: true,
             ..Default::default()
         });
-        assert!(with_cancel.holds(), "violation: {:?}", with_cancel.violations.first());
+        assert!(
+            with_cancel.holds(),
+            "violation: {:?}",
+            with_cancel.violations.first()
+        );
         let with_preempt = explorer.run(&ExploreOptions {
             max_failures: 1,
             preemption: true,
             ..Default::default()
         });
-        assert!(with_preempt.holds(), "violation: {:?}", with_preempt.violations.first());
+        assert!(
+            with_preempt.holds(),
+            "violation: {:?}",
+            with_preempt.violations.first()
+        );
     }
 }

@@ -90,7 +90,12 @@ pub fn reachable(i: RequestId, actor: &str, flow: &[Message]) -> bool {
     let Some(pos) = flow.iter().position(|m| m.is_request() && m.id() == i) else {
         return false;
     };
-    let Message::Request { target, return_to, .. } = &flow[pos] else { return false };
+    let Message::Request {
+        target, return_to, ..
+    } = &flow[pos]
+    else {
+        return false;
+    };
     // (leftmost): the request targets `actor` and no earlier request does.
     if target == actor {
         let earlier = flow[..pos]
@@ -114,15 +119,16 @@ pub fn reachable(i: RequestId, actor: &str, flow: &[Message]) -> bool {
 /// address `i` is still queued in the flow (the happen-before condition: a
 /// retry of the caller must wait for every callee from a prior execution).
 pub fn runnable(i: RequestId, flow: &[Message]) -> bool {
-    let Some(Message::Request { target, .. }) =
-        flow.iter().find(|m| m.is_request() && m.id() == i)
+    let Some(Message::Request { target, .. }) = flow.iter().find(|m| m.is_request() && m.id() == i)
     else {
         return false;
     };
     if !reachable(i, target, flow) {
         return false;
     }
-    !flow.iter().any(|m| m.is_request() && m.return_to() == Some(i))
+    !flow
+        .iter()
+        .any(|m| m.is_request() && m.return_to() == Some(i))
 }
 
 /// The `preemptable(i, F, E)` predicate of §3.6.
@@ -130,11 +136,16 @@ pub fn runnable(i: RequestId, flow: &[Message]) -> bool {
 /// An invocation is preemptable if its caller has failed (no process is
 /// waiting for its result) or if it is nested in a preemptable invocation.
 pub fn preemptable(i: RequestId, config: &Config) -> bool {
-    let Some(Message::Request { return_to, .. }) = config.request(i) else { return false };
-    let Some(caller) = return_to else { return false };
-    let caller_waiting = config.ensemble.get(caller).is_some_and(|p| {
-        matches!(&p.body, ProcessBody::Guarded { callee, .. } if *callee == i)
-    });
+    let Some(Message::Request { return_to, .. }) = config.request(i) else {
+        return false;
+    };
+    let Some(caller) = return_to else {
+        return false;
+    };
+    let caller_waiting = config
+        .ensemble
+        .get(caller)
+        .is_some_and(|p| matches!(&p.body, ProcessBody::Guarded { callee, .. } if *callee == i));
     if !caller_waiting {
         return true;
     }
@@ -163,9 +174,22 @@ pub fn successors(
 }
 
 /// (begin): start any runnable pending request that is not already running.
-fn begin_successors(config: &Config, program: &Arc<dyn Program>, out: &mut Vec<(RuleKind, Config)>) {
+fn begin_successors(
+    config: &Config,
+    program: &Arc<dyn Program>,
+    out: &mut Vec<(RuleKind, Config)>,
+) {
     for message in &config.flow {
-        let Message::Request { id, target, method, arg, .. } = message else { continue };
+        let Message::Request {
+            id,
+            target,
+            method,
+            arg,
+            ..
+        } = message
+        else {
+            continue;
+        };
         if config.ensemble.contains_key(id) {
             continue;
         }
@@ -173,15 +197,24 @@ fn begin_successors(config: &Config, program: &Arc<dyn Program>, out: &mut Vec<(
             continue;
         }
         let state = config.state_of(target);
-        let invoke = Term::Invoke { method: method.clone(), arg: *arg };
+        let invoke = Term::Invoke {
+            method: method.clone(),
+            arg: *arg,
+        };
         for (term, new_state) in program.transitions(target, &invoke, state) {
             // (begin) does not modify the actor state.
-            debug_assert_eq!(new_state, state, "(begin) transitions must preserve actor state");
+            debug_assert_eq!(
+                new_state, state,
+                "(begin) transitions must preserve actor state"
+            );
             if let Term::Sequel(sequel) = term {
                 let mut next = config.clone();
                 next.ensemble.insert(
                     *id,
-                    Process { actor: target.clone(), body: ProcessBody::Sequel(sequel) },
+                    Process {
+                        actor: target.clone(),
+                        body: ProcessBody::Sequel(sequel),
+                    },
                 );
                 out.push((RuleKind::Begin(*id), next));
             }
@@ -221,18 +254,29 @@ fn process_successors(
                             // (end): discard the process and the request,
                             // enqueue the response at the tail.
                             debug_assert_eq!(new_state, state);
-                            let Some(pos) = config.request_index(*id) else { continue };
+                            let Some(pos) = config.request_index(*id) else {
+                                continue;
+                            };
                             let Message::Request { return_to, .. } = &config.flow[pos] else {
                                 continue;
                             };
                             let mut next = config.clone();
                             let return_to = *return_to;
                             next.flow.remove(pos);
-                            next.flow.push(Message::Response { id: *id, return_to, value });
+                            next.flow.push(Message::Response {
+                                id: *id,
+                                return_to,
+                                value,
+                            });
                             next.ensemble.remove(id);
                             out.push((RuleKind::End(*id), next));
                         }
-                        Term::CallThen { target, method, arg, sequel: cont } => {
+                        Term::CallThen {
+                            target,
+                            method,
+                            arg,
+                            sequel: cont,
+                        } => {
                             // (call): allocate a fresh id, enqueue the nested
                             // request at the tail, suspend the caller.
                             debug_assert_eq!(new_state, state);
@@ -249,12 +293,26 @@ fn process_successors(
                                 *id,
                                 Process {
                                     actor: actor.clone(),
-                                    body: ProcessBody::Guarded { callee, sequel: cont },
+                                    body: ProcessBody::Guarded {
+                                        callee,
+                                        sequel: cont,
+                                    },
                                 },
                             );
-                            out.push((RuleKind::Call { caller: *id, callee }, next));
+                            out.push((
+                                RuleKind::Call {
+                                    caller: *id,
+                                    callee,
+                                },
+                                next,
+                            ));
                         }
-                        Term::TellThen { target, method, arg, sequel: cont } => {
+                        Term::TellThen {
+                            target,
+                            method,
+                            arg,
+                            sequel: cont,
+                        } => {
                             // (tell): allocate a fresh id, enqueue the request
                             // with no return address, continue the caller.
                             debug_assert_eq!(new_state, state);
@@ -269,17 +327,32 @@ fn process_successors(
                             });
                             next.ensemble.insert(
                                 *id,
-                                Process { actor: actor.clone(), body: ProcessBody::Sequel(cont) },
+                                Process {
+                                    actor: actor.clone(),
+                                    body: ProcessBody::Sequel(cont),
+                                },
                             );
-                            out.push((RuleKind::Tell { caller: *id, callee }, next));
+                            out.push((
+                                RuleKind::Tell {
+                                    caller: *id,
+                                    callee,
+                                },
+                                next,
+                            ));
                         }
-                        Term::TailCall { target, method, arg } => {
+                        Term::TailCall {
+                            target,
+                            method,
+                            arg,
+                        } => {
                             // (tail-self) keeps the request at its position in
                             // the flow (retaining the lock); (tail-other)
                             // moves it to the tail. Both reuse the caller's id
                             // and return address and discard the process.
                             debug_assert_eq!(new_state, state);
-                            let Some(pos) = config.request_index(*id) else { continue };
+                            let Some(pos) = config.request_index(*id) else {
+                                continue;
+                            };
                             let Message::Request { return_to, .. } = &config.flow[pos] else {
                                 continue;
                             };
@@ -316,10 +389,15 @@ fn process_successors(
                 }) else {
                     continue;
                 };
-                let Message::Response { value, .. } = &config.flow[pos] else { continue };
+                let Message::Response { value, .. } = &config.flow[pos] else {
+                    continue;
+                };
                 let actor = &process.actor;
                 let state = config.state_of(actor);
-                let resume = Term::ResumeThen { value: *value, sequel: sequel.clone() };
+                let resume = Term::ResumeThen {
+                    value: *value,
+                    sequel: sequel.clone(),
+                };
                 for (term, new_state) in program.transitions(actor, &resume, state) {
                     debug_assert_eq!(new_state, state, "(return) transitions must preserve state");
                     if let Term::Sequel(next_sequel) = term {
@@ -327,7 +405,10 @@ fn process_successors(
                         next.flow.remove(pos);
                         next.ensemble.insert(
                             *id,
-                            Process { actor: actor.clone(), body: ProcessBody::Sequel(next_sequel) },
+                            Process {
+                                actor: actor.clone(),
+                                body: ProcessBody::Sequel(next_sequel),
+                            },
                         );
                         out.push((RuleKind::Return(*id), next));
                     }
@@ -357,16 +438,23 @@ fn failure_successors(config: &Config, options: &RuleOptions, out: &mut Vec<(Rul
 /// provided it is not already running.
 fn cancel_successors(config: &Config, out: &mut Vec<(RuleKind, Config)>) {
     for message in &config.flow {
-        let Message::Request { id, return_to: Some(caller), .. } = message else { continue };
+        let Message::Request {
+            id,
+            return_to: Some(caller),
+            ..
+        } = message
+        else {
+            continue;
+        };
         if config.ensemble.contains_key(id) {
             continue;
         }
         if !runnable(*id, &config.flow) {
             continue;
         }
-        let caller_waiting = config.ensemble.get(caller).is_some_and(|p| {
-            matches!(&p.body, ProcessBody::Guarded { callee, .. } if callee == id)
-        });
+        let caller_waiting = config.ensemble.get(caller).is_some_and(
+            |p| matches!(&p.body, ProcessBody::Guarded { callee, .. } if callee == id),
+        );
         if caller_waiting {
             continue;
         }
@@ -381,7 +469,14 @@ fn cancel_successors(config: &Config, out: &mut Vec<(RuleKind, Config)>) {
 /// matching process if it is running.
 fn preempt_successors(config: &Config, out: &mut Vec<(RuleKind, Config)>) {
     for message in &config.flow {
-        let Message::Request { id, return_to: Some(_), .. } = message else { continue };
+        let Message::Request {
+            id,
+            return_to: Some(_),
+            ..
+        } = message
+        else {
+            continue;
+        };
         if !runnable(*id, &config.flow) {
             continue;
         }
@@ -453,7 +548,10 @@ mod tests {
         // 4 is queued behind 1 on actor A.
         assert!(!runnable(rid(4), &flow));
         // Once the callee's request is gone, the caller becomes runnable again.
-        let flow2 = vec![request(1, None, "A", "main"), request(4, None, "A", "other")];
+        let flow2 = vec![
+            request(1, None, "A", "main"),
+            request(4, None, "A", "other"),
+        ];
         assert!(runnable(rid(1), &flow2));
         assert!(!runnable(rid(9), &flow2));
     }
@@ -474,7 +572,14 @@ mod tests {
 
     fn latch_program() -> Arc<dyn Program> {
         ProgramBuilder::new()
-            .method("getset", vec![Op::ReadState, Op::WriteState(Expr::Arg), Op::Return(Expr::Local)])
+            .method(
+                "getset",
+                vec![
+                    Op::ReadState,
+                    Op::WriteState(Expr::Arg),
+                    Op::Return(Expr::Local),
+                ],
+            )
             .build()
     }
 
@@ -503,7 +608,11 @@ mod tests {
         assert!(final_config.request(rid(1)).is_none());
         assert_eq!(
             final_config.response(rid(1)),
-            Some(&Message::Response { id: rid(1), return_to: None, value: 7 })
+            Some(&Message::Response {
+                id: rid(1),
+                return_to: None,
+                value: 7
+            })
         );
         assert_eq!(final_config.state_of("L"), 42);
         // Terminal: nothing further is enabled.
@@ -531,17 +640,28 @@ mod tests {
             rid(1),
             Process {
                 actor: "L".into(),
-                body: ProcessBody::Sequel(Sequel { method: "getset".into(), pc: 0, env: Env::entry(1) }),
+                body: ProcessBody::Sequel(Sequel {
+                    method: "getset".into(),
+                    pc: 0,
+                    env: Env::entry(1),
+                }),
             },
         );
         config.ensemble.insert(
             rid(2),
             Process {
                 actor: "M".into(),
-                body: ProcessBody::Sequel(Sequel { method: "getset".into(), pc: 0, env: Env::entry(1) }),
+                body: ProcessBody::Sequel(Sequel {
+                    method: "getset".into(),
+                    pc: 0,
+                    env: Env::entry(1),
+                }),
             },
         );
-        let with_failures = RuleOptions { max_failures: 1, ..Default::default() };
+        let with_failures = RuleOptions {
+            max_failures: 1,
+            ..Default::default()
+        };
         let succ = successors(&config, &program, &with_failures);
         let failures: Vec<&Config> = succ
             .iter()
@@ -565,16 +685,25 @@ mod tests {
     #[test]
     fn cancel_removes_orphan_pending_request_but_not_running_or_awaited_ones() {
         let program = latch_program();
-        let options = RuleOptions { cancellation: true, ..Default::default() };
+        let options = RuleOptions {
+            cancellation: true,
+            ..Default::default()
+        };
         // Request 2 is nested under 1, but no process for 1 exists (caller
         // failed) and 2 has not started: it can be cancelled.
         let mut config = Config::initial(rid(1), "A", "main", 0);
         config.flow.push(request(2, Some(1), "L", "getset"));
         config.next_id = 3;
         let succ = successors(&config, &program, &options);
-        assert!(succ.iter().any(|(k, _)| matches!(k, RuleKind::Cancel(i) if *i == rid(2))));
-        let cancelled =
-            succ.iter().find(|(k, _)| matches!(k, RuleKind::Cancel(_))).unwrap().1.clone();
+        assert!(succ
+            .iter()
+            .any(|(k, _)| matches!(k, RuleKind::Cancel(i) if *i == rid(2))));
+        let cancelled = succ
+            .iter()
+            .find(|(k, _)| matches!(k, RuleKind::Cancel(_)))
+            .unwrap()
+            .1
+            .clone();
         assert!(cancelled.request(rid(2)).is_none());
         assert!(cancelled.request(rid(1)).is_some());
 
@@ -586,7 +715,11 @@ mod tests {
                 actor: "A".into(),
                 body: ProcessBody::Guarded {
                     callee: rid(2),
-                    sequel: Sequel { method: "main".into(), pc: 1, env: Env::entry(0) },
+                    sequel: Sequel {
+                        method: "main".into(),
+                        pc: 1,
+                        env: Env::entry(0),
+                    },
                 },
             },
         );
@@ -599,7 +732,11 @@ mod tests {
             rid(2),
             Process {
                 actor: "L".into(),
-                body: ProcessBody::Sequel(Sequel { method: "getset".into(), pc: 0, env: Env::entry(0) }),
+                body: ProcessBody::Sequel(Sequel {
+                    method: "getset".into(),
+                    pc: 0,
+                    env: Env::entry(0),
+                }),
             },
         );
         let succ = successors(&running, &program, &options);
@@ -609,7 +746,10 @@ mod tests {
     #[test]
     fn preempt_interrupts_running_callees_of_failed_callers_top_down() {
         let program = latch_program();
-        let options = RuleOptions { preemption: true, ..Default::default() };
+        let options = RuleOptions {
+            preemption: true,
+            ..Default::default()
+        };
         // a calls b calls c; a has failed (no process for 1). Request 3 (c) is
         // running; request 2 (b) is waiting on 3.
         let mut config = Config::initial(rid(1), "A", "main", 0);
@@ -622,7 +762,11 @@ mod tests {
                 actor: "B".into(),
                 body: ProcessBody::Guarded {
                     callee: rid(3),
-                    sequel: Sequel { method: "task".into(), pc: 1, env: Env::entry(0) },
+                    sequel: Sequel {
+                        method: "task".into(),
+                        pc: 1,
+                        env: Env::entry(0),
+                    },
                 },
             },
         );
@@ -630,7 +774,11 @@ mod tests {
             rid(3),
             Process {
                 actor: "C".into(),
-                body: ProcessBody::Sequel(Sequel { method: "leaf".into(), pc: 0, env: Env::entry(0) }),
+                body: ProcessBody::Sequel(Sequel {
+                    method: "leaf".into(),
+                    pc: 0,
+                    env: Env::entry(0),
+                }),
             },
         );
         // Both 2 and 3 are preemptable (2's caller failed; 3 is nested in 2),
@@ -656,7 +804,9 @@ mod tests {
         assert!(after.request(rid(3)).is_none());
         assert!(!after.ensemble.contains_key(&rid(3)));
         let succ2 = successors(&after, &program, &options);
-        assert!(succ2.iter().any(|(k, _)| matches!(k, RuleKind::Preempt(i) if *i == rid(2))));
+        assert!(succ2
+            .iter()
+            .any(|(k, _)| matches!(k, RuleKind::Preempt(i) if *i == rid(2))));
         // An invocation whose caller is alive and waiting is not preemptable.
         let mut healthy = Config::initial(rid(1), "A", "main", 0);
         healthy.flow.push(request(2, Some(1), "B", "task"));
@@ -666,7 +816,11 @@ mod tests {
                 actor: "A".into(),
                 body: ProcessBody::Guarded {
                     callee: rid(2),
-                    sequel: Sequel { method: "main".into(), pc: 1, env: Env::entry(0) },
+                    sequel: Sequel {
+                        method: "main".into(),
+                        pc: 1,
+                        env: Env::entry(0),
+                    },
                 },
             },
         );
@@ -677,9 +831,30 @@ mod tests {
     #[test]
     fn tail_self_keeps_flow_position_and_tail_other_moves_to_tail() {
         let program = ProgramBuilder::new()
-            .method("to_self", vec![Op::TailCall { target: "L".into(), method: "getset".into(), arg: Expr::Arg }])
-            .method("to_other", vec![Op::TailCall { target: "M".into(), method: "getset".into(), arg: Expr::Arg }])
-            .method("getset", vec![Op::ReadState, Op::WriteState(Expr::Arg), Op::Return(Expr::Local)])
+            .method(
+                "to_self",
+                vec![Op::TailCall {
+                    target: "L".into(),
+                    method: "getset".into(),
+                    arg: Expr::Arg,
+                }],
+            )
+            .method(
+                "to_other",
+                vec![Op::TailCall {
+                    target: "M".into(),
+                    method: "getset".into(),
+                    arg: Expr::Arg,
+                }],
+            )
+            .method(
+                "getset",
+                vec![
+                    Op::ReadState,
+                    Op::WriteState(Expr::Arg),
+                    Op::Return(Expr::Local),
+                ],
+            )
             .build();
         let options = RuleOptions::default();
 
@@ -710,7 +885,9 @@ mod tests {
             .find(|(k, _)| matches!(k, RuleKind::TailOther(_)))
             .expect("tail-other enabled");
         assert_eq!(next.flow.last().unwrap().id(), rid(1));
-        assert!(matches!(next.flow.last().unwrap(), Message::Request { target, .. } if target == "M"));
+        assert!(
+            matches!(next.flow.last().unwrap(), Message::Request { target, .. } if target == "M")
+        );
     }
 
     #[test]
@@ -719,7 +896,11 @@ mod tests {
             .method(
                 "main",
                 vec![
-                    Op::Call { target: "B".into(), method: "task".into(), arg: Expr::Arg },
+                    Op::Call {
+                        target: "B".into(),
+                        method: "task".into(),
+                        arg: Expr::Arg,
+                    },
                     Op::Return(Expr::Local),
                 ],
             )
@@ -730,9 +911,13 @@ mod tests {
         // begin(1), step to call
         let config = successors(&config, &program, &options).remove(0).1;
         let succ = successors(&config, &program, &options);
-        let (kind, config) =
-            succ.into_iter().find(|(k, _)| matches!(k, RuleKind::Call { .. })).unwrap();
-        let RuleKind::Call { caller, callee } = kind else { unreachable!() };
+        let (kind, config) = succ
+            .into_iter()
+            .find(|(k, _)| matches!(k, RuleKind::Call { .. }))
+            .unwrap();
+        let RuleKind::Call { caller, callee } = kind else {
+            unreachable!()
+        };
         assert_eq!(caller, rid(1));
         assert_eq!(callee, rid(2));
         assert!(matches!(
@@ -769,7 +954,11 @@ mod tests {
             .1;
         assert_eq!(
             config.response(rid(1)),
-            Some(&Message::Response { id: rid(1), return_to: None, value: 11 })
+            Some(&Message::Response {
+                id: rid(1),
+                return_to: None,
+                value: 11
+            })
         );
     }
 
@@ -779,27 +968,47 @@ mod tests {
             .method(
                 "main",
                 vec![
-                    Op::Tell { target: "B".into(), method: "log".into(), arg: Expr::Const(1) },
+                    Op::Tell {
+                        target: "B".into(),
+                        method: "log".into(),
+                        arg: Expr::Const(1),
+                    },
                     Op::Return(Expr::Const(0)),
                 ],
             )
-            .method("log", vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Const(0))])
+            .method(
+                "log",
+                vec![Op::WriteState(Expr::Arg), Op::Return(Expr::Const(0))],
+            )
             .build();
         let options = RuleOptions::default();
         let config = Config::initial(rid(1), "A", "main", 0);
         let config = successors(&config, &program, &options).remove(0).1; // begin
         let succ = successors(&config, &program, &options);
-        let (kind, config) =
-            succ.into_iter().find(|(k, _)| matches!(k, RuleKind::Tell { .. })).unwrap();
-        let RuleKind::Tell { callee, .. } = kind else { unreachable!() };
+        let (kind, config) = succ
+            .into_iter()
+            .find(|(k, _)| matches!(k, RuleKind::Tell { .. }))
+            .unwrap();
+        let RuleKind::Tell { callee, .. } = kind else {
+            unreachable!()
+        };
         // The caller keeps running (still has a plain sequel) and the tell has
         // no return address.
-        assert!(matches!(config.ensemble[&rid(1)].body, ProcessBody::Sequel(_)));
+        assert!(matches!(
+            config.ensemble[&rid(1)].body,
+            ProcessBody::Sequel(_)
+        ));
         assert_eq!(config.request(callee).unwrap().return_to(), None);
         // Both the caller's end and the callee's begin are now enabled.
-        let kinds: Vec<RuleKind> =
-            successors(&config, &program, &options).into_iter().map(|(k, _)| k).collect();
-        assert!(kinds.iter().any(|k| matches!(k, RuleKind::End(i) if *i == rid(1))));
-        assert!(kinds.iter().any(|k| matches!(k, RuleKind::Begin(i) if *i == callee)));
+        let kinds: Vec<RuleKind> = successors(&config, &program, &options)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, RuleKind::End(i) if *i == rid(1))));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, RuleKind::Begin(i) if *i == callee)));
     }
 }

@@ -42,7 +42,11 @@ pub struct Sequel {
 
 impl fmt::Display for Sequel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@{}(arg={},local={})", self.method, self.pc, self.env.arg, self.env.local)
+        write!(
+            f,
+            "{}@{}(arg={},local={})",
+            self.method, self.pc, self.env.arg, self.env.local
+        )
     }
 }
 
@@ -113,14 +117,28 @@ impl fmt::Display for Term {
             Term::Invoke { method, arg } => write!(f, "{method}({arg})"),
             Term::Value(v) => write!(f, "{v}"),
             Term::Sequel(s) => write!(f, "{s}"),
-            Term::CallThen { target, method, arg, sequel } => {
+            Term::CallThen {
+                target,
+                method,
+                arg,
+                sequel,
+            } => {
                 write!(f, "{target}.{method}({arg}) ⊲ {sequel}")
             }
             Term::ResumeThen { value, sequel } => write!(f, "{value} ⊲ {sequel}"),
-            Term::TellThen { target, method, arg, sequel } => {
+            Term::TellThen {
+                target,
+                method,
+                arg,
+                sequel,
+            } => {
                 write!(f, "{target}.{method}({arg}) ≀ {sequel}")
             }
-            Term::TailCall { target, method, arg } => write!(f, "{target}.{method}({arg})"),
+            Term::TailCall {
+                target,
+                method,
+                arg,
+            } => write!(f, "{target}.{method}({arg})"),
         }
     }
 }
@@ -138,7 +156,11 @@ mod tests {
 
     #[test]
     fn display_renders_paper_notation() {
-        let s = Sequel { method: "incr".into(), pc: 1, env: Env { arg: 3, local: 5 } };
+        let s = Sequel {
+            method: "incr".into(),
+            pc: 1,
+            env: Env { arg: 3, local: 5 },
+        };
         assert_eq!(s.to_string(), "incr@1(arg=3,local=5)");
         let call = Term::CallThen {
             target: "B/b".into(),
@@ -156,14 +178,30 @@ mod tests {
         assert!(tell.to_string().contains("≀"));
         assert_eq!(Term::Value(3).to_string(), "3");
         assert_eq!(
-            Term::Invoke { method: "main".into(), arg: 1 }.to_string(),
+            Term::Invoke {
+                method: "main".into(),
+                arg: 1
+            }
+            .to_string(),
             "main(1)"
         );
         assert_eq!(
-            Term::TailCall { target: "A/a".into(), method: "set".into(), arg: 2 }.to_string(),
+            Term::TailCall {
+                target: "A/a".into(),
+                method: "set".into(),
+                arg: 2
+            }
+            .to_string(),
             "A/a.set(2)"
         );
-        assert_eq!(Term::ResumeThen { value: 9, sequel: s }.to_string(), "9 ⊲ incr@1(arg=3,local=5)");
+        assert_eq!(
+            Term::ResumeThen {
+                value: 9,
+                sequel: s
+            }
+            .to_string(),
+            "9 ⊲ incr@1(arg=3,local=5)"
+        );
     }
 
     #[test]

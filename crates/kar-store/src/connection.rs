@@ -21,7 +21,11 @@ pub struct Connection {
 
 impl Connection {
     pub(crate) fn new(inner: Arc<StoreInner>, component: ComponentId, epoch: Epoch) -> Self {
-        Connection { inner, component, epoch }
+        Connection {
+            inner,
+            component,
+            epoch,
+        }
     }
 
     /// The component this connection belongs to.
@@ -148,8 +152,12 @@ impl Connection {
         self.check_in()?;
         let mut data = self.inner.data.lock();
         data.stats.reads += 1;
-        let mut keys: Vec<String> =
-            data.strings.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+        let mut keys: Vec<String> = data
+            .strings
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
         keys.sort();
         Ok(keys)
     }
@@ -177,7 +185,11 @@ impl Connection {
         self.check_in()?;
         let mut data = self.inner.data.lock();
         data.stats.writes += 1;
-        Ok(data.hashes.entry(key.to_owned()).or_default().insert(field.to_owned(), value))
+        Ok(data
+            .hashes
+            .entry(key.to_owned())
+            .or_default()
+            .insert(field.to_owned(), value))
     }
 
     /// Writes several fields of a hash at once.
@@ -278,7 +290,10 @@ mod tests {
     fn compare_and_swap_success_and_failure() {
         let (_s, conn) = store_and_conn();
         // CAS from absent succeeds.
-        assert_eq!(conn.compare_and_swap("k", None, Value::from("a")).unwrap(), Ok(()));
+        assert_eq!(
+            conn.compare_and_swap("k", None, Value::from("a")).unwrap(),
+            Ok(())
+        );
         // CAS with wrong expectation reports the actual value.
         assert_eq!(
             conn.compare_and_swap("k", None, Value::from("b")).unwrap(),
@@ -286,7 +301,8 @@ mod tests {
         );
         // CAS with the right expectation succeeds.
         assert_eq!(
-            conn.compare_and_swap("k", Some(&Value::from("a")), Value::from("b")).unwrap(),
+            conn.compare_and_swap("k", Some(&Value::from("a")), Value::from("b"))
+                .unwrap(),
             Ok(())
         );
         assert_eq!(conn.get("k").unwrap(), Some(Value::from("b")));
@@ -299,10 +315,15 @@ mod tests {
         for i in 0..16u64 {
             let conn = store.connect(ComponentId::from_raw(i));
             handles.push(std::thread::spawn(move || {
-                conn.compare_and_swap("owner", None, Value::from(i as i64)).unwrap().is_ok()
+                conn.compare_and_swap("owner", None, Value::from(i as i64))
+                    .unwrap()
+                    .is_ok()
             }));
         }
-        let winners: usize = handles.into_iter().map(|h| usize::from(h.join().unwrap())).sum();
+        let winners: usize = handles
+            .into_iter()
+            .map(|h| usize::from(h.join().unwrap()))
+            .sum();
         assert_eq!(winners, 1);
     }
 
@@ -311,9 +332,18 @@ mod tests {
         let (_s, conn) = store_and_conn();
         assert_eq!(conn.hget("h", "f").unwrap(), None);
         assert_eq!(conn.hset("h", "f", Value::from(1)).unwrap(), None);
-        assert_eq!(conn.hset("h", "f", Value::from(2)).unwrap(), Some(Value::from(1)));
-        conn.hset_multi("h", [("g".to_string(), Value::from(3)), ("k".to_string(), Value::from(4))])
-            .unwrap();
+        assert_eq!(
+            conn.hset("h", "f", Value::from(2)).unwrap(),
+            Some(Value::from(1))
+        );
+        conn.hset_multi(
+            "h",
+            [
+                ("g".to_string(), Value::from(3)),
+                ("k".to_string(), Value::from(4)),
+            ],
+        )
+        .unwrap();
         let all = conn.hgetall("h").unwrap();
         assert_eq!(all.len(), 3);
         assert_eq!(all["g"], Value::from(3));
@@ -330,7 +360,10 @@ mod tests {
         conn.set("p/b", Value::from(1)).unwrap();
         conn.set("p/a", Value::from(1)).unwrap();
         conn.set("q/c", Value::from(1)).unwrap();
-        assert_eq!(conn.keys_with_prefix("p/").unwrap(), vec!["p/a".to_string(), "p/b".to_string()]);
+        assert_eq!(
+            conn.keys_with_prefix("p/").unwrap(),
+            vec!["p/a".to_string(), "p/b".to_string()]
+        );
     }
 
     #[test]
@@ -371,7 +404,9 @@ mod tests {
         conn.set("a", Value::from(1)).unwrap();
         conn.get("a").unwrap();
         conn.set_nx("b", Value::from(1)).unwrap();
-        conn.compare_and_swap("c", None, Value::from(1)).unwrap().unwrap();
+        conn.compare_and_swap("c", None, Value::from(1))
+            .unwrap()
+            .unwrap();
         let stats = store.stats();
         assert_eq!(stats.writes, 1);
         assert_eq!(stats.reads, 1);

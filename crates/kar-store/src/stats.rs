@@ -29,7 +29,11 @@ mod tests {
 
     #[test]
     fn total_sums_all_categories() {
-        let stats = StoreStats { reads: 1, writes: 2, cas: 3 };
+        let stats = StoreStats {
+            reads: 1,
+            writes: 2,
+            cas: 3,
+        };
         assert_eq!(stats.total(), 6);
         assert_eq!(StoreStats::default().total(), 0);
     }

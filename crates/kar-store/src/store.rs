@@ -73,7 +73,12 @@ impl Store {
 
     /// Creates an empty store with the given configuration.
     pub fn with_config(config: StoreConfig) -> Self {
-        Store { inner: Arc::new(StoreInner { config, data: Mutex::new(StoreData::default()) }) }
+        Store {
+            inner: Arc::new(StoreInner {
+                config,
+                data: Mutex::new(StoreData::default()),
+            }),
+        }
     }
 
     /// Opens a client connection on behalf of `component`.
@@ -84,7 +89,10 @@ impl Store {
     pub fn connect(&self, component: ComponentId) -> Connection {
         let epoch = {
             let data = self.inner.data.lock();
-            data.allowed_epochs.get(&component).copied().unwrap_or(Epoch::ZERO)
+            data.allowed_epochs
+                .get(&component)
+                .copied()
+                .unwrap_or(Epoch::ZERO)
         };
         Connection::new(self.inner.clone(), component, epoch)
     }
@@ -108,12 +116,15 @@ impl Store {
     /// The epoch currently allowed for `component`.
     pub fn current_epoch(&self, component: ComponentId) -> Epoch {
         let data = self.inner.data.lock();
-        data.allowed_epochs.get(&component).copied().unwrap_or(Epoch::ZERO)
+        data.allowed_epochs
+            .get(&component)
+            .copied()
+            .unwrap_or(Epoch::ZERO)
     }
 
     /// A snapshot of the operation counters.
     pub fn stats(&self) -> StoreStats {
-        self.inner.data.lock().stats.clone()
+        self.inner.data.lock().stats
     }
 
     /// Number of string keys plus hash keys currently stored.
@@ -143,14 +154,24 @@ impl Store {
 
     /// Administrative (unfenced) read of a whole hash.
     pub fn admin_hgetall(&self, key: &str) -> BTreeMap<String, Value> {
-        self.inner.data.lock().hashes.get(key).cloned().unwrap_or_default()
+        self.inner
+            .data
+            .lock()
+            .hashes
+            .get(key)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Administrative list of string keys starting with `prefix`.
     pub fn admin_keys_with_prefix(&self, prefix: &str) -> Vec<String> {
         let data = self.inner.data.lock();
-        let mut keys: Vec<String> =
-            data.strings.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+        let mut keys: Vec<String> = data
+            .strings
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
         keys.sort();
         keys
     }
@@ -179,7 +200,11 @@ impl StoreInner {
             std::thread::sleep(self.config.op_latency);
         }
         let data = self.data.lock();
-        let allowed = data.allowed_epochs.get(&component).copied().unwrap_or(Epoch::ZERO);
+        let allowed = data
+            .allowed_epochs
+            .get(&component)
+            .copied()
+            .unwrap_or(Epoch::ZERO);
         if epoch < allowed {
             return Err(KarError::Fenced {
                 component,
@@ -243,25 +268,42 @@ mod tests {
         let store = Store::new();
         let c = ComponentId::from_raw(7);
         let conn = store.connect(c);
-        conn.set("placement/Order/1", Value::from("component-7")).unwrap();
-        conn.set("placement/Order/2", Value::from("component-7")).unwrap();
+        conn.set("placement/Order/1", Value::from("component-7"))
+            .unwrap();
+        conn.set("placement/Order/2", Value::from("component-7"))
+            .unwrap();
         conn.set("other", Value::from(1)).unwrap();
         store.fence(c);
         assert_eq!(
             store.admin_keys_with_prefix("placement/"),
-            vec!["placement/Order/1".to_string(), "placement/Order/2".to_string()]
+            vec![
+                "placement/Order/1".to_string(),
+                "placement/Order/2".to_string()
+            ]
         );
-        assert_eq!(store.admin_del("placement/Order/1"), Some(Value::from("component-7")));
+        assert_eq!(
+            store.admin_del("placement/Order/1"),
+            Some(Value::from("component-7"))
+        );
         assert_eq!(store.admin_get("placement/Order/1"), None);
-        assert_eq!(store.admin_set("placement/Order/1", Value::from("component-8")), None);
-        assert_eq!(store.admin_get("placement/Order/1"), Some(Value::from("component-8")));
+        assert_eq!(
+            store.admin_set("placement/Order/1", Value::from("component-8")),
+            None
+        );
+        assert_eq!(
+            store.admin_get("placement/Order/1"),
+            Some(Value::from("component-8"))
+        );
     }
 
     #[test]
     fn store_clone_shares_data() {
         let store = Store::new();
         let store2 = store.clone();
-        store.connect(ComponentId::from_raw(1)).set("k", Value::from(1)).unwrap();
+        store
+            .connect(ComponentId::from_raw(1))
+            .set("k", Value::from(1))
+            .unwrap();
         assert_eq!(store2.admin_get("k"), Some(Value::from(1)));
     }
 

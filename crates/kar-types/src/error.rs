@@ -136,25 +136,40 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let e = KarError::application("boom");
         assert_eq!(e.to_string(), "application error: boom");
-        let e = KarError::NoHostForActorType { actor_type: "Order".into() };
+        let e = KarError::NoHostForActorType {
+            actor_type: "Order".into(),
+        };
         assert!(e.to_string().contains("Order"));
-        let e = KarError::UnknownMethod { actor: ActorRef::new("A", "1"), method: "m".into() };
+        let e = KarError::UnknownMethod {
+            actor: ActorRef::new("A", "1"),
+            method: "m".into(),
+        };
         assert!(e.to_string().contains("A/1"));
-        let e = KarError::Timeout { request: RequestId::from_raw(3), after_ms: 10 };
+        let e = KarError::Timeout {
+            request: RequestId::from_raw(3),
+            after_ms: 10,
+        };
         assert!(e.to_string().contains("10 ms"));
     }
 
     #[test]
     fn retryable_classification() {
         assert!(!KarError::application("x").is_retryable());
-        assert!(!KarError::Cancelled { request: RequestId::from_raw(1) }.is_retryable());
-        assert!(KarError::Killed { component: ComponentId::from_raw(1) }.is_retryable());
+        assert!(!KarError::Cancelled {
+            request: RequestId::from_raw(1)
+        }
+        .is_retryable());
+        assert!(KarError::Killed {
+            component: ComponentId::from_raw(1)
+        }
+        .is_retryable());
         assert!(KarError::Queue("q".into()).is_retryable());
         assert!(KarError::Store("s".into()).is_retryable());
-        assert!(
-            KarError::Fenced { component: ComponentId::from_raw(1), detail: "d".into() }
-                .is_fenced()
-        );
+        assert!(KarError::Fenced {
+            component: ComponentId::from_raw(1),
+            detail: "d".into()
+        }
+        .is_fenced());
         assert!(!KarError::internal("x").is_fenced());
     }
 

@@ -42,7 +42,10 @@ pub struct ActorRef {
 impl ActorRef {
     /// Synthesizes a reference to the actor instance `id` of type `ty`.
     pub fn new(ty: impl Into<ActorType>, id: impl Into<ActorId>) -> Self {
-        ActorRef { actor_type: ty.into(), actor_id: id.into() }
+        ActorRef {
+            actor_type: ty.into(),
+            actor_id: id.into(),
+        }
     }
 
     /// The actor type of the referenced instance.
@@ -106,7 +109,9 @@ pub struct RequestIdGenerator {
 impl RequestIdGenerator {
     /// Creates a generator starting at id 1.
     pub fn new() -> Self {
-        RequestIdGenerator { next: AtomicU64::new(1) }
+        RequestIdGenerator {
+            next: AtomicU64::new(1),
+        }
     }
 
     /// Returns a fresh, never-before-returned request id.
@@ -172,7 +177,9 @@ impl fmt::Display for NodeId {
 /// session. Declaring a component failed bumps the epoch it is allowed to use,
 /// so stale operations from the "past" are rejected — the paper's *forceful
 /// disconnection* requirement (§1, §4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct Epoch(u64);
 
 impl Epoch {
@@ -267,7 +274,7 @@ mod tests {
 
     #[test]
     fn hash_and_ord_are_consistent_for_refs() {
-        let mut v = vec![
+        let mut v = [
             ActorRef::new("B", "2"),
             ActorRef::new("A", "1"),
             ActorRef::new("A", "2"),

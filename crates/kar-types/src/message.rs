@@ -78,7 +78,12 @@ pub struct RequestMessage {
 
 impl RequestMessage {
     /// Builds a root (external) blocking request with no caller.
-    pub fn root(id: RequestId, target: ActorRef, method: impl Into<String>, args: Vec<Value>) -> Self {
+    pub fn root(
+        id: RequestId,
+        target: ActorRef,
+        method: impl Into<String>,
+        args: Vec<Value>,
+    ) -> Self {
         RequestMessage {
             id,
             caller: None,
@@ -124,12 +129,20 @@ pub struct ResponseMessage {
 impl ResponseMessage {
     /// Builds a successful response.
     pub fn ok(id: RequestId, caller: Option<RequestId>, value: Value) -> Self {
-        ResponseMessage { id, caller, result: Ok(value) }
+        ResponseMessage {
+            id,
+            caller,
+            result: Ok(value),
+        }
     }
 
     /// Builds an error response.
     pub fn err(id: RequestId, caller: Option<RequestId>, error: KarError) -> Self {
-        ResponseMessage { id, caller, result: Err(error) }
+        ResponseMessage {
+            id,
+            caller,
+            result: Err(error),
+        }
     }
 }
 
@@ -237,7 +250,11 @@ mod tests {
         r.lineage = vec![RequestId::from_raw(10), RequestId::from_raw(20)];
         assert_eq!(
             r.chain(),
-            vec![RequestId::from_raw(10), RequestId::from_raw(20), RequestId::from_raw(1)]
+            vec![
+                RequestId::from_raw(10),
+                RequestId::from_raw(20),
+                RequestId::from_raw(1)
+            ]
         );
     }
 
@@ -264,11 +281,7 @@ mod tests {
     fn response_constructors() {
         let ok = ResponseMessage::ok(RequestId::from_raw(1), None, Value::Null);
         assert_eq!(ok.result, Ok(Value::Null));
-        let err = ResponseMessage::err(
-            RequestId::from_raw(1),
-            None,
-            KarError::application("bad"),
-        );
+        let err = ResponseMessage::err(RequestId::from_raw(1), None, KarError::application("bad"));
         assert!(err.result.is_err());
     }
 
@@ -279,7 +292,11 @@ mod tests {
         big_req.args = vec![Value::from("x".repeat(1000))];
         let big = Envelope::from(big_req);
         assert!(big.approximate_size() > small.approximate_size() + 900);
-        let resp = Envelope::from(ResponseMessage::ok(RequestId::from_raw(1), None, Value::Null));
+        let resp = Envelope::from(ResponseMessage::ok(
+            RequestId::from_raw(1),
+            None,
+            Value::Null,
+        ));
         assert!(resp.approximate_size() >= 24);
         let err_resp = Envelope::from(ResponseMessage::err(
             RequestId::from_raw(1),

@@ -40,7 +40,10 @@ impl TimeScale {
     ///
     /// Panics if `factor` is not strictly positive and finite.
     pub fn new(factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "time scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "time scale factor must be positive"
+        );
         TimeScale { factor }
     }
 
@@ -87,7 +90,9 @@ pub struct SystemClock {
 impl SystemClock {
     /// Creates a clock whose origin is "now".
     pub fn new() -> Self {
-        SystemClock { origin: Instant::now() }
+        SystemClock {
+            origin: Instant::now(),
+        }
     }
 }
 
@@ -122,7 +127,10 @@ pub struct ScaledClock {
 impl ScaledClock {
     /// Creates a scaled clock.
     pub fn new(scale: TimeScale) -> Self {
-        ScaledClock { origin: Instant::now(), scale }
+        ScaledClock {
+            origin: Instant::now(),
+            scale,
+        }
     }
 
     /// The compression factor used by this clock.
@@ -214,8 +222,11 @@ pub enum DeploymentProfile {
 
 impl DeploymentProfile {
     /// All profiles, in the order used by Table 2.
-    pub const ALL: [DeploymentProfile; 3] =
-        [DeploymentProfile::ClusterDev, DeploymentProfile::ClusterProd, DeploymentProfile::Managed];
+    pub const ALL: [DeploymentProfile; 3] = [
+        DeploymentProfile::ClusterDev,
+        DeploymentProfile::ClusterProd,
+        DeploymentProfile::Managed,
+    ];
 
     /// The latency profile used to emulate this deployment.
     ///

@@ -33,7 +33,11 @@ impl Outcome {
 
     /// A tail call to `target.method(args)`.
     pub fn tail_call(target: ActorRef, method: impl Into<String>, args: Vec<Value>) -> Outcome {
-        Outcome::TailCall { target, method: method.into(), args }
+        Outcome::TailCall {
+            target,
+            method: method.into(),
+            args,
+        }
     }
 
     /// True if this outcome is a tail call.
@@ -104,7 +108,11 @@ mod tests {
         let t = Outcome::tail_call(ActorRef::new("A", "1"), "m", vec![Value::Null]);
         assert!(t.is_tail_call());
         match t {
-            Outcome::TailCall { target, method, args } => {
+            Outcome::TailCall {
+                target,
+                method,
+                args,
+            } => {
                 assert_eq!(target, ActorRef::new("A", "1"));
                 assert_eq!(method, "m");
                 assert_eq!(args, vec![Value::Null]);

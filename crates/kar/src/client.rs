@@ -58,6 +58,8 @@ impl Client {
 
 impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Client").field("component", &self.core.id()).finish()
+        f.debug_struct("Client")
+            .field("component", &self.core.id())
+            .finish()
     }
 }

@@ -1,11 +1,14 @@
 //! Application components: the paired application + runtime sidecar process.
 //!
 //! Each component owns a dedicated queue partition, announces the actor types
-//! it hosts, consumes requests from its queue, dispatches them to per-actor
-//! mailboxes (honouring the actor lock, reentrancy and tail-call lock
-//! retention of §2.2–2.3 and §4.1), sends responses back to callers' queues,
-//! heartbeats the consumer group, and defers re-homed requests until their
-//! pending callee settles (the happen-before guarantee of §4.3).
+//! it hosts, consumes requests from its queue, routes them by actor identity
+//! onto a sharded dispatch worker pool (see [`crate::dispatch`]) that admits
+//! them to per-actor mailboxes (honouring the actor lock, reentrancy and
+//! tail-call lock retention of §2.2–2.3 and §4.1), sends responses back to
+//! callers' queues, heartbeats the consumer group, and defers re-homed
+//! requests until their pending callee settles (the happen-before guarantee
+//! of §4.3). Invocations for distinct actors execute in parallel, up to
+//! `MeshConfig::dispatch_workers` at a time per component.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -17,16 +20,17 @@ use parking_lot::{Mutex, RwLock};
 
 use kar_queue::{Broker, Producer};
 use kar_store::{Connection, Store};
+use kar_types::ids::RequestIdGenerator;
+use kar_types::RequestId;
 use kar_types::{
     ActorRef, CallKind, ComponentId, Envelope, KarError, KarResult, NodeId, Payload,
     RequestMessage, ResponseMessage, Value,
 };
-use kar_types::ids::RequestIdGenerator;
-use kar_types::RequestId;
 
 use crate::actor::{ActorFactory, Outcome};
 use crate::config::{CancellationPolicy, MeshConfig};
 use crate::context::ActorContext;
+use crate::dispatch::DispatchPool;
 use crate::placement::{LiveSet, PlacementService};
 
 /// Execution counters of one component, useful in tests and benchmarks.
@@ -76,6 +80,9 @@ pub struct ComponentCore {
     pub(crate) ids: Arc<RequestIdGenerator>,
     pub(crate) hosted: HashMap<String, ActorFactory>,
     pub(crate) stats: ComponentStats,
+    /// The sharded dispatch worker pool: requests are routed here by actor
+    /// identity, one drainer per shard at a time.
+    pool: DispatchPool,
     alive: AtomicBool,
     paused: AtomicBool,
     /// Offset of the next record this component's consumer will read from its
@@ -115,6 +122,7 @@ impl ComponentCore {
             config.placement_cache,
             config.call_timeout,
         );
+        let pool = DispatchPool::new(config.effective_dispatch_workers());
         ComponentCore {
             id,
             node,
@@ -133,6 +141,7 @@ impl ComponentCore {
             ids,
             hosted,
             stats: ComponentStats::default(),
+            pool,
             alive: AtomicBool::new(true),
             paused: AtomicBool::new(false),
             consumed_offset: AtomicU64::new(0),
@@ -190,6 +199,14 @@ impl ComponentCore {
         self.pending_calls.lock().clear();
         self.deferred.lock().clear();
         self.inflight.lock().clear();
+        // Records already routed to shard queues are in-memory state: lost
+        // with the process. Their queue copies survive and drive the retry.
+        self.pool.clear_pending();
+    }
+
+    /// The number of dispatch workers (shards) of this component.
+    pub fn dispatch_workers(&self) -> usize {
+        self.pool.workers()
     }
 
     fn partition_of(&self, component: ComponentId) -> Option<usize> {
@@ -205,16 +222,28 @@ impl ComponentCore {
     /// component (used by reconciliation to decide whether a copy found in a
     /// failed queue is superseded or must be re-homed).
     pub(crate) fn locally_pending(&self, id: RequestId) -> bool {
+        // Polled off the queue but not yet admitted to an actor slot: without
+        // this check a request sitting in a shard queue would look neither
+        // "still queued" (its offset was consumed) nor pending, and
+        // reconciliation could re-home a copy of it a second time.
+        if self.pool.is_pending(id) {
+            return true;
+        }
         if self.inflight.lock().contains(&id) {
             return true;
         }
-        if self.deferred.lock().values().any(|requests| requests.iter().any(|r| r.id == id)) {
+        if self
+            .deferred
+            .lock()
+            .values()
+            .any(|requests| requests.iter().any(|r| r.id == id))
+        {
             return true;
         }
         let actors = self.actors.lock();
-        actors.values().any(|slot| {
-            slot.awaiting_tail == Some(id) || slot.mailbox.iter().any(|r| r.id == id)
-        })
+        actors
+            .values()
+            .any(|slot| slot.awaiting_tail == Some(id) || slot.mailbox.iter().any(|r| r.id == id))
     }
 
     fn sidecar_hop(&self) {
@@ -230,17 +259,36 @@ impl ComponentCore {
 
     /// Resolves the target actor's placement and appends the request to the
     /// hosting component's queue.
-    pub(crate) fn send_request(&self, message: RequestMessage) -> KarResult<()> {
-        let component = self.placement.resolve(&message.target)?;
-        let partition = self.partition_of(component).ok_or_else(|| {
-            KarError::internal(format!("no partition recorded for {component}"))
-        })?;
-        self.producer.send(&self.topic, partition, Envelope::Request(message))?;
+    ///
+    /// Resolution can block (bounded by the call timeout) when a recorded
+    /// placement points at a failed component and reconciliation has not
+    /// rewritten it yet. When that happens on a dispatch worker thread, the
+    /// worker hands its shard to a replacement drainer first, so one stale
+    /// placement never stalls every other actor pinned to the shard.
+    pub(crate) fn send_request(self: &Arc<Self>, message: RequestMessage) -> KarResult<()> {
+        let component = match self.placement.resolve_nowait(&message.target)? {
+            Some(component) => component,
+            None => {
+                self.pool
+                    .enter_blocking(|shard| self.spawn_shard_worker(shard));
+                self.placement.resolve(&message.target)?
+            }
+        };
+        let partition = self
+            .partition_of(component)
+            .ok_or_else(|| KarError::internal(format!("no partition recorded for {component}")))?;
+        self.producer
+            .send(&self.topic, partition, Envelope::Request(message))?;
         Ok(())
     }
 
-    fn send_request_to_partition(&self, message: RequestMessage, partition: usize) -> KarResult<()> {
-        self.producer.send(&self.topic, partition, Envelope::Request(message))?;
+    fn send_request_to_partition(
+        &self,
+        message: RequestMessage,
+        partition: usize,
+    ) -> KarResult<()> {
+        self.producer
+            .send(&self.topic, partition, Envelope::Request(message))?;
         Ok(())
     }
 
@@ -253,13 +301,18 @@ impl ComponentCore {
             return;
         }
         self.sidecar_hop();
-        let response = ResponseMessage { id: request.id, caller: request.caller, result };
+        let response = ResponseMessage {
+            id: request.id,
+            caller: request.caller,
+            result,
+        };
         // Fast path: the caller's component is alive, deliver directly.
         if let Some(reply_to) = request.reply_to {
             if self.live.read().contains(&reply_to) {
                 if let Some(partition) = self.partition_of(reply_to) {
                     let _ =
-                        self.producer.send(&self.topic, partition, Envelope::Response(response));
+                        self.producer
+                            .send(&self.topic, partition, Envelope::Response(response));
                     return;
                 }
             }
@@ -273,7 +326,9 @@ impl ComponentCore {
             .name(format!("kar-response-{}", request.id))
             .spawn(move || {
                 if let Some(partition) = core.response_partition(&request) {
-                    let _ = core.producer.send(&core.topic, partition, Envelope::Response(response));
+                    let _ =
+                        core.producer
+                            .send(&core.topic, partition, Envelope::Response(response));
                 }
             })
             .expect("failed to spawn response routing thread");
@@ -312,7 +367,7 @@ impl ComponentCore {
 
     /// A blocking root invocation issued by an external client (no caller).
     pub(crate) fn external_call(
-        &self,
+        self: &Arc<Self>,
         target: &ActorRef,
         method: &str,
         args: Vec<Value>,
@@ -341,7 +396,7 @@ impl ComponentCore {
 
     /// An asynchronous root invocation issued by an external client.
     pub(crate) fn external_tell(
-        &self,
+        self: &Arc<Self>,
         target: &ActorRef,
         method: &str,
         args: Vec<Value>,
@@ -368,7 +423,7 @@ impl ComponentCore {
 
     /// A nested blocking call issued from inside an actor invocation.
     pub(crate) fn nested_call(
-        &self,
+        self: &Arc<Self>,
         caller: &RequestMessage,
         caller_actor: &ActorRef,
         target: &ActorRef,
@@ -400,7 +455,7 @@ impl ComponentCore {
     /// A nested asynchronous invocation issued from inside an actor
     /// invocation.
     pub(crate) fn nested_tell(
-        &self,
+        self: &Arc<Self>,
         _caller: &RequestMessage,
         target: &ActorRef,
         method: &str,
@@ -433,10 +488,16 @@ impl ComponentCore {
     }
 
     fn wait_for_response(
-        &self,
+        self: &Arc<Self>,
         id: RequestId,
         receiver: crossbeam::channel::Receiver<Payload>,
     ) -> KarResult<Value> {
+        // About to park: if this thread is a dispatch worker, hand its shard
+        // to a replacement drainer first, so the shard keeps making progress
+        // (and so two actors on the same shard calling each other cannot
+        // deadlock until the call timeout).
+        self.pool
+            .enter_blocking(|shard| self.spawn_shard_worker(shard));
         let outcome = receiver.recv_timeout(self.config.call_timeout);
         self.pending_calls.lock().remove(&id);
         match outcome {
@@ -456,44 +517,70 @@ impl ComponentCore {
     // Dispatch
     // ------------------------------------------------------------------
 
-    /// Handles one envelope read from this component's queue.
+    /// Handles one envelope read from this component's queue. Responses are
+    /// processed inline (they only unblock waiters and never execute actor
+    /// code); requests are routed to their actor's dispatch shard.
     pub(crate) fn handle_envelope(self: &Arc<Self>, envelope: Envelope) {
         match envelope {
             Envelope::Response(response) => self.handle_response(response),
-            Envelope::Request(request) => self.dispatch_request(request),
-        }
-    }
-
-    fn handle_response(self: &Arc<Self>, response: ResponseMessage) {
-        self.seen_responses.lock().insert(response.id);
-        if let Some(sender) = self.pending_calls.lock().remove(&response.id) {
-            let _ = sender.send(response.result.clone());
-        }
-        // Unblock any re-homed caller whose retry was waiting for this callee
-        // to settle (happen-before).
-        let deferred = self.deferred.lock().remove(&response.id);
-        if let Some(requests) = deferred {
-            for mut request in requests {
-                request.pending_callee = None;
-                self.dispatch_request(request);
+            Envelope::Request(request) => {
+                self.pool.submit(request);
             }
         }
     }
 
-    fn dispatch_request(self: &Arc<Self>, mut request: RequestMessage) {
+    fn handle_response(self: &Arc<Self>, response: ResponseMessage) {
+        // Record the response and drain its deferred retries under one
+        // deferred-map lock: admission's check-and-defer takes the same lock,
+        // so a retry can never park itself against a response that has
+        // already been processed (lost wakeup).
+        let deferred = {
+            let mut deferred_map = self.deferred.lock();
+            self.seen_responses.lock().insert(response.id);
+            deferred_map.remove(&response.id)
+        };
+        if let Some(sender) = self.pending_calls.lock().remove(&response.id) {
+            let _ = sender.send(response.result.clone());
+        }
+        // Unblock any re-homed caller whose retry was waiting for this callee
+        // to settle (happen-before). Re-submitted through the shard queues so
+        // admission for the target actor stays serial.
+        if let Some(requests) = deferred {
+            for mut request in requests {
+                request.pending_callee = None;
+                self.pool.submit(request);
+            }
+        }
+    }
+
+    /// Admission control for one request, run by its actor's shard worker:
+    /// dedupes retries, defers happen-before-annotated retries, forwards
+    /// mis-routed requests, and applies the actor-lock rules of §2.2–§4.1.
+    /// Returns the invocation to run inline, if any: `(request, holds_lock,
+    /// reentrant)`.
+    fn admit_request(
+        self: &Arc<Self>,
+        mut request: RequestMessage,
+    ) -> Option<(RequestMessage, bool, bool)> {
         if !self.is_alive() {
-            return;
+            return None;
         }
         if self.completed.lock().contains(&request.id) || self.inflight.lock().contains(&request.id)
         {
-            return;
+            return None;
         }
-        // Happen-before: a retried caller waits for its pending callee.
+        // Happen-before: a retried caller waits for its pending callee. The
+        // deferred lock is held across the seen-response check and the park,
+        // mirroring handle_response, so the callee's response cannot slip in
+        // between them and leave this retry parked forever.
         if let Some(callee) = request.pending_callee {
-            if !self.seen_responses.lock().contains(&callee) {
-                self.stats.deferred.fetch_add(1, Ordering::Relaxed);
-                self.deferred.lock().entry(callee).or_default().push(request);
-                return;
+            {
+                let mut deferred_map = self.deferred.lock();
+                if !self.seen_responses.lock().contains(&callee) {
+                    self.stats.deferred.fetch_add(1, Ordering::Relaxed);
+                    deferred_map.entry(callee).or_default().push(request);
+                    return None;
+                }
             }
             request.pending_callee = None;
         }
@@ -501,7 +588,7 @@ impl ComponentCore {
         if !self.hosted.contains_key(request.target.actor_type()) {
             self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
             let _ = self.send_request(request);
-            return;
+            return None;
         }
         let mut actors = self.actors.lock();
         let slot = actors.entry(request.target.clone()).or_default();
@@ -511,47 +598,54 @@ impl ComponentCore {
             slot.busy_chain = request.chain();
             drop(actors);
             self.inflight.lock().insert(request.id);
-            self.spawn_invocation(request, true, false);
+            Some((request, true, false))
         } else if slot.busy {
-            let reentrant = request.lineage.iter().any(|id| slot.busy_chain.contains(id));
+            let reentrant = request
+                .lineage
+                .iter()
+                .any(|id| slot.busy_chain.contains(id));
             if reentrant {
                 // Reentrant nested call: bypass the mailbox (§2.2).
                 drop(actors);
                 self.inflight.lock().insert(request.id);
-                self.spawn_invocation(request, false, true);
+                Some((request, false, true))
             } else {
                 slot.mailbox.push_back(request.clone());
                 drop(actors);
                 self.inflight.lock().insert(request.id);
+                None
             }
         } else {
             slot.busy = true;
             slot.busy_chain = request.chain();
             drop(actors);
             self.inflight.lock().insert(request.id);
-            self.spawn_invocation(request, true, false);
+            Some((request, true, false))
         }
     }
 
-    fn spawn_invocation(self: &Arc<Self>, request: RequestMessage, holds_lock: bool, reentrant: bool) {
-        let core = Arc::clone(self);
-        std::thread::Builder::new()
-            .name(format!("kar-{}-{}", self.name, request.id))
-            .spawn(move || core.run_invocation(request, holds_lock, reentrant))
-            .expect("failed to spawn invocation thread");
-    }
-
-    fn run_invocation(self: Arc<Self>, mut request: RequestMessage, holds_lock: bool, reentrant: bool) {
+    fn run_invocation(
+        self: Arc<Self>,
+        mut request: RequestMessage,
+        holds_lock: bool,
+        reentrant: bool,
+    ) {
         let mut reentrant = reentrant;
         loop {
             if !self.is_alive() {
                 return;
             }
             self.sidecar_hop();
-            if self.config.cancellation == CancellationPolicy::Cancel && self.should_cancel(&request)
+            if self.config.cancellation == CancellationPolicy::Cancel
+                && self.should_cancel(&request)
             {
                 self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
-                self.send_response(&request, Err(KarError::Cancelled { request: request.id }));
+                self.send_response(
+                    &request,
+                    Err(KarError::Cancelled {
+                        request: request.id,
+                    }),
+                );
                 self.finish(&request);
             } else {
                 match self.execute(&request, reentrant) {
@@ -560,7 +654,11 @@ impl ComponentCore {
                         self.send_response(&request, Ok(value));
                         self.finish(&request);
                     }
-                    Ok(Outcome::TailCall { target, method, args }) => {
+                    Ok(Outcome::TailCall {
+                        target,
+                        method,
+                        args,
+                    }) => {
                         self.stats.executed.fetch_add(1, Ordering::Relaxed);
                         self.stats.tail_calls.fetch_add(1, Ordering::Relaxed);
                         let same_actor = target == request.target;
@@ -594,7 +692,7 @@ impl ComponentCore {
                         // A tail call to a different actor releases the lock:
                         // fall through to mailbox processing.
                     }
-                    Err(error) if matches!(error, KarError::Killed { .. } | KarError::Fenced { .. }) => {
+                    Err(KarError::Killed { .. } | KarError::Fenced { .. }) => {
                         // The invocation was interrupted by a failure: no
                         // response, no completion; retry orchestration takes
                         // over during reconciliation.
@@ -616,7 +714,9 @@ impl ComponentCore {
             // the actor lock.
             let next = {
                 let mut actors = self.actors.lock();
-                let Some(slot) = actors.get_mut(&request.target) else { return };
+                let Some(slot) = actors.get_mut(&request.target) else {
+                    return;
+                };
                 if slot.awaiting_tail.is_some() {
                     return;
                 }
@@ -660,13 +760,16 @@ impl ComponentCore {
         self: &Arc<Self>,
         request: &RequestMessage,
     ) -> KarResult<Box<dyn crate::actor::Actor>> {
-        let factory = self.hosted.get(request.target.actor_type()).ok_or_else(|| {
-            KarError::internal(format!(
-                "component {} does not host actor type {}",
-                self.id,
-                request.target.actor_type()
-            ))
-        })?;
+        let factory = self
+            .hosted
+            .get(request.target.actor_type())
+            .ok_or_else(|| {
+                KarError::internal(format!(
+                    "component {} does not host actor type {}",
+                    self.id,
+                    request.target.actor_type()
+                ))
+            })?;
         let mut instance = factory();
         let mut ctx = ActorContext::new(self, request, request.target.clone());
         instance.activate(&mut ctx)?;
@@ -685,7 +788,9 @@ impl ComponentCore {
         } else {
             let taken = {
                 let mut actors = self.actors.lock();
-                actors.get_mut(&request.target).and_then(|slot| slot.instance.take())
+                actors
+                    .get_mut(&request.target)
+                    .and_then(|slot| slot.instance.take())
             };
             match taken {
                 Some(instance) => instance,
@@ -714,8 +819,14 @@ impl ComponentCore {
     // Background threads
     // ------------------------------------------------------------------
 
-    /// Spawns the consumer and heartbeat threads of this component.
+    /// Spawns the consumer, dispatch worker and heartbeat threads of this
+    /// component.
     pub(crate) fn start(self: &Arc<Self>) {
+        for shard in 0..self.pool.workers() {
+            let claimed = self.pool.try_claim(shard);
+            debug_assert!(claimed, "fresh shard already had a drainer");
+            self.spawn_shard_worker(shard);
+        }
         let consumer_core = Arc::clone(self);
         std::thread::Builder::new()
             .name(format!("kar-consumer-{}", self.name))
@@ -728,26 +839,82 @@ impl ComponentCore {
             .expect("failed to spawn heartbeat thread");
     }
 
+    /// Spawns a drainer thread for `shard`. Ownership of the shard must have
+    /// been claimed on the new thread's behalf (see `DispatchPool::try_claim`).
+    fn spawn_shard_worker(self: &Arc<Self>, shard: usize) {
+        let core = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("kar-dispatch-{}-{shard}", self.name))
+            .spawn(move || core.shard_worker(shard))
+            .expect("failed to spawn dispatch worker thread");
+    }
+
+    /// The dispatch worker loop: drains one shard queue, admitting each
+    /// request and running admitted invocations inline. Exactly one thread
+    /// drains a shard at any time; ownership is handed to a replacement when
+    /// an invocation blocks on a nested call (see [`crate::dispatch`]).
+    fn shard_worker(self: Arc<Self>, shard: usize) {
+        self.pool.bind_worker(shard);
+        let jobs = self.pool.shard_source(shard);
+        let idle = Duration::from_millis(1);
+        loop {
+            if !self.is_alive() {
+                return;
+            }
+            if !self.pool.thread_owns_shard() {
+                // Ownership moved to a replacement during a blocking call and
+                // the invocation we were running has completed: reclaim the
+                // shard if the replacement has since retired, else retire.
+                if !self.pool.try_reclaim(shard) {
+                    return;
+                }
+                continue;
+            }
+            if self.is_paused() {
+                // Reconciliation pause: stop admitting new work; requests stay
+                // in the shard queue and remain visible to `locally_pending`.
+                std::thread::sleep(idle);
+                continue;
+            }
+            match jobs.recv_timeout(idle) {
+                Ok(request) => {
+                    let id = request.id;
+                    let admitted = self.admit_request(request);
+                    // The request is now in an actor slot (or dropped as a
+                    // duplicate): no longer pending admission.
+                    self.pool.admitted(id);
+                    if let Some((request, holds_lock, reentrant)) = admitted {
+                        Arc::clone(&self).run_invocation(request, holds_lock, reentrant);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
     fn consumer_loop(self: Arc<Self>) {
         let consumer = match self.broker.consumer(self.id, &self.topic, self.partition) {
             Ok(consumer) => consumer,
             Err(_) => return,
         };
-        let idle = Duration::from_micros(200);
+        let idle = Duration::from_millis(2);
         while self.is_alive() {
             if self.is_paused() {
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
-            match consumer.poll(64) {
+            // poll_wait parks on the broker's append signal instead of busy
+            // polling, so an idle component consumes (almost) no CPU.
+            match consumer.poll_wait(64, idle) {
                 Ok(records) => {
-                    if records.is_empty() {
-                        std::thread::sleep(idle);
-                    } else {
-                        for record in records {
-                            self.consumed_offset.store(record.offset + 1, Ordering::SeqCst);
-                            self.handle_envelope(record.payload);
-                        }
+                    for record in records {
+                        // Route the record before publishing the new consumed
+                        // offset: reconciliation then always sees the record
+                        // as still-queued or locally pending, never neither.
+                        let offset = record.offset;
+                        self.handle_envelope(record.payload);
+                        self.consumed_offset.store(offset + 1, Ordering::SeqCst);
                     }
                 }
                 Err(_) => return, // fenced: the component has been disconnected

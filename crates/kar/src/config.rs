@@ -54,6 +54,14 @@ pub struct MeshConfig {
     pub placement_cache: bool,
     /// Cancellation policy for orphaned callees.
     pub cancellation: CancellationPolicy,
+    /// Number of dispatch workers per component. Polled requests are routed
+    /// by actor identity onto this worker pool, so invocations for distinct
+    /// actors execute in parallel while each actor's mailbox stays strictly
+    /// ordered (the actor is pinned to one shard). `1` reproduces the fully
+    /// serial dispatch of early revisions; values above `1` let throughput
+    /// scale with cores and make retry load shaping explicit (RetryGuard's
+    /// motivation). Clamped to at least 1.
+    pub dispatch_workers: usize,
 }
 
 impl Default for MeshConfig {
@@ -70,6 +78,7 @@ impl Default for MeshConfig {
             retention: Duration::from_secs(600),
             placement_cache: true,
             cancellation: CancellationPolicy::Await,
+            dispatch_workers: 4,
         }
     }
 }
@@ -98,7 +107,10 @@ impl MeshConfig {
 
     /// A configuration emulating one of the paper's Table 2 deployments.
     pub fn for_deployment(profile: DeploymentProfile) -> Self {
-        MeshConfig { latency: profile.latency_profile(), ..MeshConfig::default() }
+        MeshConfig {
+            latency: profile.latency_profile(),
+            ..MeshConfig::default()
+        }
     }
 
     /// Disables the placement cache (the "KAR Actor (no cache)" column of
@@ -114,6 +126,19 @@ impl MeshConfig {
     pub fn with_cancellation(mut self, policy: CancellationPolicy) -> Self {
         self.cancellation = policy;
         self
+    }
+
+    /// Sets the number of dispatch workers per component (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_dispatch_workers(mut self, workers: usize) -> Self {
+        self.dispatch_workers = workers.max(1);
+        self
+    }
+
+    /// The effective dispatch worker count (never below 1, whatever the raw
+    /// field was set to).
+    pub fn effective_dispatch_workers(&self) -> usize {
+        self.dispatch_workers.max(1)
     }
 
     /// The compressed (wall-clock) session timeout.
@@ -146,7 +171,9 @@ impl MeshConfig {
 
     /// The store configuration derived from this mesh configuration.
     pub fn store_config(&self) -> StoreConfig {
-        StoreConfig { op_latency: self.latency.store_op }
+        StoreConfig {
+            op_latency: self.latency.store_op,
+        }
     }
 }
 
@@ -168,8 +195,14 @@ mod tests {
     fn scaled_timings_are_compressed() {
         let c = MeshConfig::for_fault_experiments(0.01);
         assert_eq!(c.scaled_session_timeout(), Duration::from_millis(100));
-        assert_eq!(c.broker_config().session_timeout, Duration::from_millis(100));
-        assert_eq!(c.broker_config().rebalance_stabilization, Duration::from_millis(24));
+        assert_eq!(
+            c.broker_config().session_timeout,
+            Duration::from_millis(100)
+        );
+        assert_eq!(
+            c.broker_config().rebalance_stabilization,
+            Duration::from_millis(24)
+        );
         assert!(c.broker_config().coordinator_interval >= Duration::from_millis(1));
         assert!(c.scaled_heartbeat_interval() <= Duration::from_millis(10));
     }
@@ -190,5 +223,15 @@ mod tests {
             .with_cancellation(CancellationPolicy::Cancel);
         assert!(!c.placement_cache);
         assert_eq!(c.cancellation, CancellationPolicy::Cancel);
+    }
+
+    #[test]
+    fn dispatch_workers_default_and_clamp() {
+        assert_eq!(MeshConfig::default().dispatch_workers, 4);
+        let serial = MeshConfig::for_tests().with_dispatch_workers(0);
+        assert_eq!(serial.dispatch_workers, 1);
+        assert_eq!(serial.effective_dispatch_workers(), 1);
+        let wide = MeshConfig::for_tests().with_dispatch_workers(8);
+        assert_eq!(wide.effective_dispatch_workers(), 8);
     }
 }

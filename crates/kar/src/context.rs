@@ -25,7 +25,11 @@ impl<'a> ActorContext<'a> {
         request: &'a RequestMessage,
         self_ref: ActorRef,
     ) -> Self {
-        ActorContext { core, request, self_ref }
+        ActorContext {
+            core,
+            request,
+            self_ref,
+        }
     }
 
     /// A reference to the actor instance executing the current method.
@@ -62,7 +66,8 @@ impl<'a> ActorContext<'a> {
     /// errors (`Killed`, `Fenced`, `Timeout`) indicate the invocation was
     /// interrupted; retry orchestration takes over.
     pub fn call(&self, target: &ActorRef, method: &str, args: Vec<Value>) -> KarResult<Value> {
-        self.core.nested_call(self.request, &self.self_ref, target, method, args)
+        self.core
+            .nested_call(self.request, &self.self_ref, target, method, args)
     }
 
     /// Issues an asynchronous invocation of `target.method(args)`. The call
@@ -95,7 +100,10 @@ impl<'a> ActorContext<'a> {
 
     /// The `actor.state` persistence API for this actor instance (§2.1).
     pub fn state(&self) -> ActorState<'_> {
-        ActorState { core: self.core, key: state_key(&self.self_ref) }
+        ActorState {
+            core: self.core,
+            key: state_key(&self.self_ref),
+        }
     }
 }
 

@@ -1,0 +1,294 @@
+//! The sharded parallel dispatcher behind every component.
+//!
+//! Early revisions processed a component's queue on one serial consumer
+//! thread and spawned a fresh OS thread per invocation. This module replaces
+//! both with a fixed pool of *dispatch workers*: polled requests are routed
+//! by actor identity onto `MeshConfig::dispatch_workers` shard queues, and
+//! each shard is drained by exactly one worker at a time. Invocations for
+//! distinct actors therefore execute in parallel, while each actor's mailbox
+//! stays strictly ordered:
+//!
+//! * an actor is pinned to one shard (stable hash of its qualified name), so
+//!   all of its requests arrive at the per-actor mailbox in queue order;
+//! * only the shard's current owner admits requests, so admission for a
+//!   given actor is serial;
+//! * the per-actor lock / reentrancy / tail-call retention rules of
+//!   `run_invocation` are untouched — they serialize execution per actor no
+//!   matter which worker runs it.
+//!
+//! Blocking hand-off: a worker that is about to park inside a blocking
+//! nested call (waiting for a callee's response) first releases ownership of
+//! its shard and promotes a replacement drainer, so a shard is never stalled
+//! behind a suspended invocation. This is what makes a *fixed* pool safe:
+//! without the hand-off, two actors on the same shard calling each other
+//! would deadlock until the call timeout.
+//!
+//! Recovery interaction: requests that have been polled off the queue but
+//! not yet admitted to an actor mailbox are tracked in a pending set that
+//! [`pending`](DispatchPool::pending) exposes to reconciliation, closing the
+//! window in which a request would look neither "still queued" (its offset
+//! was consumed) nor "locally pending" (not yet in a mailbox) and could be
+//! re-homed a second time.
+
+use std::cell::Cell;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use kar_types::{ActorRef, RequestId, RequestMessage};
+
+thread_local! {
+    /// Identity of the pool + shard this thread drains, if it is a dispatch
+    /// worker. The pool is identified by address so a worker blocking inside
+    /// a *different* component's API (impossible today, cheap to guard
+    /// against) never releases the wrong shard.
+    static SHARD_CTX: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+    /// Whether this thread currently owns its shard. Cleared when a blocking
+    /// section promotes a replacement drainer.
+    static OWNS_SHARD: Cell<bool> = const { Cell::new(false) };
+}
+
+struct Shard {
+    jobs: Sender<RequestMessage>,
+    source: Receiver<RequestMessage>,
+    /// True while some thread is draining this shard. At most one drainer
+    /// exists at a time; ownership moves on blocking hand-off.
+    owned: Mutex<bool>,
+}
+
+/// The per-component shard set. Owned by `ComponentCore`; worker threads are
+/// spawned by the component so they can run admission and invocations.
+pub(crate) struct DispatchPool {
+    shards: Vec<Shard>,
+    /// Requests polled off the queue but not yet admitted to an actor slot
+    /// (mailbox / inflight / deferred). Consulted by reconciliation through
+    /// `ComponentCore::locally_pending`.
+    pending: Mutex<HashSet<RequestId>>,
+}
+
+impl DispatchPool {
+    /// Creates a pool with `workers` shards. Callers pass
+    /// `MeshConfig::effective_dispatch_workers()`, the single authoritative
+    /// clamp for the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub(crate) fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a dispatch pool needs at least one worker");
+        let shards = (0..workers)
+            .map(|_| {
+                let (jobs, source) = unbounded();
+                Shard {
+                    jobs,
+                    source,
+                    owned: Mutex::new(false),
+                }
+            })
+            .collect();
+        DispatchPool {
+            shards,
+            pending: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Number of shards (= configured dispatch workers).
+    pub(crate) fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard an actor is pinned to: a stable hash of its qualified name.
+    pub(crate) fn shard_of(&self, actor: &ActorRef) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        actor.qualified_name().hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    /// Routes `request` to its actor's shard queue and records it as
+    /// pending-admission. Returns false if the pool has shut down.
+    pub(crate) fn submit(&self, request: RequestMessage) -> bool {
+        let id = request.id;
+        let shard = self.shard_of(&request.target);
+        self.pending.lock().insert(id);
+        if self.shards[shard].jobs.send(request).is_err() {
+            self.pending.lock().remove(&id);
+            return false;
+        }
+        true
+    }
+
+    /// True if `id` has been polled but not yet admitted to an actor slot.
+    pub(crate) fn is_pending(&self, id: RequestId) -> bool {
+        self.pending.lock().contains(&id)
+    }
+
+    /// Marks `id` as admitted (present in mailbox / inflight / deferred).
+    pub(crate) fn admitted(&self, id: RequestId) {
+        self.pending.lock().remove(&id);
+    }
+
+    /// Drops the pending set (component killed: in-memory state is lost; the
+    /// queue copies survive and drive the retry).
+    pub(crate) fn clear_pending(&self) {
+        self.pending.lock().clear();
+    }
+
+    /// The receiver a drainer of `shard` reads from.
+    pub(crate) fn shard_source(&self, shard: usize) -> Receiver<RequestMessage> {
+        self.shards[shard].source.clone()
+    }
+
+    /// Registers the calling thread as the drainer of `shard`. `pool_id` is
+    /// the component's pool address, captured so blocking sections can check
+    /// they are releasing the shard of the pool they belong to.
+    pub(crate) fn bind_worker(&self, shard: usize) {
+        let pool_id = self as *const DispatchPool as usize;
+        SHARD_CTX.with(|ctx| ctx.set(Some((pool_id, shard))));
+        OWNS_SHARD.with(|owns| owns.set(true));
+    }
+
+    /// Claims ownership of `shard` if it has no drainer. Returns true if the
+    /// caller should start (or keep) draining.
+    pub(crate) fn try_claim(&self, shard: usize) -> bool {
+        let mut owned = self.shards[shard].owned.lock();
+        if *owned {
+            false
+        } else {
+            *owned = true;
+            true
+        }
+    }
+
+    /// True if the calling thread currently owns the shard it is bound to.
+    pub(crate) fn thread_owns_shard(&self) -> bool {
+        OWNS_SHARD.with(Cell::get)
+    }
+
+    /// Releases the calling worker's shard before a blocking wait, handing
+    /// ownership to a freshly spawned replacement drainer (via `respawn`).
+    /// No-op when the calling thread is not a worker of this pool or has
+    /// already handed its shard off.
+    pub(crate) fn enter_blocking(&self, respawn: impl FnOnce(usize)) {
+        let pool_id = self as *const DispatchPool as usize;
+        let Some((ctx_pool, shard)) = SHARD_CTX.with(Cell::get) else {
+            return;
+        };
+        if ctx_pool != pool_id || !OWNS_SHARD.with(Cell::get) {
+            return;
+        }
+        OWNS_SHARD.with(|owns| owns.set(false));
+        {
+            let mut owned = self.shards[shard].owned.lock();
+            debug_assert!(*owned, "blocking worker's shard had no registered drainer");
+            *owned = false;
+        }
+        // Promote a replacement drainer so the shard keeps making progress
+        // while this thread is parked. try_claim + spawn, not spawn + claim,
+        // so two racing blockers promote exactly one replacement.
+        if self.try_claim(shard) {
+            respawn(shard);
+        }
+    }
+
+    /// Called by a worker that lost ownership (after its blocking call and
+    /// the invocation it was running completed): reclaim the shard if the
+    /// replacement drainer has itself exited, otherwise retire.
+    pub(crate) fn try_reclaim(&self, shard: usize) -> bool {
+        if self.try_claim(shard) {
+            OWNS_SHARD.with(|owns| owns.set(true));
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_types::CallKind;
+
+    fn request(id: u64, actor: &str) -> RequestMessage {
+        RequestMessage {
+            id: RequestId::from_raw(id),
+            caller: None,
+            target: ActorRef::new("T", actor),
+            method: "m".into(),
+            args: vec![],
+            kind: CallKind::Call,
+            lineage: vec![],
+            pending_callee: None,
+            caller_actor: None,
+            reply_to: None,
+        }
+    }
+
+    #[test]
+    fn actors_are_pinned_to_stable_shards() {
+        let pool = DispatchPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        for i in 0..32 {
+            let actor = ActorRef::new("T", format!("a{i}"));
+            let shard = pool.shard_of(&actor);
+            assert!(shard < 4);
+            assert_eq!(shard, pool.shard_of(&actor), "routing must be stable");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        DispatchPool::new(0);
+    }
+
+    #[test]
+    fn submit_tracks_pending_until_admitted() {
+        let pool = DispatchPool::new(2);
+        let r = request(7, "a");
+        let id = r.id;
+        assert!(pool.submit(r));
+        assert!(pool.is_pending(id));
+        let shard = pool.shard_of(&ActorRef::new("T", "a"));
+        let received = pool.shard_source(shard).try_recv().unwrap();
+        assert_eq!(received.id, id);
+        assert!(pool.is_pending(id), "still pending until admitted");
+        pool.admitted(id);
+        assert!(!pool.is_pending(id));
+    }
+
+    #[test]
+    fn ownership_is_exclusive_and_reclaimable() {
+        let pool = DispatchPool::new(1);
+        assert!(pool.try_claim(0));
+        assert!(!pool.try_claim(0), "second claim must fail");
+        // Simulate the blocking hand-off protocol.
+        pool.bind_worker(0);
+        assert!(pool.thread_owns_shard());
+        let mut respawned = false;
+        pool.enter_blocking(|shard| {
+            assert_eq!(shard, 0);
+            respawned = true;
+        });
+        assert!(respawned, "a replacement drainer must be promoted");
+        assert!(!pool.thread_owns_shard());
+        // The replacement holds the claim, so reclaiming fails...
+        assert!(!pool.try_reclaim(0));
+        // ...until it releases.
+        *pool.shards[0].owned.lock() = false;
+        assert!(pool.try_reclaim(0));
+        assert!(pool.thread_owns_shard());
+    }
+
+    #[test]
+    fn enter_blocking_is_a_noop_off_worker_threads() {
+        let pool = DispatchPool::new(1);
+        // This test thread was bound by other tests? Reset explicitly.
+        SHARD_CTX.with(|ctx| ctx.set(None));
+        OWNS_SHARD.with(|owns| owns.set(false));
+        let mut respawned = false;
+        pool.enter_blocking(|_| respawned = true);
+        assert!(!respawned);
+    }
+}

@@ -71,6 +71,7 @@ pub mod client;
 pub mod component;
 pub mod config;
 pub mod context;
+mod dispatch;
 pub mod mesh;
 pub mod placement;
 pub mod recovery;

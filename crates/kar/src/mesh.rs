@@ -78,7 +78,9 @@ impl Mesh {
         let broker: Broker<Envelope> = Broker::new(config.broker_config());
         broker.spawn_coordinator();
         let store = Store::with_config(config.store_config());
-        broker.ensure_partitions(TOPIC, 1).expect("topic creation cannot fail");
+        broker
+            .ensure_partitions(TOPIC, 1)
+            .expect("topic creation cannot fail");
         let inner = Arc::new(MeshInner {
             config,
             broker: broker.clone(),
@@ -121,6 +123,13 @@ impl Mesh {
         &self.inner.config
     }
 
+    /// The number of dispatch workers each component runs (the sharded
+    /// parallel dispatcher's concurrency knob, `MeshConfig::dispatch_workers`
+    /// clamped to at least 1).
+    pub fn dispatch_workers(&self) -> usize {
+        self.inner.config.effective_dispatch_workers()
+    }
+
     /// Adds a virtual node to the mesh. Nodes group components that fail
     /// together under [`Mesh::kill_node`].
     pub fn add_node(&self) -> NodeId {
@@ -152,7 +161,13 @@ impl Mesh {
     pub fn client(&self) -> Client {
         let node = self.add_node();
         let id = self.add_component_inner(node, "client", HashMap::new());
-        let core = self.inner.components.read().get(&id).cloned().expect("client just added");
+        let core = self
+            .inner
+            .components
+            .read()
+            .get(&id)
+            .cloned()
+            .expect("client just added");
         Client::new(core)
     }
 
@@ -177,7 +192,9 @@ impl Mesh {
         // Announce hosted actor types before joining, so placement can find
         // this component as soon as it is live.
         for actor_type in hosted.keys() {
-            self.inner.store.admin_set(&host_key(actor_type, id), kar_types::Value::Int(1));
+            self.inner
+                .store
+                .admin_set(&host_key(actor_type, id), kar_types::Value::Int(1));
         }
         let core = Arc::new(ComponentCore::new(
             id,
@@ -225,8 +242,13 @@ impl Mesh {
     /// Abruptly terminates every component on `node` (the paper's
     /// experiments hard-stop a randomly selected victim node, §6.1).
     pub fn kill_node(&self, node: NodeId) {
-        let victims: Vec<ComponentId> =
-            self.inner.nodes.read().get(&node).cloned().unwrap_or_default();
+        let victims: Vec<ComponentId> = self
+            .inner
+            .nodes
+            .read()
+            .get(&node)
+            .cloned()
+            .unwrap_or_default();
         for component in victims {
             if self.is_live(component) {
                 self.kill_component(component);
@@ -252,15 +274,23 @@ impl Mesh {
     /// The components currently alive, sorted by id.
     pub fn live_components(&self) -> Vec<ComponentId> {
         let components = self.inner.components.read();
-        let mut live: Vec<ComponentId> =
-            components.iter().filter(|(_, c)| c.is_alive()).map(|(id, _)| *id).collect();
+        let mut live: Vec<ComponentId> = components
+            .iter()
+            .filter(|(_, c)| c.is_alive())
+            .map(|(id, _)| *id)
+            .collect();
         live.sort();
         live
     }
 
     /// The components assigned to `node` (alive or not).
     pub fn components_on(&self, node: NodeId) -> Vec<ComponentId> {
-        self.inner.nodes.read().get(&node).cloned().unwrap_or_default()
+        self.inner
+            .nodes
+            .read()
+            .get(&node)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// The nodes of the mesh, sorted.
@@ -352,13 +382,19 @@ mod tests {
             args: &[Value],
         ) -> KarResult<Outcome> {
             match method {
-                "get" => Ok(Outcome::value(ctx.state().get("value")?.unwrap_or(Value::Int(0)))),
+                "get" => Ok(Outcome::value(
+                    ctx.state().get("value")?.unwrap_or(Value::Int(0)),
+                )),
                 "set" => {
                     ctx.state().set("value", args[0].clone())?;
                     Ok(Outcome::value("OK"))
                 }
                 "incr" => {
-                    let value = ctx.state().get("value")?.and_then(|v| v.as_i64()).unwrap_or(0);
+                    let value = ctx
+                        .state()
+                        .get("value")?
+                        .and_then(|v| v.as_i64())
+                        .unwrap_or(0);
                     Ok(ctx.tail_call_self("set", vec![Value::Int(value + 1)]))
                 }
                 other => Err(KarError::application(format!("no method {other}"))),
@@ -413,7 +449,9 @@ mod tests {
     fn accumulator_mesh() -> (Mesh, Client) {
         let mesh = Mesh::new(MeshConfig::for_tests());
         let node = mesh.add_node();
-        mesh.add_component(node, "server", |c| c.host("Accumulator", || Box::new(Accumulator)));
+        mesh.add_component(node, "server", |c| {
+            c.host("Accumulator", || Box::new(Accumulator))
+        });
         let client = mesh.client();
         (mesh, client)
     }
@@ -423,7 +461,10 @@ mod tests {
         let (mesh, client) = accumulator_mesh();
         let acc = ActorRef::new("Accumulator", "a");
         assert_eq!(client.call(&acc, "get", vec![]).unwrap(), Value::Int(0));
-        assert_eq!(client.call(&acc, "set", vec![Value::Int(5)]).unwrap(), Value::from("OK"));
+        assert_eq!(
+            client.call(&acc, "set", vec![Value::Int(5)]).unwrap(),
+            Value::from("OK")
+        );
         assert_eq!(client.call(&acc, "get", vec![]).unwrap(), Value::Int(5));
         mesh.shutdown();
     }
@@ -433,7 +474,10 @@ mod tests {
         let (mesh, client) = accumulator_mesh();
         let acc = ActorRef::new("Accumulator", "a");
         // incr tail-calls set, whose "OK" is what the caller receives.
-        assert_eq!(client.call(&acc, "incr", vec![]).unwrap(), Value::from("OK"));
+        assert_eq!(
+            client.call(&acc, "incr", vec![]).unwrap(),
+            Value::from("OK")
+        );
         assert_eq!(client.call(&acc, "get", vec![]).unwrap(), Value::Int(1));
         for _ in 0..4 {
             client.call(&acc, "incr", vec![]).unwrap();
@@ -447,15 +491,23 @@ mod tests {
         let (mesh, client) = accumulator_mesh();
         let acc = ActorRef::new("Accumulator", "a");
         let err = client.call(&acc, "missing", vec![]).unwrap_err();
-        assert!(matches!(err, KarError::Application(_)), "unexpected error {err:?}");
+        assert!(
+            matches!(err, KarError::Application(_)),
+            "unexpected error {err:?}"
+        );
         mesh.shutdown();
     }
 
     #[test]
     fn unknown_actor_type_fails_placement() {
         let (mesh, client) = accumulator_mesh();
-        let err = client.call(&ActorRef::new("Ghost", "g"), "m", vec![]).unwrap_err();
-        assert!(matches!(err, KarError::NoHostForActorType { .. }), "unexpected error {err:?}");
+        let err = client
+            .call(&ActorRef::new("Ghost", "g"), "m", vec![])
+            .unwrap_err();
+        assert!(
+            matches!(err, KarError::NoHostForActorType { .. }),
+            "unexpected error {err:?}"
+        );
         mesh.shutdown();
     }
 
@@ -483,7 +535,9 @@ mod tests {
         mesh.add_component(node, "a-server", |c| c.host("A", || Box::new(CallerA)));
         mesh.add_component(node, "b-server", |c| c.host("B", || Box::new(CalleeB)));
         let client = mesh.client();
-        let result = client.call(&ActorRef::new("A", "a"), "main", vec![Value::Int(42)]).unwrap();
+        let result = client
+            .call(&ActorRef::new("A", "a"), "main", vec![Value::Int(42)])
+            .unwrap();
         assert_eq!(result, Value::from("callback(42)"));
         mesh.shutdown();
     }
@@ -492,8 +546,12 @@ mod tests {
     fn actors_spread_across_components_and_clients_host_nothing() {
         let mesh = Mesh::new(MeshConfig::for_tests());
         let node = mesh.add_node();
-        let c1 = mesh.add_component(node, "s1", |c| c.host("Accumulator", || Box::new(Accumulator)));
-        let c2 = mesh.add_component(node, "s2", |c| c.host("Accumulator", || Box::new(Accumulator)));
+        let c1 = mesh.add_component(node, "s1", |c| {
+            c.host("Accumulator", || Box::new(Accumulator))
+        });
+        let c2 = mesh.add_component(node, "s2", |c| {
+            c.host("Accumulator", || Box::new(Accumulator))
+        });
         let client = mesh.client();
         for i in 0..16 {
             let acc = ActorRef::new("Accumulator", format!("a{i}"));
@@ -511,7 +569,11 @@ mod tests {
             assert!(component == c1 || component == c2, "placed on {component}");
             seen.insert(component);
         }
-        assert_eq!(seen.len(), 2, "expected placements on both hosting components");
+        assert_eq!(
+            seen.len(),
+            2,
+            "expected placements on both hosting components"
+        );
         assert_eq!(client.component_id(), ComponentId::from_raw(3));
         mesh.shutdown();
     }
@@ -521,11 +583,14 @@ mod tests {
         let mesh = Mesh::new(MeshConfig::for_tests());
         let stable = mesh.add_node();
         let victim = mesh.add_node();
-        let victim_component =
-            mesh.add_component(victim, "victim", |c| c.host("Accumulator", || Box::new(Accumulator)));
+        let victim_component = mesh.add_component(victim, "victim", |c| {
+            c.host("Accumulator", || Box::new(Accumulator))
+        });
         // A standby replica on the stable node hosts the same type, so the
         // actor can be re-placed after the failure.
-        mesh.add_component(stable, "standby", |c| c.host("Accumulator", || Box::new(Accumulator)));
+        mesh.add_component(stable, "standby", |c| {
+            c.host("Accumulator", || Box::new(Accumulator))
+        });
         let client = mesh.client();
         let acc = ActorRef::new("Accumulator", "a");
         client.call(&acc, "set", vec![Value::Int(3)]).unwrap();
@@ -535,7 +600,9 @@ mod tests {
         // standby instead (the test is symmetric).
         let store = mesh.store();
         let placed = crate::placement::component_from_value(
-            &store.admin_get(&crate::placement::placement_key(&acc)).unwrap(),
+            &store
+                .admin_get(&crate::placement::placement_key(&acc))
+                .unwrap(),
         )
         .unwrap();
         let (to_kill, _survivor) = if placed == victim_component {
@@ -565,8 +632,12 @@ mod tests {
         // loses or duplicates an increment once the caller gets its response.
         let mesh = Mesh::new(MeshConfig::for_tests());
         let node = mesh.add_node();
-        let c1 = mesh.add_component(node, "s1", |c| c.host("Accumulator", || Box::new(Accumulator)));
-        mesh.add_component(node, "s2", |c| c.host("Accumulator", || Box::new(Accumulator)));
+        let c1 = mesh.add_component(node, "s1", |c| {
+            c.host("Accumulator", || Box::new(Accumulator))
+        });
+        mesh.add_component(node, "s2", |c| {
+            c.host("Accumulator", || Box::new(Accumulator))
+        });
         let client = mesh.client();
         let acc = ActorRef::new("Accumulator", "a");
         client.call(&acc, "set", vec![Value::Int(0)]).unwrap();
@@ -575,7 +646,9 @@ mod tests {
         // increments from another thread.
         let store = mesh.store();
         let placed = crate::placement::component_from_value(
-            &store.admin_get(&crate::placement::placement_key(&acc)).unwrap(),
+            &store
+                .admin_get(&crate::placement::placement_key(&acc))
+                .unwrap(),
         )
         .unwrap();
         let client2 = client.clone();
@@ -597,7 +670,10 @@ mod tests {
         // Every increment acknowledged to the caller happened exactly once;
         // increments interrupted before acknowledgement may or may not have
         // landed, but can never exceed the number of attempts.
-        assert!(value >= completed, "acknowledged increments lost: {value} < {completed}");
+        assert!(
+            value >= completed,
+            "acknowledged increments lost: {value} < {completed}"
+        );
         assert!(value <= 5, "increments duplicated: {value} > 5");
         let _ = c1;
         mesh.shutdown();
@@ -607,7 +683,9 @@ mod tests {
     fn mesh_introspection_helpers() {
         let mesh = Mesh::new(MeshConfig::for_tests());
         let node = mesh.add_node();
-        let c = mesh.add_component(node, "s", |c| c.host("Accumulator", || Box::new(Accumulator)));
+        let c = mesh.add_component(node, "s", |c| {
+            c.host("Accumulator", || Box::new(Accumulator))
+        });
         assert_eq!(mesh.components_on(node), vec![c]);
         assert!(mesh.nodes().contains(&node));
         assert!(mesh.is_live(c));
@@ -626,5 +704,88 @@ mod tests {
     fn adding_a_component_to_an_unknown_node_panics() {
         let mesh = Mesh::new(MeshConfig::for_tests());
         mesh.add_component(NodeId::from_raw(999), "x", |c| c);
+    }
+
+    /// An actor that sleeps, used to observe dispatch parallelism.
+    struct Sleeper;
+
+    impl Actor for Sleeper {
+        fn invoke(
+            &mut self,
+            _ctx: &mut ActorContext<'_>,
+            method: &str,
+            args: &[Value],
+        ) -> KarResult<Outcome> {
+            match method {
+                "nap" => {
+                    let ms = args[0].as_i64().unwrap_or(0) as u64;
+                    std::thread::sleep(Duration::from_millis(ms));
+                    Ok(Outcome::value(Value::Null))
+                }
+                other => Err(KarError::application(format!("no method {other}"))),
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_actors_execute_in_parallel_across_dispatch_workers() {
+        let mesh = Mesh::new(MeshConfig::for_tests().with_dispatch_workers(8));
+        assert_eq!(mesh.dispatch_workers(), 8);
+        let node = mesh.add_node();
+        mesh.add_component(node, "server", |c| c.host("Sleeper", || Box::new(Sleeper)));
+        let client = mesh.client();
+        // Warm up placements so the measured phase is pure dispatch.
+        for i in 0..8 {
+            client
+                .call(
+                    &ActorRef::new("Sleeper", format!("s{i}")),
+                    "nap",
+                    vec![Value::Int(0)],
+                )
+                .unwrap();
+        }
+        let started = Instant::now();
+        let workers: Vec<_> = (0..8)
+            .map(|i| {
+                let client = client.clone();
+                std::thread::spawn(move || {
+                    client
+                        .call(
+                            &ActorRef::new("Sleeper", format!("s{i}")),
+                            "nap",
+                            vec![Value::Int(100)],
+                        )
+                        .unwrap()
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().unwrap();
+        }
+        let elapsed = started.elapsed();
+        // Serial dispatch would need >= 800ms; give parallel dispatch a wide
+        // margin for scheduling noise.
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "8 x 100ms invocations of distinct actors took {elapsed:?}; dispatch is not parallel"
+        );
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn serial_dispatch_still_works_with_one_worker() {
+        let mesh = Mesh::new(MeshConfig::for_tests().with_dispatch_workers(1));
+        assert_eq!(mesh.dispatch_workers(), 1);
+        let node = mesh.add_node();
+        mesh.add_component(node, "server", |c| {
+            c.host("Accumulator", || Box::new(Accumulator))
+        });
+        let client = mesh.client();
+        let acc = ActorRef::new("Accumulator", "a");
+        for _ in 0..5 {
+            client.call(&acc, "incr", vec![]).unwrap();
+        }
+        assert_eq!(client.call(&acc, "get", vec![]).unwrap(), Value::Int(5));
+        mesh.shutdown();
     }
 }

@@ -47,8 +47,19 @@ pub struct PlacementService {
 
 impl PlacementService {
     /// Creates a placement service using the given (fenced) store connection.
-    pub fn new(conn: Connection, live: LiveSet, cache_enabled: bool, lookup_timeout: Duration) -> Self {
-        PlacementService { conn, live, cache: Mutex::new(HashMap::new()), cache_enabled, lookup_timeout }
+    pub fn new(
+        conn: Connection,
+        live: LiveSet,
+        cache_enabled: bool,
+        lookup_timeout: Duration,
+    ) -> Self {
+        PlacementService {
+            conn,
+            live,
+            cache: Mutex::new(HashMap::new()),
+            cache_enabled,
+            lookup_timeout,
+        }
     }
 
     /// Empties the placement cache (called when recovery completes, §4.1).
@@ -104,6 +115,32 @@ impl PlacementService {
         }
     }
 
+    /// Non-blocking variant of [`PlacementService::resolve`]: one placement
+    /// attempt. Returns `Ok(None)` when resolution would have to wait for
+    /// reconciliation to repair a stale placement — the caller can then
+    /// release resources (e.g. a dispatch shard) before retrying with the
+    /// blocking [`PlacementService::resolve`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlacementService::resolve`], minus the timeout.
+    pub fn resolve_nowait(&self, actor: &ActorRef) -> KarResult<Option<ComponentId>> {
+        if self.cache_enabled {
+            if let Some(component) = self.cache.lock().get(actor) {
+                if self.is_live(*component) {
+                    return Ok(Some(*component));
+                }
+            }
+        }
+        let resolved = self.resolve_uncached(actor)?;
+        if let Some(component) = resolved {
+            if self.cache_enabled {
+                self.cache.lock().insert(actor.clone(), component);
+            }
+        }
+        Ok(resolved)
+    }
+
     /// One placement attempt. Returns `Ok(None)` when the recorded placement
     /// points at a dead component (the caller should retry after
     /// reconciliation has repaired it).
@@ -123,10 +160,15 @@ impl PlacementService {
         // No placement yet: pick a live host for the type and try to claim it.
         let candidates = self.live_hosts(actor.actor_type())?;
         if candidates.is_empty() {
-            return Err(KarError::NoHostForActorType { actor_type: actor.actor_type().to_owned() });
+            return Err(KarError::NoHostForActorType {
+                actor_type: actor.actor_type().to_owned(),
+            });
         }
         let pick = candidates[spread_index(actor, candidates.len())];
-        match self.conn.compare_and_swap(&key, current.as_ref(), component_to_value(pick))? {
+        match self
+            .conn
+            .compare_and_swap(&key, current.as_ref(), component_to_value(pick))?
+        {
             Ok(()) => Ok(Some(pick)),
             Err(actual) => {
                 // Lost the race: use whatever won if it is live.
@@ -183,12 +225,18 @@ mod tests {
     use kar_store::Store;
 
     fn live(ids: &[u64]) -> LiveSet {
-        Arc::new(RwLock::new(ids.iter().map(|i| ComponentId::from_raw(*i)).collect()))
+        Arc::new(RwLock::new(
+            ids.iter().map(|i| ComponentId::from_raw(*i)).collect(),
+        ))
     }
 
     fn announce(store: &Store, actor_type: &str, component: u64) {
         let conn = store.connect(ComponentId::from_raw(component));
-        conn.set(&host_key(actor_type, ComponentId::from_raw(component)), Value::Int(1)).unwrap();
+        conn.set(
+            &host_key(actor_type, ComponentId::from_raw(component)),
+            Value::Int(1),
+        )
+        .unwrap();
     }
 
     fn service(store: &Store, id: u64, live_set: &LiveSet, cache: bool) -> PlacementService {
@@ -234,7 +282,9 @@ mod tests {
         let live_set = live(&[2]); // component 1 is dead
         let placement = service(&store, 2, &live_set, true);
         for i in 0..8 {
-            let c = placement.resolve(&ActorRef::new("Order", format!("o-{i}"))).unwrap();
+            let c = placement
+                .resolve(&ActorRef::new("Order", format!("o-{i}")))
+                .unwrap();
             assert_eq!(c, ComponentId::from_raw(2));
         }
     }
@@ -249,14 +299,20 @@ mod tests {
         // Simulate a placement pointing at dead component 9.
         store
             .connect(ComponentId::from_raw(2))
-            .set(&placement_key(&actor), component_to_value(ComponentId::from_raw(9)))
+            .set(
+                &placement_key(&actor),
+                component_to_value(ComponentId::from_raw(9)),
+            )
             .unwrap();
         let err = placement.resolve(&actor).unwrap_err();
         assert!(matches!(err, KarError::Timeout { .. }));
         // Once reconciliation rewrites the placement, resolve succeeds.
         store
             .connect(ComponentId::from_raw(2))
-            .set(&placement_key(&actor), component_to_value(ComponentId::from_raw(2)))
+            .set(
+                &placement_key(&actor),
+                component_to_value(ComponentId::from_raw(2)),
+            )
             .unwrap();
         assert_eq!(placement.resolve(&actor).unwrap(), ComponentId::from_raw(2));
     }
@@ -288,12 +344,22 @@ mod tests {
         let first = placement.resolve(&actor).unwrap();
         // The placed component dies; reconciliation rewrites the placement.
         live_set.write().remove(&first);
-        let survivor = if first == ComponentId::from_raw(1) { 2 } else { 1 };
+        let survivor = if first == ComponentId::from_raw(1) {
+            2
+        } else {
+            1
+        };
         store
             .connect(ComponentId::from_raw(survivor))
-            .set(&placement_key(&actor), component_to_value(ComponentId::from_raw(survivor)))
+            .set(
+                &placement_key(&actor),
+                component_to_value(ComponentId::from_raw(survivor)),
+            )
             .unwrap();
-        assert_eq!(placement.resolve(&actor).unwrap(), ComponentId::from_raw(survivor));
+        assert_eq!(
+            placement.resolve(&actor).unwrap(),
+            ComponentId::from_raw(survivor)
+        );
     }
 
     #[test]
@@ -315,7 +381,10 @@ mod tests {
             }));
         }
         let results: Vec<ComponentId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        assert!(results.windows(2).all(|w| w[0] == w[1]), "divergent placements: {results:?}");
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "divergent placements: {results:?}"
+        );
     }
 
     #[test]
@@ -323,7 +392,10 @@ mod tests {
         let c = ComponentId::from_raw(7);
         assert_eq!(component_from_value(&component_to_value(c)), Some(c));
         assert_eq!(component_from_value(&Value::from("junk")), None);
-        assert_eq!(placement_key(&ActorRef::new("Order", "1")), "placement/Order/1");
+        assert_eq!(
+            placement_key(&ActorRef::new("Order", "1")),
+            "placement/Order/1"
+        );
         assert_eq!(host_key("Order", c), "host/Order/7");
         assert!(host_key("Order", c).starts_with(&host_prefix("Order")));
     }

@@ -10,6 +10,15 @@
 //! components, eagerly re-places actors with pending requests, re-homes their
 //! pending requests (annotated with their pending callee to preserve
 //! happen-before), and finally flushes the failed queues.
+//!
+//! Interaction with the sharded dispatcher: pausing a component stops both
+//! its queue consumer and its dispatch workers, so no *new* request is
+//! admitted to an actor mailbox while the leader catalogs queues; invocations
+//! already executing keep running (the paper does not preempt running tasks).
+//! A request a survivor has polled but not yet admitted is counted as
+//! locally pending via the dispatcher's pending-admission set (see
+//! `ComponentCore::locally_pending`), so cataloguing never re-homes a copy
+//! that a live component is still going to process.
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -57,7 +66,8 @@ impl OutageRecord {
     /// Duration of the detection phase (kill → detection), if the kill time
     /// is known.
     pub fn detection(&self) -> Option<Duration> {
-        self.killed_at.map(|killed| self.detected_at.saturating_sub(killed))
+        self.killed_at
+            .map(|killed| self.detected_at.saturating_sub(killed))
     }
 
     /// Duration of the consensus phase (detection → new generation).
@@ -72,7 +82,8 @@ impl OutageRecord {
 
     /// Total outage (kill → resume), if the kill time is known.
     pub fn total(&self) -> Option<Duration> {
-        self.killed_at.map(|killed| self.reconciled_at.saturating_sub(killed))
+        self.killed_at
+            .map(|killed| self.reconciled_at.saturating_sub(killed))
     }
 }
 
@@ -147,7 +158,12 @@ pub(crate) fn run_recovery_manager(ctx: RecoveryContext, events: Receiver<GroupE
             GroupEvent::FailureDetected { component, at } => {
                 detections.entry(component).or_insert(at);
             }
-            GroupEvent::RebalanceCompleted { generation, live, removed, at } => {
+            GroupEvent::RebalanceCompleted {
+                generation,
+                live,
+                removed,
+                at,
+            } => {
                 {
                     let mut live_set = ctx.live.write();
                     for c in &removed {
@@ -161,10 +177,13 @@ pub(crate) fn run_recovery_manager(ctx: RecoveryContext, events: Receiver<GroupE
                 }
                 // Pause message processing on the survivors while the leader
                 // reconciles ("all components temporarily stop sending and
-                // receiving messages").
+                // receiving messages"). This halts their queue consumers and
+                // dispatch workers; in-flight invocations drain on their own.
                 let survivors: Vec<Arc<ComponentCore>> = {
                     let components = ctx.components.read();
-                    live.iter().filter_map(|c| components.get(c).cloned()).collect()
+                    live.iter()
+                        .filter_map(|c| components.get(c).cloned())
+                        .collect()
                 };
                 for component in &survivors {
                     component.pause();
@@ -176,7 +195,10 @@ pub(crate) fn run_recovery_manager(ctx: RecoveryContext, events: Receiver<GroupE
                 let reconciled_at = ctx.broker.now();
                 let killed_at = {
                     let kill_times = ctx.kill_times.lock();
-                    removed.iter().filter_map(|c| kill_times.get(c).copied()).min()
+                    removed
+                        .iter()
+                        .filter_map(|c| kill_times.get(c).copied())
+                        .min()
                 };
                 let detected_at = removed
                     .iter()
@@ -237,7 +259,11 @@ fn reconcile(ctx: &RecoveryContext, removed: &[ComponentId], live: &[ComponentId
     for (component, partition) in &partitions {
         let records = ctx.broker.read_partition(&ctx.topic, *partition);
         let mut requests_here = Vec::new();
-        let live_core = if live.contains(component) { components.get(component) } else { None };
+        let live_core = if live.contains(component) {
+            components.get(component)
+        } else {
+            None
+        };
         for record in records {
             match record.payload {
                 Envelope::Response(response) => {
@@ -320,7 +346,9 @@ fn reconcile(ctx: &RecoveryContext, removed: &[ComponentId], live: &[ComponentId
     //    leader was cataloguing (senders may race placement invalidation)
     //    would otherwise be flushed and lost; re-home them too.
     for component in removed {
-        let Some(partition) = partitions.get(component) else { continue };
+        let Some(partition) = partitions.get(component) else {
+            continue;
+        };
         for record in ctx.broker.read_partition(&ctx.topic, *partition) {
             if let Envelope::Request(request) = record.payload {
                 if responses.contains(&request.id)
@@ -385,7 +413,9 @@ fn rehome_request(
         ctx.orphans.lock().push(request);
         return false;
     };
-    let _ = ctx.broker.admin_append(&ctx.topic, partition, Envelope::Request(request));
+    let _ = ctx
+        .broker
+        .admin_append(&ctx.topic, partition, Envelope::Request(request));
     true
 }
 
@@ -489,7 +519,10 @@ mod tests {
         assert_eq!(record.reconciliation(), Duration::from_secs(11));
         assert_eq!(record.total(), Some(Duration::from_secs(22)));
 
-        let unknown_kill = OutageRecord { killed_at: None, ..record };
+        let unknown_kill = OutageRecord {
+            killed_at: None,
+            ..record
+        };
         assert_eq!(unknown_kill.detection(), None);
         assert_eq!(unknown_kill.total(), None);
     }

@@ -22,7 +22,9 @@ impl Actor for Accumulator {
         args: &[Value],
     ) -> KarResult<Outcome> {
         match method {
-            "get" => Ok(Outcome::value(ctx.state().get("key")?.unwrap_or(Value::Int(0)))),
+            "get" => Ok(Outcome::value(
+                ctx.state().get("key")?.unwrap_or(Value::Int(0)),
+            )),
             "set" => {
                 ctx.state().set("key", args[0].clone())?;
                 Ok(Outcome::value("OK"))
@@ -31,7 +33,11 @@ impl Actor for Accumulator {
             // a failure can interrupt either step but never repeat a completed
             // one, so the increment is exactly-once.
             "incr" => {
-                let value = ctx.state().get("key")?.and_then(|v| v.as_i64()).unwrap_or(0);
+                let value = ctx
+                    .state()
+                    .get("key")?
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(0);
                 Ok(ctx.tail_call_self("set", vec![Value::Int(value + 1)]))
             }
             other => Err(KarError::application(format!("no method {other}"))),
@@ -43,8 +49,12 @@ fn main() -> KarResult<()> {
     let mesh = Mesh::new(MeshConfig::for_tests());
     let node = mesh.add_node();
     // Two replicas so the actor can be re-placed when one is killed.
-    mesh.add_component(node, "replica-1", |c| c.host("Accumulator", || Box::new(Accumulator)));
-    mesh.add_component(node, "replica-2", |c| c.host("Accumulator", || Box::new(Accumulator)));
+    mesh.add_component(node, "replica-1", |c| {
+        c.host("Accumulator", || Box::new(Accumulator))
+    });
+    mesh.add_component(node, "replica-2", |c| {
+        c.host("Accumulator", || Box::new(Accumulator))
+    });
     let client = mesh.client();
     let counter = ActorRef::new("Accumulator", "shared");
     client.call(&counter, "set", vec![Value::Int(0)])?;
@@ -55,9 +65,12 @@ fn main() -> KarResult<()> {
         // hosts the actor; the runtime re-places it and retries the
         // interrupted invocation.
         if round % 5 == 2 {
-            if let Some(victim) = mesh.live_components().into_iter().rev().find(|c| {
-                *c != client.component_id()
-            }) {
+            if let Some(victim) = mesh
+                .live_components()
+                .into_iter()
+                .rev()
+                .find(|c| *c != client.component_id())
+            {
                 println!("killing {victim} while incrementing...");
                 mesh.kill_component(victim);
                 // Replace the killed replica so capacity is maintained.

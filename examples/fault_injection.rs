@@ -71,7 +71,10 @@ fn main() -> KarResult<()> {
     all_orders.extend(background.confirmed_orders().iter().cloned());
     let mut checker = InvariantChecker::new(mesh.client(), &ports, 1_000);
     let report = checker.check(&all_orders)?;
-    println!("invariants: {}", if report.ok() { "all hold" } else { "VIOLATED" });
+    println!(
+        "invariants: {}",
+        if report.ok() { "all hold" } else { "VIOLATED" }
+    );
     for violation in &report.violations {
         println!("  violation: {violation}");
     }

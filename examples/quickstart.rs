@@ -23,8 +23,12 @@ impl Actor for PersistentLatch {
                 ctx.state().set("v", args[0].clone())?;
                 Ok(Outcome::value(Value::Null))
             }
-            "get" => Ok(Outcome::value(ctx.state().get("v")?.unwrap_or(Value::Int(0)))),
-            other => Err(KarError::application(format!("Latch has no method {other}"))),
+            "get" => Ok(Outcome::value(
+                ctx.state().get("v")?.unwrap_or(Value::Int(0)),
+            )),
+            other => Err(KarError::application(format!(
+                "Latch has no method {other}"
+            ))),
         }
     }
 }
@@ -34,7 +38,9 @@ fn main() -> KarResult<()> {
     // Latch actor type.
     let mesh = Mesh::new(MeshConfig::for_tests());
     let node = mesh.add_node();
-    mesh.add_component(node, "latch-server", |c| c.host("Latch", || Box::new(PersistentLatch)));
+    mesh.add_component(node, "latch-server", |c| {
+        c.host("Latch", || Box::new(PersistentLatch))
+    });
 
     // Invoke the actor from a client. The actor is instantiated implicitly on
     // first use and placed on a compatible component by the runtime.

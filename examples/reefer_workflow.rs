@@ -36,7 +36,11 @@ fn main() -> KarResult<()> {
     // Advance the simulated calendar: the ship departs on day 1 and arrives
     // two days later, delivering the order.
     for day in 1..=4i64 {
-        client.call(&refs::voyage_manager(), "advance_time", vec![Value::from(day)])?;
+        client.call(
+            &refs::voyage_manager(),
+            "advance_time",
+            vec![Value::from(day)],
+        )?;
         let voyage = client.call(&refs::voyage(&voyages[0]), "info", vec![])?;
         println!(
             "day {day}: voyage {} is {}",
@@ -49,12 +53,19 @@ fn main() -> KarResult<()> {
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
     loop {
         let order = client.call(&refs::order("order-1"), "info", vec![])?;
-        let status = order.get("status").and_then(Value::as_str).unwrap_or("?").to_owned();
+        let status = order
+            .get("status")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_owned();
         if status == "delivered" {
             println!("order-1 delivered: {order}");
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "order was not delivered in time");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "order was not delivered in time"
+        );
         std::thread::sleep(std::time::Duration::from_millis(20));
     }
 

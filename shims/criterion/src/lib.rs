@@ -1,0 +1,266 @@
+//! Offline shim for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the subset of the criterion API the workspace's benches use:
+//! [`Criterion::benchmark_group`], per-group `sample_size` /
+//! `measurement_time` / `bench_function` / `finish`, [`Bencher::iter`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros. Each sample times
+//! one closure invocation; the report prints mean, p50, p99, min and max.
+//!
+//! `--test` (passed by `cargo test` to bench targets) runs every benchmark
+//! exactly once, and a positional argument filters benchmarks by substring,
+//! mirroring criterion's CLI behavior.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test`, positional
+    /// filter; other flags are accepted and ignored).
+    pub fn from_args() -> Self {
+        let mut criterion = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                criterion.test_mode = true;
+            } else if !arg.starts_with('-') {
+                criterion.filter = Some(arg);
+            }
+        }
+        criterion
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, measurement_time) = (20, Duration::from_secs(5));
+        run_benchmark(self, name, sample_size, measurement_time, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Upper bound on the measurement phase of one benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Measures `f` under this group's configuration.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = format!("{}/{}", self.name, name.as_ref());
+        run_benchmark(
+            self.criterion,
+            &full_name,
+            self.sample_size,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(
+    criterion: &Criterion,
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &criterion.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let samples = if criterion.test_mode { 1 } else { sample_size };
+    let budget = if criterion.test_mode {
+        Duration::MAX
+    } else {
+        measurement_time
+    };
+    let mut bencher = Bencher {
+        samples,
+        budget,
+        durations: Vec::with_capacity(samples),
+    };
+    f(&mut bencher);
+    report(name, &bencher.durations, criterion.test_mode);
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once per sample, timing each invocation, until the sample
+    /// count or the measurement budget is reached.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.durations.push(t0.elapsed());
+            if started.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, durations: &[Duration], test_mode: bool) {
+    if durations.is_empty() {
+        println!("{name:<50} no samples collected");
+        return;
+    }
+    if test_mode {
+        println!("{name:<50} ok (test mode, {:?})", durations[0]);
+        return;
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort();
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    let p50 = percentile(&sorted, 50.0);
+    let p99 = percentile(&sorted, 99.0);
+    println!(
+        "{name:<50} samples: {:>4}  mean: {:>12?}  p50: {:>12?}  p99: {:>12?}  min: {:>12?}  max: {:>12?}",
+        sorted.len(),
+        mean,
+        p50,
+        p99,
+        sorted[0],
+        sorted[sorted.len() - 1],
+    );
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&sorted, 50.0), Duration::from_millis(51));
+        assert_eq!(percentile(&sorted, 99.0), Duration::from_millis(99));
+        assert_eq!(percentile(&sorted, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&sorted, 100.0), Duration::from_millis(100));
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_secs(1));
+        let mut calls = 0;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut criterion = Criterion {
+            filter: Some("other".into()),
+            test_mode: false,
+        };
+        let mut calls = 0;
+        criterion.bench_function("this_one", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut criterion = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut calls = 0;
+        criterion.bench_function("quick", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+}

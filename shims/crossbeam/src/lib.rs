@@ -1,0 +1,437 @@
+//! Offline shim for [`crossbeam`](https://crates.io/crates/crossbeam).
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the subset of `crossbeam::channel` the workspace uses: MPMC
+//! bounded/unbounded channels with cloneable senders and receivers, blocking
+//! sends on full bounded channels, timeouts, and disconnect detection on both
+//! ends. Implemented with `Mutex` + `Condvar` from std.
+//!
+//! Swap this path dependency for the real crate once the build environment
+//! can reach a registry; no source changes are required.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Multi-producer multi-consumer channels (subset of
+    //! `crossbeam::channel`).
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`] when every receiver has been
+    /// dropped; carries the unsent message.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: Send> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender has been dropped.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message available.
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => f.write_str("channel is empty and disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        capacity: Option<usize>,
+        state: Mutex<State<T>>,
+        /// Signalled when a message is pushed or the last sender leaves.
+        not_empty: Condvar,
+        /// Signalled when a message is popped or the last receiver leaves.
+        not_full: Condvar,
+    }
+
+    /// The sending half of a channel. Cloneable; the channel disconnects for
+    /// receivers when the last clone is dropped.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of a channel. Cloneable; each message is delivered
+    /// to exactly one receiver.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded MPMC channel; sends block while `cap` messages are
+    /// in flight.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            capacity,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `message`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Fails with [`SendError`] when every receiver has been dropped.
+        pub fn send(&self, message: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(message));
+                }
+                let full = self
+                    .inner
+                    .capacity
+                    .is_some_and(|capacity| state.queue.len() >= capacity);
+                if !full {
+                    state.queue.push_back(message);
+                    drop(state);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .inner
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking until one is available.
+        ///
+        /// # Errors
+        ///
+        /// Fails with [`RecvError`] when the channel is empty and every
+        /// sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(message) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.not_full.notify_one();
+                    return Ok(message);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .inner
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Receives a message, waiting at most `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// Fails with [`RecvTimeoutError::Timeout`] when the timeout elapses,
+        /// or [`RecvTimeoutError::Disconnected`] when the channel is empty
+        /// and every sender has been dropped.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(message) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.not_full.notify_one();
+                    return Ok(message);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, result) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = next;
+                if result.timed_out() && state.queue.is_empty() {
+                    return if state.senders == 0 {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
+            }
+        }
+
+        /// Receives a message if one is immediately available.
+        ///
+        /// # Errors
+        ///
+        /// Fails with [`TryRecvError::Empty`] when no message is queued, or
+        /// [`TryRecvError::Disconnected`] when additionally every sender has
+        /// been dropped.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(message) = state.queue.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Ok(message);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// An iterator yielding every message currently queued, without
+        /// blocking for more.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+
+        /// A blocking iterator yielding messages until the channel
+        /// disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+
+        /// True if no message is currently queued.
+        pub fn is_empty(&self) -> bool {
+            self.inner
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .queue
+                .is_empty()
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .queue
+                .len()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip_and_try_iter() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let sender = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the first message is consumed
+        });
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn disconnection_is_reported_on_both_ends() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_times_out_while_connected() {
+        let (_tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn dropping_a_cloned_sender_does_not_disconnect() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        drop(tx2);
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline shim for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no network access to crates.io. The workspace
+//! only *derives* `Serialize`/`Deserialize` (to keep every wire/state type
+//! serialization-ready); nothing serializes yet, because the queue and store
+//! substrates are in-process and exchange Rust values directly. This shim
+//! therefore provides the two traits as markers plus no-op derive macros, so
+//! the derives compile and the real crate can be dropped in unchanged once a
+//! registry is reachable (or once a follow-up PR vendors full serde for a
+//! networked transport).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized (shim: no methods).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (shim: no methods).
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing, mirroring serde's
+/// blanket-implemented `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

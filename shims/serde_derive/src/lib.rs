@@ -1,0 +1,53 @@
+//! Offline shim for [`serde_derive`](https://crates.io/crates/serde_derive).
+//!
+//! Emits marker-trait impls for `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! on non-generic structs and enums (all the workspace needs). Written
+//! against `proc_macro` alone so it builds with no dependencies.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name of a non-generic struct/enum definition. Returns
+/// `None` when the item is generic (the shim then emits no impl, which is
+/// still enough for derive-only usage).
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return None; // generic type: skip the impl
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Derives the shim `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the shim `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}

@@ -20,13 +20,19 @@ impl Actor for Accumulator {
         args: &[Value],
     ) -> KarResult<Outcome> {
         match method {
-            "get" => Ok(Outcome::value(ctx.state().get("key")?.unwrap_or(Value::Int(0)))),
+            "get" => Ok(Outcome::value(
+                ctx.state().get("key")?.unwrap_or(Value::Int(0)),
+            )),
             "set" => {
                 ctx.state().set("key", args[0].clone())?;
                 Ok(Outcome::value("OK"))
             }
             "incr" => {
-                let value = ctx.state().get("key")?.and_then(|v| v.as_i64()).unwrap_or(0);
+                let value = ctx
+                    .state()
+                    .get("key")?
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(0);
                 Ok(ctx.tail_call_self("set", vec![Value::Int(value + 1)]))
             }
             other => Err(KarError::application(format!("no method {other}"))),
@@ -39,16 +45,27 @@ fn the_formal_semantics_proves_the_accumulator_exactly_once() {
     // Exhaustive exploration with up to two failures: every terminal state has
     // the counter at exactly 1 (see kar-semantics for the per-state theorems).
     let explorer = Explorer::new(programs::accumulator(), programs::accumulator_initial());
-    let report = explorer.run(&ExploreOptions { max_failures: 2, ..Default::default() });
-    assert!(report.holds(), "semantics violation: {:?}", report.violations.first());
+    let report = explorer.run(&ExploreOptions {
+        max_failures: 2,
+        ..Default::default()
+    });
+    assert!(
+        report.holds(),
+        "semantics violation: {:?}",
+        report.violations.first()
+    );
 }
 
 #[test]
 fn the_runtime_matches_the_semantics_under_random_failures() {
     let mesh = Mesh::new(MeshConfig::for_tests());
     let node = mesh.add_node();
-    mesh.add_component(node, "replica-a", |c| c.host("Accumulator", || Box::new(Accumulator)));
-    mesh.add_component(node, "replica-b", |c| c.host("Accumulator", || Box::new(Accumulator)));
+    mesh.add_component(node, "replica-a", |c| {
+        c.host("Accumulator", || Box::new(Accumulator))
+    });
+    mesh.add_component(node, "replica-b", |c| {
+        c.host("Accumulator", || Box::new(Accumulator))
+    });
     let client = mesh.client();
     let counter = ActorRef::new("Accumulator", "x");
     client.call(&counter, "set", vec![Value::Int(0)]).unwrap();
@@ -86,7 +103,11 @@ fn the_runtime_matches_the_semantics_under_random_failures() {
 
     // Let any retried-but-unacknowledged work settle before reading.
     std::thread::sleep(Duration::from_millis(300));
-    let value = client.call(&counter, "get", vec![]).unwrap().as_i64().unwrap();
+    let value = client
+        .call(&counter, "get", vec![])
+        .unwrap()
+        .as_i64()
+        .unwrap();
     assert!(
         value >= acknowledged,
         "a confirmed increment was lost: value {value} < acknowledged {acknowledged}"
@@ -102,14 +123,20 @@ fn the_runtime_matches_the_semantics_under_random_failures() {
 fn state_written_before_a_failure_is_visible_after_recovery() {
     let mesh = Mesh::new(MeshConfig::for_tests());
     let node = mesh.add_node();
-    let primary =
-        mesh.add_component(node, "primary", |c| c.host("Accumulator", || Box::new(Accumulator)));
-    mesh.add_component(node, "standby", |c| c.host("Accumulator", || Box::new(Accumulator)));
+    let primary = mesh.add_component(node, "primary", |c| {
+        c.host("Accumulator", || Box::new(Accumulator))
+    });
+    mesh.add_component(node, "standby", |c| {
+        c.host("Accumulator", || Box::new(Accumulator))
+    });
     let client = mesh.client();
     let counter = ActorRef::new("Accumulator", "persisted");
     client.call(&counter, "set", vec![Value::Int(77)]).unwrap();
     mesh.kill_component(primary);
     assert!(mesh.wait_for_recoveries(1, Duration::from_secs(10)));
-    assert_eq!(client.call(&counter, "get", vec![]).unwrap(), Value::Int(77));
+    assert_eq!(
+        client.call(&counter, "get", vec![]).unwrap(),
+        Value::Int(77)
+    );
     mesh.shutdown();
 }

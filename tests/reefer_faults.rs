@@ -38,7 +38,10 @@ fn reefer_survives_a_node_failure_under_load() {
     });
     std::thread::sleep(Duration::from_millis(10));
     mesh.kill_node(victim);
-    assert!(mesh.wait_for_recoveries(1, Duration::from_secs(30)), "no recovery recorded");
+    assert!(
+        mesh.wait_for_recoveries(1, Duration::from_secs(30)),
+        "no recovery recorded"
+    );
     let background = load.join().unwrap();
 
     // Replace the failed node, keep the world moving, then check invariants.
@@ -51,7 +54,11 @@ fn reefer_survives_a_node_failure_under_load() {
     let mut confirmed = orders.confirmed_orders().to_vec();
     confirmed.extend(background.confirmed_orders().iter().cloned());
     assert!(!confirmed.is_empty());
-    assert_eq!(background.stats().failed, 0, "bookings failed at the infrastructure level");
+    assert_eq!(
+        background.stats().failed,
+        0,
+        "bookings failed at the infrastructure level"
+    );
 
     let mut checker = InvariantChecker::new(mesh.client(), &ports, 2_000);
     let report = checker.check(&confirmed).expect("invariant check");

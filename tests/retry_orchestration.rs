@@ -79,8 +79,7 @@ impl Actor for CalleeB {
                 if delay > 0 {
                     std::thread::sleep(Duration::from_millis(delay));
                 }
-                let value =
-                    ctx.call(&ActorRef::new("A", "a"), "callback", args.to_vec())?;
+                let value = ctx.call(&ActorRef::new("A", "a"), "callback", args.to_vec())?;
                 self.journal.record("task:end");
                 Ok(Outcome::value(value))
             }
@@ -118,20 +117,36 @@ fn nested_call_topology(config: MeshConfig) -> Topology {
     let ja = journal.clone();
     mesh.add_component(node, "a-primary", move |c| {
         let ja = ja.clone();
-        c.host("A", move || Box::new(CallerA { journal: ja.clone() }))
+        c.host("A", move || {
+            Box::new(CallerA {
+                journal: ja.clone(),
+            })
+        })
     });
     let jb = journal.clone();
     mesh.add_component(node, "b-primary", move |c| {
         let jb = jb.clone();
-        c.host("B", move || Box::new(CalleeB { journal: jb.clone() }))
+        c.host("B", move || {
+            Box::new(CalleeB {
+                journal: jb.clone(),
+            })
+        })
     });
     // Standby replicas hosting both types so re-placement always succeeds.
     let js = journal.clone();
     mesh.add_component(node, "standby", move |c| {
         let ja = js.clone();
         let jb = js.clone();
-        c.host("A", move || Box::new(CallerA { journal: ja.clone() }))
-            .host("B", move || Box::new(CalleeB { journal: jb.clone() }))
+        c.host("A", move || {
+            Box::new(CallerA {
+                journal: ja.clone(),
+            })
+        })
+        .host("B", move || {
+            Box::new(CalleeB {
+                journal: jb.clone(),
+            })
+        })
     });
     Topology { mesh, journal }
 }
@@ -140,10 +155,21 @@ fn nested_call_topology(config: MeshConfig) -> Topology {
 fn scenario_1_failure_free_nested_call_with_reentrancy() {
     let topology = nested_call_topology(MeshConfig::for_tests());
     let client = topology.mesh.client();
-    let result = client.call(&ActorRef::new("A", "a"), "main", vec![Value::Int(42)]).unwrap();
+    let result = client
+        .call(&ActorRef::new("A", "a"), "main", vec![Value::Int(42)])
+        .unwrap();
     assert_eq!(result, Value::Int(42));
     let events = topology.journal.events();
-    assert_eq!(events, vec!["main:start", "task:start", "callback", "task:end", "main:end"]);
+    assert_eq!(
+        events,
+        vec![
+            "main:start",
+            "task:start",
+            "callback",
+            "task:end",
+            "main:end"
+        ]
+    );
     topology.mesh.shutdown();
 }
 
@@ -163,7 +189,9 @@ fn scenario_3_callee_failure_is_retried_and_the_caller_still_completes() {
         let victim = placed_on(&mesh, &ActorRef::new("B", "b"));
         mesh.kill_component(victim);
     });
-    let result = client.call(&ActorRef::new("A", "a"), "main", vec![Value::Int(7)]).unwrap();
+    let result = client
+        .call(&ActorRef::new("A", "a"), "main", vec![Value::Int(7)])
+        .unwrap();
     killer.join().unwrap();
     assert_eq!(result, Value::Int(7));
 
@@ -173,7 +201,10 @@ fn scenario_3_callee_failure_is_retried_and_the_caller_still_completes() {
     let task_starts = events.iter().filter(|e| *e == "task:start").count();
     let task_ends = events.iter().filter(|e| *e == "task:end").count();
     let main_ends = events.iter().filter(|e| *e == "main:end").count();
-    assert!(task_starts >= 2, "expected a retry of the callee, events: {events:?}");
+    assert!(
+        task_starts >= 2,
+        "expected a retry of the callee, events: {events:?}"
+    );
     assert!((1..=task_starts).contains(&task_ends), "events: {events:?}");
     assert_eq!(main_ends, 1);
     assert_eq!(*events.last().unwrap(), "main:end");
@@ -195,7 +226,9 @@ fn scenario_4_caller_failure_waits_for_the_callee_before_retrying() {
         let victim = placed_on(&mesh, &ActorRef::new("A", "a"));
         mesh.kill_component(victim);
     });
-    let result = client.call(&ActorRef::new("A", "a"), "main", vec![Value::Int(9)]).unwrap();
+    let result = client
+        .call(&ActorRef::new("A", "a"), "main", vec![Value::Int(9)])
+        .unwrap();
     killer.join().unwrap();
     assert_eq!(result, Value::Int(9));
 
@@ -238,7 +271,9 @@ fn scenario_6_joint_failure_retries_both_in_order() {
             mesh.kill_component(b_host);
         }
     });
-    let result = client.call(&ActorRef::new("A", "a"), "main", vec![Value::Int(5)]).unwrap();
+    let result = client
+        .call(&ActorRef::new("A", "a"), "main", vec![Value::Int(5)])
+        .unwrap();
     killer.join().unwrap();
     assert_eq!(result, Value::Int(5));
     let events = topology.journal.events();
@@ -257,17 +292,27 @@ fn completed_invocations_are_never_repeated_after_recovery() {
     let j1 = journal.clone();
     let primary = mesh.add_component(node, "primary", move |c| {
         let j1 = j1.clone();
-        c.host("A", move || Box::new(CallerA { journal: j1.clone() }))
+        c.host("A", move || {
+            Box::new(CallerA {
+                journal: j1.clone(),
+            })
+        })
     });
     let j2 = journal.clone();
     mesh.add_component(node, "standby", move |c| {
         let j2 = j2.clone();
-        c.host("A", move || Box::new(CallerA { journal: j2.clone() }))
+        c.host("A", move || {
+            Box::new(CallerA {
+                journal: j2.clone(),
+            })
+        })
     });
     let client = mesh.client();
     // `callback` is a plain method with no nested call: run it a few times.
     for i in 0..5 {
-        client.call(&ActorRef::new("A", "a"), "callback", vec![Value::Int(i)]).unwrap();
+        client
+            .call(&ActorRef::new("A", "a"), "callback", vec![Value::Int(i)])
+            .unwrap();
     }
     let completed_before = journal.events().len();
     // Kill the hosting component *after* the invocations completed; recovery
@@ -275,9 +320,15 @@ fn completed_invocations_are_never_repeated_after_recovery() {
     mesh.kill_component(primary);
     assert!(mesh.wait_for_recoveries(1, Duration::from_secs(10)));
     std::thread::sleep(Duration::from_millis(100));
-    assert_eq!(journal.events().len(), completed_before, "a completed invocation was replayed");
+    assert_eq!(
+        journal.events().len(),
+        completed_before,
+        "a completed invocation was replayed"
+    );
     // And the application still works on the standby.
-    client.call(&ActorRef::new("A", "a"), "callback", vec![Value::Int(99)]).unwrap();
+    client
+        .call(&ActorRef::new("A", "a"), "callback", vec![Value::Int(99)])
+        .unwrap();
     mesh.shutdown();
 }
 
@@ -285,9 +336,8 @@ fn completed_invocations_are_never_repeated_after_recovery() {
 fn cancellation_elides_orphaned_callees() {
     // §4.4: with the Cancel policy, a callee whose caller's component failed
     // is elided and a synthetic response is produced instead of running it.
-    let topology = nested_call_topology(
-        MeshConfig::for_tests().with_cancellation(CancellationPolicy::Cancel),
-    );
+    let topology =
+        nested_call_topology(MeshConfig::for_tests().with_cancellation(CancellationPolicy::Cancel));
     let client = topology.mesh.client();
     topology.journal.slow_task_ms.store(200, Ordering::Relaxed);
     let mesh = topology.mesh.clone();
@@ -297,7 +347,9 @@ fn cancellation_elides_orphaned_callees() {
         mesh.kill_component(victim);
     });
     // The root call still completes (the caller is retried on the standby).
-    let result = client.call(&ActorRef::new("A", "a"), "main", vec![Value::Int(3)]).unwrap();
+    let result = client
+        .call(&ActorRef::new("A", "a"), "main", vec![Value::Int(3)])
+        .unwrap();
     killer.join().unwrap();
     assert_eq!(result, Value::Int(3));
     topology.mesh.shutdown();
@@ -316,7 +368,9 @@ fn tail_call_to_self_keeps_other_requests_out_of_the_critical_section() {
             args: &[Value],
         ) -> KarResult<Outcome> {
             match method {
-                "get" => Ok(Outcome::value(ctx.state().get("v")?.unwrap_or(Value::Int(0)))),
+                "get" => Ok(Outcome::value(
+                    ctx.state().get("v")?.unwrap_or(Value::Int(0)),
+                )),
                 "set" => {
                     // Simulate a slow external store write.
                     std::thread::sleep(Duration::from_millis(5));
@@ -335,7 +389,9 @@ fn tail_call_to_self_keeps_other_requests_out_of_the_critical_section() {
 
     let mesh = Mesh::new(MeshConfig::for_tests());
     let node = mesh.add_node();
-    mesh.add_component(node, "server", |c| c.host("Counter", || Box::new(LockedCounter)));
+    mesh.add_component(node, "server", |c| {
+        c.host("Counter", || Box::new(LockedCounter))
+    });
     let counter = ActorRef::new("Counter", "c");
     let clients: Vec<_> = (0..4).map(|_| mesh.client()).collect();
     let started = Instant::now();

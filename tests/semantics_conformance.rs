@@ -10,7 +10,10 @@ use proptest::prelude::*;
 fn all_shipped_programs_satisfy_the_theorems_with_failures_and_cancellation() {
     let cases = [
         (programs::latch(), programs::latch_initial()),
-        (programs::reentrant_callback(), programs::reentrant_callback_initial()),
+        (
+            programs::reentrant_callback(),
+            programs::reentrant_callback_initial(),
+        ),
         (programs::accumulator(), programs::accumulator_initial()),
         (programs::tail_chain(), programs::tail_chain_initial()),
     ];
