@@ -1,0 +1,74 @@
+//! Lock-granularity sweep: contended producers (coarse vs per-partition
+//! broker locks, single vs batched appends) and skewed actors (dispatch-
+//! shard work stealing off vs on).
+//!
+//! Prints both tables and writes `BENCH_lock_granularity.json` to the
+//! current directory.
+//!
+//! Usage:
+//!   cargo run --release -p kar-bench --bin bench_lock_granularity [out.json]
+//!   cargo run --release -p kar-bench --bin bench_lock_granularity -- --smoke
+//!
+//! `--smoke` runs a seconds-scale shrunken workload and writes no file: CI
+//! uses it to surface lock-ordering regressions and deadlocks.
+
+use kar_bench::lock_granularity::{
+    contended_row, contended_sweep, fine_over_coarse, skewed_row, skewed_sweep, to_json,
+    ContendedConfig, SkewedConfig,
+};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let smoke = arg.as_deref() == Some("--smoke");
+    let (contended_config, skewed_config) = if smoke {
+        (ContendedConfig::smoke(), SkewedConfig::smoke())
+    } else {
+        (ContendedConfig::default(), SkewedConfig::default())
+    };
+
+    println!(
+        "Contended producers: {} threads x {} records, ack {}us, batch size {}",
+        contended_config.producers,
+        contended_config.records_per_producer,
+        contended_config.ack_latency.as_micros(),
+        contended_config.batch_size,
+    );
+    println!(
+        "{:>7} {:>8} {:>9} {:>12} {:>14}",
+        "lock", "append", "records", "elapsed ms", "records/s"
+    );
+    let contended = contended_sweep(&contended_config);
+    for report in &contended {
+        println!("{}", contended_row(report));
+    }
+    println!(
+        "fine-grained over coarse (single appends): {:.2}x",
+        fine_over_coarse(&contended)
+    );
+
+    println!(
+        "\nSkewed actors: {} actors on {}/{} shards, {} calls each, {}us service time",
+        skewed_config.actors,
+        skewed_config.hot_shards,
+        skewed_config.workers,
+        skewed_config.calls_per_actor,
+        skewed_config.service_time.as_micros(),
+    );
+    println!(
+        "{:>9} {:>8} {:>12} {:>12} {:>13} {:>7} {:>7} {:>8}",
+        "stealing", "calls", "elapsed ms", "calls/s", "max/mean", "steals", "hits", "misses"
+    );
+    let skewed = skewed_sweep(&skewed_config);
+    for report in &skewed {
+        println!("{}", skewed_row(report));
+    }
+
+    if smoke {
+        println!("\nsmoke mode: workloads completed without deadlock, no file written");
+        return;
+    }
+    let out_path = arg.unwrap_or_else(|| "BENCH_lock_granularity.json".to_owned());
+    let json = to_json(&contended_config, &contended, &skewed_config, &skewed);
+    std::fs::write(&out_path, &json).expect("write BENCH_lock_granularity.json");
+    println!("\nwrote {out_path}");
+}

@@ -16,6 +16,11 @@
 //!   sharded parallel dispatcher: throughput and p50/p99 latency as a
 //!   function of `dispatch_workers` (the `bench_messaging` binary emits
 //!   `BENCH_messaging.json` from it).
+//! * [`lock_granularity`] — the message-plane lock-granularity harness:
+//!   contended producers against coarse vs per-partition broker locks
+//!   (single and batched appends) and a skewed-actor workload with dispatch
+//!   work stealing off/on (the `bench_lock_granularity` binary emits
+//!   `BENCH_lock_granularity.json`, and its `--smoke` mode runs in CI).
 //!
 //! Each table/figure has a dedicated binary (see `bin/`) and a Criterion
 //! bench (see `benches/`); the binaries print the same rows the paper
@@ -26,10 +31,12 @@
 
 pub mod fault;
 pub mod latency;
+pub mod lock_granularity;
 pub mod report;
 pub mod throughput;
 
 pub use fault::{FailureSample, FaultConfig, FaultReport};
 pub use latency::{LatencyConfig, LatencyRow};
+pub use lock_granularity::{ContendedConfig, ContendedReport, SkewedConfig, SkewedReport};
 pub use report::Summary;
 pub use throughput::{ThroughputConfig, ThroughputReport};

@@ -33,6 +33,12 @@ pub struct BrokerConfig {
     /// How often the background coordinator thread (if started) checks
     /// heartbeats and pending rebalances.
     pub coordinator_interval: Duration,
+    /// **Ablation knob for benchmarks only.** When set, one global mutex is
+    /// taken around every append and fetch, restoring the pre-overhaul
+    /// broker whose single `Mutex<HashMap>` serialized the whole message
+    /// plane. The lock-granularity benchmark measures the same code with the
+    /// flag on (before) and off (after) to quantify per-partition locking.
+    pub coarse_global_lock: bool,
 }
 
 impl Default for BrokerConfig {
@@ -45,6 +51,7 @@ impl Default for BrokerConfig {
             append_latency: Duration::ZERO,
             deliver_latency: Duration::ZERO,
             coordinator_interval: Duration::from_millis(5),
+            coarse_global_lock: false,
         }
     }
 }
@@ -76,6 +83,7 @@ impl BrokerConfig {
                 .coordinator_interval
                 .mul_f64(factor)
                 .max(Duration::from_millis(1)),
+            coarse_global_lock: self.coarse_global_lock,
         }
     }
 }

@@ -12,6 +12,8 @@
 //! * [`error`] — the [`KarError`] error type shared across the workspace.
 //! * [`time`] — wall-clock/scaled clocks and the latency profiles used to
 //!   emulate the paper's three deployment configurations.
+//! * [`sync`] — the shared [`WaitSignal`] event-counter/condvar primitive
+//!   (the "poll_wait idiom" used by the broker and the runtime).
 //!
 //! # Example
 //!
@@ -30,11 +32,13 @@
 pub mod error;
 pub mod ids;
 pub mod message;
+pub mod sync;
 pub mod time;
 pub mod value;
 
 pub use error::{KarError, KarResult};
 pub use ids::{ActorId, ActorRef, ActorType, ComponentId, Epoch, NodeId, RequestId};
 pub use message::{CallKind, Envelope, Payload, RequestMessage, ResponseMessage};
+pub use sync::WaitSignal;
 pub use time::{Clock, DeploymentProfile, LatencyProfile, ScaledClock, SystemClock, TimeScale};
 pub use value::Value;

@@ -1,0 +1,111 @@
+//! Small synchronization primitives shared across the workspace.
+
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing event counter paired with a condvar — the
+/// workspace's "poll_wait idiom". Waiters snapshot the sequence with
+/// [`WaitSignal::current`], re-check their own condition, then park in
+/// [`WaitSignal::wait`] until the sequence moves past the snapshot (an event
+/// bumped it after the snapshot was taken) or a timeout elapses. Because the
+/// snapshot happens *before* the re-check, an event landing between the
+/// check and the park wakes the waiter immediately — no lost wakeups, no
+/// busy polling.
+///
+/// Used by the broker's per-partition append signals and the runtime's
+/// recovery-resume signal. (std primitives, not parking_lot: a `Condvar`
+/// must pair with a `std::sync::Mutex`; poisoning is absorbed.)
+#[derive(Debug, Default)]
+pub struct WaitSignal {
+    seq: std::sync::Mutex<u64>,
+    cond: std::sync::Condvar,
+}
+
+impl WaitSignal {
+    /// Creates a signal at sequence zero.
+    pub fn new() -> Self {
+        WaitSignal::default()
+    }
+
+    /// The current event sequence; pass it to [`WaitSignal::wait`] to park
+    /// until the next event.
+    pub fn current(&self) -> u64 {
+        *self
+            .seq
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records an event: bumps the sequence and wakes every parked waiter.
+    pub fn bump(&self) {
+        let mut seq = self
+            .seq
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *seq += 1;
+        drop(seq);
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the sequence moves past `seen` or `timeout` elapses.
+    pub fn wait(&self, seen: u64, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut seq = self
+            .seq
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *seq == seen {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let (next, result) = self
+                .cond
+                .wait_timeout(seq, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            seq = next;
+            if result.timed_out() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_returns_on_bump_and_on_timeout() {
+        let signal = Arc::new(WaitSignal::new());
+        assert_eq!(signal.current(), 0);
+
+        // Timeout path: nothing bumps, wait returns after the deadline.
+        let t0 = Instant::now();
+        signal.wait(signal.current(), Duration::from_millis(10));
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+
+        // Wakeup path: a concurrent bump releases the waiter early.
+        let seen = signal.current();
+        let bumper = signal.clone();
+        let thread = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            bumper.bump();
+        });
+        let t0 = Instant::now();
+        signal.wait(seen, Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_secs(2));
+        thread.join().unwrap();
+        assert_eq!(signal.current(), 1);
+    }
+
+    #[test]
+    fn bump_before_wait_returns_immediately() {
+        let signal = WaitSignal::new();
+        let seen = signal.current();
+        signal.bump();
+        let t0 = Instant::now();
+        signal.wait(seen, Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+}

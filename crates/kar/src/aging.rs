@@ -1,0 +1,132 @@
+//! Two-generation aging sets for the retry bookkeeping.
+//!
+//! `ComponentCore` remembers completed request ids (to dedupe retries) and
+//! seen response ids (to release deferred happen-before retries). Both only
+//! matter while a copy of the corresponding request can still arrive from a
+//! queue — and queue records expire after the broker's retention window. An
+//! [`AgingSet`] therefore keeps two generations and rotates them on the same
+//! (time-compressed) retention period: a member survives between one and two
+//! retention windows after its last insert, after which it is dropped in
+//! bulk. Long-running components stop leaking memory, and a record old
+//! enough to have aged out of the set has also aged out of every queue.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+/// A set whose members are dropped in bulk once they have been idle for one
+/// to two rotation intervals. Rotation is driven by the owner (the
+/// component's heartbeat loop) via [`AgingSet::maybe_rotate`].
+#[derive(Debug)]
+pub(crate) struct AgingSet<T> {
+    current: HashSet<T>,
+    previous: HashSet<T>,
+    interval: Duration,
+    last_rotation: Instant,
+}
+
+impl<T: Eq + Hash> AgingSet<T> {
+    /// Creates an empty set rotating every `interval` (clamped to 1ms so a
+    /// zero-compressed retention cannot spin-rotate).
+    pub(crate) fn new(interval: Duration) -> Self {
+        AgingSet {
+            current: HashSet::new(),
+            previous: HashSet::new(),
+            interval: interval.max(Duration::from_millis(1)),
+            last_rotation: Instant::now(),
+        }
+    }
+
+    /// Inserts `value` into the young generation. Returns true if the value
+    /// was not already a member of either generation.
+    pub(crate) fn insert(&mut self, value: T) -> bool {
+        let fresh = !self.previous.contains(&value);
+        self.current.insert(value) && fresh
+    }
+
+    /// True if either generation holds `value`.
+    pub(crate) fn contains(&self, value: &T) -> bool {
+        self.current.contains(value) || self.previous.contains(value)
+    }
+
+    /// Number of members across both generations.
+    pub(crate) fn len(&self) -> usize {
+        self.current.len()
+            + self
+                .previous
+                .iter()
+                .filter(|v| !self.current.contains(v))
+                .count()
+    }
+
+    /// Rotates the generations if the interval has elapsed: the old
+    /// generation is dropped, the young one becomes old. Returns the number
+    /// of members dropped.
+    pub(crate) fn maybe_rotate(&mut self, now: Instant) -> usize {
+        if now.duration_since(self.last_rotation) < self.interval {
+            return 0;
+        }
+        self.last_rotation = now;
+        let retiring = std::mem::take(&mut self.current);
+        let dropped = std::mem::replace(&mut self.previous, retiring);
+        dropped
+            .iter()
+            .filter(|v| !self.previous.contains(v))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_survive_one_rotation_and_die_after_two() {
+        let mut set = AgingSet::new(Duration::from_millis(1));
+        set.insert(7u64);
+        assert!(set.contains(&7));
+        assert_eq!(set.len(), 1);
+        let later = Instant::now() + Duration::from_millis(2);
+        assert_eq!(set.maybe_rotate(later), 0, "first rotation only demotes");
+        assert!(set.contains(&7), "still present in the old generation");
+        assert_eq!(
+            set.maybe_rotate(later + Duration::from_millis(2)),
+            1,
+            "second rotation drops the idle member"
+        );
+        assert!(!set.contains(&7));
+        assert_eq!(set.len(), 0);
+    }
+
+    #[test]
+    fn reinsertion_refreshes_the_generation() {
+        let mut set = AgingSet::new(Duration::from_millis(1));
+        set.insert(7u64);
+        let t1 = Instant::now() + Duration::from_millis(2);
+        set.maybe_rotate(t1);
+        // Re-inserted after demotion: not fresh, but young again.
+        assert!(!set.insert(7));
+        set.maybe_rotate(t1 + Duration::from_millis(2));
+        assert!(set.contains(&7), "refresh must outlive the next rotation");
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn rotation_respects_the_interval() {
+        let mut set = AgingSet::new(Duration::from_secs(3600));
+        set.insert(1u64);
+        assert_eq!(set.maybe_rotate(Instant::now()), 0);
+        set.maybe_rotate(Instant::now());
+        assert!(set.contains(&1), "no rotation before the interval elapses");
+    }
+
+    #[test]
+    fn len_does_not_double_count_members_in_both_generations() {
+        let mut set = AgingSet::new(Duration::from_millis(1));
+        set.insert(1u64);
+        set.maybe_rotate(Instant::now() + Duration::from_millis(2));
+        set.insert(1u64);
+        set.insert(2u64);
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -24,10 +24,11 @@ use kar_types::ids::RequestIdGenerator;
 use kar_types::RequestId;
 use kar_types::{
     ActorRef, CallKind, ComponentId, Envelope, KarError, KarResult, NodeId, Payload,
-    RequestMessage, ResponseMessage, Value,
+    RequestMessage, ResponseMessage, Value, WaitSignal,
 };
 
 use crate::actor::{ActorFactory, Outcome};
+use crate::aging::AgingSet;
 use crate::config::{CancellationPolicy, MeshConfig};
 use crate::context::ActorContext;
 use crate::dispatch::DispatchPool;
@@ -85,6 +86,10 @@ pub struct ComponentCore {
     pool: DispatchPool,
     alive: AtomicBool,
     paused: AtomicBool,
+    /// Bumped whenever recovery completes on this component (resume) or it
+    /// is killed; response routing parks here while waiting for a failed
+    /// caller to be re-placed, instead of sleep-polling.
+    resume_signal: WaitSignal,
     /// Offset of the next record this component's consumer will read from its
     /// partition; used by reconciliation to decide whether a request copy in
     /// this queue is still going to be processed.
@@ -92,9 +97,14 @@ pub struct ComponentCore {
     actors: Mutex<HashMap<ActorRef, ActorSlot>>,
     pending_calls: Mutex<HashMap<RequestId, Sender<Payload>>>,
     deferred: Mutex<HashMap<RequestId, Vec<RequestMessage>>>,
-    seen_responses: Mutex<HashSet<RequestId>>,
+    /// Response ids seen by this component. Aged out alongside queue
+    /// retention: a response old enough to leave the set has also expired
+    /// from every queue, so no deferred retry can still be waiting on it.
+    seen_responses: Mutex<AgingSet<RequestId>>,
     inflight: Mutex<HashSet<RequestId>>,
-    completed: Mutex<HashSet<RequestId>>,
+    /// Completed request ids (retry dedupe). Aged out alongside queue
+    /// retention: a retry can only arrive from an unexpired queue record.
+    completed: Mutex<AgingSet<RequestId>>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -120,9 +130,17 @@ impl ComponentCore {
             store.connect(id),
             live.clone(),
             config.placement_cache,
+            config.effective_placement_cache_shards(),
             config.call_timeout,
         );
-        let pool = DispatchPool::new(config.effective_dispatch_workers());
+        let pool = DispatchPool::new(config.effective_dispatch_workers(), config.work_stealing);
+        // The retry bookkeeping ages on the queue-retention clock: the
+        // broker coordinator actively expires records past retention (even
+        // on idle partitions), so an id old enough to rotate out of both
+        // generations corresponds to records no queue can still deliver.
+        // Rotating at 2× retention (membership 2–4 windows) leaves a full
+        // retention window of safety margin over the queue horizon.
+        let bookkeeping_interval = config.time_scale.compress(config.retention * 2);
         ComponentCore {
             id,
             node,
@@ -144,13 +162,14 @@ impl ComponentCore {
             pool,
             alive: AtomicBool::new(true),
             paused: AtomicBool::new(false),
+            resume_signal: WaitSignal::new(),
             consumed_offset: AtomicU64::new(0),
             actors: Mutex::new(HashMap::new()),
             pending_calls: Mutex::new(HashMap::new()),
             deferred: Mutex::new(HashMap::new()),
-            seen_responses: Mutex::new(HashSet::new()),
+            seen_responses: Mutex::new(AgingSet::new(bookkeeping_interval)),
             inflight: Mutex::new(HashSet::new()),
-            completed: Mutex::new(HashSet::new()),
+            completed: Mutex::new(AgingSet::new(bookkeeping_interval)),
         }
     }
 
@@ -186,6 +205,9 @@ impl ComponentCore {
     pub(crate) fn resume(&self) {
         self.placement.clear_cache();
         self.paused.store(false, Ordering::SeqCst);
+        // Recovery may have re-placed failed callers: wake response routers
+        // parked in `response_partition`.
+        self.resume_signal.bump();
     }
 
     /// Abruptly terminates the component: in-memory state (actor instances,
@@ -194,6 +216,8 @@ impl ComponentCore {
     /// state survive.
     pub(crate) fn kill(&self) {
         self.alive.store(false, Ordering::SeqCst);
+        // Unblock response routers promptly; they re-check `is_alive`.
+        self.resume_signal.bump();
         self.actors.lock().clear();
         // Dropping the senders wakes every thread blocked on a nested call.
         self.pending_calls.lock().clear();
@@ -207,6 +231,93 @@ impl ComponentCore {
     /// The number of dispatch workers (shards) of this component.
     pub fn dispatch_workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// Requests each dispatch shard has admitted so far. The spread between
+    /// the hottest and the mean shard is the imbalance work stealing closes.
+    pub fn shard_loads(&self) -> Vec<u64> {
+        self.pool.shard_loads()
+    }
+
+    /// Number of whole-actor steals performed by this component's idle
+    /// dispatch workers.
+    pub fn steal_count(&self) -> u64 {
+        self.pool.steal_count()
+    }
+
+    /// A snapshot of the placement cache's hit/miss/invalidation counters.
+    pub fn placement_counters(&self) -> crate::placement::PlacementCounters {
+        self.placement.counters()
+    }
+
+    /// Human-readable snapshot of this component's dispatch and actor state
+    /// (shard queues, steal routes, actor locks/mailboxes, deferred and
+    /// inflight sets) — for debugging stuck requests.
+    pub fn debug_snapshot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "component {} ({}) alive={} paused={} consumed_offset={}",
+            self.id,
+            self.name,
+            self.is_alive(),
+            self.is_paused(),
+            self.consumed_offset()
+        );
+        out.push_str(&self.pool.debug_snapshot());
+        match self.actors.try_lock() {
+            Some(actors) => {
+                for (actor, slot) in actors.iter() {
+                    if !slot.busy && slot.awaiting_tail.is_none() && slot.mailbox.is_empty() {
+                        continue;
+                    }
+                    let mailbox: Vec<u64> = slot.mailbox.iter().map(|r| r.id.as_u64()).collect();
+                    let _ = writeln!(
+                        out,
+                        "  actor {}: busy={} awaiting_tail={:?} mailbox={mailbox:?}",
+                        actor.qualified_name(),
+                        slot.busy,
+                        slot.awaiting_tail.map(|id| id.as_u64()),
+                    );
+                }
+            }
+            None => {
+                let _ = writeln!(out, "  actors: <LOCK HELD>");
+            }
+        }
+        match self.deferred.try_lock() {
+            Some(deferred) => {
+                for (callee, requests) in deferred.iter() {
+                    let ids: Vec<u64> = requests.iter().map(|r| r.id.as_u64()).collect();
+                    let _ = writeln!(out, "  deferred on callee {}: {ids:?}", callee.as_u64());
+                }
+            }
+            None => {
+                let _ = writeln!(out, "  deferred: <LOCK HELD>");
+            }
+        }
+        match self.inflight.try_lock() {
+            Some(inflight) => {
+                let mut ids: Vec<u64> = inflight.iter().map(|id| id.as_u64()).collect();
+                ids.sort_unstable();
+                let _ = writeln!(out, "  inflight: {ids:?}");
+            }
+            None => {
+                let _ = writeln!(out, "  inflight: <LOCK HELD>");
+            }
+        }
+        match self.pending_calls.try_lock() {
+            Some(calls) => {
+                let mut waiting: Vec<u64> = calls.keys().map(|id| id.as_u64()).collect();
+                waiting.sort_unstable();
+                let _ = writeln!(out, "  blocked calls waiting: {waiting:?}");
+            }
+            None => {
+                let _ = writeln!(out, "  blocked calls waiting: <LOCK HELD>");
+            }
+        }
+        out
     }
 
     fn partition_of(&self, component: ComponentId) -> Option<usize> {
@@ -342,19 +453,29 @@ impl ComponentCore {
         }
         if let Some(caller_actor) = &request.caller_actor {
             // The caller's component failed: wait (bounded) for reconciliation
-            // to re-place the caller, then deliver to its new home.
+            // to re-place the caller, then deliver to its new home. Parked on
+            // the resume signal (bumped when recovery completes here) rather
+            // than sleep-polling; each wait is capped so repairs made without
+            // a local resume — e.g. an orphaned caller re-homed when a fresh
+            // component joins — are still picked up promptly.
             let deadline = Instant::now() + self.config.call_timeout;
+            let wait_slice = Duration::from_millis(20);
             loop {
                 if !self.is_alive() {
                     return None;
                 }
-                if let Ok(component) = self.placement.resolve(caller_actor) {
+                let seen = self.resume_signal.current();
+                // Not yet resolvable (stale placement, or no live host yet):
+                // keep waiting for the repair.
+                if let Ok(Some(component)) = self.placement.resolve_nowait(caller_actor) {
                     return self.partition_of(component);
                 }
-                if Instant::now() >= deadline {
+                let now = Instant::now();
+                if now >= deadline {
                     return None;
                 }
-                std::thread::sleep(Duration::from_millis(2));
+                self.resume_signal
+                    .wait(seen, wait_slice.min(deadline - now));
             }
         }
         // reply_to points at a dead external client: drop the response.
@@ -852,10 +973,11 @@ impl ComponentCore {
     /// The dispatch worker loop: drains one shard queue, admitting each
     /// request and running admitted invocations inline. Exactly one thread
     /// drains a shard at any time; ownership is handed to a replacement when
-    /// an invocation blocks on a nested call (see [`crate::dispatch`]).
+    /// an invocation blocks on a nested call (see [`crate::dispatch`]). An
+    /// idle worker steals whole actors from the deepest shard queue before
+    /// parking (when `MeshConfig::work_stealing` is on).
     fn shard_worker(self: Arc<Self>, shard: usize) {
         self.pool.bind_worker(shard);
-        let jobs = self.pool.shard_source(shard);
         let idle = Duration::from_millis(1);
         loop {
             if !self.is_alive() {
@@ -876,19 +998,21 @@ impl ComponentCore {
                 std::thread::sleep(idle);
                 continue;
             }
-            match jobs.recv_timeout(idle) {
-                Ok(request) => {
-                    let id = request.id;
-                    let admitted = self.admit_request(request);
-                    // The request is now in an actor slot (or dropped as a
-                    // duplicate): no longer pending admission.
-                    self.pool.admitted(id);
-                    if let Some((request, holds_lock, reentrant)) = admitted {
-                        Arc::clone(&self).run_invocation(request, holds_lock, reentrant);
-                    }
+            if let Some(request) = self.pool.next_request(shard, idle) {
+                let id = request.id;
+                let target = request.target.clone();
+                let admitted = self.admit_request(request);
+                // The request is now in an actor slot (or dropped as a
+                // duplicate): no longer pending admission.
+                self.pool.admitted(id);
+                self.pool.mark_admitted(shard);
+                if let Some((request, holds_lock, reentrant)) = admitted {
+                    Arc::clone(&self).run_invocation(request, holds_lock, reentrant);
                 }
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => return,
+                // The invocation (and any mailbox continuations it drained)
+                // has completed: release exactly the guard this worker took
+                // (a replacement drainer may hold its own concurrently).
+                self.pool.release_busy_actor(shard, &target);
             }
         }
     }
@@ -931,8 +1055,27 @@ impl ComponentCore {
             if self.broker.heartbeat(&self.group, self.id).is_err() {
                 return;
             }
+            self.age_retry_bookkeeping();
             std::thread::sleep(interval);
         }
+    }
+
+    /// Rotates the aged retry-bookkeeping sets if their retention interval
+    /// elapsed (piggybacked on the heartbeat loop).
+    fn age_retry_bookkeeping(&self) {
+        let now = Instant::now();
+        self.completed.lock().maybe_rotate(now);
+        self.seen_responses.lock().maybe_rotate(now);
+    }
+
+    /// Sizes of the retry-bookkeeping sets: (completed ids, seen response
+    /// ids). Both are aged out alongside queue retention; tests assert they
+    /// shrink once the retention window passes.
+    pub fn retry_bookkeeping_len(&self) -> (usize, usize) {
+        (
+            self.completed.lock().len(),
+            self.seen_responses.lock().len(),
+        )
     }
 }
 

@@ -62,6 +62,20 @@ pub struct MeshConfig {
     /// scale with cores and make retry load shaping explicit (RetryGuard's
     /// motivation). Clamped to at least 1.
     pub dispatch_workers: usize,
+    /// Number of shards of the placement cache. Concurrent dispatch workers
+    /// resolving placements hash onto distinct shards instead of funnelling
+    /// through one cache lock. `0` defaults to `dispatch_workers`. Clamped to
+    /// at least 1 when the cache is enabled.
+    pub placement_cache_shards: usize,
+    /// Enable work stealing between dispatch shards: an idle worker steals
+    /// whole *actors* (never splitting one actor's queued requests) from the
+    /// most loaded shard, closing the imbalance left by static actor→shard
+    /// hashing. Per-actor ordering and the actor-lock rules are preserved.
+    pub work_stealing: bool,
+    /// **Ablation knob for benchmarks only.** Restores the pre-overhaul
+    /// broker whose single global lock serialized every append and fetch
+    /// (see `BrokerConfig::coarse_global_lock`).
+    pub coarse_broker_lock: bool,
 }
 
 impl Default for MeshConfig {
@@ -79,6 +93,9 @@ impl Default for MeshConfig {
             placement_cache: true,
             cancellation: CancellationPolicy::Await,
             dispatch_workers: 4,
+            placement_cache_shards: 0,
+            work_stealing: true,
+            coarse_broker_lock: false,
         }
     }
 }
@@ -141,6 +158,40 @@ impl MeshConfig {
         self.dispatch_workers.max(1)
     }
 
+    /// Sets the number of placement-cache shards (`0` = follow
+    /// `dispatch_workers`).
+    #[must_use]
+    pub fn with_placement_cache_shards(mut self, shards: usize) -> Self {
+        self.placement_cache_shards = shards;
+        self
+    }
+
+    /// The effective placement-cache shard count: the explicit knob, or the
+    /// dispatch worker count when left at `0` (one shard per concurrent
+    /// resolver is the natural default), never below 1.
+    pub fn effective_placement_cache_shards(&self) -> usize {
+        if self.placement_cache_shards == 0 {
+            self.effective_dispatch_workers()
+        } else {
+            self.placement_cache_shards
+        }
+    }
+
+    /// Enables or disables work stealing between dispatch shards.
+    #[must_use]
+    pub fn with_work_stealing(mut self, enabled: bool) -> Self {
+        self.work_stealing = enabled;
+        self
+    }
+
+    /// **Benchmark ablation**: restores the pre-overhaul single global
+    /// broker lock.
+    #[must_use]
+    pub fn with_coarse_broker_lock(mut self, coarse: bool) -> Self {
+        self.coarse_broker_lock = coarse;
+        self
+    }
+
     /// The compressed (wall-clock) session timeout.
     pub fn scaled_session_timeout(&self) -> Duration {
         self.time_scale.compress(self.session_timeout)
@@ -166,6 +217,7 @@ impl MeshConfig {
                 .time_scale
                 .compress(Duration::from_millis(200))
                 .max(Duration::from_millis(1)),
+            coarse_global_lock: self.coarse_broker_lock,
         }
     }
 
@@ -223,6 +275,25 @@ mod tests {
             .with_cancellation(CancellationPolicy::Cancel);
         assert!(!c.placement_cache);
         assert_eq!(c.cancellation, CancellationPolicy::Cancel);
+    }
+
+    #[test]
+    fn placement_cache_shards_follow_dispatch_workers_by_default() {
+        let c = MeshConfig::for_tests().with_dispatch_workers(6);
+        assert_eq!(c.placement_cache_shards, 0);
+        assert_eq!(c.effective_placement_cache_shards(), 6);
+        let explicit = c.with_placement_cache_shards(3);
+        assert_eq!(explicit.effective_placement_cache_shards(), 3);
+    }
+
+    #[test]
+    fn stealing_and_coarse_lock_toggles() {
+        let c = MeshConfig::for_tests();
+        assert!(c.work_stealing);
+        assert!(!c.coarse_broker_lock);
+        let c = c.with_work_stealing(false).with_coarse_broker_lock(true);
+        assert!(!c.work_stealing);
+        assert!(c.broker_config().coarse_global_lock);
     }
 
     #[test]

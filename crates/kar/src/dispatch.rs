@@ -1,4 +1,5 @@
-//! The sharded parallel dispatcher behind every component.
+//! The sharded parallel dispatcher behind every component, with actor-level
+//! work stealing.
 //!
 //! Early revisions processed a component's queue on one serial consumer
 //! thread and spawned a fresh OS thread per invocation. This module replaces
@@ -8,13 +9,26 @@
 //! distinct actors therefore execute in parallel, while each actor's mailbox
 //! stays strictly ordered:
 //!
-//! * an actor is pinned to one shard (stable hash of its qualified name), so
-//!   all of its requests arrive at the per-actor mailbox in queue order;
+//! * an actor is pinned to one shard (stable hash of its qualified name,
+//!   overridden when the actor is stolen — see below), so all of its
+//!   requests arrive at the per-actor mailbox in queue order;
 //! * only the shard's current owner admits requests, so admission for a
 //!   given actor is serial;
 //! * the per-actor lock / reentrancy / tail-call retention rules of
 //!   `run_invocation` are untouched — they serialize execution per actor no
 //!   matter which worker runs it.
+//!
+//! Work stealing: static actor→shard hashing leaves the worst shard with up
+//! to ~2× the mean load (BENCH_messaging.json). An idle worker therefore
+//! steals work from the deepest shard queue — but always whole *actors*:
+//! every queued request of the chosen actor moves to the thief's queue in
+//! one atomic step (both shard locks held), and a routing override sends the
+//! actor's future requests to the thief's shard. An actor whose freshly
+//! popped request has not yet been admitted is never stolen, so admission
+//! for one actor can never run on two workers at once. Because all of an
+//! actor's queued requests live in exactly one shard queue at any time, and
+//! moves preserve their relative order, per-actor FIFO admission — and with
+//! it mailbox order and the exactly-once retry bookkeeping — is preserved.
 //!
 //! Blocking hand-off: a worker that is about to park inside a blocking
 //! nested call (waiting for a callee's response) first releases ownership of
@@ -28,16 +42,23 @@
 //! [`pending`](DispatchPool::pending) exposes to reconciliation, closing the
 //! window in which a request would look neither "still queued" (its offset
 //! was consumed) nor "locally pending" (not yet in a mailbox) and could be
-//! re-homed a second time.
+//! re-homed a second time. Stolen requests stay in that set — stealing moves
+//! them between shard queues, not out of the component.
 
 use std::cell::Cell;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use kar_types::{ActorRef, RequestId, RequestMessage};
+
+/// A shard queue must be at least this deep before an idle worker will
+/// steal from it: moving an actor for a single queued request would churn
+/// the routing table for no balance win.
+const MIN_STEAL_DEPTH: usize = 2;
 
 thread_local! {
     /// Identity of the pool + shard this thread drains, if it is a dispatch
@@ -50,18 +71,67 @@ thread_local! {
     static OWNS_SHARD: Cell<bool> = const { Cell::new(false) };
 }
 
+/// The queue of one shard plus the admission guard. Behind a `std` mutex so
+/// the not-empty condvar can pair with it.
+#[derive(Default)]
+struct ShardState {
+    queue: VecDeque<RequestMessage>,
+    /// Actors whose popped requests are currently being handled — from pop
+    /// until the invocation (if any) completes. A thief never steals these
+    /// actors: before admission that would reorder the actor's mailbox, and
+    /// during execution the stolen requests would just land in the mailbox
+    /// the busy worker is already draining, moving the load counter without
+    /// moving any work. A small *list*, not a single slot: the blocking
+    /// hand-off means several workers can be in-flight post-pop on one
+    /// shard at once (the original drainer suspended in a nested call plus
+    /// its replacement), and each must guard — and later release — its own
+    /// actor without clobbering the others'.
+    busy_actors: Vec<ActorRef>,
+}
+
 struct Shard {
-    jobs: Sender<RequestMessage>,
-    source: Receiver<RequestMessage>,
+    state: std::sync::Mutex<ShardState>,
+    /// Signalled when a request is pushed; drainers park here when idle.
+    available: std::sync::Condvar,
+    /// Queue depth mirror, so the steal scan reads no locks.
+    depth: AtomicUsize,
+    /// Requests this shard has admitted (its processed load).
+    processed: AtomicU64,
     /// True while some thread is draining this shard. At most one drainer
     /// exists at a time; ownership moves on blocking hand-off.
     owned: Mutex<bool>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            state: std::sync::Mutex::new(ShardState::default()),
+            available: std::sync::Condvar::new(),
+            depth: AtomicUsize::new(0),
+            processed: AtomicU64::new(0),
+            owned: Mutex::new(false),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ShardState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// The per-component shard set. Owned by `ComponentCore`; worker threads are
 /// spawned by the component so they can run admission and invocations.
 pub(crate) struct DispatchPool {
     shards: Vec<Shard>,
+    /// Stolen actors' current shard assignments, overriding the static
+    /// hash. Read under the target shard's state lock on submit; written
+    /// only while both shard locks of a steal are held.
+    routes: Mutex<HashMap<ActorRef, usize>>,
+    /// Whether idle workers steal actors from loaded shards.
+    stealing: bool,
+    /// Number of successful steals (whole actors moved).
+    steals: AtomicU64,
     /// Requests polled off the queue but not yet admitted to an actor slot
     /// (mailbox / inflight / deferred). Consulted by reconciliation through
     /// `ComponentCore::locally_pending`.
@@ -71,25 +141,18 @@ pub(crate) struct DispatchPool {
 impl DispatchPool {
     /// Creates a pool with `workers` shards. Callers pass
     /// `MeshConfig::effective_dispatch_workers()`, the single authoritative
-    /// clamp for the worker count.
+    /// clamp for the worker count, and `MeshConfig::work_stealing`.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
-    pub(crate) fn new(workers: usize) -> Self {
+    pub(crate) fn new(workers: usize, stealing: bool) -> Self {
         assert!(workers >= 1, "a dispatch pool needs at least one worker");
-        let shards = (0..workers)
-            .map(|_| {
-                let (jobs, source) = unbounded();
-                Shard {
-                    jobs,
-                    source,
-                    owned: Mutex::new(false),
-                }
-            })
-            .collect();
         DispatchPool {
-            shards,
+            shards: (0..workers).map(|_| Shard::new()).collect(),
+            routes: Mutex::new(HashMap::new()),
+            stealing: stealing && workers > 1,
+            steals: AtomicU64::new(0),
             pending: Mutex::new(HashSet::new()),
         }
     }
@@ -99,23 +162,255 @@ impl DispatchPool {
         self.shards.len()
     }
 
-    /// The shard an actor is pinned to: a stable hash of its qualified name.
+    /// The shard an actor's requests are currently routed to: a stable hash
+    /// of its qualified name, unless the actor has been stolen.
     pub(crate) fn shard_of(&self, actor: &ActorRef) -> usize {
+        if let Some(&shard) = self.routes.lock().get(actor) {
+            return shard;
+        }
+        self.home_shard(actor)
+    }
+
+    /// The static (hash) shard of an actor, ignoring steal overrides.
+    fn home_shard(&self, actor: &ActorRef) -> usize {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         actor.qualified_name().hash(&mut hasher);
         (hasher.finish() as usize) % self.shards.len()
     }
 
+    /// Requests each shard has admitted so far (the per-shard load the
+    /// benchmarks report as max/mean imbalance).
+    pub(crate) fn shard_loads(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|shard| shard.processed.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Number of successful actor steals so far.
+    pub(crate) fn steal_count(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Human-readable snapshot of the shard queues, admission guards, steal
+    /// routes and pending set — for debugging stuck requests. Uses
+    /// `try_lock` throughout so a held (possibly wedged) lock is reported
+    /// instead of deadlocking the reporter.
+    pub(crate) fn debug_snapshot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (index, shard) in self.shards.iter().enumerate() {
+            let owned = shard
+                .owned
+                .try_lock()
+                .map_or_else(|| "<held>".to_owned(), |o| o.to_string());
+            match shard.state.try_lock() {
+                Ok(state) => {
+                    let ids: Vec<String> = state
+                        .queue
+                        .iter()
+                        .map(|r| format!("{}→{}", r.id.as_u64(), r.target.qualified_name()))
+                        .collect();
+                    let busy: Vec<String> = state
+                        .busy_actors
+                        .iter()
+                        .map(ActorRef::qualified_name)
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "  shard {index}: owned={owned} busy_actors={busy:?} depth={} queue=[{}]",
+                        shard.depth.load(Ordering::Relaxed),
+                        ids.join(", "),
+                    );
+                }
+                Err(_) => {
+                    let _ = writeln!(
+                        out,
+                        "  shard {index}: owned={owned} state=<LOCK HELD> depth={}",
+                        shard.depth.load(Ordering::Relaxed),
+                    );
+                }
+            }
+        }
+        match self.routes.try_lock() {
+            Some(routes) => {
+                let mut route_strs: Vec<String> = routes
+                    .iter()
+                    .map(|(actor, shard)| format!("{}→{shard}", actor.qualified_name()))
+                    .collect();
+                route_strs.sort();
+                let _ = writeln!(out, "  routes: [{}]", route_strs.join(", "));
+            }
+            None => {
+                let _ = writeln!(out, "  routes: <LOCK HELD>");
+            }
+        }
+        match self.pending.try_lock() {
+            Some(pending) => {
+                let mut ids: Vec<u64> = pending.iter().map(|id| id.as_u64()).collect();
+                ids.sort_unstable();
+                let _ = writeln!(out, "  pending admission: {ids:?}");
+            }
+            None => {
+                let _ = writeln!(out, "  pending admission: <LOCK HELD>");
+            }
+        }
+        out
+    }
+
     /// Routes `request` to its actor's shard queue and records it as
-    /// pending-admission. Returns false if the pool has shut down.
+    /// pending-admission. Always succeeds (the pool lives as long as the
+    /// component); the return value is kept for call-site symmetry.
     pub(crate) fn submit(&self, request: RequestMessage) -> bool {
         let id = request.id;
-        let shard = self.shard_of(&request.target);
         self.pending.lock().insert(id);
-        if self.shards[shard].jobs.send(request).is_err() {
-            self.pending.lock().remove(&id);
-            return false;
+        // A steal can move the actor between the route read and the queue
+        // push; re-check the route under the shard lock (steals update
+        // routes while holding both shard locks, so a stable read here
+        // means the push lands in the queue every other submit and steal
+        // agrees on).
+        loop {
+            let shard = self.shard_of(&request.target);
+            let mut state = self.shards[shard].lock_state();
+            if self.shard_of(&request.target) != shard {
+                continue;
+            }
+            state.queue.push_back(request);
+            self.shards[shard].depth.fetch_add(1, Ordering::Relaxed);
+            drop(state);
+            self.shards[shard].available.notify_one();
+            return true;
         }
+    }
+
+    /// Pops the next request of `shard`, marking its actor as
+    /// admission-in-progress (cleared by [`DispatchPool::mark_admitted`]).
+    /// When the shard is empty, tries to steal a whole actor from the
+    /// deepest other shard, then parks on the not-empty signal for up to
+    /// `timeout`. Returns `None` if nothing arrived in time.
+    pub(crate) fn next_request(&self, shard: usize, timeout: Duration) -> Option<RequestMessage> {
+        if let Some(request) = self.try_pop(shard) {
+            return Some(request);
+        }
+        if self.stealing && self.try_steal(shard) {
+            if let Some(request) = self.try_pop(shard) {
+                return Some(request);
+            }
+        }
+        // Pop under the guard we already hold — re-locking through
+        // `try_pop` here would self-deadlock when a push lands between the
+        // checks above and this acquisition (the state mutex is not
+        // reentrant).
+        let mut state = self.shards[shard].lock_state();
+        if state.queue.is_empty() {
+            let (woken, _) = self.shards[shard]
+                .available
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = woken;
+        }
+        let request = state.queue.pop_front()?;
+        state.busy_actors.push(request.target.clone());
+        self.shards[shard].depth.fetch_sub(1, Ordering::Relaxed);
+        Some(request)
+    }
+
+    fn try_pop(&self, shard: usize) -> Option<RequestMessage> {
+        let mut state = self.shards[shard].lock_state();
+        let request = state.queue.pop_front()?;
+        state.busy_actors.push(request.target.clone());
+        self.shards[shard].depth.fetch_sub(1, Ordering::Relaxed);
+        Some(request)
+    }
+
+    /// Counts the processed request. Called once per popped request, after
+    /// `admit_request` has placed it in an actor slot (or dropped it as a
+    /// duplicate). The busy-actor guard stays up until
+    /// [`DispatchPool::release_busy_actor`].
+    pub(crate) fn mark_admitted(&self, shard: usize) {
+        self.shards[shard].processed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Releases one busy-actor guard of `shard`: the popped request's
+    /// invocation (and any mailbox continuations it drained) has completed,
+    /// so `actor` is stealable again. Each worker releases exactly the actor
+    /// it popped — never a replacement drainer's concurrent guard.
+    pub(crate) fn release_busy_actor(&self, shard: usize, actor: &ActorRef) {
+        let mut state = self.shards[shard].lock_state();
+        if let Some(position) = state.busy_actors.iter().position(|a| a == actor) {
+            state.busy_actors.swap_remove(position);
+        }
+    }
+
+    /// Steals one whole actor from the deepest other shard into `thief`'s
+    /// queue. Every queued request of the stolen actor moves in one atomic
+    /// step and future requests are routed to the thief, so per-actor FIFO
+    /// order is preserved. Returns true if an actor was moved.
+    fn try_steal(&self, thief: usize) -> bool {
+        // Lock-free scan for the deepest candidate shard.
+        let victim = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(index, _)| *index != thief)
+            .map(|(index, shard)| (index, shard.depth.load(Ordering::Relaxed)))
+            .max_by_key(|(_, depth)| *depth)
+            .filter(|(_, depth)| *depth >= MIN_STEAL_DEPTH)
+            .map(|(index, _)| index);
+        let Some(victim) = victim else { return false };
+
+        // Take both shard locks in index order (steals from concurrent
+        // replacement drainers must not deadlock), then move the actor.
+        let (first, second) = if victim < thief {
+            (victim, thief)
+        } else {
+            (thief, victim)
+        };
+        let mut first_state = self.shards[first].lock_state();
+        let mut second_state = self.shards[second].lock_state();
+        let (victim_state, thief_state) = if victim < thief {
+            (&mut first_state, &mut second_state)
+        } else {
+            (&mut second_state, &mut first_state)
+        };
+
+        // Pick the actor with the most queued requests — moving it buys the
+        // most balance — skipping any actor the victim's drainers are busy
+        // with.
+        let mut counts: Vec<(ActorRef, usize)> = Vec::new();
+        for request in &victim_state.queue {
+            if victim_state.busy_actors.contains(&request.target) {
+                continue;
+            }
+            match counts
+                .iter_mut()
+                .find(|(actor, _)| *actor == request.target)
+            {
+                Some((_, count)) => *count += 1,
+                None => counts.push((request.target.clone(), 1)),
+            }
+        }
+        let Some((actor, moved)) = counts.into_iter().max_by_key(|(_, count)| *count) else {
+            return false;
+        };
+
+        // Move the actor's requests, preserving their relative order, and
+        // point its route at the thief before releasing the locks.
+        let mut kept = VecDeque::with_capacity(victim_state.queue.len() - moved);
+        for request in victim_state.queue.drain(..) {
+            if request.target == actor {
+                thief_state.queue.push_back(request);
+            } else {
+                kept.push_back(request);
+            }
+        }
+        victim_state.queue = kept;
+        self.routes.lock().insert(actor, thief);
+        self.shards[victim]
+            .depth
+            .fetch_sub(moved, Ordering::Relaxed);
+        self.shards[thief].depth.fetch_add(moved, Ordering::Relaxed);
+        self.steals.fetch_add(1, Ordering::Relaxed);
         true
     }
 
@@ -129,15 +424,11 @@ impl DispatchPool {
         self.pending.lock().remove(&id);
     }
 
-    /// Drops the pending set (component killed: in-memory state is lost; the
-    /// queue copies survive and drive the retry).
+    /// Drops the pending set and steal routes (component killed: in-memory
+    /// state is lost; the queue copies survive and drive the retry).
     pub(crate) fn clear_pending(&self) {
         self.pending.lock().clear();
-    }
-
-    /// The receiver a drainer of `shard` reads from.
-    pub(crate) fn shard_source(&self, shard: usize) -> Receiver<RequestMessage> {
-        self.shards[shard].source.clone()
+        self.routes.lock().clear();
     }
 
     /// Registers the calling thread as the drainer of `shard`. `pool_id` is
@@ -227,7 +518,7 @@ mod tests {
 
     #[test]
     fn actors_are_pinned_to_stable_shards() {
-        let pool = DispatchPool::new(4);
+        let pool = DispatchPool::new(4, false);
         assert_eq!(pool.workers(), 4);
         for i in 0..32 {
             let actor = ActorRef::new("T", format!("a{i}"));
@@ -240,27 +531,178 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_is_rejected() {
-        DispatchPool::new(0);
+        DispatchPool::new(0, true);
     }
 
     #[test]
     fn submit_tracks_pending_until_admitted() {
-        let pool = DispatchPool::new(2);
+        let pool = DispatchPool::new(2, false);
         let r = request(7, "a");
         let id = r.id;
         assert!(pool.submit(r));
         assert!(pool.is_pending(id));
         let shard = pool.shard_of(&ActorRef::new("T", "a"));
-        let received = pool.shard_source(shard).try_recv().unwrap();
+        let received = pool.next_request(shard, Duration::from_millis(5)).unwrap();
         assert_eq!(received.id, id);
         assert!(pool.is_pending(id), "still pending until admitted");
         pool.admitted(id);
+        pool.mark_admitted(shard);
+        pool.release_busy_actor(shard, &received.target);
         assert!(!pool.is_pending(id));
+        assert_eq!(pool.shard_loads()[shard], 1);
+    }
+
+    #[test]
+    fn next_request_times_out_on_an_empty_shard() {
+        let pool = DispatchPool::new(1, false);
+        assert!(pool.next_request(0, Duration::from_millis(2)).is_none());
+    }
+
+    #[test]
+    fn concurrent_pushes_never_wedge_the_drainer() {
+        // Regression test: a push landing between next_request's fast-path
+        // pop and its parked-wait acquisition used to re-lock the shard
+        // state mutex while the guard was still held — a self-deadlock that
+        // permanently wedged the shard. Hammer that window from a pusher
+        // thread while the drainer loops.
+        use std::sync::Arc;
+        const MESSAGES: u64 = 2_000;
+        let pool = Arc::new(DispatchPool::new(2, true));
+        let shard = pool.shard_of(&ActorRef::new("T", "a"));
+        let pusher_pool = pool.clone();
+        let pusher = std::thread::spawn(move || {
+            for id in 1..=MESSAGES {
+                pusher_pool.submit(request(id, "a"));
+                if id % 64 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut received = 0u64;
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while received < MESSAGES {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "drainer wedged after {received}/{MESSAGES} messages"
+            );
+            // Alternate shards so steals (and their route churn) happen too.
+            for s in [shard, 1 - shard] {
+                if let Some(r) = pool.next_request(s, Duration::from_micros(50)) {
+                    pool.admitted(r.id);
+                    pool.mark_admitted(s);
+                    pool.release_busy_actor(s, &r.target);
+                    received += 1;
+                }
+            }
+        }
+        pusher.join().unwrap();
+        assert_eq!(received, MESSAGES);
+    }
+
+    #[test]
+    fn idle_worker_steals_a_whole_actor_from_the_deepest_shard() {
+        let pool = DispatchPool::new(2, true);
+        let hot = ActorRef::new("T", "hot");
+        let warm = ActorRef::new("T", "warm");
+        let victim = pool.shard_of(&hot);
+        let thief = 1 - victim;
+        // Pin "warm" onto the same shard as "hot" via a route override, then
+        // queue 3 hot + 2 warm requests there.
+        pool.routes.lock().insert(warm.clone(), victim);
+        let mut id = 0;
+        for _ in 0..3 {
+            id += 1;
+            pool.submit(request(id, "hot"));
+        }
+        for _ in 0..2 {
+            id += 1;
+            let mut r = request(id, "warm");
+            r.target = warm.clone();
+            pool.submit(r);
+        }
+        assert_eq!(pool.shards[victim].depth.load(Ordering::Relaxed), 5);
+
+        // The idle thief steals the biggest actor ("hot", 3 queued) and only
+        // that actor; "warm" stays home.
+        let stolen = pool.next_request(thief, Duration::from_millis(5)).unwrap();
+        assert_eq!(stolen.target, hot);
+        assert_eq!(pool.steal_count(), 1);
+        assert_eq!(
+            pool.shard_of(&hot),
+            thief,
+            "route override follows the steal"
+        );
+        assert_eq!(pool.shard_of(&warm), victim);
+        assert_eq!(pool.shards[thief].depth.load(Ordering::Relaxed), 2);
+        assert_eq!(pool.shards[victim].depth.load(Ordering::Relaxed), 2);
+
+        // Stolen requests drain from the thief in FIFO order, and future
+        // submits for the stolen actor land on the thief.
+        pool.mark_admitted(thief);
+        pool.release_busy_actor(thief, &stolen.target);
+        let next = pool.next_request(thief, Duration::from_millis(5)).unwrap();
+        assert!(stolen.id < next.id, "steal must preserve per-actor order");
+        pool.submit(request(99, "hot"));
+        assert_eq!(pool.shards[thief].depth.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn stealing_skips_the_actor_its_drainer_is_busy_with() {
+        let pool = DispatchPool::new(2, true);
+        let hot = ActorRef::new("T", "hot");
+        let victim = pool.shard_of(&hot);
+        let thief = 1 - victim;
+        for id in 1..=3 {
+            pool.submit(request(id, "hot"));
+        }
+        // The victim's drainer pops one request: from that pop until the
+        // invocation completes, the only queued actor is busy there, so
+        // nothing is stolen.
+        let popped = pool.try_pop(victim).unwrap();
+        assert_eq!(popped.target, hot);
+        assert!(!pool.try_steal(thief), "must not steal a busy actor");
+        pool.mark_admitted(victim);
+        assert!(
+            !pool.try_steal(thief),
+            "still busy while the invocation runs"
+        );
+        // Once the invocation completes, the remaining requests are fair game.
+        pool.release_busy_actor(victim, &hot);
+        assert!(pool.try_steal(thief));
+        assert_eq!(pool.shard_of(&hot), thief);
+    }
+
+    #[test]
+    fn shallow_queues_are_not_stolen_from() {
+        let pool = DispatchPool::new(2, true);
+        let hot = ActorRef::new("T", "hot");
+        let victim = pool.shard_of(&hot);
+        let thief = 1 - victim;
+        pool.submit(request(1, "hot"));
+        assert!(
+            !pool.try_steal(thief),
+            "one queued request is below the steal threshold"
+        );
+        assert_eq!(pool.steal_count(), 0);
+    }
+
+    #[test]
+    fn stealing_disabled_leaves_queues_alone() {
+        let pool = DispatchPool::new(2, false);
+        let hot = ActorRef::new("T", "hot");
+        let victim = pool.shard_of(&hot);
+        let thief = 1 - victim;
+        for id in 1..=4 {
+            pool.submit(request(id, "hot"));
+        }
+        assert!(pool.next_request(thief, Duration::from_millis(2)).is_none());
+        assert_eq!(pool.shards[victim].depth.load(Ordering::Relaxed), 4);
+        assert_eq!(pool.steal_count(), 0);
     }
 
     #[test]
     fn ownership_is_exclusive_and_reclaimable() {
-        let pool = DispatchPool::new(1);
+        let pool = DispatchPool::new(1, true);
         assert!(pool.try_claim(0));
         assert!(!pool.try_claim(0), "second claim must fail");
         // Simulate the blocking hand-off protocol.
@@ -283,7 +725,7 @@ mod tests {
 
     #[test]
     fn enter_blocking_is_a_noop_off_worker_threads() {
-        let pool = DispatchPool::new(1);
+        let pool = DispatchPool::new(1, true);
         // This test thread was bound by other tests? Reset explicitly.
         SHARD_CTX.with(|ctx| ctx.set(None));
         OWNS_SHARD.with(|owns| owns.set(false));

@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod actor;
+mod aging;
 pub mod client;
 pub mod component;
 pub mod config;
@@ -81,6 +82,7 @@ pub use client::Client;
 pub use config::{CancellationPolicy, MeshConfig};
 pub use context::{ActorContext, ActorState};
 pub use mesh::{ComponentBuilder, Mesh};
+pub use placement::PlacementCounters;
 pub use recovery::{OutageRecord, RecoveryLog};
 
 pub use kar_types::{ActorRef, KarError, KarResult, Value};

@@ -3,7 +3,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -300,6 +300,72 @@ impl Mesh {
         nodes
     }
 
+    /// Per-shard admitted-request counts of one component's dispatch pool
+    /// (`None` for unknown components). The max/mean spread of this vector
+    /// is the shard imbalance that work stealing closes.
+    pub fn shard_loads(&self, component: ComponentId) -> Option<Vec<u64>> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.shard_loads())
+    }
+
+    /// Number of whole-actor steals one component's idle dispatch workers
+    /// have performed.
+    pub fn steal_count(&self, component: ComponentId) -> Option<u64> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.steal_count())
+    }
+
+    /// Placement-cache hit/miss/invalidation counters of one component.
+    pub fn placement_counters(
+        &self,
+        component: ComponentId,
+    ) -> Option<crate::placement::PlacementCounters> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.placement_counters())
+    }
+
+    /// Sizes of one component's aged retry-bookkeeping sets (completed ids,
+    /// seen response ids).
+    pub fn retry_bookkeeping_len(&self, component: ComponentId) -> Option<(usize, usize)> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.retry_bookkeeping_len())
+    }
+
+    /// Human-readable snapshot of every component's dispatch/actor state
+    /// plus the queue backlog, for debugging stuck requests.
+    pub fn debug_report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let components = self.inner.components.read().clone();
+        let mut ids: Vec<ComponentId> = components.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            let core = &components[&id];
+            out.push_str(&core.debug_snapshot());
+            if let Some(partition) = self.inner.partitions.read().get(&id) {
+                let _ = writeln!(
+                    out,
+                    "  queue partition {partition}: len={} end_offset={}",
+                    self.inner.broker.partition_len(TOPIC, *partition),
+                    self.inner.broker.end_offset(TOPIC, *partition),
+                );
+            }
+        }
+        out
+    }
+
     /// The log of completed recoveries.
     pub fn recovery_log(&self) -> Vec<OutageRecord> {
         self.inner.recovery.snapshot()
@@ -311,16 +377,10 @@ impl Mesh {
     }
 
     /// Blocks until at least `count` recoveries have completed, or `timeout`
-    /// elapses. Returns true if the target was reached.
+    /// elapses, parked on the recovery log's condvar (no polling). Returns
+    /// true if the target was reached.
     pub fn wait_for_recoveries(&self, count: usize, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        while Instant::now() < deadline {
-            if self.inner.recovery.len() >= count {
-                return true;
-            }
-            std::thread::sleep(Duration::from_millis(2));
-        }
-        self.inner.recovery.len() >= count
+        self.inner.recovery.wait_for(count, timeout)
     }
 
     /// Direct access to the persistent store (for invariant checkers and
@@ -369,6 +429,7 @@ mod tests {
     use crate::actor::Outcome;
     use crate::context::ActorContext;
     use kar_types::{ActorRef, KarError, KarResult, Value};
+    use std::time::Instant;
 
     /// A counter actor exercising state persistence and tail calls, following
     /// the Accumulator example of §2.3.

@@ -8,6 +8,8 @@
 //! completes.
 
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,41 +37,186 @@ pub fn host_prefix(actor_type: &str) -> String {
     format!("host/{}/", actor_type)
 }
 
+/// A read-only snapshot of the placement cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to go to the store (cold, stale-epoch, or pointing
+    /// at a dead component).
+    pub misses: u64,
+    /// Cache invalidation events: epoch bumps (recovery-driven
+    /// [`PlacementService::clear_cache`]) plus entries lazily evicted
+    /// because their epoch was stale or their component dead.
+    pub invalidations: u64,
+}
+
+/// One placement per actor, tagged with the cache epoch it was inserted in.
+/// Entries from older epochs are treated as misses and lazily evicted —
+/// which is what makes [`PlacementService::clear_cache`] O(1): recovery bumps
+/// the epoch instead of locking every shard to drain it, so readers never
+/// stall behind a clear.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    component: ComponentId,
+    epoch: u64,
+}
+
+/// The sharded placement cache: actors hash onto shards, so concurrent
+/// dispatch workers resolving placements contend only when they race on the
+/// same shard — never on one global cache lock.
+#[derive(Debug)]
+struct ShardedCache {
+    shards: Vec<Mutex<HashMap<ActorRef, CacheEntry>>>,
+    epoch: AtomicU64,
+}
+
+impl ShardedCache {
+    fn new(shards: usize) -> Self {
+        ShardedCache {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, actor: &ActorRef) -> &Mutex<HashMap<ActorRef, CacheEntry>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        actor.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
 /// Per-component placement service.
 #[derive(Debug)]
 pub struct PlacementService {
     conn: Connection,
     live: LiveSet,
-    cache: Mutex<HashMap<ActorRef, ComponentId>>,
-    cache_enabled: bool,
+    cache: Option<ShardedCache>,
     lookup_timeout: Duration,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl PlacementService {
     /// Creates a placement service using the given (fenced) store connection.
+    /// `cache_shards` is ignored when the cache is disabled.
     pub fn new(
         conn: Connection,
         live: LiveSet,
         cache_enabled: bool,
+        cache_shards: usize,
         lookup_timeout: Duration,
     ) -> Self {
         PlacementService {
             conn,
             live,
-            cache: Mutex::new(HashMap::new()),
-            cache_enabled,
+            cache: cache_enabled.then(|| ShardedCache::new(cache_shards)),
             lookup_timeout,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
-    /// Empties the placement cache (called when recovery completes, §4.1).
+    /// Invalidates the whole placement cache (called when recovery
+    /// completes, §4.1). Epoch-based: bumps the cache epoch in O(1) instead
+    /// of draining every shard under its lock, so concurrent readers are
+    /// never stalled behind recovery. Entries from older epochs are lazily
+    /// evicted on their next lookup.
     pub fn clear_cache(&self) {
-        self.cache.lock().clear();
+        if let Some(cache) = &self.cache {
+            cache.epoch.fetch_add(1, Ordering::AcqRel);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    /// Number of cached placements (used by tests and benchmarks).
+    /// Number of cached placements in the current epoch (used by tests and
+    /// benchmarks). Walks every shard; not a hot-path operation.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().len()
+        let Some(cache) = &self.cache else { return 0 };
+        let epoch = cache.current_epoch();
+        cache
+            .shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lock()
+                    .values()
+                    .filter(|entry| entry.epoch == epoch)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Number of cache shards (0 when the cache is disabled).
+    pub fn cache_shards(&self) -> usize {
+        self.cache.as_ref().map_or(0, |cache| cache.shards.len())
+    }
+
+    /// A snapshot of the hit/miss/invalidation counters.
+    pub fn counters(&self) -> PlacementCounters {
+        PlacementCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cache lookup: a hit requires the entry to be from the current epoch
+    /// and to point at a live component; anything else is a miss (and a
+    /// lazily evicted entry, counted as an invalidation).
+    fn cache_lookup(&self, actor: &ActorRef) -> Option<ComponentId> {
+        let Some(cache) = self.cache.as_ref() else {
+            // No cache: every resolution is a (counted) miss, so the bench's
+            // cache-on/cache-off comparison sees the full lookup volume.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let epoch = cache.current_epoch();
+        let mut shard = cache.shard(actor).lock();
+        match shard.get(actor) {
+            Some(entry) if entry.epoch == epoch && self.is_live(entry.component) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.component)
+            }
+            Some(_) => {
+                shard.remove(actor);
+                drop(shard);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Caches a resolved placement. `epoch` must have been read (via
+    /// [`PlacementService::cache_epoch`]) *before* the store lookup: if a
+    /// clear races the resolution, the entry is inserted already-stale and
+    /// ignored, instead of resurrecting a pre-recovery placement.
+    fn cache_insert(&self, actor: &ActorRef, component: ComponentId, epoch: u64) {
+        if let Some(cache) = &self.cache {
+            cache
+                .shard(actor)
+                .lock()
+                .insert(actor.clone(), CacheEntry { component, epoch });
+        }
+    }
+
+    /// The cache epoch to tag in-flight resolutions with.
+    fn cache_epoch(&self) -> u64 {
+        self.cache.as_ref().map_or(0, ShardedCache::current_epoch)
     }
 
     /// Resolves the component hosting `actor`, placing the actor on a
@@ -86,20 +233,15 @@ impl PlacementService {
     /// not repaired in time, or with a store error if the component has been
     /// fenced.
     pub fn resolve(&self, actor: &ActorRef) -> KarResult<ComponentId> {
-        if self.cache_enabled {
-            if let Some(component) = self.cache.lock().get(actor) {
-                if self.is_live(*component) {
-                    return Ok(*component);
-                }
-            }
+        if let Some(component) = self.cache_lookup(actor) {
+            return Ok(component);
         }
         let deadline = Instant::now() + self.lookup_timeout;
         loop {
+            let epoch = self.cache_epoch();
             match self.resolve_uncached(actor)? {
                 Some(component) => {
-                    if self.cache_enabled {
-                        self.cache.lock().insert(actor.clone(), component);
-                    }
+                    self.cache_insert(actor, component, epoch);
                     return Ok(component);
                 }
                 None => {
@@ -125,18 +267,13 @@ impl PlacementService {
     ///
     /// Same as [`PlacementService::resolve`], minus the timeout.
     pub fn resolve_nowait(&self, actor: &ActorRef) -> KarResult<Option<ComponentId>> {
-        if self.cache_enabled {
-            if let Some(component) = self.cache.lock().get(actor) {
-                if self.is_live(*component) {
-                    return Ok(Some(*component));
-                }
-            }
+        if let Some(component) = self.cache_lookup(actor) {
+            return Ok(Some(component));
         }
+        let epoch = self.cache_epoch();
         let resolved = self.resolve_uncached(actor)?;
         if let Some(component) = resolved {
-            if self.cache_enabled {
-                self.cache.lock().insert(actor.clone(), component);
-            }
+            self.cache_insert(actor, component, epoch);
         }
         Ok(resolved)
     }
@@ -203,7 +340,6 @@ impl PlacementService {
 
 /// Deterministically spreads actor instances across candidate hosts.
 fn spread_index(actor: &ActorRef, candidates: usize) -> usize {
-    use std::hash::{Hash, Hasher};
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     actor.hash(&mut hasher);
     (hasher.finish() as usize) % candidates
@@ -244,6 +380,7 @@ mod tests {
             store.connect(ComponentId::from_raw(id)),
             live_set.clone(),
             cache,
+            4,
             Duration::from_millis(100),
         )
     }
@@ -385,6 +522,69 @@ mod tests {
             results.windows(2).all(|w| w[0] == w[1]),
             "divergent placements: {results:?}"
         );
+    }
+
+    #[test]
+    fn counters_track_hits_misses_and_invalidations() {
+        let store = Store::new();
+        announce(&store, "Order", 1);
+        let live_set = live(&[1]);
+        let placement = service(&store, 1, &live_set, true);
+        let actor = ActorRef::new("Order", "o");
+        assert_eq!(placement.counters(), PlacementCounters::default());
+        placement.resolve(&actor).unwrap(); // cold: miss
+        placement.resolve(&actor).unwrap(); // cached: hit
+        placement.resolve(&actor).unwrap(); // cached: hit
+        let counters = placement.counters();
+        assert_eq!(counters.misses, 1);
+        assert_eq!(counters.hits, 2);
+        assert_eq!(counters.invalidations, 0);
+        // Epoch-based clear: one invalidation event, next lookup misses and
+        // lazily evicts the stale entry (a second invalidation).
+        placement.clear_cache();
+        assert_eq!(placement.cache_len(), 0, "stale epoch entries don't count");
+        placement.resolve(&actor).unwrap();
+        let counters = placement.counters();
+        assert_eq!(counters.misses, 2);
+        assert_eq!(counters.invalidations, 2);
+        assert_eq!(placement.cache_len(), 1, "re-resolved into the new epoch");
+    }
+
+    #[test]
+    fn disabled_cache_counts_only_misses() {
+        let store = Store::new();
+        announce(&store, "Order", 1);
+        let live_set = live(&[1]);
+        let placement = service(&store, 1, &live_set, false);
+        assert_eq!(placement.cache_shards(), 0);
+        let actor = ActorRef::new("Order", "o");
+        placement.resolve(&actor).unwrap();
+        placement.resolve(&actor).unwrap();
+        let counters = placement.counters();
+        assert_eq!(counters.hits, 0);
+        assert_eq!(counters.misses, 2);
+        placement.clear_cache(); // no-op without a cache
+        assert_eq!(placement.counters().invalidations, 0);
+    }
+
+    #[test]
+    fn cache_spreads_actors_over_shards() {
+        let store = Store::new();
+        announce(&store, "Order", 1);
+        let live_set = live(&[1]);
+        let placement = service(&store, 1, &live_set, true);
+        assert_eq!(placement.cache_shards(), 4);
+        for i in 0..64 {
+            placement
+                .resolve(&ActorRef::new("Order", format!("o-{i}")))
+                .unwrap();
+        }
+        assert_eq!(placement.cache_len(), 64);
+        // With 64 actors over 4 shards, every shard should hold some.
+        let cache = placement.cache.as_ref().unwrap();
+        for shard in &cache.shards {
+            assert!(!shard.lock().is_empty(), "a cache shard stayed empty");
+        }
     }
 
     #[test]

@@ -88,9 +88,15 @@ impl OutageRecord {
 }
 
 /// The log of every recovery performed by a mesh.
+///
+/// Waiters park on a condvar notified by every push (the `poll_wait` idiom
+/// of the queue substrate), so [`RecoveryLog::wait_for`] consumes no CPU
+/// while recovery is in flight. (std primitives, not parking_lot: a
+/// `Condvar` must pair with a `std::sync::Mutex`.)
 #[derive(Debug, Default)]
 pub struct RecoveryLog {
-    records: Mutex<Vec<OutageRecord>>,
+    records: std::sync::Mutex<Vec<OutageRecord>>,
+    grew: std::sync::Condvar,
 }
 
 impl RecoveryLog {
@@ -99,13 +105,20 @@ impl RecoveryLog {
         RecoveryLog::default()
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<OutageRecord>> {
+        self.records
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     pub(crate) fn push(&self, record: OutageRecord) {
-        self.records.lock().push(record);
+        self.lock().push(record);
+        self.grew.notify_all();
     }
 
     /// Number of recoveries performed so far.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.lock().len()
     }
 
     /// True if no recovery has been performed yet.
@@ -115,12 +128,35 @@ impl RecoveryLog {
 
     /// A snapshot of every recovery record.
     pub fn snapshot(&self) -> Vec<OutageRecord> {
-        self.records.lock().clone()
+        self.lock().clone()
     }
 
     /// The most recent recovery record, if any.
     pub fn last(&self) -> Option<OutageRecord> {
-        self.records.lock().last().cloned()
+        self.lock().last().cloned()
+    }
+
+    /// Blocks until the log holds at least `count` records or `timeout`
+    /// elapses, parking on the push signal instead of polling. Returns true
+    /// if the target was reached.
+    pub fn wait_for(&self, count: usize, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut records = self.lock();
+        while records.len() < count {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, result) = self
+                .grew
+                .wait_timeout(records, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            records = next;
+            if result.timed_out() && records.len() < count {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -228,8 +264,43 @@ fn retry_orphans(ctx: &RecoveryContext) {
         return;
     }
     let live: Vec<ComponentId> = ctx.live.read().iter().copied().collect();
+    let mut batches = RehomeBatches::default();
     for request in pending {
-        rehome_request(ctx, request, &live, &HashSet::new(), &[]);
+        if let Some((partition, request)) = rehome_decision(ctx, request, &live) {
+            batches.push(partition, request);
+        }
+    }
+    batches.flush(ctx);
+}
+
+/// Re-homed requests buffered per destination partition, so the actual
+/// appends go through [`kar_queue::Broker::admin_append_batch`]: one
+/// partition-lock acquisition and one consumer wake-up per partition,
+/// instead of per record. Relative order of the decisions is preserved
+/// within each partition (which is the only order that matters: one actor's
+/// requests always target one partition).
+#[derive(Default)]
+struct RehomeBatches {
+    batches: HashMap<usize, Vec<Envelope>>,
+    count: usize,
+}
+
+impl RehomeBatches {
+    fn push(&mut self, partition: usize, request: RequestMessage) {
+        self.batches
+            .entry(partition)
+            .or_default()
+            .push(Envelope::Request(request));
+        self.count += 1;
+    }
+
+    fn flush(self, ctx: &RecoveryContext) -> usize {
+        for (partition, envelopes) in self.batches {
+            let _ = ctx
+                .broker
+                .admin_append_batch(&ctx.topic, partition, envelopes);
+        }
+        self.count
     }
 }
 
@@ -326,9 +397,13 @@ fn reconcile(ctx: &RecoveryContext, removed: &[ComponentId], live: &[ComponentId
     }
 
     // 5. Re-home pending requests, annotating each with its pending callee so
-    //    the retry happens after the callee settles (happen-before).
-    let mut rehomed = 0;
+    //    the retry happens after the callee settles (happen-before). The
+    //    placement decisions are made one by one (and paced like the paper's
+    //    leader), but the queue appends are buffered per destination
+    //    partition and flushed as admin batches: one partition-lock
+    //    acquisition for N re-homed records instead of N.
     let mut rehomed_ids: HashSet<RequestId> = HashSet::new();
+    let mut batches = RehomeBatches::default();
     for mut request in pending {
         let pending_callee = all_requests
             .iter()
@@ -336,15 +411,17 @@ fn reconcile(ctx: &RecoveryContext, removed: &[ComponentId], live: &[ComponentId
             .map(|r| r.id);
         request.pending_callee = pending_callee;
         rehomed_ids.insert(request.id);
-        if rehome_request(ctx, request, live, &responses, &all_requests) {
-            rehomed += 1;
+        if let Some((partition, request)) = rehome_decision(ctx, request, live) {
+            batches.push(partition, request);
         }
         sleep_scaled(ctx, ctx.config.reconciliation_per_message);
     }
+    let mut rehomed = batches.flush(ctx);
 
     // 6. Second sweep: requests appended to the failed queues *while* the
     //    leader was cataloguing (senders may race placement invalidation)
     //    would otherwise be flushed and lost; re-home them too.
+    let mut batches = RehomeBatches::default();
     for component in removed {
         let Some(partition) = partitions.get(component) else {
             continue;
@@ -358,12 +435,13 @@ fn reconcile(ctx: &RecoveryContext, removed: &[ComponentId], live: &[ComponentId
                     continue;
                 }
                 rehomed_ids.insert(request.id);
-                if rehome_request(ctx, request, live, &responses, &all_requests) {
-                    rehomed += 1;
+                if let Some((partition, request)) = rehome_decision(ctx, request, live) {
+                    batches.push(partition, request);
                 }
             }
         }
     }
+    rehomed += batches.flush(ctx);
 
     // 7. Flush the failed queues for later reuse.
     for component in removed {
@@ -374,17 +452,16 @@ fn reconcile(ctx: &RecoveryContext, removed: &[ComponentId], live: &[ComponentId
     rehomed
 }
 
-/// Chooses a replacement component for one pending request, updates the
-/// actor's placement, and appends the request to the replacement's queue.
-/// Returns false (and parks the request in the orphan list) when no live
-/// component hosts the actor type.
-fn rehome_request(
+/// Chooses a replacement component for one pending request and updates the
+/// actor's placement. Returns the destination partition and the request to
+/// append there (the caller batches the actual appends per partition), or
+/// `None` (parking the request in the orphan list) when no live component
+/// hosts the actor type.
+fn rehome_decision(
     ctx: &RecoveryContext,
     request: RequestMessage,
     live: &[ComponentId],
-    _responses: &HashSet<RequestId>,
-    _all_requests: &[RequestMessage],
-) -> bool {
+) -> Option<(usize, RequestMessage)> {
     let partitions = ctx.partitions.read().clone();
     let key = placement_key(&request.target);
     // If the actor is already placed on a live component (for example because
@@ -402,7 +479,7 @@ fn rehome_request(
             let hosts = live_hosts(ctx, request.target.actor_type(), live);
             if hosts.is_empty() {
                 ctx.orphans.lock().push(request);
-                return false;
+                return None;
             }
             let chosen = hosts[spread(&request.target.qualified_name(), hosts.len())];
             ctx.store.admin_set(&key, component_to_value(chosen));
@@ -411,12 +488,9 @@ fn rehome_request(
     };
     let Some(partition) = partitions.get(&target_component).copied() else {
         ctx.orphans.lock().push(request);
-        return false;
+        return None;
     };
-    let _ = ctx
-        .broker
-        .admin_append(&ctx.topic, partition, Envelope::Request(request));
-    true
+    Some((partition, request))
 }
 
 /// The live components announcing support for `actor_type`.
