@@ -21,6 +21,10 @@
 //!   (single and batched appends) and a skewed-actor workload with dispatch
 //!   work stealing off/on (the `bench_lock_granularity` binary emits
 //!   `BENCH_lock_granularity.json`, and its `--smoke` mode runs in CI).
+//! * [`partitions`] — the partition-scaling harness: call throughput of one
+//!   component as its home-partition count grows from 1 to 8 under a
+//!   durable-ack-bound workload (the `bench_partitions` binary emits
+//!   `BENCH_partitions.json`, and its `--smoke` mode runs in CI).
 //!
 //! Each table/figure has a dedicated binary (see `bin/`) and a Criterion
 //! bench (see `benches/`); the binaries print the same rows the paper
@@ -32,11 +36,13 @@
 pub mod fault;
 pub mod latency;
 pub mod lock_granularity;
+pub mod partitions;
 pub mod report;
 pub mod throughput;
 
 pub use fault::{FailureSample, FaultConfig, FaultReport};
 pub use latency::{LatencyConfig, LatencyRow};
 pub use lock_granularity::{ContendedConfig, ContendedReport, SkewedConfig, SkewedReport};
+pub use partitions::{PartitionReport, PartitionSweepConfig};
 pub use report::Summary;
 pub use throughput::{ThroughputConfig, ThroughputReport};

@@ -33,7 +33,7 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -45,6 +45,7 @@ use kar_types::{ComponentId, Epoch, KarError, KarResult, WaitSignal};
 use crate::config::BrokerConfig;
 use crate::group::{Group, GroupEvent, GroupView, MemberInfo, MemberState};
 use crate::log::PartitionLog;
+use crate::partition_set::PartitionSet;
 use crate::record::Record;
 
 /// Number of shards of the topic index. Hot paths read-lock exactly one
@@ -87,6 +88,12 @@ impl<M> Clone for Broker<M> {
 struct Partition<M> {
     log: Mutex<PartitionLog<M>>,
     signal: WaitSignal,
+    /// Ownership fencing epoch of this partition. Bumped by
+    /// [`Broker::fence_partition`] when the partition is reassigned to a new
+    /// consumer (recovery re-homing a failed component's partition range), so
+    /// a slow consumer opened under the previous assignment fails its next
+    /// poll instead of double-committing records behind the new owner's back.
+    owner_epoch: AtomicU64,
 }
 
 impl<M> Default for Partition<M> {
@@ -94,6 +101,7 @@ impl<M> Default for Partition<M> {
         Partition {
             log: Mutex::new(PartitionLog::default()),
             signal: WaitSignal::new(),
+            owner_epoch: AtomicU64::new(0),
         }
     }
 }
@@ -131,6 +139,11 @@ struct BrokerInner<M> {
     /// Fencing epochs, sharded by component id so the per-append epoch check
     /// does not serialize unrelated producers.
     epoch_shards: Vec<RwLock<HashMap<ComponentId, Epoch>>>,
+    /// Partition-assignment table, per topic: which [`PartitionSet`] each
+    /// component consumes. Written on component creation and on recovery
+    /// re-homing; read by administrative tooling and the group coordinator —
+    /// never on the send/poll hot path.
+    assignments: RwLock<HashMap<String, HashMap<ComponentId, PartitionSet>>>,
     groups: Mutex<HashMap<String, Group>>,
     shutdown: AtomicBool,
     /// Ablation: when `BrokerConfig::coarse_global_lock` is set, this mutex
@@ -159,6 +172,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
                 epoch_shards: (0..EPOCH_SHARDS)
                     .map(|_| RwLock::new(HashMap::new()))
                     .collect(),
+                assignments: RwLock::new(HashMap::new()),
                 groups: Mutex::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
                 coarse,
@@ -255,6 +269,91 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
     }
 
     // ------------------------------------------------------------------
+    // Partition assignment
+    // ------------------------------------------------------------------
+
+    /// Records that `component` consumes `set` in `topic`, growing the topic
+    /// so every member of the set exists.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Queue` if the set has no home partitions.
+    pub fn assign_partitions(
+        &self,
+        topic: &str,
+        component: ComponentId,
+        set: PartitionSet,
+    ) -> KarResult<()> {
+        let highest = set.all().into_iter().max().ok_or_else(|| {
+            KarError::Queue(format!(
+                "cannot assign an empty partition set to {component}"
+            ))
+        })?;
+        self.ensure_partitions(topic, highest + 1)?;
+        self.inner
+            .assignments
+            .write()
+            .entry(topic.to_owned())
+            .or_default()
+            .insert(component, set);
+        Ok(())
+    }
+
+    /// The partition set assigned to `component` in `topic`, if any.
+    pub fn assignment(&self, topic: &str, component: ComponentId) -> Option<PartitionSet> {
+        self.inner
+            .assignments
+            .read()
+            .get(topic)
+            .and_then(|table| table.get(&component))
+            .cloned()
+    }
+
+    /// The whole assignment table of `topic` (empty if none).
+    pub fn topic_assignments(&self, topic: &str) -> HashMap<ComponentId, PartitionSet> {
+        self.inner
+            .assignments
+            .read()
+            .get(topic)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Removes `component`'s assignment in `topic`, returning the set it held
+    /// (recovery reassigns those partitions to survivors).
+    pub fn unassign_partitions(&self, topic: &str, component: ComponentId) -> Option<PartitionSet> {
+        self.inner
+            .assignments
+            .write()
+            .get_mut(topic)
+            .and_then(|table| table.remove(&component))
+    }
+
+    /// Bumps the ownership epoch of `topic[partition]`, fencing every
+    /// consumer opened under the previous assignment: their next poll fails
+    /// with `KarError::Fenced` instead of double-committing records after the
+    /// partition was re-homed. Parked consumers are woken so they observe the
+    /// fence promptly. Returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Queue` if the partition does not exist.
+    pub fn fence_partition(&self, topic: &str, partition: usize) -> KarResult<Epoch> {
+        let part = self.lookup_partition(topic, partition)?;
+        let raw = part.owner_epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        part.signal.bump();
+        Ok(Epoch::from_raw(raw))
+    }
+
+    /// The current ownership epoch of `topic[partition]` (zero if the
+    /// partition does not exist).
+    pub fn partition_epoch(&self, topic: &str, partition: usize) -> Epoch {
+        self.lookup_partition(topic, partition)
+            .map(|part| Epoch::from_raw(part.owner_epoch.load(Ordering::Acquire)))
+            .unwrap_or(Epoch::ZERO)
+    }
+
+    // ------------------------------------------------------------------
     // Fencing
     // ------------------------------------------------------------------
 
@@ -335,12 +434,14 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
         offset: u64,
     ) -> KarResult<Consumer<M>> {
         let partition_ref = self.lookup_partition(topic, partition)?;
+        let partition_epoch = Epoch::from_raw(partition_ref.owner_epoch.load(Ordering::Acquire));
         Ok(Consumer {
             broker: self.clone(),
             component,
             epoch: self.current_epoch(component),
             partition_ref,
             partition,
+            partition_epoch,
             position: Mutex::new(offset),
         })
     }
@@ -537,9 +638,9 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
     // Consumer groups
     // ------------------------------------------------------------------
 
-    /// Joins `component` to `group`, consuming `partition`. Triggers a
+    /// Joins `component` to `group`, consuming `partitions`. Triggers a
     /// rebalance after the stabilization window.
-    pub fn join_group(&self, group: &str, component: ComponentId, partition: usize) {
+    pub fn join_group(&self, group: &str, component: ComponentId, partitions: PartitionSet) {
         let now = self.now();
         let mut groups = self.inner.groups.lock();
         let g = groups.entry(group.to_owned()).or_default();
@@ -547,13 +648,32 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             component,
             MemberInfo {
                 component,
-                partition,
+                partitions,
                 state: MemberState::Live,
                 last_heartbeat: now,
             },
         );
         g.rebalance_deadline = Some(now + self.inner.config.rebalance_stabilization);
         g.emit(GroupEvent::MemberJoined { component, at: now });
+    }
+
+    /// Refreshes the partition set recorded for `component` in `group`
+    /// (recovery re-homed partition ranges onto it), so the group view stays
+    /// in agreement with the broker's assignment table. No-op for unknown
+    /// groups or members; membership and generation are untouched.
+    pub fn update_member_partitions(
+        &self,
+        group: &str,
+        component: ComponentId,
+        partitions: PartitionSet,
+    ) {
+        let mut groups = self.inner.groups.lock();
+        if let Some(member) = groups
+            .get_mut(group)
+            .and_then(|g| g.members.get_mut(&component))
+        {
+            member.partitions = partitions;
+        }
     }
 
     /// Gracefully removes `component` from `group`.
@@ -729,6 +849,64 @@ impl<M: Clone + Send + Sync + 'static> Producer<M> {
             .append_batch(self.component, self.epoch, topic, partition, payloads)
     }
 
+    /// Appends `payload` to the home partition `key` hashes to within `set`
+    /// (the partition-set routing of §4.1: every record of one actor lands in
+    /// one partition). Returns the chosen partition and the record offset.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Producer::send`], plus `KarError::Queue` if the set has no
+    /// home partitions.
+    pub fn send_keyed(
+        &self,
+        topic: &str,
+        set: &PartitionSet,
+        key: &str,
+        payload: M,
+    ) -> KarResult<(usize, u64)> {
+        let partition = set
+            .partition_for_key(key)
+            .ok_or_else(|| KarError::Queue(format!("empty partition set routing key {key}")))?;
+        let offset = self.send(topic, partition, payload)?;
+        Ok((partition, offset))
+    }
+
+    /// Appends a batch of keyed records, splitting it by target partition:
+    /// entries are grouped by the home partition their key hashes to
+    /// (relative order preserved within each partition), and each group is
+    /// appended as one [`Producer::send_batch`] — so a batch spanning
+    /// multiple partitions pays one lock acquisition and one durable ack per
+    /// partition touched, and each group's offsets are contiguous. Returns
+    /// the `(partition, offset range)` of every group, in first-touch order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Producer::send_keyed`]. If a group's append fails, the
+    /// error is returned and later groups are not appended.
+    pub fn send_keyed_batch(
+        &self,
+        topic: &str,
+        set: &PartitionSet,
+        entries: Vec<(String, M)>,
+    ) -> KarResult<Vec<(usize, Range<u64>)>> {
+        let mut groups: Vec<(usize, Vec<M>)> = Vec::new();
+        for (key, payload) in entries {
+            let partition = set
+                .partition_for_key(&key)
+                .ok_or_else(|| KarError::Queue(format!("empty partition set routing key {key}")))?;
+            match groups.iter_mut().find(|(p, _)| *p == partition) {
+                Some((_, group)) => group.push(payload),
+                None => groups.push((partition, vec![payload])),
+            }
+        }
+        let mut ranges = Vec::with_capacity(groups.len());
+        for (partition, payloads) in groups {
+            let range = self.send_batch(topic, partition, payloads)?;
+            ranges.push((partition, range));
+        }
+        Ok(ranges)
+    }
+
     /// The component this producer belongs to.
     pub fn component(&self) -> ComponentId {
         self.component
@@ -739,6 +917,10 @@ impl<M: Clone + Send + Sync + 'static> Producer<M> {
 ///
 /// The consumer caches its partition handle at construction, so polling
 /// never touches the topic index again: one partition-level lock per poll.
+/// It is fenced two ways: by its component's epoch (the component was
+/// forcefully disconnected) and by the partition's ownership epoch (the
+/// partition was reassigned to another component after this consumer
+/// opened — see [`Broker::fence_partition`]).
 #[derive(Debug)]
 pub struct Consumer<M> {
     broker: Broker<M>,
@@ -746,18 +928,37 @@ pub struct Consumer<M> {
     epoch: Epoch,
     partition_ref: Arc<Partition<M>>,
     partition: usize,
+    partition_epoch: Epoch,
     position: Mutex<u64>,
 }
 
 impl<M: Clone + Send + Sync + 'static> Consumer<M> {
+    /// Fails if the partition's ownership epoch moved past the one this
+    /// consumer was opened under (the partition was re-homed): the consumer
+    /// must not commit records behind the new owner's back.
+    fn check_partition_epoch(&self) -> KarResult<()> {
+        let current = Epoch::from_raw(self.partition_ref.owner_epoch.load(Ordering::Acquire));
+        if self.partition_epoch < current {
+            return Err(KarError::Fenced {
+                component: self.component,
+                detail: format!(
+                    "consumer of partition {} opened at {} but partition fenced to {current}",
+                    self.partition, self.partition_epoch
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Fetches up to `max` records past the consumer's current position and
     /// advances the position past the returned records.
     ///
     /// # Errors
     ///
     /// Fails with `KarError::Fenced` if the owning component has been
-    /// forcefully disconnected.
+    /// forcefully disconnected or the partition has been reassigned.
     pub fn poll(&self, max: usize) -> KarResult<Vec<Record<M>>> {
+        self.check_partition_epoch()?;
         let mut position = self.position.lock();
         let records = self.broker.fetch(
             self.component,
@@ -1103,8 +1304,8 @@ mod tests {
     fn group_membership_failure_detection_and_rebalance() {
         let broker: Broker<u32> = Broker::new(BrokerConfig::fast());
         let events = broker.subscribe("g");
-        broker.join_group("g", c(1), 0);
-        broker.join_group("g", c(2), 1);
+        broker.join_group("g", c(1), PartitionSet::contiguous(0, 1));
+        broker.join_group("g", c(2), PartitionSet::contiguous(1, 1));
         // Both joins visible.
         assert_eq!(broker.group_view("g").members.len(), 2);
         // Wait out the stabilization window, then tick to complete the join
@@ -1150,10 +1351,25 @@ mod tests {
     }
 
     #[test]
+    fn update_member_partitions_refreshes_the_group_view() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::fast());
+        broker.join_group("g", c(1), PartitionSet::contiguous(0, 4));
+        let mut grown = PartitionSet::contiguous(0, 4);
+        grown.adopt([8, 9]);
+        broker.update_member_partitions("g", c(1), grown.clone());
+        assert_eq!(broker.group_view("g").partitions_of(c(1)), Some(grown));
+        // Membership and generation are untouched; unknown targets no-op.
+        assert_eq!(broker.group_view("g").generation, 0);
+        broker.update_member_partitions("g", c(9), PartitionSet::contiguous(0, 1));
+        broker.update_member_partitions("nope", c(1), PartitionSet::contiguous(0, 1));
+        assert_eq!(broker.group_view("g").members.len(), 1);
+    }
+
+    #[test]
     fn heartbeat_on_unknown_group_or_member_fails() {
         let broker: Broker<u32> = Broker::new(BrokerConfig::fast());
         assert!(broker.heartbeat("nope", c(1)).is_err());
-        broker.join_group("g", c(1), 0);
+        broker.join_group("g", c(1), PartitionSet::contiguous(0, 1));
         assert!(broker.heartbeat("g", c(2)).is_err());
         assert!(broker.heartbeat("g", c(1)).is_ok());
     }
@@ -1162,8 +1378,8 @@ mod tests {
     fn leave_group_triggers_rebalance_without_failure() {
         let broker: Broker<u32> = Broker::new(BrokerConfig::fast());
         let events = broker.subscribe("g");
-        broker.join_group("g", c(1), 0);
-        broker.join_group("g", c(2), 1);
+        broker.join_group("g", c(1), PartitionSet::contiguous(0, 1));
+        broker.join_group("g", c(2), PartitionSet::contiguous(1, 1));
         std::thread::sleep(Duration::from_millis(30));
         broker.tick();
         broker.leave_group("g", c(2));
@@ -1191,7 +1407,7 @@ mod tests {
         let broker: Broker<u32> = Broker::new(BrokerConfig::fast());
         broker.spawn_coordinator();
         let events = broker.subscribe("g");
-        broker.join_group("g", c(1), 0);
+        broker.join_group("g", c(1), PartitionSet::contiguous(0, 1));
         // Never heartbeat: the coordinator should detect the failure and
         // complete a rebalance on its own.
         let deadline = Instant::now() + Duration::from_secs(2);
@@ -1294,6 +1510,176 @@ mod tests {
         producer.send("t", 0, 1).unwrap();
         consumer.poll(1).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn assignment_table_tracks_partition_sets_and_grows_topics() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::default());
+        assert!(broker.assignment("t", c(1)).is_none());
+        assert!(broker
+            .assign_partitions("t", c(1), PartitionSet::default())
+            .is_err());
+        broker
+            .assign_partitions("t", c(1), PartitionSet::contiguous(0, 4))
+            .unwrap();
+        broker
+            .assign_partitions("t", c(2), PartitionSet::contiguous(4, 2))
+            .unwrap();
+        // The topic grew to cover the highest assigned partition.
+        assert_eq!(broker.partition_count("t"), 6);
+        assert_eq!(
+            broker.assignment("t", c(1)),
+            Some(PartitionSet::contiguous(0, 4))
+        );
+        let table = broker.topic_assignments("t");
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[&c(2)], PartitionSet::contiguous(4, 2));
+        // Reassignment: component 2's range moves into component 1's set as
+        // adopted partitions.
+        let freed = broker.unassign_partitions("t", c(2)).unwrap();
+        let mut merged = broker.assignment("t", c(1)).unwrap();
+        merged.adopt(freed.all());
+        broker.assign_partitions("t", c(1), merged.clone()).unwrap();
+        assert_eq!(broker.assignment("t", c(1)), Some(merged));
+        assert!(broker.unassign_partitions("t", c(2)).is_none());
+        assert!(broker.topic_assignments("missing").is_empty());
+    }
+
+    #[test]
+    fn fence_partition_cuts_off_consumers_opened_under_the_old_assignment() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 2).unwrap();
+        let producer = broker.producer(c(1));
+        producer.send("t", 0, 1).unwrap();
+
+        // A consumer opened before the fence: reads fine, then is cut off.
+        let stale = broker.consumer(c(2), "t", 0).unwrap();
+        assert_eq!(stale.poll(10).unwrap().len(), 1);
+        assert_eq!(broker.partition_epoch("t", 0), Epoch::ZERO);
+        let epoch = broker.fence_partition("t", 0).unwrap();
+        assert_eq!(epoch, Epoch::from_raw(1));
+        assert_eq!(broker.partition_epoch("t", 0), epoch);
+        let err = stale.poll(10).unwrap_err();
+        assert!(err.is_fenced(), "stale consumer not fenced: {err:?}");
+
+        // The new owner's consumer (opened after the fence) works, and the
+        // component-level epoch is untouched: producers keep producing, the
+        // sibling partition's consumers keep consuming.
+        let fresh = broker.consumer(c(3), "t", 0).unwrap();
+        producer.send("t", 0, 2).unwrap();
+        assert_eq!(fresh.poll(10).unwrap().len(), 2);
+        assert_eq!(broker.current_epoch(c(2)), Epoch::ZERO);
+        let sibling = broker.consumer(c(2), "t", 1).unwrap();
+        producer.send("t", 1, 3).unwrap();
+        assert_eq!(sibling.poll(10).unwrap().len(), 1);
+        assert!(broker.fence_partition("missing", 0).is_err());
+    }
+
+    #[test]
+    fn fence_partition_wakes_parked_consumers() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 1).unwrap();
+        let consumer = broker.consumer(c(1), "t", 0).unwrap();
+        let fencer = broker.clone();
+        let fence = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            fencer.fence_partition("t", 0).unwrap();
+        });
+        let t0 = Instant::now();
+        let result = consumer.poll_wait(10, Duration::from_secs(5));
+        assert!(result.unwrap_err().is_fenced());
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "parked consumer slept through the partition fence"
+        );
+        fence.join().unwrap();
+    }
+
+    #[test]
+    fn send_keyed_routes_by_key_over_the_home_set() {
+        let broker: Broker<String> = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 8).unwrap();
+        let mut set = PartitionSet::contiguous(0, 4);
+        set.adopt([6, 7]);
+        let producer = broker.producer(c(1));
+        let mut touched = std::collections::HashSet::new();
+        for i in 0..64 {
+            let key = format!("Ledger/a{i}");
+            let (partition, _) = producer
+                .send_keyed("t", &set, &key, format!("m{i}"))
+                .unwrap();
+            assert!(set.home().contains(&partition), "routed off the home set");
+            // Same key, same partition, every time.
+            let (again, _) = producer
+                .send_keyed("t", &set, &key, format!("m{i}'"))
+                .unwrap();
+            assert_eq!(partition, again);
+            touched.insert(partition);
+        }
+        assert_eq!(
+            touched.len(),
+            4,
+            "keys should spread over all 4 home partitions"
+        );
+        // Adopted partitions never receive hashed traffic.
+        assert_eq!(broker.partition_len("t", 6), 0);
+        assert_eq!(broker.partition_len("t", 7), 0);
+        assert!(producer
+            .send_keyed("t", &PartitionSet::default(), "k", "x".into())
+            .is_err());
+    }
+
+    #[test]
+    fn send_keyed_batch_splits_across_partitions_with_contiguous_offsets() {
+        let broker: Broker<String> = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 4).unwrap();
+        let set = PartitionSet::contiguous(0, 4);
+        let producer = broker.producer(c(1));
+        // Pre-existing records offset the logs so contiguity is non-trivial.
+        producer
+            .send_keyed("t", &set, "seed-a", "s".into())
+            .unwrap();
+        producer
+            .send_keyed("t", &set, "seed-b", "s".into())
+            .unwrap();
+
+        let entries: Vec<(String, String)> = (0..32)
+            .map(|i| (format!("k{}", i % 8), format!("v{i}")))
+            .collect();
+        let ranges = producer
+            .send_keyed_batch("t", &set, entries.clone())
+            .unwrap();
+        assert!(ranges.len() > 1, "8 keys over 4 partitions must split");
+        let mut total = 0;
+        for (partition, range) in &ranges {
+            assert!(set.home().contains(partition));
+            // The range is contiguous and its records are really there.
+            assert!(range.end >= range.start);
+            total += (range.end - range.start) as usize;
+            assert_eq!(broker.end_offset("t", *partition), range.end);
+        }
+        assert_eq!(total, entries.len(), "batch records lost or duplicated");
+        // Per-partition relative order matches the entry order: replay the
+        // routing and compare payload sequences.
+        for (partition, range) in &ranges {
+            let expected: Vec<String> = entries
+                .iter()
+                .filter(|(key, _)| set.partition_for_key(key) == Some(*partition))
+                .map(|(_, payload)| payload.clone())
+                .collect();
+            let got: Vec<String> = broker
+                .read_partition("t", *partition)
+                .into_iter()
+                .filter(|r| r.offset >= range.start)
+                .map(|r| r.payload)
+                .collect();
+            assert_eq!(got, expected, "partition {partition} order broken");
+        }
+        // Empty batch: no ranges, nothing appended.
+        assert!(producer
+            .send_keyed_batch("t", &set, vec![])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

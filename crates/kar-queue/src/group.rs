@@ -14,6 +14,8 @@ use crossbeam::channel::Sender;
 
 use kar_types::ComponentId;
 
+use crate::partition_set::PartitionSet;
+
 /// Liveness state of a group member.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemberState {
@@ -29,9 +31,9 @@ pub enum MemberState {
 pub struct MemberInfo {
     /// The component this member belongs to.
     pub component: ComponentId,
-    /// The partition this member consumes (each KAR component owns exactly
-    /// one queue, §4.1).
-    pub partition: usize,
+    /// The partition set this member consumes (the paper's Kafka deployment
+    /// assigns each component a *set* of partitions, §4.1).
+    pub partitions: PartitionSet,
     /// Current liveness state.
     pub state: MemberState,
     /// Broker time of the last heartbeat received from this member.
@@ -64,12 +66,12 @@ impl GroupView {
             .any(|m| m.component == component && m.state == MemberState::Live)
     }
 
-    /// The partition owned by `component`, if it is (or was) a member.
-    pub fn partition_of(&self, component: ComponentId) -> Option<usize> {
+    /// The partition set owned by `component`, if it is (or was) a member.
+    pub fn partitions_of(&self, component: ComponentId) -> Option<PartitionSet> {
         self.members
             .iter()
             .find(|m| m.component == component)
-            .map(|m| m.partition)
+            .map(|m| m.partitions.clone())
     }
 }
 
@@ -208,7 +210,7 @@ mod tests {
     fn member(id: u64, partition: usize, hb_ms: u64, state: MemberState) -> MemberInfo {
         MemberInfo {
             component: ComponentId::from_raw(id),
-            partition,
+            partitions: PartitionSet::contiguous(partition, 1),
             state,
             last_heartbeat: Duration::from_millis(hb_ms),
         }
@@ -229,8 +231,11 @@ mod tests {
         assert_eq!(view.live_components(), vec![ComponentId::from_raw(2)]);
         assert!(view.is_live(ComponentId::from_raw(2)));
         assert!(!view.is_live(ComponentId::from_raw(1)));
-        assert_eq!(view.partition_of(ComponentId::from_raw(1)), Some(0));
-        assert_eq!(view.partition_of(ComponentId::from_raw(9)), None);
+        assert_eq!(
+            view.partitions_of(ComponentId::from_raw(1)),
+            Some(PartitionSet::contiguous(0, 1))
+        );
+        assert_eq!(view.partitions_of(ComponentId::from_raw(9)), None);
     }
 
     #[test]

@@ -9,10 +9,13 @@
 //! as an in-process substrate:
 //!
 //! * [`Broker`] — topics split into append-only partitions with offsets,
-//!   bulk expiry (time- and size-based retention) and administrative reads
-//!   used by reconciliation,
+//!   bulk expiry (time- and size-based retention), a per-topic
+//!   partition-assignment table ([`PartitionSet`]s hashed by actor key), and
+//!   administrative reads used by reconciliation,
 //! * [`Producer`] / [`Consumer`] — fenced clients bound to a component and an
-//!   epoch; fenced clients fail with `KarError::Fenced`,
+//!   epoch; fenced clients fail with `KarError::Fenced`. Consumers are also
+//!   fenced per *partition* ownership epoch, so a slow consumer cannot
+//!   double-commit after its partition is reassigned,
 //! * consumer groups ([`GroupEvent`], [`GroupView`]) with heartbeats, session
 //!   timeouts, a stabilization (consensus) delay, monotonically increasing
 //!   generations, and an event stream the runtime uses to drive recovery,
@@ -46,9 +49,11 @@ mod broker;
 mod config;
 mod group;
 mod log;
+mod partition_set;
 mod record;
 
 pub use broker::{Broker, Consumer, Producer};
 pub use config::BrokerConfig;
 pub use group::{GroupEvent, GroupView, MemberInfo, MemberState};
+pub use partition_set::PartitionSet;
 pub use record::{Record, TopicPartition};

@@ -1,4 +1,5 @@
-//! Two-generation aging sets for the retry bookkeeping.
+//! Two-generation aging collections for the retry bookkeeping and the
+//! steal-route table.
 //!
 //! `ComponentCore` remembers completed request ids (to dedupe retries) and
 //! seen response ids (to release deferred happen-before retries). Both only
@@ -9,8 +10,15 @@
 //! retention windows after its last insert, after which it is dropped in
 //! bulk. Long-running components stop leaking memory, and a record old
 //! enough to have aged out of the set has also aged out of every queue.
+//!
+//! [`AgingMap`] applies the same idiom to key→value tables whose entries
+//! must not be dropped blindly — the dispatcher's steal-route overrides age
+//! out only once their actor has been idle for one to two windows *and* a
+//! caller-supplied liveness check passes (see `DispatchPool::age_routes`),
+//! so a component hosting millions of transient actors stops accumulating
+//! routing entries without ever re-routing an actor mid-stream.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use std::time::{Duration, Instant};
 
@@ -76,9 +84,140 @@ impl<T: Eq + Hash> AgingSet<T> {
     }
 }
 
+/// A key→value table on the two-generation clock: every read or write stamps
+/// the entry with the current generation, [`AgingMap::advance_due`] bumps the
+/// generation once per interval, and entries two generations stale become
+/// *candidates* for removal via [`AgingMap::stale_entries`]. Unlike
+/// [`AgingSet`], nothing is dropped automatically: the owner inspects each
+/// candidate (e.g. checking the actor is idle under the right lock) and
+/// confirms with [`AgingMap::remove_if_stale`], which refuses if the entry
+/// was touched in the meantime.
+#[derive(Debug)]
+pub(crate) struct AgingMap<K, V> {
+    entries: HashMap<K, (V, u64)>,
+    generation: u64,
+    interval: Duration,
+    last_rotation: Instant,
+}
+
+impl<K: Eq + Hash + Clone, V: Copy> AgingMap<K, V> {
+    /// Creates an empty map rotating every `interval` (clamped to 1ms).
+    pub(crate) fn new(interval: Duration) -> Self {
+        AgingMap {
+            entries: HashMap::new(),
+            generation: 0,
+            interval: interval.max(Duration::from_millis(1)),
+            last_rotation: Instant::now(),
+        }
+    }
+
+    /// Inserts (or replaces) `key`, stamped with the current generation.
+    pub(crate) fn insert(&mut self, key: K, value: V) {
+        self.entries.insert(key, (value, self.generation));
+    }
+
+    /// Looks `key` up, refreshing its generation stamp: an entry in active
+    /// use never becomes a removal candidate.
+    pub(crate) fn get_refresh(&mut self, key: &K) -> Option<V> {
+        let generation = self.generation;
+        self.entries.get_mut(key).map(|entry| {
+            entry.1 = generation;
+            entry.0
+        })
+    }
+
+    /// Number of entries.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// A snapshot of every entry (debug tooling; not a hot path).
+    pub(crate) fn entries(&self) -> Vec<(K, V)> {
+        self.entries
+            .iter()
+            .map(|(key, (value, _))| (key.clone(), *value))
+            .collect()
+    }
+
+    /// Drops every entry (owner killed).
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Advances the generation if the interval elapsed. Returns true when it
+    /// did — the owner should then sweep [`AgingMap::stale_entries`].
+    pub(crate) fn advance_due(&mut self, now: Instant) -> bool {
+        if now.duration_since(self.last_rotation) < self.interval {
+            return false;
+        }
+        self.last_rotation = now;
+        self.generation += 1;
+        true
+    }
+
+    /// Entries untouched for at least two generations (idle for one to two
+    /// full intervals): candidates for removal, pending the owner's check.
+    pub(crate) fn stale_entries(&self) -> Vec<(K, V)> {
+        self.entries
+            .iter()
+            .filter(|(_, (_, stamp))| stamp + 2 <= self.generation)
+            .map(|(key, (value, _))| (key.clone(), *value))
+            .collect()
+    }
+
+    /// Removes `key` only if it is still two generations stale (a concurrent
+    /// touch since [`AgingMap::stale_entries`] vetoes the removal). Returns
+    /// true if the entry was removed.
+    pub(crate) fn remove_if_stale(&mut self, key: &K) -> bool {
+        match self.entries.get(key) {
+            Some((_, stamp)) if stamp + 2 <= self.generation => {
+                self.entries.remove(key);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn aging_map_candidates_need_two_idle_generations() {
+        let mut map = AgingMap::new(Duration::from_millis(1));
+        map.insert("route", 3usize);
+        assert_eq!(map.get_refresh(&"route"), Some(3));
+        assert_eq!(map.len(), 1);
+        let t1 = Instant::now() + Duration::from_millis(2);
+        assert!(map.advance_due(t1));
+        assert!(!map.advance_due(t1), "second advance within interval");
+        assert!(
+            map.stale_entries().is_empty(),
+            "one generation is not stale"
+        );
+        assert!(map.advance_due(t1 + Duration::from_millis(2)));
+        assert_eq!(map.stale_entries(), vec![("route", 3)]);
+        assert!(map.remove_if_stale(&"route"));
+        assert_eq!(map.len(), 0);
+        assert!(!map.remove_if_stale(&"route"));
+    }
+
+    #[test]
+    fn aging_map_touch_vetoes_removal() {
+        let mut map = AgingMap::new(Duration::from_millis(1));
+        map.insert("route", 1usize);
+        let t = Instant::now();
+        map.advance_due(t + Duration::from_millis(2));
+        map.advance_due(t + Duration::from_millis(4));
+        assert_eq!(map.stale_entries().len(), 1);
+        // The entry is read between the sweep and the removal: kept.
+        assert_eq!(map.get_refresh(&"route"), Some(1));
+        assert!(!map.remove_if_stale(&"route"));
+        assert_eq!(map.len(), 1);
+        map.clear();
+        assert_eq!(map.len(), 0);
+    }
 
     #[test]
     fn members_survive_one_rotation_and_die_after_two() {

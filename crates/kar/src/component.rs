@@ -1,14 +1,28 @@
 //! Application components: the paired application + runtime sidecar process.
 //!
-//! Each component owns a dedicated queue partition, announces the actor types
-//! it hosts, consumes requests from its queue, routes them by actor identity
-//! onto a sharded dispatch worker pool (see [`crate::dispatch`]) that admits
-//! them to per-actor mailboxes (honouring the actor lock, reentrancy and
-//! tail-call lock retention of §2.2–2.3 and §4.1), sends responses back to
-//! callers' queues, heartbeats the consumer group, and defers re-homed
-//! requests until their pending callee settles (the happen-before guarantee
-//! of §4.3). Invocations for distinct actors execute in parallel, up to
-//! `MeshConfig::dispatch_workers` at a time per component.
+//! Each component owns a dedicated queue **partition set** (the paper's
+//! Kafka deployment assigns each component a set of partitions, §4.1):
+//! producers hash requests onto the set's stable *home* partitions by actor
+//! key, one consumer thread per partition (by default; see
+//! `MeshConfig::consumers_per_component`) drains them, and recovery can
+//! re-home a failed component's partition *ranges* onto survivors as
+//! drain-only *adopted* partitions. The component announces the actor types
+//! it hosts, routes polled requests by actor identity onto a sharded
+//! dispatch worker pool (see [`crate::dispatch`]) that admits them to
+//! per-actor mailboxes (honouring the actor lock, reentrancy and tail-call
+//! lock retention of §2.2–2.3 and §4.1), sends responses back to callers'
+//! queues (hashed onto the caller's partition set), heartbeats the consumer
+//! group, and defers re-homed requests until their pending callee settles
+//! (the happen-before guarantee of §4.3). Invocations for distinct actors
+//! execute in parallel, up to `MeshConfig::dispatch_workers` at a time per
+//! component.
+//!
+//! Rebalance safety: admission verifies the *placement* of every request it
+//! is about to execute (one cache hit in steady state) and forwards requests
+//! whose actor is owned elsewhere — so a record landing on an adopted
+//! partition after its actor was re-placed chases the current placement
+//! instead of double-executing, and stale consumers of a re-homed partition
+//! are cut off by the broker's per-partition ownership epochs.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -18,7 +32,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
 
-use kar_queue::{Broker, Producer};
+use kar_queue::{Broker, PartitionSet, Producer, Record};
 use kar_store::{Connection, Store};
 use kar_types::ids::RequestIdGenerator;
 use kar_types::RequestId;
@@ -68,7 +82,10 @@ pub struct ComponentCore {
     pub(crate) config: MeshConfig,
     pub(crate) topic: String,
     pub(crate) group: String,
-    pub(crate) partition: usize,
+    /// This component's partition set: the stable home range requests hash
+    /// onto, plus partition ranges adopted from failed components during
+    /// recovery (drained but never hash-routed to).
+    pub(crate) partitions: RwLock<PartitionSet>,
     pub(crate) broker: Broker<Envelope>,
     #[allow(dead_code)]
     pub(crate) store: Store,
@@ -76,7 +93,9 @@ pub struct ComponentCore {
     /// Store connection used by the persistence API of hosted actors.
     pub(crate) conn: Connection,
     pub(crate) placement: PlacementService,
-    pub(crate) partitions: Arc<RwLock<HashMap<ComponentId, usize>>>,
+    /// The mesh-wide partition topology: every component's partition set,
+    /// consulted to route requests and responses to their target component.
+    pub(crate) topology: Arc<RwLock<HashMap<ComponentId, PartitionSet>>>,
     pub(crate) live: LiveSet,
     pub(crate) ids: Arc<RequestIdGenerator>,
     pub(crate) hosted: HashMap<String, ActorFactory>,
@@ -90,10 +109,11 @@ pub struct ComponentCore {
     /// is killed; response routing parks here while waiting for a failed
     /// caller to be re-placed, instead of sleep-polling.
     resume_signal: WaitSignal,
-    /// Offset of the next record this component's consumer will read from its
-    /// partition; used by reconciliation to decide whether a request copy in
-    /// this queue is still going to be processed.
-    consumed_offset: AtomicU64,
+    /// Per-partition offset of the next record this component's consumers
+    /// will read; used by reconciliation to decide whether a request copy in
+    /// a queue is still going to be processed. Grows when partitions are
+    /// adopted.
+    consumed_offsets: RwLock<HashMap<usize, Arc<AtomicU64>>>,
     actors: Mutex<HashMap<ActorRef, ActorSlot>>,
     pending_calls: Mutex<HashMap<RequestId, Sender<Payload>>>,
     deferred: Mutex<HashMap<RequestId, Vec<RequestMessage>>>,
@@ -116,10 +136,10 @@ impl ComponentCore {
         config: MeshConfig,
         topic: String,
         group: String,
-        partition: usize,
+        partitions: PartitionSet,
         broker: Broker<Envelope>,
         store: Store,
-        partitions: Arc<RwLock<HashMap<ComponentId, usize>>>,
+        topology: Arc<RwLock<HashMap<ComponentId, PartitionSet>>>,
         live: LiveSet,
         ids: Arc<RequestIdGenerator>,
         hosted: HashMap<String, ActorFactory>,
@@ -133,14 +153,24 @@ impl ComponentCore {
             config.effective_placement_cache_shards(),
             config.call_timeout,
         );
-        let pool = DispatchPool::new(config.effective_dispatch_workers(), config.work_stealing);
-        // The retry bookkeeping ages on the queue-retention clock: the
-        // broker coordinator actively expires records past retention (even
-        // on idle partitions), so an id old enough to rotate out of both
-        // generations corresponds to records no queue can still deliver.
-        // Rotating at 2× retention (membership 2–4 windows) leaves a full
-        // retention window of safety margin over the queue horizon.
+        // The retry bookkeeping — and the dispatcher's steal-route table —
+        // age on the queue-retention clock: the broker coordinator actively
+        // expires records past retention (even on idle partitions), so an id
+        // old enough to rotate out of both generations corresponds to
+        // records no queue can still deliver. Rotating at 2× retention
+        // (membership 2–4 windows) leaves a full retention window of safety
+        // margin over the queue horizon.
         let bookkeeping_interval = config.time_scale.compress(config.retention * 2);
+        let pool = DispatchPool::new(
+            config.effective_dispatch_workers(),
+            config.work_stealing,
+            bookkeeping_interval,
+        );
+        let consumed_offsets = partitions
+            .all()
+            .into_iter()
+            .map(|partition| (partition, Arc::new(AtomicU64::new(0))))
+            .collect();
         ComponentCore {
             id,
             node,
@@ -148,13 +178,13 @@ impl ComponentCore {
             config,
             topic,
             group,
-            partition,
+            partitions: RwLock::new(partitions),
             broker,
             store,
             producer,
             conn,
             placement,
-            partitions,
+            topology,
             live,
             ids,
             hosted,
@@ -163,7 +193,7 @@ impl ComponentCore {
             alive: AtomicBool::new(true),
             paused: AtomicBool::new(false),
             resume_signal: WaitSignal::new(),
-            consumed_offset: AtomicU64::new(0),
+            consumed_offsets: RwLock::new(consumed_offsets),
             actors: Mutex::new(HashMap::new()),
             pending_calls: Mutex::new(HashMap::new()),
             deferred: Mutex::new(HashMap::new()),
@@ -191,6 +221,13 @@ impl ComponentCore {
     /// True until the component is killed or shut down.
     pub fn is_alive(&self) -> bool {
         self.alive.load(Ordering::SeqCst)
+    }
+
+    /// True if the component hosts at least one actor type (clients host
+    /// none; recovery only re-homes partition ranges onto hosting
+    /// components).
+    pub(crate) fn hosts_any(&self) -> bool {
+        !self.hosted.is_empty()
     }
 
     /// True while recovery has paused normal message processing.
@@ -256,14 +293,27 @@ impl ComponentCore {
     pub fn debug_snapshot(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        let offsets: Vec<String> = {
+            let consumed = self.consumed_offsets.read();
+            let mut entries: Vec<(usize, u64)> = consumed
+                .iter()
+                .map(|(partition, slot)| (*partition, slot.load(Ordering::SeqCst)))
+                .collect();
+            entries.sort_unstable();
+            entries
+                .into_iter()
+                .map(|(partition, offset)| format!("{partition}:{offset}"))
+                .collect()
+        };
         let _ = writeln!(
             out,
-            "component {} ({}) alive={} paused={} consumed_offset={}",
+            "component {} ({}) alive={} paused={} partitions={} consumed=[{}]",
             self.id,
             self.name,
             self.is_alive(),
             self.is_paused(),
-            self.consumed_offset()
+            self.partitions.read(),
+            offsets.join(", "),
         );
         out.push_str(&self.pool.debug_snapshot());
         match self.actors.try_lock() {
@@ -320,13 +370,47 @@ impl ComponentCore {
         out
     }
 
-    fn partition_of(&self, component: ComponentId) -> Option<usize> {
-        self.partitions.read().get(&component).copied()
+    /// The home partition of `component` that `key` hashes to: how every
+    /// request and response is routed onto a target component's partition
+    /// set. Keys are actor qualified names (or the request id for responses
+    /// to external clients), so one actor's records always land in one
+    /// partition.
+    fn partition_for(&self, component: ComponentId, key: &str) -> Option<usize> {
+        self.topology
+            .read()
+            .get(&component)
+            .and_then(|set| set.partition_for_key(key))
     }
 
-    /// Offset of the next record this component's consumer will read.
-    pub(crate) fn consumed_offset(&self) -> u64 {
-        self.consumed_offset.load(Ordering::SeqCst)
+    /// The home partition of this component that `actor`'s records hash to.
+    fn own_partition_for(&self, actor: &ActorRef) -> Option<usize> {
+        self.partitions
+            .read()
+            .partition_for_key(&actor.qualified_name())
+    }
+
+    /// The routing key of the response to `request`: the caller actor when
+    /// there is one (so one actor's responses stay in one partition), the
+    /// request id for external clients.
+    fn response_key(request: &RequestMessage) -> String {
+        match &request.caller_actor {
+            Some(actor) => actor.qualified_name(),
+            None => format!("req-{}", request.id.as_u64()),
+        }
+    }
+
+    /// This component's current partition set (home + adopted).
+    pub(crate) fn partition_set(&self) -> PartitionSet {
+        self.partitions.read().clone()
+    }
+
+    /// Offset of the next record this component's consumers will read from
+    /// `partition` (zero for partitions it does not consume).
+    pub(crate) fn consumed_offset(&self, partition: usize) -> u64 {
+        self.consumed_offsets
+            .read()
+            .get(&partition)
+            .map_or(0, |slot| slot.load(Ordering::SeqCst))
     }
 
     /// True if request `id` is queued, deferred, or executing at this
@@ -385,11 +469,20 @@ impl ComponentCore {
                 self.placement.resolve(&message.target)?
             }
         };
-        let partition = self
-            .partition_of(component)
-            .ok_or_else(|| KarError::internal(format!("no partition recorded for {component}")))?;
+        // Route through the broker's keyed producer API, so the runtime and
+        // the broker share one routing implementation (hash the actor key
+        // over the target's home set).
+        let set = self
+            .topology
+            .read()
+            .get(&component)
+            .cloned()
+            .ok_or_else(|| {
+                KarError::internal(format!("no partition set recorded for {component}"))
+            })?;
+        let key = message.target.qualified_name();
         self.producer
-            .send(&self.topic, partition, Envelope::Request(message))?;
+            .send_keyed(&self.topic, &set, &key, Envelope::Request(message))?;
         Ok(())
     }
 
@@ -417,13 +510,18 @@ impl ComponentCore {
             caller: request.caller,
             result,
         };
-        // Fast path: the caller's component is alive, deliver directly.
+        // Fast path: the caller's component is alive, deliver directly to
+        // the partition of its set the response key hashes to (the broker's
+        // keyed producer API, as for requests).
         if let Some(reply_to) = request.reply_to {
             if self.live.read().contains(&reply_to) {
-                if let Some(partition) = self.partition_of(reply_to) {
-                    let _ =
-                        self.producer
-                            .send(&self.topic, partition, Envelope::Response(response));
+                if let Some(set) = self.topology.read().get(&reply_to).cloned() {
+                    let _ = self.producer.send_keyed(
+                        &self.topic,
+                        &set,
+                        &Self::response_key(request),
+                        Envelope::Response(response),
+                    );
                     return;
                 }
             }
@@ -446,9 +544,10 @@ impl ComponentCore {
     }
 
     fn response_partition(&self, request: &RequestMessage) -> Option<usize> {
+        let key = Self::response_key(request);
         if let Some(reply_to) = request.reply_to {
             if self.live.read().contains(&reply_to) {
-                return self.partition_of(reply_to);
+                return self.partition_for(reply_to, &key);
             }
         }
         if let Some(caller_actor) = &request.caller_actor {
@@ -468,7 +567,7 @@ impl ComponentCore {
                 // Not yet resolvable (stale placement, or no live host yet):
                 // keep waiting for the repair.
                 if let Ok(Some(component)) = self.placement.resolve_nowait(caller_actor) {
-                    return self.partition_of(component);
+                    return self.partition_for(component, &key);
                 }
                 let now = Instant::now();
                 if now >= deadline {
@@ -479,7 +578,7 @@ impl ComponentCore {
             }
         }
         // reply_to points at a dead external client: drop the response.
-        request.reply_to.and_then(|c| self.partition_of(c))
+        request.reply_to.and_then(|c| self.partition_for(c, &key))
     }
 
     // ------------------------------------------------------------------
@@ -638,18 +737,6 @@ impl ComponentCore {
     // Dispatch
     // ------------------------------------------------------------------
 
-    /// Handles one envelope read from this component's queue. Responses are
-    /// processed inline (they only unblock waiters and never execute actor
-    /// code); requests are routed to their actor's dispatch shard.
-    pub(crate) fn handle_envelope(self: &Arc<Self>, envelope: Envelope) {
-        match envelope {
-            Envelope::Response(response) => self.handle_response(response),
-            Envelope::Request(request) => {
-                self.pool.submit(request);
-            }
-        }
-    }
-
     fn handle_response(self: &Arc<Self>, response: ResponseMessage) {
         // Record the response and drain its deferred retries under one
         // deferred-map lock: admission's check-and-defer takes the same lock,
@@ -710,6 +797,29 @@ impl ComponentCore {
             self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
             let _ = self.send_request(request);
             return None;
+        }
+        // Rebalance guard: hosting the *type* is not owning the *actor*. A
+        // record can reach this component for an actor placed elsewhere —
+        // e.g. it landed in a partition this component adopted from a failed
+        // component, or placement moved while the record was in flight.
+        // Executing it here would race the copy processed by the placement's
+        // owner (the two components' retry dedupe sets are disjoint), so
+        // verify ownership — one placement-cache hit in steady state — and
+        // forward otherwise. `resolve_nowait` also (re-)places actors with
+        // no recorded placement, which is exactly right for records salvaged
+        // from a flushed queue. A placement error means this component is
+        // being fenced/killed: drop; the queue copy drives the retry.
+        match self.placement.resolve_nowait(&request.target) {
+            Ok(Some(owner)) if owner == self.id => {}
+            Ok(_) => {
+                // Owned elsewhere, or a stale placement awaiting repair:
+                // `send_request` re-resolves (blocking, with the shard
+                // handed off) and appends to the owner's queue.
+                self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                let _ = self.send_request(request);
+                return None;
+            }
+            Err(_) => return None,
         }
         let mut actors = self.actors.lock();
         let slot = actors.entry(request.target.clone()).or_default();
@@ -799,14 +909,18 @@ impl ComponentCore {
                         if same_actor && holds_lock {
                             // Retain the actor lock across the tail call: the
                             // continuation bypasses the mailbox when its queue
-                            // copy arrives (§4.1).
+                            // copy arrives (§4.1). It is sent straight to the
+                            // actor's own home partition here — the hash the
+                            // continuation's copy would take anyway.
                             {
                                 let mut actors = self.actors.lock();
                                 if let Some(slot) = actors.get_mut(&request.target) {
                                     slot.awaiting_tail = Some(request.id);
                                 }
                             }
-                            let _ = self.send_request_to_partition(tail, self.partition);
+                            if let Some(partition) = self.own_partition_for(&request.target) {
+                                let _ = self.send_request_to_partition(tail, partition);
+                            }
                             return;
                         }
                         let _ = self.send_request(tail);
@@ -941,23 +1055,62 @@ impl ComponentCore {
     // ------------------------------------------------------------------
 
     /// Spawns the consumer, dispatch worker and heartbeat threads of this
-    /// component.
+    /// component. Home partitions are spread round-robin over
+    /// `MeshConfig::consumers_per_component` consumer threads (one thread
+    /// per partition by default).
     pub(crate) fn start(self: &Arc<Self>) {
         for shard in 0..self.pool.workers() {
             let claimed = self.pool.try_claim(shard);
             debug_assert!(claimed, "fresh shard already had a drainer");
             self.spawn_shard_worker(shard);
         }
-        let consumer_core = Arc::clone(self);
-        std::thread::Builder::new()
-            .name(format!("kar-consumer-{}", self.name))
-            .spawn(move || consumer_core.consumer_loop())
-            .expect("failed to spawn consumer thread");
+        let home = self.partitions.read().home().to_vec();
+        let threads = self.config.effective_consumers_per_component(home.len());
+        let mut slices: Vec<Vec<usize>> = vec![Vec::new(); threads];
+        for (index, partition) in home.into_iter().enumerate() {
+            slices[index % threads].push(partition);
+        }
+        for (index, slice) in slices.into_iter().enumerate() {
+            if !slice.is_empty() {
+                self.spawn_consumer(index, slice);
+            }
+        }
         let heartbeat_core = Arc::clone(self);
         std::thread::Builder::new()
             .name(format!("kar-heartbeat-{}", self.name))
             .spawn(move || heartbeat_core.heartbeat_loop())
             .expect("failed to spawn heartbeat thread");
+    }
+
+    fn spawn_consumer(self: &Arc<Self>, index: usize, partitions: Vec<usize>) {
+        let consumer_core = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("kar-consumer-{}-{index}", self.name))
+            .spawn(move || consumer_core.consumer_loop(partitions))
+            .expect("failed to spawn consumer thread");
+    }
+
+    /// Takes over consuming `adopted` partitions re-homed from a failed
+    /// component: records their consumed offsets, extends this component's
+    /// partition set (adopted partitions are drained but never hash-routed
+    /// to, so request routing is unaffected) and spawns a consumer thread
+    /// for the range. Called by the reconciliation leader after it fenced
+    /// the partitions' previous owners.
+    pub(crate) fn adopt_partitions(self: &Arc<Self>, adopted: Vec<usize>) {
+        if adopted.is_empty() || !self.is_alive() {
+            return;
+        }
+        {
+            let mut offsets = self.consumed_offsets.write();
+            for partition in &adopted {
+                offsets
+                    .entry(*partition)
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+            }
+        }
+        self.partitions.write().adopt(adopted.iter().copied());
+        let index = self.partitions.read().adopted().len();
+        self.spawn_consumer(1000 + index, adopted);
     }
 
     /// Spawns a drainer thread for `shard`. Ownership of the shard must have
@@ -1017,32 +1170,98 @@ impl ComponentCore {
         }
     }
 
-    fn consumer_loop(self: Arc<Self>) {
-        let consumer = match self.broker.consumer(self.id, &self.topic, self.partition) {
-            Ok(consumer) => consumer,
-            Err(_) => return,
-        };
+    /// One consumer thread draining `assigned` partitions. With a single
+    /// partition (the default 1:1 layout) it parks on that partition's
+    /// append signal; with several it sweeps them and parks on a rotating
+    /// member when all are idle. A fenced consumer is dropped individually —
+    /// partition fencing (the partition was reassigned during recovery)
+    /// retires just that partition's consumer, while component fencing
+    /// retires them all and ends the thread.
+    fn consumer_loop(self: Arc<Self>, assigned: Vec<usize>) {
+        let mut consumers: Vec<kar_queue::Consumer<Envelope>> = assigned
+            .iter()
+            .filter_map(|partition| self.broker.consumer(self.id, &self.topic, *partition).ok())
+            .collect();
         let idle = Duration::from_millis(2);
-        while self.is_alive() {
+        let mut park_rotation = 0usize;
+        while self.is_alive() && !consumers.is_empty() {
             if self.is_paused() {
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
-            // poll_wait parks on the broker's append signal instead of busy
-            // polling, so an idle component consumes (almost) no CPU.
-            match consumer.poll_wait(64, idle) {
-                Ok(records) => {
-                    for record in records {
-                        // Route the record before publishing the new consumed
-                        // offset: reconciliation then always sees the record
-                        // as still-queued or locally pending, never neither.
-                        let offset = record.offset;
-                        self.handle_envelope(record.payload);
-                        self.consumed_offset.store(offset + 1, Ordering::SeqCst);
+            if consumers.len() == 1 {
+                // poll_wait parks on the broker's append signal instead of
+                // busy polling, so an idle component consumes (almost) no
+                // CPU.
+                match consumers[0].poll_wait(64, idle) {
+                    Ok(records) => self.route_records(consumers[0].partition(), records),
+                    Err(_) => return, // fenced: partition or component gone
+                }
+                continue;
+            }
+            // Sweep every assigned partition once, then park on one of them
+            // (rotating) so an append to any partition is seen within one
+            // idle slice.
+            let mut drained = false;
+            let mut index = 0;
+            while index < consumers.len() {
+                match consumers[index].poll(64) {
+                    Ok(records) => {
+                        if !records.is_empty() {
+                            drained = true;
+                            self.route_records(consumers[index].partition(), records);
+                        }
+                        index += 1;
+                    }
+                    Err(_) => {
+                        consumers.remove(index);
                     }
                 }
-                Err(_) => return, // fenced: the component has been disconnected
             }
+            if consumers.is_empty() {
+                return;
+            }
+            if !drained {
+                park_rotation = (park_rotation + 1) % consumers.len();
+                match consumers[park_rotation].poll_wait(64, idle) {
+                    Ok(records) => {
+                        self.route_records(consumers[park_rotation].partition(), records);
+                    }
+                    Err(_) => {
+                        consumers.remove(park_rotation);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Routes one polled batch: responses are handled inline (they only
+    /// unblock waiters), runs of requests are handed to the dispatch pool in
+    /// per-shard batches ([`DispatchPool::submit_batch`] takes each shard
+    /// lock once per run instead of once per record), and the partition's
+    /// consumed offset is published only after every record is routed — so
+    /// reconciliation always sees a record as still-queued or locally
+    /// pending, never neither.
+    fn route_records(self: &Arc<Self>, partition: usize, records: Vec<Record<Envelope>>) {
+        let Some(last) = records.last().map(|record| record.offset) else {
+            return;
+        };
+        let mut requests: Vec<RequestMessage> = Vec::new();
+        for record in records {
+            match record.payload {
+                Envelope::Request(request) => requests.push(request),
+                Envelope::Response(response) => {
+                    // Flush the run so far first: the hand-off must preserve
+                    // the partition's record order between requests and the
+                    // responses interleaved with them.
+                    self.pool.submit_batch(std::mem::take(&mut requests));
+                    self.handle_response(response);
+                }
+            }
+        }
+        self.pool.submit_batch(requests);
+        if let Some(slot) = self.consumed_offsets.read().get(&partition) {
+            slot.store(last + 1, Ordering::SeqCst);
         }
     }
 
@@ -1060,12 +1279,20 @@ impl ComponentCore {
         }
     }
 
-    /// Rotates the aged retry-bookkeeping sets if their retention interval
-    /// elapsed (piggybacked on the heartbeat loop).
+    /// Rotates the aged retry-bookkeeping sets — and ages out idle
+    /// steal-route overrides — if their retention interval elapsed
+    /// (piggybacked on the heartbeat loop).
     fn age_retry_bookkeeping(&self) {
         let now = Instant::now();
         self.completed.lock().maybe_rotate(now);
         self.seen_responses.lock().maybe_rotate(now);
+        self.pool.age_routes(now);
+    }
+
+    /// Number of live steal-route overrides in the dispatch pool (aged out
+    /// once their actor has been idle for a retention window).
+    pub fn steal_route_count(&self) -> usize {
+        self.pool.route_count()
     }
 
     /// Sizes of the retry-bookkeeping sets: (completed ids, seen response

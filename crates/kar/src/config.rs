@@ -72,6 +72,19 @@ pub struct MeshConfig {
     /// most loaded shard, closing the imbalance left by static actor→shard
     /// hashing. Per-actor ordering and the actor-lock rules are preserved.
     pub work_stealing: bool,
+    /// Number of home queue partitions allocated to each component (the
+    /// paper's Kafka deployment assigns each component a partition *set*,
+    /// §4.1). Requests hash onto a component's home partitions by actor key,
+    /// so one actor's records stay in one partition (per-actor FIFO) while
+    /// the component's consumer side scales with the set. `1` reproduces the
+    /// one-partition-per-component topology of early revisions. Clamped to
+    /// at least 1.
+    pub partitions_per_component: usize,
+    /// Number of consumer threads per component. Each thread drains a
+    /// round-robin slice of the component's home partitions and feeds polled
+    /// records to the sharded dispatch pool in per-shard batches. `0` (the
+    /// default) runs one consumer per home partition.
+    pub consumers_per_component: usize,
     /// **Ablation knob for benchmarks only.** Restores the pre-overhaul
     /// broker whose single global lock serialized every append and fetch
     /// (see `BrokerConfig::coarse_global_lock`).
@@ -95,6 +108,8 @@ impl Default for MeshConfig {
             dispatch_workers: 4,
             placement_cache_shards: 0,
             work_stealing: true,
+            partitions_per_component: 4,
+            consumers_per_component: 0,
             coarse_broker_lock: false,
         }
     }
@@ -182,6 +197,39 @@ impl MeshConfig {
     pub fn with_work_stealing(mut self, enabled: bool) -> Self {
         self.work_stealing = enabled;
         self
+    }
+
+    /// Sets the number of home queue partitions per component (clamped to
+    /// ≥ 1).
+    #[must_use]
+    pub fn with_partitions_per_component(mut self, partitions: usize) -> Self {
+        self.partitions_per_component = partitions.max(1);
+        self
+    }
+
+    /// Sets the number of consumer threads per component (`0` = one per home
+    /// partition).
+    #[must_use]
+    pub fn with_consumers_per_component(mut self, consumers: usize) -> Self {
+        self.consumers_per_component = consumers;
+        self
+    }
+
+    /// The effective home-partition count per component (never below 1).
+    pub fn effective_partitions_per_component(&self) -> usize {
+        self.partitions_per_component.max(1)
+    }
+
+    /// The effective consumer-thread count for a component consuming
+    /// `partitions` partitions: the explicit knob capped at the partition
+    /// count, or one thread per partition when left at `0`.
+    pub fn effective_consumers_per_component(&self, partitions: usize) -> usize {
+        let partitions = partitions.max(1);
+        if self.consumers_per_component == 0 {
+            partitions
+        } else {
+            self.consumers_per_component.min(partitions)
+        }
     }
 
     /// **Benchmark ablation**: restores the pre-overhaul single global
@@ -294,6 +342,28 @@ mod tests {
         let c = c.with_work_stealing(false).with_coarse_broker_lock(true);
         assert!(!c.work_stealing);
         assert!(c.broker_config().coarse_global_lock);
+    }
+
+    #[test]
+    fn partition_and_consumer_knobs_default_and_clamp() {
+        let c = MeshConfig::default();
+        assert_eq!(c.partitions_per_component, 4);
+        assert_eq!(c.consumers_per_component, 0);
+        assert_eq!(c.effective_partitions_per_component(), 4);
+        // 0 consumers = one per partition; explicit counts cap at the
+        // partition count.
+        assert_eq!(c.effective_consumers_per_component(4), 4);
+        let two = MeshConfig::for_tests().with_consumers_per_component(2);
+        assert_eq!(two.effective_consumers_per_component(4), 2);
+        assert_eq!(two.effective_consumers_per_component(1), 1);
+        let serial = MeshConfig::for_tests().with_partitions_per_component(0);
+        assert_eq!(serial.effective_partitions_per_component(), 1);
+        assert_eq!(
+            MeshConfig::for_tests()
+                .with_partitions_per_component(8)
+                .effective_partitions_per_component(),
+            8
+        );
     }
 
     #[test]

@@ -46,14 +46,16 @@
 //! them between shard queues, not out of the component.
 
 use std::cell::Cell;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use kar_types::{ActorRef, RequestId, RequestMessage};
+
+use crate::aging::AgingMap;
 
 /// A shard queue must be at least this deep before an idle worker will
 /// steal from it: moving an actor for a single queued request would churn
@@ -126,8 +128,11 @@ pub(crate) struct DispatchPool {
     shards: Vec<Shard>,
     /// Stolen actors' current shard assignments, overriding the static
     /// hash. Read under the target shard's state lock on submit; written
-    /// only while both shard locks of a steal are held.
-    routes: Mutex<HashMap<ActorRef, usize>>,
+    /// only while both shard locks of a steal are held. Entries age out on
+    /// the retention clock once their actor has been idle for one to two
+    /// windows (see [`DispatchPool::age_routes`]), so long-lived components
+    /// hosting transient actors don't grow an unbounded routing table.
+    routes: Mutex<AgingMap<ActorRef, usize>>,
     /// Whether idle workers steal actors from loaded shards.
     stealing: bool,
     /// Number of successful steals (whole actors moved).
@@ -141,16 +146,17 @@ pub(crate) struct DispatchPool {
 impl DispatchPool {
     /// Creates a pool with `workers` shards. Callers pass
     /// `MeshConfig::effective_dispatch_workers()`, the single authoritative
-    /// clamp for the worker count, and `MeshConfig::work_stealing`.
+    /// clamp for the worker count, `MeshConfig::work_stealing`, and the
+    /// retention interval steal-route overrides age out on.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
-    pub(crate) fn new(workers: usize, stealing: bool) -> Self {
+    pub(crate) fn new(workers: usize, stealing: bool, route_retention: Duration) -> Self {
         assert!(workers >= 1, "a dispatch pool needs at least one worker");
         DispatchPool {
             shards: (0..workers).map(|_| Shard::new()).collect(),
-            routes: Mutex::new(HashMap::new()),
+            routes: Mutex::new(AgingMap::new(route_retention)),
             stealing: stealing && workers > 1,
             steals: AtomicU64::new(0),
             pending: Mutex::new(HashSet::new()),
@@ -163,12 +169,49 @@ impl DispatchPool {
     }
 
     /// The shard an actor's requests are currently routed to: a stable hash
-    /// of its qualified name, unless the actor has been stolen.
+    /// of its qualified name, unless the actor has been stolen. Reading an
+    /// override refreshes its age, so routes in active use never expire.
     pub(crate) fn shard_of(&self, actor: &ActorRef) -> usize {
-        if let Some(&shard) = self.routes.lock().get(actor) {
+        if let Some(shard) = self.routes.lock().get_refresh(actor) {
             return shard;
         }
         self.home_shard(actor)
+    }
+
+    /// Number of live steal-route overrides.
+    pub(crate) fn route_count(&self) -> usize {
+        self.routes.lock().len()
+    }
+
+    /// Ages out steal-route overrides whose actor has been idle for one to
+    /// two retention windows. Every candidate is re-checked under its shard's
+    /// state lock — an override is dropped only while the actor has nothing
+    /// queued and no invocation running, so dropping it can never split an
+    /// actor's queued requests across two shards (the FIFO hazard aging must
+    /// not introduce). Lock order is shard state → routes, the same order
+    /// `submit`'s route re-check and `try_steal` use. Returns the number of
+    /// overrides dropped.
+    pub(crate) fn age_routes(&self, now: Instant) -> usize {
+        let stale = {
+            let mut routes = self.routes.lock();
+            if !routes.advance_due(now) {
+                return 0;
+            }
+            routes.stale_entries()
+        };
+        let mut dropped = 0;
+        for (actor, shard) in stale {
+            let state = self.shards[shard].lock_state();
+            let active =
+                state.busy_actors.contains(&actor) || state.queue.iter().any(|r| r.target == actor);
+            // remove_if_stale re-verifies the stamp under the routes lock: a
+            // submit that touched the route since the sweep vetoes the drop.
+            if !active && self.routes.lock().remove_if_stale(&actor) {
+                dropped += 1;
+            }
+            drop(state);
+        }
+        dropped
     }
 
     /// The static (hash) shard of an actor, ignoring steal overrides.
@@ -235,7 +278,8 @@ impl DispatchPool {
         match self.routes.try_lock() {
             Some(routes) => {
                 let mut route_strs: Vec<String> = routes
-                    .iter()
+                    .entries()
+                    .into_iter()
                     .map(|(actor, shard)| format!("{}→{shard}", actor.qualified_name()))
                     .collect();
                 route_strs.sort();
@@ -262,13 +306,73 @@ impl DispatchPool {
     /// pending-admission. Always succeeds (the pool lives as long as the
     /// component); the return value is kept for call-site symmetry.
     pub(crate) fn submit(&self, request: RequestMessage) -> bool {
-        let id = request.id;
-        self.pending.lock().insert(id);
-        // A steal can move the actor between the route read and the queue
-        // push; re-check the route under the shard lock (steals update
-        // routes while holding both shard locks, so a stable read here
-        // means the push lands in the queue every other submit and steal
-        // agrees on).
+        self.pending.lock().insert(request.id);
+        self.push_routed(request);
+        true
+    }
+
+    /// Routes a batch of requests to their actors' shard queues in one lock
+    /// acquisition per shard touched: the consumer hands each poll batch off
+    /// with one `pending` insert pass and one push pass per target shard,
+    /// instead of one of each per record. Relative order is preserved within
+    /// each actor (all of an actor's requests group onto one shard), so
+    /// per-actor FIFO is untouched.
+    pub(crate) fn submit_batch(&self, requests: Vec<RequestMessage>) {
+        if requests.is_empty() {
+            return;
+        }
+        {
+            let mut pending = self.pending.lock();
+            for request in &requests {
+                pending.insert(request.id);
+            }
+        }
+        // Group by routed shard, preserving relative order within each group.
+        let mut buckets: Vec<(usize, Vec<RequestMessage>)> = Vec::new();
+        for request in requests {
+            let shard = self.shard_of(&request.target);
+            match buckets.iter_mut().find(|(s, _)| *s == shard) {
+                Some((_, group)) => group.push(request),
+                None => buckets.push((shard, vec![request])),
+            }
+        }
+        for (shard, group) in buckets {
+            // A steal can move an actor between grouping and locking; the
+            // re-check under the shard lock is authoritative (steals hold
+            // both shard locks while rerouting, so an actor with requests in
+            // this queue cannot move while we hold its lock). Rerouted
+            // stragglers fall back to the one-at-a-time path, still in order.
+            let mut rerouted: Vec<RequestMessage> = Vec::new();
+            let mut pushed = 0usize;
+            {
+                let mut state = self.shards[shard].lock_state();
+                for request in group {
+                    if self.shard_of(&request.target) != shard {
+                        rerouted.push(request);
+                        continue;
+                    }
+                    state.queue.push_back(request);
+                    pushed += 1;
+                }
+            }
+            if pushed > 0 {
+                self.shards[shard]
+                    .depth
+                    .fetch_add(pushed, Ordering::Relaxed);
+                self.shards[shard].available.notify_one();
+            }
+            for request in rerouted {
+                self.push_routed(request);
+            }
+        }
+    }
+
+    /// Pushes one request onto its routed shard. A steal can move the actor
+    /// between the route read and the queue push; re-check the route under
+    /// the shard lock (steals update routes while holding both shard locks,
+    /// so a stable read here means the push lands in the queue every other
+    /// submit and steal agrees on).
+    fn push_routed(&self, request: RequestMessage) {
         loop {
             let shard = self.shard_of(&request.target);
             let mut state = self.shards[shard].lock_state();
@@ -279,7 +383,7 @@ impl DispatchPool {
             self.shards[shard].depth.fetch_add(1, Ordering::Relaxed);
             drop(state);
             self.shards[shard].available.notify_one();
-            return true;
+            return;
         }
     }
 
@@ -501,6 +605,10 @@ mod tests {
     use super::*;
     use kar_types::CallKind;
 
+    /// Route retention far beyond any test's runtime: aging only fires when
+    /// a test drives it explicitly with synthetic instants.
+    const RETENTION: Duration = Duration::from_secs(3600);
+
     fn request(id: u64, actor: &str) -> RequestMessage {
         RequestMessage {
             id: RequestId::from_raw(id),
@@ -518,7 +626,7 @@ mod tests {
 
     #[test]
     fn actors_are_pinned_to_stable_shards() {
-        let pool = DispatchPool::new(4, false);
+        let pool = DispatchPool::new(4, false, RETENTION);
         assert_eq!(pool.workers(), 4);
         for i in 0..32 {
             let actor = ActorRef::new("T", format!("a{i}"));
@@ -531,12 +639,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_is_rejected() {
-        DispatchPool::new(0, true);
+        DispatchPool::new(0, true, RETENTION);
     }
 
     #[test]
     fn submit_tracks_pending_until_admitted() {
-        let pool = DispatchPool::new(2, false);
+        let pool = DispatchPool::new(2, false, RETENTION);
         let r = request(7, "a");
         let id = r.id;
         assert!(pool.submit(r));
@@ -554,7 +662,7 @@ mod tests {
 
     #[test]
     fn next_request_times_out_on_an_empty_shard() {
-        let pool = DispatchPool::new(1, false);
+        let pool = DispatchPool::new(1, false, RETENTION);
         assert!(pool.next_request(0, Duration::from_millis(2)).is_none());
     }
 
@@ -567,7 +675,7 @@ mod tests {
         // thread while the drainer loops.
         use std::sync::Arc;
         const MESSAGES: u64 = 2_000;
-        let pool = Arc::new(DispatchPool::new(2, true));
+        let pool = Arc::new(DispatchPool::new(2, true, RETENTION));
         let shard = pool.shard_of(&ActorRef::new("T", "a"));
         let pusher_pool = pool.clone();
         let pusher = std::thread::spawn(move || {
@@ -601,7 +709,7 @@ mod tests {
 
     #[test]
     fn idle_worker_steals_a_whole_actor_from_the_deepest_shard() {
-        let pool = DispatchPool::new(2, true);
+        let pool = DispatchPool::new(2, true, RETENTION);
         let hot = ActorRef::new("T", "hot");
         let warm = ActorRef::new("T", "warm");
         let victim = pool.shard_of(&hot);
@@ -648,7 +756,7 @@ mod tests {
 
     #[test]
     fn stealing_skips_the_actor_its_drainer_is_busy_with() {
-        let pool = DispatchPool::new(2, true);
+        let pool = DispatchPool::new(2, true, RETENTION);
         let hot = ActorRef::new("T", "hot");
         let victim = pool.shard_of(&hot);
         let thief = 1 - victim;
@@ -674,7 +782,7 @@ mod tests {
 
     #[test]
     fn shallow_queues_are_not_stolen_from() {
-        let pool = DispatchPool::new(2, true);
+        let pool = DispatchPool::new(2, true, RETENTION);
         let hot = ActorRef::new("T", "hot");
         let victim = pool.shard_of(&hot);
         let thief = 1 - victim;
@@ -688,7 +796,7 @@ mod tests {
 
     #[test]
     fn stealing_disabled_leaves_queues_alone() {
-        let pool = DispatchPool::new(2, false);
+        let pool = DispatchPool::new(2, false, RETENTION);
         let hot = ActorRef::new("T", "hot");
         let victim = pool.shard_of(&hot);
         let thief = 1 - victim;
@@ -702,7 +810,7 @@ mod tests {
 
     #[test]
     fn ownership_is_exclusive_and_reclaimable() {
-        let pool = DispatchPool::new(1, true);
+        let pool = DispatchPool::new(1, true, RETENTION);
         assert!(pool.try_claim(0));
         assert!(!pool.try_claim(0), "second claim must fail");
         // Simulate the blocking hand-off protocol.
@@ -724,8 +832,114 @@ mod tests {
     }
 
     #[test]
+    fn submit_batch_groups_by_shard_and_preserves_per_actor_order() {
+        let pool = DispatchPool::new(4, false, RETENTION);
+        // Interleave requests for several actors; the batch must land each
+        // actor's requests on its shard in submission order.
+        let mut batch = Vec::new();
+        let mut id = 0;
+        for round in 0..5 {
+            for actor in ["a", "b", "c", "d", "e", "f"] {
+                id += 1;
+                batch.push(request(id, actor));
+                let _ = round;
+            }
+        }
+        let total = batch.len();
+        pool.submit_batch(batch);
+        let mut drained = 0;
+        let mut last_per_actor: std::collections::HashMap<String, u64> =
+            std::collections::HashMap::new();
+        for shard in 0..4 {
+            while let Some(r) = pool.next_request(shard, Duration::from_millis(1)) {
+                assert_eq!(pool.shard_of(&r.target), shard, "misrouted batch entry");
+                assert!(pool.is_pending(r.id), "batch entry not pending admission");
+                let last = last_per_actor
+                    .entry(r.target.actor_id().to_owned())
+                    .or_insert(0);
+                assert!(r.id.as_u64() > *last, "per-actor order broken in batch");
+                *last = r.id.as_u64();
+                pool.admitted(r.id);
+                pool.mark_admitted(shard);
+                pool.release_busy_actor(shard, &r.target);
+                drained += 1;
+            }
+        }
+        assert_eq!(drained, total, "batch lost or duplicated requests");
+        // Empty batches are a no-op.
+        pool.submit_batch(Vec::new());
+    }
+
+    #[test]
+    fn submit_batch_honours_steal_route_overrides() {
+        let pool = DispatchPool::new(2, true, RETENTION);
+        let hot = ActorRef::new("T", "hot");
+        let home = pool.shard_of(&hot);
+        let exile = 1 - home;
+        pool.routes.lock().insert(hot.clone(), exile);
+        pool.submit_batch((1..=3).map(|id| request(id, "hot")).collect());
+        assert_eq!(pool.shards[exile].depth.load(Ordering::Relaxed), 3);
+        assert_eq!(pool.shards[home].depth.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn idle_steal_routes_age_out_but_active_ones_survive() {
+        let pool = DispatchPool::new(2, true, Duration::from_millis(1));
+        let idle = ActorRef::new("T", "idle");
+        let busy = ActorRef::new("T", "busy");
+        pool.routes.lock().insert(idle.clone(), 0);
+        pool.routes.lock().insert(busy.clone(), 0);
+        assert_eq!(pool.route_count(), 2);
+        // "busy" keeps queued requests in its routed shard; "idle" has none.
+        let mut r = request(1, "busy");
+        r.target = busy.clone();
+        pool.submit(r);
+        let t = Instant::now();
+        assert_eq!(pool.age_routes(t + Duration::from_millis(2)), 0);
+        // A refresh between the generations keeps a route young: touching
+        // "idle" now postpones its expiry past the next rotation.
+        let _ = pool.shard_of(&idle);
+        assert_eq!(pool.age_routes(t + Duration::from_millis(4)), 0);
+        // Two full idle generations later, only the idle route is dropped:
+        // the busy actor's queued request vetoes its removal.
+        let dropped = pool.age_routes(t + Duration::from_millis(8));
+        assert_eq!(dropped, 1, "exactly the idle route should age out");
+        assert_eq!(pool.route_count(), 1);
+        assert_eq!(pool.shard_of(&busy), 0, "active override must survive");
+        // Rotation is interval-gated: an immediate re-run is a no-op.
+        assert_eq!(pool.age_routes(t + Duration::from_millis(8)), 0);
+        // Once the busy actor drains, its route ages out after two further
+        // idle generations (the shard_of assertion above refreshed it).
+        let got = pool.next_request(0, Duration::from_millis(5)).unwrap();
+        pool.admitted(got.id);
+        pool.mark_admitted(0);
+        pool.release_busy_actor(0, &got.target);
+        assert_eq!(pool.age_routes(t + Duration::from_millis(12)), 0);
+        assert_eq!(pool.age_routes(t + Duration::from_millis(16)), 1);
+        assert_eq!(pool.route_count(), 0);
+    }
+
+    #[test]
+    fn a_dropped_route_falls_back_to_the_home_shard_with_nothing_queued() {
+        let pool = DispatchPool::new(2, true, Duration::from_millis(1));
+        let actor = ActorRef::new("T", "wanderer");
+        let home = pool.shard_of(&actor);
+        pool.routes.lock().insert(actor.clone(), 1 - home);
+        assert_eq!(pool.shard_of(&actor), 1 - home);
+        let t = Instant::now();
+        assert_eq!(pool.age_routes(t + Duration::from_millis(2)), 0);
+        assert_eq!(pool.age_routes(t + Duration::from_millis(4)), 1);
+        assert_eq!(pool.shard_of(&actor), home);
+        // New traffic lands on the home shard; per-actor FIFO is trivially
+        // safe because the override was only dropped while nothing was
+        // queued anywhere for the actor.
+        pool.submit(request(9, "wanderer"));
+        assert_eq!(pool.shards[home].depth.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
     fn enter_blocking_is_a_noop_off_worker_threads() {
-        let pool = DispatchPool::new(1, true);
+        let pool = DispatchPool::new(1, true, RETENTION);
         // This test thread was bound by other tests? Reset explicitly.
         SHARD_CTX.with(|ctx| ctx.set(None));
         OWNS_SHARD.with(|owns| owns.set(false));

@@ -1,13 +1,13 @@
 //! The application mesh: nodes, components, clients and fault injection.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
-use kar_queue::Broker;
+use kar_queue::{Broker, PartitionSet};
 use kar_store::Store;
 use kar_types::ids::RequestIdGenerator;
 use kar_types::{ComponentId, Envelope, NodeId};
@@ -48,7 +48,13 @@ struct MeshInner {
     ids: Arc<RequestIdGenerator>,
     next_component: AtomicU64,
     next_node: AtomicU64,
-    partitions: Arc<RwLock<HashMap<ComponentId, usize>>>,
+    /// Next unallocated partition index of the mesh topic: each new
+    /// component takes the next contiguous range of
+    /// `MeshConfig::partitions_per_component` partitions as its home set.
+    /// Indices are never reused; a dead component's range is adopted by
+    /// survivors during reconciliation.
+    next_partition: AtomicUsize,
+    topology: Arc<RwLock<HashMap<ComponentId, PartitionSet>>>,
     components: Arc<RwLock<HashMap<ComponentId, Arc<ComponentCore>>>>,
     nodes: Arc<RwLock<HashMap<NodeId, Vec<ComponentId>>>>,
     live: Arc<RwLock<HashSet<ComponentId>>>,
@@ -88,7 +94,8 @@ impl Mesh {
             ids: Arc::new(RequestIdGenerator::new()),
             next_component: AtomicU64::new(1),
             next_node: AtomicU64::new(1),
-            partitions: Arc::new(RwLock::new(HashMap::new())),
+            next_partition: AtomicUsize::new(0),
+            topology: Arc::new(RwLock::new(HashMap::new())),
             components: Arc::new(RwLock::new(HashMap::new())),
             nodes: Arc::new(RwLock::new(HashMap::new())),
             live: Arc::new(RwLock::new(HashSet::new())),
@@ -100,9 +107,10 @@ impl Mesh {
         let ctx = RecoveryContext {
             config: inner.config.clone(),
             topic: TOPIC.to_owned(),
+            group: GROUP.to_owned(),
             broker: inner.broker.clone(),
             store: inner.store.clone(),
-            partitions: inner.partitions.clone(),
+            topology: inner.topology.clone(),
             components: inner.components.clone(),
             live: inner.live.clone(),
             kill_times: inner.kill_times.clone(),
@@ -183,12 +191,16 @@ impl Mesh {
         );
         let raw = self.inner.next_component.fetch_add(1, Ordering::SeqCst);
         let id = ComponentId::from_raw(raw);
-        let partition = raw as usize - 1;
+        // Allocate the next contiguous home partition range and register it
+        // in the broker's assignment table and the mesh topology.
+        let count = self.inner.config.effective_partitions_per_component();
+        let start = self.inner.next_partition.fetch_add(count, Ordering::SeqCst);
+        let partitions = PartitionSet::contiguous(start, count);
         self.inner
             .broker
-            .ensure_partitions(TOPIC, partition + 1)
+            .assign_partitions(TOPIC, id, partitions.clone())
             .expect("growing the topic cannot fail");
-        self.inner.partitions.write().insert(id, partition);
+        self.inner.topology.write().insert(id, partitions.clone());
         // Announce hosted actor types before joining, so placement can find
         // this component as soon as it is live.
         for actor_type in hosted.keys() {
@@ -203,10 +215,10 @@ impl Mesh {
             self.inner.config.clone(),
             TOPIC.to_owned(),
             GROUP.to_owned(),
-            partition,
+            partitions.clone(),
             self.inner.broker.clone(),
             self.inner.store.clone(),
-            self.inner.partitions.clone(),
+            self.inner.topology.clone(),
             self.inner.live.clone(),
             self.inner.ids.clone(),
             hosted,
@@ -214,7 +226,7 @@ impl Mesh {
         self.inner.components.write().insert(id, core.clone());
         self.inner.nodes.write().entry(node).or_default().push(id);
         self.inner.live.write().insert(id);
-        self.inner.broker.join_group(GROUP, id, partition);
+        self.inner.broker.join_group(GROUP, id, partitions);
         core.start();
         id
     }
@@ -321,6 +333,27 @@ impl Mesh {
             .map(|core| core.steal_count())
     }
 
+    /// The partition set one component currently consumes: its stable home
+    /// range plus any partition ranges adopted from failed components
+    /// (`None` for unknown components).
+    pub fn partition_set(&self, component: ComponentId) -> Option<PartitionSet> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.partition_set())
+    }
+
+    /// Number of live steal-route overrides in one component's dispatch
+    /// pool (aged out once their actor idles for a retention window).
+    pub fn steal_route_count(&self, component: ComponentId) -> Option<usize> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.steal_route_count())
+    }
+
     /// Placement-cache hit/miss/invalidation counters of one component.
     pub fn placement_counters(
         &self,
@@ -354,13 +387,15 @@ impl Mesh {
         for id in ids {
             let core = &components[&id];
             out.push_str(&core.debug_snapshot());
-            if let Some(partition) = self.inner.partitions.read().get(&id) {
-                let _ = writeln!(
-                    out,
-                    "  queue partition {partition}: len={} end_offset={}",
-                    self.inner.broker.partition_len(TOPIC, *partition),
-                    self.inner.broker.end_offset(TOPIC, *partition),
-                );
+            if let Some(set) = self.inner.topology.read().get(&id) {
+                for partition in set.all() {
+                    let _ = writeln!(
+                        out,
+                        "  queue partition {partition}: len={} end_offset={}",
+                        self.inner.broker.partition_len(TOPIC, partition),
+                        self.inner.broker.end_offset(TOPIC, partition),
+                    );
+                }
             }
         }
         out

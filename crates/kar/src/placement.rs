@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 
 use kar_store::Connection;
-use kar_types::{ActorRef, ComponentId, KarError, KarResult, Value};
+use kar_types::{ActorRef, ComponentId, KarError, KarResult, Value, WaitSignal};
 
 /// The set of components currently believed to be live, shared by every
 /// component of a mesh and refreshed on every completed rebalance.
@@ -99,6 +99,12 @@ pub struct PlacementService {
     live: LiveSet,
     cache: Option<ShardedCache>,
     lookup_timeout: Duration,
+    /// Bumped by [`PlacementService::clear_cache`] (recovery completed on
+    /// this component, so stale placements have been repaired). Resolvers
+    /// waiting out a stale placement park here — the `poll_wait` condvar
+    /// idiom of `response_partition`/`wait_for_recoveries` — instead of
+    /// sleep-polling the store every 2 ms.
+    repaired: WaitSignal,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
@@ -119,6 +125,7 @@ impl PlacementService {
             live,
             cache: cache_enabled.then(|| ShardedCache::new(cache_shards)),
             lookup_timeout,
+            repaired: WaitSignal::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
@@ -135,6 +142,10 @@ impl PlacementService {
             cache.epoch.fetch_add(1, Ordering::AcqRel);
             self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
+        // Recovery just repaired placements: wake resolvers parked on a
+        // stale one. Bumped outside the cache guard so cache-less services
+        // still wake their waiters.
+        self.repaired.bump();
     }
 
     /// Number of cached placements in the current epoch (used by tests and
@@ -237,7 +248,16 @@ impl PlacementService {
             return Ok(component);
         }
         let deadline = Instant::now() + self.lookup_timeout;
+        // Waiting for repair parks on the repair signal (bumped when recovery
+        // completes here) rather than sleep-polling. Each wait is capped so
+        // repairs made without a local cache clear — e.g. the leader
+        // rewriting a placement while re-homing an orphan when a fresh
+        // component joins — are still picked up promptly.
+        let wait_slice = Duration::from_millis(20);
         loop {
+            // Snapshot the signal before the store lookup: a repair landing
+            // between the lookup and the wait wakes us immediately.
+            let seen = self.repaired.current();
             let epoch = self.cache_epoch();
             match self.resolve_uncached(actor)? {
                 Some(component) => {
@@ -245,13 +265,14 @@ impl PlacementService {
                     return Ok(component);
                 }
                 None => {
-                    if Instant::now() >= deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return Err(KarError::Timeout {
                             request: kar_types::RequestId::from_raw(0),
                             after_ms: self.lookup_timeout.as_millis() as u64,
                         });
                     }
-                    std::thread::sleep(Duration::from_millis(2));
+                    self.repaired.wait(seen, wait_slice.min(deadline - now));
                 }
             }
         }
@@ -585,6 +606,131 @@ mod tests {
         for shard in &cache.shards {
             assert!(!shard.lock().is_empty(), "a cache shard stayed empty");
         }
+    }
+
+    #[test]
+    fn resolve_parks_on_the_repair_signal_instead_of_polling() {
+        let store = Store::new();
+        announce(&store, "Order", 2);
+        let live_set = live(&[2]);
+        // A generous lookup timeout: if resolve returned only by timing out,
+        // the test would take 5 seconds and fail the elapsed bound.
+        let placement = Arc::new(PlacementService::new(
+            store.connect(ComponentId::from_raw(2)),
+            live_set.clone(),
+            true,
+            4,
+            Duration::from_secs(5),
+        ));
+        let actor = ActorRef::new("Order", "o-1");
+        // A stale placement pointing at dead component 9.
+        store
+            .connect(ComponentId::from_raw(2))
+            .set(
+                &placement_key(&actor),
+                component_to_value(ComponentId::from_raw(9)),
+            )
+            .unwrap();
+        // A repair thread rewrites the placement and signals the repair the
+        // way recovery does (clear_cache on resume).
+        let repair_store = store.clone();
+        let repair_placement = placement.clone();
+        let repair = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            repair_store
+                .connect(ComponentId::from_raw(2))
+                .set(
+                    &placement_key(&ActorRef::new("Order", "o-1")),
+                    component_to_value(ComponentId::from_raw(2)),
+                )
+                .unwrap();
+            repair_placement.clear_cache();
+        });
+        let t0 = Instant::now();
+        let resolved = placement.resolve(&actor).unwrap();
+        let elapsed = t0.elapsed();
+        repair.join().unwrap();
+        assert_eq!(resolved, ComponentId::from_raw(2));
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "resolve slept past the repair signal: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn clear_cache_epoch_bump_never_serves_a_stale_placement() {
+        // Regression for the O(1) epoch-based clear: readers racing a clear
+        // must never observe the pre-recovery placement once the rewrite +
+        // clear have both happened, even though stale entries are evicted
+        // lazily rather than drained.
+        let store = Store::new();
+        announce(&store, "Order", 1);
+        announce(&store, "Order", 2);
+        let live_set = live(&[1, 2]);
+        let placement = Arc::new(PlacementService::new(
+            store.connect(ComponentId::from_raw(1)),
+            live_set.clone(),
+            true,
+            2,
+            Duration::from_millis(500),
+        ));
+        let actor = ActorRef::new("Order", "contended");
+        store
+            .connect(ComponentId::from_raw(1))
+            .set(
+                &placement_key(&actor),
+                component_to_value(ComponentId::from_raw(1)),
+            )
+            .unwrap();
+        assert_eq!(placement.resolve(&actor).unwrap(), ComponentId::from_raw(1));
+
+        // Readers hammer resolve while the "recovery" flips the placement.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flipped = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let placement = placement.clone();
+                let stop = stop.clone();
+                let flipped = flipped.clone();
+                std::thread::spawn(move || {
+                    let actor = ActorRef::new("Order", "contended");
+                    while !stop.load(Ordering::SeqCst) {
+                        // Sample the flip flag BEFORE resolving: if the flip
+                        // was already complete when we started, a stale
+                        // answer is a genuine violation.
+                        let flip_done = flipped.load(Ordering::SeqCst);
+                        let resolved = placement.resolve(&actor).unwrap();
+                        if flip_done {
+                            assert_eq!(
+                                resolved,
+                                ComponentId::from_raw(2),
+                                "stale placement served after clear_cache"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        // The recovery sequence: component 1 dies, placement is rewritten,
+        // caches are cleared (epoch bump), THEN the flip is declared done.
+        live_set.write().remove(&ComponentId::from_raw(1));
+        store
+            .connect(ComponentId::from_raw(2))
+            .set(
+                &placement_key(&actor),
+                component_to_value(ComponentId::from_raw(2)),
+            )
+            .unwrap();
+        placement.clear_cache();
+        flipped.store(true, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(50));
+        stop.store(true, Ordering::SeqCst);
+        for reader in readers {
+            reader.join().unwrap();
+        }
+        // And the service itself agrees immediately after the clear.
+        assert_eq!(placement.resolve(&actor).unwrap(), ComponentId::from_raw(2));
     }
 
     #[test]

@@ -9,7 +9,13 @@
 //! call, invalidates placement decisions for actors hosted by failed
 //! components, eagerly re-places actors with pending requests, re-homes their
 //! pending requests (annotated with their pending callee to preserve
-//! happen-before), and finally flushes the failed queues.
+//! happen-before), flushes the failed queues, and finally re-homes the
+//! failed components' **partition ranges** onto surviving components: each
+//! partition is fenced (bumping its ownership epoch, so a slow consumer of
+//! the old assignment cannot double-commit) and then adopted by a survivor
+//! as a drain-only partition — records appended by racing senders after the
+//! flush are therefore still consumed, and the adopter's admission-time
+//! placement check forwards any it does not own.
 //!
 //! Interaction with the sharded dispatcher: pausing a component stops both
 //! its queue consumer and its dispatch workers, so no *new* request is
@@ -29,7 +35,7 @@ use std::time::Duration;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use parking_lot::{Mutex, RwLock};
 
-use kar_queue::{Broker, GroupEvent};
+use kar_queue::{Broker, GroupEvent, PartitionSet};
 use kar_store::Store;
 use kar_types::{ComponentId, Envelope, RequestId, RequestMessage, Value};
 
@@ -60,6 +66,10 @@ pub struct OutageRecord {
     pub reconciled_at: Duration,
     /// Number of pending requests re-homed onto surviving components.
     pub rehomed_requests: usize,
+    /// The failed components' queue partitions re-homed onto survivors by
+    /// this recovery (each fenced against its old consumer, then adopted as
+    /// a drain-only partition). Empty when no survivor could adopt them.
+    pub rehomed_partitions: Vec<usize>,
 }
 
 impl OutageRecord {
@@ -164,9 +174,10 @@ impl RecoveryLog {
 pub(crate) struct RecoveryContext {
     pub(crate) config: MeshConfig,
     pub(crate) topic: String,
+    pub(crate) group: String,
     pub(crate) broker: Broker<Envelope>,
     pub(crate) store: Store,
-    pub(crate) partitions: Arc<RwLock<HashMap<ComponentId, usize>>>,
+    pub(crate) topology: Arc<RwLock<HashMap<ComponentId, PartitionSet>>>,
     pub(crate) components: Arc<RwLock<HashMap<ComponentId, Arc<ComponentCore>>>>,
     pub(crate) live: Arc<RwLock<HashSet<ComponentId>>>,
     pub(crate) kill_times: Arc<Mutex<HashMap<ComponentId, Duration>>>,
@@ -224,7 +235,7 @@ pub(crate) fn run_recovery_manager(ctx: RecoveryContext, events: Receiver<GroupE
                 for component in &survivors {
                     component.pause();
                 }
-                let rehomed = reconcile(&ctx, &removed, &live);
+                let (rehomed, rehomed_partitions) = reconcile(&ctx, &removed, &live);
                 for component in &survivors {
                     component.resume();
                 }
@@ -249,6 +260,7 @@ pub(crate) fn run_recovery_manager(ctx: RecoveryContext, events: Receiver<GroupE
                     consensus_at: at,
                     reconciled_at,
                     rehomed_requests: rehomed,
+                    rehomed_partitions,
                 });
             }
         }
@@ -305,8 +317,12 @@ impl RehomeBatches {
 }
 
 /// The reconciliation algorithm of §4.3. Returns the number of re-homed
-/// requests.
-fn reconcile(ctx: &RecoveryContext, removed: &[ComponentId], live: &[ComponentId]) -> usize {
+/// requests and the partitions re-homed onto survivors.
+fn reconcile(
+    ctx: &RecoveryContext,
+    removed: &[ComponentId],
+    live: &[ComponentId],
+) -> (usize, Vec<usize>) {
     // 1. Forcefully disconnect failed components from the store (the broker
     //    already fenced them when their failure was detected).
     for component in removed {
@@ -315,40 +331,42 @@ fn reconcile(ctx: &RecoveryContext, removed: &[ComponentId], live: &[ComponentId
     // Fixed leader overhead (election, cataloguing setup).
     sleep_scaled(ctx, ctx.config.reconciliation_base);
 
-    // 2. Catalog unexpired messages across every queue. A request id counts
-    //    as "pending at a live component" only if that component has not
-    //    consumed (or is still holding) the copy: a copy it already processed
-    //    was either completed (a response exists) or superseded by a tail
-    //    call whose latest hop lives elsewhere — possibly in a failed queue
-    //    that must be re-homed.
-    let partitions = ctx.partitions.read().clone();
+    // 2. Catalog unexpired messages across every partition of every
+    //    component's set (home and adopted). A request id counts as "pending
+    //    at a live component" only if that component has not consumed (or is
+    //    still holding) the copy: a copy it already processed was either
+    //    completed (a response exists) or superseded by a tail call whose
+    //    latest hop lives elsewhere — possibly in a failed queue that must
+    //    be re-homed.
+    let topology = ctx.topology.read().clone();
     let components = ctx.components.read().clone();
     let mut responses: HashSet<RequestId> = HashSet::new();
     let mut live_requests: HashSet<RequestId> = HashSet::new();
     let mut all_requests: Vec<RequestMessage> = Vec::new();
     let mut dead_queues: Vec<(ComponentId, Vec<RequestMessage>)> = Vec::new();
-    for (component, partition) in &partitions {
-        let records = ctx.broker.read_partition(&ctx.topic, *partition);
+    for (component, set) in &topology {
         let mut requests_here = Vec::new();
         let live_core = if live.contains(component) {
             components.get(component)
         } else {
             None
         };
-        for record in records {
-            match record.payload {
-                Envelope::Response(response) => {
-                    responses.insert(response.id);
-                }
-                Envelope::Request(request) => {
-                    if let Some(core) = live_core {
-                        let still_queued = record.offset >= core.consumed_offset();
-                        if still_queued || core.locally_pending(request.id) {
-                            live_requests.insert(request.id);
-                        }
+        for partition in set.all() {
+            for record in ctx.broker.read_partition(&ctx.topic, partition) {
+                match record.payload {
+                    Envelope::Response(response) => {
+                        responses.insert(response.id);
                     }
-                    requests_here.push(request.clone());
-                    all_requests.push(request);
+                    Envelope::Request(request) => {
+                        if let Some(core) = live_core {
+                            let still_queued = record.offset >= core.consumed_offset(partition);
+                            if still_queued || core.locally_pending(request.id) {
+                                live_requests.insert(request.id);
+                            }
+                        }
+                        requests_here.push(request.clone());
+                        all_requests.push(request);
+                    }
                 }
             }
         }
@@ -423,20 +441,22 @@ fn reconcile(ctx: &RecoveryContext, removed: &[ComponentId], live: &[ComponentId
     //    would otherwise be flushed and lost; re-home them too.
     let mut batches = RehomeBatches::default();
     for component in removed {
-        let Some(partition) = partitions.get(component) else {
+        let Some(set) = topology.get(component) else {
             continue;
         };
-        for record in ctx.broker.read_partition(&ctx.topic, *partition) {
-            if let Envelope::Request(request) = record.payload {
-                if responses.contains(&request.id)
-                    || live_requests.contains(&request.id)
-                    || rehomed_ids.contains(&request.id)
-                {
-                    continue;
-                }
-                rehomed_ids.insert(request.id);
-                if let Some((partition, request)) = rehome_decision(ctx, request, live) {
-                    batches.push(partition, request);
+        for partition in set.all() {
+            for record in ctx.broker.read_partition(&ctx.topic, partition) {
+                if let Envelope::Request(request) = record.payload {
+                    if responses.contains(&request.id)
+                        || live_requests.contains(&request.id)
+                        || rehomed_ids.contains(&request.id)
+                    {
+                        continue;
+                    }
+                    rehomed_ids.insert(request.id);
+                    if let Some((partition, request)) = rehome_decision(ctx, request, live) {
+                        batches.push(partition, request);
+                    }
                 }
             }
         }
@@ -445,11 +465,106 @@ fn reconcile(ctx: &RecoveryContext, removed: &[ComponentId], live: &[ComponentId
 
     // 7. Flush the failed queues for later reuse.
     for component in removed {
-        if let Some(partition) = partitions.get(component) {
-            ctx.broker.truncate_partition(&ctx.topic, *partition);
+        if let Some(set) = topology.get(component) {
+            for partition in set.all() {
+                ctx.broker.truncate_partition(&ctx.topic, partition);
+            }
         }
     }
-    rehomed
+
+    // 8. Re-home the failed components' partition *ranges* onto survivors.
+    //    Each partition is first fenced — bumping its ownership epoch so a
+    //    slow consumer opened under the dead assignment fails its next poll
+    //    instead of double-committing — and then adopted (round-robin) by a
+    //    surviving component that hosts actor types. Adopted partitions are
+    //    drained, not hash-routed to: records appended by racing senders
+    //    after the flush are consumed by the adopter, whose admission-time
+    //    placement check executes or forwards them. Routing stability for
+    //    live actors is untouched because home sets never change.
+    let rehomed_partitions = rehome_partition_ranges(ctx, live, &components, &topology);
+
+    (rehomed, rehomed_partitions)
+}
+
+/// Step 8 of reconciliation: distributes the dead components' partitions
+/// over surviving hosting components, fencing each partition against its old
+/// consumer before the adopter opens its own. Returns the re-homed
+/// partitions (empty when no survivor hosts anything — the dead topology
+/// entries are then kept, and because this function sweeps *every* topology
+/// entry whose component is no longer in the shared live set — not just this
+/// rebalance's `removed` — the next recovery that does have an adopter picks
+/// the leftover ranges up).
+fn rehome_partition_ranges(
+    ctx: &RecoveryContext,
+    live: &[ComponentId],
+    components: &HashMap<ComponentId, Arc<ComponentCore>>,
+    topology: &HashMap<ComponentId, PartitionSet>,
+) -> Vec<usize> {
+    let adopters: Vec<&Arc<ComponentCore>> = live
+        .iter()
+        .filter_map(|component| components.get(component))
+        .filter(|core| core.hosts_any())
+        .collect();
+    if adopters.is_empty() {
+        return Vec::new();
+    }
+    // Every topology entry whose component is dead: the components removed
+    // by this rebalance, plus any entry left over from an earlier recovery
+    // that had no adopter. The *shared* live set is the authority here (not
+    // this rebalance's `live` list): it already includes components added
+    // after this rebalance window started, so a freshly joined component can
+    // never be mistaken for dead and have its partitions stolen.
+    let stale: Vec<ComponentId> = {
+        let live_now = ctx.live.read();
+        topology
+            .keys()
+            .filter(|component| !live_now.contains(component))
+            .copied()
+            .collect()
+    };
+    let mut orphaned: Vec<usize> = Vec::new();
+    for component in stale {
+        if let Some(set) = topology.get(&component) {
+            orphaned.extend(set.all());
+        }
+        ctx.topology.write().remove(&component);
+        ctx.broker.unassign_partitions(&ctx.topic, component);
+    }
+    let mut adoption: HashMap<ComponentId, Vec<usize>> = HashMap::new();
+    for (index, partition) in orphaned.iter().enumerate() {
+        // Cut off the dead assignment's consumers first: the adopter's
+        // consumer (opened below) captures the post-fence epoch.
+        let _ = ctx.broker.fence_partition(&ctx.topic, *partition);
+        let adopter = adopters[index % adopters.len()];
+        adoption.entry(adopter.id()).or_default().push(*partition);
+    }
+    for (component, partitions) in adoption {
+        // Record the adoption in the shared topology FIRST: it is the
+        // authoritative map recovery itself catalogs. If the adopter is
+        // killed concurrently (its core silently refuses to adopt), the
+        // partitions are still charged to it here, so the adopter's own
+        // recovery re-homes them instead of leaking them.
+        let merged = {
+            let mut topology = ctx.topology.write();
+            let Some(set) = topology.get_mut(&component) else {
+                continue;
+            };
+            set.adopt(partitions.iter().copied());
+            set.clone()
+        };
+        let _ = ctx
+            .broker
+            .assign_partitions(&ctx.topic, component, merged.clone());
+        // Keep the consumer group's view of the member in agreement with the
+        // assignment table.
+        ctx.broker
+            .update_member_partitions(&ctx.group, component, merged);
+        if let Some(core) = components.get(&component) {
+            core.adopt_partitions(partitions);
+        }
+    }
+    orphaned.sort_unstable();
+    orphaned
 }
 
 /// Chooses a replacement component for one pending request and updates the
@@ -462,7 +577,6 @@ fn rehome_decision(
     request: RequestMessage,
     live: &[ComponentId],
 ) -> Option<(usize, RequestMessage)> {
-    let partitions = ctx.partitions.read().clone();
     let key = placement_key(&request.target);
     // If the actor is already placed on a live component (for example because
     // a previous interrupted reconciliation re-placed it), respect that
@@ -486,7 +600,14 @@ fn rehome_decision(
             chosen
         }
     };
-    let Some(partition) = partitions.get(&target_component).copied() else {
+    // Route onto the target's home set by actor key, exactly like a live
+    // sender would.
+    let partition = ctx
+        .topology
+        .read()
+        .get(&target_component)
+        .and_then(|set| set.partition_for_key(&request.target.qualified_name()));
+    let Some(partition) = partition else {
         ctx.orphans.lock().push(request);
         return None;
     };
@@ -587,6 +708,7 @@ mod tests {
             consensus_at: Duration::from_secs(111),
             reconciled_at: Duration::from_secs(122),
             rehomed_requests: 4,
+            rehomed_partitions: vec![0, 1],
         };
         assert_eq!(record.detection(), Some(Duration::from_secs(9)));
         assert_eq!(record.consensus(), Duration::from_secs(2));
@@ -613,6 +735,7 @@ mod tests {
             consensus_at: Duration::ZERO,
             reconciled_at: Duration::ZERO,
             rehomed_requests: 0,
+            rehomed_partitions: vec![],
         });
         assert_eq!(log.len(), 1);
         assert_eq!(log.snapshot().len(), 1);
