@@ -1,0 +1,79 @@
+//! State-plane sweep: contended mixed get/set/cas (coarse vs sharded store
+//! locks, per-command vs pipelined) and actor state flush (round trips per
+//! invocation with the actor-state cache off vs on).
+//!
+//! Prints both tables and writes `BENCH_store.json` to the current
+//! directory.
+//!
+//! Usage:
+//!   cargo run --release -p kar-bench --bin bench_store [out.json]
+//!   cargo run --release -p kar-bench --bin bench_store -- --smoke
+//!
+//! `--smoke` runs a seconds-scale shrunken workload and writes no file: CI
+//! uses it to surface state-plane lock regressions and deadlocks.
+
+use kar_bench::store::{
+    contended_store_row, contended_store_sweep, round_trip_reduction,
+    sharded_pipelined_over_coarse, state_flush_row, state_flush_sweep, to_json,
+    ContendedStoreConfig, StateFlushConfig,
+};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let smoke = arg.as_deref() == Some("--smoke");
+    let (contended_config, flush_config) = if smoke {
+        (ContendedStoreConfig::smoke(), StateFlushConfig::smoke())
+    } else {
+        (ContendedStoreConfig::default(), StateFlushConfig::default())
+    };
+
+    println!(
+        "Contended mixed commands: {} threads x {} ops, latency {}us, batch {}, {}B values",
+        contended_config.threads,
+        contended_config.ops_per_thread,
+        contended_config.op_latency.as_micros(),
+        contended_config.batch_size,
+        contended_config.value_bytes,
+    );
+    println!(
+        "{:>7} {:>9} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "lock", "api", "ops", "elapsed ms", "ops/s", "round trips", "contended"
+    );
+    let contended = contended_store_sweep(&contended_config);
+    for report in &contended {
+        println!("{}", contended_store_row(report));
+    }
+    println!(
+        "sharded+pipelined over coarse per-command: {:.2}x",
+        sharded_pipelined_over_coarse(&contended)
+    );
+
+    println!(
+        "\nActor state flush: {} actors x {} calls, {} fields/call, store latency {}us",
+        flush_config.actors,
+        flush_config.calls_per_actor,
+        flush_config.fields_per_call,
+        flush_config.store_latency.as_micros(),
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "cache", "invocations", "round trips", "rt/invoc", "elapsed ms", "calls/s"
+    );
+    let flush = state_flush_sweep(&flush_config);
+    for report in &flush {
+        println!("{}", state_flush_row(report));
+    }
+    println!(
+        "state-cache round-trip reduction: {:.2}x fewer round trips per invocation",
+        round_trip_reduction(&flush)
+    );
+
+    if smoke {
+        println!("\nsmoke mode: workloads completed without deadlock, no file written");
+        return;
+    }
+    let out_path = arg.unwrap_or_else(|| "BENCH_store.json".to_owned());
+    let json = to_json(&contended_config, &contended, &flush_config, &flush);
+    std::fs::write(&out_path, &json).expect("write BENCH_store.json");
+    println!("\nwrote {out_path}");
+}

@@ -131,7 +131,7 @@ pub fn measure_kafka_only(profile: DeploymentProfile, config: &LatencyConfig) ->
                         if record.payload.as_str() == Some("__stop__") {
                             return;
                         }
-                        let _ = producer.send("ping", 1, record.payload);
+                        let _ = producer.send("ping", 1, record.into_payload());
                     }
                 }
                 Err(_) => return,

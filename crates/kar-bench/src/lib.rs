@@ -25,6 +25,11 @@
 //!   component as its home-partition count grows from 1 to 8 under a
 //!   durable-ack-bound workload (the `bench_partitions` binary emits
 //!   `BENCH_partitions.json`, and its `--smoke` mode runs in CI).
+//! * [`store`] — the state-plane harness: contended mixed get/set/cas
+//!   against coarse vs sharded store locks (per-command and pipelined) and
+//!   an actor state-flush workload measuring store round trips per
+//!   invocation with the actor-state cache off/on (the `bench_store` binary
+//!   emits `BENCH_store.json`, and its `--smoke` mode runs in CI).
 //!
 //! Each table/figure has a dedicated binary (see `bin/`) and a Criterion
 //! bench (see `benches/`); the binaries print the same rows the paper
@@ -38,6 +43,7 @@ pub mod latency;
 pub mod lock_granularity;
 pub mod partitions;
 pub mod report;
+pub mod store;
 pub mod throughput;
 
 pub use fault::{FailureSample, FaultConfig, FaultReport};
@@ -45,4 +51,5 @@ pub use latency::{LatencyConfig, LatencyRow};
 pub use lock_granularity::{ContendedConfig, ContendedReport, SkewedConfig, SkewedReport};
 pub use partitions::{PartitionReport, PartitionSweepConfig};
 pub use report::Summary;
+pub use store::{ContendedStoreConfig, ContendedStoreReport, StateFlushConfig, StateFlushReport};
 pub use throughput::{ThroughputConfig, ThroughputReport};

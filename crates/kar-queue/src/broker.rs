@@ -524,7 +524,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
         partition: &Partition<M>,
         from_offset: u64,
         max: usize,
-    ) -> KarResult<Vec<Record<M>>> {
+    ) -> KarResult<Vec<Record<Arc<M>>>> {
         if !self.inner.config.deliver_latency.is_zero() {
             std::thread::sleep(self.inner.config.deliver_latency);
         }
@@ -539,8 +539,9 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
 
     /// Reads every live (unexpired) record of a partition, bypassing fencing.
     /// Used by the reconciliation leader to catalog the unexpired messages of
-    /// failed components (§4.3).
-    pub fn read_partition(&self, topic: &str, partition: usize) -> Vec<Record<M>> {
+    /// failed components (§4.3). Payloads are shared with the log
+    /// (zero-copy), so cataloguing a deep backlog copies no message bodies.
+    pub fn read_partition(&self, topic: &str, partition: usize) -> Vec<Record<Arc<M>>> {
         self.lookup_partition(topic, partition)
             .map(|part| part.log.lock().read_all())
             .unwrap_or_default()
@@ -957,7 +958,7 @@ impl<M: Clone + Send + Sync + 'static> Consumer<M> {
     ///
     /// Fails with `KarError::Fenced` if the owning component has been
     /// forcefully disconnected or the partition has been reassigned.
-    pub fn poll(&self, max: usize) -> KarResult<Vec<Record<M>>> {
+    pub fn poll(&self, max: usize) -> KarResult<Vec<Record<Arc<M>>>> {
         self.check_partition_epoch()?;
         let mut position = self.position.lock();
         let records = self.broker.fetch(
@@ -982,7 +983,7 @@ impl<M: Clone + Send + Sync + 'static> Consumer<M> {
     ///
     /// Fails with `KarError::Fenced` if the owning component has been
     /// forcefully disconnected.
-    pub fn poll_wait(&self, max: usize, timeout: Duration) -> KarResult<Vec<Record<M>>> {
+    pub fn poll_wait(&self, max: usize, timeout: Duration) -> KarResult<Vec<Record<Arc<M>>>> {
         let deadline = Instant::now() + timeout;
         loop {
             // Snapshot the append signal before polling: an append landing
@@ -1047,7 +1048,7 @@ mod tests {
         let consumer = broker.consumer(c(2), "app", 0).unwrap();
         let records = consumer.poll(10).unwrap();
         assert_eq!(records.len(), 2);
-        assert_eq!(records[0].payload, "a");
+        assert_eq!(*records[0].payload, "a");
         assert_eq!(consumer.position(), 2);
         assert!(consumer.poll(10).unwrap().is_empty());
         assert_eq!(consumer.partition(), 0);
@@ -1144,7 +1145,7 @@ mod tests {
             .poll(10)
             .unwrap()
             .into_iter()
-            .map(|r| r.payload)
+            .map(Record::into_payload)
             .collect();
         assert_eq!(payloads, vec![100, 1, 2, 3, 4, 5, 6]);
         // Empty batches append nothing and return the empty end range.
@@ -1177,7 +1178,7 @@ mod tests {
         let records = consumer.poll_wait(10, Duration::from_secs(5)).unwrap();
         let range = admin.join().unwrap();
         assert_eq!(range, 0..3);
-        let payloads: Vec<u32> = records.into_iter().map(|r| r.payload).collect();
+        let payloads: Vec<u32> = records.into_iter().map(Record::into_payload).collect();
         assert!(!payloads.is_empty() && payloads.iter().all(|p| [7, 8, 9].contains(p)));
         // Empty admin batch is a no-op.
         assert_eq!(broker.admin_append_batch("t", 0, vec![]).unwrap(), 3..3);
@@ -1268,7 +1269,7 @@ mod tests {
         let payloads: Vec<u32> = broker
             .read_partition("t", 0)
             .into_iter()
-            .map(|r| r.payload)
+            .map(Record::into_payload)
             .collect();
         assert_eq!(payloads, vec![7, 8, 9]);
         assert_eq!(broker.expired_count("t", 0), 7);
@@ -1452,7 +1453,7 @@ mod tests {
         let t0 = Instant::now();
         let records = consumer.poll_wait(10, Duration::from_secs(5)).unwrap();
         assert_eq!(records.len(), 1);
-        assert_eq!(records[0].payload, 7);
+        assert_eq!(*records[0].payload, 7);
         assert!(
             t0.elapsed() < Duration::from_secs(2),
             "poll_wait slept past the append"
@@ -1479,7 +1480,7 @@ mod tests {
             admin_broker.admin_append("t", 0, 8).unwrap();
         });
         let records = consumer.poll_wait(10, Duration::from_secs(5)).unwrap();
-        assert_eq!(records[0].payload, 8);
+        assert_eq!(*records[0].payload, 8);
         admin.join().unwrap();
     }
 
@@ -1671,7 +1672,7 @@ mod tests {
                 .read_partition("t", *partition)
                 .into_iter()
                 .filter(|r| r.offset >= range.start)
-                .map(|r| r.payload)
+                .map(Record::into_payload)
                 .collect();
             assert_eq!(got, expected, "partition {partition} order broken");
         }

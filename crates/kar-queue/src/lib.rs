@@ -23,6 +23,9 @@
 //!
 //! The broker is generic over the message type `M`, so the runtime stores its
 //! [`Envelope`](kar_types::Envelope)s directly without a serialization layer.
+//! Reads are zero-copy: polls, re-deliveries and administrative catalog scans
+//! return records whose payloads are `Arc`-shared with the partition log
+//! ([`Record::into_payload`] extracts an owned payload when needed).
 //!
 //! # Example
 //!
@@ -38,7 +41,7 @@
 //! let consumer = broker.consumer(ComponentId::from_raw(2), "app", 0)?;
 //! let records = consumer.poll(10)?;
 //! assert_eq!(records.len(), 1);
-//! assert_eq!(records[0].payload, "hello");
+//! assert_eq!(*records[0].payload, "hello");
 //! # Ok::<(), kar_types::KarError>(())
 //! ```
 

@@ -1,6 +1,6 @@
-//! Append-only partition logs with bulk expiry.
+//! Append-only partition logs with bulk expiry and zero-copy reads.
 
-use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::record::Record;
@@ -12,9 +12,15 @@ use crate::record::Record;
 /// the paper, the log only supports (1) appending at the end and (2) expiring
 /// the oldest records in bulk; records are never altered or removed from the
 /// middle.
+///
+/// Payloads are stored behind an [`Arc`], so reading a record out of the log
+/// (a consumer poll, a re-delivery after a seek, or reconciliation
+/// cataloguing every unexpired record) clones a pointer, never the payload —
+/// the zero-copy property the runtime relies on to stop deep-cloning request
+/// argument lists on the hot path.
 #[derive(Debug)]
 pub(crate) struct PartitionLog<M> {
-    records: VecDeque<Record<M>>,
+    records: Vec<Record<Arc<M>>>,
     next_offset: u64,
     expired: u64,
 }
@@ -22,28 +28,29 @@ pub(crate) struct PartitionLog<M> {
 impl<M> Default for PartitionLog<M> {
     fn default() -> Self {
         PartitionLog {
-            records: VecDeque::new(),
+            records: Vec::new(),
             next_offset: 0,
             expired: 0,
         }
     }
 }
 
-impl<M: Clone> PartitionLog<M> {
+impl<M> PartitionLog<M> {
     /// Appends a record, returning its offset.
     pub(crate) fn append(&mut self, appended_at: Duration, payload: M) -> u64 {
         let offset = self.next_offset;
         self.next_offset += 1;
-        self.records.push_back(Record {
+        self.records.push(Record {
             offset,
             appended_at,
-            payload,
+            payload: Arc::new(payload),
         });
         offset
     }
 
     /// All live (unexpired) records at or after `from_offset`, up to `max`.
-    pub(crate) fn read_from(&self, from_offset: u64, max: usize) -> Vec<Record<M>> {
+    /// Payloads are shared, not copied.
+    pub(crate) fn read_from(&self, from_offset: u64, max: usize) -> Vec<Record<Arc<M>>> {
         self.records
             .iter()
             .filter(|r| r.offset >= from_offset)
@@ -52,9 +59,9 @@ impl<M: Clone> PartitionLog<M> {
             .collect()
     }
 
-    /// All live records.
-    pub(crate) fn read_all(&self) -> Vec<Record<M>> {
-        self.records.iter().cloned().collect()
+    /// All live records (shared payloads).
+    pub(crate) fn read_all(&self) -> Vec<Record<Arc<M>>> {
+        self.records.to_vec()
     }
 
     /// Offset that will be assigned to the next appended record.
@@ -81,17 +88,19 @@ impl<M: Clone> PartitionLog<M> {
         retention: Duration,
         max_records: usize,
     ) -> usize {
-        let mut dropped = 0;
         let cutoff = now.checked_sub(retention);
-        while let Some(front) = self.records.front() {
-            let too_old = cutoff.map(|c| front.appended_at < c).unwrap_or(false);
-            let too_many = self.records.len() > max_records;
+        let mut dropped = 0;
+        for record in &self.records {
+            let too_old = cutoff.map(|c| record.appended_at < c).unwrap_or(false);
+            let too_many = self.records.len() - dropped > max_records;
             if too_old || too_many {
-                self.records.pop_front();
                 dropped += 1;
             } else {
                 break;
             }
+        }
+        if dropped > 0 {
+            self.records.drain(..dropped);
         }
         self.expired += dropped as u64;
         dropped
@@ -127,8 +136,18 @@ mod tests {
         assert_eq!(all.len(), 5);
         for (i, r) in all.iter().enumerate() {
             assert_eq!(r.offset, i as u64);
-            assert_eq!(r.payload, i as u64);
+            assert_eq!(*r.payload, i as u64);
         }
+    }
+
+    #[test]
+    fn reads_share_payloads_instead_of_copying() {
+        let log = log_with(3);
+        let first = log.read_all();
+        let second = log.read_from(0, 10);
+        // Both reads (and the log itself) point at the same allocation.
+        assert!(Arc::ptr_eq(&first[0].payload, &second[0].payload));
+        assert_eq!(Arc::strong_count(&first[0].payload), 3);
     }
 
     #[test]

@@ -52,6 +52,15 @@ impl<M> Record<M> {
     }
 }
 
+impl<M: Clone> Record<std::sync::Arc<M>> {
+    /// Extracts an owned payload from a shared (zero-copy) record, cloning
+    /// the payload only when the partition log (or another reader) still
+    /// holds a reference to it.
+    pub fn into_payload(self) -> M {
+        std::sync::Arc::try_unwrap(self.payload).unwrap_or_else(|shared| (*shared).clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,13 +5,22 @@ use std::sync::Arc;
 
 use kar_types::{ComponentId, Epoch, KarResult, Value};
 
-use crate::store::StoreInner;
+use crate::pipeline::Pipeline;
+use crate::store::{materialize_hash, unshare, StoreInner};
 
 /// A client session bound to a component and a fencing [`Epoch`].
 ///
-/// All operations first apply the configured operation latency and then check
-/// that the owning component has not been fenced; a fenced connection fails
-/// every operation with `KarError::Fenced`.
+/// Every command charges one store round trip (the configured operation
+/// latency, slept outside any data lock) and then checks that the owning
+/// component has not been fenced; a fenced connection fails every operation
+/// with `KarError::Fenced`. The fence check's epoch-table read guard is held
+/// across the command's data section, so a fence never interleaves with a
+/// half-applied command. Use [`Connection::pipeline`] to batch several
+/// commands into a single round trip and fence check.
+///
+/// Data sections lock exactly the one shard the key hashes onto, and clone
+/// only `Arc` pointers under the lock — [`Value`] trees are materialized
+/// outside it, so reading a large actor state never stalls the shard.
 #[derive(Debug, Clone)]
 pub struct Connection {
     inner: Arc<StoreInner>,
@@ -38,8 +47,11 @@ impl Connection {
         self.epoch
     }
 
-    fn check_in(&self) -> KarResult<()> {
-        self.inner.check_in(self.component, self.epoch)
+    /// Starts a [`Pipeline`] on this connection: commands are buffered and
+    /// applied by a single flush that pays one round-trip latency and one
+    /// fence check for the whole batch, grouped per shard.
+    pub fn pipeline(&self) -> Pipeline {
+        Pipeline::new_fenced(self.inner.clone(), self.component, self.epoch)
     }
 
     /// Reads a string key.
@@ -49,10 +61,18 @@ impl Connection {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected.
     pub fn get(&self, key: &str) -> KarResult<Option<Value>> {
-        self.check_in()?;
-        let mut data = self.inner.data.lock();
-        data.stats.reads += 1;
-        Ok(data.strings.get(key).cloned())
+        self.inner.charge_round_trip();
+        let arc = {
+            let _fence = self.inner.fence_guard(self.component, self.epoch)?;
+            let _coarse = self.inner.coarse_guard();
+            let data = self.inner.lock_shard_of(key);
+            self.inner
+                .stats
+                .reads
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            data.strings.get(key).cloned()
+        };
+        Ok(arc.map(unshare))
     }
 
     /// Writes a string key, returning the previous value.
@@ -62,10 +82,19 @@ impl Connection {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected.
     pub fn set(&self, key: &str, value: Value) -> KarResult<Option<Value>> {
-        self.check_in()?;
-        let mut data = self.inner.data.lock();
-        data.stats.writes += 1;
-        Ok(data.strings.insert(key.to_owned(), value))
+        self.inner.charge_round_trip();
+        let value = Arc::new(value);
+        let previous = {
+            let _fence = self.inner.fence_guard(self.component, self.epoch)?;
+            let _coarse = self.inner.coarse_guard();
+            let mut data = self.inner.lock_shard_of(key);
+            self.inner
+                .stats
+                .writes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            data.strings.insert(key.to_owned(), value)
+        };
+        Ok(previous.map(unshare))
     }
 
     /// Writes a string key only if it does not exist yet. Returns `true` if
@@ -76,15 +105,24 @@ impl Connection {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected.
     pub fn set_nx(&self, key: &str, value: Value) -> KarResult<bool> {
-        self.check_in()?;
-        let mut data = self.inner.data.lock();
-        data.stats.cas += 1;
-        if data.strings.contains_key(key) {
-            Ok(false)
-        } else {
-            data.strings.insert(key.to_owned(), value);
-            Ok(true)
-        }
+        self.inner.charge_round_trip();
+        let value = Arc::new(value);
+        let written = {
+            let _fence = self.inner.fence_guard(self.component, self.epoch)?;
+            let _coarse = self.inner.coarse_guard();
+            let mut data = self.inner.lock_shard_of(key);
+            self.inner
+                .stats
+                .cas
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if data.strings.contains_key(key) {
+                false
+            } else {
+                data.strings.insert(key.to_owned(), value);
+                true
+            }
+        };
+        Ok(written)
     }
 
     /// Atomically replaces the value of `key` with `new` if its current value
@@ -104,16 +142,25 @@ impl Connection {
         expected: Option<&Value>,
         new: Value,
     ) -> KarResult<Result<(), Option<Value>>> {
-        self.check_in()?;
-        let mut data = self.inner.data.lock();
-        data.stats.cas += 1;
-        let current = data.strings.get(key).cloned();
-        if current.as_ref() == expected {
-            data.strings.insert(key.to_owned(), new);
-            Ok(Ok(()))
-        } else {
-            Ok(Err(current))
-        }
+        self.inner.charge_round_trip();
+        let new = Arc::new(new);
+        let outcome = {
+            let _fence = self.inner.fence_guard(self.component, self.epoch)?;
+            let _coarse = self.inner.coarse_guard();
+            let mut data = self.inner.lock_shard_of(key);
+            self.inner
+                .stats
+                .cas
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let current = data.strings.get(key).cloned();
+            if current.as_deref() == expected {
+                data.strings.insert(key.to_owned(), new);
+                Ok(())
+            } else {
+                Err(current)
+            }
+        };
+        Ok(outcome.map_err(|actual| actual.map(unshare)))
     }
 
     /// Deletes a string key, returning the previous value.
@@ -123,10 +170,18 @@ impl Connection {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected.
     pub fn del(&self, key: &str) -> KarResult<Option<Value>> {
-        self.check_in()?;
-        let mut data = self.inner.data.lock();
-        data.stats.writes += 1;
-        Ok(data.strings.remove(key))
+        self.inner.charge_round_trip();
+        let previous = {
+            let _fence = self.inner.fence_guard(self.component, self.epoch)?;
+            let _coarse = self.inner.coarse_guard();
+            let mut data = self.inner.lock_shard_of(key);
+            self.inner
+                .stats
+                .writes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            data.strings.remove(key)
+        };
+        Ok(previous.map(unshare))
     }
 
     /// True if the string key exists.
@@ -136,28 +191,43 @@ impl Connection {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected.
     pub fn exists(&self, key: &str) -> KarResult<bool> {
-        self.check_in()?;
-        let mut data = self.inner.data.lock();
-        data.stats.reads += 1;
+        self.inner.charge_round_trip();
+        let _fence = self.inner.fence_guard(self.component, self.epoch)?;
+        let _coarse = self.inner.coarse_guard();
+        let data = self.inner.lock_shard_of(key);
+        self.inner
+            .stats
+            .reads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(data.strings.contains_key(key))
     }
 
-    /// Lists string keys starting with `prefix`, sorted.
+    /// Lists string keys starting with `prefix`, sorted (walks every shard;
+    /// not a hot-path operation).
     ///
     /// # Errors
     ///
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected.
     pub fn keys_with_prefix(&self, prefix: &str) -> KarResult<Vec<String>> {
-        self.check_in()?;
-        let mut data = self.inner.data.lock();
-        data.stats.reads += 1;
-        let mut keys: Vec<String> = data
-            .strings
-            .keys()
-            .filter(|k| k.starts_with(prefix))
-            .cloned()
-            .collect();
+        self.inner.charge_round_trip();
+        let _fence = self.inner.fence_guard(self.component, self.epoch)?;
+        let _coarse = self.inner.coarse_guard();
+        self.inner
+            .stats
+            .reads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut keys = Vec::new();
+        for index in 0..self.inner.shards.len() {
+            keys.extend(
+                self.inner
+                    .lock_shard(index)
+                    .strings
+                    .keys()
+                    .filter(|k| k.starts_with(prefix))
+                    .cloned(),
+            );
+        }
         keys.sort();
         Ok(keys)
     }
@@ -169,10 +239,18 @@ impl Connection {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected.
     pub fn hget(&self, key: &str, field: &str) -> KarResult<Option<Value>> {
-        self.check_in()?;
-        let mut data = self.inner.data.lock();
-        data.stats.reads += 1;
-        Ok(data.hashes.get(key).and_then(|h| h.get(field)).cloned())
+        self.inner.charge_round_trip();
+        let arc = {
+            let _fence = self.inner.fence_guard(self.component, self.epoch)?;
+            let _coarse = self.inner.coarse_guard();
+            let data = self.inner.lock_shard_of(key);
+            self.inner
+                .stats
+                .reads
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            data.hashes.get(key).and_then(|h| h.get(field)).cloned()
+        };
+        Ok(arc.map(unshare))
     }
 
     /// Writes one field of a hash, returning the previous value of the field.
@@ -182,17 +260,26 @@ impl Connection {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected.
     pub fn hset(&self, key: &str, field: &str, value: Value) -> KarResult<Option<Value>> {
-        self.check_in()?;
-        let mut data = self.inner.data.lock();
-        data.stats.writes += 1;
-        Ok(data
-            .hashes
-            .entry(key.to_owned())
-            .or_default()
-            .insert(field.to_owned(), value))
+        self.inner.charge_round_trip();
+        let value = Arc::new(value);
+        let previous = {
+            let _fence = self.inner.fence_guard(self.component, self.epoch)?;
+            let _coarse = self.inner.coarse_guard();
+            let mut data = self.inner.lock_shard_of(key);
+            self.inner
+                .stats
+                .writes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            data.hashes
+                .entry(key.to_owned())
+                .or_default()
+                .insert(field.to_owned(), value)
+        };
+        Ok(previous.map(unshare))
     }
 
-    /// Writes several fields of a hash at once.
+    /// Writes several fields of a hash at once (a single command: one round
+    /// trip and one write however many fields).
     ///
     /// # Errors
     ///
@@ -203,9 +290,18 @@ impl Connection {
         key: &str,
         entries: impl IntoIterator<Item = (String, Value)>,
     ) -> KarResult<()> {
-        self.check_in()?;
-        let mut data = self.inner.data.lock();
-        data.stats.writes += 1;
+        self.inner.charge_round_trip();
+        let entries: Vec<(String, Arc<Value>)> = entries
+            .into_iter()
+            .map(|(field, value)| (field, Arc::new(value)))
+            .collect();
+        let _fence = self.inner.fence_guard(self.component, self.epoch)?;
+        let _coarse = self.inner.coarse_guard();
+        let mut data = self.inner.lock_shard_of(key);
+        self.inner
+            .stats
+            .writes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let hash = data.hashes.entry(key.to_owned()).or_default();
         for (field, value) in entries {
             hash.insert(field, value);
@@ -220,23 +316,41 @@ impl Connection {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected.
     pub fn hdel(&self, key: &str, field: &str) -> KarResult<Option<Value>> {
-        self.check_in()?;
-        let mut data = self.inner.data.lock();
-        data.stats.writes += 1;
-        Ok(data.hashes.get_mut(key).and_then(|h| h.remove(field)))
+        self.inner.charge_round_trip();
+        let previous = {
+            let _fence = self.inner.fence_guard(self.component, self.epoch)?;
+            let _coarse = self.inner.coarse_guard();
+            let mut data = self.inner.lock_shard_of(key);
+            self.inner
+                .stats
+                .writes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            data.hashes.get_mut(key).and_then(|h| h.remove(field))
+        };
+        Ok(previous.map(unshare))
     }
 
-    /// Reads a whole hash (empty map if the key does not exist).
+    /// Reads a whole hash (empty map if the key does not exist). Only `Arc`
+    /// pointers are cloned under the shard lock; the value trees are
+    /// materialized after it is released.
     ///
     /// # Errors
     ///
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected.
     pub fn hgetall(&self, key: &str) -> KarResult<BTreeMap<String, Value>> {
-        self.check_in()?;
-        let mut data = self.inner.data.lock();
-        data.stats.reads += 1;
-        Ok(data.hashes.get(key).cloned().unwrap_or_default())
+        self.inner.charge_round_trip();
+        let snapshot = {
+            let _fence = self.inner.fence_guard(self.component, self.epoch)?;
+            let _coarse = self.inner.coarse_guard();
+            let data = self.inner.lock_shard_of(key);
+            self.inner
+                .stats
+                .reads
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            data.hashes.get(key).cloned()
+        };
+        Ok(snapshot.map(materialize_hash).unwrap_or_default())
     }
 
     /// Deletes a whole hash, returning `true` if it existed.
@@ -246,10 +360,18 @@ impl Connection {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected.
     pub fn hclear(&self, key: &str) -> KarResult<bool> {
-        self.check_in()?;
-        let mut data = self.inner.data.lock();
-        data.stats.writes += 1;
-        Ok(data.hashes.remove(key).is_some())
+        self.inner.charge_round_trip();
+        let removed = {
+            let _fence = self.inner.fence_guard(self.component, self.epoch)?;
+            let _coarse = self.inner.coarse_guard();
+            let mut data = self.inner.lock_shard_of(key);
+            self.inner
+                .stats
+                .writes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            data.hashes.remove(key)
+        };
+        Ok(removed.is_some())
     }
 }
 
@@ -412,6 +534,7 @@ mod tests {
         assert_eq!(stats.reads, 1);
         assert_eq!(stats.cas, 2);
         assert_eq!(stats.total(), 4);
+        assert_eq!(stats.round_trips, 4);
     }
 
     proptest! {

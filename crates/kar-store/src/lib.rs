@@ -19,7 +19,15 @@
 //! * string keys, hashes (`hset`/`hget`/`hgetall`/`hdel`), `set_nx` and
 //!   [`Connection::compare_and_swap`] for placement,
 //! * a configurable per-operation latency to emulate the deployments of
-//!   Table 2 of the paper.
+//!   Table 2 of the paper,
+//! * a [`Pipeline`] command API ([`Connection::pipeline`],
+//!   [`Store::admin_pipeline`]) batching several commands into a single
+//!   round trip and fence check, applied with one lock acquisition per data
+//!   shard touched.
+//!
+//! The data plane is sharded by key hash (see [`StoreConfig::shards`]) with
+//! fencing epochs in their own shard-free table, so concurrent clients only
+//! contend when they race on the same shard — never on one store-wide lock.
 //!
 //! # Example
 //!
@@ -42,9 +50,11 @@
 #![warn(missing_docs)]
 
 mod connection;
+mod pipeline;
 mod stats;
 mod store;
 
 pub use connection::Connection;
+pub use pipeline::{Pipeline, PipelineResult};
 pub use stats::StoreStats;
-pub use store::{Store, StoreConfig};
+pub use store::{Store, StoreConfig, DEFAULT_STORE_SHARDS};

@@ -1,0 +1,530 @@
+//! Batched store commands: one round trip, one fence check, per-shard
+//! grouped application.
+//!
+//! A [`Pipeline`] mirrors Redis pipelining: commands are buffered client-side
+//! and applied by a single [`Pipeline::flush`] that
+//!
+//! 1. charges **one** operation latency (outside any lock) and one round
+//!    trip, however many commands are queued,
+//! 2. performs **one** fence check, whose epoch-table read guard is held
+//!    across the whole application — a concurrent [`fence`](crate::Store::fence)
+//!    therefore observes either none or all of the batch, never a prefix,
+//! 3. groups the commands by the shard their key hashes onto and applies
+//!    each group under a single shard-lock acquisition, preserving the
+//!    submission order *within* each shard (and therefore per key, since a
+//!    key lives on exactly one shard).
+//!
+//! Commands touching different shards are applied in shard order, not
+//! submission order; callers needing cross-key ordering must split flushes.
+//! Results are returned in submission order regardless.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use kar_types::{ComponentId, Epoch, KarResult, Value};
+
+use crate::store::{materialize_hash, unshare, ShardData, StoreInner};
+
+/// One buffered command.
+#[derive(Debug)]
+enum Op {
+    Get(String),
+    Set(String, Arc<Value>),
+    SetNx(String, Arc<Value>),
+    Cas {
+        key: String,
+        expected: Option<Value>,
+        new: Arc<Value>,
+    },
+    Del(String),
+    HGet(String, String),
+    HSet(String, String, Arc<Value>),
+    HSetMulti(String, Vec<(String, Arc<Value>)>),
+    HDel(String, String),
+    HGetAll(String),
+    HClear(String),
+}
+
+impl Op {
+    fn key(&self) -> &str {
+        match self {
+            Op::Get(key)
+            | Op::Set(key, _)
+            | Op::SetNx(key, _)
+            | Op::Cas { key, .. }
+            | Op::Del(key)
+            | Op::HGet(key, _)
+            | Op::HSet(key, _, _)
+            | Op::HSetMulti(key, _)
+            | Op::HDel(key, _)
+            | Op::HGetAll(key)
+            | Op::HClear(key) => key,
+        }
+    }
+}
+
+/// Raw per-command outcome holding `Arc`s, materialized into a
+/// [`PipelineResult`] only after every lock is released.
+#[derive(Debug)]
+enum RawResult {
+    Unit,
+    Value(Option<Arc<Value>>),
+    Flag(bool),
+    Cas(Result<(), Option<Arc<Value>>>),
+    Hash(Option<BTreeMap<String, Arc<Value>>>),
+}
+
+/// The outcome of one pipelined command, in submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineResult {
+    /// A command with no return value (`hset_multi`).
+    Unit,
+    /// The (previous) value of a get/set/del/hget/hset/hdel.
+    Value(Option<Value>),
+    /// The boolean outcome of a `set_nx` or `hclear`.
+    Flag(bool),
+    /// The outcome of a `compare_and_swap`.
+    Cas(Result<(), Option<Value>>),
+    /// The hash snapshot of an `hgetall`.
+    Hash(BTreeMap<String, Value>),
+}
+
+impl PipelineResult {
+    /// The value payload, if this result carries one.
+    pub fn into_value(self) -> Option<Value> {
+        match self {
+            PipelineResult::Value(v) => v,
+            _ => None,
+        }
+    }
+
+    /// The hash payload, if this result carries one.
+    pub fn into_hash(self) -> Option<BTreeMap<String, Value>> {
+        match self {
+            PipelineResult::Hash(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this result carries one.
+    pub fn flag(&self) -> Option<bool> {
+        match self {
+            PipelineResult::Flag(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The CAS outcome, if this result carries one.
+    pub fn into_cas(self) -> Option<Result<(), Option<Value>>> {
+        match self {
+            PipelineResult::Cas(outcome) => Some(outcome),
+            _ => None,
+        }
+    }
+}
+
+/// A batch of buffered store commands bound to one client session (or to the
+/// administrative runtime). See the [module docs](self) for the flush
+/// semantics.
+#[derive(Debug)]
+pub struct Pipeline {
+    inner: Arc<StoreInner>,
+    /// The fenced session the batch runs under; `None` for administrative
+    /// (unfenced, latency-free) pipelines used by the reconciliation leader.
+    auth: Option<(ComponentId, Epoch)>,
+    ops: Vec<Op>,
+}
+
+impl Pipeline {
+    pub(crate) fn new_fenced(inner: Arc<StoreInner>, component: ComponentId, epoch: Epoch) -> Self {
+        Pipeline {
+            inner,
+            auth: Some((component, epoch)),
+            ops: Vec::new(),
+        }
+    }
+
+    pub(crate) fn new_admin(inner: Arc<StoreInner>) -> Self {
+        Pipeline {
+            inner,
+            auth: None,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of buffered commands.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no command has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Buffers a string read.
+    pub fn get(&mut self, key: &str) -> &mut Self {
+        self.ops.push(Op::Get(key.to_owned()));
+        self
+    }
+
+    /// Buffers a string write.
+    pub fn set(&mut self, key: &str, value: Value) -> &mut Self {
+        self.ops.push(Op::Set(key.to_owned(), Arc::new(value)));
+        self
+    }
+
+    /// Buffers a write-if-absent.
+    pub fn set_nx(&mut self, key: &str, value: Value) -> &mut Self {
+        self.ops.push(Op::SetNx(key.to_owned(), Arc::new(value)));
+        self
+    }
+
+    /// Buffers a compare-and-swap.
+    pub fn compare_and_swap(
+        &mut self,
+        key: &str,
+        expected: Option<Value>,
+        new: Value,
+    ) -> &mut Self {
+        self.ops.push(Op::Cas {
+            key: key.to_owned(),
+            expected,
+            new: Arc::new(new),
+        });
+        self
+    }
+
+    /// Buffers a string delete.
+    pub fn del(&mut self, key: &str) -> &mut Self {
+        self.ops.push(Op::Del(key.to_owned()));
+        self
+    }
+
+    /// Buffers a hash-field read.
+    pub fn hget(&mut self, key: &str, field: &str) -> &mut Self {
+        self.ops.push(Op::HGet(key.to_owned(), field.to_owned()));
+        self
+    }
+
+    /// Buffers a hash-field write.
+    pub fn hset(&mut self, key: &str, field: &str, value: Value) -> &mut Self {
+        self.ops
+            .push(Op::HSet(key.to_owned(), field.to_owned(), Arc::new(value)));
+        self
+    }
+
+    /// Buffers a multi-field hash write.
+    pub fn hset_multi(
+        &mut self,
+        key: &str,
+        entries: impl IntoIterator<Item = (String, Value)>,
+    ) -> &mut Self {
+        self.ops.push(Op::HSetMulti(
+            key.to_owned(),
+            entries
+                .into_iter()
+                .map(|(field, value)| (field, Arc::new(value)))
+                .collect(),
+        ));
+        self
+    }
+
+    /// Buffers a hash-field delete.
+    pub fn hdel(&mut self, key: &str, field: &str) -> &mut Self {
+        self.ops.push(Op::HDel(key.to_owned(), field.to_owned()));
+        self
+    }
+
+    /// Buffers a whole-hash read.
+    pub fn hgetall(&mut self, key: &str) -> &mut Self {
+        self.ops.push(Op::HGetAll(key.to_owned()));
+        self
+    }
+
+    /// Buffers a whole-hash delete.
+    pub fn hclear(&mut self, key: &str) -> &mut Self {
+        self.ops.push(Op::HClear(key.to_owned()));
+        self
+    }
+
+    /// Applies every buffered command and returns their results in
+    /// submission order. One round-trip latency charge and one fence check
+    /// for the whole batch; per-shard grouped application (see the
+    /// [module docs](self)).
+    ///
+    /// An empty pipeline flushes for free and returns no results.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` — applying **none** of the batch — if
+    /// the session's component has been forcefully disconnected.
+    pub fn flush(self) -> KarResult<Vec<PipelineResult>> {
+        let Pipeline { inner, auth, ops } = self;
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Administrative pipelines model the runtime's co-located leader:
+        // they batch lock traffic but pay no emulated network round trip,
+        // matching the single-command admin accessors. The round trip is
+        // charged before the fence check — a fenced flush still crossed the
+        // network to be rejected — but the pipeline counters below only
+        // count batches that actually applied.
+        if auth.is_some() {
+            inner.charge_round_trip();
+        }
+
+        // Group command indices by target shard, preserving submission order
+        // within each group.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (index, op) in ops.iter().enumerate() {
+            let shard = inner.shard_of(op.key());
+            match groups.iter_mut().find(|(s, _)| *s == shard) {
+                Some((_, indices)) => indices.push(index),
+                None => groups.push((shard, vec![index])),
+            }
+        }
+
+        let mut ops: Vec<Option<Op>> = ops.into_iter().map(Some).collect();
+        let mut raw: Vec<Option<RawResult>> = (0..ops.len()).map(|_| None).collect();
+        {
+            // One fence check for the whole flush; the read guard spans the
+            // application so a concurrent fence can never observe (or cause)
+            // a half-applied batch.
+            let _fence = match auth {
+                Some((component, epoch)) => Some(inner.fence_guard(component, epoch)?),
+                None => None,
+            };
+            inner.stats.pipeline_flushes.fetch_add(1, Ordering::Relaxed);
+            inner
+                .stats
+                .pipeline_ops
+                .fetch_add(ops.len() as u64, Ordering::Relaxed);
+            let _coarse = inner.coarse_guard();
+            for (shard, indices) in groups {
+                let mut data = inner.lock_shard(shard);
+                for index in indices {
+                    let op = ops[index].take().expect("pipeline op applied twice");
+                    raw[index] = Some(apply(&inner, &mut data, op));
+                }
+            }
+        }
+        // Materialize value trees strictly outside every lock.
+        Ok(raw
+            .into_iter()
+            .map(|result| finish(result.expect("pipeline op not applied")))
+            .collect())
+    }
+}
+
+/// Applies one command to its shard, counting the logical operation.
+fn apply(inner: &StoreInner, data: &mut ShardData, op: Op) -> RawResult {
+    let stats = &inner.stats;
+    match op {
+        Op::Get(key) => {
+            stats.reads.fetch_add(1, Ordering::Relaxed);
+            RawResult::Value(data.strings.get(&key).cloned())
+        }
+        Op::Set(key, value) => {
+            stats.writes.fetch_add(1, Ordering::Relaxed);
+            RawResult::Value(data.strings.insert(key, value))
+        }
+        Op::SetNx(key, value) => {
+            stats.cas.fetch_add(1, Ordering::Relaxed);
+            match data.strings.entry(key) {
+                std::collections::hash_map::Entry::Occupied(_) => RawResult::Flag(false),
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(value);
+                    RawResult::Flag(true)
+                }
+            }
+        }
+        Op::Cas { key, expected, new } => {
+            stats.cas.fetch_add(1, Ordering::Relaxed);
+            let current = data.strings.get(&key).cloned();
+            if current.as_deref() == expected.as_ref() {
+                data.strings.insert(key, new);
+                RawResult::Cas(Ok(()))
+            } else {
+                RawResult::Cas(Err(current))
+            }
+        }
+        Op::Del(key) => {
+            stats.writes.fetch_add(1, Ordering::Relaxed);
+            RawResult::Value(data.strings.remove(&key))
+        }
+        Op::HGet(key, field) => {
+            stats.reads.fetch_add(1, Ordering::Relaxed);
+            RawResult::Value(data.hashes.get(&key).and_then(|h| h.get(&field)).cloned())
+        }
+        Op::HSet(key, field, value) => {
+            stats.writes.fetch_add(1, Ordering::Relaxed);
+            RawResult::Value(data.hashes.entry(key).or_default().insert(field, value))
+        }
+        Op::HSetMulti(key, entries) => {
+            stats.writes.fetch_add(1, Ordering::Relaxed);
+            let hash = data.hashes.entry(key).or_default();
+            for (field, value) in entries {
+                hash.insert(field, value);
+            }
+            RawResult::Unit
+        }
+        Op::HDel(key, field) => {
+            stats.writes.fetch_add(1, Ordering::Relaxed);
+            RawResult::Value(data.hashes.get_mut(&key).and_then(|h| h.remove(&field)))
+        }
+        Op::HGetAll(key) => {
+            stats.reads.fetch_add(1, Ordering::Relaxed);
+            RawResult::Hash(data.hashes.get(&key).cloned())
+        }
+        Op::HClear(key) => {
+            stats.writes.fetch_add(1, Ordering::Relaxed);
+            RawResult::Flag(data.hashes.remove(&key).is_some())
+        }
+    }
+}
+
+/// Materializes a raw result (outside every lock).
+fn finish(raw: RawResult) -> PipelineResult {
+    match raw {
+        RawResult::Unit => PipelineResult::Unit,
+        RawResult::Value(v) => PipelineResult::Value(v.map(unshare)),
+        RawResult::Flag(f) => PipelineResult::Flag(f),
+        RawResult::Cas(outcome) => {
+            PipelineResult::Cas(outcome.map_err(|actual| actual.map(unshare)))
+        }
+        RawResult::Hash(h) => PipelineResult::Hash(h.map(materialize_hash).unwrap_or_default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Store, StoreConfig};
+    use std::time::{Duration, Instant};
+
+    fn store_and_conn() -> (Store, crate::Connection) {
+        let store = Store::new();
+        let conn = store.connect(ComponentId::from_raw(1));
+        (store, conn)
+    }
+
+    #[test]
+    fn mixed_batch_returns_results_in_submission_order() {
+        let (_s, conn) = store_and_conn();
+        let mut pipe = conn.pipeline();
+        assert!(pipe.is_empty());
+        pipe.set("a", Value::from(1))
+            .get("a")
+            .set_nx("a", Value::from(9))
+            .compare_and_swap("a", Some(Value::from(1)), Value::from(2))
+            .hset("h", "f", Value::from(3))
+            .hgetall("h")
+            .hdel("h", "f")
+            .del("a");
+        assert_eq!(pipe.len(), 8);
+        let results = pipe.flush().unwrap();
+        assert_eq!(results[0], PipelineResult::Value(None));
+        assert_eq!(results[1], PipelineResult::Value(Some(Value::from(1))));
+        assert_eq!(results[2], PipelineResult::Flag(false));
+        assert_eq!(results[3], PipelineResult::Cas(Ok(())));
+        assert_eq!(results[4], PipelineResult::Value(None));
+        let hash = results[5].clone().into_hash().unwrap();
+        assert_eq!(hash["f"], Value::from(3));
+        assert_eq!(results[6], PipelineResult::Value(Some(Value::from(3))));
+        assert_eq!(results[7], PipelineResult::Value(Some(Value::from(2))));
+        assert_eq!(conn.get("a").unwrap(), None);
+    }
+
+    #[test]
+    fn one_latency_charge_per_flush() {
+        let store = Store::with_config(StoreConfig::with_op_latency(Duration::from_millis(10)));
+        let conn = store.connect(ComponentId::from_raw(1));
+        let t0 = Instant::now();
+        let mut pipe = conn.pipeline();
+        for i in 0..32 {
+            pipe.set(&format!("k{i}"), Value::from(i));
+        }
+        pipe.flush().unwrap();
+        let elapsed = t0.elapsed();
+        // 32 per-command round trips would cost >= 320 ms; one flush costs
+        // one charge (plus scheduling noise).
+        assert!(
+            elapsed < Duration::from_millis(100),
+            "pipeline paid per-command latency: {elapsed:?}"
+        );
+        let stats = store.stats();
+        assert_eq!(stats.round_trips, 1);
+        assert_eq!(stats.pipeline_flushes, 1);
+        assert_eq!(stats.pipeline_ops, 32);
+        assert_eq!(stats.writes, 32);
+    }
+
+    #[test]
+    fn empty_flush_is_free() {
+        let (store, conn) = store_and_conn();
+        assert!(conn.pipeline().flush().unwrap().is_empty());
+        assert_eq!(store.stats().round_trips, 0);
+        assert_eq!(store.stats().pipeline_flushes, 0);
+    }
+
+    #[test]
+    fn fenced_pipeline_applies_nothing() {
+        let store = Store::new();
+        let c = ComponentId::from_raw(3);
+        let conn = store.connect(c);
+        store.fence(c);
+        let mut pipe = conn.pipeline();
+        pipe.set("a", Value::from(1)).set("b", Value::from(2));
+        assert!(pipe.flush().unwrap_err().is_fenced());
+        assert_eq!(store.admin_get("a"), None);
+        assert_eq!(store.admin_get("b"), None);
+    }
+
+    #[test]
+    fn per_key_order_is_submission_order() {
+        let (_s, conn) = store_and_conn();
+        let mut pipe = conn.pipeline();
+        pipe.set("k", Value::from(1))
+            .set("k", Value::from(2))
+            .compare_and_swap("k", Some(Value::from(2)), Value::from(3))
+            .get("k");
+        let results = pipe.flush().unwrap();
+        assert_eq!(results[2], PipelineResult::Cas(Ok(())));
+        assert_eq!(results[3], PipelineResult::Value(Some(Value::from(3))));
+        assert_eq!(conn.get("k").unwrap(), Some(Value::from(3)));
+    }
+
+    #[test]
+    fn admin_pipeline_bypasses_fencing_and_latency() {
+        let store = Store::with_config(StoreConfig::with_op_latency(Duration::from_millis(20)));
+        store.fence(ComponentId::from_raw(1));
+        let t0 = Instant::now();
+        let mut pipe = store.admin_pipeline();
+        pipe.set("placement/A/x", Value::from(7))
+            .get("placement/A/x")
+            .del("placement/A/x");
+        let results = pipe.flush().unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_millis(15),
+            "admin paid latency"
+        );
+        assert_eq!(results[1], PipelineResult::Value(Some(Value::from(7))));
+        assert_eq!(store.admin_get("placement/A/x"), None);
+    }
+
+    #[test]
+    fn result_accessors() {
+        assert_eq!(
+            PipelineResult::Value(Some(Value::from(1))).into_value(),
+            Some(Value::from(1))
+        );
+        assert_eq!(PipelineResult::Unit.into_value(), None);
+        assert_eq!(PipelineResult::Flag(true).flag(), Some(true));
+        assert_eq!(PipelineResult::Unit.flag(), None);
+        assert_eq!(PipelineResult::Cas(Ok(())).into_cas(), Some(Ok(())));
+        assert!(PipelineResult::Hash(BTreeMap::new()).into_hash().is_some());
+        assert!(PipelineResult::Unit.into_hash().is_none());
+    }
+}

@@ -5,21 +5,54 @@
 ///
 /// The KAR runtime uses these counters in tests and benchmarks, for example
 /// to show that the actor placement cache removes store reads from the hot
-/// invocation path (Table 2, "KAR Actor" vs "KAR Actor (no cache)").
+/// invocation path (Table 2, "KAR Actor" vs "KAR Actor (no cache)"), and that
+/// the per-activation actor-state cache collapses per-field commands into one
+/// pipelined flush (`round_trips` vs `total()`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Number of read operations (get, exists, hget, hgetall, keys).
     pub reads: u64,
-    /// Number of write operations (set, del, hset, hdel, hclear).
+    /// Number of write operations (set, del, hset, hset_multi, hdel, hclear).
     pub writes: u64,
     /// Number of conditional writes (set_nx, compare_and_swap).
     pub cas: u64,
+    /// Number of store round trips: one per single command, one per
+    /// [`Pipeline`](crate::Pipeline) flush — each charged one operation
+    /// latency. The gap between `total()` and `round_trips` is what
+    /// pipelining and the runtime's actor-state cache save.
+    pub round_trips: u64,
+    /// Number of non-empty pipeline flushes.
+    pub pipeline_flushes: u64,
+    /// Number of commands applied through pipeline flushes.
+    pub pipeline_ops: u64,
 }
 
 impl StoreStats {
-    /// Total number of operations.
+    /// Total number of logical operations.
     pub fn total(&self) -> u64 {
         self.reads + self.writes + self.cas
+    }
+
+    /// Mean number of commands per pipeline flush (0 when no flush ran).
+    pub fn mean_pipeline_batch(&self) -> f64 {
+        if self.pipeline_flushes == 0 {
+            0.0
+        } else {
+            self.pipeline_ops as f64 / self.pipeline_flushes as f64
+        }
+    }
+
+    /// The counter deltas accumulated since `earlier` was snapshotted.
+    #[must_use]
+    pub fn since(&self, earlier: &StoreStats) -> StoreStats {
+        StoreStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            cas: self.cas - earlier.cas,
+            round_trips: self.round_trips - earlier.round_trips,
+            pipeline_flushes: self.pipeline_flushes - earlier.pipeline_flushes,
+            pipeline_ops: self.pipeline_ops - earlier.pipeline_ops,
+        }
     }
 }
 
@@ -33,8 +66,37 @@ mod tests {
             reads: 1,
             writes: 2,
             cas: 3,
+            round_trips: 4,
+            pipeline_flushes: 1,
+            pipeline_ops: 2,
         };
         assert_eq!(stats.total(), 6);
         assert_eq!(StoreStats::default().total(), 0);
+    }
+
+    #[test]
+    fn pipeline_batch_mean_and_delta() {
+        let earlier = StoreStats {
+            reads: 1,
+            writes: 1,
+            cas: 0,
+            round_trips: 2,
+            pipeline_flushes: 0,
+            pipeline_ops: 0,
+        };
+        let later = StoreStats {
+            reads: 3,
+            writes: 5,
+            cas: 1,
+            round_trips: 4,
+            pipeline_flushes: 2,
+            pipeline_ops: 6,
+        };
+        let delta = later.since(&earlier);
+        assert_eq!(delta.reads, 2);
+        assert_eq!(delta.writes, 4);
+        assert_eq!(delta.round_trips, 2);
+        assert_eq!(delta.mean_pipeline_batch(), 3.0);
+        assert_eq!(StoreStats::default().mean_pipeline_batch(), 0.0);
     }
 }

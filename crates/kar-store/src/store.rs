@@ -1,42 +1,114 @@
-//! The store proper: shared data, fencing epochs, and administration.
+//! The store proper: sharded shared data, fencing epochs, and administration.
+//!
+//! # Lock granularity
+//!
+//! The state plane mirrors the message plane's PR-2 overhaul: there is **no
+//! store-wide lock on the command hot path**.
+//!
+//! * Keys (strings *and* hashes) hash onto [`StoreConfig::shards`] shards,
+//!   each behind its own mutex, so commands touching distinct shards never
+//!   serialize; the per-shard critical section is a map operation plus `Arc`
+//!   clones — [`Value`] trees are materialized strictly *outside* the shard
+//!   lock, so a large actor state never stalls its shard.
+//! * The configured [`StoreConfig::op_latency`] (emulating the network and
+//!   server-side cost of a Redis command) is slept strictly outside any data
+//!   lock, so concurrent clients overlap their round trips.
+//! * Fencing epochs live in their own shard-free table behind a `RwLock`
+//!   whose *read* guard is held across each command's data section: checking
+//!   in never crosses data shards, commands from distinct components never
+//!   contend on it, and a [`Store::fence`] (write lock) is atomic with
+//!   respect to every in-flight command and [`Pipeline`](crate::Pipeline)
+//!   flush — a fenced component's half-applied batch cannot interleave with
+//!   its replacement.
+//! * `StoreConfig::coarse_global_lock` restores the pre-overhaul behavior of
+//!   one global data lock around every command — it exists solely so
+//!   benchmarks can quantify the win of sharding on the same code base.
 
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
 use kar_types::{ComponentId, Epoch, KarError, KarResult, Value};
 
 use crate::connection::Connection;
+use crate::pipeline::Pipeline;
 use crate::stats::StoreStats;
+
+/// Default number of data shards of a [`Store`].
+pub const DEFAULT_STORE_SHARDS: usize = 16;
 
 /// Configuration of a [`Store`].
 #[derive(Debug, Clone, Default)]
 pub struct StoreConfig {
-    /// Latency added to every store operation (emulating the network and
-    /// server-side cost of a Redis command).
+    /// Latency added to every store round trip (emulating the network and
+    /// server-side cost of a Redis command). A [`Pipeline`] flush pays this
+    /// once for the whole batch.
     pub op_latency: Duration,
+    /// Number of data shards keys hash onto. `0` selects
+    /// [`DEFAULT_STORE_SHARDS`].
+    pub shards: usize,
+    /// **Ablation knob for benchmarks only.** Takes one global mutex around
+    /// every command's data section, restoring the pre-overhaul store whose
+    /// single `Mutex<StoreData>` serialized every operation mesh-wide.
+    pub coarse_global_lock: bool,
 }
 
 impl StoreConfig {
     /// A configuration with the given per-operation latency.
     pub fn with_op_latency(op_latency: Duration) -> Self {
-        StoreConfig { op_latency }
+        StoreConfig {
+            op_latency,
+            ..StoreConfig::default()
+        }
+    }
+
+    /// The effective shard count (`0` maps to [`DEFAULT_STORE_SHARDS`],
+    /// never below 1).
+    pub fn effective_shards(&self) -> usize {
+        match self.shards {
+            0 => DEFAULT_STORE_SHARDS,
+            n => n,
+        }
     }
 }
 
+/// One data shard: the slice of string keys and hash keys that hash here.
+/// Values are `Arc`-shared so reads clone a pointer under the lock and
+/// materialize the tree outside it.
 #[derive(Debug, Default)]
-pub(crate) struct StoreData {
+pub(crate) struct ShardData {
     /// Plain string keys.
-    pub(crate) strings: HashMap<String, Value>,
+    pub(crate) strings: HashMap<String, Arc<Value>>,
     /// Hash keys (one hash per actor instance in the KAR runtime).
-    pub(crate) hashes: HashMap<String, BTreeMap<String, Value>>,
-    /// Highest epoch each component is still allowed to use. A connection
-    /// created at an earlier epoch is fenced.
-    pub(crate) allowed_epochs: HashMap<ComponentId, Epoch>,
-    /// Operation counters.
-    pub(crate) stats: StoreStats,
+    pub(crate) hashes: HashMap<String, BTreeMap<String, Arc<Value>>>,
+}
+
+/// Operation counters, all atomic so no command path locks to count.
+#[derive(Debug, Default)]
+pub(crate) struct StatCounters {
+    pub(crate) reads: AtomicU64,
+    pub(crate) writes: AtomicU64,
+    pub(crate) cas: AtomicU64,
+    pub(crate) round_trips: AtomicU64,
+    pub(crate) pipeline_flushes: AtomicU64,
+    pub(crate) pipeline_ops: AtomicU64,
+}
+
+impl StatCounters {
+    fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            cas: self.cas.load(Ordering::Relaxed),
+            round_trips: self.round_trips.load(Ordering::Relaxed),
+            pipeline_flushes: self.pipeline_flushes.load(Ordering::Relaxed),
+            pipeline_ops: self.pipeline_ops.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A Redis-like key/value + hash store shared by every component of an
@@ -56,7 +128,27 @@ pub struct Store {
 #[derive(Debug)]
 pub(crate) struct StoreInner {
     pub(crate) config: StoreConfig,
-    pub(crate) data: Mutex<StoreData>,
+    /// The sharded data plane: keys hash onto exactly one shard.
+    pub(crate) shards: Vec<Mutex<ShardData>>,
+    /// Contended acquisitions per shard (a `try_lock` that had to fall back
+    /// to a blocking `lock`). The imbalance/contention signal benchmarks and
+    /// `Mesh::debug_report` surface.
+    pub(crate) contention: Vec<AtomicU64>,
+    /// Highest epoch each component is still allowed to use, in its own
+    /// shard-free table so checking in never crosses data shards. The *read*
+    /// guard is held across every command's data section, which makes
+    /// [`Store::fence`] (the write path) atomic with respect to in-flight
+    /// commands and pipeline flushes.
+    pub(crate) epochs: RwLock<HashMap<ComponentId, Epoch>>,
+    pub(crate) stats: StatCounters,
+    /// Ablation: when `StoreConfig::coarse_global_lock` is set, this mutex is
+    /// taken around every command's data section, restoring the pre-overhaul
+    /// global serialization for before/after benchmarks.
+    pub(crate) coarse: Option<Mutex<()>>,
+    /// Contended acquisitions of the coarse ablation lock, so the before/
+    /// after contention picture includes the lock that actually serializes
+    /// the coarse rows.
+    pub(crate) coarse_contention: AtomicU64,
 }
 
 impl Default for Store {
@@ -73,10 +165,19 @@ impl Store {
 
     /// Creates an empty store with the given configuration.
     pub fn with_config(config: StoreConfig) -> Self {
+        let shards = config.effective_shards();
+        let coarse = config.coarse_global_lock.then(|| Mutex::new(()));
         Store {
             inner: Arc::new(StoreInner {
                 config,
-                data: Mutex::new(StoreData::default()),
+                shards: (0..shards)
+                    .map(|_| Mutex::new(ShardData::default()))
+                    .collect(),
+                contention: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+                epochs: RwLock::new(HashMap::new()),
+                stats: StatCounters::default(),
+                coarse,
+                coarse_contention: AtomicU64::new(0),
             }),
         }
     }
@@ -87,13 +188,13 @@ impl Store {
     /// component is later [fenced](Store::fence), the connection starts
     /// failing with `KarError::Fenced`.
     pub fn connect(&self, component: ComponentId) -> Connection {
-        let epoch = {
-            let data = self.inner.data.lock();
-            data.allowed_epochs
-                .get(&component)
-                .copied()
-                .unwrap_or(Epoch::ZERO)
-        };
+        let epoch = self
+            .inner
+            .epochs
+            .read()
+            .get(&component)
+            .copied()
+            .unwrap_or(Epoch::ZERO);
         Connection::new(self.inner.clone(), component, epoch)
     }
 
@@ -103,20 +204,24 @@ impl Store {
     /// This implements the paper's *forceful disconnection* requirement: once
     /// a component is deemed failed, none of its in-flight store operations
     /// can be applied, so the state updates of a failed actor cannot overlap
-    /// with those of its replacement (§4.2).
+    /// with those of its replacement (§4.2). The epoch table's write lock
+    /// waits out every in-flight command and pipeline flush, so the fence is
+    /// atomic: a batch is applied entirely before the fence or rejected
+    /// entirely after it, never half of each.
     ///
     /// Returns the new epoch the component must reconnect with.
     pub fn fence(&self, component: ComponentId) -> Epoch {
-        let mut data = self.inner.data.lock();
-        let entry = data.allowed_epochs.entry(component).or_insert(Epoch::ZERO);
+        let mut epochs = self.inner.epochs.write();
+        let entry = epochs.entry(component).or_insert(Epoch::ZERO);
         *entry = entry.next();
         *entry
     }
 
     /// The epoch currently allowed for `component`.
     pub fn current_epoch(&self, component: ComponentId) -> Epoch {
-        let data = self.inner.data.lock();
-        data.allowed_epochs
+        self.inner
+            .epochs
+            .read()
             .get(&component)
             .copied()
             .unwrap_or(Epoch::ZERO)
@@ -124,13 +229,49 @@ impl Store {
 
     /// A snapshot of the operation counters.
     pub fn stats(&self) -> StoreStats {
-        self.inner.data.lock().stats
+        self.inner.stats.snapshot()
+    }
+
+    /// Number of data shards of this store.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The shard `key` hashes onto (stable for the store's lifetime). Exposed
+    /// for benchmarks and tests that construct shard-local or cross-shard
+    /// workloads deliberately.
+    pub fn shard_of_key(&self, key: &str) -> usize {
+        self.inner.shard_of(key)
+    }
+
+    /// Contended lock acquisitions per shard since creation (an acquisition
+    /// counts as contended when the lock was not immediately available).
+    pub fn shard_contention(&self) -> Vec<u64> {
+        self.inner
+            .contention
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Contended acquisitions of the coarse ablation lock (0 unless
+    /// `StoreConfig::coarse_global_lock` is set — this is where coarse-mode
+    /// commands actually serialize, so the before/after contention
+    /// comparison must include it).
+    pub fn coarse_contention(&self) -> u64 {
+        self.inner.coarse_contention.load(Ordering::Relaxed)
     }
 
     /// Number of string keys plus hash keys currently stored.
     pub fn len(&self) -> usize {
-        let data = self.inner.data.lock();
-        data.strings.len() + data.hashes.len()
+        self.inner
+            .shards
+            .iter()
+            .map(|shard| {
+                let data = shard.lock();
+                data.strings.len() + data.hashes.len()
+            })
+            .sum()
     }
 
     /// True if the store holds no keys.
@@ -141,37 +282,41 @@ impl Store {
     /// Removes every key (both strings and hashes). Fencing epochs and
     /// statistics are preserved. Intended for test harnesses.
     pub fn clear(&self) {
-        let mut data = self.inner.data.lock();
-        data.strings.clear();
-        data.hashes.clear();
+        for shard in &self.inner.shards {
+            let mut data = shard.lock();
+            data.strings.clear();
+            data.hashes.clear();
+        }
     }
 
-    /// Administrative (unfenced) read of a string key, used by test harnesses
-    /// and invariant checkers that are not part of the application.
+    /// Administrative (unfenced, latency-free) read of a string key, used by
+    /// test harnesses and invariant checkers that are not part of the
+    /// application.
     pub fn admin_get(&self, key: &str) -> Option<Value> {
-        self.inner.data.lock().strings.get(key).cloned()
+        let arc = self.inner.lock_shard_of(key).strings.get(key).cloned();
+        arc.map(unshare)
     }
 
     /// Administrative (unfenced) read of a whole hash.
     pub fn admin_hgetall(&self, key: &str) -> BTreeMap<String, Value> {
-        self.inner
-            .data
-            .lock()
-            .hashes
-            .get(key)
-            .cloned()
-            .unwrap_or_default()
+        let snapshot = self.inner.lock_shard_of(key).hashes.get(key).cloned();
+        snapshot.map(materialize_hash).unwrap_or_default()
     }
 
-    /// Administrative list of string keys starting with `prefix`.
+    /// Administrative list of string keys starting with `prefix` (walks every
+    /// shard; not a hot-path operation).
     pub fn admin_keys_with_prefix(&self, prefix: &str) -> Vec<String> {
-        let data = self.inner.data.lock();
-        let mut keys: Vec<String> = data
-            .strings
-            .keys()
-            .filter(|k| k.starts_with(prefix))
-            .cloned()
-            .collect();
+        let mut keys = Vec::new();
+        for shard in &self.inner.shards {
+            keys.extend(
+                shard
+                    .lock()
+                    .strings
+                    .keys()
+                    .filter(|k| k.starts_with(prefix))
+                    .cloned(),
+            );
+        }
         keys.sort();
         keys
     }
@@ -181,37 +326,112 @@ impl Store {
     /// which operates on behalf of the surviving application as a whole
     /// rather than a single (fence-able) component.
     pub fn admin_del(&self, key: &str) -> Option<Value> {
-        self.inner.data.lock().strings.remove(key)
+        let arc = self.inner.lock_shard_of(key).strings.remove(key);
+        arc.map(unshare)
     }
 
     /// Administrative write of a string key, bypassing fencing. Returns the
     /// previous value if any. Used by reconciliation to rewrite placement
     /// decisions for actors hosted by failed components.
     pub fn admin_set(&self, key: &str, value: Value) -> Option<Value> {
-        self.inner.data.lock().strings.insert(key.to_owned(), value)
+        let value = Arc::new(value);
+        let arc = self
+            .inner
+            .lock_shard_of(key)
+            .strings
+            .insert(key.to_owned(), value);
+        arc.map(unshare)
+    }
+
+    /// An administrative (unfenced, latency-free) [`Pipeline`]: commands are
+    /// buffered and applied in one per-shard grouped flush. Used by the
+    /// reconciliation leader to batch placement rewrites and invalidations
+    /// instead of taking one lock per key.
+    pub fn admin_pipeline(&self) -> Pipeline {
+        Pipeline::new_admin(self.inner.clone())
     }
 }
 
+/// Extracts an owned [`Value`] from a shared one, cloning only when the
+/// `Arc` is still referenced by the store (it usually is). Called strictly
+/// outside any shard lock.
+pub(crate) fn unshare(arc: Arc<Value>) -> Value {
+    Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone())
+}
+
+/// Materializes a hash snapshot of `Arc` values into owned values, outside
+/// any shard lock.
+pub(crate) fn materialize_hash(snapshot: BTreeMap<String, Arc<Value>>) -> BTreeMap<String, Value> {
+    snapshot.into_iter().map(|(k, v)| (k, unshare(v))).collect()
+}
+
 impl StoreInner {
-    /// Applies the configured operation latency and checks fencing before an
-    /// operation performed by `component` at `epoch`.
-    pub(crate) fn check_in(&self, component: ComponentId, epoch: Epoch) -> KarResult<()> {
+    /// The shard `key` hashes onto.
+    pub(crate) fn shard_of(&self, key: &str) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    /// Locks one shard, counting the acquisition as contended if it was not
+    /// immediately available.
+    pub(crate) fn lock_shard(&self, index: usize) -> MutexGuard<'_, ShardData> {
+        match self.shards[index].try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contention[index].fetch_add(1, Ordering::Relaxed);
+                self.shards[index].lock()
+            }
+        }
+    }
+
+    /// Locks the shard of `key`.
+    pub(crate) fn lock_shard_of(&self, key: &str) -> MutexGuard<'_, ShardData> {
+        self.lock_shard(self.shard_of(key))
+    }
+
+    /// Charges one store round trip: the configured operation latency (slept
+    /// strictly outside any data lock) plus the round-trip counter. Called
+    /// once per single command and once per pipeline flush.
+    pub(crate) fn charge_round_trip(&self) {
         if !self.config.op_latency.is_zero() {
             std::thread::sleep(self.config.op_latency);
         }
-        let data = self.data.lock();
-        let allowed = data
-            .allowed_epochs
-            .get(&component)
-            .copied()
-            .unwrap_or(Epoch::ZERO);
+        self.stats.round_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Verifies that `component` has not been fenced past `epoch`, returning
+    /// the epoch-table read guard on success. Callers hold the guard across
+    /// their data section so a concurrent fence cannot interleave with a
+    /// half-applied command or batch.
+    pub(crate) fn fence_guard(
+        &self,
+        component: ComponentId,
+        epoch: Epoch,
+    ) -> KarResult<RwLockReadGuard<'_, HashMap<ComponentId, Epoch>>> {
+        let guard = self.epochs.read();
+        let allowed = guard.get(&component).copied().unwrap_or(Epoch::ZERO);
         if epoch < allowed {
             return Err(KarError::Fenced {
                 component,
                 detail: format!("store connection at {epoch} but component fenced to {allowed}"),
             });
         }
-        Ok(())
+        Ok(guard)
+    }
+
+    /// The coarse-lock ablation guard (held around data sections when the
+    /// `coarse_global_lock` flag is set, `None` otherwise), counting
+    /// contended acquisitions like the shard locks do.
+    pub(crate) fn coarse_guard(&self) -> Option<MutexGuard<'_, ()>> {
+        let coarse = self.coarse.as_ref()?;
+        Some(match coarse.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.coarse_contention.fetch_add(1, Ordering::Relaxed);
+                coarse.lock()
+            }
+        })
     }
 }
 
@@ -314,5 +534,84 @@ mod tests {
         let t0 = std::time::Instant::now();
         conn.get("missing").unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn shard_layout_defaults_and_mapping_are_stable() {
+        let store = Store::new();
+        assert_eq!(store.shard_count(), DEFAULT_STORE_SHARDS);
+        assert_eq!(StoreConfig::default().effective_shards(), 16);
+        assert_eq!(
+            StoreConfig {
+                shards: 4,
+                ..StoreConfig::default()
+            }
+            .effective_shards(),
+            4
+        );
+        for key in ["a", "b", "state/Order/o-1", "placement/Order/o-1"] {
+            let shard = store.shard_of_key(key);
+            assert!(shard < store.shard_count());
+            assert_eq!(shard, store.shard_of_key(key), "mapping must be stable");
+        }
+        // With enough keys, more than one shard is populated.
+        let conn = store.connect(ComponentId::from_raw(1));
+        for i in 0..64 {
+            conn.set(&format!("k{i}"), Value::from(i)).unwrap();
+        }
+        let populated = store
+            .inner
+            .shards
+            .iter()
+            .filter(|shard| !shard.lock().strings.is_empty())
+            .count();
+        assert!(populated > 1, "64 keys all landed on one shard");
+        assert_eq!(store.len(), 64);
+    }
+
+    #[test]
+    fn coarse_global_lock_mode_still_works() {
+        let store = Store::with_config(StoreConfig {
+            coarse_global_lock: true,
+            ..StoreConfig::default()
+        });
+        let conn = store.connect(ComponentId::from_raw(1));
+        conn.set("a", Value::from(1)).unwrap();
+        conn.hset("h", "f", Value::from(2)).unwrap();
+        assert_eq!(conn.get("a").unwrap(), Some(Value::from(1)));
+        assert_eq!(conn.hgetall("h").unwrap().len(), 1);
+        store.fence(ComponentId::from_raw(1));
+        assert!(conn.get("a").is_err());
+    }
+
+    #[test]
+    fn contention_counter_stays_zero_single_threaded() {
+        let store = Store::new();
+        let conn = store.connect(ComponentId::from_raw(1));
+        for i in 0..32 {
+            conn.set(&format!("k{i}"), Value::from(i)).unwrap();
+        }
+        assert!(store.shard_contention().iter().all(|&c| c == 0));
+        assert_eq!(store.shard_contention().len(), store.shard_count());
+    }
+
+    #[test]
+    fn round_trips_count_single_commands() {
+        let store = Store::new();
+        let conn = store.connect(ComponentId::from_raw(1));
+        conn.set("a", Value::from(1)).unwrap();
+        conn.get("a").unwrap();
+        conn.hset_multi(
+            "h",
+            [
+                ("f".to_string(), Value::from(1)),
+                ("g".to_string(), Value::from(2)),
+            ],
+        )
+        .unwrap();
+        let stats = store.stats();
+        // hset_multi is one command (one round trip) however many fields.
+        assert_eq!(stats.round_trips, 3);
+        assert_eq!(stats.pipeline_flushes, 0);
     }
 }

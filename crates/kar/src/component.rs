@@ -24,7 +24,7 @@
 //! instead of double-executing, and stale consumers of a re-homed partition
 //! are cut off by the broker's per-partition ownership epochs.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -44,9 +44,10 @@ use kar_types::{
 use crate::actor::{ActorFactory, Outcome};
 use crate::aging::AgingSet;
 use crate::config::{CancellationPolicy, MeshConfig};
-use crate::context::ActorContext;
+use crate::context::{state_key, ActorContext};
 use crate::dispatch::DispatchPool;
 use crate::placement::{LiveSet, PlacementService};
+use crate::state_cache::StateCache;
 
 /// Execution counters of one component, useful in tests and benchmarks.
 #[derive(Debug, Default)]
@@ -72,6 +73,12 @@ struct ActorSlot {
     busy_chain: Vec<RequestId>,
     awaiting_tail: Option<RequestId>,
     mailbox: VecDeque<RequestMessage>,
+    /// Placement-check locality: the placement-cache epoch in which this
+    /// actor's ownership by this component was last verified. While the
+    /// stamp matches the current epoch, admission skips placement resolution
+    /// entirely (not even a cache hit); a recovery-driven `clear_cache`
+    /// bumps the epoch and thereby invalidates every stamp in O(1).
+    verified_epoch: Option<u64>,
 }
 
 /// The runtime core of one application component.
@@ -125,6 +132,11 @@ pub struct ComponentCore {
     /// Completed request ids (retry dedupe). Aged out alongside queue
     /// retention: a retry can only arrive from an unexpired queue record.
     completed: Mutex<AgingSet<RequestId>>,
+    /// The per-activation actor-state cache (`None` when
+    /// `MeshConfig::actor_state_cache` is off): read-through on first touch,
+    /// buffered writes flushed as one pipelined round trip strictly before
+    /// each invocation's completion is sent.
+    state_cache: Option<StateCache>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -171,6 +183,7 @@ impl ComponentCore {
             .into_iter()
             .map(|partition| (partition, Arc::new(AtomicU64::new(0))))
             .collect();
+        let config_state_cache = config.actor_state_cache.then(StateCache::new);
         ComponentCore {
             id,
             node,
@@ -200,6 +213,7 @@ impl ComponentCore {
             seen_responses: Mutex::new(AgingSet::new(bookkeeping_interval)),
             inflight: Mutex::new(HashSet::new()),
             completed: Mutex::new(AgingSet::new(bookkeeping_interval)),
+            state_cache: config_state_cache,
         }
     }
 
@@ -241,6 +255,14 @@ impl ComponentCore {
 
     pub(crate) fn resume(&self) {
         self.placement.clear_cache();
+        // Conservative state-cache refresh after recovery: clean entries are
+        // dropped (cheap to reload); entries with buffered writes belong to
+        // invocations still executing here — placement never moves an actor
+        // off a live component, so their image stays authoritative and their
+        // upcoming flush must not be silently lost.
+        if let Some(cache) = &self.state_cache {
+            cache.invalidate_clean();
+        }
         self.paused.store(false, Ordering::SeqCst);
         // Recovery may have re-placed failed callers: wake response routers
         // parked in `response_partition`.
@@ -256,6 +278,12 @@ impl ComponentCore {
         // Unblock response routers promptly; they re-check `is_alive`.
         self.resume_signal.bump();
         self.actors.lock().clear();
+        // The in-memory state images die with the process; unflushed writes
+        // are lost, exactly like the in-flight writes of a killed
+        // per-command component (no response was sent for them).
+        if let Some(cache) = &self.state_cache {
+            cache.invalidate_all();
+        }
         // Dropping the senders wakes every thread blocked on a nested call.
         self.pending_calls.lock().clear();
         self.deferred.lock().clear();
@@ -280,6 +308,13 @@ impl ComponentCore {
     /// dispatch workers.
     pub fn steal_count(&self) -> u64 {
         self.pool.steal_count()
+    }
+
+    /// Number of proactive steal wakeups issued by this component's dispatch
+    /// pool (an idle worker poked because a push crossed the depth
+    /// watermark, instead of waiting for its idle tick).
+    pub fn steal_wakeup_count(&self) -> u64 {
+        self.pool.steal_wakeup_count()
     }
 
     /// A snapshot of the placement cache's hit/miss/invalidation counters.
@@ -804,25 +839,44 @@ impl ComponentCore {
         // component, or placement moved while the record was in flight.
         // Executing it here would race the copy processed by the placement's
         // owner (the two components' retry dedupe sets are disjoint), so
-        // verify ownership — one placement-cache hit in steady state — and
-        // forward otherwise. `resolve_nowait` also (re-)places actors with
-        // no recorded placement, which is exactly right for records salvaged
-        // from a flushed queue. A placement error means this component is
-        // being fenced/killed: drop; the queue copy drives the retry.
-        match self.placement.resolve_nowait(&request.target) {
-            Ok(Some(owner)) if owner == self.id => {}
-            Ok(_) => {
-                // Owned elsewhere, or a stale placement awaiting repair:
-                // `send_request` re-resolves (blocking, with the shard
-                // handed off) and appends to the owner's queue.
-                self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
-                let _ = self.send_request(request);
-                return None;
+        // verify ownership and forward otherwise. `resolve_nowait` also
+        // (re-)places actors with no recorded placement, which is exactly
+        // right for records salvaged from a flushed queue. A placement error
+        // means this component is being fenced/killed: drop; the queue copy
+        // drives the retry.
+        //
+        // Placement-check locality: a slot stamped "ownership verified in
+        // epoch E" skips even the one placement-cache hit while E is still
+        // the current cache epoch — recovery's `clear_cache` bumps the epoch,
+        // invalidating every stamp at once. The stamp is read *before*
+        // resolving (mirroring the cache's insert-with-pre-read-epoch rule),
+        // so a clear racing the resolution leaves the slot already-stale.
+        let stamp = self.placement.ownership_stamp();
+        let slot_verified = stamp.is_some()
+            && self
+                .actors
+                .lock()
+                .get(&request.target)
+                .is_some_and(|slot| slot.verified_epoch == stamp);
+        if slot_verified {
+            self.placement.note_slot_hit();
+        } else {
+            match self.placement.resolve_nowait(&request.target) {
+                Ok(Some(owner)) if owner == self.id => {}
+                Ok(_) => {
+                    // Owned elsewhere, or a stale placement awaiting repair:
+                    // `send_request` re-resolves (blocking, with the shard
+                    // handed off) and appends to the owner's queue.
+                    self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.send_request(request);
+                    return None;
+                }
+                Err(_) => return None,
             }
-            Err(_) => return None,
         }
         let mut actors = self.actors.lock();
         let slot = actors.entry(request.target.clone()).or_default();
+        slot.verified_epoch = stamp;
         if slot.awaiting_tail == Some(request.id) {
             // Continuation of a tail call to self: it owns the lock already.
             slot.awaiting_tail = None;
@@ -841,9 +895,12 @@ impl ComponentCore {
                 self.inflight.lock().insert(request.id);
                 Some((request, false, true))
             } else {
-                slot.mailbox.push_back(request.clone());
+                // Move the request into the mailbox — no payload clone; the
+                // id is all the bookkeeping needs.
+                let id = request.id;
+                slot.mailbox.push_back(request);
                 drop(actors);
-                self.inflight.lock().insert(request.id);
+                self.inflight.lock().insert(id);
                 None
             }
         } else {
@@ -879,7 +936,22 @@ impl ComponentCore {
                 );
                 self.finish(&request);
             } else {
-                match self.execute(&request, reentrant) {
+                let result = self.execute(&request, reentrant);
+                // Flush-before-respond: the invocation's buffered state
+                // writes become durable (one pipelined round trip) before
+                // ANY completion — response, error response, or tail-call
+                // continuation — is sent. A failed flush means this
+                // component was fenced or killed mid-completion: nothing is
+                // sent, nothing was applied, and the queue copy drives the
+                // retry from the pre-invocation durable state.
+                if !matches!(
+                    result,
+                    Err(KarError::Killed { .. } | KarError::Fenced { .. })
+                ) && self.flush_actor_state(&request.target).is_err()
+                {
+                    return;
+                }
+                match result {
                     Ok(Outcome::Value(value)) => {
                         self.stats.executed.fetch_add(1, Ordering::Relaxed);
                         self.send_response(&request, Ok(value));
@@ -1242,13 +1314,16 @@ impl ComponentCore {
     /// consumed offset is published only after every record is routed — so
     /// reconciliation always sees a record as still-queued or locally
     /// pending, never neither.
-    fn route_records(self: &Arc<Self>, partition: usize, records: Vec<Record<Envelope>>) {
+    fn route_records(self: &Arc<Self>, partition: usize, records: Vec<Record<Arc<Envelope>>>) {
         let Some(last) = records.last().map(|record| record.offset) else {
             return;
         };
         let mut requests: Vec<RequestMessage> = Vec::new();
         for record in records {
-            match record.payload {
+            // The poll shared these payloads with the partition log
+            // (zero-copy); each delivered envelope is materialized exactly
+            // once here — the only payload copy on the delivery path.
+            match record.into_payload() {
                 Envelope::Request(request) => requests.push(request),
                 Envelope::Response(response) => {
                     // Flush the run so far first: the hand-off must preserve
@@ -1303,6 +1378,77 @@ impl ComponentCore {
             self.completed.lock().len(),
             self.seen_responses.lock().len(),
         )
+    }
+
+    // ------------------------------------------------------------------
+    // Actor-state persistence (the `ctx.state()` backend)
+    // ------------------------------------------------------------------
+
+    /// Number of actor states currently cached (0 when the cache is off).
+    pub fn cached_state_count(&self) -> usize {
+        self.state_cache.as_ref().map_or(0, StateCache::len)
+    }
+
+    pub(crate) fn state_get(&self, key: &str, field: &str) -> KarResult<Option<Value>> {
+        match &self.state_cache {
+            Some(cache) => cache.get(&self.conn, key, field),
+            None => self.conn.hget(key, field),
+        }
+    }
+
+    pub(crate) fn state_set(
+        &self,
+        key: &str,
+        field: &str,
+        value: Value,
+    ) -> KarResult<Option<Value>> {
+        match &self.state_cache {
+            Some(cache) => cache.set(&self.conn, key, field, value),
+            None => self.conn.hset(key, field, value),
+        }
+    }
+
+    pub(crate) fn state_set_multi(
+        &self,
+        key: &str,
+        entries: impl IntoIterator<Item = (String, Value)>,
+    ) -> KarResult<()> {
+        match &self.state_cache {
+            Some(cache) => cache.set_multi(&self.conn, key, entries),
+            None => self.conn.hset_multi(key, entries),
+        }
+    }
+
+    pub(crate) fn state_remove(&self, key: &str, field: &str) -> KarResult<Option<Value>> {
+        match &self.state_cache {
+            Some(cache) => cache.remove(&self.conn, key, field),
+            None => self.conn.hdel(key, field),
+        }
+    }
+
+    pub(crate) fn state_get_all(&self, key: &str) -> KarResult<BTreeMap<String, Value>> {
+        match &self.state_cache {
+            Some(cache) => cache.get_all(&self.conn, key),
+            None => self.conn.hgetall(key),
+        }
+    }
+
+    pub(crate) fn state_clear(&self, key: &str) -> KarResult<bool> {
+        match &self.state_cache {
+            Some(cache) => cache.clear_hash(&self.conn, key),
+            None => self.conn.hclear(key),
+        }
+    }
+
+    /// Makes `actor`'s buffered state writes durable (one pipelined round
+    /// trip; free if nothing is buffered). Called strictly *before* an
+    /// invocation's completion — response or tail-call continuation — is
+    /// sent, so acknowledged state is always durable (flush-then-respond).
+    fn flush_actor_state(&self, actor: &ActorRef) -> KarResult<()> {
+        match &self.state_cache {
+            Some(cache) => cache.flush(&self.conn, &state_key(actor)),
+            None => Ok(()),
+        }
     }
 }
 

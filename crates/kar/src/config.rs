@@ -89,6 +89,22 @@ pub struct MeshConfig {
     /// broker whose single global lock serialized every append and fetch
     /// (see `BrokerConfig::coarse_global_lock`).
     pub coarse_broker_lock: bool,
+    /// Enable the per-activation actor-state cache: `ctx.state()` reads
+    /// through one `hgetall` on an actor's first touch, buffers writes in
+    /// memory, and flushes them as one pipelined store round trip strictly
+    /// *before* the invocation's response (or tail-call continuation) is
+    /// sent — so acknowledged state is always durable, while an invocation
+    /// touching K fields pays one round trip instead of K. Disable to
+    /// restore the per-command state plane (the benchmarks compare both).
+    pub actor_state_cache: bool,
+    /// Number of data shards of the store (`0` selects the store's default).
+    /// Keys hash onto shards, so concurrent state/placement commands only
+    /// contend when they race on the same shard.
+    pub store_shards: usize,
+    /// **Ablation knob for benchmarks only.** Restores the pre-overhaul
+    /// store whose single global data lock serialized every command
+    /// mesh-wide (see `StoreConfig::coarse_global_lock`).
+    pub coarse_store_lock: bool,
 }
 
 impl Default for MeshConfig {
@@ -111,6 +127,9 @@ impl Default for MeshConfig {
             partitions_per_component: 4,
             consumers_per_component: 0,
             coarse_broker_lock: false,
+            actor_state_cache: true,
+            store_shards: 0,
+            coarse_store_lock: false,
         }
     }
 }
@@ -240,6 +259,29 @@ impl MeshConfig {
         self
     }
 
+    /// Enables or disables the per-activation actor-state cache (the
+    /// benchmarks compare round trips per invocation under both settings).
+    #[must_use]
+    pub fn with_actor_state_cache(mut self, enabled: bool) -> Self {
+        self.actor_state_cache = enabled;
+        self
+    }
+
+    /// Sets the number of store data shards (`0` = the store's default).
+    #[must_use]
+    pub fn with_store_shards(mut self, shards: usize) -> Self {
+        self.store_shards = shards;
+        self
+    }
+
+    /// **Benchmark ablation**: restores the pre-overhaul single global
+    /// store lock.
+    #[must_use]
+    pub fn with_coarse_store_lock(mut self, coarse: bool) -> Self {
+        self.coarse_store_lock = coarse;
+        self
+    }
+
     /// The compressed (wall-clock) session timeout.
     pub fn scaled_session_timeout(&self) -> Duration {
         self.time_scale.compress(self.session_timeout)
@@ -273,6 +315,8 @@ impl MeshConfig {
     pub fn store_config(&self) -> StoreConfig {
         StoreConfig {
             op_latency: self.latency.store_op,
+            shards: self.store_shards,
+            coarse_global_lock: self.coarse_store_lock,
         }
     }
 }
@@ -364,6 +408,22 @@ mod tests {
                 .effective_partitions_per_component(),
             8
         );
+    }
+
+    #[test]
+    fn state_plane_knobs_default_and_toggle() {
+        let c = MeshConfig::default();
+        assert!(c.actor_state_cache);
+        assert_eq!(c.store_shards, 0);
+        assert!(!c.coarse_store_lock);
+        assert!(!c.store_config().coarse_global_lock);
+        let c = MeshConfig::for_tests()
+            .with_actor_state_cache(false)
+            .with_store_shards(4)
+            .with_coarse_store_lock(true);
+        assert!(!c.actor_state_cache);
+        assert_eq!(c.store_config().shards, 4);
+        assert!(c.store_config().coarse_global_lock);
     }
 
     #[test]

@@ -118,6 +118,19 @@ pub(crate) fn state_key(actor: &ActorRef) -> String {
 /// KAR does not prescribe its use — actors are free to interface with any
 /// external service — but state written here survives failures and is
 /// typically reloaded in [`crate::Actor::activate`].
+///
+/// # Caching and crash consistency
+///
+/// With `MeshConfig::actor_state_cache` enabled (the default), reads go
+/// through a per-activation in-memory image of the state hash (loaded with
+/// one `hgetall` on the actor's first touch) and writes are buffered. The
+/// runtime flushes buffered writes as **one** pipelined store round trip
+/// strictly *before* the invocation's response or tail-call continuation is
+/// sent, preserving the crash-consistency contract of the per-command plane:
+/// by the time a caller observes a completion, the state it acknowledged is
+/// durable — a component killed between the flush and the response simply
+/// triggers the retry orchestration, exactly as before. With the cache
+/// disabled, every call below is one store command.
 pub struct ActorState<'a> {
     core: &'a Arc<ComponentCore>,
     key: String,
@@ -131,7 +144,7 @@ impl ActorState<'_> {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected from the store.
     pub fn get(&self, field: &str) -> KarResult<Option<Value>> {
-        self.core.conn.hget(&self.key, field)
+        self.core.state_get(&self.key, field)
     }
 
     /// Writes one field of the actor's persistent state, returning the
@@ -142,7 +155,7 @@ impl ActorState<'_> {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected from the store.
     pub fn set(&self, field: &str, value: Value) -> KarResult<Option<Value>> {
-        self.core.conn.hset(&self.key, field, value)
+        self.core.state_set(&self.key, field, value)
     }
 
     /// Writes several fields at once.
@@ -152,7 +165,7 @@ impl ActorState<'_> {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected from the store.
     pub fn set_multi(&self, entries: impl IntoIterator<Item = (String, Value)>) -> KarResult<()> {
-        self.core.conn.hset_multi(&self.key, entries)
+        self.core.state_set_multi(&self.key, entries)
     }
 
     /// Deletes one field, returning its previous value.
@@ -162,7 +175,7 @@ impl ActorState<'_> {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected from the store.
     pub fn remove(&self, field: &str) -> KarResult<Option<Value>> {
-        self.core.conn.hdel(&self.key, field)
+        self.core.state_remove(&self.key, field)
     }
 
     /// Reads the whole persistent state of the actor.
@@ -172,7 +185,7 @@ impl ActorState<'_> {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected from the store.
     pub fn get_all(&self) -> KarResult<BTreeMap<String, Value>> {
-        self.core.conn.hgetall(&self.key)
+        self.core.state_get_all(&self.key)
     }
 
     /// Deletes the actor's entire persistent state (used when an actor
@@ -184,7 +197,7 @@ impl ActorState<'_> {
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected from the store.
     pub fn clear(&self) -> KarResult<bool> {
-        self.core.conn.hclear(&self.key)
+        self.core.state_clear(&self.key)
     }
 }
 

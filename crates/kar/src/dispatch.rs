@@ -20,7 +20,11 @@
 //!
 //! Work stealing: static actor→shard hashing leaves the worst shard with up
 //! to ~2× the mean load (BENCH_messaging.json). An idle worker therefore
-//! steals work from the deepest shard queue — but always whole *actors*:
+//! steals work from the deepest shard queue — and a push that leaves a queue
+//! [`STEAL_WAKEUP_DEPTH`] deep proactively wakes one idle worker so the
+//! steal happens immediately rather than on the next 1 ms idle tick (under
+//! sub-millisecond service times a tick-paced thief arrives after the queue
+//! has already drained). Steals always move whole *actors*:
 //! every queued request of the chosen actor moves to the thief's queue in
 //! one atomic step (both shard locks held), and a routing override sends the
 //! actor's future requests to the thief's shard. An actor whose freshly
@@ -61,6 +65,14 @@ use crate::aging::AgingMap;
 /// steal from it: moving an actor for a single queued request would churn
 /// the routing table for no balance win.
 const MIN_STEAL_DEPTH: usize = 2;
+
+/// A push that leaves its shard queue at least this deep proactively wakes
+/// one idle (empty-queue) worker so it can steal immediately, instead of
+/// waiting out the 1 ms idle tick. Under very short service times queues
+/// drain within a tick, so a tick-paced thief always arrives too late;
+/// waking from `submit` closes that gap. `MIN_STEAL_DEPTH` remains the
+/// floor the woken thief applies before actually stealing.
+const STEAL_WAKEUP_DEPTH: usize = 4;
 
 thread_local! {
     /// Identity of the pool + shard this thread drains, if it is a dispatch
@@ -137,6 +149,9 @@ pub(crate) struct DispatchPool {
     stealing: bool,
     /// Number of successful steals (whole actors moved).
     steals: AtomicU64,
+    /// Number of idle workers proactively woken by a deep push (see
+    /// [`STEAL_WAKEUP_DEPTH`]).
+    steal_wakeups: AtomicU64,
     /// Requests polled off the queue but not yet admitted to an actor slot
     /// (mailbox / inflight / deferred). Consulted by reconciliation through
     /// `ComponentCore::locally_pending`.
@@ -159,6 +174,7 @@ impl DispatchPool {
             routes: Mutex::new(AgingMap::new(route_retention)),
             stealing: stealing && workers > 1,
             steals: AtomicU64::new(0),
+            steal_wakeups: AtomicU64::new(0),
             pending: Mutex::new(HashSet::new()),
         }
     }
@@ -344,6 +360,7 @@ impl DispatchPool {
             // stragglers fall back to the one-at-a-time path, still in order.
             let mut rerouted: Vec<RequestMessage> = Vec::new();
             let mut pushed = 0usize;
+            let mut depth_after = 0usize;
             {
                 let mut state = self.shards[shard].lock_state();
                 for request in group {
@@ -354,12 +371,21 @@ impl DispatchPool {
                     state.queue.push_back(request);
                     pushed += 1;
                 }
+                if pushed > 0 {
+                    // The depth mirror is mutated under the shard lock, like
+                    // every pop and steal: bumping it after the release let a
+                    // concurrent drainer pop the fresh requests first and
+                    // underflow (wrap) the counter, which the steal scan then
+                    // read as an enormous queue.
+                    depth_after = self.shards[shard]
+                        .depth
+                        .fetch_add(pushed, Ordering::Relaxed)
+                        + pushed;
+                }
             }
             if pushed > 0 {
-                self.shards[shard]
-                    .depth
-                    .fetch_add(pushed, Ordering::Relaxed);
                 self.shards[shard].available.notify_one();
+                self.maybe_wake_thief(shard, depth_after);
             }
             for request in rerouted {
                 self.push_routed(request);
@@ -380,11 +406,37 @@ impl DispatchPool {
                 continue;
             }
             state.queue.push_back(request);
-            self.shards[shard].depth.fetch_add(1, Ordering::Relaxed);
+            let depth = self.shards[shard].depth.fetch_add(1, Ordering::Relaxed) + 1;
             drop(state);
             self.shards[shard].available.notify_one();
+            self.maybe_wake_thief(shard, depth);
             return;
         }
+    }
+
+    /// Proactive steal wakeup: when a push leaves `shard`'s queue at least
+    /// [`STEAL_WAKEUP_DEPTH`] deep, poke one idle (empty-queue) shard's
+    /// not-empty signal. Its parked drainer wakes, finds its own queue still
+    /// empty, and loops back through the steal path immediately — instead of
+    /// sleeping out the rest of its idle tick while this queue backs up.
+    /// Best-effort: if the chosen shard's worker is mid-invocation the wakeup
+    /// is lost, and the idle tick remains the backstop.
+    fn maybe_wake_thief(&self, loaded: usize, depth: usize) {
+        if !self.stealing || depth < STEAL_WAKEUP_DEPTH {
+            return;
+        }
+        for (index, shard) in self.shards.iter().enumerate() {
+            if index != loaded && shard.depth.load(Ordering::Relaxed) == 0 {
+                shard.available.notify_one();
+                self.steal_wakeups.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    /// Number of proactive steal wakeups issued so far.
+    pub(crate) fn steal_wakeup_count(&self) -> u64 {
+        self.steal_wakeups.load(Ordering::Relaxed)
     }
 
     /// Pops the next request of `shard`, marking its actor as
@@ -935,6 +987,60 @@ mod tests {
         // queued anywhere for the actor.
         pool.submit(request(9, "wanderer"));
         assert_eq!(pool.shards[home].depth.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn deep_pushes_wake_a_parked_thief_before_its_timeout() {
+        use std::sync::Arc;
+        let pool = Arc::new(DispatchPool::new(2, true, RETENTION));
+        let hot = ActorRef::new("T", "hot");
+        let victim = pool.shard_of(&hot);
+        let thief = 1 - victim;
+        // Park a thief on its empty shard with a timeout far longer than the
+        // test budget: only a proactive wakeup can return it early.
+        let thief_pool = pool.clone();
+        let parked = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            loop {
+                if let Some(request) = thief_pool.next_request(thief, Duration::from_millis(900)) {
+                    return (request, t0.elapsed());
+                }
+                assert!(t0.elapsed() < Duration::from_secs(5), "thief never woke");
+            }
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        for id in 1..=(STEAL_WAKEUP_DEPTH as u64 + 1) {
+            pool.submit(request(id, "hot"));
+        }
+        let (stolen, elapsed) = parked.join().unwrap();
+        assert_eq!(stolen.target, hot);
+        assert!(pool.steal_wakeup_count() >= 1, "no wakeup was issued");
+        assert_eq!(pool.steal_count(), 1);
+        // Without the wakeup the thief sleeps out its 900 ms park (plus the
+        // 100 ms head start); with it, the steal lands well inside that.
+        assert!(
+            elapsed < Duration::from_millis(700),
+            "thief waited out its park: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn shallow_pushes_do_not_issue_steal_wakeups() {
+        let pool = DispatchPool::new(2, true, RETENTION);
+        for id in 1..STEAL_WAKEUP_DEPTH as u64 {
+            pool.submit(request(id, "hot"));
+        }
+        assert_eq!(pool.steal_wakeup_count(), 0);
+        // Crossing the watermark issues one (counted even with no parked
+        // waiter — the signal is best-effort).
+        pool.submit(request(99, "hot"));
+        assert!(pool.steal_wakeup_count() >= 1);
+        // Stealing disabled: never wake.
+        let no_steal = DispatchPool::new(2, false, RETENTION);
+        for id in 1..=(STEAL_WAKEUP_DEPTH as u64 * 2) {
+            no_steal.submit(request(id, "hot"));
+        }
+        assert_eq!(no_steal.steal_wakeup_count(), 0);
     }
 
     #[test]

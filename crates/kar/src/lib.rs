@@ -76,6 +76,7 @@ mod dispatch;
 pub mod mesh;
 pub mod placement;
 pub mod recovery;
+mod state_cache;
 
 pub use actor::{Actor, ActorFactory, Outcome};
 pub use client::Client;

@@ -333,6 +333,27 @@ impl Mesh {
             .map(|core| core.steal_count())
     }
 
+    /// Number of proactive steal wakeups one component's dispatch pool has
+    /// issued (idle workers poked by a deep push instead of waiting out
+    /// their idle tick).
+    pub fn steal_wakeups(&self, component: ComponentId) -> Option<u64> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.steal_wakeup_count())
+    }
+
+    /// Number of actor states one component currently caches in memory
+    /// (0 when the actor-state cache is disabled).
+    pub fn cached_state_count(&self, component: ComponentId) -> Option<usize> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.cached_state_count())
+    }
+
     /// The partition set one component currently consumes: its stable home
     /// range plus any partition ranges adopted from failed components
     /// (`None` for unknown components).
@@ -387,6 +408,7 @@ impl Mesh {
         for id in ids {
             let core = &components[&id];
             out.push_str(&core.debug_snapshot());
+            let _ = writeln!(out, "  cached actor states: {}", core.cached_state_count());
             if let Some(set) = self.inner.topology.read().get(&id) {
                 for partition in set.all() {
                     let _ = writeln!(
@@ -398,6 +420,28 @@ impl Mesh {
                 }
             }
         }
+        // The state plane: per-shard contention plus pipeline batch shape.
+        let stats = self.inner.store.stats();
+        let contention: Vec<String> = self
+            .inner
+            .store
+            .shard_contention()
+            .into_iter()
+            .map(|c| c.to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "store: reads={} writes={} cas={} round_trips={} pipeline_flushes={} \
+             mean_pipeline_batch={:.1} shards={} contention=[{}]",
+            stats.reads,
+            stats.writes,
+            stats.cas,
+            stats.round_trips,
+            stats.pipeline_flushes,
+            stats.mean_pipeline_batch(),
+            self.inner.store.shard_count(),
+            contention.join(", "),
+        );
         out
     }
 

@@ -49,6 +49,11 @@ pub struct PlacementCounters {
     /// [`PlacementService::clear_cache`]) plus entries lazily evicted
     /// because their epoch was stale or their component dead.
     pub invalidations: u64,
+    /// Admissions that skipped placement resolution entirely because their
+    /// dispatch slot carried an "ownership verified in epoch E" stamp from
+    /// the current cache epoch (see `ComponentCore::admit_request`). Hot
+    /// actors pay zero placement work per request between recoveries.
+    pub slot_hits: u64,
 }
 
 /// One placement per actor, tagged with the cache epoch it was inserted in.
@@ -108,6 +113,7 @@ pub struct PlacementService {
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    slot_hits: AtomicU64,
 }
 
 impl PlacementService {
@@ -129,7 +135,23 @@ impl PlacementService {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            slot_hits: AtomicU64::new(0),
         }
+    }
+
+    /// The stamp admission writes into a dispatch slot once it has verified
+    /// actor ownership: the current cache epoch, or `None` when the cache is
+    /// disabled (stamping would then never be invalidated, so it is off).
+    /// A recovery-driven [`PlacementService::clear_cache`] bumps the epoch,
+    /// invalidating every outstanding stamp in O(1).
+    pub fn ownership_stamp(&self) -> Option<u64> {
+        self.cache.as_ref().map(ShardedCache::current_epoch)
+    }
+
+    /// Counts one admission that skipped placement resolution thanks to a
+    /// current-epoch slot stamp.
+    pub(crate) fn note_slot_hit(&self) {
+        self.slot_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Invalidates the whole placement cache (called when recovery
@@ -177,6 +199,7 @@ impl PlacementService {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            slot_hits: self.slot_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -731,6 +754,30 @@ mod tests {
         }
         // And the service itself agrees immediately after the clear.
         assert_eq!(placement.resolve(&actor).unwrap(), ComponentId::from_raw(2));
+    }
+
+    #[test]
+    fn ownership_stamp_follows_the_cache_epoch() {
+        let store = Store::new();
+        announce(&store, "Order", 1);
+        let live_set = live(&[1]);
+        let with_cache = service(&store, 1, &live_set, true);
+        assert_eq!(with_cache.ownership_stamp(), Some(0));
+        with_cache.clear_cache();
+        assert_eq!(
+            with_cache.ownership_stamp(),
+            Some(1),
+            "clear_cache must invalidate outstanding slot stamps"
+        );
+        // Slot hits are counted separately from cache hits.
+        with_cache.note_slot_hit();
+        let counters = with_cache.counters();
+        assert_eq!(counters.slot_hits, 1);
+        assert_eq!(counters.hits, 0);
+        // With the cache disabled there is no epoch to stamp against, so
+        // stamping is off (a stamp could never be invalidated).
+        let without_cache = service(&store, 1, &live_set, false);
+        assert_eq!(without_cache.ownership_stamp(), None);
     }
 
     #[test]

@@ -276,13 +276,91 @@ fn retry_orphans(ctx: &RecoveryContext) {
         return;
     }
     let live: Vec<ComponentId> = ctx.live.read().iter().copied().collect();
+    let mut rewrites = PlacementRewriter::default();
     let mut batches = RehomeBatches::default();
     for request in pending {
-        if let Some((partition, request)) = rehome_decision(ctx, request, &live) {
+        if let Some((partition, request)) = rehome_decision(ctx, request, &live, &mut rewrites) {
             batches.push(partition, request);
         }
     }
+    // Placements must be durable before the records that rely on them.
+    rewrites.flush_writes(ctx);
     batches.flush(ctx);
+}
+
+/// Placement rewrites buffered by one reconciliation round.
+///
+/// Decisions are recorded locally first (read-your-writes: a later request
+/// for the same actor sees the earlier decision before it is durable) and
+/// made durable by [`PlacementRewriter::flush_writes`] through **one** admin
+/// [`Pipeline`](kar_store::Pipeline) — one store-lock acquisition per shard
+/// touched instead of one per rewritten key. Live-host lookups are cached
+/// per actor type, since the prefix scan walks every store shard and the
+/// live set is frozen for the duration of the round.
+#[derive(Default)]
+struct PlacementRewriter {
+    /// Every decision made this round (flushed or not), consulted before the
+    /// store so the round reads its own writes.
+    decided: HashMap<String, ComponentId>,
+    /// Decisions not yet flushed to the store.
+    queued: Vec<(String, ComponentId)>,
+    /// Live hosts per actor type, resolved once per round.
+    hosts: HashMap<String, Vec<ComponentId>>,
+}
+
+impl PlacementRewriter {
+    /// The placement recorded for `key`: this round's own decision if any,
+    /// else the store's.
+    fn placement(&self, ctx: &RecoveryContext, key: &str) -> Option<ComponentId> {
+        if let Some(component) = self.decided.get(key) {
+            return Some(*component);
+        }
+        ctx.store
+            .admin_get(key)
+            .as_ref()
+            .and_then(component_from_value)
+    }
+
+    /// Records (and queues) a placement decision.
+    fn record(&mut self, key: String, component: ComponentId) {
+        self.decided.insert(key.clone(), component);
+        self.queued.push((key, component));
+    }
+
+    /// The live components hosting `actor_type`, resolved once per round.
+    fn hosts(
+        &mut self,
+        ctx: &RecoveryContext,
+        actor_type: &str,
+        live: &[ComponentId],
+    ) -> Vec<ComponentId> {
+        self.hosts
+            .entry(actor_type.to_owned())
+            .or_insert_with(|| live_hosts(ctx, actor_type, live))
+            .clone()
+    }
+
+    /// Flushes the queued placement writes as one admin pipeline.
+    ///
+    /// Written with `set_nx`, not `set`: every queued decision was made for
+    /// a key that had no (live) placement, but a live caller can race the
+    /// paced re-home loop and win the placement CAS for the same actor in
+    /// the meantime. An unconditional set here would clobber that winner and
+    /// let the same request id execute under two different placements. With
+    /// `set_nx` the racer's placement stands; the re-homed record appended
+    /// to the leader's choice is then *forwarded* to the true owner by the
+    /// admission-time placement guard — the rebalance-safe path that already
+    /// handles records landing at non-owners.
+    fn flush_writes(&mut self, ctx: &RecoveryContext) {
+        if self.queued.is_empty() {
+            return;
+        }
+        let mut pipe = ctx.store.admin_pipeline();
+        for (key, component) in self.queued.drain(..) {
+            pipe.set_nx(&key, component_to_value(component));
+        }
+        pipe.flush().expect("admin pipelines are unfenced");
+    }
 }
 
 /// Re-homed requests buffered per destination partition, so the actual
@@ -337,15 +415,17 @@ fn reconcile(
     //    still holding) the copy: a copy it already processed was either
     //    completed (a response exists) or superseded by a tail call whose
     //    latest hop lives elsewhere — possibly in a failed queue that must
-    //    be re-homed.
+    //    be re-homed. The catalog holds `Arc`-shared envelopes straight out
+    //    of the partition logs (zero-copy): only the requests actually
+    //    re-homed are ever materialized.
     let topology = ctx.topology.read().clone();
     let components = ctx.components.read().clone();
     let mut responses: HashSet<RequestId> = HashSet::new();
     let mut live_requests: HashSet<RequestId> = HashSet::new();
-    let mut all_requests: Vec<RequestMessage> = Vec::new();
-    let mut dead_queues: Vec<(ComponentId, Vec<RequestMessage>)> = Vec::new();
+    let mut all_requests: Vec<Arc<Envelope>> = Vec::new();
+    let mut dead_queues: Vec<(ComponentId, Vec<Arc<Envelope>>)> = Vec::new();
     for (component, set) in &topology {
-        let mut requests_here = Vec::new();
+        let mut requests_here: Vec<Arc<Envelope>> = Vec::new();
         let live_core = if live.contains(component) {
             components.get(component)
         } else {
@@ -353,7 +433,7 @@ fn reconcile(
         };
         for partition in set.all() {
             for record in ctx.broker.read_partition(&ctx.topic, partition) {
-                match record.payload {
+                match record.payload.as_ref() {
                     Envelope::Response(response) => {
                         responses.insert(response.id);
                     }
@@ -364,8 +444,8 @@ fn reconcile(
                                 live_requests.insert(request.id);
                             }
                         }
-                        requests_here.push(request.clone());
-                        all_requests.push(request);
+                        requests_here.push(record.payload.clone());
+                        all_requests.push(record.payload);
                     }
                 }
             }
@@ -379,61 +459,79 @@ fn reconcile(
     //    each id (a tail call supersedes the request it completed), drop
     //    requests with a matching response or already present in a live
     //    queue (already re-homed by a previous, interrupted reconciliation).
+    //    Surviving requests are materialized here, once.
     let mut pending: Vec<RequestMessage> = Vec::new();
     for (_, requests) in &dead_queues {
         let mut last_index: HashMap<RequestId, usize> = HashMap::new();
-        for (index, request) in requests.iter().enumerate() {
-            last_index.insert(request.id, index);
+        for (index, envelope) in requests.iter().enumerate() {
+            last_index.insert(envelope.id(), index);
         }
-        for (index, request) in requests.iter().enumerate() {
-            if last_index[&request.id] != index {
+        for (index, envelope) in requests.iter().enumerate() {
+            if last_index[&envelope.id()] != index {
                 continue;
             }
-            if responses.contains(&request.id) || live_requests.contains(&request.id) {
+            if responses.contains(&envelope.id()) || live_requests.contains(&envelope.id()) {
                 continue;
             }
-            pending.push(request.clone());
+            if let Some(request) = envelope.as_request() {
+                pending.push(request.clone());
+            }
         }
     }
     let pending = reorder_tail_calls_first(pending);
 
-    // 4. Invalidate placements and host announcements of failed components.
+    // 4. Invalidate placements and host announcements of failed components —
+    //    through admin pipelines (one read flush, one delete flush, each
+    //    taking one lock per store shard touched) instead of three store
+    //    lock acquisitions per key.
     let dead: HashSet<ComponentId> = removed.iter().copied().collect();
-    for key in ctx.store.admin_keys_with_prefix("placement/") {
-        if let Some(value) = ctx.store.admin_get(&key) {
+    let placement_keys = ctx.store.admin_keys_with_prefix("placement/");
+    let mut reads = ctx.store.admin_pipeline();
+    for key in &placement_keys {
+        reads.get(key);
+    }
+    let values = reads.flush().expect("admin pipelines are unfenced");
+    let mut invalidations = ctx.store.admin_pipeline();
+    for (key, result) in placement_keys.iter().zip(values) {
+        if let Some(value) = result.into_value() {
             if component_from_value(&value).is_some_and(|c| dead.contains(&c)) {
-                ctx.store.admin_del(&key);
+                invalidations.del(key);
             }
         }
     }
     for key in ctx.store.admin_keys_with_prefix("host/") {
         if let Some(raw) = key.rsplit('/').next().and_then(|s| s.parse::<u64>().ok()) {
             if dead.contains(&ComponentId::from_raw(raw)) {
-                ctx.store.admin_del(&key);
+                invalidations.del(&key);
             }
         }
     }
+    invalidations.flush().expect("admin pipelines are unfenced");
 
     // 5. Re-home pending requests, annotating each with its pending callee so
     //    the retry happens after the callee settles (happen-before). The
     //    placement decisions are made one by one (and paced like the paper's
-    //    leader), but the queue appends are buffered per destination
-    //    partition and flushed as admin batches: one partition-lock
-    //    acquisition for N re-homed records instead of N.
+    //    leader) with read-your-writes against a local rewrite buffer; the
+    //    placement writes flush through one admin pipeline and the queue
+    //    appends through per-partition admin batches — placements always
+    //    durable before the records that rely on them become consumable.
     let mut rehomed_ids: HashSet<RequestId> = HashSet::new();
+    let mut rewrites = PlacementRewriter::default();
     let mut batches = RehomeBatches::default();
     for mut request in pending {
         let pending_callee = all_requests
             .iter()
+            .filter_map(|envelope| envelope.as_request())
             .find(|r| r.caller == Some(request.id) && !responses.contains(&r.id))
             .map(|r| r.id);
         request.pending_callee = pending_callee;
         rehomed_ids.insert(request.id);
-        if let Some((partition, request)) = rehome_decision(ctx, request, live) {
+        if let Some((partition, request)) = rehome_decision(ctx, request, live, &mut rewrites) {
             batches.push(partition, request);
         }
         sleep_scaled(ctx, ctx.config.reconciliation_per_message);
     }
+    rewrites.flush_writes(ctx);
     let mut rehomed = batches.flush(ctx);
 
     // 6. Second sweep: requests appended to the failed queues *while* the
@@ -446,7 +544,7 @@ fn reconcile(
         };
         for partition in set.all() {
             for record in ctx.broker.read_partition(&ctx.topic, partition) {
-                if let Envelope::Request(request) = record.payload {
+                if let Some(request) = record.payload.as_request() {
                     if responses.contains(&request.id)
                         || live_requests.contains(&request.id)
                         || rehomed_ids.contains(&request.id)
@@ -454,13 +552,16 @@ fn reconcile(
                         continue;
                     }
                     rehomed_ids.insert(request.id);
-                    if let Some((partition, request)) = rehome_decision(ctx, request, live) {
+                    if let Some((partition, request)) =
+                        rehome_decision(ctx, request.clone(), live, &mut rewrites)
+                    {
                         batches.push(partition, request);
                     }
                 }
             }
         }
     }
+    rewrites.flush_writes(ctx);
     rehomed += batches.flush(ctx);
 
     // 7. Flush the failed queues for later reuse.
@@ -567,36 +668,34 @@ fn rehome_partition_ranges(
     orphaned
 }
 
-/// Chooses a replacement component for one pending request and updates the
-/// actor's placement. Returns the destination partition and the request to
-/// append there (the caller batches the actual appends per partition), or
-/// `None` (parking the request in the orphan list) when no live component
-/// hosts the actor type.
+/// Chooses a replacement component for one pending request and records the
+/// actor's placement in the round's rewrite buffer (flushed as one admin
+/// pipeline by the caller). Returns the destination partition and the
+/// request to append there (the caller batches the actual appends per
+/// partition), or `None` (parking the request in the orphan list) when no
+/// live component hosts the actor type.
 fn rehome_decision(
     ctx: &RecoveryContext,
     request: RequestMessage,
     live: &[ComponentId],
+    rewrites: &mut PlacementRewriter,
 ) -> Option<(usize, RequestMessage)> {
     let key = placement_key(&request.target);
     // If the actor is already placed on a live component (for example because
-    // a previous interrupted reconciliation re-placed it), respect that
-    // placement instead of moving it again.
-    let existing = ctx
-        .store
-        .admin_get(&key)
-        .as_ref()
-        .and_then(component_from_value)
-        .filter(|c| live.contains(c));
+    // a previous interrupted reconciliation — or an earlier decision of this
+    // round — re-placed it), respect that placement instead of moving it
+    // again.
+    let existing = rewrites.placement(ctx, &key).filter(|c| live.contains(c));
     let target_component = match existing {
         Some(component) => component,
         None => {
-            let hosts = live_hosts(ctx, request.target.actor_type(), live);
+            let hosts = rewrites.hosts(ctx, request.target.actor_type(), live);
             if hosts.is_empty() {
                 ctx.orphans.lock().push(request);
                 return None;
             }
             let chosen = hosts[spread(&request.target.qualified_name(), hosts.len())];
-            ctx.store.admin_set(&key, component_to_value(chosen));
+            rewrites.record(key, chosen);
             chosen
         }
     };
@@ -681,7 +780,69 @@ pub(crate) fn placement_value(component: ComponentId) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MeshConfig;
     use kar_types::{ActorRef, CallKind};
+
+    fn test_ctx() -> RecoveryContext {
+        let config = MeshConfig::for_tests();
+        let broker: Broker<Envelope> = Broker::new(config.broker_config());
+        RecoveryContext {
+            config,
+            topic: "kar".to_owned(),
+            group: "kar".to_owned(),
+            broker,
+            store: Store::new(),
+            topology: Arc::new(RwLock::new(HashMap::new())),
+            components: Arc::new(RwLock::new(HashMap::new())),
+            live: Arc::new(RwLock::new(HashSet::new())),
+            kill_times: Arc::new(Mutex::new(HashMap::new())),
+            log: Arc::new(RecoveryLog::new()),
+            orphans: Arc::new(Mutex::new(Vec::new())),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    #[test]
+    fn placement_rewrites_do_not_clobber_a_concurrent_cas_winner() {
+        // The leader buffers a decision during the paced re-home loop; a
+        // live caller wins the placement CAS for the same actor before the
+        // flush. The flush must keep the racer's placement (the re-homed
+        // record is forwarded by the admission-time guard), not overwrite
+        // it and split the actor across two owners.
+        let ctx = test_ctx();
+        let key = "placement/Order/contended".to_owned();
+        let mut rewrites = PlacementRewriter::default();
+        rewrites.record(key.clone(), ComponentId::from_raw(2));
+        // Read-your-writes: within the round, the buffered decision wins.
+        assert_eq!(
+            rewrites.placement(&ctx, &key),
+            Some(ComponentId::from_raw(2))
+        );
+        // A resolver's CAS lands before the flush.
+        ctx.store
+            .admin_set(&key, component_to_value(ComponentId::from_raw(1)));
+        rewrites.flush_writes(&ctx);
+        assert_eq!(
+            ctx.store
+                .admin_get(&key)
+                .as_ref()
+                .and_then(component_from_value),
+            Some(ComponentId::from_raw(1)),
+            "flush must not clobber the CAS winner"
+        );
+        // With no racer, the buffered decision becomes durable.
+        let key2 = "placement/Order/uncontended".to_owned();
+        let mut rewrites = PlacementRewriter::default();
+        rewrites.record(key2.clone(), ComponentId::from_raw(3));
+        rewrites.flush_writes(&ctx);
+        assert_eq!(
+            ctx.store
+                .admin_get(&key2)
+                .as_ref()
+                .and_then(component_from_value),
+            Some(ComponentId::from_raw(3))
+        );
+    }
 
     fn request(id: u64, target: &str, kind: CallKind) -> RequestMessage {
         RequestMessage {

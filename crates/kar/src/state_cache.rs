@@ -1,0 +1,419 @@
+//! The per-activation actor-state cache.
+//!
+//! The real KAR runtime keeps each active actor's state hash in memory and
+//! talks to Redis only at well-defined points; this module reproduces that
+//! for `ctx.state()`:
+//!
+//! * **Read-through**: an actor's first state access loads the whole durable
+//!   hash with one `hgetall`; subsequent reads are answered from memory.
+//! * **Write-behind, flush-before-respond**: writes (`set`, `set_multi`,
+//!   `remove`, `clear`) are buffered in memory and made durable by
+//!   [`StateCache::flush`] as **one** pipelined store round trip. The
+//!   component calls `flush` strictly *before* sending the invocation's
+//!   response or tail-call continuation, so the crash-consistency contract
+//!   of the per-command plane is preserved: any completion a caller observes
+//!   implies the state it acknowledged is durable. A kill between the flush
+//!   and the send leaves a durable-but-unacknowledged state, exactly the
+//!   case retry orchestration already handles (the retry re-executes and
+//!   overwrites).
+//!
+//! Entries are invalidated when the component is killed or fenced (its
+//! in-memory image dies with it) and — conservatively — when recovery
+//! completes ([`StateCache::invalidate_clean`]): entries with buffered
+//! writes belong to invocations still running locally (placement never moves
+//! an actor off a *live* component, so their image stays authoritative) and
+//! are kept; clean entries are cheap to drop and reload.
+//!
+//! Concurrency: one actor's invocations are temporally serialized by the
+//! actor lock (reentrant frames interleave on the same call chain, never in
+//! parallel), so a per-entry mutex suffices; the outer map lock is only held
+//! to look entries up, never across a store round trip.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use kar_store::Connection;
+use kar_types::{KarResult, Value};
+
+/// The in-memory image of one actor's persistent state hash.
+#[derive(Debug, Default)]
+struct CachedState {
+    /// True once the durable hash has been read through.
+    loaded: bool,
+    /// The durable image as of the last load or flush.
+    fields: BTreeMap<String, Value>,
+    /// Buffered writes since the last flush: `Some` = set, `None` = delete.
+    dirty: BTreeMap<String, Option<Value>>,
+    /// A buffered whole-hash clear, applied before `dirty` on flush.
+    cleared: bool,
+}
+
+impl CachedState {
+    fn has_pending(&self) -> bool {
+        self.cleared || !self.dirty.is_empty()
+    }
+
+    fn ensure_loaded(&mut self, conn: &Connection, key: &str) -> KarResult<()> {
+        if !self.loaded {
+            self.fields = conn.hgetall(key)?;
+            self.loaded = true;
+        }
+        Ok(())
+    }
+
+    /// The current (buffered-writes-applied) value of one field.
+    fn effective_get(&self, field: &str) -> Option<Value> {
+        if let Some(pending) = self.dirty.get(field) {
+            return pending.clone();
+        }
+        if self.cleared {
+            return None;
+        }
+        self.fields.get(field).cloned()
+    }
+
+    /// True if the current (buffered-writes-applied) hash has no fields.
+    /// Derived without cloning any value, unlike [`CachedState::effective_all`].
+    fn effective_is_empty(&self) -> bool {
+        if self.dirty.values().any(Option::is_some) {
+            return false;
+        }
+        if self.cleared {
+            return true;
+        }
+        // No pending sets: non-empty iff some durable field is not shadowed
+        // by a pending delete.
+        self.fields
+            .keys()
+            .all(|field| matches!(self.dirty.get(field), Some(None)))
+    }
+
+    /// The current (buffered-writes-applied) whole hash.
+    fn effective_all(&self) -> BTreeMap<String, Value> {
+        let mut all = if self.cleared {
+            BTreeMap::new()
+        } else {
+            self.fields.clone()
+        };
+        for (field, pending) in &self.dirty {
+            match pending {
+                Some(value) => {
+                    all.insert(field.clone(), value.clone());
+                }
+                None => {
+                    all.remove(field);
+                }
+            }
+        }
+        all
+    }
+}
+
+/// The per-component map of cached actor states, keyed by state-hash key.
+#[derive(Debug, Default)]
+pub(crate) struct StateCache {
+    entries: Mutex<HashMap<String, Arc<Mutex<CachedState>>>>,
+}
+
+impl StateCache {
+    pub(crate) fn new() -> Self {
+        StateCache::default()
+    }
+
+    fn entry(&self, key: &str) -> Arc<Mutex<CachedState>> {
+        self.entries
+            .lock()
+            .entry(key.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Number of cached actor states (tests and debugging).
+    pub(crate) fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Reads one field through the cache.
+    pub(crate) fn get(
+        &self,
+        conn: &Connection,
+        key: &str,
+        field: &str,
+    ) -> KarResult<Option<Value>> {
+        let entry = self.entry(key);
+        let mut state = entry.lock();
+        state.ensure_loaded(conn, key)?;
+        Ok(state.effective_get(field))
+    }
+
+    /// Buffers a field write, returning the previous (effective) value.
+    pub(crate) fn set(
+        &self,
+        conn: &Connection,
+        key: &str,
+        field: &str,
+        value: Value,
+    ) -> KarResult<Option<Value>> {
+        let entry = self.entry(key);
+        let mut state = entry.lock();
+        state.ensure_loaded(conn, key)?;
+        let previous = state.effective_get(field);
+        state.dirty.insert(field.to_owned(), Some(value));
+        Ok(previous)
+    }
+
+    /// Buffers several field writes.
+    pub(crate) fn set_multi(
+        &self,
+        conn: &Connection,
+        key: &str,
+        entries: impl IntoIterator<Item = (String, Value)>,
+    ) -> KarResult<()> {
+        let entry = self.entry(key);
+        let mut state = entry.lock();
+        state.ensure_loaded(conn, key)?;
+        for (field, value) in entries {
+            state.dirty.insert(field, Some(value));
+        }
+        Ok(())
+    }
+
+    /// Buffers a field delete, returning the previous (effective) value.
+    pub(crate) fn remove(
+        &self,
+        conn: &Connection,
+        key: &str,
+        field: &str,
+    ) -> KarResult<Option<Value>> {
+        let entry = self.entry(key);
+        let mut state = entry.lock();
+        state.ensure_loaded(conn, key)?;
+        let previous = state.effective_get(field);
+        state.dirty.insert(field.to_owned(), None);
+        Ok(previous)
+    }
+
+    /// Reads the whole hash through the cache.
+    pub(crate) fn get_all(
+        &self,
+        conn: &Connection,
+        key: &str,
+    ) -> KarResult<BTreeMap<String, Value>> {
+        let entry = self.entry(key);
+        let mut state = entry.lock();
+        state.ensure_loaded(conn, key)?;
+        Ok(state.effective_all())
+    }
+
+    /// Buffers a whole-hash clear, returning true if the hash (effectively)
+    /// existed.
+    pub(crate) fn clear_hash(&self, conn: &Connection, key: &str) -> KarResult<bool> {
+        let entry = self.entry(key);
+        let mut state = entry.lock();
+        state.ensure_loaded(conn, key)?;
+        let existed = !state.effective_is_empty();
+        state.cleared = true;
+        state.dirty.clear();
+        Ok(existed)
+    }
+
+    /// Makes the buffered writes of `key` durable as one store round trip
+    /// (a pure `set` batch is a single `hset_multi` command; mixes involving
+    /// deletes or a clear go through one pipeline flush). On success the
+    /// buffered writes are folded into the durable image; a clean entry
+    /// flushes for free, with zero round trips.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `KarError::Fenced` if the component has been forcefully
+    /// disconnected; the entry is dropped (the component's image is no
+    /// longer authoritative) and nothing was applied.
+    pub(crate) fn flush(&self, conn: &Connection, key: &str) -> KarResult<()> {
+        let Some(entry) = self.entries.lock().get(key).cloned() else {
+            return Ok(());
+        };
+        let mut state = entry.lock();
+        if !state.has_pending() {
+            return Ok(());
+        }
+        let sets: Vec<(String, Value)> = state
+            .dirty
+            .iter()
+            .filter_map(|(field, value)| value.clone().map(|v| (field.clone(), v)))
+            .collect();
+        let dels: Vec<&String> = state
+            .dirty
+            .iter()
+            .filter(|(_, value)| value.is_none())
+            .map(|(field, _)| field)
+            .collect();
+        let result = if state.cleared {
+            let mut pipe = conn.pipeline();
+            pipe.hclear(key);
+            if !sets.is_empty() {
+                pipe.hset_multi(key, sets);
+            }
+            pipe.flush().map(|_| ())
+        } else if dels.is_empty() {
+            conn.hset_multi(key, sets)
+        } else {
+            let mut pipe = conn.pipeline();
+            if !sets.is_empty() {
+                pipe.hset_multi(key, sets);
+            }
+            for field in dels {
+                pipe.hdel(key, field);
+            }
+            pipe.flush().map(|_| ())
+        };
+        if let Err(error) = result {
+            drop(state);
+            self.entries.lock().remove(key);
+            return Err(error);
+        }
+        // Fold the now-durable writes into the cached image.
+        if state.cleared {
+            state.fields.clear();
+            state.cleared = false;
+        }
+        let dirty = std::mem::take(&mut state.dirty);
+        for (field, value) in dirty {
+            match value {
+                Some(v) => {
+                    state.fields.insert(field, v);
+                }
+                None => {
+                    state.fields.remove(&field);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops every entry (the component was killed or fenced: its in-memory
+    /// image dies with it; unflushed writes are lost exactly like the
+    /// in-flight writes of a killed per-command component).
+    pub(crate) fn invalidate_all(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// Drops every entry with no buffered writes (recovery completed:
+    /// conservative refresh). Entries with pending writes belong to
+    /// invocations still executing locally — placement never moves an actor
+    /// off a live component, so their image remains authoritative and
+    /// dropping it would lose acknowledged-soon writes.
+    pub(crate) fn invalidate_clean(&self) {
+        self.entries
+            .lock()
+            .retain(|_, entry| entry.lock().has_pending());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_store::Store;
+    use kar_types::ComponentId;
+
+    fn setup() -> (Store, Connection, StateCache) {
+        let store = Store::new();
+        let conn = store.connect(ComponentId::from_raw(1));
+        (store, conn, StateCache::new())
+    }
+
+    #[test]
+    fn read_through_loads_once_and_buffers_writes() {
+        let (store, conn, cache) = setup();
+        conn.hset("state/A/a", "seed", Value::from(1)).unwrap();
+        let before = store.stats();
+        assert_eq!(
+            cache.get(&conn, "state/A/a", "seed").unwrap(),
+            Some(Value::from(1))
+        );
+        assert_eq!(
+            cache.set(&conn, "state/A/a", "x", Value::from(2)).unwrap(),
+            None
+        );
+        assert_eq!(
+            cache.get(&conn, "state/A/a", "x").unwrap(),
+            Some(Value::from(2)),
+            "buffered write must be visible to the activation"
+        );
+        let delta = store.stats().since(&before);
+        assert_eq!(delta.round_trips, 1, "one hgetall, writes buffered");
+        // The store does not see the write until the flush.
+        assert!(!store.admin_hgetall("state/A/a").contains_key("x"));
+        cache.flush(&conn, "state/A/a").unwrap();
+        assert_eq!(
+            store.admin_hgetall("state/A/a")["x"],
+            Value::from(2),
+            "flush makes buffered writes durable"
+        );
+        // A clean entry re-flushes for free.
+        let before = store.stats();
+        cache.flush(&conn, "state/A/a").unwrap();
+        assert_eq!(store.stats().since(&before).round_trips, 0);
+    }
+
+    #[test]
+    fn removes_and_clears_flush_through_one_pipeline() {
+        let (store, conn, cache) = setup();
+        conn.hset_multi(
+            "k",
+            [
+                ("a".to_string(), Value::from(1)),
+                ("b".to_string(), Value::from(2)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(cache.remove(&conn, "k", "a").unwrap(), Some(Value::from(1)));
+        cache.set(&conn, "k", "c", Value::from(3)).unwrap();
+        let before = store.stats();
+        cache.flush(&conn, "k").unwrap();
+        let delta = store.stats().since(&before);
+        assert_eq!(delta.round_trips, 1, "mixed set+del is one flush");
+        assert_eq!(delta.pipeline_flushes, 1);
+        let durable = store.admin_hgetall("k");
+        assert!(!durable.contains_key("a"));
+        assert_eq!(durable["b"], Value::from(2));
+        assert_eq!(durable["c"], Value::from(3));
+
+        // clear + set: the clear applies first.
+        assert!(cache.clear_hash(&conn, "k").unwrap());
+        cache.set(&conn, "k", "fresh", Value::from(9)).unwrap();
+        assert_eq!(cache.get_all(&conn, "k").unwrap().len(), 1);
+        cache.flush(&conn, "k").unwrap();
+        let durable = store.admin_hgetall("k");
+        assert_eq!(durable.len(), 1);
+        assert_eq!(durable["fresh"], Value::from(9));
+        assert!(!cache.clear_hash(&conn, "missing").unwrap());
+    }
+
+    #[test]
+    fn fenced_flush_drops_the_entry_and_applies_nothing() {
+        let (store, conn, cache) = setup();
+        cache.set(&conn, "k", "x", Value::from(1)).unwrap();
+        store.fence(ComponentId::from_raw(1));
+        assert!(cache.flush(&conn, "k").unwrap_err().is_fenced());
+        assert_eq!(cache.len(), 0, "fenced entry must be invalidated");
+        assert!(store.admin_hgetall("k").is_empty());
+    }
+
+    #[test]
+    fn invalidation_keeps_dirty_entries() {
+        let (_store, conn, cache) = setup();
+        cache.get(&conn, "clean", "x").unwrap();
+        cache.set(&conn, "dirty", "x", Value::from(1)).unwrap();
+        assert_eq!(cache.len(), 2);
+        cache.invalidate_clean();
+        assert_eq!(cache.len(), 1, "only the clean entry is dropped");
+        cache.flush(&conn, "dirty").unwrap();
+        cache.invalidate_clean();
+        assert_eq!(cache.len(), 0, "flushed entries are clean again");
+        cache.set(&conn, "dirty", "x", Value::from(1)).unwrap();
+        cache.invalidate_all();
+        assert_eq!(cache.len(), 0);
+    }
+}

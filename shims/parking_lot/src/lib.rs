@@ -11,7 +11,9 @@
 
 #![forbid(unsafe_code)]
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self};
+
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A non-poisoning mutual exclusion lock (API-compatible subset of
 /// `parking_lot::Mutex`).
