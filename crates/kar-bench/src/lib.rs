@@ -30,6 +30,11 @@
 //!   an actor state-flush workload measuring store round trips per
 //!   invocation with the actor-state cache off/on (the `bench_store` binary
 //!   emits `BENCH_store.json`, and its `--smoke` mode runs in CI).
+//! * [`delivery`] — the delivery-plane harness: end-to-end call
+//!   throughput/latency percentiles with per-destination response batching
+//!   off vs on, and consumer wakeup latency under the old rotating park vs
+//!   the shared wait group (the `bench_delivery` binary emits
+//!   `BENCH_delivery.json`, and its `--smoke` mode runs in CI).
 //!
 //! Each table/figure has a dedicated binary (see `bin/`) and a Criterion
 //! bench (see `benches/`); the binaries print the same rows the paper
@@ -38,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delivery;
 pub mod fault;
 pub mod latency;
 pub mod lock_granularity;
@@ -46,6 +52,7 @@ pub mod report;
 pub mod store;
 pub mod throughput;
 
+pub use delivery::{DeliveryConfig, DeliveryReport, WakeupConfig, WakeupReport};
 pub use fault::{FailureSample, FaultConfig, FaultReport};
 pub use latency::{LatencyConfig, LatencyRow};
 pub use lock_granularity::{ContendedConfig, ContendedReport, SkewedConfig, SkewedReport};

@@ -24,6 +24,8 @@ use std::time::{Duration, Instant};
 use kar::{Actor, ActorContext, Mesh, MeshConfig, Outcome};
 use kar_types::{ActorRef, KarResult, LatencyProfile, Value};
 
+use crate::report::percentile;
+
 /// Configuration of one partition-scaling measurement.
 #[derive(Debug, Clone)]
 pub struct PartitionSweepConfig {
@@ -99,15 +101,6 @@ impl Actor for Echo {
             ))),
         }
     }
-}
-
-/// Nearest-rank percentile of an ascending-sorted series.
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// Measures call throughput with `partitions` home partitions per component.

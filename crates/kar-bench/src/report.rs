@@ -12,6 +12,12 @@ pub struct Summary {
     pub stddev: Duration,
     /// Median.
     pub median: Duration,
+    /// 50th percentile (nearest rank; the median by another route, kept so
+    /// latency gates read uniformly as p50/p99).
+    pub p50: Duration,
+    /// 99th percentile (nearest rank) — the tail the delivery-plane gates
+    /// bound; means hide exactly the slice-wait outliers they exist for.
+    pub p99: Duration,
     /// Minimum.
     pub min: Duration,
     /// Maximum.
@@ -45,6 +51,8 @@ impl Summary {
             average: mean,
             stddev: Duration::from_secs_f64(variance.sqrt()),
             median,
+            p50: percentile(&sorted, 50.0),
+            p99: percentile(&sorted, 99.0),
             min: sorted[0],
             max: sorted[n - 1],
         })
@@ -74,6 +82,18 @@ pub fn median(samples: &[Duration]) -> Duration {
     Summary::of(samples)
         .map(|s| s.median)
         .unwrap_or(Duration::ZERO)
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** series (`Duration::ZERO`
+/// for an empty one). Shared by the latency-shaped harnesses: the partition
+/// and delivery sweeps gate on p50/p99, not means — a mean hides exactly the
+/// rotation-slice and ack-serialization outliers those gates exist to bound.
+pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
 }
 
 #[cfg(test)]
@@ -112,5 +132,18 @@ mod tests {
     #[test]
     fn millis_formatting() {
         assert_eq!(millis(Duration::from_micros(2600)), "2.60");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_sorted_input() {
+        let sorted = secs(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(percentile(&sorted, 0.0), Duration::from_secs(1));
+        assert_eq!(percentile(&sorted, 50.0), Duration::from_secs(3));
+        assert_eq!(percentile(&sorted, 99.0), Duration::from_secs(5));
+        assert_eq!(percentile(&[], 99.0), Duration::ZERO);
+        let summary = Summary::of(&sorted).unwrap();
+        assert_eq!(summary.p50, Duration::from_secs(3));
+        assert_eq!(summary.p99, Duration::from_secs(5));
+        assert_eq!(summary.p50, summary.median);
     }
 }

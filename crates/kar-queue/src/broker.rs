@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::{Mutex, RwLock};
 
-use kar_types::{ComponentId, Epoch, KarError, KarResult, WaitSignal};
+use kar_types::{ComponentId, Epoch, KarError, KarResult, WaitSignal, WaitSignalGroup};
 
 use crate::config::BrokerConfig;
 use crate::group::{Group, GroupEvent, GroupView, MemberInfo, MemberState};
@@ -94,6 +94,13 @@ struct Partition<M> {
     /// a slow consumer opened under the previous assignment fails its next
     /// poll instead of double-committing records behind the new owner's back.
     owner_epoch: AtomicU64,
+    /// Shared wait groups watching this partition: a consumer thread that
+    /// owns several partitions joins one [`WaitSignalGroup`] through each of
+    /// its consumers, and every append (or fence) notifies the group — so a
+    /// multi-partition consumer wakes immediately on any member's append
+    /// instead of rotating a park across its members. Usually empty or a
+    /// single entry; appends read-lock it.
+    watchers: RwLock<Vec<Arc<WaitSignalGroup>>>,
 }
 
 impl<M> Default for Partition<M> {
@@ -102,6 +109,18 @@ impl<M> Default for Partition<M> {
             log: Mutex::new(PartitionLog::default()),
             signal: WaitSignal::new(),
             owner_epoch: AtomicU64::new(0),
+            watchers: RwLock::new(Vec::new()),
+        }
+    }
+}
+
+impl<M> Partition<M> {
+    /// Signals an event on this partition: wakes consumers parked on the
+    /// partition's own append signal and notifies every attached wait group.
+    fn notify(&self) {
+        self.signal.bump();
+        for group in self.watchers.read().iter() {
+            group.notify();
         }
     }
 }
@@ -341,7 +360,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
     pub fn fence_partition(&self, topic: &str, partition: usize) -> KarResult<Epoch> {
         let part = self.lookup_partition(topic, partition)?;
         let raw = part.owner_epoch.fetch_add(1, Ordering::AcqRel) + 1;
-        part.signal.bump();
+        part.notify();
         Ok(Epoch::from_raw(raw))
     }
 
@@ -474,7 +493,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             );
             offset
         };
-        part.signal.bump();
+        part.notify();
         Ok(offset)
     }
 
@@ -513,7 +532,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             );
             first..end
         };
-        part.signal.bump();
+        part.notify();
         Ok(range)
     }
 
@@ -573,7 +592,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
         let part = self.lookup_partition(topic, partition)?;
         let now = self.now();
         let offset = part.log.lock().append(now, payload);
-        part.signal.bump();
+        part.notify();
         Ok(offset)
     }
 
@@ -601,7 +620,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             }
             first..log.end_offset()
         };
-        part.signal.bump();
+        part.notify();
         Ok(range)
     }
 
@@ -998,6 +1017,34 @@ impl<M: Clone + Send + Sync + 'static> Consumer<M> {
                 return Ok(records);
             }
             self.partition_ref.signal.wait(seen, deadline - now);
+        }
+    }
+
+    /// Attaches this consumer's partition to a shared [`WaitSignalGroup`]:
+    /// every subsequent append (or fence) of the partition notifies the
+    /// group, and the group's membership count grows by one. A consumer
+    /// thread owning several partitions attaches them all to one group and
+    /// parks on it between sweeps, waking immediately on any member's
+    /// append. Attaching the same group twice is a no-op.
+    pub fn join_wait_group(&self, group: &Arc<WaitSignalGroup>) {
+        let mut watchers = self.partition_ref.watchers.write();
+        if !watchers.iter().any(|g| Arc::ptr_eq(g, group)) {
+            watchers.push(Arc::clone(group));
+            group.join();
+        }
+    }
+
+    /// Detaches this consumer's partition from `group` (no-op if it was not
+    /// attached): appends stop notifying the group and the membership count
+    /// shrinks. Called when a consumer is dropped — fenced during re-homing,
+    /// or retired after its adopted partition drained — so dead groups are
+    /// never notified and retirement provably leaves the wait group.
+    pub fn leave_wait_group(&self, group: &Arc<WaitSignalGroup>) {
+        let mut watchers = self.partition_ref.watchers.write();
+        if let Some(index) = watchers.iter().position(|g| Arc::ptr_eq(g, group)) {
+            watchers.remove(index);
+            drop(watchers);
+            group.leave();
         }
     }
 
@@ -1482,6 +1529,86 @@ mod tests {
         let records = consumer.poll_wait(10, Duration::from_secs(5)).unwrap();
         assert_eq!(*records[0].payload, 8);
         admin.join().unwrap();
+    }
+
+    #[test]
+    fn wait_group_wakes_on_any_member_append() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 4).unwrap();
+        let consumers: Vec<Consumer<u32>> = (0..4)
+            .map(|p| broker.consumer(c(1), "t", p).unwrap())
+            .collect();
+        let group = Arc::new(WaitSignalGroup::new());
+        for consumer in &consumers {
+            consumer.join_wait_group(&group);
+        }
+        assert_eq!(group.member_count(), 4);
+        // Re-joining is a no-op.
+        consumers[0].join_wait_group(&group);
+        assert_eq!(group.member_count(), 4);
+
+        // An append to ANY member partition wakes a group waiter promptly —
+        // including one the waiter last swept long ago.
+        for target in [3usize, 1, 2, 0] {
+            let seen = group.current();
+            let producer_broker = broker.clone();
+            let producer = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                producer_broker
+                    .producer(c(2))
+                    .send("t", target, target as u32)
+                    .unwrap();
+            });
+            let t0 = Instant::now();
+            group.wait(seen, Duration::from_secs(5));
+            assert!(
+                t0.elapsed() < Duration::from_secs(2),
+                "group waiter slept through an append to member partition {target}"
+            );
+            producer.join().unwrap();
+            let records = consumers[target].poll(10).unwrap();
+            assert_eq!(records.len(), 1);
+        }
+
+        // Detached members stop notifying the group.
+        consumers[0].leave_wait_group(&group);
+        assert_eq!(group.member_count(), 3);
+        let seen = group.current();
+        broker.producer(c(2)).send("t", 0, 9).unwrap();
+        let t0 = Instant::now();
+        group.wait(seen, Duration::from_millis(30));
+        assert!(
+            t0.elapsed() >= Duration::from_millis(30),
+            "a detached partition still notified the group"
+        );
+        // Double-leave is a no-op.
+        consumers[0].leave_wait_group(&group);
+        assert_eq!(group.member_count(), 3);
+    }
+
+    #[test]
+    fn wait_group_is_notified_by_admin_appends_and_fences() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 2).unwrap();
+        let consumer = broker.consumer(c(1), "t", 1).unwrap();
+        let group = Arc::new(WaitSignalGroup::new());
+        consumer.join_wait_group(&group);
+
+        // Reconciliation's admin batch wakes the group.
+        let seen = group.current();
+        broker.admin_append_batch("t", 1, vec![1, 2]).unwrap();
+        let t0 = Instant::now();
+        group.wait(seen, Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_millis(100));
+
+        // A partition fence wakes the group so the consumer observes its
+        // fencing promptly instead of sleeping out its park.
+        let seen = group.current();
+        broker.fence_partition("t", 1).unwrap();
+        let t0 = Instant::now();
+        group.wait(seen, Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_millis(100));
+        assert!(consumer.poll(1).unwrap_err().is_fenced());
     }
 
     #[test]

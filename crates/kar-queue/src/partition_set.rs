@@ -96,6 +96,24 @@ impl PartitionSet {
         self.adopted.sort_unstable();
     }
 
+    /// Retires an *adopted* partition: removes it from the drain set. Home
+    /// partitions are never retired (they are the hash-routing targets);
+    /// returns true only if the partition was an adopted member.
+    ///
+    /// Recovery re-homes a failed component's partitions as drain-only
+    /// adoptees; once retention has expired everything a stale sender could
+    /// still have appended after the placement rewrite, the adopter fences
+    /// the partition, drops its consumer, and shrinks the set with this.
+    pub fn retire_adopted(&mut self, partition: usize) -> bool {
+        match self.adopted.iter().position(|p| *p == partition) {
+            Some(index) => {
+                self.adopted.remove(index);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The home partition `key`'s records are routed to: a stable hash of the
     /// key over the home set. Returns `None` only for an empty home set.
     ///
@@ -185,6 +203,28 @@ mod tests {
             seen.insert(set.partition_for_key(&format!("Ledger/a{i}")).unwrap());
         }
         assert_eq!(seen.len(), 4, "256 keys should reach all 4 home partitions");
+    }
+
+    #[test]
+    fn retirement_removes_adopted_members_only() {
+        let mut set = PartitionSet::contiguous(0, 2);
+        set.adopt([5, 7]);
+        assert!(set.retire_adopted(5));
+        assert_eq!(set.adopted(), &[7]);
+        assert!(!set.contains(5));
+        // Home partitions and unknown partitions are refused.
+        assert!(!set.retire_adopted(0));
+        assert!(!set.retire_adopted(5));
+        assert_eq!(set.home(), &[0, 1]);
+        // Routing is untouched by retirement (home set never changes).
+        let before: Vec<usize> = (0..16)
+            .map(|i| set.partition_for_key(&format!("k{i}")).unwrap())
+            .collect();
+        assert!(set.retire_adopted(7));
+        for (i, expected) in before.iter().enumerate() {
+            assert_eq!(set.partition_for_key(&format!("k{i}")), Some(*expected));
+        }
+        assert!(set.adopted().is_empty());
     }
 
     #[test]

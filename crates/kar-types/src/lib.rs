@@ -13,6 +13,7 @@
 //! * [`time`] — wall-clock/scaled clocks and the latency profiles used to
 //!   emulate the paper's three deployment configurations.
 //! * [`sync`] — the shared [`WaitSignal`] event-counter/condvar primitive
+//!   and the [`WaitSignalGroup`] multi-source variant consumers park on
 //!   (the "poll_wait idiom" used by the broker and the runtime).
 //!
 //! # Example
@@ -39,6 +40,6 @@ pub mod value;
 pub use error::{KarError, KarResult};
 pub use ids::{ActorId, ActorRef, ActorType, ComponentId, Epoch, NodeId, RequestId};
 pub use message::{CallKind, Envelope, Payload, RequestMessage, ResponseMessage};
-pub use sync::WaitSignal;
+pub use sync::{WaitSignal, WaitSignalGroup};
 pub use time::{Clock, DeploymentProfile, LatencyProfile, ScaledClock, SystemClock, TimeScale};
 pub use value::Value;

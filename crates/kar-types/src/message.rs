@@ -12,6 +12,8 @@
 //!   instructs the receiving sidecar to postpone the retry of the request
 //!   until a response from that callee arrives (the happen-before guarantee).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::KarError;
@@ -116,33 +118,40 @@ impl RequestMessage {
 }
 
 /// A response message carrying the completion of a request back to its caller.
+///
+/// The payload is `Arc`-shared: the partition log's copy, the delivered
+/// envelope, and the pending-call hand-off channel all reference one
+/// materialized [`Payload`], so the response leg of a call copies the result
+/// value at most once — when the blocked caller finally takes ownership at
+/// the API boundary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResponseMessage {
     /// The request this response completes.
     pub id: RequestId,
     /// The request id of the caller waiting for this response, if any.
     pub caller: Option<RequestId>,
-    /// The completion payload.
-    pub result: Payload,
+    /// The completion payload, shared across delivery and hand-off.
+    pub result: Arc<Payload>,
 }
 
 impl ResponseMessage {
-    /// Builds a successful response.
-    pub fn ok(id: RequestId, caller: Option<RequestId>, value: Value) -> Self {
+    /// Builds a response from an already-materialized payload.
+    pub fn new(id: RequestId, caller: Option<RequestId>, result: Payload) -> Self {
         ResponseMessage {
             id,
             caller,
-            result: Ok(value),
+            result: Arc::new(result),
         }
+    }
+
+    /// Builds a successful response.
+    pub fn ok(id: RequestId, caller: Option<RequestId>, value: Value) -> Self {
+        ResponseMessage::new(id, caller, Ok(value))
     }
 
     /// Builds an error response.
     pub fn err(id: RequestId, caller: Option<RequestId>, error: KarError) -> Self {
-        ResponseMessage {
-            id,
-            caller,
-            result: Err(error),
-        }
+        ResponseMessage::new(id, caller, Err(error))
     }
 }
 
@@ -191,7 +200,7 @@ impl Envelope {
         match self {
             Envelope::Request(r) => r.approximate_size(),
             Envelope::Response(r) => {
-                24 + match &r.result {
+                24 + match r.result.as_ref() {
                     Ok(v) => v.approximate_size(),
                     Err(e) => e.to_string().len(),
                 }
@@ -280,9 +289,21 @@ mod tests {
     #[test]
     fn response_constructors() {
         let ok = ResponseMessage::ok(RequestId::from_raw(1), None, Value::Null);
-        assert_eq!(ok.result, Ok(Value::Null));
+        assert_eq!(*ok.result, Ok(Value::Null));
         let err = ResponseMessage::err(RequestId::from_raw(1), None, KarError::application("bad"));
         assert!(err.result.is_err());
+    }
+
+    #[test]
+    fn response_clones_share_one_payload() {
+        let response = ResponseMessage::ok(RequestId::from_raw(1), None, Value::from("big"));
+        let delivered = response.clone();
+        let handed_off = Arc::clone(&delivered.result);
+        assert!(
+            Arc::ptr_eq(&response.result, &delivered.result),
+            "cloning a response must share its payload, not deep-copy it"
+        );
+        assert!(Arc::ptr_eq(&response.result, &handed_off));
     }
 
     #[test]

@@ -70,6 +70,74 @@ impl WaitSignal {
     }
 }
 
+/// One wakeup signal shared by a *group* of event sources.
+///
+/// A consumer thread that owns several queue partitions used to park on one
+/// member's append signal at a time, rotating each idle slice — so an append
+/// to any *other* member waited out up to a full slice before being seen. A
+/// `WaitSignalGroup` closes that: every member source holds a reference to
+/// the same group and calls [`WaitSignalGroup::notify`] when it has an
+/// event, and the single waiter parks once on the shared condvar, waking
+/// immediately whichever member fired.
+///
+/// The waiting protocol is the same lost-wakeup-free `poll_wait` idiom as
+/// [`WaitSignal`]: snapshot [`WaitSignalGroup::current`], re-check every
+/// member's condition, then park in [`WaitSignalGroup::wait`]. An event on
+/// any member between the snapshot and the park wakes the waiter at once.
+///
+/// Membership is tracked as a plain counter ([`WaitSignalGroup::join`] /
+/// [`WaitSignalGroup::leave`]): the broker uses it so partition retirement
+/// can assert a retired partition really left its consumer's wait group.
+#[derive(Debug, Default)]
+pub struct WaitSignalGroup {
+    signal: WaitSignal,
+    members: std::sync::atomic::AtomicUsize,
+}
+
+impl WaitSignalGroup {
+    /// Creates an empty group at sequence zero.
+    pub fn new() -> Self {
+        WaitSignalGroup::default()
+    }
+
+    /// The current event sequence across every member; pass it to
+    /// [`WaitSignalGroup::wait`] to park until the next member event.
+    pub fn current(&self) -> u64 {
+        self.signal.current()
+    }
+
+    /// Records an event on one member: bumps the shared sequence and wakes
+    /// the parked waiter(s).
+    pub fn notify(&self) {
+        self.signal.bump();
+    }
+
+    /// Blocks until any member records an event past `seen`, or `timeout`
+    /// elapses.
+    pub fn wait(&self, seen: u64, timeout: Duration) {
+        self.signal.wait(seen, timeout);
+    }
+
+    /// Registers one member source.
+    pub fn join(&self) {
+        self.members
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Deregisters one member source and wakes the waiter so it re-checks
+    /// its (now smaller) member set.
+    pub fn leave(&self) {
+        self.members
+            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        self.signal.bump();
+    }
+
+    /// Number of member sources currently joined.
+    pub fn member_count(&self) -> usize {
+        self.members.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +175,49 @@ mod tests {
         let t0 = Instant::now();
         signal.wait(seen, Duration::from_secs(5));
         assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn group_wakes_on_any_member_and_tracks_membership() {
+        let group = Arc::new(WaitSignalGroup::new());
+        group.join();
+        group.join();
+        assert_eq!(group.member_count(), 2);
+
+        // An event on "some member" wakes the single parked waiter.
+        let seen = group.current();
+        let notifier = group.clone();
+        let thread = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            notifier.notify();
+        });
+        let t0 = Instant::now();
+        group.wait(seen, Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_secs(2));
+        thread.join().unwrap();
+
+        // A notify between the snapshot and the park is not lost.
+        let seen = group.current();
+        group.notify();
+        let t0 = Instant::now();
+        group.wait(seen, Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_millis(100));
+
+        // Leaving wakes the waiter (so it re-checks its member set) and
+        // shrinks the count.
+        let seen = group.current();
+        group.leave();
+        let t0 = Instant::now();
+        group.wait(seen, Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_millis(100));
+        assert_eq!(group.member_count(), 1);
+    }
+
+    #[test]
+    fn group_wait_times_out_when_idle() {
+        let group = WaitSignalGroup::new();
+        let t0 = Instant::now();
+        group.wait(group.current(), Duration::from_millis(10));
+        assert!(t0.elapsed() >= Duration::from_millis(10));
     }
 }

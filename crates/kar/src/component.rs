@@ -25,26 +25,27 @@
 //! are cut off by the broker's per-partition ownership epochs.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
 
-use kar_queue::{Broker, PartitionSet, Producer, Record};
+use kar_queue::{Broker, Consumer, PartitionSet, Producer, Record};
 use kar_store::{Connection, Store};
 use kar_types::ids::RequestIdGenerator;
 use kar_types::RequestId;
 use kar_types::{
     ActorRef, CallKind, ComponentId, Envelope, KarError, KarResult, NodeId, Payload,
-    RequestMessage, ResponseMessage, Value, WaitSignal,
+    RequestMessage, ResponseMessage, Value, WaitSignal, WaitSignalGroup,
 };
 
 use crate::actor::{ActorFactory, Outcome};
 use crate::aging::AgingSet;
 use crate::config::{CancellationPolicy, MeshConfig};
 use crate::context::{state_key, ActorContext};
+use crate::delivery::ResponseBatcher;
 use crate::dispatch::DispatchPool;
 use crate::placement::{LiveSet, PlacementService};
 use crate::state_cache::StateCache;
@@ -121,8 +122,21 @@ pub struct ComponentCore {
     /// a queue is still going to be processed. Grows when partitions are
     /// adopted.
     consumed_offsets: RwLock<HashMap<usize, Arc<AtomicU64>>>,
+    /// Per-destination-partition response batching (group commit): bursts of
+    /// completions towards one caller partition share a lock acquisition and
+    /// a durable ack. `None` when `MeshConfig::response_batching` is off.
+    responses: Option<ResponseBatcher>,
+    /// Broker-clock instants at which each currently-adopted partition was
+    /// adopted; drives the retirement horizon (see `maybe_retire_partitions`).
+    adopted_at: Mutex<HashMap<usize, Instant>>,
+    /// Adopted partitions this component has retired (fenced, dropped from
+    /// their consumer's wait group, removed from the partition set).
+    retired: Mutex<Vec<usize>>,
+    /// Live consumer threads; retirement returns this to the pre-failure
+    /// steady state once every adopted partition of a thread is retired.
+    active_consumers: AtomicUsize,
     actors: Mutex<HashMap<ActorRef, ActorSlot>>,
-    pending_calls: Mutex<HashMap<RequestId, Sender<Payload>>>,
+    pending_calls: Mutex<HashMap<RequestId, Sender<Arc<Payload>>>>,
     deferred: Mutex<HashMap<RequestId, Vec<RequestMessage>>>,
     /// Response ids seen by this component. Aged out alongside queue
     /// retention: a response old enough to leave the set has also expired
@@ -183,7 +197,14 @@ impl ComponentCore {
             .into_iter()
             .map(|partition| (partition, Arc::new(AtomicU64::new(0))))
             .collect();
-        let config_state_cache = config.actor_state_cache.then(StateCache::new);
+        // State-cache eviction rides the *single* retention window (not the
+        // doubled bookkeeping interval): a clean entry whose actor has been
+        // idle for one to two windows is dropped and reloaded on next touch.
+        let state_cache_interval = config.time_scale.compress(config.retention);
+        let config_state_cache = config
+            .actor_state_cache
+            .then(|| StateCache::new(state_cache_interval));
+        let response_batcher = config.response_batching.then(ResponseBatcher::new);
         ComponentCore {
             id,
             node,
@@ -207,6 +228,10 @@ impl ComponentCore {
             paused: AtomicBool::new(false),
             resume_signal: WaitSignal::new(),
             consumed_offsets: RwLock::new(consumed_offsets),
+            responses: response_batcher,
+            adopted_at: Mutex::new(HashMap::new()),
+            retired: Mutex::new(Vec::new()),
+            active_consumers: AtomicUsize::new(0),
             actors: Mutex::new(HashMap::new()),
             pending_calls: Mutex::new(HashMap::new()),
             deferred: Mutex::new(HashMap::new()),
@@ -288,6 +313,11 @@ impl ComponentCore {
         self.pending_calls.lock().clear();
         self.deferred.lock().clear();
         self.inflight.lock().clear();
+        // Buffered (not yet appended) completions die with the process; the
+        // affected requests' queue copies drive the retry.
+        if let Some(responses) = &self.responses {
+            responses.clear();
+        }
         // Records already routed to shard queues are in-memory state: lost
         // with the process. Their queue copies survive and drive the retry.
         self.pool.clear_pending();
@@ -350,6 +380,39 @@ impl ComponentCore {
             self.partitions.read(),
             offsets.join(", "),
         );
+        // The delivery plane: consumer threads, per-adoptee retirement
+        // horizon (on the retention clock), retirements performed, and the
+        // response-batching amortization achieved so far.
+        {
+            let delay = self.config.scaled_retirement_delay();
+            let now = Instant::now();
+            let horizons: Vec<String> = {
+                let adopted_at = self.adopted_at.lock();
+                let mut entries: Vec<(usize, Duration)> = adopted_at
+                    .iter()
+                    .map(|(partition, adopted)| {
+                        (
+                            *partition,
+                            delay.saturating_sub(now.duration_since(*adopted)),
+                        )
+                    })
+                    .collect();
+                entries.sort_unstable();
+                entries
+                    .into_iter()
+                    .map(|(partition, left)| format!("{partition}:{left:.1?}"))
+                    .collect()
+            };
+            let (enqueued, flushes) = self.response_batch_stats();
+            let _ = writeln!(
+                out,
+                "  delivery: consumers={} retire_in=[{}] retired={:?} \
+                 response_batches={flushes}/{enqueued}",
+                self.consumer_thread_count(),
+                horizons.join(", "),
+                self.retired.lock(),
+            );
+        }
         out.push_str(&self.pool.debug_snapshot());
         match self.actors.try_lock() {
             Some(actors) => {
@@ -521,14 +584,17 @@ impl ComponentCore {
         Ok(())
     }
 
-    fn send_request_to_partition(
-        &self,
-        message: RequestMessage,
-        partition: usize,
-    ) -> KarResult<()> {
-        self.producer
-            .send(&self.topic, partition, Envelope::Request(message))?;
-        Ok(())
+    /// Appends `envelope` to `partition` of this component's topic, through
+    /// the response batcher (one lock + one durable ack per burst towards
+    /// the partition) when `MeshConfig::response_batching` is on, or as a
+    /// plain keyed append otherwise.
+    fn send_completion(&self, partition: usize, envelope: Envelope) {
+        match &self.responses {
+            Some(batcher) => batcher.enqueue(&self.producer, &self.topic, partition, envelope),
+            None => {
+                let _ = self.producer.send(&self.topic, partition, envelope);
+            }
+        }
     }
 
     /// Sends the response for `request` to the queue of whoever is waiting
@@ -540,23 +606,18 @@ impl ComponentCore {
             return;
         }
         self.sidecar_hop();
-        let response = ResponseMessage {
-            id: request.id,
-            caller: request.caller,
-            result,
-        };
-        // Fast path: the caller's component is alive, deliver directly to
-        // the partition of its set the response key hashes to (the broker's
-        // keyed producer API, as for requests).
+        // One materialization for the whole delivery path: the queue copy,
+        // the delivered envelope, and the pending-call hand-off all share
+        // this `Arc`ed payload.
+        let response = ResponseMessage::new(request.id, request.caller, result);
+        // Fast path: the caller's component is alive, deliver to the
+        // partition of its set the response key hashes to (the routing the
+        // broker's keyed producer API applies), batched per destination.
         if let Some(reply_to) = request.reply_to {
             if self.live.read().contains(&reply_to) {
-                if let Some(set) = self.topology.read().get(&reply_to).cloned() {
-                    let _ = self.producer.send_keyed(
-                        &self.topic,
-                        &set,
-                        &Self::response_key(request),
-                        Envelope::Response(response),
-                    );
+                if let Some(partition) = self.partition_for(reply_to, &Self::response_key(request))
+                {
+                    self.send_completion(partition, Envelope::Response(response));
                     return;
                 }
             }
@@ -736,7 +797,7 @@ impl ComponentCore {
         self.send_request(message)
     }
 
-    fn register_pending(&self, id: RequestId) -> crossbeam::channel::Receiver<Payload> {
+    fn register_pending(&self, id: RequestId) -> crossbeam::channel::Receiver<Arc<Payload>> {
         let (tx, rx) = bounded(1);
         self.pending_calls.lock().insert(id, tx);
         rx
@@ -745,7 +806,7 @@ impl ComponentCore {
     fn wait_for_response(
         self: &Arc<Self>,
         id: RequestId,
-        receiver: crossbeam::channel::Receiver<Payload>,
+        receiver: crossbeam::channel::Receiver<Arc<Payload>>,
     ) -> KarResult<Value> {
         // About to park: if this thread is a dispatch worker, hand its shard
         // to a replacement drainer first, so the shard keeps making progress
@@ -758,7 +819,10 @@ impl ComponentCore {
         match outcome {
             Ok(payload) => {
                 self.sidecar_hop();
-                payload
+                // The only payload copy on the response path: the caller
+                // takes ownership here (the queue copy keeps its reference
+                // until retention expires it).
+                Arc::try_unwrap(payload).unwrap_or_else(|shared| (*shared).clone())
             }
             Err(RecvTimeoutError::Timeout) => Err(KarError::Timeout {
                 request: id,
@@ -783,7 +847,9 @@ impl ComponentCore {
             deferred_map.remove(&response.id)
         };
         if let Some(sender) = self.pending_calls.lock().remove(&response.id) {
-            let _ = sender.send(response.result.clone());
+            // Hand the blocked caller the shared payload — no deep copy; the
+            // caller materializes an owned value once, at the API boundary.
+            let _ = sender.send(Arc::clone(&response.result));
         }
         // Unblock any re-homed caller whose retry was waiting for this callee
         // to settle (happen-before). Re-submitted through the shard queues so
@@ -983,7 +1049,10 @@ impl ComponentCore {
                             // continuation bypasses the mailbox when its queue
                             // copy arrives (§4.1). It is sent straight to the
                             // actor's own home partition here — the hash the
-                            // continuation's copy would take anyway.
+                            // continuation's copy would take anyway — through
+                            // the same per-destination batching as responses,
+                            // so a continuation produced while another
+                            // completion's ack is in flight rides its flush.
                             {
                                 let mut actors = self.actors.lock();
                                 if let Some(slot) = actors.get_mut(&request.target) {
@@ -991,7 +1060,7 @@ impl ComponentCore {
                                 }
                             }
                             if let Some(partition) = self.own_partition_for(&request.target) {
-                                let _ = self.send_request_to_partition(tail, partition);
+                                self.send_completion(partition, Envelope::Request(tail));
                             }
                             return;
                         }
@@ -1156,18 +1225,24 @@ impl ComponentCore {
 
     fn spawn_consumer(self: &Arc<Self>, index: usize, partitions: Vec<usize>) {
         let consumer_core = Arc::clone(self);
+        self.active_consumers.fetch_add(1, Ordering::SeqCst);
         std::thread::Builder::new()
             .name(format!("kar-consumer-{}-{index}", self.name))
-            .spawn(move || consumer_core.consumer_loop(partitions))
+            .spawn(move || {
+                let core = Arc::clone(&consumer_core);
+                consumer_core.consumer_loop(partitions);
+                core.active_consumers.fetch_sub(1, Ordering::SeqCst);
+            })
             .expect("failed to spawn consumer thread");
     }
 
     /// Takes over consuming `adopted` partitions re-homed from a failed
-    /// component: records their consumed offsets, extends this component's
-    /// partition set (adopted partitions are drained but never hash-routed
-    /// to, so request routing is unaffected) and spawns a consumer thread
-    /// for the range. Called by the reconciliation leader after it fenced
-    /// the partitions' previous owners.
+    /// component: records their consumed offsets and adoption times (the
+    /// retirement clock starts here), extends this component's partition set
+    /// (adopted partitions are drained but never hash-routed to, so request
+    /// routing is unaffected) and spawns a consumer thread for the range.
+    /// Called by the reconciliation leader after it fenced the partitions'
+    /// previous owners.
     pub(crate) fn adopt_partitions(self: &Arc<Self>, adopted: Vec<usize>) {
         if adopted.is_empty() || !self.is_alive() {
             return;
@@ -1178,6 +1253,13 @@ impl ComponentCore {
                 offsets
                     .entry(*partition)
                     .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+            }
+        }
+        {
+            let now = Instant::now();
+            let mut adopted_at = self.adopted_at.lock();
+            for partition in &adopted {
+                adopted_at.insert(*partition, now);
             }
         }
         self.partitions.write().adopt(adopted.iter().copied());
@@ -1242,38 +1324,37 @@ impl ComponentCore {
         }
     }
 
-    /// One consumer thread draining `assigned` partitions. With a single
-    /// partition (the default 1:1 layout) it parks on that partition's
-    /// append signal; with several it sweeps them and parks on a rotating
-    /// member when all are idle. A fenced consumer is dropped individually —
+    /// One consumer thread draining `assigned` partitions. Every assigned
+    /// partition joins one shared [`WaitSignalGroup`]; the thread sweeps its
+    /// members and, when all are idle, parks *once* on the group — an append
+    /// to **any** member wakes it immediately, so `consumers_per_component <
+    /// partitions` no longer pays the old 2 ms rotation slice for appends to
+    /// non-parked partitions. A fenced consumer is dropped individually —
     /// partition fencing (the partition was reassigned during recovery)
     /// retires just that partition's consumer, while component fencing
-    /// retires them all and ends the thread.
+    /// retires them all and ends the thread. Adopted partitions past their
+    /// retirement horizon are retired here (see `maybe_retire_partitions`);
+    /// a thread whose consumers are all retired exits, returning the
+    /// consumer-thread count to its pre-failure steady state.
     fn consumer_loop(self: Arc<Self>, assigned: Vec<usize>) {
-        let mut consumers: Vec<kar_queue::Consumer<Envelope>> = assigned
+        let group = Arc::new(WaitSignalGroup::new());
+        let mut consumers: Vec<Consumer<Envelope>> = assigned
             .iter()
             .filter_map(|partition| self.broker.consumer(self.id, &self.topic, *partition).ok())
             .collect();
+        for consumer in &consumers {
+            consumer.join_wait_group(&group);
+        }
         let idle = Duration::from_millis(2);
-        let mut park_rotation = 0usize;
         while self.is_alive() && !consumers.is_empty() {
             if self.is_paused() {
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
-            if consumers.len() == 1 {
-                // poll_wait parks on the broker's append signal instead of
-                // busy polling, so an idle component consumes (almost) no
-                // CPU.
-                match consumers[0].poll_wait(64, idle) {
-                    Ok(records) => self.route_records(consumers[0].partition(), records),
-                    Err(_) => return, // fenced: partition or component gone
-                }
-                continue;
-            }
-            // Sweep every assigned partition once, then park on one of them
-            // (rotating) so an append to any partition is seen within one
-            // idle slice.
+            // Snapshot the group sequence BEFORE sweeping: an append landing
+            // on any member between its poll and the park wakes us at once
+            // (the lost-wakeup-free poll_wait idiom, now group-wide).
+            let seen = group.current();
             let mut drained = false;
             let mut index = 0;
             while index < consumers.len() {
@@ -1286,25 +1367,96 @@ impl ComponentCore {
                         index += 1;
                     }
                     Err(_) => {
+                        // Fenced: the partition was reassigned (or the
+                        // component is gone). Leave the wait group so dead
+                        // consumers stop receiving notifications.
+                        consumers[index].leave_wait_group(&group);
                         consumers.remove(index);
                     }
                 }
             }
+            self.maybe_retire_partitions(&mut consumers, &group);
             if consumers.is_empty() {
-                return;
+                break;
             }
             if !drained {
-                park_rotation = (park_rotation + 1) % consumers.len();
-                match consumers[park_rotation].poll_wait(64, idle) {
-                    Ok(records) => {
-                        self.route_records(consumers[park_rotation].partition(), records);
-                    }
-                    Err(_) => {
-                        consumers.remove(park_rotation);
-                    }
-                }
+                group.wait(seen, idle);
             }
         }
+        // Detach survivors on the way out (component killed): partitions
+        // must not keep notifying — or keep alive — a dead thread's group.
+        for consumer in &consumers {
+            consumer.leave_wait_group(&group);
+        }
+    }
+
+    /// Retires adopted partitions whose retirement horizon has passed and
+    /// whose log is fully drained: fences the partition (any straggling
+    /// consumer of an older assignment fails its next poll), detaches it
+    /// from this thread's wait group, drops its consumer, and shrinks the
+    /// partition set — locally, in the shared topology, and in the broker's
+    /// assignment table and group view.
+    ///
+    /// Safety of the horizon: adopted partitions are never hash-routed to,
+    /// so after recovery rewrote placement the only records that could still
+    /// land there were appends already in flight at adoption time. Those
+    /// expire after one retention window; the horizon is two windows (the
+    /// same clock the aged retry bookkeeping uses), so an empty log at the
+    /// horizon is empty forever.
+    fn maybe_retire_partitions(
+        &self,
+        consumers: &mut Vec<Consumer<Envelope>>,
+        group: &Arc<WaitSignalGroup>,
+    ) {
+        if !self.config.partition_retirement {
+            return;
+        }
+        let delay = self.config.scaled_retirement_delay();
+        let now = Instant::now();
+        let mut index = 0;
+        while index < consumers.len() {
+            let partition = consumers[index].partition();
+            let due = self
+                .adopted_at
+                .lock()
+                .get(&partition)
+                .is_some_and(|adopted| now.duration_since(*adopted) >= delay);
+            if !due || self.broker.partition_len(&self.topic, partition) != 0 {
+                index += 1;
+                continue;
+            }
+            self.retire_partition(partition);
+            consumers[index].leave_wait_group(group);
+            consumers.remove(index);
+        }
+    }
+
+    /// The bookkeeping half of retirement: fence, shrink every map that
+    /// records the adoption, and log the retirement.
+    fn retire_partition(&self, partition: usize) {
+        let _ = self.broker.fence_partition(&self.topic, partition);
+        self.partitions.write().retire_adopted(partition);
+        self.adopted_at.lock().remove(&partition);
+        self.consumed_offsets.write().remove(&partition);
+        // Shrink the shared topology and propagate the SAME set to the
+        // broker's assignment table and group view while still holding the
+        // topology lock: recovery's adoption path does the same, so the two
+        // sides can never write each other's stale clone into the broker
+        // tables (a retirement racing a fresh adoption would otherwise
+        // resurrect the retired partition — or drop the adopted one — from
+        // the assignment table).
+        let mut topology = self.topology.write();
+        if let Some(set) = topology.get_mut(&self.id) {
+            set.retire_adopted(partition);
+            let merged = set.clone();
+            let _ = self
+                .broker
+                .assign_partitions(&self.topic, self.id, merged.clone());
+            self.broker
+                .update_member_partitions(&self.group, self.id, merged);
+        }
+        drop(topology);
+        self.retired.lock().push(partition);
     }
 
     /// Routes one polled batch: responses are handled inline (they only
@@ -1355,13 +1507,16 @@ impl ComponentCore {
     }
 
     /// Rotates the aged retry-bookkeeping sets — and ages out idle
-    /// steal-route overrides — if their retention interval elapsed
-    /// (piggybacked on the heartbeat loop).
+    /// steal-route overrides and idle clean actor-state cache entries — if
+    /// their retention interval elapsed (piggybacked on the heartbeat loop).
     fn age_retry_bookkeeping(&self) {
         let now = Instant::now();
         self.completed.lock().maybe_rotate(now);
         self.seen_responses.lock().maybe_rotate(now);
         self.pool.age_routes(now);
+        if let Some(cache) = &self.state_cache {
+            cache.maybe_age(now);
+        }
     }
 
     /// Number of live steal-route overrides in the dispatch pool (aged out
@@ -1387,6 +1542,36 @@ impl ComponentCore {
     /// Number of actor states currently cached (0 when the cache is off).
     pub fn cached_state_count(&self) -> usize {
         self.state_cache.as_ref().map_or(0, StateCache::len)
+    }
+
+    /// Number of clean actor-state cache entries evicted after idling for a
+    /// retention window (0 when the cache is off).
+    pub fn state_cache_evictions(&self) -> u64 {
+        self.state_cache
+            .as_ref()
+            .map_or(0, StateCache::eviction_count)
+    }
+
+    /// Number of live consumer threads. Grows when recovery re-homes a
+    /// partition range onto this component, and returns to the pre-failure
+    /// steady state once the adopted range is retired.
+    pub fn consumer_thread_count(&self) -> usize {
+        self.active_consumers.load(Ordering::SeqCst)
+    }
+
+    /// The adopted partitions this component has retired so far, in
+    /// retirement order.
+    pub fn retired_partitions(&self) -> Vec<usize> {
+        self.retired.lock().clone()
+    }
+
+    /// `(completions enqueued, batch appends performed)` by the response
+    /// batcher; `(0, 0)` when `MeshConfig::response_batching` is off. The
+    /// ratio is the per-destination amortization the batching achieves.
+    pub fn response_batch_stats(&self) -> (u64, u64) {
+        self.responses
+            .as_ref()
+            .map_or((0, 0), ResponseBatcher::stats)
     }
 
     pub(crate) fn state_get(&self, key: &str, field: &str) -> KarResult<Option<Value>> {

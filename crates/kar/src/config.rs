@@ -83,8 +83,36 @@ pub struct MeshConfig {
     /// Number of consumer threads per component. Each thread drains a
     /// round-robin slice of the component's home partitions and feeds polled
     /// records to the sharded dispatch pool in per-shard batches. `0` (the
-    /// default) runs one consumer per home partition.
+    /// default) runs one consumer per home partition. With the group-wait
+    /// consumer parking, fewer threads than partitions is efficient: an
+    /// append to any owned partition wakes its thread immediately.
     pub consumers_per_component: usize,
+    /// Number of home partitions allocated to components hosting **no**
+    /// actor types (external clients): such components only ever receive
+    /// responses, so their partition range is the width of the response
+    /// funnel, not a request-routing surface. `0` (the default) follows
+    /// `partitions_per_component`; the delivery bench narrows it to model a
+    /// response-funnel-bound caller.
+    pub client_partitions: usize,
+    /// Enable per-destination response batching (group commit on the
+    /// delivery plane): invocation completions — and tail-call continuations
+    /// to the sending actor's own partition — are buffered per destination
+    /// partition, and a burst of completions towards one partition shares a
+    /// single partition-lock acquisition and a single durable-ack latency
+    /// instead of paying one ack each. Disable to restore the
+    /// one-append-per-response delivery path (the `bench_delivery` harness
+    /// compares both).
+    pub response_batching: bool,
+    /// Enable post-recovery retirement of adopted partitions: an adopted
+    /// (drain-only) partition whose retirement horizon has passed — twice
+    /// the queue-retention window after adoption, by which time retention
+    /// has expired anything a stale sender could still have appended after
+    /// recovery's placement rewrite — and whose log is fully drained is
+    /// fenced, dropped from its consumer's wait group, and removed from the
+    /// component's partition set, returning the consumer-thread count to its
+    /// pre-failure steady state. Disable to keep the pre-overhaul behavior
+    /// of draining adopted partitions forever.
+    pub partition_retirement: bool,
     /// **Ablation knob for benchmarks only.** Restores the pre-overhaul
     /// broker whose single global lock serialized every append and fetch
     /// (see `BrokerConfig::coarse_global_lock`).
@@ -126,6 +154,9 @@ impl Default for MeshConfig {
             work_stealing: true,
             partitions_per_component: 4,
             consumers_per_component: 0,
+            client_partitions: 0,
+            response_batching: true,
+            partition_retirement: true,
             coarse_broker_lock: false,
             actor_state_cache: true,
             store_shards: 0,
@@ -239,6 +270,25 @@ impl MeshConfig {
         self.partitions_per_component.max(1)
     }
 
+    /// Sets the number of home partitions for non-hosting (client)
+    /// components (`0` = follow `partitions_per_component`).
+    #[must_use]
+    pub fn with_client_partitions(mut self, partitions: usize) -> Self {
+        self.client_partitions = partitions;
+        self
+    }
+
+    /// The effective home-partition count for a component hosting no actor
+    /// types: the explicit knob, or the component default when left at `0`,
+    /// never below 1.
+    pub fn effective_client_partitions(&self) -> usize {
+        if self.client_partitions == 0 {
+            self.effective_partitions_per_component()
+        } else {
+            self.client_partitions.max(1)
+        }
+    }
+
     /// The effective consumer-thread count for a component consuming
     /// `partitions` partitions: the explicit knob capped at the partition
     /// count, or one thread per partition when left at `0`.
@@ -249,6 +299,30 @@ impl MeshConfig {
         } else {
             self.consumers_per_component.min(partitions)
         }
+    }
+
+    /// Enables or disables per-destination response batching (the
+    /// `bench_delivery` harness compares call throughput under both).
+    #[must_use]
+    pub fn with_response_batching(mut self, enabled: bool) -> Self {
+        self.response_batching = enabled;
+        self
+    }
+
+    /// Enables or disables post-recovery retirement of adopted partitions.
+    #[must_use]
+    pub fn with_partition_retirement(mut self, enabled: bool) -> Self {
+        self.partition_retirement = enabled;
+        self
+    }
+
+    /// The wall-clock retirement horizon of an adopted partition: twice the
+    /// (time-compressed) queue-retention window after its adoption. One
+    /// window guarantees every record a racing stale sender could have
+    /// appended around the adoption has expired; the second is safety margin
+    /// on the same clock the aged retry bookkeeping already uses.
+    pub fn scaled_retirement_delay(&self) -> Duration {
+        self.time_scale.compress(self.retention * 2)
     }
 
     /// **Benchmark ablation**: restores the pre-overhaul single global
@@ -402,6 +476,11 @@ mod tests {
         assert_eq!(two.effective_consumers_per_component(1), 1);
         let serial = MeshConfig::for_tests().with_partitions_per_component(0);
         assert_eq!(serial.effective_partitions_per_component(), 1);
+        // Client partitions follow the component default unless overridden.
+        assert_eq!(serial.effective_client_partitions(), 1);
+        let narrow = MeshConfig::for_tests().with_client_partitions(1);
+        assert_eq!(narrow.effective_partitions_per_component(), 4);
+        assert_eq!(narrow.effective_client_partitions(), 1);
         assert_eq!(
             MeshConfig::for_tests()
                 .with_partitions_per_component(8)
@@ -424,6 +503,24 @@ mod tests {
         assert!(!c.actor_state_cache);
         assert_eq!(c.store_config().shards, 4);
         assert!(c.store_config().coarse_global_lock);
+    }
+
+    #[test]
+    fn delivery_plane_knobs_default_and_toggle() {
+        let c = MeshConfig::default();
+        assert!(c.response_batching);
+        assert!(c.partition_retirement);
+        assert_eq!(c.scaled_retirement_delay(), Duration::from_secs(1200));
+        let c = MeshConfig::for_tests()
+            .with_response_batching(false)
+            .with_partition_retirement(false);
+        assert!(!c.response_batching);
+        assert!(!c.partition_retirement);
+        // The horizon rides the compressed retention clock.
+        assert_eq!(
+            c.scaled_retirement_delay(),
+            c.time_scale.compress(c.retention * 2)
+        );
     }
 
     #[test]

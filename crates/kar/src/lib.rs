@@ -72,6 +72,7 @@ pub mod client;
 pub mod component;
 pub mod config;
 pub mod context;
+mod delivery;
 mod dispatch;
 pub mod mesh;
 pub mod placement;

@@ -192,8 +192,14 @@ impl Mesh {
         let raw = self.inner.next_component.fetch_add(1, Ordering::SeqCst);
         let id = ComponentId::from_raw(raw);
         // Allocate the next contiguous home partition range and register it
-        // in the broker's assignment table and the mesh topology.
-        let count = self.inner.config.effective_partitions_per_component();
+        // in the broker's assignment table and the mesh topology. Components
+        // hosting no actor types only ever receive responses, so their range
+        // is sized by the (possibly narrower) client knob.
+        let count = if hosted.is_empty() {
+            self.inner.config.effective_client_partitions()
+        } else {
+            self.inner.config.effective_partitions_per_component()
+        };
         let start = self.inner.next_partition.fetch_add(count, Ordering::SeqCst);
         let partitions = PartitionSet::contiguous(start, count);
         self.inner
@@ -283,6 +289,16 @@ impl Mesh {
     // Introspection
     // ------------------------------------------------------------------
 
+    /// Every component ever added to the mesh (alive or dead), sorted by
+    /// id. Dead components keep answering introspection queries — their
+    /// retirement logs reconstruct where re-homed partitions went even after
+    /// the adopter itself died.
+    pub fn all_components(&self) -> Vec<ComponentId> {
+        let mut ids: Vec<ComponentId> = self.inner.components.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
     /// The components currently alive, sorted by id.
     pub fn live_components(&self) -> Vec<ComponentId> {
         let components = self.inner.components.read();
@@ -365,6 +381,48 @@ impl Mesh {
             .map(|core| core.partition_set())
     }
 
+    /// Number of live consumer threads of one component: its home-partition
+    /// consumers, plus one per adopted range until retirement drops it.
+    pub fn consumer_threads(&self, component: ComponentId) -> Option<usize> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.consumer_thread_count())
+    }
+
+    /// The adopted partitions one component has retired (fenced, dropped
+    /// from their consumer's wait group, removed from its partition set).
+    /// Answered for dead components too: chaos tests reconstruct where a
+    /// re-homed partition ended up even when its adopter later died.
+    pub fn retired_partitions(&self, component: ComponentId) -> Option<Vec<usize>> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.retired_partitions())
+    }
+
+    /// `(completions enqueued, batch appends performed)` by one component's
+    /// response batcher (`(0, 0)` with `response_batching` off).
+    pub fn response_batch_stats(&self, component: ComponentId) -> Option<(u64, u64)> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.response_batch_stats())
+    }
+
+    /// Number of idle clean actor-state cache entries one component has
+    /// evicted on the retention clock.
+    pub fn state_cache_evictions(&self, component: ComponentId) -> Option<u64> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.state_cache_evictions())
+    }
+
     /// Number of live steal-route overrides in one component's dispatch
     /// pool (aged out once their actor idles for a retention window).
     pub fn steal_route_count(&self, component: ComponentId) -> Option<usize> {
@@ -408,7 +466,12 @@ impl Mesh {
         for id in ids {
             let core = &components[&id];
             out.push_str(&core.debug_snapshot());
-            let _ = writeln!(out, "  cached actor states: {}", core.cached_state_count());
+            let _ = writeln!(
+                out,
+                "  cached actor states: {} (evicted: {})",
+                core.cached_state_count(),
+                core.state_cache_evictions()
+            );
             if let Some(set) = self.inner.topology.read().get(&id) {
                 for partition in set.all() {
                     let _ = writeln!(

@@ -631,12 +631,33 @@ fn rehome_partition_ranges(
         ctx.topology.write().remove(&component);
         ctx.broker.unassign_partitions(&ctx.topic, component);
     }
+    // Weighted adopter choice: pick the survivor currently carrying the
+    // fewest adopted partitions (current topology counts, plus what this
+    // round has assigned so far; ties break by component id, so the spread
+    // is deterministic). Chained failures therefore spread their ranges
+    // instead of piling onto whichever survivor a round-robin started at —
+    // an adopter that already drains two dead ranges stops being the first
+    // pick for a third.
+    let mut load: HashMap<ComponentId, usize> = {
+        let current = ctx.topology.read();
+        adopters
+            .iter()
+            .map(|core| {
+                let adopted = current.get(&core.id()).map_or(0, |set| set.adopted().len());
+                (core.id(), adopted)
+            })
+            .collect()
+    };
     let mut adoption: HashMap<ComponentId, Vec<usize>> = HashMap::new();
-    for (index, partition) in orphaned.iter().enumerate() {
+    for partition in &orphaned {
         // Cut off the dead assignment's consumers first: the adopter's
         // consumer (opened below) captures the post-fence epoch.
         let _ = ctx.broker.fence_partition(&ctx.topic, *partition);
-        let adopter = adopters[index % adopters.len()];
+        let adopter = adopters
+            .iter()
+            .min_by_key(|core| (load[&core.id()], core.id()))
+            .expect("adopters is non-empty");
+        *load.entry(adopter.id()).or_default() += 1;
         adoption.entry(adopter.id()).or_default().push(*partition);
     }
     for (component, partitions) in adoption {
@@ -644,22 +665,26 @@ fn rehome_partition_ranges(
         // authoritative map recovery itself catalogs. If the adopter is
         // killed concurrently (its core silently refuses to adopt), the
         // partitions are still charged to it here, so the adopter's own
-        // recovery re-homes them instead of leaking them.
-        let merged = {
+        // recovery re-homes them instead of leaking them. The broker's
+        // assignment table and group view are updated under the SAME
+        // topology lock hold (mirroring `retire_partition`), so a
+        // retirement racing this adoption can never overwrite the broker
+        // tables with a clone missing the freshly adopted range.
+        {
             let mut topology = ctx.topology.write();
             let Some(set) = topology.get_mut(&component) else {
                 continue;
             };
             set.adopt(partitions.iter().copied());
-            set.clone()
-        };
-        let _ = ctx
-            .broker
-            .assign_partitions(&ctx.topic, component, merged.clone());
-        // Keep the consumer group's view of the member in agreement with the
-        // assignment table.
-        ctx.broker
-            .update_member_partitions(&ctx.group, component, merged);
+            let merged = set.clone();
+            let _ = ctx
+                .broker
+                .assign_partitions(&ctx.topic, component, merged.clone());
+            // Keep the consumer group's view of the member in agreement
+            // with the assignment table.
+            ctx.broker
+                .update_member_partitions(&ctx.group, component, merged);
+        }
         if let Some(core) = components.get(&component) {
             core.adopt_partitions(partitions);
         }

@@ -24,13 +24,25 @@
 //! an actor off a *live* component, so their image stays authoritative) and
 //! are kept; clean entries are cheap to drop and reload.
 //!
+//! **Eviction** rides the queue-retention clock, like the runtime's other
+//! aged bookkeeping: every touch stamps the entry with the current
+//! generation, the owner advances the generation once per (time-compressed)
+//! retention window ([`StateCache::maybe_age`], driven from the heartbeat
+//! loop), and a *clean* entry untouched for two generations — its actor has
+//! been idle for one to two full windows — is dropped and re-loaded on next
+//! touch. A component hosting millions of transient actors therefore stops
+//! accumulating state images; dirty entries are never evicted (their
+//! buffered writes belong to an invocation that has not flushed yet).
+//!
 //! Concurrency: one actor's invocations are temporally serialized by the
 //! actor lock (reentrant frames interleave on the same call chain, never in
 //! parallel), so a per-entry mutex suffices; the outer map lock is only held
 //! to look entries up, never across a store round trip.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -48,6 +60,10 @@ struct CachedState {
     dirty: BTreeMap<String, Option<Value>>,
     /// A buffered whole-hash clear, applied before `dirty` on flush.
     cleared: bool,
+    /// Eviction generation at the entry's last touch; an entry two
+    /// generations stale (idle one to two retention windows) is an eviction
+    /// candidate if clean.
+    touched: u64,
 }
 
 impl CachedState {
@@ -112,27 +128,93 @@ impl CachedState {
 }
 
 /// The per-component map of cached actor states, keyed by state-hash key.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct StateCache {
     entries: Mutex<HashMap<String, Arc<Mutex<CachedState>>>>,
+    /// Current eviction generation; advanced once per interval by
+    /// [`StateCache::maybe_age`].
+    generation: AtomicU64,
+    /// Clean entries evicted after idling for a retention window.
+    evictions: AtomicU64,
+    /// The (time-compressed) retention window driving the generations.
+    interval: Duration,
+    /// Wall-clock time of the last generation advance.
+    last_rotation: Mutex<Instant>,
 }
 
 impl StateCache {
-    pub(crate) fn new() -> Self {
-        StateCache::default()
+    /// Creates an empty cache whose idle entries age out on `interval` (the
+    /// time-compressed retention window; clamped to 1 ms so a zero-compressed
+    /// retention cannot spin-advance the generation).
+    pub(crate) fn new(interval: Duration) -> Self {
+        StateCache {
+            entries: Mutex::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            interval: interval.max(Duration::from_millis(1)),
+            last_rotation: Mutex::new(Instant::now()),
+        }
     }
 
     fn entry(&self, key: &str) -> Arc<Mutex<CachedState>> {
-        self.entries
+        let entry = self
+            .entries
             .lock()
             .entry(key.to_owned())
             .or_default()
-            .clone()
+            .clone();
+        // Every touch refreshes the generation stamp: an actor in active use
+        // never becomes an eviction candidate.
+        entry.lock().touched = self.generation.load(Ordering::Relaxed);
+        entry
     }
 
     /// Number of cached actor states (tests and debugging).
     pub(crate) fn len(&self) -> usize {
         self.entries.lock().len()
+    }
+
+    /// Number of clean entries evicted for idleness since creation.
+    pub(crate) fn eviction_count(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Advances the eviction generation if the retention interval elapsed,
+    /// dropping every *clean* entry untouched for two generations (idle one
+    /// to two retention windows — by then its actor's queue records have
+    /// expired too, so the activation is genuinely cold). Dirty entries are
+    /// always kept: their buffered writes belong to a running invocation.
+    /// Returns the number of entries evicted.
+    ///
+    /// An entry is also kept while any caller still holds its handle
+    /// (`Arc::strong_count > 1`): a mutator that has cloned the `Arc` out of
+    /// the map but not yet locked it would otherwise buffer its write into
+    /// an orphaned image that no later flush can find, silently dropping the
+    /// invocation's state writes. Handing a clone out requires the map lock
+    /// held here, so the count check cannot race a new borrower.
+    pub(crate) fn maybe_age(&self, now: Instant) -> usize {
+        {
+            let mut last = self.last_rotation.lock();
+            if now.duration_since(*last) < self.interval {
+                return 0;
+            }
+            *last = now;
+        }
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut dropped = 0;
+        self.entries.lock().retain(|_, entry| {
+            if Arc::strong_count(entry) > 1 {
+                return true;
+            }
+            let state = entry.lock();
+            let keep = state.has_pending() || state.touched + 2 > generation;
+            if !keep {
+                dropped += 1;
+            }
+            keep
+        });
+        self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
     }
 
     /// Reads one field through the cache.
@@ -320,7 +402,7 @@ mod tests {
     fn setup() -> (Store, Connection, StateCache) {
         let store = Store::new();
         let conn = store.connect(ComponentId::from_raw(1));
-        (store, conn, StateCache::new())
+        (store, conn, StateCache::new(Duration::from_millis(1)))
     }
 
     #[test]
@@ -399,6 +481,81 @@ mod tests {
         assert!(cache.flush(&conn, "k").unwrap_err().is_fenced());
         assert_eq!(cache.len(), 0, "fenced entry must be invalidated");
         assert!(store.admin_hgetall("k").is_empty());
+    }
+
+    #[test]
+    fn idle_clean_entries_age_out_and_reload_on_next_touch() {
+        let (store, conn, cache) = setup();
+        conn.hset("state/A/idle", "v", Value::from(1)).unwrap();
+        cache.get(&conn, "state/A/idle", "v").unwrap();
+        cache
+            .set(&conn, "state/A/dirty", "v", Value::from(2))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+
+        let t = Instant::now();
+        // One generation idle: not yet a candidate.
+        assert_eq!(cache.maybe_age(t + Duration::from_millis(2)), 0);
+        // A second advance within the interval is a no-op.
+        assert_eq!(cache.maybe_age(t + Duration::from_millis(2)), 0);
+        assert_eq!(cache.len(), 2);
+        // Two generations idle: the clean entry is dropped, the dirty entry
+        // (its invocation has not flushed) is kept.
+        assert_eq!(cache.maybe_age(t + Duration::from_millis(4)), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.eviction_count(), 1);
+
+        // The evicted actor re-loads through the durable image on next touch.
+        assert_eq!(
+            cache.get(&conn, "state/A/idle", "v").unwrap(),
+            Some(Value::from(1))
+        );
+        let _ = store;
+    }
+
+    #[test]
+    fn entries_with_an_outstanding_handle_are_never_evicted() {
+        // The eviction/mutation race: a writer clones the entry Arc out of
+        // the map, is descheduled, and two generations pass before it locks
+        // and buffers its write. Eviction must keep the entry alive while
+        // any handle is out, or the write would land on an orphaned image
+        // and a later flush would silently drop it.
+        let (store, conn, cache) = setup();
+        cache.get(&conn, "k", "v").unwrap();
+        let handle = cache.entry("k");
+        let t = Instant::now();
+        cache.maybe_age(t + Duration::from_millis(2));
+        assert_eq!(
+            cache.maybe_age(t + Duration::from_millis(4)),
+            0,
+            "entry evicted while a mutator still held its handle"
+        );
+        assert_eq!(cache.len(), 1);
+        // The descheduled writer finally lands its write; the flush must
+        // still find (and persist) it.
+        handle.lock().dirty.insert("v".into(), Some(Value::from(7)));
+        drop(handle);
+        cache.flush(&conn, "k").unwrap();
+        assert_eq!(store.admin_hgetall("k")["v"], Value::from(7));
+        // With the handle dropped and the entry clean again, idleness
+        // eviction proceeds as usual.
+        let evicted = cache.maybe_age(t + Duration::from_millis(6))
+            + cache.maybe_age(t + Duration::from_millis(8));
+        assert_eq!(evicted, 1);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn touches_refresh_the_eviction_stamp() {
+        let (_store, conn, cache) = setup();
+        cache.get(&conn, "state/A/hot", "v").unwrap();
+        let t = Instant::now();
+        cache.maybe_age(t + Duration::from_millis(2));
+        // Touched between generations: survives the next sweep.
+        cache.get(&conn, "state/A/hot", "v").unwrap();
+        assert_eq!(cache.maybe_age(t + Duration::from_millis(4)), 0);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.eviction_count(), 0);
     }
 
     #[test]

@@ -35,38 +35,15 @@ use kar_queue::{Broker, BrokerConfig, PartitionSet};
 use kar_types::{ActorRef, ComponentId, KarError, KarResult, Value};
 use proptest::prelude::*;
 
+mod common;
+use common::{chaos_seed, SplitMix64};
+
 /// The mesh topic every component's partitions live in (`kar::mesh::TOPIC`).
 const TOPIC: &str = "kar";
 
 /// Deterministic seeds for the CI matrix. `KAR_CHAOS_SEED` overrides all
 /// three for reproducing a failure.
 const CI_SEEDS: [u64; 3] = [0x000A_11CE, 0x00B0_B5ED, 0x00C0_FFEE];
-
-/// SplitMix64: the harness's explicit, printable source of randomness.
-struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    fn new(seed: u64) -> Self {
-        SplitMix64 {
-            state: seed ^ 0x9E37_79B9_7F4A_7C15,
-        }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform value in `[low, high)`.
-    fn below(&mut self, low: u64, high: u64) -> u64 {
-        low + self.next_u64() % (high - low)
-    }
-}
 
 /// A durable event log with ordering verification built into the actor (the
 /// same shape as tests/lock_granularity.rs), so violations are detected at
@@ -130,22 +107,10 @@ impl Actor for Ledger {
     }
 }
 
-/// The seed to run: the CI matrix seed unless `KAR_CHAOS_SEED` pins one.
-fn effective_seed(matrix_seed: u64) -> u64 {
-    std::env::var("KAR_CHAOS_SEED")
-        .ok()
-        .and_then(|raw| {
-            let raw = raw.trim();
-            raw.strip_prefix("0x")
-                .map_or_else(|| raw.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
-        })
-        .unwrap_or(matrix_seed)
-}
-
 /// One full chaos run from one seed: kill/recovery + partition re-homing +
 /// retries + stealing, then the exactly-once / FIFO / re-homing assertions.
 fn run_chaos(matrix_seed: u64) {
-    let seed = effective_seed(matrix_seed);
+    let seed = chaos_seed(matrix_seed);
     eprintln!(
         "partition_rebalance chaos: seed {seed:#x} \
          (reproduce with KAR_CHAOS_SEED={seed:#x})"
@@ -311,9 +276,13 @@ fn run_chaos(matrix_seed: u64) {
     // Partition re-homing was observed mid-flight: at least one recovery
     // moved a partition range onto survivors, each re-homed partition was
     // fenced against its dead owner's consumers (ownership epoch > 0), and
-    // every re-homed partition ends up in a live adopter's set. A bounded
-    // wait, because the last kill's recovery may still be reconciling (and
-    // an adopter killed mid-adoption is re-homed by its *own* recovery).
+    // every re-homed partition ends up either in a live adopter's set or —
+    // if the run outlasted the retirement horizon — in some adopter's
+    // retirement log (retired partitions are fenced, drained, and removed
+    // from every set; retirement logs of dead adopters still count, their
+    // ranges were retired before the adopter died). A bounded wait, because
+    // the last kill's recovery may still be reconciling (and an adopter
+    // killed mid-adoption is re-homed by its *own* recovery).
     let deadline = Instant::now() + Duration::from_secs(15);
     let (recoveries, rehomed) = loop {
         let recoveries = mesh.recovery_log();
@@ -327,10 +296,16 @@ fn run_chaos(matrix_seed: u64) {
             .filter_map(|component| mesh.partition_set(component))
             .flat_map(|set| set.adopted().to_vec())
             .collect();
+        let retired: Vec<usize> = mesh
+            .all_components()
+            .into_iter()
+            .filter_map(|component| mesh.retired_partitions(component))
+            .flatten()
+            .collect();
         let missing: Vec<usize> = rehomed
             .iter()
             .copied()
-            .filter(|partition| !adopted.contains(partition))
+            .filter(|partition| !adopted.contains(partition) && !retired.contains(partition))
             .collect();
         if !rehomed.is_empty() && missing.is_empty() {
             break (recoveries, rehomed);
@@ -339,7 +314,7 @@ fn run_chaos(matrix_seed: u64) {
             Instant::now() < deadline,
             "[seed {seed:#x}] re-homed partitions without a live adopter after the chaos \
              settled: missing {missing:?} of {rehomed:?} (adopted: {adopted:?}, \
-             {} recoveries)",
+             retired: {retired:?}, {} recoveries)",
             recoveries.len()
         );
         std::thread::sleep(Duration::from_millis(20));
@@ -353,6 +328,35 @@ fn run_chaos(matrix_seed: u64) {
         assert!(
             broker.partition_epoch(TOPIC, *partition).as_u64() >= 1,
             "[seed {seed:#x}] re-homed partition {partition} was never fenced"
+        );
+    }
+    // Adopter spread: when several recoveries re-homed ranges, the weighted
+    // (least-adopted-count) choice must not have piled everything onto one
+    // survivor — every kill leaves at least one standing replica plus the
+    // round's replacement, so two or more distinct adopters are available.
+    let multi_range_recoveries = recoveries
+        .iter()
+        .filter(|record| !record.rehomed_partitions.is_empty())
+        .count();
+    if multi_range_recoveries >= 2 {
+        let holders: std::collections::HashSet<ComponentId> = mesh
+            .all_components()
+            .into_iter()
+            .filter(|component| {
+                let adopted = mesh
+                    .partition_set(*component)
+                    .is_some_and(|set| !set.adopted().is_empty());
+                let retired = mesh
+                    .retired_partitions(*component)
+                    .is_some_and(|retired| !retired.is_empty());
+                adopted || retired
+            })
+            .collect();
+        assert!(
+            holders.len() >= 2,
+            "[seed {seed:#x}] {multi_range_recoveries} recoveries re-homed ranges but a \
+             single component adopted them all — the weighted adopter choice is not \
+             spreading chained failures"
         );
     }
     eprintln!(
@@ -474,6 +478,71 @@ fn partitions_orphaned_by_a_total_hosting_failure_are_adopted_by_a_later_recover
             .as_list()
             .map(<[Value]>::len),
         Some(1)
+    );
+    mesh.shutdown();
+}
+
+#[test]
+fn chained_failures_spread_adopted_ranges_by_current_load() {
+    // Recovery's adopter choice weights by *current* adopted-range count, so
+    // a survivor already draining one dead range stops being the first pick
+    // for the next. Retirement is disabled so the counts stay observable.
+    let mesh = Mesh::new(
+        MeshConfig::for_tests()
+            .with_dispatch_workers(2)
+            .with_partitions_per_component(4)
+            .with_partition_retirement(false),
+    );
+    let node = mesh.add_node();
+    let first_victim = mesh.add_component(node, "v1", |c| c.host("Ledger", || Box::new(Ledger)));
+    let b = mesh.add_component(node, "b", |c| c.host("Ledger", || Box::new(Ledger)));
+    let c = mesh.add_component(node, "c", |c| c.host("Ledger", || Box::new(Ledger)));
+    let client = mesh.client();
+    client
+        .call(
+            &ActorRef::new("Ledger", "warm"),
+            "record",
+            vec![Value::Int(0)],
+        )
+        .unwrap();
+
+    // Kill #1: the 4-partition range spreads 2/2 over the two survivors
+    // (both start at zero adopted; ties break deterministically).
+    mesh.kill_component(first_victim);
+    assert!(mesh.wait_for_recoveries(1, Duration::from_secs(10)));
+    let after_first: Vec<usize> = [b, c]
+        .iter()
+        .map(|survivor| mesh.partition_set(*survivor).unwrap().adopted().len())
+        .collect();
+    assert_eq!(
+        after_first,
+        vec![2, 2],
+        "first failure not spread evenly over equally-loaded survivors"
+    );
+
+    // A fresh component joins, then kill #2 removes one loaded survivor: its
+    // 4 home + 2 adopted partitions must flow mostly to the fresh (empty)
+    // component until the loads level, not round-robin from an arbitrary
+    // start. Final balance: 8 total adopted over two survivors, |diff| <= 1.
+    let node2 = mesh.add_node();
+    let fresh = mesh.add_component(node2, "fresh", |c| c.host("Ledger", || Box::new(Ledger)));
+    mesh.kill_component(b);
+    assert!(mesh.wait_for_recoveries(2, Duration::from_secs(10)));
+    let c_count = mesh.partition_set(c).unwrap().adopted().len();
+    let fresh_count = mesh.partition_set(fresh).unwrap().adopted().len();
+    assert_eq!(
+        c_count + fresh_count,
+        8,
+        "second recovery lost or duplicated re-homed partitions"
+    );
+    assert!(
+        c_count.abs_diff(fresh_count) <= 1,
+        "chained failure piled onto one survivor: c={c_count}, fresh={fresh_count}"
+    );
+    assert!(
+        fresh_count >= c_count,
+        "the empty component should absorb at least as much of the chained \
+         range (c={c_count}, fresh={fresh_count})"
     );
     mesh.shutdown();
 }

@@ -9,31 +9,8 @@ use kar::{Actor, ActorContext, Mesh, MeshConfig, Outcome};
 use kar_store::{Store, StoreConfig};
 use kar_types::{ActorRef, ComponentId, KarError, KarResult, LatencyProfile, Value};
 
-/// SplitMix64: the chaos harness's explicit, printable source of randomness
-/// (same generator as tests/partition_rebalance.rs).
-struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    fn new(seed: u64) -> Self {
-        SplitMix64 {
-            state: seed ^ 0x9E37_79B9_7F4A_7C15,
-        }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, low: u64, high: u64) -> u64 {
-        low + self.next_u64() % (high - low)
-    }
-}
+mod common;
+use common::{chaos_seed, SplitMix64};
 
 // ---------------------------------------------------------------------
 // Store-level: sharding and pipelines
@@ -334,15 +311,7 @@ fn hot_actors_skip_placement_lookups_via_slot_stamps() {
 ///   never a mix (the flush is one pipelined application).
 #[test]
 fn state_cache_chaos_preserves_exactly_once_and_flush_atomicity() {
-    let seed = std::env::var("KAR_CHAOS_SEED")
-        .ok()
-        .and_then(|s| {
-            let trimmed = s.trim_start_matches("0x");
-            u64::from_str_radix(trimmed, 16)
-                .ok()
-                .or_else(|| s.parse().ok())
-        })
-        .unwrap_or(0x57A7_E5EED);
+    let seed = chaos_seed(0x5_7A7E_5EED);
     println!("state-plane chaos seed: {seed:#x} (override with KAR_CHAOS_SEED)");
     let mut rng = SplitMix64::new(seed);
 
