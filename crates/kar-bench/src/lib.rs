@@ -30,6 +30,11 @@
 //!   an actor state-flush workload measuring store round trips per
 //!   invocation with the actor-state cache off/on (the `bench_store` binary
 //!   emits `BENCH_store.json`, and its `--smoke` mode runs in CI).
+//! * [`topology`] — the topology-scaling harness for the event-driven
+//!   invocation core: call throughput and resident reactor-thread count as
+//!   the mesh grows from a 1× to a 100× topology under a fixed reactor pool
+//!   (the `bench_topology` binary emits `BENCH_topology.json`, and its
+//!   `--smoke` mode is the CI regression gate for the fixed-pool invariant).
 //! * [`delivery`] — the delivery-plane harness: end-to-end call
 //!   throughput/latency percentiles with per-destination response batching
 //!   off vs on, and consumer wakeup latency under the old rotating park vs
@@ -51,6 +56,7 @@ pub mod partitions;
 pub mod report;
 pub mod store;
 pub mod throughput;
+pub mod topology;
 
 pub use delivery::{DeliveryConfig, DeliveryReport, WakeupConfig, WakeupReport};
 pub use fault::{FailureSample, FaultConfig, FaultReport};
@@ -60,3 +66,4 @@ pub use partitions::{PartitionReport, PartitionSweepConfig};
 pub use report::Summary;
 pub use store::{ContendedStoreConfig, ContendedStoreReport, StateFlushConfig, StateFlushReport};
 pub use throughput::{ThroughputConfig, ThroughputReport};
+pub use topology::{TopologyReport, TopologyScale, TopologyScaleConfig};

@@ -99,7 +99,15 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 
 /// Measures messaging throughput with `workers` dispatch workers.
 pub fn measure_throughput(workers: usize, config: &ThroughputConfig) -> ThroughputReport {
-    let mesh = Mesh::new(MeshConfig::for_tests().with_dispatch_workers(workers));
+    // The reactor pool is pinned at the same size for every measurement, so
+    // the sweep compares the dispatch *concurrency bound* (shard claims),
+    // not thread counts: 1 worker means one invocation at a time even with
+    // 8 reactors available.
+    let mesh = Mesh::new(
+        MeshConfig::for_tests()
+            .with_dispatch_workers(workers)
+            .with_reactor_threads(8),
+    );
     let node = mesh.add_node();
     mesh.add_component(node, "spin-server", |c| {
         c.host("Spinner", || Box::new(Spinner))

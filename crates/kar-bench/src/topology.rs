@@ -1,0 +1,416 @@
+//! Topology-scaling harness for the event-driven invocation core: call
+//! throughput and resident thread count as the mesh grows from a 1× to a
+//! 100× topology (components × home partitions) under a **fixed** reactor
+//! pool.
+//!
+//! Before the reactor tentpole, every component spawned its own consumer,
+//! dispatch and response-waiter threads, so a 100× topology meant hundreds
+//! of resident threads — and throughput collapsed under scheduler pressure
+//! long before the message plane saturated. With the fixed pool, partitions
+//! and components only add *pump targets*: the thread count is set once by
+//! `MeshConfig::reactor_threads` and the workload's throughput must hold as
+//! the topology grows two orders of magnitude.
+//!
+//! The harness drives the same fixed multi-actor echo workload against every
+//! scale point and reports throughput, latency percentiles, the number of
+//! consumer lanes (which *does* grow with topology) and the number of
+//! resident `kar-reactor-` threads (which must not). The `bench_topology`
+//! binary emits `BENCH_topology.json`; its `--smoke` mode runs a
+//! seconds-scale workload in CI and fails the step if throughput at 100×
+//! drops below 0.8× the 1× baseline or the pool size drifts.
+
+use std::time::{Duration, Instant};
+
+use kar::{Actor, ActorContext, Mesh, MeshConfig, Outcome};
+use kar_types::{ActorRef, KarResult, LatencyProfile, Value};
+
+use crate::report::percentile;
+
+/// One topology scale point: `components` hosting components, each with
+/// `partitions_per_component` home partitions.
+#[derive(Debug, Clone)]
+pub struct TopologyScale {
+    /// Human-readable label (`"1x"`, `"100x"`).
+    pub label: String,
+    /// Number of hosting components.
+    pub components: usize,
+    /// Home partitions per component.
+    pub partitions_per_component: usize,
+}
+
+impl TopologyScale {
+    /// Total home partitions of the scale point.
+    pub fn total_partitions(&self) -> usize {
+        self.components * self.partitions_per_component
+    }
+}
+
+/// Configuration of one topology-scaling measurement.
+#[derive(Debug, Clone)]
+pub struct TopologyScaleConfig {
+    /// Number of distinct actors, each driven by its own client thread.
+    pub actors: usize,
+    /// Sequential blocking calls each client thread issues.
+    pub calls_per_actor: usize,
+    /// Durable-append acknowledgement latency.
+    pub append_latency: Duration,
+    /// Size of the fixed reactor pool — identical at every scale point; the
+    /// topology is the only variable.
+    pub reactor_threads: usize,
+    /// Scale points to measure.
+    pub scales: Vec<TopologyScale>,
+}
+
+/// The canonical 1× and 100× scale points of the gate: 2 components × 2
+/// partitions versus 8 components × 50 partitions (4 → 400 home partitions).
+fn canonical_scales() -> Vec<TopologyScale> {
+    vec![
+        TopologyScale {
+            label: "1x".to_owned(),
+            components: 2,
+            partitions_per_component: 2,
+        },
+        TopologyScale {
+            label: "100x".to_owned(),
+            components: 8,
+            partitions_per_component: 50,
+        },
+    ]
+}
+
+impl Default for TopologyScaleConfig {
+    fn default() -> Self {
+        TopologyScaleConfig {
+            actors: 16,
+            calls_per_actor: 40,
+            append_latency: Duration::from_micros(100),
+            reactor_threads: 8,
+            scales: canonical_scales(),
+        }
+    }
+}
+
+impl TopologyScaleConfig {
+    /// A seconds-scale configuration for CI smoke runs. The scale points are
+    /// not shrunk — the 100× topology *is* the subject — only the workload.
+    pub fn smoke() -> Self {
+        TopologyScaleConfig {
+            actors: 8,
+            calls_per_actor: 8,
+            append_latency: Duration::from_micros(50),
+            reactor_threads: 4,
+            scales: canonical_scales(),
+        }
+    }
+}
+
+/// The result of one topology-scale measurement.
+#[derive(Debug, Clone)]
+pub struct TopologyReport {
+    /// Label of the scale point.
+    pub label: String,
+    /// Hosting components the mesh ran with.
+    pub components: usize,
+    /// Home partitions per component.
+    pub partitions_per_component: usize,
+    /// Consumer lanes across live components (grows with topology).
+    pub lanes: usize,
+    /// Resident `kar-reactor-` OS threads observed while the mesh was live
+    /// (must equal the configured pool at every scale).
+    pub resident_reactor_threads: usize,
+    /// Reactor pool size the mesh reports.
+    pub configured_reactor_threads: usize,
+    /// Total calls completed.
+    pub total_calls: usize,
+    /// Wall-clock duration of the measured phase.
+    pub elapsed: Duration,
+    /// Completed calls per second.
+    pub throughput: f64,
+    /// Median per-call latency.
+    pub p50: Duration,
+    /// 99th-percentile per-call latency.
+    pub p99: Duration,
+}
+
+/// A zero-service echo actor: the workload is pure message plane, so the
+/// topology is the only variable.
+struct Echo;
+
+impl Actor for Echo {
+    fn invoke(
+        &mut self,
+        _ctx: &mut ActorContext<'_>,
+        method: &str,
+        _args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "ping" => Ok(Outcome::value(Value::Null)),
+            other => Err(kar_types::KarError::application(format!(
+                "no method {other}"
+            ))),
+        }
+    }
+}
+
+/// Counts live OS threads of this process whose name starts with `prefix`
+/// (Linux; other platforms report `None` and the caller falls back to the
+/// mesh's own pool accounting).
+fn threads_named(prefix: &str) -> Option<usize> {
+    let tasks = std::fs::read_dir("/proc/self/task").ok()?;
+    Some(
+        tasks
+            .filter_map(Result::ok)
+            .filter_map(|task| std::fs::read_to_string(task.path().join("comm")).ok())
+            .filter(|comm| comm.trim_end().starts_with(prefix))
+            .count(),
+    )
+}
+
+/// Measures call throughput at one topology scale point.
+pub fn measure_topology(scale: &TopologyScale, config: &TopologyScaleConfig) -> TopologyReport {
+    let mesh_config = MeshConfig {
+        latency: LatencyProfile {
+            queue_append: config.append_latency,
+            ..LatencyProfile::ZERO
+        },
+        ..MeshConfig::for_tests()
+    }
+    .with_reactor_threads(config.reactor_threads)
+    .with_partitions_per_component(scale.partitions_per_component);
+    let mesh = Mesh::new(mesh_config);
+    let node = mesh.add_node();
+    for i in 0..scale.components {
+        mesh.add_component(node, &format!("echo-{i}"), |c| {
+            c.host("Echo", || Box::new(Echo))
+        });
+    }
+    let client = mesh.client();
+
+    // Warm up: place every actor outside the measured phase.
+    for actor in 0..config.actors {
+        client
+            .call(&ActorRef::new("Echo", format!("e{actor}")), "ping", vec![])
+            .expect("warmup call");
+    }
+
+    let started = Instant::now();
+    let drivers: Vec<_> = (0..config.actors)
+        .map(|actor| {
+            let client = client.clone();
+            let calls = config.calls_per_actor;
+            std::thread::spawn(move || {
+                let target = ActorRef::new("Echo", format!("e{actor}"));
+                let mut latencies = Vec::with_capacity(calls);
+                for _ in 0..calls {
+                    let t0 = Instant::now();
+                    client.call(&target, "ping", vec![]).expect("ping call");
+                    latencies.push(t0.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(config.actors * config.calls_per_actor);
+    for driver in drivers {
+        latencies.extend(driver.join().expect("driver thread"));
+    }
+    let elapsed = started.elapsed();
+
+    let configured = mesh.reactor_thread_count();
+    let resident = threads_named("kar-reactor-").unwrap_or(configured);
+    let mut lanes = 0;
+    for component in mesh.live_components() {
+        lanes += mesh.consumer_threads(component).unwrap_or(0);
+    }
+    mesh.shutdown();
+
+    latencies.sort();
+    let total_calls = latencies.len();
+    TopologyReport {
+        label: scale.label.clone(),
+        components: scale.components,
+        partitions_per_component: scale.partitions_per_component,
+        lanes,
+        resident_reactor_threads: resident,
+        configured_reactor_threads: configured,
+        total_calls,
+        elapsed,
+        throughput: total_calls as f64 / elapsed.as_secs_f64(),
+        p50: percentile(&latencies, 50.0),
+        p99: percentile(&latencies, 99.0),
+    }
+}
+
+/// Runs the configured sweep.
+pub fn sweep(config: &TopologyScaleConfig) -> Vec<TopologyReport> {
+    config
+        .scales
+        .iter()
+        .map(|scale| measure_topology(scale, config))
+        .collect()
+}
+
+/// Throughput ratio of the `"100x"` point over the `"1x"` point (0.0 if
+/// either is missing).
+pub fn hundred_over_one(reports: &[TopologyReport]) -> f64 {
+    let at = |label: &str| {
+        reports
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.throughput)
+    };
+    match (at("1x"), at("100x")) {
+        (Some(one), Some(hundred)) if one > 0.0 => hundred / one,
+        _ => 0.0,
+    }
+}
+
+/// True when every scale point ran with exactly the configured reactor pool
+/// resident — the tentpole's thread invariant.
+pub fn pool_held(config: &TopologyScaleConfig, reports: &[TopologyReport]) -> bool {
+    reports.iter().all(|r| {
+        r.configured_reactor_threads == config.reactor_threads
+            && r.resident_reactor_threads == config.reactor_threads
+    })
+}
+
+/// Serializes reports as the `BENCH_topology.json` document (hand-rolled:
+/// the offline serde shim has no serializer).
+pub fn to_json(config: &TopologyScaleConfig, reports: &[TopologyReport]) -> String {
+    let mut rows = String::new();
+    for (index, report) in reports.iter().enumerate() {
+        if index > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"label\": \"{}\", \"components\": {}, \"partitions_per_component\": {}, \
+             \"lanes\": {}, \"resident_reactor_threads\": {}, \"total_calls\": {}, \
+             \"elapsed_ms\": {:.3}, \"throughput_calls_per_sec\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+            report.label,
+            report.components,
+            report.partitions_per_component,
+            report.lanes,
+            report.resident_reactor_threads,
+            report.total_calls,
+            report.elapsed.as_secs_f64() * 1e3,
+            report.throughput,
+            report.p50.as_secs_f64() * 1e6,
+            report.p99.as_secs_f64() * 1e6,
+        ));
+    }
+    format!(
+        "{{\n  \"benchmark\": \"topology_scaling\",\n  \
+         \"workload\": {{\"actors\": {}, \"calls_per_actor\": {}, \
+         \"append_latency_us\": {}, \"reactor_threads\": {}}},\n  \
+         \"throughput_100x_over_1x\": {:.2},\n  \"pool_held\": {},\n  \
+         \"rows\": [\n{rows}\n  ]\n}}\n",
+        config.actors,
+        config.calls_per_actor,
+        config.append_latency.as_micros(),
+        config.reactor_threads,
+        hundred_over_one(reports),
+        pool_held(config, reports),
+    )
+}
+
+/// One human-readable table row.
+pub fn table_row(report: &TopologyReport) -> String {
+    format!(
+        "{:>6} {:>6} {:>8} {:>6} {:>9} {:>8} {:>12.0} {:>10.2} {:>10.2}",
+        report.label,
+        report.components,
+        report.partitions_per_component,
+        report.lanes,
+        report.resident_reactor_threads,
+        report.total_calls,
+        report.throughput,
+        report.p50.as_secs_f64() * 1e3,
+        report.p99.as_secs_f64() * 1e3,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_holds_at_100x_topology_with_a_fixed_pool() {
+        let config = TopologyScaleConfig::smoke();
+        let reports = sweep(&config);
+        // The pool is the mesh's own accounting here (the resident OS-thread
+        // check needs a process of its own — tests/reactor_topology.rs — and
+        // the bench binary, where no sibling test pollutes /proc).
+        for report in &reports {
+            assert_eq!(
+                report.configured_reactor_threads, config.reactor_threads,
+                "{}: the reactor pool resized with topology",
+                report.label
+            );
+        }
+        // The strict >= 0.8x gate runs in CI through the release-built
+        // `bench_topology --smoke`; this debug-build sanity check only has
+        // to rule out the pre-reactor collapse (~0.1x at 100x), not hold
+        // the optimized bar under unoptimized per-call overhead.
+        let ratio = hundred_over_one(&reports);
+        assert!(
+            ratio >= 0.5,
+            "throughput fell to {ratio:.2}x at the 100x topology (debug sanity bound: >= 0.5x)"
+        );
+    }
+
+    #[test]
+    fn report_fields_and_json_are_consistent() {
+        let config = TopologyScaleConfig::smoke();
+        let reports = vec![
+            TopologyReport {
+                label: "1x".to_owned(),
+                components: 2,
+                partitions_per_component: 2,
+                lanes: 4,
+                resident_reactor_threads: 4,
+                configured_reactor_threads: 4,
+                total_calls: 64,
+                elapsed: Duration::from_millis(100),
+                throughput: 640.0,
+                p50: Duration::from_micros(700),
+                p99: Duration::from_micros(950),
+            },
+            TopologyReport {
+                label: "100x".to_owned(),
+                components: 8,
+                partitions_per_component: 50,
+                lanes: 400,
+                resident_reactor_threads: 4,
+                configured_reactor_threads: 4,
+                total_calls: 64,
+                elapsed: Duration::from_millis(110),
+                throughput: 576.0,
+                p50: Duration::from_micros(750),
+                p99: Duration::from_micros(990),
+            },
+        ];
+        assert!((hundred_over_one(&reports) - 0.9).abs() < 1e-9);
+        assert!(pool_held(&config, &reports));
+        let mut drifted = reports.clone();
+        drifted[1].resident_reactor_threads = 17;
+        assert!(!pool_held(&config, &drifted));
+        let json = to_json(&config, &reports);
+        assert!(json.contains("\"benchmark\": \"topology_scaling\""));
+        assert!(json.contains("\"label\": \"100x\""));
+        assert!(json.contains("\"throughput_100x_over_1x\": 0.90"));
+        assert!(json.contains("\"pool_held\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(hundred_over_one(&[]), 0.0);
+        assert_eq!(
+            TopologyScale {
+                label: "x".into(),
+                components: 8,
+                partitions_per_component: 50
+            }
+            .total_partitions(),
+            400
+        );
+    }
+}

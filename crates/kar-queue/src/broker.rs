@@ -88,6 +88,11 @@ impl<M> Clone for Broker<M> {
 struct Partition<M> {
     log: Mutex<PartitionLog<M>>,
     signal: WaitSignal,
+    /// Mirror of the log's end offset, updated under the log lock after
+    /// every append. Lets [`Consumer::ready`] answer "is there anything to
+    /// read?" with one atomic load — no log lock, no delivery latency — so a
+    /// reactor can cheaply sweep hundreds of partitions per wakeup.
+    end: AtomicU64,
     /// Ownership fencing epoch of this partition. Bumped by
     /// [`Broker::fence_partition`] when the partition is reassigned to a new
     /// consumer (recovery re-homing a failed component's partition range), so
@@ -108,6 +113,7 @@ impl<M> Default for Partition<M> {
         Partition {
             log: Mutex::new(PartitionLog::default()),
             signal: WaitSignal::new(),
+            end: AtomicU64::new(0),
             owner_epoch: AtomicU64::new(0),
             watchers: RwLock::new(Vec::new()),
         }
@@ -462,6 +468,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             partition,
             partition_epoch,
             position: Mutex::new(offset),
+            position_hint: AtomicU64::new(offset),
         })
     }
 
@@ -491,6 +498,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
                 self.inner.config.retention,
                 self.inner.config.max_partition_records,
             );
+            part.end.store(log.end_offset(), Ordering::Release);
             offset
         };
         part.notify();
@@ -530,6 +538,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
                 self.inner.config.retention,
                 self.inner.config.max_partition_records,
             );
+            part.end.store(log.end_offset(), Ordering::Release);
             first..end
         };
         part.notify();
@@ -591,7 +600,12 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
     pub fn admin_append(&self, topic: &str, partition: usize, payload: M) -> KarResult<u64> {
         let part = self.lookup_partition(topic, partition)?;
         let now = self.now();
-        let offset = part.log.lock().append(now, payload);
+        let offset = {
+            let mut log = part.log.lock();
+            let offset = log.append(now, payload);
+            part.end.store(log.end_offset(), Ordering::Release);
+            offset
+        };
         part.notify();
         Ok(offset)
     }
@@ -618,7 +632,9 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             for payload in payloads {
                 log.append(now, payload);
             }
-            first..log.end_offset()
+            let end = log.end_offset();
+            part.end.store(end, Ordering::Release);
+            first..end
         };
         part.notify();
         Ok(range)
@@ -950,6 +966,10 @@ pub struct Consumer<M> {
     partition: usize,
     partition_epoch: Epoch,
     position: Mutex<u64>,
+    /// Lock-free mirror of `position`, refreshed whenever the position moves
+    /// under its lock. Only read by [`Consumer::ready`]; a slightly stale
+    /// value costs at most one spurious (or missed-until-next-notify) sweep.
+    position_hint: AtomicU64,
 }
 
 impl<M: Clone + Send + Sync + 'static> Consumer<M> {
@@ -980,6 +1000,12 @@ impl<M: Clone + Send + Sync + 'static> Consumer<M> {
     pub fn poll(&self, max: usize) -> KarResult<Vec<Record<Arc<M>>>> {
         self.check_partition_epoch()?;
         let mut position = self.position.lock();
+        // Snapshot the end offset *before* fetching: an append racing the
+        // fetch is never skipped, while an empty fetch proves every offset
+        // below the snapshot is gone (expired or truncated) and the position
+        // can jump past the gap — otherwise `ready()` would report a
+        // readable backlog forever and sweepers would busy-spin on it.
+        let end = self.partition_ref.end.load(Ordering::Acquire);
         let records = self.broker.fetch(
             self.component,
             self.epoch,
@@ -989,8 +1015,24 @@ impl<M: Clone + Send + Sync + 'static> Consumer<M> {
         )?;
         if let Some(last) = records.last() {
             *position = last.offset + 1;
+        } else if max > 0 && end > *position {
+            *position = end;
         }
+        self.position_hint.store(*position, Ordering::Release);
         Ok(records)
+    }
+
+    /// True if a poll could return something right now: the partition's end
+    /// offset has moved past this consumer's position, or the partition was
+    /// fenced (so the next poll reports [`KarError::Fenced`] and the owner
+    /// can drop the consumer). A pure atomic check — no locks, no modelled
+    /// delivery latency — so sweeping a large set of consumers is cheap.
+    pub fn ready(&self) -> bool {
+        let fenced = Epoch::from_raw(self.partition_ref.owner_epoch.load(Ordering::Acquire))
+            > self.partition_epoch;
+        fenced
+            || self.partition_ref.end.load(Ordering::Acquire)
+                > self.position_hint.load(Ordering::Acquire)
     }
 
     /// Like [`Consumer::poll`], but parks on the partition's append signal
@@ -1056,6 +1098,7 @@ impl<M: Clone + Send + Sync + 'static> Consumer<M> {
     /// Moves the consumer to `offset`.
     pub fn seek(&self, offset: u64) {
         *self.position.lock() = offset;
+        self.position_hint.store(offset, Ordering::Release);
     }
 
     /// The partition this consumer reads.
@@ -1346,6 +1389,58 @@ mod tests {
             "idle partition kept records past retention"
         );
         assert_eq!(broker.expired_count("t", 0), 3);
+    }
+
+    #[test]
+    fn ready_tracks_appends_polls_and_fences_without_locks() {
+        let broker: Broker<u32> = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 1).unwrap();
+        let consumer = broker.consumer(c(1), "t", 0).unwrap();
+        assert!(!consumer.ready(), "empty partition must not read as ready");
+        let producer = broker.producer(c(2));
+        producer.send("t", 0, 7).unwrap();
+        assert!(consumer.ready(), "append must flip ready");
+        assert_eq!(consumer.poll(10).unwrap().len(), 1);
+        assert!(!consumer.ready(), "drained consumer must not stay ready");
+        producer.send_batch("t", 0, vec![8, 9]).unwrap();
+        assert!(consumer.ready(), "batch append must flip ready");
+        consumer.poll(10).unwrap();
+        // A fenced partition reads as ready so sweepers observe the fence
+        // (the next poll fails) instead of parking on a dead consumer.
+        broker.fence_partition("t", 0).unwrap();
+        assert!(consumer.ready(), "fence must flip ready");
+        assert!(consumer.poll(10).unwrap_err().is_fenced());
+    }
+
+    #[test]
+    fn empty_poll_skips_past_expired_backlog() {
+        // Records between the consumer position and the end offset can
+        // vanish wholesale (retention, truncation). An empty poll must then
+        // advance the position past the gap, or `ready()` would report a
+        // phantom backlog forever.
+        let config = BrokerConfig {
+            retention: Duration::from_millis(5),
+            ..BrokerConfig::default()
+        };
+        let broker: Broker<u32> = Broker::new(config);
+        broker.create_topic("t", 1).unwrap();
+        let consumer = broker.consumer(c(1), "t", 0).unwrap();
+        let producer = broker.producer(c(2));
+        for i in 0..3 {
+            producer.send("t", 0, i).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(15));
+        broker.tick(); // expires all three records
+        assert!(consumer.ready(), "hint still points at the dead backlog");
+        assert!(consumer.poll(10).unwrap().is_empty());
+        assert_eq!(consumer.position(), 3, "position must skip the gap");
+        assert!(!consumer.ready(), "phantom backlog must clear");
+        // New appends land past the gap and are still delivered.
+        producer.send("t", 0, 9).unwrap();
+        assert!(consumer.ready());
+        let records = consumer.poll(10).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(*records[0].payload, 9);
     }
 
     #[test]

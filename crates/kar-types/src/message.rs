@@ -132,6 +132,16 @@ pub struct ResponseMessage {
     pub caller: Option<RequestId>,
     /// The completion payload, shared across delivery and hand-off.
     pub result: Arc<Payload>,
+    /// The component the response was addressed to (the request's
+    /// `reply_to`). A component consuming a response with a *different*
+    /// address knows it holds an adopted record of a failed caller, and can
+    /// forward it to the caller actor's current host instead of silently
+    /// recording it — the response-side mirror of request forwarding.
+    pub reply_to: Option<ComponentId>,
+    /// The actor whose invocation issued the request being answered, if any
+    /// (the request's `caller_actor`). Adopters use it to resolve where the
+    /// caller lives now.
+    pub caller_actor: Option<ActorRef>,
 }
 
 impl ResponseMessage {
@@ -141,7 +151,22 @@ impl ResponseMessage {
             id,
             caller,
             result: Arc::new(result),
+            reply_to: None,
+            caller_actor: None,
         }
+    }
+
+    /// Attaches the routing information an adopter needs to re-forward this
+    /// response if its addressee fails before consuming it.
+    #[must_use]
+    pub fn with_routing(
+        mut self,
+        reply_to: Option<ComponentId>,
+        caller_actor: Option<ActorRef>,
+    ) -> Self {
+        self.reply_to = reply_to;
+        self.caller_actor = caller_actor;
+        self
     }
 
     /// Builds a successful response.

@@ -4,11 +4,13 @@
 use kar_types::{ActorRef, KarResult, Value};
 
 use crate::context::ActorContext;
+use crate::continuation::Continuation;
 
-/// The result of an actor method invocation: either a value (or error), or a
-/// tail call that atomically completes this invocation while issuing the next
-/// one (§2.3).
-#[derive(Debug, Clone, PartialEq)]
+/// The result of an actor method invocation: a value (or error), a tail call
+/// that atomically completes this invocation while issuing the next one
+/// (§2.3), or a nested call whose continuation parks instead of blocking the
+/// worker thread.
+#[derive(Debug)]
 pub enum Outcome {
     /// The method completed with a value; the caller (if any) receives it.
     Value(Value),
@@ -22,6 +24,24 @@ pub enum Outcome {
         method: String,
         /// The invocation arguments.
         args: Vec<Value>,
+    },
+    /// The method issues a nested call and *parks* the rest of the handler
+    /// as a continuation instead of blocking the worker: the runtime sends
+    /// the nested request, frees the thread, and resumes `then` with the
+    /// result when the response record arrives. The actor stays locked for
+    /// the duration (same serialization as a blocking [`ActorContext::call`],
+    /// including reentrant bypass along the lineage), and a failure while
+    /// parked is retried from the queue copy of the original request exactly
+    /// like a killed in-flight invocation.
+    CallThen {
+        /// The actor to call.
+        target: ActorRef,
+        /// The method to invoke.
+        method: String,
+        /// The invocation arguments.
+        args: Vec<Value>,
+        /// The rest of the handler, resumed with the nested result.
+        then: Continuation,
     },
 }
 
@@ -40,9 +60,51 @@ impl Outcome {
         }
     }
 
+    /// A parked nested call to `target.method(args)`, resuming `then` with
+    /// the result. See [`ActorContext::call_then`] for the ergonomic form.
+    pub fn call_then(
+        target: ActorRef,
+        method: impl Into<String>,
+        args: Vec<Value>,
+        then: impl FnOnce(&mut ActorContext<'_>, KarResult<Value>) -> KarResult<Outcome>
+            + Send
+            + 'static,
+    ) -> Outcome {
+        Outcome::CallThen {
+            target,
+            method: method.into(),
+            args,
+            then: Continuation::new(then),
+        }
+    }
+
     /// True if this outcome is a tail call.
     pub fn is_tail_call(&self) -> bool {
         matches!(self, Outcome::TailCall { .. })
+    }
+}
+
+// `PartialEq` is implemented by hand because a parked continuation (an
+// arbitrary `FnOnce`) has no meaningful equality: two `CallThen` outcomes
+// never compare equal, even to themselves.
+impl PartialEq for Outcome {
+    fn eq(&self, other: &Outcome) -> bool {
+        match (self, other) {
+            (Outcome::Value(a), Outcome::Value(b)) => a == b,
+            (
+                Outcome::TailCall {
+                    target: t1,
+                    method: m1,
+                    args: a1,
+                },
+                Outcome::TailCall {
+                    target: t2,
+                    method: m2,
+                    args: a2,
+                },
+            ) => t1 == t2 && m1 == m2 && a1 == a2,
+            _ => false,
+        }
     }
 }
 
@@ -117,7 +179,23 @@ mod tests {
                 assert_eq!(method, "m");
                 assert_eq!(args, vec![Value::Null]);
             }
-            Outcome::Value(_) => panic!("expected tail call"),
+            _ => panic!("expected tail call"),
         }
+    }
+
+    #[test]
+    fn call_then_outcomes_never_compare_equal() {
+        let park = || {
+            Outcome::call_then(ActorRef::new("A", "1"), "m", vec![], |_, input| {
+                input.map(Outcome::Value)
+            })
+        };
+        let a = park();
+        assert!(!a.is_tail_call());
+        assert!(
+            a != park(),
+            "continuations are opaque; CallThen equality is always false"
+        );
+        assert!(matches!(a, Outcome::CallThen { ref method, .. } if method == "m"));
     }
 }

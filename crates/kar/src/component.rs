@@ -3,19 +3,28 @@
 //! Each component owns a dedicated queue **partition set** (the paper's
 //! Kafka deployment assigns each component a set of partitions, §4.1):
 //! producers hash requests onto the set's stable *home* partitions by actor
-//! key, one consumer thread per partition (by default; see
-//! `MeshConfig::consumers_per_component`) drains them, and recovery can
+//! key, consumer *lanes* (units of consumer concurrency, see
+//! `MeshConfig::consumers_per_component`) drain them, and recovery can
 //! re-home a failed component's partition *ranges* onto survivors as
 //! drain-only *adopted* partitions. The component announces the actor types
 //! it hosts, routes polled requests by actor identity onto a sharded
-//! dispatch worker pool (see [`crate::dispatch`]) that admits them to
-//! per-actor mailboxes (honouring the actor lock, reentrancy and tail-call
-//! lock retention of §2.2–2.3 and §4.1), sends responses back to callers'
-//! queues (hashed onto the caller's partition set), heartbeats the consumer
-//! group, and defers re-homed requests until their pending callee settles
-//! (the happen-before guarantee of §4.3). Invocations for distinct actors
-//! execute in parallel, up to `MeshConfig::dispatch_workers` at a time per
-//! component.
+//! dispatch queue (see [`crate::dispatch`]) that admits them to per-actor
+//! mailboxes (honouring the actor lock, reentrancy and tail-call lock
+//! retention of §2.2–2.3 and §4.1), sends responses back to callers'
+//! queues (hashed onto the caller's partition set), and defers re-homed
+//! requests until their pending callee settles (the happen-before guarantee
+//! of §4.3).
+//!
+//! The component owns **no threads**. All of its partitions and dispatch
+//! shards are pumped by the mesh's fixed reactor pool
+//! ([`crate::mesh`], `MeshConfig::reactor_threads`) through
+//! [`ComponentCore::pump`], and its periodic duties (heartbeat, bookkeeping
+//! aging, continuation timeouts, orphaned-response routing, partition
+//! retirement) run on the mesh's single timer thread through
+//! [`ComponentCore::tick`]. Handlers that issue nested calls park a
+//! continuation instead of blocking a thread (see [`crate::continuation`]);
+//! invocations for distinct actors still execute in parallel, up to the
+//! reactor-pool width at a time.
 //!
 //! Rebalance safety: admission verifies the *placement* of every request it
 //! is about to execute (one cache hit in steady state) and forwards requests
@@ -25,7 +34,7 @@
 //! are cut off by the broker's per-partition ownership epochs.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -38,14 +47,15 @@ use kar_types::ids::RequestIdGenerator;
 use kar_types::RequestId;
 use kar_types::{
     ActorRef, CallKind, ComponentId, Envelope, KarError, KarResult, NodeId, Payload,
-    RequestMessage, ResponseMessage, Value, WaitSignal, WaitSignalGroup,
+    RequestMessage, ResponseMessage, Value, WaitSignalGroup,
 };
 
 use crate::actor::{ActorFactory, Outcome};
 use crate::aging::AgingSet;
 use crate::config::{CancellationPolicy, MeshConfig};
 use crate::context::{state_key, ActorContext};
-use crate::delivery::ResponseBatcher;
+use crate::continuation::{Continuation, ContinuationTable, ParkedContinuation};
+use crate::delivery::{RequestBatcher, ResponseBatcher};
 use crate::dispatch::DispatchPool;
 use crate::placement::{LiveSet, PlacementService};
 use crate::state_cache::StateCache;
@@ -82,6 +92,49 @@ struct ActorSlot {
     verified_epoch: Option<u64>,
 }
 
+/// The admission decision for one polled request.
+enum Admission {
+    /// Admitted: run this invocation inline — `(request, holds_lock,
+    /// reentrant)`.
+    Run(RequestMessage, bool, bool),
+    /// Not ours: forward to the current placement, *outside* the shard
+    /// claim (forwarding may wait out a stale placement).
+    Forward(RequestMessage),
+    /// Absorbed: duplicate, deferred, mailboxed, or dropped.
+    Done,
+}
+
+/// One consumer lane: the unit of consumer concurrency (what used to be a
+/// consumer *thread*). A reactor claims a lane with `try_lock` — a lane
+/// being swept on another reactor is skipped, not waited for — so the old
+/// one-thread-per-lane serialization of its partitions is preserved without
+/// dedicating a thread to it.
+struct ConsumerLane {
+    consumers: Mutex<Vec<Consumer<Envelope>>>,
+}
+
+/// One dispatch-shard claim held by a `drain_shard` frame on this thread.
+/// `core` is an identity (never dereferenced); `yielded` records that a
+/// blocking wait inside the frame's invocation handed the shard off.
+struct ShardClaim {
+    core: usize,
+    shard: usize,
+    yielded: bool,
+}
+
+thread_local! {
+    /// Dispatch-shard claims held by `drain_shard` frames on this thread,
+    /// innermost last. Entering a blocking runtime wait *yields* the
+    /// innermost claim — the reactor-era version of the old worker-thread
+    /// hand-off to a replacement drainer: the shard stays drainable by any
+    /// reactor (including this thread's own nested pumps) while the
+    /// invocation is parked, so two actors on one shard calling each other
+    /// cannot deadlock, and one stale placement never stalls every other
+    /// actor pinned to the shard.
+    static SHARD_CLAIMS: std::cell::RefCell<Vec<ShardClaim>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// The runtime core of one application component.
 pub struct ComponentCore {
     pub(crate) id: ComponentId,
@@ -113,10 +166,30 @@ pub struct ComponentCore {
     pool: DispatchPool,
     alive: AtomicBool,
     paused: AtomicBool,
-    /// Bumped whenever recovery completes on this component (resume) or it
-    /// is killed; response routing parks here while waiting for a failed
-    /// caller to be re-placed, instead of sleep-polling.
-    resume_signal: WaitSignal,
+    /// The mesh-wide reactor wake signal: bumped whenever this component
+    /// gains work (an append to one of its partitions, a shard push, a
+    /// timed-out continuation), so an idle reactor resumes sweeping.
+    wakeup: Arc<WaitSignalGroup>,
+    /// This component's consumer lanes. Starts at the pre-failure steady
+    /// state (`MeshConfig::consumers_per_component` lanes over the home
+    /// partitions), grows by one lane per adopted partition range, and
+    /// shrinks back as adopted ranges are retired.
+    lanes: Mutex<Vec<Arc<ConsumerLane>>>,
+    /// Continuations parked on nested calls, keyed by the nested request id
+    /// (see [`crate::continuation`]).
+    continuations: ContinuationTable,
+    /// Continuations whose deadline passed, moved here by the mesh timer and
+    /// resumed with a timeout error by the next reactor sweep — application
+    /// code never runs on the timer thread.
+    timed_out: Mutex<Vec<(RequestId, ParkedContinuation)>>,
+    /// Responses whose caller's component failed, parked until
+    /// reconciliation re-places the caller actor (swept by the mesh timer;
+    /// dropped at their deadline). Replaces the per-response routing thread.
+    orphan_responses: Mutex<Vec<(ResponseMessage, Instant)>>,
+    /// Set after the first failed heartbeat (the component was fenced or its
+    /// group is gone): parity with the old dedicated heartbeat thread, which
+    /// exited at that point and took the bookkeeping aging with it.
+    heartbeats_stopped: AtomicBool,
     /// Per-partition offset of the next record this component's consumers
     /// will read; used by reconciliation to decide whether a request copy in
     /// a queue is still going to be processed. Grows when partitions are
@@ -126,15 +199,16 @@ pub struct ComponentCore {
     /// completions towards one caller partition share a lock acquisition and
     /// a durable ack. `None` when `MeshConfig::response_batching` is off.
     responses: Option<ResponseBatcher>,
+    /// Per-destination-component request batching (the request-leg mirror of
+    /// the response batcher): concurrent sends towards one component share a
+    /// keyed batch append. `None` when `MeshConfig::request_batching` is off.
+    requests: Option<RequestBatcher>,
     /// Broker-clock instants at which each currently-adopted partition was
     /// adopted; drives the retirement horizon (see `maybe_retire_partitions`).
     adopted_at: Mutex<HashMap<usize, Instant>>,
     /// Adopted partitions this component has retired (fenced, dropped from
-    /// their consumer's wait group, removed from the partition set).
+    /// the reactor wake group, removed from the partition set).
     retired: Mutex<Vec<usize>>,
-    /// Live consumer threads; retirement returns this to the pre-failure
-    /// steady state once every adopted partition of a thread is retired.
-    active_consumers: AtomicUsize,
     actors: Mutex<HashMap<ActorRef, ActorSlot>>,
     pending_calls: Mutex<HashMap<RequestId, Sender<Arc<Payload>>>>,
     deferred: Mutex<HashMap<RequestId, Vec<RequestMessage>>>,
@@ -169,6 +243,7 @@ impl ComponentCore {
         live: LiveSet,
         ids: Arc<RequestIdGenerator>,
         hosted: HashMap<String, ActorFactory>,
+        wakeup: Arc<WaitSignalGroup>,
     ) -> Self {
         let producer = broker.producer(id);
         let conn = store.connect(id);
@@ -191,6 +266,7 @@ impl ComponentCore {
             config.effective_dispatch_workers(),
             config.work_stealing,
             bookkeeping_interval,
+            Some(Arc::clone(&wakeup)),
         );
         let consumed_offsets = partitions
             .all()
@@ -205,6 +281,7 @@ impl ComponentCore {
             .actor_state_cache
             .then(|| StateCache::new(state_cache_interval));
         let response_batcher = config.response_batching.then(ResponseBatcher::new);
+        let request_batcher = config.request_batching.then(RequestBatcher::new);
         ComponentCore {
             id,
             node,
@@ -226,12 +303,17 @@ impl ComponentCore {
             pool,
             alive: AtomicBool::new(true),
             paused: AtomicBool::new(false),
-            resume_signal: WaitSignal::new(),
+            wakeup,
+            lanes: Mutex::new(Vec::new()),
+            continuations: ContinuationTable::default(),
+            timed_out: Mutex::new(Vec::new()),
+            orphan_responses: Mutex::new(Vec::new()),
+            heartbeats_stopped: AtomicBool::new(false),
             consumed_offsets: RwLock::new(consumed_offsets),
             responses: response_batcher,
+            requests: request_batcher,
             adopted_at: Mutex::new(HashMap::new()),
             retired: Mutex::new(Vec::new()),
-            active_consumers: AtomicUsize::new(0),
             actors: Mutex::new(HashMap::new()),
             pending_calls: Mutex::new(HashMap::new()),
             deferred: Mutex::new(HashMap::new()),
@@ -288,10 +370,23 @@ impl ComponentCore {
         if let Some(cache) = &self.state_cache {
             cache.invalidate_clean();
         }
+        // Retirement-leak sweep: a later recovery may have fenced an adopted
+        // partition *before* its retirement horizon (the range was re-homed
+        // again). Its consumer was dropped on the failed poll, but its
+        // `adopted_at` entry — keyed by a partition this component no longer
+        // consumes — would otherwise linger forever. Drop every entry whose
+        // partition is no longer in the adopted set.
+        {
+            let adopted: HashSet<usize> =
+                self.partitions.read().adopted().iter().copied().collect();
+            self.adopted_at
+                .lock()
+                .retain(|partition, _| adopted.contains(partition));
+        }
         self.paused.store(false, Ordering::SeqCst);
-        // Recovery may have re-placed failed callers: wake response routers
-        // parked in `response_partition`.
-        self.resume_signal.bump();
+        // Queued work accumulated during the pause (and repairs made by the
+        // recovery) won't announce themselves: wake the reactors.
+        self.wakeup.notify();
     }
 
     /// Abruptly terminates the component: in-memory state (actor instances,
@@ -300,9 +395,23 @@ impl ComponentCore {
     /// state survive.
     pub(crate) fn kill(&self) {
         self.alive.store(false, Ordering::SeqCst);
-        // Unblock response routers promptly; they re-check `is_alive`.
-        self.resume_signal.bump();
         self.actors.lock().clear();
+        // Detach the consumers from the reactor wake group: partitions must
+        // not keep notifying — or keep membership for — a dead component.
+        let lanes: Vec<Arc<ConsumerLane>> = std::mem::take(&mut *self.lanes.lock());
+        for lane in lanes {
+            let mut consumers = lane.consumers.lock();
+            for consumer in consumers.iter() {
+                consumer.leave_wait_group(&self.wakeup);
+            }
+            consumers.clear();
+        }
+        // Parked continuations are in-memory state: dropped with the
+        // process. The queue copies of their original requests drive the
+        // retries on the adopters (§4.3).
+        self.continuations.clear();
+        self.timed_out.lock().clear();
+        self.orphan_responses.lock().clear();
         // The in-memory state images die with the process; unflushed writes
         // are lost, exactly like the in-flight writes of a killed
         // per-command component (no response was sent for them).
@@ -313,14 +422,21 @@ impl ComponentCore {
         self.pending_calls.lock().clear();
         self.deferred.lock().clear();
         self.inflight.lock().clear();
-        // Buffered (not yet appended) completions die with the process; the
-        // affected requests' queue copies drive the retry.
+        // Buffered (not yet appended) completions and requests die with the
+        // process; the affected requests' queue copies drive the retry.
+        // Clearing the request batcher also poisons it, waking enqueuers
+        // parked on an in-flight flush.
         if let Some(responses) = &self.responses {
             responses.clear();
+        }
+        if let Some(requests) = &self.requests {
+            requests.clear();
         }
         // Records already routed to shard queues are in-memory state: lost
         // with the process. Their queue copies survive and drive the retry.
         self.pool.clear_pending();
+        // Reactors parked on the group re-check `is_alive` on wake.
+        self.wakeup.notify();
     }
 
     /// The number of dispatch workers (shards) of this component.
@@ -404,15 +520,23 @@ impl ComponentCore {
                     .collect()
             };
             let (enqueued, flushes) = self.response_batch_stats();
+            let (req_enqueued, req_flushes) = self.request_batch_stats();
             let _ = writeln!(
                 out,
                 "  delivery: consumers={} retire_in=[{}] retired={:?} \
-                 response_batches={flushes}/{enqueued}",
+                 response_batches={flushes}/{enqueued} \
+                 request_batches={req_flushes}/{req_enqueued}",
                 self.consumer_thread_count(),
                 horizons.join(", "),
                 self.retired.lock(),
             );
         }
+        let _ = writeln!(
+            out,
+            "  continuations: parked={} parks_total={}",
+            self.continuations.len(),
+            self.continuations.parked_total(),
+        );
         out.push_str(&self.pool.debug_snapshot());
         match self.actors.try_lock() {
             Some(actors) => {
@@ -553,23 +677,64 @@ impl ComponentCore {
     /// Resolves the target actor's placement and appends the request to the
     /// hosting component's queue.
     ///
-    /// Resolution can block (bounded by the call timeout) when a recorded
+    /// Resolution can wait (bounded by the call timeout) when a recorded
     /// placement points at a failed component and reconciliation has not
-    /// rewritten it yet. When that happens on a dispatch worker thread, the
-    /// worker hands its shard to a replacement drainer first, so one stale
-    /// placement never stalls every other actor pinned to the shard.
+    /// rewritten it yet. A reactor thread waiting here keeps pumping the
+    /// mesh instead of parking (work-while-waiting), so one stale placement
+    /// never idles a thread of the fixed pool; other threads park on the
+    /// placement repair signal.
     pub(crate) fn send_request(self: &Arc<Self>, message: RequestMessage) -> KarResult<()> {
-        let component = match self.placement.resolve_nowait(&message.target)? {
-            Some(component) => component,
-            None => {
-                self.pool
-                    .enter_blocking(|shard| self.spawn_shard_worker(shard));
-                self.placement.resolve(&message.target)?
+        let deadline = Instant::now() + self.config.call_timeout;
+        let component = loop {
+            if !self.is_alive() {
+                return Err(KarError::Killed { component: self.id });
+            }
+            // Snapshot the repair signal before resolving: a repair landing
+            // between the lookup and the wait wakes the waiter at once.
+            let seen = self.placement.repair_epoch();
+            match self.placement.resolve_nowait(&message.target)? {
+                Some(component) => break component,
+                None => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(KarError::Timeout {
+                            request: message.id,
+                            after_ms: self.config.call_timeout.as_millis() as u64,
+                        });
+                    }
+                    // Waiting out a stale placement: hand the shard off so
+                    // one unresolved actor never stalls the others pinned
+                    // to it (idempotent across loop iterations).
+                    self.yield_shard_claim();
+                    if !crate::mesh::pump_current_reactor() {
+                        self.placement
+                            .wait_for_repair(seen, Duration::from_millis(5).min(deadline - now));
+                    }
+                }
             }
         };
-        // Route through the broker's keyed producer API, so the runtime and
-        // the broker share one routing implementation (hash the actor key
-        // over the target's home set).
+        self.send_request_to(component, message)
+    }
+
+    /// Appends `message` to `component`'s queue, hashed by actor key over
+    /// its home set — through the request batcher (one keyed batch append
+    /// per burst towards the component) when `MeshConfig::request_batching`
+    /// is on, or as a plain keyed append otherwise. Either way the append is
+    /// durable when this returns. Routing goes through the broker's keyed
+    /// producer API, so the runtime and the broker share one routing
+    /// implementation.
+    fn send_request_to(&self, component: ComponentId, message: RequestMessage) -> KarResult<()> {
+        let key = message.target.qualified_name();
+        if let Some(batcher) = &self.requests {
+            return batcher.send(
+                &self.producer,
+                &self.topic,
+                |c| self.topology.read().get(&c).cloned(),
+                component,
+                key,
+                Envelope::Request(message),
+            );
+        }
         let set = self
             .topology
             .read()
@@ -578,7 +743,6 @@ impl ComponentCore {
             .ok_or_else(|| {
                 KarError::internal(format!("no partition set recorded for {component}"))
             })?;
-        let key = message.target.qualified_name();
         self.producer
             .send_keyed(&self.topic, &set, &key, Envelope::Request(message))?;
         Ok(())
@@ -609,7 +773,8 @@ impl ComponentCore {
         // One materialization for the whole delivery path: the queue copy,
         // the delivered envelope, and the pending-call hand-off all share
         // this `Arc`ed payload.
-        let response = ResponseMessage::new(request.id, request.caller, result);
+        let response = ResponseMessage::new(request.id, request.caller, result)
+            .with_routing(request.reply_to, request.caller_actor.clone());
         // Fast path: the caller's component is alive, deliver to the
         // partition of its set the response key hashes to (the routing the
         // broker's keyed producer API applies), batched per destination.
@@ -622,59 +787,73 @@ impl ComponentCore {
                 }
             }
         }
-        // Slow path: the caller's component failed. Wait (on a separate
-        // thread, so the actor lock is released promptly) for reconciliation
-        // to re-place the caller actor and deliver to its new home.
-        let core = Arc::clone(self);
-        let request = request.clone();
-        std::thread::Builder::new()
-            .name(format!("kar-response-{}", request.id))
-            .spawn(move || {
-                if let Some(partition) = core.response_partition(&request) {
-                    let _ =
-                        core.producer
-                            .send(&core.topic, partition, Envelope::Response(response));
-                }
-            })
-            .expect("failed to spawn response routing thread");
+        // Slow path: the caller's component failed. Park the response until
+        // reconciliation re-places the caller actor; the mesh timer sweeps
+        // the parked list each tick and delivers to the caller's new home
+        // (or drops the response at the call-timeout deadline). No thread is
+        // spawned and no thread blocks.
+        let deadline = Instant::now() + self.config.call_timeout;
+        self.orphan_responses.lock().push((response, deadline));
     }
 
-    fn response_partition(&self, request: &RequestMessage) -> Option<usize> {
-        let key = Self::response_key(request);
-        if let Some(reply_to) = request.reply_to {
+    /// One non-blocking routing attempt for an orphaned response: the
+    /// `reply_to` component if it is live again, else the current home of
+    /// the caller actor if reconciliation has re-placed it. Routes off the
+    /// response's own routing fields, so adopters that *consumed* an
+    /// orphaned record can re-park it here too.
+    fn try_response_partition(&self, response: &ResponseMessage) -> Option<usize> {
+        let key = match &response.caller_actor {
+            Some(actor) => actor.qualified_name(),
+            None => format!("req-{}", response.id.as_u64()),
+        };
+        if let Some(reply_to) = response.reply_to {
             if self.live.read().contains(&reply_to) {
                 return self.partition_for(reply_to, &key);
             }
         }
-        if let Some(caller_actor) = &request.caller_actor {
-            // The caller's component failed: wait (bounded) for reconciliation
-            // to re-place the caller, then deliver to its new home. Parked on
-            // the resume signal (bumped when recovery completes here) rather
-            // than sleep-polling; each wait is capped so repairs made without
-            // a local resume — e.g. an orphaned caller re-homed when a fresh
-            // component joins — are still picked up promptly.
-            let deadline = Instant::now() + self.config.call_timeout;
-            let wait_slice = Duration::from_millis(20);
-            loop {
-                if !self.is_alive() {
-                    return None;
-                }
-                let seen = self.resume_signal.current();
-                // Not yet resolvable (stale placement, or no live host yet):
-                // keep waiting for the repair.
-                if let Ok(Some(component)) = self.placement.resolve_nowait(caller_actor) {
+        if let Some(caller_actor) = &response.caller_actor {
+            // A placement pointing at a dead component is a stale read taken
+            // before reconciliation's rewrite: delivering there would strand
+            // the response in a queue about to be flushed. Stay parked until
+            // the sweep observes a live owner.
+            if let Ok(Some(component)) = self.placement.resolve_nowait(caller_actor) {
+                if self.live.read().contains(&component) {
                     return self.partition_for(component, &key);
                 }
-                let now = Instant::now();
-                if now >= deadline {
-                    return None;
+            }
+            return None;
+        }
+        // reply_to points at a dead external client: deliver to its queue
+        // anyway (harmless; the records expire with retention).
+        response.reply_to.and_then(|c| self.partition_for(c, &key))
+    }
+
+    /// Mesh-timer sweep of the orphaned-response park list: responses whose
+    /// caller became routable are delivered, unroutable ones stay parked
+    /// until their deadline.
+    fn sweep_orphan_responses(&self, now: Instant) {
+        if self.orphan_responses.lock().is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut *self.orphan_responses.lock());
+        let mut keep = Vec::new();
+        for (response, deadline) in pending {
+            match self.try_response_partition(&response) {
+                Some(partition) => {
+                    let _ =
+                        self.producer
+                            .send(&self.topic, partition, Envelope::Response(response));
                 }
-                self.resume_signal
-                    .wait(seen, wait_slice.min(deadline - now));
+                None if now < deadline && self.is_alive() => {
+                    keep.push((response, deadline));
+                }
+                // Past the deadline: drop, exactly like the old bounded wait.
+                None => {}
             }
         }
-        // reply_to points at a dead external client: drop the response.
-        request.reply_to.and_then(|c| self.partition_for(c, &key))
+        if !keep.is_empty() {
+            self.orphan_responses.lock().extend(keep);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -808,13 +987,36 @@ impl ComponentCore {
         id: RequestId,
         receiver: crossbeam::channel::Receiver<Arc<Payload>>,
     ) -> KarResult<Value> {
-        // About to park: if this thread is a dispatch worker, hand its shard
-        // to a replacement drainer first, so the shard keeps making progress
-        // (and so two actors on the same shard calling each other cannot
-        // deadlock until the call timeout).
-        self.pool
-            .enter_blocking(|shard| self.spawn_shard_worker(shard));
-        let outcome = receiver.recv_timeout(self.config.call_timeout);
+        // About to park: hand this frame's dispatch shard back to the pool
+        // first, so the shard keeps making progress — without this, two
+        // actors on one shard calling each other would deadlock until the
+        // call timeout (the callee's reentrant callback hashes to the very
+        // shard this caller's claim is wedging).
+        self.yield_shard_claim();
+        // A blocking `ctx.call` on a reactor thread must not idle a thread
+        // of the fixed pool: interleave short waits with pumping the mesh
+        // (work-while-waiting), so the nested request — and everything else
+        // — keeps making progress even on a single-reactor mesh. Any reactor
+        // can deliver this response; pumping is about throughput, not
+        // correctness. Off-reactor threads (clients) just block.
+        let deadline = Instant::now() + self.config.call_timeout;
+        let outcome = loop {
+            let slice = if crate::mesh::on_reactor_thread() {
+                Duration::from_millis(1).min(self.config.call_timeout)
+            } else {
+                deadline.saturating_duration_since(Instant::now())
+            };
+            match receiver.recv_timeout(slice) {
+                Ok(payload) => break Ok(payload),
+                Err(RecvTimeoutError::Disconnected) => break Err(RecvTimeoutError::Disconnected),
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        break Err(RecvTimeoutError::Timeout);
+                    }
+                    crate::mesh::pump_current_reactor();
+                }
+            }
+        };
         self.pending_calls.lock().remove(&id);
         match outcome {
             Ok(payload) => {
@@ -846,9 +1048,19 @@ impl ComponentCore {
             self.seen_responses.lock().insert(response.id);
             deferred_map.remove(&response.id)
         };
+        let mut consumed = deferred.is_some();
+        // A continuation parked on this response resumes inline, on the
+        // reactor that polled the response record. The claim is exclusive,
+        // so a duplicate response (a retried callee) cannot resume it twice.
+        if let Some(parked) = self.continuations.take(response.id) {
+            let input: KarResult<Value> = (*response.result).clone();
+            consumed = true;
+            self.resume_continuation(parked, input);
+        }
         if let Some(sender) = self.pending_calls.lock().remove(&response.id) {
             // Hand the blocked caller the shared payload — no deep copy; the
             // caller materializes an owned value once, at the API boundary.
+            consumed = true;
             let _ = sender.send(Arc::clone(&response.result));
         }
         // Unblock any re-homed caller whose retry was waiting for this callee
@@ -860,44 +1072,71 @@ impl ComponentCore {
                 self.pool.submit(request);
             }
         }
+        if consumed {
+            return;
+        }
+        // Nothing here wanted this response, and it was not even addressed
+        // here: it was appended to a failed caller's partition (just before
+        // the failure fenced it) and consumed by this component as that
+        // partition's adopter. The caller's re-homed retry is deferred — or
+        // about to be — wherever the caller actor is placed NOW, which need
+        // not be the component that adopted this partition. Chase the
+        // placement, exactly like request forwarding: deliver the response
+        // to the current owner's queue (its own `handle_response` wakes the
+        // deferral through its seen-responses set). Unroutable yet — park
+        // alongside the sender-side orphans for the timer sweep to retry.
+        match response.reply_to {
+            None => {}
+            Some(reply_to) if reply_to == self.id => {}
+            Some(_) => {
+                // A dead external client's response (no caller actor) stays
+                // dropped: nobody can ever wait on it again.
+                let Some(caller_actor) = response.caller_actor.clone() else {
+                    return;
+                };
+                match self.placement.resolve_nowait(&caller_actor) {
+                    // Placement followed the partition here: the response is
+                    // recorded in this component's seen set, which is the
+                    // set the owner's deferral checks.
+                    Ok(Some(owner)) if owner == self.id => {}
+                    Ok(Some(owner)) => {
+                        if let Some(partition) =
+                            self.partition_for(owner, &caller_actor.qualified_name())
+                        {
+                            let _ = self.producer.send(
+                                &self.topic,
+                                partition,
+                                Envelope::Response(response),
+                            );
+                        }
+                    }
+                    _ => {
+                        let deadline = Instant::now() + self.config.call_timeout;
+                        self.orphan_responses.lock().push((response, deadline));
+                    }
+                }
+            }
+        }
     }
 
-    /// Admission control for one request, run by its actor's shard worker:
-    /// dedupes retries, defers happen-before-annotated retries, forwards
-    /// mis-routed requests, and applies the actor-lock rules of §2.2–§4.1.
-    /// Returns the invocation to run inline, if any: `(request, holds_lock,
-    /// reentrant)`.
-    fn admit_request(
-        self: &Arc<Self>,
-        mut request: RequestMessage,
-    ) -> Option<(RequestMessage, bool, bool)> {
+    /// Admission control for one request, run under its shard's claim:
+    /// dedupes retries, defers happen-before-annotated retries, flags
+    /// mis-routed requests for forwarding, and applies the actor-lock rules
+    /// of §2.2–§4.1. Never blocks — forwarding (which may wait out a stale
+    /// placement) is returned to the caller to perform *outside* the shard
+    /// claim, so one stale placement never wedges a whole shard.
+    fn admit_request(self: &Arc<Self>, mut request: RequestMessage) -> Admission {
         if !self.is_alive() {
-            return None;
+            return Admission::Done;
         }
         if self.completed.lock().contains(&request.id) || self.inflight.lock().contains(&request.id)
         {
-            return None;
-        }
-        // Happen-before: a retried caller waits for its pending callee. The
-        // deferred lock is held across the seen-response check and the park,
-        // mirroring handle_response, so the callee's response cannot slip in
-        // between them and leave this retry parked forever.
-        if let Some(callee) = request.pending_callee {
-            {
-                let mut deferred_map = self.deferred.lock();
-                if !self.seen_responses.lock().contains(&callee) {
-                    self.stats.deferred.fetch_add(1, Ordering::Relaxed);
-                    deferred_map.entry(callee).or_default().push(request);
-                    return None;
-                }
-            }
-            request.pending_callee = None;
+            return Admission::Done;
         }
         // Mis-routed request (placement changed): forward to the current host.
         if !self.hosted.contains_key(request.target.actor_type()) {
             self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
-            let _ = self.send_request(request);
-            return None;
+            return Admission::Forward(request);
         }
         // Rebalance guard: hosting the *type* is not owning the *actor*. A
         // record can reach this component for an actor placed elsewhere —
@@ -931,14 +1170,31 @@ impl ComponentCore {
                 Ok(Some(owner)) if owner == self.id => {}
                 Ok(_) => {
                     // Owned elsewhere, or a stale placement awaiting repair:
-                    // `send_request` re-resolves (blocking, with the shard
-                    // handed off) and appends to the owner's queue.
+                    // `send_request` re-resolves (outside the shard claim)
+                    // and appends to the owner's queue.
                     self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
-                    let _ = self.send_request(request);
-                    return None;
+                    return Admission::Forward(request);
                 }
-                Err(_) => return None,
+                Err(_) => return Admission::Done,
             }
+        }
+        // Happen-before: a retried caller waits for its pending callee. The
+        // deferred lock is held across the seen-response check and the park,
+        // mirroring handle_response, so the callee's response cannot slip in
+        // between them and leave this retry parked forever. Checked strictly
+        // AFTER ownership: only the placement owner may park the retry,
+        // because the callee's response chases the caller's *placement* — a
+        // deferral on a mere partition adopter would never be woken.
+        if let Some(callee) = request.pending_callee {
+            {
+                let mut deferred_map = self.deferred.lock();
+                if !self.seen_responses.lock().contains(&callee) {
+                    self.stats.deferred.fetch_add(1, Ordering::Relaxed);
+                    deferred_map.entry(callee).or_default().push(request);
+                    return Admission::Done;
+                }
+            }
+            request.pending_callee = None;
         }
         let mut actors = self.actors.lock();
         let slot = actors.entry(request.target.clone()).or_default();
@@ -949,7 +1205,7 @@ impl ComponentCore {
             slot.busy_chain = request.chain();
             drop(actors);
             self.inflight.lock().insert(request.id);
-            Some((request, true, false))
+            Admission::Run(request, true, false)
         } else if slot.busy {
             let reentrant = request
                 .lineage
@@ -959,7 +1215,7 @@ impl ComponentCore {
                 // Reentrant nested call: bypass the mailbox (§2.2).
                 drop(actors);
                 self.inflight.lock().insert(request.id);
-                Some((request, false, true))
+                Admission::Run(request, false, true)
             } else {
                 // Move the request into the mailbox — no payload clone; the
                 // id is all the bookkeeping needs.
@@ -967,42 +1223,161 @@ impl ComponentCore {
                 slot.mailbox.push_back(request);
                 drop(actors);
                 self.inflight.lock().insert(id);
-                None
+                Admission::Done
             }
         } else {
             slot.busy = true;
             slot.busy_chain = request.chain();
             drop(actors);
             self.inflight.lock().insert(request.id);
-            Some((request, true, false))
+            Admission::Run(request, true, false)
         }
     }
 
-    fn run_invocation(
+    fn run_invocation(self: Arc<Self>, request: RequestMessage, holds_lock: bool, reentrant: bool) {
+        self.invocation_loop(request, holds_lock, reentrant, None);
+    }
+
+    /// Resumes a parked continuation with the nested call's result, then
+    /// re-enters the invocation loop exactly where the handler left off
+    /// (flush, outcome handling, mailbox drain).
+    fn resume_continuation(self: &Arc<Self>, parked: ParkedContinuation, input: KarResult<Value>) {
+        if !self.is_alive() {
+            return;
+        }
+        let ParkedContinuation {
+            request,
+            holds_lock,
+            reentrant,
+            then,
+            ..
+        } = parked;
+        self.sidecar_hop();
+        let result = {
+            let mut ctx = ActorContext::new(self, &request, request.target.clone());
+            then.resume(&mut ctx, input)
+        };
+        Arc::clone(self).invocation_loop(request, holds_lock, reentrant, Some(result));
+    }
+
+    /// Sends the nested request of an [`Outcome::CallThen`] and parks its
+    /// continuation, releasing the calling reactor. Returns `None` once
+    /// parked — the invocation resumes when the response record arrives (or
+    /// the deadline passes). If the send fails synchronously, the
+    /// continuation is resumed inline with the error and its next outcome is
+    /// returned.
+    fn park_nested(
+        self: &Arc<Self>,
+        request: &RequestMessage,
+        holds_lock: bool,
+        reentrant: bool,
+        target: ActorRef,
+        method: String,
+        args: Vec<Value>,
+        then: Continuation,
+    ) -> Option<KarResult<Outcome>> {
+        let nested_id = self.ids.fresh();
+        let nested = RequestMessage {
+            id: nested_id,
+            caller: Some(request.id),
+            target,
+            method,
+            args,
+            kind: CallKind::Call,
+            lineage: request.chain(),
+            pending_callee: None,
+            caller_actor: Some(request.target.clone()),
+            reply_to: Some(self.id),
+        };
+        // Park BEFORE sending: once the request is durable, its response can
+        // arrive on another reactor immediately — and must find the
+        // continuation in the table.
+        self.continuations.park(
+            nested_id,
+            ParkedContinuation {
+                request: request.clone(),
+                holds_lock,
+                reentrant,
+                deadline: Instant::now() + self.config.call_timeout,
+                then,
+            },
+        );
+        self.sidecar_hop();
+        match self.send_request(nested) {
+            Ok(()) => None,
+            Err(error) => {
+                // Nothing was appended, so no response will ever arrive:
+                // take the park back and resume inline with the send error.
+                // A racing timer may have claimed it as timed out first; the
+                // timeout path owns the resume then.
+                let parked = self.continuations.take(nested_id)?;
+                let mut ctx = ActorContext::new(self, request, request.target.clone());
+                Some(parked.then.resume(&mut ctx, Err(error)))
+            }
+        }
+    }
+
+    /// The invocation state machine: executes `request` (or continues it
+    /// from a resumed continuation's `resumed` outcome), completes it, and
+    /// drains the actor's mailbox while it holds the lock. Parks instead of
+    /// returning when the handler issues a [`Outcome::CallThen`].
+    fn invocation_loop(
         self: Arc<Self>,
         mut request: RequestMessage,
         holds_lock: bool,
-        reentrant: bool,
+        mut reentrant: bool,
+        mut resumed: Option<KarResult<Outcome>>,
     ) {
-        let mut reentrant = reentrant;
         loop {
             if !self.is_alive() {
                 return;
             }
-            self.sidecar_hop();
-            if self.config.cancellation == CancellationPolicy::Cancel
-                && self.should_cancel(&request)
-            {
-                self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
-                self.send_response(
-                    &request,
-                    Err(KarError::Cancelled {
-                        request: request.id,
-                    }),
-                );
-                self.finish(&request);
-            } else {
-                let result = self.execute(&request, reentrant);
+            let outcome = match resumed.take() {
+                // Continuation resume: the handler already ran up to its
+                // parked nested call; pick up from its next outcome.
+                Some(outcome) => Some(outcome),
+                None => {
+                    self.sidecar_hop();
+                    if self.config.cancellation == CancellationPolicy::Cancel
+                        && self.should_cancel(&request)
+                    {
+                        self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                        self.send_response(
+                            &request,
+                            Err(KarError::Cancelled {
+                                request: request.id,
+                            }),
+                        );
+                        self.finish(&request);
+                        None
+                    } else {
+                        Some(self.execute(&request, reentrant))
+                    }
+                }
+            };
+            if let Some(result) = outcome {
+                // A parked nested call suspends the handler mid-invocation:
+                // nothing is flushed and nothing completes — the original
+                // request stays in-flight (and in its queue copy), the actor
+                // stays locked, and recovery treats the parked invocation
+                // exactly like one executing on a killed thread.
+                let result = match result {
+                    Ok(Outcome::CallThen {
+                        target,
+                        method,
+                        args,
+                        then,
+                    }) => match self
+                        .park_nested(&request, holds_lock, reentrant, target, method, args, then)
+                    {
+                        None => return,
+                        Some(next) => {
+                            resumed = Some(next);
+                            continue;
+                        }
+                    },
+                    other => other,
+                };
                 // Flush-before-respond: the invocation's buffered state
                 // writes become durable (one pipelined round trip) before
                 // ANY completion — response, error response, or tail-call
@@ -1023,6 +1398,7 @@ impl ComponentCore {
                         self.send_response(&request, Ok(value));
                         self.finish(&request);
                     }
+                    Ok(Outcome::CallThen { .. }) => unreachable!("parked above"),
                     Ok(Outcome::TailCall {
                         target,
                         method,
@@ -1192,57 +1568,295 @@ impl ComponentCore {
     }
 
     // ------------------------------------------------------------------
-    // Background threads
+    // Reactor surface (no threads of its own)
     // ------------------------------------------------------------------
 
-    /// Spawns the consumer, dispatch worker and heartbeat threads of this
-    /// component. Home partitions are spread round-robin over
-    /// `MeshConfig::consumers_per_component` consumer threads (one thread
-    /// per partition by default).
-    pub(crate) fn start(self: &Arc<Self>) {
-        for shard in 0..self.pool.workers() {
-            let claimed = self.pool.try_claim(shard);
-            debug_assert!(claimed, "fresh shard already had a drainer");
-            self.spawn_shard_worker(shard);
-        }
+    /// Prepares the component for the reactor pool: builds the consumer
+    /// lanes (home partitions spread round-robin over
+    /// `MeshConfig::consumers_per_component` lanes, one lane per partition
+    /// by default). Spawns nothing; the mesh registers the component with
+    /// its reactors afterwards.
+    pub(crate) fn start(&self) {
         let home = self.partitions.read().home().to_vec();
         let threads = self.config.effective_consumers_per_component(home.len());
         let mut slices: Vec<Vec<usize>> = vec![Vec::new(); threads];
         for (index, partition) in home.into_iter().enumerate() {
             slices[index % threads].push(partition);
         }
-        for (index, slice) in slices.into_iter().enumerate() {
+        let mut lanes = self.lanes.lock();
+        for slice in slices {
             if !slice.is_empty() {
-                self.spawn_consumer(index, slice);
+                lanes.push(self.make_lane(slice));
             }
         }
-        let heartbeat_core = Arc::clone(self);
-        std::thread::Builder::new()
-            .name(format!("kar-heartbeat-{}", self.name))
-            .spawn(move || heartbeat_core.heartbeat_loop())
-            .expect("failed to spawn heartbeat thread");
     }
 
-    fn spawn_consumer(self: &Arc<Self>, index: usize, partitions: Vec<usize>) {
-        let consumer_core = Arc::clone(self);
-        self.active_consumers.fetch_add(1, Ordering::SeqCst);
-        std::thread::Builder::new()
-            .name(format!("kar-consumer-{}-{index}", self.name))
-            .spawn(move || {
-                let core = Arc::clone(&consumer_core);
-                consumer_core.consumer_loop(partitions);
-                core.active_consumers.fetch_sub(1, Ordering::SeqCst);
-            })
-            .expect("failed to spawn consumer thread");
+    /// Builds one consumer lane over `partitions`, wiring every consumer
+    /// into the mesh reactor wake group (an append to any of them wakes an
+    /// idle reactor).
+    fn make_lane(&self, partitions: Vec<usize>) -> Arc<ConsumerLane> {
+        let consumers: Vec<Consumer<Envelope>> = partitions
+            .iter()
+            .filter_map(|partition| self.broker.consumer(self.id, &self.topic, *partition).ok())
+            .collect();
+        for consumer in &consumers {
+            consumer.join_wait_group(&self.wakeup);
+        }
+        Arc::new(ConsumerLane {
+            consumers: Mutex::new(consumers),
+        })
+    }
+
+    /// Drops `lane` from the lane list (its consumers are all gone).
+    fn remove_lane(&self, lane: &Arc<ConsumerLane>) {
+        self.lanes.lock().retain(|l| !Arc::ptr_eq(l, lane));
+    }
+
+    /// One reactor sweep over this component: poll ready consumer lanes,
+    /// drain claimable dispatch shards, resume timed-out continuations.
+    /// Returns true if any work was done. Safe to call from any number of
+    /// reactors concurrently — lanes and shards are claimed individually.
+    pub(crate) fn pump(self: &Arc<Self>) -> bool {
+        if !self.is_alive() || self.is_paused() {
+            return false;
+        }
+        let mut did = self.pump_consumers();
+        did |= self.pump_dispatch();
+        did |= self.pump_timeouts();
+        did
+    }
+
+    /// Polls every claimable consumer lane once. `Consumer::ready()` is a
+    /// lock-free check, so sweeping a large idle topology costs two atomic
+    /// loads per partition — this is what lets one fixed reactor pool drive
+    /// 100× the partitions.
+    fn pump_consumers(self: &Arc<Self>) -> bool {
+        let lanes: Vec<Arc<ConsumerLane>> = self.lanes.lock().clone();
+        let mut did = false;
+        for lane in lanes {
+            let Some(mut consumers) = lane.consumers.try_lock() else {
+                // Another reactor is sweeping this lane; its partitions stay
+                // serialized, exactly like the old one-thread-per-lane model.
+                continue;
+            };
+            let mut index = 0;
+            while index < consumers.len() {
+                if !self.is_alive() || self.is_paused() {
+                    return did;
+                }
+                if !consumers[index].ready() {
+                    index += 1;
+                    continue;
+                }
+                match consumers[index].poll(64) {
+                    Ok(records) => {
+                        if !records.is_empty() {
+                            did = true;
+                            self.route_records(consumers[index].partition(), records);
+                        }
+                        index += 1;
+                    }
+                    Err(_) => {
+                        // Fenced: the partition was reassigned (or the
+                        // component is gone). Detach it from the wake group
+                        // and — if it was adopted — from the retirement
+                        // clock, so a re-homed-again range cannot leak an
+                        // `adopted_at` entry.
+                        consumers[index].leave_wait_group(&self.wakeup);
+                        let partition = consumers[index].partition();
+                        self.adopted_at.lock().remove(&partition);
+                        consumers.remove(index);
+                    }
+                }
+            }
+            let empty = consumers.is_empty();
+            drop(consumers);
+            if empty {
+                self.remove_lane(&lane);
+            }
+        }
+        did
+    }
+
+    /// Drains every claimable dispatch shard, then steals for an idle one if
+    /// nothing was found (when `MeshConfig::work_stealing` is on).
+    fn pump_dispatch(self: &Arc<Self>) -> bool {
+        let mut did = false;
+        for shard in 0..self.pool.workers() {
+            did |= self.drain_shard(shard);
+        }
+        if self.pool.stealing() && self.is_alive() && !self.is_paused() {
+            // The reactor-era idle worker: an empty shard standing next to
+            // a deep one means static actor→shard hashing left imbalance.
+            // One steal attempt per sweep — `try_steal` itself bails on a
+            // cheap lock-free depth scan when no shard is deep enough, so
+            // idle topology pays a few atomic loads here, nothing more.
+            if let Some(empty) = (0..self.pool.workers()).find(|&shard| self.pool.depth(shard) == 0)
+            {
+                if self.pool.try_steal(empty) {
+                    did |= self.drain_shard(empty);
+                }
+            }
+        }
+        did
+    }
+
+    /// Yields the innermost dispatch-shard claim held by this thread, if it
+    /// belongs to this component and has not been yielded already. Called on
+    /// entry to every blocking runtime wait: the invocation keeps running
+    /// (actor lock held, mailbox queuing behind it), but its shard is handed
+    /// back to the pool so other actors pinned there keep dispatching.
+    fn yield_shard_claim(self: &Arc<Self>) {
+        let identity = Arc::as_ptr(self) as usize;
+        SHARD_CLAIMS.with(|stack| {
+            if let Some(top) = stack.borrow_mut().last_mut() {
+                if !top.yielded && top.core == identity {
+                    top.yielded = true;
+                    self.pool.release_claim(top.shard);
+                }
+            }
+        });
+    }
+
+    fn drain_shard(self: &Arc<Self>, shard: usize) -> bool {
+        // The claim is held across the invocation, not just the pop: one
+        // shard runs one *computing* invocation at a time, so
+        // `dispatch_workers` keeps its pre-reactor meaning as the
+        // component's dispatch concurrency bound (a shard ≈ one former
+        // worker thread). An invocation entering a blocking runtime wait
+        // yields the claim (see `yield_shard_claim`), exactly as the old
+        // blocked worker handed its shard to a replacement drainer.
+        if !self.pool.try_claim(shard) {
+            return false;
+        }
+        let identity = Arc::as_ptr(self) as usize;
+        SHARD_CLAIMS.with(|stack| {
+            stack.borrow_mut().push(ShardClaim {
+                core: identity,
+                shard,
+                yielded: false,
+            });
+        });
+        let mut did = false;
+        let mut yielded = false;
+        loop {
+            if !self.is_alive() || self.is_paused() || self.pool.depth(shard) == 0 {
+                break;
+            }
+            let Some(request) = self.pool.try_pop(shard) else {
+                break;
+            };
+            let id = request.id;
+            let target = request.target.clone();
+            let admitted = self.admit_request(request);
+            // The request is now in an actor slot (or dropped as a
+            // duplicate): no longer pending admission.
+            self.pool.admitted(id);
+            self.pool.mark_admitted(shard);
+            did = true;
+            match admitted {
+                Admission::Run(request, holds_lock, reentrant) => {
+                    Arc::clone(self).run_invocation(request, holds_lock, reentrant);
+                }
+                Admission::Forward(request) => {
+                    // Forwarding may wait out a stale placement
+                    // (work-while-waiting on a reactor).
+                    let _ = self.send_request(request);
+                }
+                Admission::Done => {}
+            }
+            // The invocation (and any mailbox continuations it drained) has
+            // completed or parked: release exactly the guard this pop took
+            // (a concurrent drain of the same shard may hold its own).
+            self.pool.release_busy_actor(shard, &target);
+            // A blocking wait inside the invocation yielded the claim: this
+            // frame no longer owns the shard. (Nested frames pushed and
+            // popped their own entries in LIFO order, so the top is ours.)
+            yielded = SHARD_CLAIMS
+                .with(|stack| stack.borrow().last().map(|top| top.yielded).unwrap_or(true));
+            if yielded {
+                break;
+            }
+        }
+        SHARD_CLAIMS.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        if !yielded {
+            self.pool.release_claim(shard);
+        }
+        did
+    }
+
+    /// Resumes continuations the mesh timer flagged as timed out — on a
+    /// reactor, so application code never runs on the timer thread.
+    fn pump_timeouts(self: &Arc<Self>) -> bool {
+        let expired = std::mem::take(&mut *self.timed_out.lock());
+        if expired.is_empty() {
+            return false;
+        }
+        for (nested, parked) in expired {
+            let error = KarError::Timeout {
+                request: nested,
+                after_ms: self.config.call_timeout.as_millis() as u64,
+            };
+            self.resume_continuation(parked, Err(error));
+        }
+        true
+    }
+
+    /// One mesh-timer tick: heartbeat, bookkeeping aging, continuation
+    /// deadlines, orphaned-response routing, partition retirement. Called at
+    /// the scaled heartbeat interval by the mesh's single timer thread.
+    pub(crate) fn tick(self: &Arc<Self>, now: Instant) {
+        if !self.is_alive() {
+            return;
+        }
+        if !self.heartbeats_stopped.load(Ordering::Relaxed) {
+            if self.broker.heartbeat(&self.group, self.id).is_err() {
+                self.heartbeats_stopped.store(true, Ordering::Relaxed);
+            } else {
+                self.age_retry_bookkeeping();
+            }
+        }
+        // Continuations past their deadline are *flagged* here and resumed
+        // with a timeout error on a reactor: an application continuation
+        // that misbehaves must not stall every component's heartbeat.
+        let expired = self.continuations.take_expired(now);
+        if !expired.is_empty() {
+            self.timed_out.lock().extend(expired);
+            self.wakeup.notify();
+        }
+        self.sweep_orphan_responses(now);
+        self.sweep_retirement();
+    }
+
+    /// Mesh-timer retirement sweep: retires adopted partitions past their
+    /// horizon and drops lanes whose consumers are all gone, returning the
+    /// lane count to its pre-failure steady state.
+    fn sweep_retirement(&self) {
+        if !self.config.partition_retirement {
+            return;
+        }
+        let lanes: Vec<Arc<ConsumerLane>> = self.lanes.lock().clone();
+        for lane in lanes {
+            let mut consumers = lane.consumers.lock();
+            self.maybe_retire_partitions(&mut consumers);
+            let empty = consumers.is_empty();
+            drop(consumers);
+            if empty {
+                self.remove_lane(&lane);
+            }
+        }
     }
 
     /// Takes over consuming `adopted` partitions re-homed from a failed
     /// component: records their consumed offsets and adoption times (the
     /// retirement clock starts here), extends this component's partition set
     /// (adopted partitions are drained but never hash-routed to, so request
-    /// routing is unaffected) and spawns a consumer thread for the range.
-    /// Called by the reconciliation leader after it fenced the partitions'
-    /// previous owners.
+    /// routing is unaffected) and adds a consumer lane for the range — no
+    /// thread is spawned; the existing reactors pick the lane up on their
+    /// next sweep. Called by the reconciliation leader after it fenced the
+    /// partitions' previous owners.
     pub(crate) fn adopt_partitions(self: &Arc<Self>, adopted: Vec<usize>) {
         if adopted.is_empty() || !self.is_alive() {
             return;
@@ -1263,137 +1877,15 @@ impl ComponentCore {
             }
         }
         self.partitions.write().adopt(adopted.iter().copied());
-        let index = self.partitions.read().adopted().len();
-        self.spawn_consumer(1000 + index, adopted);
-    }
-
-    /// Spawns a drainer thread for `shard`. Ownership of the shard must have
-    /// been claimed on the new thread's behalf (see `DispatchPool::try_claim`).
-    fn spawn_shard_worker(self: &Arc<Self>, shard: usize) {
-        let core = Arc::clone(self);
-        std::thread::Builder::new()
-            .name(format!("kar-dispatch-{}-{shard}", self.name))
-            .spawn(move || core.shard_worker(shard))
-            .expect("failed to spawn dispatch worker thread");
-    }
-
-    /// The dispatch worker loop: drains one shard queue, admitting each
-    /// request and running admitted invocations inline. Exactly one thread
-    /// drains a shard at any time; ownership is handed to a replacement when
-    /// an invocation blocks on a nested call (see [`crate::dispatch`]). An
-    /// idle worker steals whole actors from the deepest shard queue before
-    /// parking (when `MeshConfig::work_stealing` is on).
-    fn shard_worker(self: Arc<Self>, shard: usize) {
-        self.pool.bind_worker(shard);
-        let idle = Duration::from_millis(1);
-        loop {
-            if !self.is_alive() {
-                return;
-            }
-            if !self.pool.thread_owns_shard() {
-                // Ownership moved to a replacement during a blocking call and
-                // the invocation we were running has completed: reclaim the
-                // shard if the replacement has since retired, else retire.
-                if !self.pool.try_reclaim(shard) {
-                    return;
-                }
-                continue;
-            }
-            if self.is_paused() {
-                // Reconciliation pause: stop admitting new work; requests stay
-                // in the shard queue and remain visible to `locally_pending`.
-                std::thread::sleep(idle);
-                continue;
-            }
-            if let Some(request) = self.pool.next_request(shard, idle) {
-                let id = request.id;
-                let target = request.target.clone();
-                let admitted = self.admit_request(request);
-                // The request is now in an actor slot (or dropped as a
-                // duplicate): no longer pending admission.
-                self.pool.admitted(id);
-                self.pool.mark_admitted(shard);
-                if let Some((request, holds_lock, reentrant)) = admitted {
-                    Arc::clone(&self).run_invocation(request, holds_lock, reentrant);
-                }
-                // The invocation (and any mailbox continuations it drained)
-                // has completed: release exactly the guard this worker took
-                // (a replacement drainer may hold its own concurrently).
-                self.pool.release_busy_actor(shard, &target);
-            }
-        }
-    }
-
-    /// One consumer thread draining `assigned` partitions. Every assigned
-    /// partition joins one shared [`WaitSignalGroup`]; the thread sweeps its
-    /// members and, when all are idle, parks *once* on the group — an append
-    /// to **any** member wakes it immediately, so `consumers_per_component <
-    /// partitions` no longer pays the old 2 ms rotation slice for appends to
-    /// non-parked partitions. A fenced consumer is dropped individually —
-    /// partition fencing (the partition was reassigned during recovery)
-    /// retires just that partition's consumer, while component fencing
-    /// retires them all and ends the thread. Adopted partitions past their
-    /// retirement horizon are retired here (see `maybe_retire_partitions`);
-    /// a thread whose consumers are all retired exits, returning the
-    /// consumer-thread count to its pre-failure steady state.
-    fn consumer_loop(self: Arc<Self>, assigned: Vec<usize>) {
-        let group = Arc::new(WaitSignalGroup::new());
-        let mut consumers: Vec<Consumer<Envelope>> = assigned
-            .iter()
-            .filter_map(|partition| self.broker.consumer(self.id, &self.topic, *partition).ok())
-            .collect();
-        for consumer in &consumers {
-            consumer.join_wait_group(&group);
-        }
-        let idle = Duration::from_millis(2);
-        while self.is_alive() && !consumers.is_empty() {
-            if self.is_paused() {
-                std::thread::sleep(Duration::from_millis(1));
-                continue;
-            }
-            // Snapshot the group sequence BEFORE sweeping: an append landing
-            // on any member between its poll and the park wakes us at once
-            // (the lost-wakeup-free poll_wait idiom, now group-wide).
-            let seen = group.current();
-            let mut drained = false;
-            let mut index = 0;
-            while index < consumers.len() {
-                match consumers[index].poll(64) {
-                    Ok(records) => {
-                        if !records.is_empty() {
-                            drained = true;
-                            self.route_records(consumers[index].partition(), records);
-                        }
-                        index += 1;
-                    }
-                    Err(_) => {
-                        // Fenced: the partition was reassigned (or the
-                        // component is gone). Leave the wait group so dead
-                        // consumers stop receiving notifications.
-                        consumers[index].leave_wait_group(&group);
-                        consumers.remove(index);
-                    }
-                }
-            }
-            self.maybe_retire_partitions(&mut consumers, &group);
-            if consumers.is_empty() {
-                break;
-            }
-            if !drained {
-                group.wait(seen, idle);
-            }
-        }
-        // Detach survivors on the way out (component killed): partitions
-        // must not keep notifying — or keep alive — a dead thread's group.
-        for consumer in &consumers {
-            consumer.leave_wait_group(&group);
-        }
+        self.lanes.lock().push(self.make_lane(adopted));
+        // The new lane's partitions may already hold salvaged records.
+        self.wakeup.notify();
     }
 
     /// Retires adopted partitions whose retirement horizon has passed and
     /// whose log is fully drained: fences the partition (any straggling
     /// consumer of an older assignment fails its next poll), detaches it
-    /// from this thread's wait group, drops its consumer, and shrinks the
+    /// from the reactor wake group, drops its consumer, and shrinks the
     /// partition set — locally, in the shared topology, and in the broker's
     /// assignment table and group view.
     ///
@@ -1403,11 +1895,7 @@ impl ComponentCore {
     /// expire after one retention window; the horizon is two windows (the
     /// same clock the aged retry bookkeeping uses), so an empty log at the
     /// horizon is empty forever.
-    fn maybe_retire_partitions(
-        &self,
-        consumers: &mut Vec<Consumer<Envelope>>,
-        group: &Arc<WaitSignalGroup>,
-    ) {
+    fn maybe_retire_partitions(&self, consumers: &mut Vec<Consumer<Envelope>>) {
         if !self.config.partition_retirement {
             return;
         }
@@ -1426,7 +1914,7 @@ impl ComponentCore {
                 continue;
             }
             self.retire_partition(partition);
-            consumers[index].leave_wait_group(group);
+            consumers[index].leave_wait_group(&self.wakeup);
             consumers.remove(index);
         }
     }
@@ -1492,23 +1980,10 @@ impl ComponentCore {
         }
     }
 
-    fn heartbeat_loop(self: Arc<Self>) {
-        let interval = self
-            .config
-            .scaled_heartbeat_interval()
-            .max(Duration::from_millis(1));
-        while self.is_alive() {
-            if self.broker.heartbeat(&self.group, self.id).is_err() {
-                return;
-            }
-            self.age_retry_bookkeeping();
-            std::thread::sleep(interval);
-        }
-    }
-
     /// Rotates the aged retry-bookkeeping sets — and ages out idle
     /// steal-route overrides and idle clean actor-state cache entries — if
-    /// their retention interval elapsed (piggybacked on the heartbeat loop).
+    /// their retention interval elapsed (piggybacked on the mesh timer's
+    /// heartbeat tick).
     fn age_retry_bookkeeping(&self) {
         let now = Instant::now();
         self.completed.lock().maybe_rotate(now);
@@ -1552,11 +2027,31 @@ impl ComponentCore {
             .map_or(0, StateCache::eviction_count)
     }
 
-    /// Number of live consumer threads. Grows when recovery re-homes a
-    /// partition range onto this component, and returns to the pre-failure
-    /// steady state once the adopted range is retired.
+    /// Number of live consumer lanes (units of consumer concurrency; no
+    /// thread is dedicated to a lane — the fixed reactor pool sweeps them).
+    /// Grows when recovery re-homes a partition range onto this component,
+    /// and returns to the pre-failure steady state once the adopted range is
+    /// retired.
     pub fn consumer_thread_count(&self) -> usize {
-        self.active_consumers.load(Ordering::SeqCst)
+        self.lanes.lock().len()
+    }
+
+    /// Number of continuations currently parked on nested calls.
+    pub fn parked_continuations(&self) -> usize {
+        self.continuations.len()
+    }
+
+    /// Total number of continuation parks since the component started: each
+    /// one is a nested call that did *not* block a thread.
+    pub fn continuation_parks(&self) -> u64 {
+        self.continuations.parked_total()
+    }
+
+    /// `(requests enqueued, batch appends performed)` by the request
+    /// batcher; `(0, 0)` when `MeshConfig::request_batching` is off. The
+    /// ratio is the per-destination amortization of the request leg.
+    pub fn request_batch_stats(&self) -> (u64, u64) {
+        self.requests.as_ref().map_or((0, 0), RequestBatcher::stats)
     }
 
     /// The adopted partitions this component has retired so far, in

@@ -94,6 +94,19 @@ pub struct MeshConfig {
     /// `partitions_per_component`; the delivery bench narrows it to model a
     /// response-funnel-bound caller.
     pub client_partitions: usize,
+    /// Number of reactor threads in the mesh-wide pool that drives **every**
+    /// component's consumers, dispatch shards, and continuation timeouts.
+    /// The pool is fixed at mesh start: adding components or partitions
+    /// never spawns threads, it only adds pump targets for the existing
+    /// reactors. `0` (the default) sizes the pool from the machine's
+    /// available parallelism. Clamped to at least 1.
+    pub reactor_threads: usize,
+    /// Enable per-destination request batching (the request-leg mirror of
+    /// `response_batching`): concurrent requests towards one destination
+    /// component are flushed as a single keyed batch append, sharing one
+    /// durable-ack latency while each record still hashes to its actor's
+    /// home partition. Disable to restore one append per request.
+    pub request_batching: bool,
     /// Enable per-destination response batching (group commit on the
     /// delivery plane): invocation completions — and tail-call continuations
     /// to the sending actor's own partition — are buffered per destination
@@ -155,6 +168,8 @@ impl Default for MeshConfig {
             partitions_per_component: 4,
             consumers_per_component: 0,
             client_partitions: 0,
+            reactor_threads: 0,
+            request_batching: true,
             response_batching: true,
             partition_retirement: true,
             coarse_broker_lock: false,
@@ -299,6 +314,36 @@ impl MeshConfig {
         } else {
             self.consumers_per_component.min(partitions)
         }
+    }
+
+    /// Sets the size of the mesh-wide reactor pool (`0` = derive from the
+    /// machine's available parallelism).
+    #[must_use]
+    pub fn with_reactor_threads(mut self, threads: usize) -> Self {
+        self.reactor_threads = threads;
+        self
+    }
+
+    /// The effective reactor-pool size: the explicit knob (clamped to ≥ 1),
+    /// or the machine's available parallelism (capped at 8 — the pool pumps
+    /// event-shaped work, it is not a compute pool) when left at `0`.
+    pub fn effective_reactor_threads(&self) -> usize {
+        if self.reactor_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(2, 8)
+        } else {
+            self.reactor_threads
+        }
+    }
+
+    /// Enables or disables per-destination request batching (the request-leg
+    /// mirror of `with_response_batching`).
+    #[must_use]
+    pub fn with_request_batching(mut self, enabled: bool) -> Self {
+        self.request_batching = enabled;
+        self
     }
 
     /// Enables or disables per-destination response batching (the
@@ -520,6 +565,28 @@ mod tests {
         assert_eq!(
             c.scaled_retirement_delay(),
             c.time_scale.compress(c.retention * 2)
+        );
+    }
+
+    #[test]
+    fn reactor_and_request_batching_knobs() {
+        let c = MeshConfig::default();
+        assert_eq!(c.reactor_threads, 0);
+        assert!(c.request_batching);
+        // Auto sizing is machine-dependent but always in [2, 8].
+        let auto = c.effective_reactor_threads();
+        assert!((2..=8).contains(&auto));
+        let fixed = MeshConfig::for_tests()
+            .with_reactor_threads(3)
+            .with_request_batching(false);
+        assert_eq!(fixed.effective_reactor_threads(), 3);
+        assert!(!fixed.request_batching);
+        // An explicit knob wins even above the auto cap.
+        assert_eq!(
+            MeshConfig::for_tests()
+                .with_reactor_threads(16)
+                .effective_reactor_threads(),
+            16
         );
     }
 

@@ -82,6 +82,30 @@ impl<'a> ActorContext<'a> {
         self.core.nested_tell(self.request, target, method, args)
     }
 
+    /// Builds a parked nested call: `target.method(args)` is issued when the
+    /// current method returns this outcome, and `then` resumes with the
+    /// result when the response record arrives — without blocking a runtime
+    /// thread in between.
+    ///
+    /// Semantically this is [`ActorContext::call`] in continuation-passing
+    /// style: the actor stays locked while parked (its mailbox queues behind
+    /// the invocation, reentrant calls along the lineage still bypass it),
+    /// and a failure while parked retries the whole handler from the queue
+    /// copy of the original request. In-memory state captured by `then` is
+    /// lost on such a retry, like all in-memory actor state; durable state
+    /// belongs in [`ActorContext::state`].
+    pub fn call_then(
+        &self,
+        target: &ActorRef,
+        method: &str,
+        args: Vec<Value>,
+        then: impl FnOnce(&mut ActorContext<'_>, KarResult<Value>) -> KarResult<Outcome>
+            + Send
+            + 'static,
+    ) -> Outcome {
+        Outcome::call_then(target.clone(), method, args, then)
+    }
+
     /// Builds a tail-call outcome targeting another actor (or this one).
     ///
     /// Returning this outcome from [`crate::Actor::invoke`] atomically

@@ -1,45 +1,48 @@
-//! The sharded parallel dispatcher behind every component, with actor-level
-//! work stealing.
+//! The sharded dispatcher behind every component, with actor-level work
+//! stealing, drained by the mesh's shared reactor pool.
 //!
 //! Early revisions processed a component's queue on one serial consumer
-//! thread and spawned a fresh OS thread per invocation. This module replaces
-//! both with a fixed pool of *dispatch workers*: polled requests are routed
-//! by actor identity onto `MeshConfig::dispatch_workers` shard queues, and
-//! each shard is drained by exactly one worker at a time. Invocations for
-//! distinct actors therefore execute in parallel, while each actor's mailbox
-//! stays strictly ordered:
+//! thread and spawned a fresh OS thread per invocation; later ones ran a
+//! fixed pool of per-component *dispatch worker threads* that blocked on
+//! nested calls and handed their shard to a replacement drainer. This module
+//! now owns only the **shard queues**: polled requests are routed by actor
+//! identity onto `MeshConfig::dispatch_workers` shard queues, and any
+//! reactor thread may claim a shard and drain it. Invocations for distinct
+//! actors therefore execute in parallel (on distinct reactors), while each
+//! actor's mailbox stays strictly ordered:
 //!
 //! * an actor is pinned to one shard (stable hash of its qualified name,
 //!   overridden when the actor is stolen — see below), so all of its
 //!   requests arrive at the per-actor mailbox in queue order;
-//! * only the shard's current owner admits requests, so admission for a
-//!   given actor is serial;
+//! * a shard's claim ([`DispatchPool::try_claim`]) is held from pop through
+//!   admission, so admission for a given actor is serial — two reactors can
+//!   never interleave pops of one shard;
 //! * the per-actor lock / reentrancy / tail-call retention rules of
 //!   `run_invocation` are untouched — they serialize execution per actor no
-//!   matter which worker runs it.
+//!   matter which reactor runs it.
 //!
 //! Work stealing: static actor→shard hashing leaves the worst shard with up
-//! to ~2× the mean load (BENCH_messaging.json). An idle worker therefore
-//! steals work from the deepest shard queue — and a push that leaves a queue
-//! [`STEAL_WAKEUP_DEPTH`] deep proactively wakes one idle worker so the
-//! steal happens immediately rather than on the next 1 ms idle tick (under
-//! sub-millisecond service times a tick-paced thief arrives after the queue
-//! has already drained). Steals always move whole *actors*:
-//! every queued request of the chosen actor moves to the thief's queue in
-//! one atomic step (both shard locks held), and a routing override sends the
-//! actor's future requests to the thief's shard. An actor whose freshly
-//! popped request has not yet been admitted is never stolen, so admission
-//! for one actor can never run on two workers at once. Because all of an
-//! actor's queued requests live in exactly one shard queue at any time, and
-//! moves preserve their relative order, per-actor FIFO admission — and with
-//! it mailbox order and the exactly-once retry bookkeeping — is preserved.
+//! to ~2× the mean load (BENCH_messaging.json). A reactor that finds every
+//! claimable shard empty therefore steals work from the deepest shard queue
+//! — and a push that leaves a queue [`STEAL_WAKEUP_DEPTH`] deep notifies the
+//! pool's wait group (counted as a steal wakeup) so a parked reactor comes
+//! back for the steal immediately rather than on its idle tick. Steals
+//! always move whole *actors*: every queued request of the chosen actor
+//! moves to the thief's queue in one atomic step (both shard locks held),
+//! and a routing override sends the actor's future requests to the thief's
+//! shard. An actor whose freshly popped request has not yet been admitted is
+//! never stolen, so admission for one actor can never run on two reactors at
+//! once. Because all of an actor's queued requests live in exactly one shard
+//! queue at any time, and moves preserve their relative order, per-actor
+//! FIFO admission — and with it mailbox order and the exactly-once retry
+//! bookkeeping — is preserved.
 //!
-//! Blocking hand-off: a worker that is about to park inside a blocking
-//! nested call (waiting for a callee's response) first releases ownership of
-//! its shard and promotes a replacement drainer, so a shard is never stalled
-//! behind a suspended invocation. This is what makes a *fixed* pool safe:
-//! without the hand-off, two actors on the same shard calling each other
-//! would deadlock until the call timeout.
+//! There is no blocking hand-off anymore: a handler that issues a nested
+//! call parks a continuation (see [`crate::continuation`]) instead of
+//! blocking the thread, and the legacy blocking [`crate::ActorContext::call`]
+//! pumps the reactor registry while it waits — either way the shard claim
+//! was already released after admission, so a shard is never stalled behind
+//! a suspended invocation and no replacement thread is ever spawned.
 //!
 //! Recovery interaction: requests that have been polled off the queue but
 //! not yet admitted to an actor mailbox are tracked in a pending set that
@@ -49,44 +52,34 @@
 //! re-homed a second time. Stolen requests stay in that set — stealing moves
 //! them between shard queues, not out of the component.
 
-use std::cell::Cell;
 use std::collections::{HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use kar_types::{ActorRef, RequestId, RequestMessage};
+use kar_types::{ActorRef, RequestId, RequestMessage, WaitSignalGroup};
 
 use crate::aging::AgingMap;
 
-/// A shard queue must be at least this deep before an idle worker will
+/// A shard queue must be at least this deep before an idle reactor will
 /// steal from it: moving an actor for a single queued request would churn
 /// the routing table for no balance win.
 const MIN_STEAL_DEPTH: usize = 2;
 
-/// A push that leaves its shard queue at least this deep proactively wakes
-/// one idle (empty-queue) worker so it can steal immediately, instead of
-/// waiting out the 1 ms idle tick. Under very short service times queues
-/// drain within a tick, so a tick-paced thief always arrives too late;
-/// waking from `submit` closes that gap. `MIN_STEAL_DEPTH` remains the
-/// floor the woken thief applies before actually stealing.
+/// A push that leaves its shard queue at least this deep notifies the wait
+/// group again and counts a *steal wakeup*: a parked reactor wakes, finds an
+/// empty claimable shard of its own, and loops through the steal path
+/// immediately instead of waiting out its idle tick. Under very short
+/// service times queues drain within a tick, so a tick-paced thief always
+/// arrives too late; waking from `submit` closes that gap.
+/// [`MIN_STEAL_DEPTH`] remains the floor the woken thief applies before
+/// actually stealing.
 const STEAL_WAKEUP_DEPTH: usize = 4;
 
-thread_local! {
-    /// Identity of the pool + shard this thread drains, if it is a dispatch
-    /// worker. The pool is identified by address so a worker blocking inside
-    /// a *different* component's API (impossible today, cheap to guard
-    /// against) never releases the wrong shard.
-    static SHARD_CTX: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
-    /// Whether this thread currently owns its shard. Cleared when a blocking
-    /// section promotes a replacement drainer.
-    static OWNS_SHARD: Cell<bool> = const { Cell::new(false) };
-}
-
-/// The queue of one shard plus the admission guard. Behind a `std` mutex so
-/// the not-empty condvar can pair with it.
+/// The queue of one shard plus the admission guard.
 #[derive(Default)]
 struct ShardState {
     queue: VecDeque<RequestMessage>,
@@ -94,48 +87,40 @@ struct ShardState {
     /// until the invocation (if any) completes. A thief never steals these
     /// actors: before admission that would reorder the actor's mailbox, and
     /// during execution the stolen requests would just land in the mailbox
-    /// the busy worker is already draining, moving the load counter without
-    /// moving any work. A small *list*, not a single slot: the blocking
-    /// hand-off means several workers can be in-flight post-pop on one
-    /// shard at once (the original drainer suspended in a nested call plus
-    /// its replacement), and each must guard — and later release — its own
-    /// actor without clobbering the others'.
+    /// the busy reactor is already draining, moving the load counter without
+    /// moving any work. A small *list*, not a single slot: the shard claim
+    /// is released after admission while the invocation still runs, so
+    /// several reactors can be executing (or parked on continuations) for
+    /// one shard's actors at once, and each must guard — and later release —
+    /// its own actor without clobbering the others'.
     busy_actors: Vec<ActorRef>,
 }
 
 struct Shard {
-    state: std::sync::Mutex<ShardState>,
-    /// Signalled when a request is pushed; drainers park here when idle.
-    available: std::sync::Condvar,
-    /// Queue depth mirror, so the steal scan reads no locks.
+    state: Mutex<ShardState>,
+    /// Queue depth mirror, so the steal scan and the reactor sweep read no
+    /// locks.
     depth: AtomicUsize,
     /// Requests this shard has admitted (its processed load).
     processed: AtomicU64,
-    /// True while some thread is draining this shard. At most one drainer
-    /// exists at a time; ownership moves on blocking hand-off.
-    owned: Mutex<bool>,
+    /// True while some reactor holds the pop+admit claim on this shard. At
+    /// most one claimant exists at a time.
+    claimed: AtomicBool,
 }
 
 impl Shard {
     fn new() -> Self {
         Shard {
-            state: std::sync::Mutex::new(ShardState::default()),
-            available: std::sync::Condvar::new(),
+            state: Mutex::new(ShardState::default()),
             depth: AtomicUsize::new(0),
             processed: AtomicU64::new(0),
-            owned: Mutex::new(false),
+            claimed: AtomicBool::new(false),
         }
-    }
-
-    fn lock_state(&self) -> std::sync::MutexGuard<'_, ShardState> {
-        self.state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
-/// The per-component shard set. Owned by `ComponentCore`; worker threads are
-/// spawned by the component so they can run admission and invocations.
+/// The per-component shard set. Owned by `ComponentCore`; drained by the
+/// mesh's reactor threads through `ComponentCore::pump`.
 pub(crate) struct DispatchPool {
     shards: Vec<Shard>,
     /// Stolen actors' current shard assignments, overriding the static
@@ -145,29 +130,39 @@ pub(crate) struct DispatchPool {
     /// windows (see [`DispatchPool::age_routes`]), so long-lived components
     /// hosting transient actors don't grow an unbounded routing table.
     routes: Mutex<AgingMap<ActorRef, usize>>,
-    /// Whether idle workers steal actors from loaded shards.
+    /// Whether idle reactors steal actors from loaded shards.
     stealing: bool,
     /// Number of successful steals (whole actors moved).
     steals: AtomicU64,
-    /// Number of idle workers proactively woken by a deep push (see
-    /// [`STEAL_WAKEUP_DEPTH`]).
+    /// Number of deep pushes that re-notified the wait group to summon a
+    /// thief (see [`STEAL_WAKEUP_DEPTH`]).
     steal_wakeups: AtomicU64,
     /// Requests polled off the queue but not yet admitted to an actor slot
     /// (mailbox / inflight / deferred). Consulted by reconciliation through
     /// `ComponentCore::locally_pending`.
     pending: Mutex<HashSet<RequestId>>,
+    /// The wait group reactors park on: every push notifies it so a parked
+    /// reactor sweeps the shard promptly. `None` in unit tests that drive
+    /// the pool directly.
+    wakeup: Option<Arc<WaitSignalGroup>>,
 }
 
 impl DispatchPool {
     /// Creates a pool with `workers` shards. Callers pass
     /// `MeshConfig::effective_dispatch_workers()`, the single authoritative
-    /// clamp for the worker count, `MeshConfig::work_stealing`, and the
-    /// retention interval steal-route overrides age out on.
+    /// clamp for the shard count, `MeshConfig::work_stealing`, the retention
+    /// interval steal-route overrides age out on, and the wait group pushes
+    /// notify (the group the mesh's reactors park on).
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
-    pub(crate) fn new(workers: usize, stealing: bool, route_retention: Duration) -> Self {
+    pub(crate) fn new(
+        workers: usize,
+        stealing: bool,
+        route_retention: Duration,
+        wakeup: Option<Arc<WaitSignalGroup>>,
+    ) -> Self {
         assert!(workers >= 1, "a dispatch pool needs at least one worker");
         DispatchPool {
             shards: (0..workers).map(|_| Shard::new()).collect(),
@@ -176,6 +171,7 @@ impl DispatchPool {
             steals: AtomicU64::new(0),
             steal_wakeups: AtomicU64::new(0),
             pending: Mutex::new(HashSet::new()),
+            wakeup,
         }
     }
 
@@ -217,7 +213,7 @@ impl DispatchPool {
         };
         let mut dropped = 0;
         for (actor, shard) in stale {
-            let state = self.shards[shard].lock_state();
+            let state = self.shards[shard].state.lock();
             let active =
                 state.busy_actors.contains(&actor) || state.queue.iter().any(|r| r.target == actor);
             // remove_if_stale re-verifies the stamp under the routes lock: a
@@ -259,12 +255,9 @@ impl DispatchPool {
         use std::fmt::Write;
         let mut out = String::new();
         for (index, shard) in self.shards.iter().enumerate() {
-            let owned = shard
-                .owned
-                .try_lock()
-                .map_or_else(|| "<held>".to_owned(), |o| o.to_string());
+            let claimed = shard.claimed.load(Ordering::Relaxed);
             match shard.state.try_lock() {
-                Ok(state) => {
+                Some(state) => {
                     let ids: Vec<String> = state
                         .queue
                         .iter()
@@ -277,15 +270,15 @@ impl DispatchPool {
                         .collect();
                     let _ = writeln!(
                         out,
-                        "  shard {index}: owned={owned} busy_actors={busy:?} depth={} queue=[{}]",
+                        "  shard {index}: claimed={claimed} busy_actors={busy:?} depth={} queue=[{}]",
                         shard.depth.load(Ordering::Relaxed),
                         ids.join(", "),
                     );
                 }
-                Err(_) => {
+                None => {
                     let _ = writeln!(
                         out,
-                        "  shard {index}: owned={owned} state=<LOCK HELD> depth={}",
+                        "  shard {index}: claimed={claimed} state=<LOCK HELD> depth={}",
                         shard.depth.load(Ordering::Relaxed),
                     );
                 }
@@ -316,6 +309,13 @@ impl DispatchPool {
             }
         }
         out
+    }
+
+    /// Notifies the attached wait group (a push made work available).
+    fn notify(&self) {
+        if let Some(group) = &self.wakeup {
+            group.notify();
+        }
     }
 
     /// Routes `request` to its actor's shard queue and records it as
@@ -362,7 +362,7 @@ impl DispatchPool {
             let mut pushed = 0usize;
             let mut depth_after = 0usize;
             {
-                let mut state = self.shards[shard].lock_state();
+                let mut state = self.shards[shard].state.lock();
                 for request in group {
                     if self.shard_of(&request.target) != shard {
                         rerouted.push(request);
@@ -384,7 +384,7 @@ impl DispatchPool {
                 }
             }
             if pushed > 0 {
-                self.shards[shard].available.notify_one();
+                self.notify();
                 self.maybe_wake_thief(shard, depth_after);
             }
             for request in rerouted {
@@ -401,33 +401,33 @@ impl DispatchPool {
     fn push_routed(&self, request: RequestMessage) {
         loop {
             let shard = self.shard_of(&request.target);
-            let mut state = self.shards[shard].lock_state();
+            let mut state = self.shards[shard].state.lock();
             if self.shard_of(&request.target) != shard {
                 continue;
             }
             state.queue.push_back(request);
             let depth = self.shards[shard].depth.fetch_add(1, Ordering::Relaxed) + 1;
             drop(state);
-            self.shards[shard].available.notify_one();
+            self.notify();
             self.maybe_wake_thief(shard, depth);
             return;
         }
     }
 
-    /// Proactive steal wakeup: when a push leaves `shard`'s queue at least
-    /// [`STEAL_WAKEUP_DEPTH`] deep, poke one idle (empty-queue) shard's
-    /// not-empty signal. Its parked drainer wakes, finds its own queue still
-    /// empty, and loops back through the steal path immediately — instead of
-    /// sleeping out the rest of its idle tick while this queue backs up.
-    /// Best-effort: if the chosen shard's worker is mid-invocation the wakeup
-    /// is lost, and the idle tick remains the backstop.
+    /// Proactive steal signal: when a push leaves `shard`'s queue at least
+    /// [`STEAL_WAKEUP_DEPTH`] deep while some other shard sits empty,
+    /// re-notify the wait group (and count it). A parked reactor wakes,
+    /// finds its claimable shards empty, and loops through the steal path
+    /// immediately — instead of sleeping out the rest of its idle tick while
+    /// this queue backs up. Best-effort: if every reactor is mid-invocation
+    /// the signal is absorbed, and the idle tick remains the backstop.
     fn maybe_wake_thief(&self, loaded: usize, depth: usize) {
         if !self.stealing || depth < STEAL_WAKEUP_DEPTH {
             return;
         }
         for (index, shard) in self.shards.iter().enumerate() {
             if index != loaded && shard.depth.load(Ordering::Relaxed) == 0 {
-                shard.available.notify_one();
+                self.notify();
                 self.steal_wakeups.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -439,40 +439,33 @@ impl DispatchPool {
         self.steal_wakeups.load(Ordering::Relaxed)
     }
 
-    /// Pops the next request of `shard`, marking its actor as
-    /// admission-in-progress (cleared by [`DispatchPool::mark_admitted`]).
-    /// When the shard is empty, tries to steal a whole actor from the
-    /// deepest other shard, then parks on the not-empty signal for up to
-    /// `timeout`. Returns `None` if nothing arrived in time.
-    pub(crate) fn next_request(&self, shard: usize, timeout: Duration) -> Option<RequestMessage> {
-        if let Some(request) = self.try_pop(shard) {
-            return Some(request);
-        }
-        if self.stealing && self.try_steal(shard) {
-            if let Some(request) = self.try_pop(shard) {
-                return Some(request);
-            }
-        }
-        // Pop under the guard we already hold — re-locking through
-        // `try_pop` here would self-deadlock when a push lands between the
-        // checks above and this acquisition (the state mutex is not
-        // reentrant).
-        let mut state = self.shards[shard].lock_state();
-        if state.queue.is_empty() {
-            let (woken, _) = self.shards[shard]
-                .available
-                .wait_timeout(state, timeout)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            state = woken;
-        }
-        let request = state.queue.pop_front()?;
-        state.busy_actors.push(request.target.clone());
-        self.shards[shard].depth.fetch_sub(1, Ordering::Relaxed);
-        Some(request)
+    /// Queue depth of `shard` (lock-free; the reactor sweep's cheap gate).
+    pub(crate) fn depth(&self, shard: usize) -> usize {
+        self.shards[shard].depth.load(Ordering::Relaxed)
     }
 
-    fn try_pop(&self, shard: usize) -> Option<RequestMessage> {
-        let mut state = self.shards[shard].lock_state();
+    /// Claims the pop+admit critical section of `shard`. Returns false if
+    /// another reactor holds it. The claim must be held from pop through
+    /// admission (that's what serializes admission per shard, and with it
+    /// per-actor FIFO) and released before running the invocation, so a slow
+    /// handler never stalls its shard.
+    pub(crate) fn try_claim(&self, shard: usize) -> bool {
+        self.shards[shard]
+            .claimed
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases the pop+admit claim of `shard`.
+    pub(crate) fn release_claim(&self, shard: usize) {
+        self.shards[shard].claimed.store(false, Ordering::Release);
+    }
+
+    /// Pops the next request of `shard`, marking its actor as
+    /// admission-in-progress (cleared by [`DispatchPool::release_busy_actor`]
+    /// once the invocation completes). Callers hold the shard claim.
+    pub(crate) fn try_pop(&self, shard: usize) -> Option<RequestMessage> {
+        let mut state = self.shards[shard].state.lock();
         let request = state.queue.pop_front()?;
         state.busy_actors.push(request.target.clone());
         self.shards[shard].depth.fetch_sub(1, Ordering::Relaxed);
@@ -489,20 +482,25 @@ impl DispatchPool {
 
     /// Releases one busy-actor guard of `shard`: the popped request's
     /// invocation (and any mailbox continuations it drained) has completed,
-    /// so `actor` is stealable again. Each worker releases exactly the actor
-    /// it popped — never a replacement drainer's concurrent guard.
+    /// so `actor` is stealable again. Each reactor releases exactly the
+    /// actor it popped — never another reactor's concurrent guard.
     pub(crate) fn release_busy_actor(&self, shard: usize, actor: &ActorRef) {
-        let mut state = self.shards[shard].lock_state();
+        let mut state = self.shards[shard].state.lock();
         if let Some(position) = state.busy_actors.iter().position(|a| a == actor) {
             state.busy_actors.swap_remove(position);
         }
+    }
+
+    /// Whether work stealing is enabled for this pool.
+    pub(crate) fn stealing(&self) -> bool {
+        self.stealing
     }
 
     /// Steals one whole actor from the deepest other shard into `thief`'s
     /// queue. Every queued request of the stolen actor moves in one atomic
     /// step and future requests are routed to the thief, so per-actor FIFO
     /// order is preserved. Returns true if an actor was moved.
-    fn try_steal(&self, thief: usize) -> bool {
+    pub(crate) fn try_steal(&self, thief: usize) -> bool {
         // Lock-free scan for the deepest candidate shard.
         let victim = self
             .shards
@@ -515,15 +513,15 @@ impl DispatchPool {
             .map(|(index, _)| index);
         let Some(victim) = victim else { return false };
 
-        // Take both shard locks in index order (steals from concurrent
-        // replacement drainers must not deadlock), then move the actor.
+        // Take both shard locks in index order (concurrent thieves must not
+        // deadlock), then move the actor.
         let (first, second) = if victim < thief {
             (victim, thief)
         } else {
             (thief, victim)
         };
-        let mut first_state = self.shards[first].lock_state();
-        let mut second_state = self.shards[second].lock_state();
+        let mut first_state = self.shards[first].state.lock();
+        let mut second_state = self.shards[second].state.lock();
         let (victim_state, thief_state) = if victim < thief {
             (&mut first_state, &mut second_state)
         } else {
@@ -587,67 +585,26 @@ impl DispatchPool {
         self.routes.lock().clear();
     }
 
-    /// Registers the calling thread as the drainer of `shard`. `pool_id` is
-    /// the component's pool address, captured so blocking sections can check
-    /// they are releasing the shard of the pool they belong to.
-    pub(crate) fn bind_worker(&self, shard: usize) {
-        let pool_id = self as *const DispatchPool as usize;
-        SHARD_CTX.with(|ctx| ctx.set(Some((pool_id, shard))));
-        OWNS_SHARD.with(|owns| owns.set(true));
-    }
-
-    /// Claims ownership of `shard` if it has no drainer. Returns true if the
-    /// caller should start (or keep) draining.
-    pub(crate) fn try_claim(&self, shard: usize) -> bool {
-        let mut owned = self.shards[shard].owned.lock();
-        if *owned {
-            false
-        } else {
-            *owned = true;
-            true
-        }
-    }
-
-    /// True if the calling thread currently owns the shard it is bound to.
-    pub(crate) fn thread_owns_shard(&self) -> bool {
-        OWNS_SHARD.with(Cell::get)
-    }
-
-    /// Releases the calling worker's shard before a blocking wait, handing
-    /// ownership to a freshly spawned replacement drainer (via `respawn`).
-    /// No-op when the calling thread is not a worker of this pool or has
-    /// already handed its shard off.
-    pub(crate) fn enter_blocking(&self, respawn: impl FnOnce(usize)) {
-        let pool_id = self as *const DispatchPool as usize;
-        let Some((ctx_pool, shard)) = SHARD_CTX.with(Cell::get) else {
-            return;
-        };
-        if ctx_pool != pool_id || !OWNS_SHARD.with(Cell::get) {
-            return;
-        }
-        OWNS_SHARD.with(|owns| owns.set(false));
-        {
-            let mut owned = self.shards[shard].owned.lock();
-            debug_assert!(*owned, "blocking worker's shard had no registered drainer");
-            *owned = false;
-        }
-        // Promote a replacement drainer so the shard keeps making progress
-        // while this thread is parked. try_claim + spawn, not spawn + claim,
-        // so two racing blockers promote exactly one replacement.
-        if self.try_claim(shard) {
-            respawn(shard);
-        }
-    }
-
-    /// Called by a worker that lost ownership (after its blocking call and
-    /// the invocation it was running completed): reclaim the shard if the
-    /// replacement drainer has itself exited, otherwise retire.
-    pub(crate) fn try_reclaim(&self, shard: usize) -> bool {
-        if self.try_claim(shard) {
-            OWNS_SHARD.with(|owns| owns.set(true));
-            true
-        } else {
-            false
+    /// Test helper mirroring the reactor sweep for one shard: pop, else
+    /// steal-and-pop, else poll until `timeout`. Production code drains
+    /// shards through `ComponentCore::pump`, which parks on the wait group
+    /// instead of polling.
+    #[cfg(test)]
+    pub(crate) fn next_request(&self, shard: usize, timeout: Duration) -> Option<RequestMessage> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(request) = self.try_pop(shard) {
+                return Some(request);
+            }
+            if self.stealing && self.try_steal(shard) {
+                if let Some(request) = self.try_pop(shard) {
+                    return Some(request);
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_micros(50));
         }
     }
 }
@@ -676,9 +633,13 @@ mod tests {
         }
     }
 
+    fn pool(workers: usize, stealing: bool, retention: Duration) -> DispatchPool {
+        DispatchPool::new(workers, stealing, retention, None)
+    }
+
     #[test]
     fn actors_are_pinned_to_stable_shards() {
-        let pool = DispatchPool::new(4, false, RETENTION);
+        let pool = pool(4, false, RETENTION);
         assert_eq!(pool.workers(), 4);
         for i in 0..32 {
             let actor = ActorRef::new("T", format!("a{i}"));
@@ -691,12 +652,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_is_rejected() {
-        DispatchPool::new(0, true, RETENTION);
+        pool(0, true, RETENTION);
     }
 
     #[test]
     fn submit_tracks_pending_until_admitted() {
-        let pool = DispatchPool::new(2, false, RETENTION);
+        let pool = pool(2, false, RETENTION);
         let r = request(7, "a");
         let id = r.id;
         assert!(pool.submit(r));
@@ -714,20 +675,18 @@ mod tests {
 
     #[test]
     fn next_request_times_out_on_an_empty_shard() {
-        let pool = DispatchPool::new(1, false, RETENTION);
+        let pool = pool(1, false, RETENTION);
         assert!(pool.next_request(0, Duration::from_millis(2)).is_none());
     }
 
     #[test]
-    fn concurrent_pushes_never_wedge_the_drainer() {
-        // Regression test: a push landing between next_request's fast-path
-        // pop and its parked-wait acquisition used to re-lock the shard
-        // state mutex while the guard was still held — a self-deadlock that
-        // permanently wedged the shard. Hammer that window from a pusher
-        // thread while the drainer loops.
+    fn concurrent_pushes_never_lose_or_duplicate_requests() {
+        // Stress the push/pop/steal paths from two sides at once: every
+        // submitted request must be drained exactly once, and the depth
+        // mirrors must come back to zero.
         use std::sync::Arc;
         const MESSAGES: u64 = 2_000;
-        let pool = Arc::new(DispatchPool::new(2, true, RETENTION));
+        let pool = Arc::new(DispatchPool::new(2, true, RETENTION, None));
         let shard = pool.shard_of(&ActorRef::new("T", "a"));
         let pusher_pool = pool.clone();
         let pusher = std::thread::spawn(move || {
@@ -757,11 +716,12 @@ mod tests {
         }
         pusher.join().unwrap();
         assert_eq!(received, MESSAGES);
+        assert_eq!(pool.depth(0) + pool.depth(1), 0);
     }
 
     #[test]
     fn idle_worker_steals_a_whole_actor_from_the_deepest_shard() {
-        let pool = DispatchPool::new(2, true, RETENTION);
+        let pool = pool(2, true, RETENTION);
         let hot = ActorRef::new("T", "hot");
         let warm = ActorRef::new("T", "warm");
         let victim = pool.shard_of(&hot);
@@ -780,7 +740,7 @@ mod tests {
             r.target = warm.clone();
             pool.submit(r);
         }
-        assert_eq!(pool.shards[victim].depth.load(Ordering::Relaxed), 5);
+        assert_eq!(pool.depth(victim), 5);
 
         // The idle thief steals the biggest actor ("hot", 3 queued) and only
         // that actor; "warm" stays home.
@@ -793,8 +753,8 @@ mod tests {
             "route override follows the steal"
         );
         assert_eq!(pool.shard_of(&warm), victim);
-        assert_eq!(pool.shards[thief].depth.load(Ordering::Relaxed), 2);
-        assert_eq!(pool.shards[victim].depth.load(Ordering::Relaxed), 2);
+        assert_eq!(pool.depth(thief), 2);
+        assert_eq!(pool.depth(victim), 2);
 
         // Stolen requests drain from the thief in FIFO order, and future
         // submits for the stolen actor land on the thief.
@@ -803,12 +763,12 @@ mod tests {
         let next = pool.next_request(thief, Duration::from_millis(5)).unwrap();
         assert!(stolen.id < next.id, "steal must preserve per-actor order");
         pool.submit(request(99, "hot"));
-        assert_eq!(pool.shards[thief].depth.load(Ordering::Relaxed), 2);
+        assert_eq!(pool.depth(thief), 2);
     }
 
     #[test]
     fn stealing_skips_the_actor_its_drainer_is_busy_with() {
-        let pool = DispatchPool::new(2, true, RETENTION);
+        let pool = pool(2, true, RETENTION);
         let hot = ActorRef::new("T", "hot");
         let victim = pool.shard_of(&hot);
         let thief = 1 - victim;
@@ -834,7 +794,7 @@ mod tests {
 
     #[test]
     fn shallow_queues_are_not_stolen_from() {
-        let pool = DispatchPool::new(2, true, RETENTION);
+        let pool = pool(2, true, RETENTION);
         let hot = ActorRef::new("T", "hot");
         let victim = pool.shard_of(&hot);
         let thief = 1 - victim;
@@ -844,11 +804,12 @@ mod tests {
             "one queued request is below the steal threshold"
         );
         assert_eq!(pool.steal_count(), 0);
+        let _ = victim;
     }
 
     #[test]
     fn stealing_disabled_leaves_queues_alone() {
-        let pool = DispatchPool::new(2, false, RETENTION);
+        let pool = pool(2, false, RETENTION);
         let hot = ActorRef::new("T", "hot");
         let victim = pool.shard_of(&hot);
         let thief = 1 - victim;
@@ -856,36 +817,25 @@ mod tests {
             pool.submit(request(id, "hot"));
         }
         assert!(pool.next_request(thief, Duration::from_millis(2)).is_none());
-        assert_eq!(pool.shards[victim].depth.load(Ordering::Relaxed), 4);
+        assert_eq!(pool.depth(victim), 4);
         assert_eq!(pool.steal_count(), 0);
     }
 
     #[test]
-    fn ownership_is_exclusive_and_reclaimable() {
-        let pool = DispatchPool::new(1, true, RETENTION);
+    fn shard_claims_are_exclusive_until_released() {
+        let pool = pool(2, true, RETENTION);
         assert!(pool.try_claim(0));
         assert!(!pool.try_claim(0), "second claim must fail");
-        // Simulate the blocking hand-off protocol.
-        pool.bind_worker(0);
-        assert!(pool.thread_owns_shard());
-        let mut respawned = false;
-        pool.enter_blocking(|shard| {
-            assert_eq!(shard, 0);
-            respawned = true;
-        });
-        assert!(respawned, "a replacement drainer must be promoted");
-        assert!(!pool.thread_owns_shard());
-        // The replacement holds the claim, so reclaiming fails...
-        assert!(!pool.try_reclaim(0));
-        // ...until it releases.
-        *pool.shards[0].owned.lock() = false;
-        assert!(pool.try_reclaim(0));
-        assert!(pool.thread_owns_shard());
+        assert!(pool.try_claim(1), "claims are per shard");
+        pool.release_claim(0);
+        assert!(pool.try_claim(0), "released claims are reclaimable");
+        pool.release_claim(0);
+        pool.release_claim(1);
     }
 
     #[test]
     fn submit_batch_groups_by_shard_and_preserves_per_actor_order() {
-        let pool = DispatchPool::new(4, false, RETENTION);
+        let pool = pool(4, false, RETENTION);
         // Interleave requests for several actors; the batch must land each
         // actor's requests on its shard in submission order.
         let mut batch = Vec::new();
@@ -924,19 +874,19 @@ mod tests {
 
     #[test]
     fn submit_batch_honours_steal_route_overrides() {
-        let pool = DispatchPool::new(2, true, RETENTION);
+        let pool = pool(2, true, RETENTION);
         let hot = ActorRef::new("T", "hot");
         let home = pool.shard_of(&hot);
         let exile = 1 - home;
         pool.routes.lock().insert(hot.clone(), exile);
         pool.submit_batch((1..=3).map(|id| request(id, "hot")).collect());
-        assert_eq!(pool.shards[exile].depth.load(Ordering::Relaxed), 3);
-        assert_eq!(pool.shards[home].depth.load(Ordering::Relaxed), 0);
+        assert_eq!(pool.depth(exile), 3);
+        assert_eq!(pool.depth(home), 0);
     }
 
     #[test]
     fn idle_steal_routes_age_out_but_active_ones_survive() {
-        let pool = DispatchPool::new(2, true, Duration::from_millis(1));
+        let pool = pool(2, true, Duration::from_millis(1));
         let idle = ActorRef::new("T", "idle");
         let busy = ActorRef::new("T", "busy");
         pool.routes.lock().insert(idle.clone(), 0);
@@ -973,7 +923,7 @@ mod tests {
 
     #[test]
     fn a_dropped_route_falls_back_to_the_home_shard_with_nothing_queued() {
-        let pool = DispatchPool::new(2, true, Duration::from_millis(1));
+        let pool = pool(2, true, Duration::from_millis(1));
         let actor = ActorRef::new("T", "wanderer");
         let home = pool.shard_of(&actor);
         pool.routes.lock().insert(actor.clone(), 1 - home);
@@ -986,26 +936,35 @@ mod tests {
         // safe because the override was only dropped while nothing was
         // queued anywhere for the actor.
         pool.submit(request(9, "wanderer"));
-        assert_eq!(pool.shards[home].depth.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.depth(home), 1);
     }
 
     #[test]
-    fn deep_pushes_wake_a_parked_thief_before_its_timeout() {
+    fn deep_pushes_notify_the_wait_group_for_a_parked_thief() {
         use std::sync::Arc;
-        let pool = Arc::new(DispatchPool::new(2, true, RETENTION));
+        let group = Arc::new(WaitSignalGroup::new());
+        let pool = Arc::new(DispatchPool::new(2, true, RETENTION, Some(group.clone())));
         let hot = ActorRef::new("T", "hot");
         let victim = pool.shard_of(&hot);
         let thief = 1 - victim;
-        // Park a thief on its empty shard with a timeout far longer than the
-        // test budget: only a proactive wakeup can return it early.
+        // Park a thief on the wait group with a timeout far longer than the
+        // test budget: only a push's notify can return it early.
         let thief_pool = pool.clone();
+        let thief_group = group.clone();
         let parked = std::thread::spawn(move || {
             let t0 = std::time::Instant::now();
             loop {
-                if let Some(request) = thief_pool.next_request(thief, Duration::from_millis(900)) {
+                let seen = thief_group.current();
+                if let Some(request) = thief_pool.try_pop(thief) {
                     return (request, t0.elapsed());
                 }
+                if thief_pool.try_steal(thief) {
+                    if let Some(request) = thief_pool.try_pop(thief) {
+                        return (request, t0.elapsed());
+                    }
+                }
                 assert!(t0.elapsed() < Duration::from_secs(5), "thief never woke");
+                thief_group.wait(seen, Duration::from_millis(900));
             }
         });
         std::thread::sleep(Duration::from_millis(100));
@@ -1014,9 +973,9 @@ mod tests {
         }
         let (stolen, elapsed) = parked.join().unwrap();
         assert_eq!(stolen.target, hot);
-        assert!(pool.steal_wakeup_count() >= 1, "no wakeup was issued");
+        assert!(pool.steal_wakeup_count() >= 1, "no wakeup was counted");
         assert_eq!(pool.steal_count(), 1);
-        // Without the wakeup the thief sleeps out its 900 ms park (plus the
+        // Without the notify the thief sleeps out its 900 ms park (plus the
         // 100 ms head start); with it, the steal lands well inside that.
         assert!(
             elapsed < Duration::from_millis(700),
@@ -1026,7 +985,7 @@ mod tests {
 
     #[test]
     fn shallow_pushes_do_not_issue_steal_wakeups() {
-        let pool = DispatchPool::new(2, true, RETENTION);
+        let pool = pool(2, true, RETENTION);
         for id in 1..STEAL_WAKEUP_DEPTH as u64 {
             pool.submit(request(id, "hot"));
         }
@@ -1036,21 +995,10 @@ mod tests {
         pool.submit(request(99, "hot"));
         assert!(pool.steal_wakeup_count() >= 1);
         // Stealing disabled: never wake.
-        let no_steal = DispatchPool::new(2, false, RETENTION);
+        let no_steal = DispatchPool::new(2, false, RETENTION, None);
         for id in 1..=(STEAL_WAKEUP_DEPTH as u64 * 2) {
             no_steal.submit(request(id, "hot"));
         }
         assert_eq!(no_steal.steal_wakeup_count(), 0);
-    }
-
-    #[test]
-    fn enter_blocking_is_a_noop_off_worker_threads() {
-        let pool = DispatchPool::new(1, true, RETENTION);
-        // This test thread was bound by other tests? Reset explicitly.
-        SHARD_CTX.with(|ctx| ctx.set(None));
-        OWNS_SHARD.with(|owns| owns.set(false));
-        let mut respawned = false;
-        pool.enter_blocking(|_| respawned = true);
-        assert!(!respawned);
     }
 }

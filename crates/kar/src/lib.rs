@@ -72,6 +72,7 @@ pub mod client;
 pub mod component;
 pub mod config;
 pub mod context;
+pub mod continuation;
 mod delivery;
 mod dispatch;
 pub mod mesh;
@@ -83,6 +84,7 @@ pub use actor::{Actor, ActorFactory, Outcome};
 pub use client::Client;
 pub use config::{CancellationPolicy, MeshConfig};
 pub use context::{ActorContext, ActorState};
+pub use continuation::Continuation;
 pub use mesh::{ComponentBuilder, Mesh};
 pub use placement::PlacementCounters;
 pub use recovery::{OutageRecord, RecoveryLog};

@@ -1,16 +1,18 @@
 //! The application mesh: nodes, components, clients and fault injection.
 
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
 use kar_queue::{Broker, PartitionSet};
 use kar_store::Store;
 use kar_types::ids::RequestIdGenerator;
-use kar_types::{ComponentId, Envelope, NodeId};
+use kar_types::{ComponentId, Envelope, NodeId, WaitSignal, WaitSignalGroup};
 
 use crate::actor::{Actor, ActorFactory};
 use crate::client::Client;
@@ -21,6 +23,103 @@ use crate::recovery::{run_recovery_manager, OutageRecord, RecoveryContext, Recov
 
 const TOPIC: &str = "kar";
 const GROUP: &str = "kar";
+
+// ----------------------------------------------------------------------
+// Reactor pool
+// ----------------------------------------------------------------------
+
+/// State shared by the mesh's fixed reactor pool: the registry of pump
+/// targets (every component ever added, clients included — their partitions
+/// deliver client responses) and the mesh-wide wakeup group that every
+/// consumer partition, dispatch shard, and continuation timeout notifies.
+///
+/// The pool is the invocation core's whole thread budget: components own no
+/// threads of their own, so adding components or partitions adds pump
+/// targets, never threads.
+struct ReactorShared {
+    registry: RwLock<Vec<Arc<ComponentCore>>>,
+    /// The single wakeup primitive: queue appends (via each consumer's
+    /// broker-side group membership), dispatch pushes, and timeout flags all
+    /// notify here; idle reactors park on it.
+    group: Arc<WaitSignalGroup>,
+    /// Dedicated timer parking signal. The timer must *not* park on `group`
+    /// — traffic would wake it far more often than its tick interval — but
+    /// it must still be promptly interruptible at shutdown.
+    timer_signal: WaitSignal,
+    shutdown: AtomicBool,
+}
+
+thread_local! {
+    /// Set once at reactor-thread startup; lets blocking waits on a reactor
+    /// pump the pool instead of going idle (work-while-waiting).
+    static CURRENT_REACTOR: RefCell<Option<Weak<ReactorShared>>> = const { RefCell::new(None) };
+    /// Reentrant pump depth of this thread. Pumping can run an invocation
+    /// whose blocking call pumps again; the cap bounds stack growth.
+    static PUMP_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+const MAX_PUMP_DEPTH: usize = 32;
+
+/// True on a thread of the mesh reactor pool.
+pub(crate) fn on_reactor_thread() -> bool {
+    CURRENT_REACTOR.with(|slot| slot.borrow().is_some())
+}
+
+/// Runs one pump sweep of the current thread's reactor pool, if this thread
+/// is a reactor and the reentrancy cap allows. Returns true if any work was
+/// done — callers parked in a blocking wait use this to stay productive
+/// instead of sleeping while their own pool starves.
+pub(crate) fn pump_current_reactor() -> bool {
+    let shared = CURRENT_REACTOR.with(|slot| slot.borrow().as_ref().and_then(Weak::upgrade));
+    let Some(shared) = shared else { return false };
+    PUMP_DEPTH.with(|depth| {
+        if depth.get() >= MAX_PUMP_DEPTH {
+            return false;
+        }
+        depth.set(depth.get() + 1);
+        let components: Vec<Arc<ComponentCore>> = shared.registry.read().clone();
+        let mut did = false;
+        for core in &components {
+            did |= core.pump();
+        }
+        depth.set(depth.get() - 1);
+        did
+    })
+}
+
+/// Body of one reactor thread: sweep every registered component, park on the
+/// shared wakeup group when a full sweep finds nothing.
+fn reactor_loop(shared: Arc<ReactorShared>) {
+    CURRENT_REACTOR.with(|slot| *slot.borrow_mut() = Some(Arc::downgrade(&shared)));
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let seen = shared.group.current();
+        let components: Vec<Arc<ComponentCore>> = shared.registry.read().clone();
+        let mut did = false;
+        for core in &components {
+            did |= core.pump();
+        }
+        if !did {
+            shared.group.wait(seen, Duration::from_millis(2));
+        }
+    }
+    CURRENT_REACTOR.with(|slot| *slot.borrow_mut() = None);
+}
+
+/// Body of the single timer thread: heartbeats, retry-bookkeeping aging,
+/// continuation timeouts, orphan-response sweeps, and partition retirement
+/// all ride this one clock. App code never runs here — expired
+/// continuations are only *flagged*; a reactor resumes them.
+fn timer_loop(shared: Arc<ReactorShared>, interval: Duration) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let components: Vec<Arc<ComponentCore>> = shared.registry.read().clone();
+        let now = Instant::now();
+        for core in &components {
+            core.tick(now);
+        }
+        let seen = shared.timer_signal.current();
+        shared.timer_signal.wait(seen, interval);
+    }
+}
 
 /// Declares the actor types hosted by a component being added to the mesh.
 #[derive(Default)]
@@ -62,6 +161,9 @@ struct MeshInner {
     recovery: Arc<RecoveryLog>,
     orphans: Arc<Mutex<Vec<kar_types::RequestMessage>>>,
     shutdown: Arc<AtomicBool>,
+    reactors: Arc<ReactorShared>,
+    /// Reactor + timer thread handles, joined at shutdown.
+    runtime_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// A running KAR application mesh.
@@ -87,6 +189,33 @@ impl Mesh {
         broker
             .ensure_partitions(TOPIC, 1)
             .expect("topic creation cannot fail");
+        let reactors = Arc::new(ReactorShared {
+            registry: RwLock::new(Vec::new()),
+            group: Arc::new(WaitSignalGroup::new()),
+            timer_signal: WaitSignal::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let reactor_count = config.effective_reactor_threads();
+        let mut runtime_threads = Vec::with_capacity(reactor_count + 1);
+        for i in 0..reactor_count {
+            let shared = Arc::clone(&reactors);
+            runtime_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("kar-reactor-{i}"))
+                    .spawn(move || reactor_loop(shared))
+                    .expect("failed to spawn reactor"),
+            );
+        }
+        let tick = config
+            .scaled_heartbeat_interval()
+            .max(Duration::from_millis(1));
+        let shared = Arc::clone(&reactors);
+        runtime_threads.push(
+            std::thread::Builder::new()
+                .name("kar-timer".to_owned())
+                .spawn(move || timer_loop(shared, tick))
+                .expect("failed to spawn timer"),
+        );
         let inner = Arc::new(MeshInner {
             config,
             broker: broker.clone(),
@@ -103,6 +232,8 @@ impl Mesh {
             recovery: Arc::new(RecoveryLog::new()),
             orphans: Arc::new(Mutex::new(Vec::new())),
             shutdown: Arc::new(AtomicBool::new(false)),
+            reactors,
+            runtime_threads: Mutex::new(runtime_threads),
         });
         let ctx = RecoveryContext {
             config: inner.config.clone(),
@@ -228,12 +359,18 @@ impl Mesh {
             self.inner.live.clone(),
             self.inner.ids.clone(),
             hosted,
+            Arc::clone(&self.inner.reactors.group),
         ));
         self.inner.components.write().insert(id, core.clone());
         self.inner.nodes.write().entry(node).or_default().push(id);
         self.inner.live.write().insert(id);
         self.inner.broker.join_group(GROUP, id, partitions);
         core.start();
+        // Hand the component to the fixed reactor pool (clients included —
+        // their partitions deliver client responses) and wake the pool so it
+        // picks up the new lanes immediately.
+        self.inner.reactors.registry.write().push(core);
+        self.inner.reactors.group.notify();
         id
     }
 
@@ -381,14 +518,53 @@ impl Mesh {
             .map(|core| core.partition_set())
     }
 
-    /// Number of live consumer threads of one component: its home-partition
-    /// consumers, plus one per adopted range until retirement drops it.
+    /// Number of live consumer *lanes* of one component: its home-partition
+    /// lanes, plus one per adopted range until retirement drops it. Lanes
+    /// are pump targets of the shared reactor pool, not threads — the name
+    /// `consumer_threads` is kept for continuity with the pre-reactor
+    /// introspection surface.
     pub fn consumer_threads(&self, component: ComponentId) -> Option<usize> {
         self.inner
             .components
             .read()
             .get(&component)
             .map(|core| core.consumer_thread_count())
+    }
+
+    /// Size of the fixed reactor pool driving every component (the timer
+    /// thread is not counted). Constant for the life of the mesh, whatever
+    /// the topology grows to.
+    pub fn reactor_thread_count(&self) -> usize {
+        self.inner.config.effective_reactor_threads()
+    }
+
+    /// Number of continuations one component currently holds parked for
+    /// nested responses.
+    pub fn parked_continuations(&self, component: ComponentId) -> Option<usize> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.parked_continuations())
+    }
+
+    /// Total number of continuation parks one component has performed.
+    pub fn continuation_parks(&self, component: ComponentId) -> Option<u64> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.continuation_parks())
+    }
+
+    /// `(requests enqueued, batch appends performed)` by one component's
+    /// request batcher (`(0, 0)` with `request_batching` off).
+    pub fn request_batch_stats(&self, component: ComponentId) -> Option<(u64, u64)> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.request_batch_stats())
     }
 
     /// The adopted partitions one component has retired (fenced, dropped
@@ -460,6 +636,12 @@ impl Mesh {
     pub fn debug_report(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "reactor pool: threads={} registered_components={}",
+            self.reactor_thread_count(),
+            self.inner.reactors.registry.read().len(),
+        );
         let components = self.inner.components.read().clone();
         let mut ids: Vec<ComponentId> = components.keys().copied().collect();
         ids.sort();
@@ -546,11 +728,20 @@ impl Mesh {
     /// afterwards.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Stop the reactor pool and timer first: killed components poison
+        // further pumping anyway, and joining here guarantees no reactor
+        // touches the broker after it shuts down.
+        self.inner.reactors.shutdown.store(true, Ordering::SeqCst);
+        self.inner.reactors.group.notify();
+        self.inner.reactors.timer_signal.bump();
         let components: Vec<Arc<ComponentCore>> =
             self.inner.components.read().values().cloned().collect();
         for component in components {
             self.inner.broker.leave_group(GROUP, component.id());
             component.kill();
+        }
+        for handle in self.inner.runtime_threads.lock().drain(..) {
+            let _ = handle.join();
         }
         self.inner.broker.shutdown();
     }
@@ -932,8 +1123,17 @@ mod tests {
 
     #[test]
     fn distinct_actors_execute_in_parallel_across_dispatch_workers() {
-        let mesh = Mesh::new(MeshConfig::for_tests().with_dispatch_workers(8));
+        // Sleeping invocations occupy reactor threads, so this parallelism
+        // probe needs a pool at least as wide as the worker count under
+        // test (the auto-sized pool tracks the host's cores, which may be
+        // fewer).
+        let mesh = Mesh::new(
+            MeshConfig::for_tests()
+                .with_dispatch_workers(8)
+                .with_reactor_threads(8),
+        );
         assert_eq!(mesh.dispatch_workers(), 8);
+        assert_eq!(mesh.reactor_thread_count(), 8);
         let node = mesh.add_node();
         mesh.add_component(node, "server", |c| c.host("Sleeper", || Box::new(Sleeper)));
         let client = mesh.client();

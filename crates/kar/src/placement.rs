@@ -193,6 +193,22 @@ impl PlacementService {
         self.cache.as_ref().map_or(0, |cache| cache.shards.len())
     }
 
+    /// Current repair-signal sequence. Pair with
+    /// [`PlacementService::wait_for_repair`]: snapshot before a
+    /// [`PlacementService::resolve_nowait`] attempt, so a repair landing
+    /// between the lookup and the wait wakes the waiter at once.
+    pub fn repair_epoch(&self) -> u64 {
+        self.repaired.current()
+    }
+
+    /// Parks until a reconciliation repair lands (the repair signal moves
+    /// past `seen`) or `timeout` expires. Callers that interleave their own
+    /// work with bounded waits — the reactors' work-while-waiting — use this
+    /// instead of the blocking [`PlacementService::resolve`].
+    pub fn wait_for_repair(&self, seen: u64, timeout: std::time::Duration) {
+        self.repaired.wait(seen, timeout);
+    }
+
     /// A snapshot of the hit/miss/invalidation counters.
     pub fn counters(&self) -> PlacementCounters {
         PlacementCounters {

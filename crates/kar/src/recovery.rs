@@ -9,7 +9,10 @@
 //! call, invalidates placement decisions for actors hosted by failed
 //! components, eagerly re-places actors with pending requests, re-homes their
 //! pending requests (annotated with their pending callee to preserve
-//! happen-before), flushes the failed queues, and finally re-homes the
+//! happen-before) and any responses stranded unconsumed in the failed queues
+//! (re-appended to the caller's current placement — destroying them with the
+//! queue flush would leave their callers waiting for completions that no
+//! survivor can ever resend), flushes the failed queues, and finally re-homes the
 //! failed components' **partition ranges** onto surviving components: each
 //! partition is fenced (bumping its ownership epoch, so a slow consumer of
 //! the old assignment cannot double-commit) and then adopted by a survivor
@@ -37,7 +40,7 @@ use parking_lot::{Mutex, RwLock};
 
 use kar_queue::{Broker, GroupEvent, PartitionSet};
 use kar_store::Store;
-use kar_types::{ComponentId, Envelope, RequestId, RequestMessage, Value};
+use kar_types::{ComponentId, Envelope, RequestId, RequestMessage, ResponseMessage, Value};
 
 use crate::component::ComponentCore;
 use crate::config::MeshConfig;
@@ -384,6 +387,14 @@ impl RehomeBatches {
         self.count += 1;
     }
 
+    fn push_response(&mut self, partition: usize, response: ResponseMessage) {
+        self.batches
+            .entry(partition)
+            .or_default()
+            .push(Envelope::Response(response));
+        self.count += 1;
+    }
+
     fn flush(self, ctx: &RecoveryContext) -> usize {
         for (partition, envelopes) in self.batches {
             let _ = ctx
@@ -424,6 +435,7 @@ fn reconcile(
     let mut live_requests: HashSet<RequestId> = HashSet::new();
     let mut all_requests: Vec<Arc<Envelope>> = Vec::new();
     let mut dead_queues: Vec<(ComponentId, Vec<Arc<Envelope>>)> = Vec::new();
+    let mut dead_responses: Vec<ResponseMessage> = Vec::new();
     for (component, set) in &topology {
         let mut requests_here: Vec<Arc<Envelope>> = Vec::new();
         let live_core = if live.contains(component) {
@@ -436,6 +448,9 @@ fn reconcile(
                 match record.payload.as_ref() {
                     Envelope::Response(response) => {
                         responses.insert(response.id);
+                        if removed.contains(component) {
+                            dead_responses.push(response.clone());
+                        }
                     }
                     Envelope::Request(request) => {
                         if let Some(core) = live_core {
@@ -563,6 +578,28 @@ fn reconcile(
     }
     rewrites.flush_writes(ctx);
     rehomed += batches.flush(ctx);
+
+    // 6½. Responses stranded in the failed queues. The flush below would
+    //    destroy them — yet the catalog above counted their ids as
+    //    *answered*, so the callers they complete are re-homed **without** a
+    //    pending-callee annotation (or, worse, a caller re-homed by a later
+    //    recovery could be deferred on such an id and wait forever for a
+    //    response no survivor holds — the callee already completed and will
+    //    never send it again). Re-append each one to the caller's current
+    //    placement, exactly like the request sweeps above; a copy that was
+    //    in fact already consumed before the failure is absorbed by the
+    //    receiver's seen-response dedupe.
+    let mut batches = RehomeBatches::default();
+    let mut rehomed_responses: HashSet<RequestId> = HashSet::new();
+    for response in dead_responses.into_iter().rev() {
+        if !rehomed_responses.insert(response.id) {
+            continue;
+        }
+        if let Some(partition) = response_rehome_partition(ctx, &response, live, &mut rewrites) {
+            batches.push_response(partition, response);
+        }
+    }
+    batches.flush(ctx);
 
     // 7. Flush the failed queues for later reuse.
     for component in removed {
@@ -736,6 +773,34 @@ fn rehome_decision(
         return None;
     };
     Some((partition, request))
+}
+
+/// Destination partition for a response re-homed out of a failed queue: the
+/// caller actor's current placement (including decisions made earlier in
+/// this same round — the caller's own pending request is typically re-homed
+/// moments before its stranded response), routed by the same response key a
+/// live sender would use; a response to an external client goes back to the
+/// client's own queue. `None` (caller unplaced or also dead) means nobody
+/// can be waiting on the response, so the copy is safe to drop with the
+/// queue flush.
+fn response_rehome_partition(
+    ctx: &RecoveryContext,
+    response: &ResponseMessage,
+    live: &[ComponentId],
+    rewrites: &mut PlacementRewriter,
+) -> Option<usize> {
+    let topology = ctx.topology.read();
+    if let Some(caller_actor) = &response.caller_actor {
+        let key = placement_key(caller_actor);
+        let owner = rewrites.placement(ctx, &key).filter(|c| live.contains(c))?;
+        return topology
+            .get(&owner)?
+            .partition_for_key(&caller_actor.qualified_name());
+    }
+    let reply_to = response.reply_to.filter(|c| live.contains(c))?;
+    topology
+        .get(&reply_to)?
+        .partition_for_key(&format!("req-{}", response.id.as_u64()))
 }
 
 /// The live components announcing support for `actor_type`.

@@ -1,0 +1,235 @@
+//! Chaos test for the continuation-parking tentpole: a component is killed
+//! while at least one invocation is *parked* — its handler returned
+//! `Outcome::CallThen`, its worker was released, and only the continuation
+//! table remembers the nested call. Re-homing must replay the original
+//! request from the queue copy exactly like a killed blocked-thread
+//! invocation: acknowledged effects apply exactly once and per-actor FIFO
+//! order survives, even though the parked continuation itself dies with the
+//! process.
+//!
+//! The kill is seeded (`KAR_CHAOS_SEED` reproduces a run) but *aimed*: the
+//! chaos thread polls `Mesh::parked_continuations` and only pulls the
+//! trigger on a component it has just observed holding a parked
+//! continuation, so every kill in this test exercises the orphaned-
+//! continuation replay path rather than landing between invocations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kar::{Actor, ActorContext, Mesh, MeshConfig, Outcome};
+use kar_types::{ActorRef, KarError, KarResult, Value};
+
+mod common;
+use common::{chaos_seed, SplitMix64};
+
+/// The caller side: `record(i, delay)` parks a continuation on a nested
+/// `Back.echo(i, delay)` call and, on resume, appends `i` to a durable log
+/// with the same dedupe + order tripwire as the Ledger actor in
+/// tests/lock_granularity.rs — duplicates from runtime retries are absorbed,
+/// and any out-of-order first execution is recorded as a violation at the
+/// point it happens, whichever replica resumes the continuation.
+struct Front;
+
+impl Actor for Front {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "record" => {
+                let back = ActorRef::new("Back", "b");
+                Ok(
+                    ctx.call_then(&back, "echo", args.to_vec(), move |ctx, result| {
+                        let i = result?.as_i64().unwrap_or(-1);
+                        let log = ctx.state().get("log")?.unwrap_or(Value::List(Vec::new()));
+                        let mut entries = log.as_list().map(<[Value]>::to_vec).unwrap_or_default();
+                        if entries.iter().any(|e| e.as_i64() == Some(i)) {
+                            return Ok(Outcome::value("dup"));
+                        }
+                        if i != entries.len() as i64 {
+                            ctx.state().set(
+                                "violation",
+                                Value::from(format!(
+                                    "record {i} resumed with {} entries applied",
+                                    entries.len()
+                                )),
+                            )?;
+                        }
+                        entries.push(Value::Int(i));
+                        ctx.state().set("log", Value::List(entries))?;
+                        Ok(Outcome::value("ok"))
+                    }),
+                )
+            }
+            "read" => Ok(Outcome::value(
+                ctx.state().get("log")?.unwrap_or(Value::List(Vec::new())),
+            )),
+            "violation" => Ok(Outcome::value(
+                ctx.state().get("violation")?.unwrap_or(Value::Null),
+            )),
+            other => Err(KarError::application(format!("no method {other}"))),
+        }
+    }
+}
+
+/// The callee side: `echo(i, delay)` holds the invocation for `delay`
+/// milliseconds before returning `i`, keeping the caller's continuation
+/// parked long enough for the chaos thread to observe and kill it.
+struct Back;
+
+impl Actor for Back {
+    fn invoke(
+        &mut self,
+        _ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "echo" => {
+                let delay = args.get(1).and_then(Value::as_i64).unwrap_or(0);
+                if delay > 0 {
+                    std::thread::sleep(Duration::from_millis(delay as u64));
+                }
+                Ok(Outcome::value(args[0].clone()))
+            }
+            other => Err(KarError::application(format!("no method {other}"))),
+        }
+    }
+}
+
+#[test]
+fn kill_while_parked_preserves_exactly_once_and_fifo() {
+    const CALLS: i64 = 16;
+    const ECHO_DELAY_MS: i64 = 40;
+
+    let seed = chaos_seed(0x0C_A11_7EE);
+    println!("chaos seed: {seed} (re-run with KAR_CHAOS_SEED={seed})");
+
+    // A triple session timeout: Back.echo occupies a reactor for 40 ms per
+    // call, and on a small CI machine that plus the kill storm can starve
+    // the shared heartbeat timer past the default (compressed) 50 ms window,
+    // spuriously fencing a component nobody killed. Slower failure detection
+    // changes nothing about the property under test.
+    let mesh = Mesh::new(MeshConfig {
+        session_timeout: Duration::from_secs(30),
+        ..MeshConfig::for_tests().with_reactor_threads(3)
+    });
+    let node = mesh.add_node();
+    // Back lives on a stable component that is never killed: the nested call
+    // always completes, so the interesting failure is always on the parked
+    // caller side.
+    let back_host = mesh.add_component(node, "back-stable", |c| c.host("Back", || Box::new(Back)));
+    mesh.add_component(node, "front-a", |c| c.host("Front", || Box::new(Front)));
+    mesh.add_component(node, "front-b", |c| c.host("Front", || Box::new(Front)));
+    let client = mesh.client();
+    let client_component = client.component_id();
+    let front = ActorRef::new("Front", "f");
+
+    let done = Arc::new(AtomicBool::new(false));
+    let mesh_for_chaos = mesh.clone();
+    let done_for_chaos = Arc::clone(&done);
+    let chaos = std::thread::spawn(move || {
+        let mut rng = SplitMix64::new(seed);
+        let mut kills = 0usize;
+        for round in 0..3 {
+            // Aim: wait until some live Front host is observed holding a
+            // parked continuation, then kill *that* component.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let victim = loop {
+                if done_for_chaos.load(Ordering::Relaxed) || Instant::now() > deadline {
+                    break None;
+                }
+                let parked = mesh_for_chaos
+                    .live_components()
+                    .into_iter()
+                    .filter(|c| *c != client_component && *c != back_host)
+                    .find(|c| mesh_for_chaos.parked_continuations(*c).unwrap_or(0) > 0);
+                if parked.is_some() {
+                    break parked;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            };
+            let Some(victim) = victim else { break };
+            // Seeded jitter, kept well under the echo delay so the
+            // continuation is still parked when the kill lands.
+            std::thread::sleep(Duration::from_millis(rng.below(0, 8)));
+            mesh_for_chaos.kill_component(victim);
+            kills += 1;
+            let node = mesh_for_chaos.add_node();
+            mesh_for_chaos.add_component(node, &format!("front-replacement-{round}"), |c| {
+                c.host("Front", || Box::new(Front))
+            });
+            std::thread::sleep(Duration::from_millis(rng.below(30, 90)));
+        }
+        kills
+    });
+
+    let mut acknowledged = Vec::new();
+    for i in 0..CALLS {
+        let args = vec![Value::Int(i), Value::Int(ECHO_DELAY_MS)];
+        let t0 = Instant::now();
+        let result = client.call(&front, "record", args);
+        if result.is_ok() {
+            acknowledged.push(i);
+        }
+        if result.is_err() || t0.elapsed() > Duration::from_secs(2) {
+            println!(
+                "record {i}: {result:?} after {:?}\n{}",
+                t0.elapsed(),
+                mesh.debug_report()
+            );
+        }
+    }
+    done.store(true, Ordering::Relaxed);
+    let kills = chaos.join().unwrap();
+
+    // Every kill was aimed at an observed parked continuation, so the replay
+    // path under test actually ran.
+    assert!(
+        kills >= 1,
+        "the chaos thread never observed a parked continuation to kill"
+    );
+    // The last kill may land just as the call loop drains; give its
+    // detection + reconciliation a bounded window to complete.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while mesh.recoveries() < kills && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        mesh.recoveries() >= kills,
+        "kills were not recovered: {} recoveries for {kills} kills",
+        mesh.recoveries()
+    );
+
+    // Let retried-but-unacknowledged work settle before reading.
+    std::thread::sleep(Duration::from_millis(300));
+    let violation = client.call(&front, "violation", vec![]).unwrap();
+    assert_eq!(
+        violation,
+        Value::Null,
+        "per-actor FIFO violated across re-homing: {violation:?}"
+    );
+    let log = client.call(&front, "read", vec![]).unwrap();
+    let entries: Vec<i64> = log
+        .as_list()
+        .map(<[Value]>::to_vec)
+        .unwrap_or_default()
+        .iter()
+        .filter_map(Value::as_i64)
+        .collect();
+    for i in &acknowledged {
+        assert!(
+            entries.contains(i),
+            "acknowledged record {i} is missing from the log {entries:?}"
+        );
+    }
+    let expected: Vec<i64> = (0..entries.len() as i64).collect();
+    assert_eq!(
+        entries, expected,
+        "log must hold each record exactly once, in order"
+    );
+    mesh.shutdown();
+}
