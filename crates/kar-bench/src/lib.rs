@@ -40,6 +40,11 @@
 //!   off vs on, and consumer wakeup latency under the old rotating park vs
 //!   the shared wait group (the `bench_delivery` binary emits
 //!   `BENCH_delivery.json`, and its `--smoke` mode runs in CI).
+//! * [`retry`] — the retry-orchestration harness: healthy-path goodput next
+//!   to a ~30%-failing neighbor, naive immediate re-calls vs exponential
+//!   backoff under the mesh retry budget (the `bench_retry` binary emits
+//!   `BENCH_retry.json`, and its `--smoke` mode is the CI gate that the
+//!   retry lane never starves healthy traffic).
 //!
 //! Each table/figure has a dedicated binary (see `bin/`) and a Criterion
 //! bench (see `benches/`); the binaries print the same rows the paper
@@ -54,6 +59,7 @@ pub mod latency;
 pub mod lock_granularity;
 pub mod partitions;
 pub mod report;
+pub mod retry;
 pub mod store;
 pub mod throughput;
 pub mod topology;
@@ -64,6 +70,7 @@ pub use latency::{LatencyConfig, LatencyRow};
 pub use lock_granularity::{ContendedConfig, ContendedReport, SkewedConfig, SkewedReport};
 pub use partitions::{PartitionReport, PartitionSweepConfig};
 pub use report::Summary;
+pub use retry::{RetryBenchConfig, RetryBenchReport};
 pub use store::{ContendedStoreConfig, ContendedStoreReport, StateFlushConfig, StateFlushReport};
 pub use throughput::{ThroughputConfig, ThroughputReport};
 pub use topology::{TopologyReport, TopologyScale, TopologyScaleConfig};

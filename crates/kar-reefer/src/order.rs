@@ -1,6 +1,8 @@
 //! Order handling: the `Order` actor and the `OrderManager` singleton.
 
-use kar::{Actor, ActorContext, Outcome};
+use std::time::Duration;
+
+use kar::{Actor, ActorContext, Outcome, RetryPolicy};
 use kar_types::{KarError, KarResult, Value};
 
 use crate::types::{int_arg, refs, string_arg, OrderStatus};
@@ -53,24 +55,35 @@ impl Actor for Order {
                 ctx.state().set("status", OrderStatus::Booked.into())?;
                 let voyage = ctx.state().get("voyage")?.unwrap_or(Value::Null);
                 // Synchronous notification sub-orchestration (Fig. 6): the
-                // order manager records the booking before the client is told.
-                ctx.call(
+                // order manager records the booking before the client is
+                // told. The notification parks this invocation (no worker
+                // held) and carries an explicit retry policy: a transient
+                // failure — say the manager's component re-homing mid-
+                // booking — retries on a persisted exponential schedule
+                // before the continuation ever sees the error.
+                let notify = RetryPolicy::exponential(4, Duration::from_millis(50));
+                Ok(ctx.call_then_with_policy(
                     &refs::order_manager(),
                     "order_booked",
                     vec![Value::from(order_id.clone()), voyage.clone()],
-                )?;
-                // Background schedule refresh (asynchronous tell in Fig. 6).
-                ctx.tell(
-                    &refs::schedule_manager(),
-                    "update_voyage",
-                    vec![voyage.clone()],
-                )?;
-                Ok(Outcome::value(Value::map([
-                    ("order", Value::from(order_id)),
-                    ("status", OrderStatus::Booked.into()),
-                    ("voyage", voyage),
-                    ("containers", containers),
-                ])))
+                    notify,
+                    move |ctx, result| {
+                        result?;
+                        // Background schedule refresh (asynchronous tell in
+                        // Fig. 6).
+                        ctx.tell(
+                            &refs::schedule_manager(),
+                            "update_voyage",
+                            vec![voyage.clone()],
+                        )?;
+                        Ok(Outcome::value(Value::map([
+                            ("order", Value::from(order_id)),
+                            ("status", OrderStatus::Booked.into()),
+                            ("voyage", voyage),
+                            ("containers", containers),
+                        ])))
+                    },
+                ))
             }
             "departed" => {
                 if self.status(ctx)? == Some(OrderStatus::Booked) {

@@ -51,6 +51,15 @@ pub enum KarError {
         /// The request that was cancelled.
         request: RequestId,
     },
+    /// The target actor type's circuit breaker is open: recent invocations
+    /// of the type failed at or above the configured rate, so the dispatch
+    /// layer fails fast instead of executing (and hammering) the failing
+    /// dependency. Retryable — the breaker re-admits traffic through a
+    /// half-open probe once its cooldown passes.
+    CircuitOpen {
+        /// The actor type whose breaker is open.
+        actor_type: String,
+    },
     /// A blocking call did not receive a response within its deadline.
     Timeout {
         /// The request that timed out.
@@ -88,6 +97,7 @@ impl KarError {
             self,
             KarError::Fenced { .. }
                 | KarError::Killed { .. }
+                | KarError::CircuitOpen { .. }
                 | KarError::Timeout { .. }
                 | KarError::Queue(_)
                 | KarError::Store(_)
@@ -115,6 +125,9 @@ impl fmt::Display for KarError {
             }
             KarError::Killed { component } => write!(f, "{component} was killed"),
             KarError::Cancelled { request } => write!(f, "{request} was cancelled"),
+            KarError::CircuitOpen { actor_type } => {
+                write!(f, "circuit breaker for actor type {actor_type} is open")
+            }
             KarError::Timeout { request, after_ms } => {
                 write!(f, "{request} timed out after {after_ms} ms")
             }
@@ -165,6 +178,10 @@ mod tests {
         .is_retryable());
         assert!(KarError::Queue("q".into()).is_retryable());
         assert!(KarError::Store("s".into()).is_retryable());
+        assert!(KarError::CircuitOpen {
+            actor_type: "Flaky".into()
+        }
+        .is_retryable());
         assert!(KarError::Fenced {
             component: ComponentId::from_raw(1),
             detail: "d".into()

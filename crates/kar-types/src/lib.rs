@@ -10,6 +10,9 @@
 //! * [`message`] — the wire-level request/response messages exchanged through
 //!   the reliable queue substrate.
 //! * [`error`] — the [`KarError`] error type shared across the workspace.
+//! * [`retry`] — the retry-orchestration policy surface: [`RetryPolicy`]
+//!   backoff shapes and the [`RetryState`] schedule persisted inside
+//!   request records.
 //! * [`time`] — wall-clock/scaled clocks and the latency profiles used to
 //!   emulate the paper's three deployment configurations.
 //! * [`sync`] — the shared [`WaitSignal`] event-counter/condvar primitive
@@ -33,6 +36,7 @@
 pub mod error;
 pub mod ids;
 pub mod message;
+pub mod retry;
 pub mod sync;
 pub mod time;
 pub mod value;
@@ -40,6 +44,7 @@ pub mod value;
 pub use error::{KarError, KarResult};
 pub use ids::{ActorId, ActorRef, ActorType, ComponentId, Epoch, NodeId, RequestId};
 pub use message::{CallKind, Envelope, Payload, RequestMessage, ResponseMessage};
+pub use retry::{epoch_ms, Backoff, RetryOn, RetryPolicy, RetryState, RetryVerdict};
 pub use sync::{WaitSignal, WaitSignalGroup};
 pub use time::{Clock, DeploymentProfile, LatencyProfile, ScaledClock, SystemClock, TimeScale};
 pub use value::Value;

@@ -76,6 +76,13 @@ pub struct RequestMessage {
     /// The component whose queue should receive the response when the caller
     /// is not an actor (an external client); clients are never re-placed.
     pub reply_to: Option<ComponentId>,
+    /// The retry-orchestration schedule of this invocation, if a
+    /// [`RetryPolicy`](crate::RetryPolicy) governs it. Persisted in the
+    /// request record so a re-homed invocation resumes its schedule
+    /// (attempt count and next-fire deadline) instead of resetting it.
+    /// Boxed: most requests carry no schedule, and the state would
+    /// otherwise dominate the envelope size on every queue record.
+    pub retry: Option<Box<crate::retry::RetryState>>,
 }
 
 impl RequestMessage {
@@ -97,6 +104,7 @@ impl RequestMessage {
             pending_callee: None,
             caller_actor: None,
             reply_to: None,
+            retry: None,
         }
     }
 
@@ -276,6 +284,7 @@ mod tests {
         assert_eq!(r.pending_callee, None);
         assert_eq!(r.caller_actor, None);
         assert_eq!(r.reply_to, None);
+        assert_eq!(r.retry, None);
     }
 
     #[test]

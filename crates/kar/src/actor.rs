@@ -1,7 +1,7 @@
 //! The actor programming model surface: the [`Actor`] trait and invocation
 //! [`Outcome`]s.
 
-use kar_types::{ActorRef, KarResult, Value};
+use kar_types::{ActorRef, KarResult, RetryPolicy, Value};
 
 use crate::context::ActorContext;
 use crate::continuation::Continuation;
@@ -40,6 +40,10 @@ pub enum Outcome {
         method: String,
         /// The invocation arguments.
         args: Vec<Value>,
+        /// An explicit retry policy for the nested request: its schedule
+        /// rides in the request record, so it survives re-homing. `None`
+        /// falls back to the callee type's configured default.
+        policy: Option<RetryPolicy>,
         /// The rest of the handler, resumed with the nested result.
         then: Continuation,
     },
@@ -74,6 +78,29 @@ impl Outcome {
             target,
             method: method.into(),
             args,
+            policy: None,
+            then: Continuation::new(then),
+        }
+    }
+
+    /// [`Outcome::call_then`] with an explicit [`RetryPolicy`] on the nested
+    /// request: failed attempts are retried on the policy's schedule (which
+    /// is persisted in the request record and survives re-homing) before
+    /// `then` sees an error.
+    pub fn call_then_with_policy(
+        target: ActorRef,
+        method: impl Into<String>,
+        args: Vec<Value>,
+        policy: RetryPolicy,
+        then: impl FnOnce(&mut ActorContext<'_>, KarResult<Value>) -> KarResult<Outcome>
+            + Send
+            + 'static,
+    ) -> Outcome {
+        Outcome::CallThen {
+            target,
+            method: method.into(),
+            args,
+            policy: Some(policy),
             then: Continuation::new(then),
         }
     }

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use kar_types::{ActorRef, KarResult, Value};
+use kar_types::{ActorRef, KarResult, RetryPolicy, Value};
 
 use crate::component::ComponentCore;
 
@@ -37,7 +37,22 @@ impl Client {
     /// Application errors raised by the actor are propagated;
     /// `KarError::Timeout` is returned if no response arrives in time.
     pub fn call(&self, target: &ActorRef, method: &str, args: Vec<Value>) -> KarResult<Value> {
-        self.core.external_call(target, method, args)
+        self.core.external_call(target, method, args, None)
+    }
+
+    /// [`Client::call`] with an explicit [`RetryPolicy`]: failed attempts
+    /// are retried on the policy's schedule (bounded attempts, shaped
+    /// backoff, budget-gated) before the error is propagated here. The
+    /// schedule is persisted in the request record, so it survives failures
+    /// and re-homing of the hosting component.
+    pub fn call_with_policy(
+        &self,
+        target: &ActorRef,
+        method: &str,
+        args: Vec<Value>,
+        policy: RetryPolicy,
+    ) -> KarResult<Value> {
+        self.core.external_call(target, method, args, Some(policy))
     }
 
     /// Issues an asynchronous invocation of `target.method(args)`; returns

@@ -33,7 +33,8 @@
 //! instead of double-executing, and stale consumers of a re-homed partition
 //! are cut off by the broker's per-partition ownership epochs.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -46,8 +47,8 @@ use kar_store::{Connection, Store};
 use kar_types::ids::RequestIdGenerator;
 use kar_types::RequestId;
 use kar_types::{
-    ActorRef, CallKind, ComponentId, Envelope, KarError, KarResult, NodeId, Payload,
-    RequestMessage, ResponseMessage, Value, WaitSignalGroup,
+    epoch_ms, ActorRef, CallKind, ComponentId, Envelope, KarError, KarResult, NodeId, Payload,
+    RequestMessage, ResponseMessage, RetryPolicy, RetryState, RetryVerdict, Value, WaitSignalGroup,
 };
 
 use crate::actor::{ActorFactory, Outcome};
@@ -58,7 +59,15 @@ use crate::continuation::{Continuation, ContinuationTable, ParkedContinuation};
 use crate::delivery::{RequestBatcher, ResponseBatcher};
 use crate::dispatch::DispatchPool;
 use crate::placement::{LiveSet, PlacementService};
+use crate::retry::{BreakerRegistry, RetryBudget};
 use crate::state_cache::StateCache;
+
+/// The mesh-wide dead-letter queue topic: one partition per component, keyed
+/// by the dead-lettering component's raw id. Entries are full request
+/// records (final [`RetryState`] included) — never consumed by components,
+/// only read back through `Mesh::dlq_stats` / re-injected by
+/// `Mesh::dlq_retry`.
+pub(crate) const DLQ_TOPIC: &str = "kar-dlq";
 
 /// Execution counters of one component, useful in tests and benchmarks.
 #[derive(Debug, Default)]
@@ -73,6 +82,25 @@ pub struct ComponentStats {
     pub tail_calls: AtomicU64,
     /// Requests forwarded because this component does not host the type.
     pub forwarded: AtomicU64,
+    /// Policy retries scheduled (failed attempts re-appended with a bumped
+    /// attempt count and a next-fire deadline).
+    pub retries_scheduled: AtomicU64,
+    /// Invocations moved to the dead-letter queue after exhausting their
+    /// retry policy.
+    pub dead_lettered: AtomicU64,
+}
+
+/// The delayed-retry timer wheel of one component: scheduled retries wait
+/// here — counted as locally pending, so reconciliation never re-homes a
+/// duplicate — until their deadline fires and the mesh retry budget admits
+/// them back into the dispatch pool.
+#[derive(Default)]
+struct DelayedRetries {
+    heap: BinaryHeap<Reverse<u64>>,
+    /// Entries keyed by deadline (the heap holds deadlines only; two
+    /// requests sharing a millisecond ride the same key).
+    by_deadline: HashMap<u64, Vec<RequestMessage>>,
+    ids: HashSet<RequestId>,
 }
 
 /// Per-actor dispatch state: the in-memory instance, the actor lock, and the
@@ -135,6 +163,107 @@ thread_local! {
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
+/// Flush a drain-local completion buffer once it groups this many
+/// completions, even mid-drain.
+const RESPONSE_RUN_CAP: usize = 16;
+/// Flush a drain-local completion buffer once its oldest completion has
+/// waited this long: bounds the extra latency buffering can add to any one
+/// response to roughly one invocation, however long the drain runs.
+const RESPONSE_RUN_HOLD: Duration = Duration::from_millis(1);
+
+/// One pre-grouped run of completions taken out of a drain-local buffer,
+/// paired with the core that must flush it.
+type PendingRun = (Arc<ComponentCore>, Vec<(usize, Envelope)>);
+
+/// One drain-local completion buffer on this thread's stack, owned by an
+/// `invocation_loop` frame. Completions the frame produces are grouped here
+/// and handed to the owning core's `ResponseBatcher` as pre-grouped
+/// per-partition runs — one pending-queue lock per run instead of one per
+/// completion — when the drain ends, the buffer fills or goes stale, or the
+/// thread is about to block.
+struct ResponseRun {
+    /// Identity of the owning core (an `Arc` pointer, only ever compared):
+    /// a frame buffers only into a top-of-stack entry opened by its own
+    /// core, so two components interleaved on one thread never mix runs.
+    owner: usize,
+    /// The owning core, so `flush_thread_completions` can flush buffers
+    /// whose frames are suspended under a nested pump.
+    core: Arc<ComponentCore>,
+    /// `(destination partition, completion)` in send order.
+    buffered: Vec<(usize, Envelope)>,
+    /// When the oldest buffered completion was produced.
+    opened: Instant,
+}
+
+thread_local! {
+    /// Drain-local completion buffers, one per `invocation_loop` frame on
+    /// this thread, innermost last (mirroring `SHARD_CLAIMS`). Reentrant
+    /// pumping pushes a fresh buffer per nested frame, so a suspended outer
+    /// frame never interleaves its completions with a nested drain's.
+    static RESPONSE_RUNS: std::cell::RefCell<Vec<ResponseRun>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Flushes every drain-local completion buffered on this thread. Called
+/// before any blocking wait and after every nested pump, so a parked frame
+/// never holds completions hostage: everything this thread produced is on
+/// its way to the broker before the thread stops making progress. The
+/// buffers stay on the stack (empty) for the frames that own them.
+pub(crate) fn flush_thread_completions() {
+    // Collect outside the borrow: flushing appends to the broker, and the
+    // borrow must not be live if that ever re-enters this thread-local.
+    let runs: Vec<PendingRun> = RESPONSE_RUNS.with(|stack| {
+        stack
+            .borrow_mut()
+            .iter_mut()
+            .filter(|run| !run.buffered.is_empty())
+            .map(|run| (Arc::clone(&run.core), std::mem::take(&mut run.buffered)))
+            .collect()
+    });
+    for (core, buffered) in runs {
+        core.flush_completion_run(buffered);
+    }
+}
+
+/// RAII scope of one `invocation_loop` frame's drain-local buffer: opens a
+/// buffer for `core` when response batching is on, and flushes + pops it on
+/// every frame exit (returns, parks, and panics alike).
+struct ResponseRunGuard {
+    active: bool,
+}
+
+impl ResponseRunGuard {
+    fn open(core: &Arc<ComponentCore>) -> Self {
+        let active = core.responses.is_some();
+        if active {
+            RESPONSE_RUNS.with(|stack| {
+                stack.borrow_mut().push(ResponseRun {
+                    owner: Arc::as_ptr(core) as usize,
+                    core: Arc::clone(core),
+                    buffered: Vec::new(),
+                    opened: Instant::now(),
+                });
+            });
+        }
+        ResponseRunGuard { active }
+    }
+}
+
+impl Drop for ResponseRunGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        // Frames are strictly LIFO (function calls), so the top entry is
+        // this frame's own buffer.
+        if let Some(run) = RESPONSE_RUNS.with(|stack| stack.borrow_mut().pop()) {
+            if !run.buffered.is_empty() {
+                run.core.flush_completion_run(run.buffered);
+            }
+        }
+    }
+}
+
 /// The runtime core of one application component.
 pub struct ComponentCore {
     pub(crate) id: ComponentId,
@@ -148,7 +277,6 @@ pub struct ComponentCore {
     /// recovery (drained but never hash-routed to).
     pub(crate) partitions: RwLock<PartitionSet>,
     pub(crate) broker: Broker<Envelope>,
-    #[allow(dead_code)]
     pub(crate) store: Store,
     pub(crate) producer: Producer<Envelope>,
     /// Store connection used by the persistence API of hosted actors.
@@ -225,6 +353,18 @@ pub struct ComponentCore {
     /// buffered writes flushed as one pipelined round trip strictly before
     /// each invocation's completion is sent.
     state_cache: Option<StateCache>,
+    /// The mesh-wide retry token bucket (shared by every component): each
+    /// *scheduled* retry admission spends one token; an empty bucket sheds
+    /// the retry back onto its backoff timer (never dropped).
+    budget: Arc<RetryBudget>,
+    /// The mesh-wide per-actor-type circuit breakers (shared by every
+    /// component): consulted before each invocation executes, fed after.
+    breakers: Arc<BreakerRegistry>,
+    /// Scheduled retries waiting out their next-fire deadline.
+    delayed: Mutex<DelayedRetries>,
+    /// Earliest deadline in `delayed` (epoch ms; `0` = empty): lets every
+    /// reactor sweep and timer tick skip the heap lock while nothing is due.
+    delayed_earliest: AtomicU64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -244,6 +384,8 @@ impl ComponentCore {
         ids: Arc<RequestIdGenerator>,
         hosted: HashMap<String, ActorFactory>,
         wakeup: Arc<WaitSignalGroup>,
+        budget: Arc<RetryBudget>,
+        breakers: Arc<BreakerRegistry>,
     ) -> Self {
         let producer = broker.producer(id);
         let conn = store.connect(id);
@@ -321,6 +463,10 @@ impl ComponentCore {
             inflight: Mutex::new(HashSet::new()),
             completed: Mutex::new(AgingSet::new(bookkeeping_interval)),
             state_cache: config_state_cache,
+            budget,
+            breakers,
+            delayed: Mutex::new(DelayedRetries::default()),
+            delayed_earliest: AtomicU64::new(0),
         }
     }
 
@@ -435,6 +581,16 @@ impl ComponentCore {
         // Records already routed to shard queues are in-memory state: lost
         // with the process. Their queue copies survive and drive the retry.
         self.pool.clear_pending();
+        // Delayed retries are in-memory too: their durable queue copies
+        // (each carrying the persisted RetryState) drive recovery, and the
+        // adopter's admission re-parks them on the same schedule.
+        {
+            let mut delayed = self.delayed.lock();
+            delayed.heap.clear();
+            delayed.by_deadline.clear();
+            delayed.ids.clear();
+        }
+        self.delayed_earliest.store(0, Ordering::SeqCst);
         // Reactors parked on the group re-check `is_alive` on wake.
         self.wakeup.notify();
     }
@@ -649,6 +805,11 @@ impl ComponentCore {
         if self.inflight.lock().contains(&id) {
             return true;
         }
+        // Waiting out a retry backoff: the schedule is live here, a re-homed
+        // second copy would race it.
+        if self.delayed.lock().ids.contains(&id) {
+            return true;
+        }
         if self
             .deferred
             .lock()
@@ -684,6 +845,10 @@ impl ComponentCore {
     /// never idles a thread of the fixed pool; other threads park on the
     /// placement repair signal.
     pub(crate) fn send_request(self: &Arc<Self>, message: RequestMessage) -> KarResult<()> {
+        // A durable append may block (batched ack, stale-placement wait):
+        // flush buffered completions first so nothing this thread produced
+        // is held back while it waits.
+        flush_thread_completions();
         let deadline = Instant::now() + self.config.call_timeout;
         let component = loop {
             if !self.is_alive() {
@@ -761,6 +926,69 @@ impl ComponentCore {
         }
     }
 
+    /// [`Self::send_completion`] through this thread's innermost drain-local
+    /// buffer when one is open for this core: the completion joins the
+    /// frame's pre-grouped run instead of taking the batcher's pending lock
+    /// by itself. Falls back to the direct path when no matching buffer is
+    /// open (client threads, sweeps outside a drain, batching disabled).
+    fn send_completion_buffered(self: &Arc<Self>, partition: usize, envelope: Envelope) {
+        if self.responses.is_none() {
+            self.send_completion(partition, envelope);
+            return;
+        }
+        let owner = Arc::as_ptr(self) as usize;
+        let (direct, full) = RESPONSE_RUNS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            match stack.last_mut() {
+                Some(run) if run.owner == owner => {
+                    if run.buffered.is_empty() {
+                        run.opened = Instant::now();
+                    }
+                    run.buffered.push((partition, envelope));
+                    let flush = run.buffered.len() >= RESPONSE_RUN_CAP
+                        || run.opened.elapsed() >= RESPONSE_RUN_HOLD;
+                    let drained = if flush {
+                        std::mem::take(&mut run.buffered)
+                    } else {
+                        Vec::new()
+                    };
+                    (None, drained)
+                }
+                _ => (Some(envelope), Vec::new()),
+            }
+        });
+        if let Some(envelope) = direct {
+            self.send_completion(partition, envelope);
+        } else if !full.is_empty() {
+            self.flush_completion_run(full);
+        }
+    }
+
+    /// Hands one drain-local run to the response batcher, pre-grouped: one
+    /// pending-queue push per destination partition for the whole run,
+    /// instead of one lock round per completion, preserving send order
+    /// within each partition.
+    fn flush_completion_run(&self, buffered: Vec<(usize, Envelope)>) {
+        let Some(batcher) = &self.responses else {
+            for (partition, envelope) in buffered {
+                let _ = self.producer.send(&self.topic, partition, envelope);
+            }
+            return;
+        };
+        // A drain's fan-out spans few distinct partitions, so a linear scan
+        // beats hashing here.
+        let mut runs: Vec<(usize, Vec<Envelope>)> = Vec::new();
+        for (partition, envelope) in buffered {
+            match runs.iter_mut().find(|(p, _)| *p == partition) {
+                Some((_, run)) => run.push(envelope),
+                None => runs.push((partition, vec![envelope])),
+            }
+        }
+        for (partition, run) in runs {
+            batcher.enqueue_run(&self.producer, &self.topic, partition, run);
+        }
+    }
+
     /// Sends the response for `request` to the queue of whoever is waiting
     /// for it: the component recorded in `reply_to` if it is still live, or
     /// the component currently hosting the caller actor otherwise (which is
@@ -782,7 +1010,7 @@ impl ComponentCore {
             if self.live.read().contains(&reply_to) {
                 if let Some(partition) = self.partition_for(reply_to, &Self::response_key(request))
                 {
-                    self.send_completion(partition, Envelope::Response(response));
+                    self.send_completion_buffered(partition, Envelope::Response(response));
                     return;
                 }
             }
@@ -861,11 +1089,15 @@ impl ComponentCore {
     // ------------------------------------------------------------------
 
     /// A blocking root invocation issued by an external client (no caller).
+    /// An explicit `policy` attaches a fresh retry schedule to the request
+    /// record; without one, the callee falls back to its actor type's
+    /// configured default on first failure.
     pub(crate) fn external_call(
         self: &Arc<Self>,
         target: &ActorRef,
         method: &str,
         args: Vec<Value>,
+        policy: Option<RetryPolicy>,
     ) -> KarResult<Value> {
         if !self.is_alive() {
             return Err(KarError::Killed { component: self.id });
@@ -882,6 +1114,7 @@ impl ComponentCore {
             pending_callee: None,
             caller_actor: None,
             reply_to: Some(self.id),
+            retry: policy.map(|p| Box::new(RetryState::fresh(p, epoch_ms()))),
         };
         self.sidecar_hop();
         let receiver = self.register_pending(id);
@@ -911,6 +1144,7 @@ impl ComponentCore {
             pending_callee: None,
             caller_actor: None,
             reply_to: None,
+            retry: None,
         };
         self.sidecar_hop();
         self.send_request(message)
@@ -924,6 +1158,7 @@ impl ComponentCore {
         target: &ActorRef,
         method: &str,
         args: Vec<Value>,
+        policy: Option<RetryPolicy>,
     ) -> KarResult<Value> {
         if !self.is_alive() {
             return Err(KarError::Killed { component: self.id });
@@ -940,6 +1175,7 @@ impl ComponentCore {
             pending_callee: None,
             caller_actor: Some(caller_actor.clone()),
             reply_to: Some(self.id),
+            retry: policy.map(|p| Box::new(RetryState::fresh(p, epoch_ms()))),
         };
         self.sidecar_hop();
         let receiver = self.register_pending(id);
@@ -971,6 +1207,7 @@ impl ComponentCore {
             pending_callee: None,
             caller_actor: None,
             reply_to: None,
+            retry: None,
         };
         self.sidecar_hop();
         self.send_request(message)
@@ -993,6 +1230,10 @@ impl ComponentCore {
         // call timeout (the callee's reentrant callback hashes to the very
         // shard this caller's claim is wedging).
         self.yield_shard_claim();
+        // And hand any buffered completions to the batcher: a response this
+        // frame produced earlier in the drain must not wait out this park —
+        // its caller's progress may be exactly what unblocks us.
+        flush_thread_completions();
         // A blocking `ctx.call` on a reactor thread must not idle a thread
         // of the fixed pool: interleave short waits with pumping the mesh
         // (work-while-waiting), so the nested request — and everything else
@@ -1132,6 +1373,22 @@ impl ComponentCore {
         if self.completed.lock().contains(&request.id) || self.inflight.lock().contains(&request.id)
         {
             return Admission::Done;
+        }
+        // Retry-orchestration gate: a *scheduled* retry copy (attempt ≥ 1)
+        // waits out its next-fire deadline in the delayed heap and spends a
+        // mesh retry-budget token to start; a shed re-queues it on its own
+        // backoff (never dropped). Checked before the ownership resolve —
+        // the schedule is request-carried, so an adopter that polled a
+        // re-homed copy parks it on the very same deadline.
+        if request
+            .retry
+            .as_ref()
+            .is_some_and(|retry| retry.attempt > 0)
+        {
+            match self.gate_scheduled_retry(request) {
+                Some(due_now) => request = due_now,
+                None => return Admission::Done,
+            }
         }
         // Mis-routed request (placement changed): forward to the current host.
         if !self.hosted.contains_key(request.target.actor_type()) {
@@ -1274,6 +1531,7 @@ impl ComponentCore {
         target: ActorRef,
         method: String,
         args: Vec<Value>,
+        policy: Option<RetryPolicy>,
         then: Continuation,
     ) -> Option<KarResult<Outcome>> {
         let nested_id = self.ids.fresh();
@@ -1288,6 +1546,7 @@ impl ComponentCore {
             pending_callee: None,
             caller_actor: Some(request.target.clone()),
             reply_to: Some(self.id),
+            retry: policy.map(|p| Box::new(RetryState::fresh(p, epoch_ms()))),
         };
         // Park BEFORE sending: once the request is durable, its response can
         // arrive on another reactor immediately — and must find the
@@ -1328,6 +1587,11 @@ impl ComponentCore {
         mut reentrant: bool,
         mut resumed: Option<KarResult<Outcome>>,
     ) {
+        // Drain-local response buffering: completions this frame produces
+        // are grouped per destination partition and handed to the batcher
+        // as single runs — flushed when the frame exits (this guard), when
+        // the buffer fills or goes stale, and before any blocking wait.
+        let _run_guard = ResponseRunGuard::open(&self);
         loop {
             if !self.is_alive() {
                 return;
@@ -1351,7 +1615,28 @@ impl ComponentCore {
                         self.finish(&request);
                         None
                     } else {
-                        Some(self.execute(&request, reentrant))
+                        // The circuit breaker sits at the execute boundary:
+                        // an open breaker fails the attempt fast (the
+                        // retryable `CircuitOpen` flows into the ordinary
+                        // failure orchestration below); a closed one feeds
+                        // its health window from the outcome. Self-failures
+                        // (killed / fenced mid-run) say nothing about the
+                        // actor type's health, and fast-fails are not
+                        // recorded — an open breaker must not feed itself.
+                        match self.breakers.admit(request.target.actor_type()) {
+                            Ok(()) => {
+                                let result = self.execute(&request, reentrant);
+                                if !matches!(
+                                    result,
+                                    Err(KarError::Killed { .. } | KarError::Fenced { .. })
+                                ) {
+                                    self.breakers
+                                        .record(request.target.actor_type(), result.is_ok());
+                                }
+                                Some(result)
+                            }
+                            Err(error) => Some(Err(error)),
+                        }
                     }
                 }
             };
@@ -1366,10 +1651,11 @@ impl ComponentCore {
                         target,
                         method,
                         args,
+                        policy,
                         then,
-                    }) => match self
-                        .park_nested(&request, holds_lock, reentrant, target, method, args, then)
-                    {
+                    }) => match self.park_nested(
+                        &request, holds_lock, reentrant, target, method, args, policy, then,
+                    ) {
                         None => return,
                         Some(next) => {
                             resumed = Some(next);
@@ -1418,6 +1704,10 @@ impl ComponentCore {
                             pending_callee: None,
                             caller_actor: request.caller_actor.clone(),
                             reply_to: request.reply_to,
+                            // A tail call is a *new* invocation that happens
+                            // to reuse the id: it starts a clean schedule
+                            // (its callee's defaults can still apply).
+                            retry: None,
                         };
                         self.inflight.lock().remove(&request.id);
                         if same_actor && holds_lock {
@@ -1452,10 +1742,16 @@ impl ComponentCore {
                     }
                     Err(error) => {
                         self.stats.executed.fetch_add(1, Ordering::Relaxed);
-                        if request.kind.expects_response() {
-                            self.send_response(&request, Err(error));
+                        // Policy-orchestrated failure: schedule a retry copy
+                        // (in which case nothing completes here — the copy
+                        // carries the schedule), or settle the failure as
+                        // final (respond + finish), possibly via the DLQ.
+                        if let Some(error) = self.orchestrate_failure(&request, error) {
+                            if request.kind.expects_response() {
+                                self.send_response(&request, Err(error));
+                            }
+                            self.finish(&request);
                         }
-                        self.finish(&request);
                     }
                 }
             }
@@ -1568,6 +1864,236 @@ impl ComponentCore {
     }
 
     // ------------------------------------------------------------------
+    // Retry orchestration (the policy layer over the queue-copy mechanism)
+    // ------------------------------------------------------------------
+
+    /// Handles a failed attempt of `request` under its governing policy (the
+    /// request-carried schedule, or the actor type's configured default
+    /// starting fresh at first failure). Returns the error when the failure
+    /// is final — the caller responds and finishes — or `None` when a retry
+    /// copy was durably re-appended, in which case the caller must **not**
+    /// call [`ComponentCore::finish`]: marking the id completed would make
+    /// admission dedupe the retry copy away.
+    fn orchestrate_failure(
+        self: &Arc<Self>,
+        request: &RequestMessage,
+        error: KarError,
+    ) -> Option<KarError> {
+        let now = epoch_ms();
+        let state = match request.retry.clone() {
+            Some(state) => *state,
+            None => match self.config.retry_policy_for(request.target.actor_type()) {
+                Some(policy) => RetryState::fresh(policy.clone(), now),
+                None => return Some(error),
+            },
+        };
+        match state.after_failure(request.id.as_u64(), &error, now) {
+            RetryVerdict::Retry(next) => {
+                let mut copy = request.clone();
+                copy.retry = Some(Box::new(next));
+                copy.pending_callee = None;
+                // Release the in-flight claim BEFORE the durable re-append:
+                // admission dedupes against in-flight ids, so the opposite
+                // order would swallow the copy. A crash inside this window
+                // is safe — the original queue copy still drives recovery,
+                // schedule state included.
+                self.inflight.lock().remove(&request.id);
+                let appended = self
+                    .own_partition_for(&request.target)
+                    .is_some_and(|partition| {
+                        self.producer
+                            .send(&self.topic, partition, Envelope::Request(copy))
+                            .is_ok()
+                    });
+                if appended {
+                    self.stats.retries_scheduled.fetch_add(1, Ordering::Relaxed);
+                    None
+                } else {
+                    // Fenced mid-append: nothing was scheduled; settle the
+                    // failure here (the original queue copy drives recovery).
+                    Some(error)
+                }
+            }
+            RetryVerdict::Exhausted(final_state) => {
+                self.dead_letter(request, &final_state, &error);
+                Some(error)
+            }
+        }
+    }
+
+    /// Admission gate for a scheduled retry copy: park it until its
+    /// next-fire deadline, then spend a mesh retry-budget token to start it.
+    /// A shed re-queues the retry on its own backoff delay — never dropped —
+    /// until the policy's attempt-start grace expires, at which point the
+    /// shed counts as a timed-out attempt (advancing the schedule toward the
+    /// DLQ instead of stalling it forever). Returns the request when it may
+    /// proceed to ordinary admission *now*, `None` when it was parked or
+    /// settled.
+    fn gate_scheduled_retry(
+        self: &Arc<Self>,
+        mut request: RequestMessage,
+    ) -> Option<RequestMessage> {
+        let now = epoch_ms();
+        let seed = request.id.as_u64();
+        let due = request.retry.as_ref().is_some_and(|retry| retry.due(now));
+        if due {
+            if self.budget.try_take() {
+                return Some(request);
+            }
+            let rescheduled = request
+                .retry
+                .as_mut()
+                .is_some_and(|retry| retry.reschedule_shed(seed, now));
+            if !rescheduled {
+                // Budget starvation outlived the attempt-start grace: count
+                // a timed-out attempt against the schedule.
+                let state = request.retry.clone().expect("gated request has a schedule");
+                let grace_ms = state
+                    .policy
+                    .attempt_timeout
+                    .map_or(0, |grace| grace.as_millis() as u64);
+                let error = KarError::Timeout {
+                    request: request.id,
+                    after_ms: grace_ms,
+                };
+                match state.after_failure(seed, &error, now) {
+                    RetryVerdict::Retry(next) => request.retry = Some(Box::new(next)),
+                    RetryVerdict::Exhausted(final_state) => {
+                        self.dead_letter(&request, &final_state, &error);
+                        if request.kind.expects_response() {
+                            self.send_response(&request, Err(error));
+                        }
+                        self.finish(&request);
+                        return None;
+                    }
+                }
+            }
+        }
+        self.park_delayed(request);
+        None
+    }
+
+    /// Parks one scheduled retry in the delayed heap (deduping by id — two
+    /// copies of one schedule collapse to the earlier park).
+    fn park_delayed(&self, request: RequestMessage) {
+        let not_before = request.retry.as_ref().map_or(0, |r| r.not_before_ms);
+        let mut delayed = self.delayed.lock();
+        if !delayed.ids.insert(request.id) {
+            return;
+        }
+        delayed.heap.push(Reverse(not_before));
+        delayed
+            .by_deadline
+            .entry(not_before)
+            .or_default()
+            .push(request);
+        let earliest = self.delayed_earliest.load(Ordering::Relaxed);
+        if earliest == 0 || not_before < earliest {
+            // Published under the heap lock: pump_retries re-reads it under
+            // the same lock before trusting it.
+            self.delayed_earliest.store(not_before, Ordering::Relaxed);
+        }
+    }
+
+    /// Releases delayed retries whose deadline has passed back into the
+    /// dispatch pool (their budget spend happens at admission). Runs on
+    /// every reactor sweep *and* every mesh-timer tick; the fast path is two
+    /// atomic loads.
+    fn pump_retries(self: &Arc<Self>) -> bool {
+        let earliest = self.delayed_earliest.load(Ordering::Relaxed);
+        if earliest == 0 || epoch_ms() < earliest {
+            return false;
+        }
+        let now = epoch_ms();
+        let mut due: Vec<RequestMessage> = Vec::new();
+        {
+            let mut delayed = self.delayed.lock();
+            while let Some(&Reverse(deadline)) = delayed.heap.peek() {
+                if deadline > now {
+                    break;
+                }
+                delayed.heap.pop();
+                if let Some(batch) = delayed.by_deadline.remove(&deadline) {
+                    for request in batch {
+                        delayed.ids.remove(&request.id);
+                        due.push(request);
+                    }
+                }
+            }
+            let next = delayed.heap.peek().map_or(0, |Reverse(d)| *d);
+            self.delayed_earliest.store(next, Ordering::Relaxed);
+        }
+        if due.is_empty() {
+            return false;
+        }
+        self.pool.submit_batch(due);
+        true
+    }
+
+    /// Moves a schedule-exhausted request to the mesh dead-letter queue,
+    /// exactly once per request id: a full copy of the final request record
+    /// (terminal [`RetryState`] included, `not_before_ms` re-stamped as the
+    /// dead-letter time) is appended to this component's [`DLQ_TOPIC`]
+    /// partition for provenance, and a durable store index entry — which
+    /// outlives queue retention — feeds `Mesh::dlq_stats` / `dlq_retry`.
+    fn dead_letter(&self, request: &RequestMessage, state: &RetryState, error: &KarError) {
+        let marker = format!("dlq/done/{}", request.id.as_u64());
+        if self.store.admin_get(&marker).is_some() {
+            return;
+        }
+        self.store.admin_set(&marker, Value::Bool(true));
+        let now = epoch_ms();
+        let mut final_state = state.clone();
+        final_state.not_before_ms = now;
+        let mut entry = request.clone();
+        entry.retry = Some(Box::new(final_state.clone()));
+        let partition = self.id.as_u64() as usize;
+        if self
+            .broker
+            .ensure_partitions(DLQ_TOPIC, partition + 1)
+            .is_ok()
+        {
+            let _ = self
+                .broker
+                .admin_append(DLQ_TOPIC, partition, Envelope::Request(entry));
+        }
+        let record = Value::map([
+            ("component", Value::Int(self.id.as_u64() as i64)),
+            (
+                "target_type",
+                Value::Str(request.target.actor_type().to_owned()),
+            ),
+            (
+                "target_id",
+                Value::Str(request.target.actor_id().to_owned()),
+            ),
+            ("method", Value::Str(request.method.clone())),
+            ("args", Value::List(request.args.clone())),
+            ("attempts", Value::Int(i64::from(final_state.attempt))),
+            ("last_error", Value::Str(error.to_string())),
+            ("started_ms", Value::Int(final_state.started_ms as i64)),
+            ("dead_lettered_ms", Value::Int(now as i64)),
+        ]);
+        self.store
+            .admin_set(&format!("dlq/entry/{}", request.id.as_u64()), record);
+        self.stats.dead_lettered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of scheduled retries currently waiting out their backoff.
+    pub fn delayed_retries(&self) -> usize {
+        self.delayed.lock().ids.len()
+    }
+
+    /// `(retries scheduled, invocations dead-lettered)` by this component's
+    /// failure orchestration.
+    pub fn retry_orchestration_stats(&self) -> (u64, u64) {
+        (
+            self.stats.retries_scheduled.load(Ordering::Relaxed),
+            self.stats.dead_lettered.load(Ordering::Relaxed),
+        )
+    }
+
+    // ------------------------------------------------------------------
     // Reactor surface (no threads of its own)
     // ------------------------------------------------------------------
 
@@ -1621,6 +2147,7 @@ impl ComponentCore {
             return false;
         }
         let mut did = self.pump_consumers();
+        did |= self.pump_retries();
         did |= self.pump_dispatch();
         did |= self.pump_timeouts();
         did
@@ -1824,6 +2351,12 @@ impl ComponentCore {
         let expired = self.continuations.take_expired(now);
         if !expired.is_empty() {
             self.timed_out.lock().extend(expired);
+            self.wakeup.notify();
+        }
+        // Retry deadlines are also checked here: on a quiet mesh no reactor
+        // may be sweeping when a backoff expires, and the submit below (not
+        // the execution — that happens on a reactor) is cheap timer work.
+        if self.pump_retries() {
             self.wakeup.notify();
         }
         self.sweep_orphan_responses(now);

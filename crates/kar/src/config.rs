@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use kar_queue::BrokerConfig;
 use kar_store::StoreConfig;
-use kar_types::{DeploymentProfile, LatencyProfile, TimeScale};
+use kar_types::{DeploymentProfile, LatencyProfile, RetryPolicy, TimeScale};
 
 /// What to do with callees whose caller's component has failed (§3.6, §4.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -146,6 +146,41 @@ pub struct MeshConfig {
     /// store whose single global data lock serialized every command
     /// mesh-wide (see `StoreConfig::coarse_global_lock`).
     pub coarse_store_lock: bool,
+    /// Per-actor-type default retry policies (`(actor type, policy)`
+    /// pairs). An invocation of a listed type whose request carries no
+    /// explicit policy is orchestrated under the type's default: failed
+    /// attempts are re-appended with a bumped attempt count and a next-fire
+    /// deadline, and exhaustion moves the invocation to the dead-letter
+    /// queue. Policy durations are wall-clock as given — they are **not**
+    /// compressed by [`MeshConfig::time_scale`].
+    pub retry_policies: Vec<(String, RetryPolicy)>,
+    /// Per-actor-type circuit breakers (`None` = disabled). While a type's
+    /// recent failure rate is at or above the threshold, its invocations
+    /// fail fast with [`kar_types::KarError::CircuitOpen`] at the dispatch
+    /// layer instead of executing.
+    pub circuit_breaker: Option<CircuitBreakerConfig>,
+    /// Refill rate, in tokens per second, of the mesh-wide retry budget:
+    /// every orchestrated retry spends one token when its backoff deadline
+    /// fires; an empty bucket sheds the retry back onto its backoff timer
+    /// (deterministic load bound à la RetryGuard, never a drop).
+    pub retry_budget_rate: f64,
+    /// Burst capacity of the retry-budget token bucket.
+    pub retry_budget_burst: f64,
+}
+
+/// Per-actor-type circuit-breaker settings (see
+/// [`MeshConfig::circuit_breaker`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitBreakerConfig {
+    /// Failure fraction of the sliding window at or above which the breaker
+    /// opens (`0.0..=1.0`).
+    pub failure_threshold: f64,
+    /// Number of recent invocation outcomes the decision is made over; the
+    /// breaker never opens before the window is full.
+    pub window: usize,
+    /// How long an open breaker fails fast before admitting a half-open
+    /// probe. Wall-clock as given (not time-scale compressed).
+    pub cooldown: Duration,
 }
 
 impl Default for MeshConfig {
@@ -176,6 +211,12 @@ impl Default for MeshConfig {
             actor_state_cache: true,
             store_shards: 0,
             coarse_store_lock: false,
+            retry_policies: Vec::new(),
+            circuit_breaker: None,
+            // Generous default: orchestrated retries are effectively
+            // unthrottled until an operator dials the budget down.
+            retry_budget_rate: 10_000.0,
+            retry_budget_burst: 20_000.0,
         }
     }
 }
@@ -401,6 +442,55 @@ impl MeshConfig {
         self
     }
 
+    /// Registers `policy` as the default retry policy for every invocation
+    /// of `actor_type` that carries no explicit policy of its own (a later
+    /// registration for the same type wins).
+    #[must_use]
+    pub fn with_retry_policy(mut self, actor_type: impl Into<String>, policy: RetryPolicy) -> Self {
+        let actor_type = actor_type.into();
+        self.retry_policies.retain(|(name, _)| *name != actor_type);
+        self.retry_policies.push((actor_type, policy));
+        self
+    }
+
+    /// The default retry policy registered for `actor_type`, if any.
+    pub fn retry_policy_for(&self, actor_type: &str) -> Option<&RetryPolicy> {
+        self.retry_policies
+            .iter()
+            .find(|(name, _)| name == actor_type)
+            .map(|(_, policy)| policy)
+    }
+
+    /// Enables per-actor-type circuit breakers: a type whose failure rate
+    /// over the last `window` executed invocations reaches
+    /// `failure_threshold` fails fast for `cooldown`, then re-admits
+    /// traffic through a half-open probe.
+    #[must_use]
+    pub fn with_circuit_breaker(
+        mut self,
+        failure_threshold: f64,
+        window: usize,
+        cooldown: Duration,
+    ) -> Self {
+        self.circuit_breaker = Some(CircuitBreakerConfig {
+            failure_threshold: failure_threshold.clamp(0.0, 1.0),
+            window: window.max(1),
+            cooldown,
+        });
+        self
+    }
+
+    /// Sets the mesh-wide retry budget: `rate` tokens/second refill,
+    /// `burst` capacity. Each orchestrated retry spends one token when its
+    /// backoff deadline fires; budget-shed retries re-queue on their
+    /// backoff timer.
+    #[must_use]
+    pub fn with_retry_budget(mut self, rate: f64, burst: f64) -> Self {
+        self.retry_budget_rate = rate.max(0.0);
+        self.retry_budget_burst = burst.max(1.0);
+        self
+    }
+
     /// The compressed (wall-clock) session timeout.
     pub fn scaled_session_timeout(&self) -> Duration {
         self.time_scale.compress(self.session_timeout)
@@ -598,5 +688,37 @@ mod tests {
         assert_eq!(serial.effective_dispatch_workers(), 1);
         let wide = MeshConfig::for_tests().with_dispatch_workers(8);
         assert_eq!(wide.effective_dispatch_workers(), 8);
+    }
+
+    #[test]
+    fn retry_orchestration_knobs() {
+        let c = MeshConfig::default();
+        assert!(c.retry_policies.is_empty());
+        assert!(c.circuit_breaker.is_none());
+        assert!(c.retry_budget_rate >= 1_000.0, "default budget is generous");
+
+        let policy = RetryPolicy::fixed(3, Duration::from_millis(50));
+        let c = MeshConfig::for_tests()
+            .with_retry_policy("Flaky", RetryPolicy::fixed(9, Duration::from_millis(1)))
+            .with_retry_policy("Flaky", policy.clone())
+            .with_circuit_breaker(0.5, 10, Duration::from_millis(200))
+            .with_retry_budget(25.0, 50.0);
+        assert_eq!(c.retry_policy_for("Flaky"), Some(&policy));
+        assert_eq!(c.retry_policy_for("Other"), None);
+        assert_eq!(c.retry_policies.len(), 1, "re-registration replaces");
+        let breaker = c.circuit_breaker.as_ref().unwrap();
+        assert_eq!(breaker.window, 10);
+        assert_eq!(breaker.failure_threshold, 0.5);
+        assert_eq!(c.retry_budget_rate, 25.0);
+        assert_eq!(c.retry_budget_burst, 50.0);
+        // Clamps: threshold into [0,1], window and burst to at least 1.
+        let clamped = MeshConfig::for_tests()
+            .with_circuit_breaker(7.0, 0, Duration::ZERO)
+            .with_retry_budget(-1.0, 0.0);
+        let breaker = clamped.circuit_breaker.as_ref().unwrap();
+        assert_eq!(breaker.failure_threshold, 1.0);
+        assert_eq!(breaker.window, 1);
+        assert_eq!(clamped.retry_budget_rate, 0.0);
+        assert_eq!(clamped.retry_budget_burst, 1.0);
     }
 }

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use kar_types::{ActorRef, ComponentId, KarResult, RequestId, RequestMessage, Value};
+use kar_types::{ActorRef, ComponentId, KarResult, RequestId, RequestMessage, RetryPolicy, Value};
 
 use crate::actor::Outcome;
 use crate::component::ComponentCore;
@@ -53,6 +53,14 @@ impl<'a> ActorContext<'a> {
         &self.request.args
     }
 
+    /// Failed attempts of this invocation's retry schedule so far (`0` on
+    /// the initial attempt, or when no policy governs it). Because the
+    /// schedule rides in the request record, the count is preserved across
+    /// component failures and re-homing — chaos tests assert exactly that.
+    pub fn retry_attempt(&self) -> u32 {
+        self.request.retry.as_ref().map_or(0, |retry| retry.attempt)
+    }
+
     /// Performs a blocking nested call to `target.method(args)` and returns
     /// its result.
     ///
@@ -67,7 +75,29 @@ impl<'a> ActorContext<'a> {
     /// interrupted; retry orchestration takes over.
     pub fn call(&self, target: &ActorRef, method: &str, args: Vec<Value>) -> KarResult<Value> {
         self.core
-            .nested_call(self.request, &self.self_ref, target, method, args)
+            .nested_call(self.request, &self.self_ref, target, method, args, None)
+    }
+
+    /// [`ActorContext::call`] with an explicit [`RetryPolicy`]: failed
+    /// attempts of the nested request are retried on the policy's schedule —
+    /// persisted in the request record, so it survives the failure and
+    /// re-homing of the callee's component — before this caller sees an
+    /// error.
+    pub fn call_with_policy(
+        &self,
+        target: &ActorRef,
+        method: &str,
+        args: Vec<Value>,
+        policy: RetryPolicy,
+    ) -> KarResult<Value> {
+        self.core.nested_call(
+            self.request,
+            &self.self_ref,
+            target,
+            method,
+            args,
+            Some(policy),
+        )
     }
 
     /// Issues an asynchronous invocation of `target.method(args)`. The call
@@ -104,6 +134,21 @@ impl<'a> ActorContext<'a> {
             + 'static,
     ) -> Outcome {
         Outcome::call_then(target.clone(), method, args, then)
+    }
+
+    /// [`ActorContext::call_then`] with an explicit [`RetryPolicy`] on the
+    /// nested request (see [`Outcome::call_then_with_policy`]).
+    pub fn call_then_with_policy(
+        &self,
+        target: &ActorRef,
+        method: &str,
+        args: Vec<Value>,
+        policy: RetryPolicy,
+        then: impl FnOnce(&mut ActorContext<'_>, KarResult<Value>) -> KarResult<Outcome>
+            + Send
+            + 'static,
+    ) -> Outcome {
+        Outcome::call_then_with_policy(target.clone(), method, args, policy, then)
     }
 
     /// Builds a tail-call outcome targeting another actor (or this one).

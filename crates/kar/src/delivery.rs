@@ -93,6 +93,46 @@ impl ResponseBatcher {
             }
             state.flushing = true;
         }
+        self.flush_loop(producer, topic, partition, &queue);
+    }
+
+    /// [`ResponseBatcher::enqueue`] for a pre-grouped *run* of completions
+    /// towards one destination partition: the whole run enters the partition
+    /// queue under a single lock acquisition instead of one per completion.
+    /// The dispatch layer's drain-local buffering groups one mailbox drain's
+    /// completions by destination partition and hands each group over here.
+    pub(crate) fn enqueue_run(
+        &self,
+        producer: &Producer<Envelope>,
+        topic: &str,
+        partition: usize,
+        run: Vec<Envelope>,
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        self.enqueued.fetch_add(run.len() as u64, Ordering::Relaxed);
+        let queue = self.queue(partition);
+        {
+            let mut state = queue.lock();
+            state.pending.extend(run);
+            if state.flushing {
+                return;
+            }
+            state.flushing = true;
+        }
+        self.flush_loop(producer, topic, partition, &queue);
+    }
+
+    /// Drains `queue` in rounds — each round one batch append — until it is
+    /// empty, then releases the flusher claim. Entered holding the claim.
+    fn flush_loop(
+        &self,
+        producer: &Producer<Envelope>,
+        topic: &str,
+        partition: usize,
+        queue: &Arc<Mutex<PartitionQueue>>,
+    ) {
         loop {
             let batch = {
                 let mut state = queue.lock();

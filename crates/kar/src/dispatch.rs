@@ -630,6 +630,7 @@ mod tests {
             pending_callee: None,
             caller_actor: None,
             reply_to: None,
+            retry: None,
         }
     }
 

@@ -78,15 +78,18 @@ mod dispatch;
 pub mod mesh;
 pub mod placement;
 pub mod recovery;
+pub mod retry;
 mod state_cache;
 
 pub use actor::{Actor, ActorFactory, Outcome};
 pub use client::Client;
-pub use config::{CancellationPolicy, MeshConfig};
+pub use config::{CancellationPolicy, CircuitBreakerConfig, MeshConfig};
 pub use context::{ActorContext, ActorState};
 pub use continuation::Continuation;
 pub use mesh::{ComponentBuilder, Mesh};
 pub use placement::PlacementCounters;
 pub use recovery::{OutageRecord, RecoveryLog};
+pub use retry::{BreakerPosition, DlqEntry, DlqStats, RetryMetrics};
 
 pub use kar_types::{ActorRef, KarError, KarResult, Value};
+pub use kar_types::{Backoff, RetryOn, RetryPolicy};

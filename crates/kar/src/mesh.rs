@@ -12,14 +12,20 @@ use parking_lot::{Mutex, RwLock};
 use kar_queue::{Broker, PartitionSet};
 use kar_store::Store;
 use kar_types::ids::RequestIdGenerator;
-use kar_types::{ComponentId, Envelope, NodeId, WaitSignal, WaitSignalGroup};
+use kar_types::{
+    ActorRef, ComponentId, Envelope, KarError, KarResult, NodeId, RequestId, Value, WaitSignal,
+    WaitSignalGroup,
+};
 
 use crate::actor::{Actor, ActorFactory};
 use crate::client::Client;
-use crate::component::ComponentCore;
+use crate::component::{ComponentCore, DLQ_TOPIC};
 use crate::config::MeshConfig;
 use crate::placement::host_key;
 use crate::recovery::{run_recovery_manager, OutageRecord, RecoveryContext, RecoveryLog};
+use crate::retry::{
+    BreakerPosition, BreakerRegistry, DlqEntry, DlqStats, RetryBudget, RetryMetrics,
+};
 
 const TOPIC: &str = "kar";
 const GROUP: &str = "kar";
@@ -47,6 +53,50 @@ struct ReactorShared {
     /// it must still be promptly interruptible at shutdown.
     timer_signal: WaitSignal,
     shutdown: AtomicBool,
+    /// Instant anchoring `last_tick_ms`.
+    started: Instant,
+    /// The component tick cadence, so reactors can tell when the timer lane
+    /// has fallen behind it.
+    tick_interval: Duration,
+    /// Milliseconds (since `started`) at which the last tick sweep finished.
+    last_tick_ms: AtomicU64,
+    /// Exclusive tick-sweep lock: the timer thread holds it for each sweep;
+    /// reactors `try_lock` it to rescue-run overdue ticks.
+    tick_lock: Mutex<()>,
+}
+
+impl ReactorShared {
+    /// Runs one exclusive tick sweep over every registered component and
+    /// stamps its completion time. The timer thread passes `blocking = true`
+    /// (it always sweeps); rescuing reactors pass `false` and yield when a
+    /// sweep is already in progress.
+    fn run_tick(&self, blocking: bool) -> bool {
+        let guard = if blocking {
+            Some(self.tick_lock.lock())
+        } else {
+            self.tick_lock.try_lock()
+        };
+        let Some(_guard) = guard else { return false };
+        let components: Vec<Arc<ComponentCore>> = self.registry.read().clone();
+        let now = Instant::now();
+        for core in &components {
+            core.tick(now);
+        }
+        self.last_tick_ms
+            .store(self.started.elapsed().as_millis() as u64, Ordering::Relaxed);
+        true
+    }
+
+    /// True when the last tick sweep is at least two intervals stale. Under
+    /// compressed clocks the tick interval is ~1ms while a single sweep
+    /// (heartbeats, retirement, delayed retries) can take far longer or the
+    /// one timer thread can simply be descheduled — either way heartbeats
+    /// and backoff deadlines starve unless a reactor rescues the lane.
+    fn tick_overdue(&self) -> bool {
+        let last = self.last_tick_ms.load(Ordering::Relaxed);
+        let now = self.started.elapsed().as_millis() as u64;
+        now.saturating_sub(last) >= 2 * (self.tick_interval.as_millis() as u64).max(1)
+    }
 }
 
 thread_local! {
@@ -82,7 +132,20 @@ pub(crate) fn pump_current_reactor() -> bool {
         for core in &components {
             did |= core.pump();
         }
+        // Work-while-waiting threads are exactly where the timer lane
+        // starves (every reactor parked inside a blocking call), so the
+        // rescue runs here too.
+        if shared.tick_overdue() {
+            did |= shared.run_tick(false);
+        }
         depth.set(depth.get() - 1);
+        // Pumped work running outside an invocation frame (timeout sweeps,
+        // admission-gate settlements) may have buffered completions into a
+        // suspended frame's drain-local run; hand them to the batcher before
+        // the waiting frame parks again.
+        if did {
+            crate::component::flush_thread_completions();
+        }
         did
     })
 }
@@ -98,6 +161,9 @@ fn reactor_loop(shared: Arc<ReactorShared>) {
         for core in &components {
             did |= core.pump();
         }
+        if shared.tick_overdue() {
+            did |= shared.run_tick(false);
+        }
         if !did {
             shared.group.wait(seen, Duration::from_millis(2));
         }
@@ -111,11 +177,7 @@ fn reactor_loop(shared: Arc<ReactorShared>) {
 /// continuations are only *flagged*; a reactor resumes them.
 fn timer_loop(shared: Arc<ReactorShared>, interval: Duration) {
     while !shared.shutdown.load(Ordering::SeqCst) {
-        let components: Vec<Arc<ComponentCore>> = shared.registry.read().clone();
-        let now = Instant::now();
-        for core in &components {
-            core.tick(now);
-        }
+        shared.run_tick(true);
         let seen = shared.timer_signal.current();
         shared.timer_signal.wait(seen, interval);
     }
@@ -160,6 +222,10 @@ struct MeshInner {
     kill_times: Arc<Mutex<HashMap<ComponentId, Duration>>>,
     recovery: Arc<RecoveryLog>,
     orphans: Arc<Mutex<Vec<kar_types::RequestMessage>>>,
+    /// The mesh-wide retry budget (token bucket), shared by every component.
+    budget: Arc<RetryBudget>,
+    /// The mesh-wide per-actor-type circuit breakers.
+    breakers: Arc<BreakerRegistry>,
     shutdown: Arc<AtomicBool>,
     reactors: Arc<ReactorShared>,
     /// Reactor + timer thread handles, joined at shutdown.
@@ -189,11 +255,21 @@ impl Mesh {
         broker
             .ensure_partitions(TOPIC, 1)
             .expect("topic creation cannot fail");
+        broker
+            .ensure_partitions(DLQ_TOPIC, 1)
+            .expect("topic creation cannot fail");
+        let tick = config
+            .scaled_heartbeat_interval()
+            .max(Duration::from_millis(1));
         let reactors = Arc::new(ReactorShared {
             registry: RwLock::new(Vec::new()),
             group: Arc::new(WaitSignalGroup::new()),
             timer_signal: WaitSignal::new(),
             shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            tick_interval: tick,
+            last_tick_ms: AtomicU64::new(0),
+            tick_lock: Mutex::new(()),
         });
         let reactor_count = config.effective_reactor_threads();
         let mut runtime_threads = Vec::with_capacity(reactor_count + 1);
@@ -206,9 +282,6 @@ impl Mesh {
                     .expect("failed to spawn reactor"),
             );
         }
-        let tick = config
-            .scaled_heartbeat_interval()
-            .max(Duration::from_millis(1));
         let shared = Arc::clone(&reactors);
         runtime_threads.push(
             std::thread::Builder::new()
@@ -216,6 +289,11 @@ impl Mesh {
                 .spawn(move || timer_loop(shared, tick))
                 .expect("failed to spawn timer"),
         );
+        let budget = Arc::new(RetryBudget::new(
+            config.retry_budget_rate,
+            config.retry_budget_burst,
+        ));
+        let breakers = Arc::new(BreakerRegistry::new(config.circuit_breaker.clone()));
         let inner = Arc::new(MeshInner {
             config,
             broker: broker.clone(),
@@ -231,6 +309,8 @@ impl Mesh {
             kill_times: Arc::new(Mutex::new(HashMap::new())),
             recovery: Arc::new(RecoveryLog::new()),
             orphans: Arc::new(Mutex::new(Vec::new())),
+            budget,
+            breakers,
             shutdown: Arc::new(AtomicBool::new(false)),
             reactors,
             runtime_threads: Mutex::new(runtime_threads),
@@ -360,6 +440,8 @@ impl Mesh {
             self.inner.ids.clone(),
             hosted,
             Arc::clone(&self.inner.reactors.group),
+            Arc::clone(&self.inner.budget),
+            Arc::clone(&self.inner.breakers),
         ));
         self.inner.components.write().insert(id, core.clone());
         self.inner.nodes.write().entry(node).or_default().push(id);
@@ -631,6 +713,121 @@ impl Mesh {
             .map(|core| core.retry_bookkeeping_len())
     }
 
+    // ------------------------------------------------------------------
+    // Retry orchestration
+    // ------------------------------------------------------------------
+
+    /// Mesh-wide retry-orchestration counters: retries scheduled and
+    /// invocations dead-lettered (summed over every component), the retry
+    /// budget's admitted/shed counts, and the circuit breakers' fast-fail
+    /// and open-transition counts.
+    pub fn retry_metrics(&self) -> RetryMetrics {
+        let (mut scheduled, mut dead_lettered) = (0, 0);
+        for core in self.inner.components.read().values() {
+            let (s, d) = core.retry_orchestration_stats();
+            scheduled += s;
+            dead_lettered += d;
+        }
+        let (admitted, shed) = self.inner.budget.stats();
+        let (breaker_fast_fails, breaker_opened) = self.inner.breakers.stats();
+        RetryMetrics {
+            scheduled,
+            admitted,
+            shed,
+            breaker_fast_fails,
+            breaker_opened,
+            dead_lettered,
+        }
+    }
+
+    /// The current position of `actor_type`'s circuit breaker (trivially
+    /// [`BreakerPosition::Closed`] when breakers are disabled or the type
+    /// has no recorded outcomes yet).
+    pub fn breaker_position(&self, actor_type: &str) -> BreakerPosition {
+        self.inner.breakers.position(actor_type)
+    }
+
+    /// Number of scheduled retries one component currently holds parked on
+    /// their backoff deadlines (`None` for unknown components).
+    pub fn delayed_retries(&self, component: ComponentId) -> Option<usize> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.delayed_retries())
+    }
+
+    /// Every dead-lettered invocation, decoded from the durable DLQ store
+    /// index (which, unlike the provenance topic, outlives queue retention),
+    /// oldest first.
+    pub fn dlq_stats(&self) -> DlqStats {
+        let store = &self.inner.store;
+        let mut entries: Vec<DlqEntry> = store
+            .admin_keys_with_prefix("dlq/entry/")
+            .into_iter()
+            .filter_map(|key| {
+                let id = key.strip_prefix("dlq/entry/")?.parse::<u64>().ok()?;
+                decode_dlq_entry(id, &store.admin_get(&key)?)
+            })
+            .collect();
+        entries.sort_by_key(|entry| (entry.dead_lettered_ms, entry.id));
+        DlqStats { entries }
+    }
+
+    /// Re-injects one dead-lettered invocation as a fresh asynchronous
+    /// request through ordinary placement — exactly once per dead-lettered
+    /// id: the first call consumes the DLQ index entry and returns
+    /// `Ok(true)`; later calls, and unknown ids, return `Ok(false)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails (leaving the entry in the DLQ) if the index record is
+    /// malformed, no live component exists to re-inject through, or the
+    /// enqueue itself fails.
+    pub fn dlq_retry(&self, id: RequestId) -> KarResult<bool> {
+        let key = format!("dlq/entry/{}", id.as_u64());
+        let store = &self.inner.store;
+        // Removing the index entry *is* the exactly-once claim: only one
+        // caller ever observes the record.
+        let Some(record) = store.admin_del(&key) else {
+            return Ok(false);
+        };
+        let args = match &record {
+            Value::Map(map) => match map.get("args") {
+                Some(Value::List(args)) => args.clone(),
+                _ => Vec::new(),
+            },
+            _ => Vec::new(),
+        };
+        let Some(entry) = decode_dlq_entry(id.as_u64(), &record) else {
+            store.admin_set(&key, record);
+            return Err(KarError::application(format!(
+                "malformed DLQ index entry for request {}",
+                id.as_u64()
+            )));
+        };
+        let core = self
+            .inner
+            .components
+            .read()
+            .values()
+            .find(|core| core.is_alive())
+            .cloned();
+        let Some(core) = core else {
+            store.admin_set(&key, record);
+            return Err(KarError::application(
+                "no live component to re-inject the dead-lettered request through",
+            ));
+        };
+        match core.external_tell(&entry.target, &entry.method, args) {
+            Ok(()) => Ok(true),
+            Err(error) => {
+                store.admin_set(&key, record);
+                Err(error)
+            }
+        }
+    }
+
     /// Human-readable snapshot of every component's dispatch/actor state
     /// plus the queue backlog, for debugging stuck requests.
     pub fn debug_report(&self) -> String {
@@ -653,6 +850,13 @@ impl Mesh {
                 "  cached actor states: {} (evicted: {})",
                 core.cached_state_count(),
                 core.state_cache_evictions()
+            );
+            let (retries_scheduled, dead_lettered) = core.retry_orchestration_stats();
+            let _ = writeln!(
+                out,
+                "  retry orchestration: scheduled={retries_scheduled} \
+                 dead_lettered={dead_lettered} delayed={}",
+                core.delayed_retries(),
             );
             if let Some(set) = self.inner.topology.read().get(&id) {
                 for partition in set.all() {
@@ -687,6 +891,23 @@ impl Mesh {
             self.inner.store.shard_count(),
             contention.join(", "),
         );
+        // The retry plane: budget pressure, breaker positions, DLQ size.
+        let metrics = self.retry_metrics();
+        let _ = writeln!(
+            out,
+            "retry orchestration: scheduled={} admitted={} shed={} \
+             breaker_fast_fails={} breaker_opened={} dead_lettered={} dlq_entries={}",
+            metrics.scheduled,
+            metrics.admitted,
+            metrics.shed,
+            metrics.breaker_fast_fails,
+            metrics.breaker_opened,
+            metrics.dead_lettered,
+            self.dlq_stats().total(),
+        );
+        for (actor_type, position) in self.inner.breakers.snapshot() {
+            let _ = writeln!(out, "  breaker {actor_type}: {}", position.as_str());
+        }
         out
     }
 
@@ -745,6 +966,28 @@ impl Mesh {
         }
         self.inner.broker.shutdown();
     }
+}
+
+/// Decodes one `dlq/entry/{id}` store record (written by the component's
+/// dead-letter path) back into a [`DlqEntry`]. Returns `None` on any shape
+/// mismatch rather than guessing.
+fn decode_dlq_entry(id: u64, value: &Value) -> Option<DlqEntry> {
+    let Value::Map(map) = value else { return None };
+    let str_field = |field: &str| match map.get(field) {
+        Some(Value::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    let int_field = |field: &str| map.get(field).and_then(Value::as_i64);
+    Some(DlqEntry {
+        id: RequestId::from_raw(id),
+        component: ComponentId::from_raw(u64::try_from(int_field("component")?).ok()?),
+        target: ActorRef::new(str_field("target_type")?, str_field("target_id")?),
+        method: str_field("method")?,
+        attempts: u32::try_from(int_field("attempts")?).ok()?,
+        last_error: str_field("last_error"),
+        started_ms: u64::try_from(int_field("started_ms")?).ok()?,
+        dead_lettered_ms: u64::try_from(int_field("dead_lettered_ms")?).ok()?,
+    })
 }
 
 impl std::fmt::Debug for Mesh {

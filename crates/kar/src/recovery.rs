@@ -493,6 +493,26 @@ fn reconcile(
             }
         }
     }
+
+    // 3b. A scheduled retry copy is re-appended to the *callee's own*
+    //    partition, which may belong to a different (also dead) component
+    //    than the copy that failed. When copies of one id span dead queues,
+    //    keep only the highest attempt count: the schedule resumes where it
+    //    left off instead of resetting to an earlier attempt. Copies with
+    //    equal counts (e.g. tail-call hops, never schedule copies) keep the
+    //    existing per-queue last-occurrence semantics untouched.
+    let mut best_attempt: HashMap<RequestId, u32> = HashMap::new();
+    for request in &pending {
+        let attempt = request.retry.as_ref().map_or(0, |retry| retry.attempt);
+        let entry = best_attempt.entry(request.id).or_insert(attempt);
+        *entry = (*entry).max(attempt);
+    }
+    let pending: Vec<RequestMessage> = pending
+        .into_iter()
+        .filter(|request| {
+            request.retry.as_ref().map_or(0, |retry| retry.attempt) == best_attempt[&request.id]
+        })
+        .collect();
     let pending = reorder_tail_calls_first(pending);
 
     // 4. Invalidate placements and host announcements of failed components —
@@ -946,6 +966,7 @@ mod tests {
             pending_callee: None,
             caller_actor: None,
             reply_to: None,
+            retry: None,
         }
     }
 

@@ -108,15 +108,12 @@ fn kill_while_parked_preserves_exactly_once_and_fifo() {
     let seed = chaos_seed(0x0C_A11_7EE);
     println!("chaos seed: {seed} (re-run with KAR_CHAOS_SEED={seed})");
 
-    // A triple session timeout: Back.echo occupies a reactor for 40 ms per
-    // call, and on a small CI machine that plus the kill storm can starve
-    // the shared heartbeat timer past the default (compressed) 50 ms window,
-    // spuriously fencing a component nobody killed. Slower failure detection
-    // changes nothing about the property under test.
-    let mesh = Mesh::new(MeshConfig {
-        session_timeout: Duration::from_secs(30),
-        ..MeshConfig::for_tests().with_reactor_threads(3)
-    });
+    // Back.echo occupies a reactor for 40 ms per call, which used to starve
+    // the single heartbeat-timer thread past the compressed 50 ms session
+    // window on small CI machines (worked around with a 30 s timeout).
+    // Reactors now rescue-run overdue ticks, so the default compressed
+    // timeout must hold on its own — this test is the regression guard.
+    let mesh = Mesh::new(MeshConfig::for_tests().with_reactor_threads(3));
     let node = mesh.add_node();
     // Back lives on a stable component that is never killed: the nested call
     // always completes, so the interesting failure is always on the parked

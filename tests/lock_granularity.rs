@@ -232,27 +232,51 @@ fn exactly_once_and_order_survive_kill_recovery_with_stealing() {
     let chaos_mesh = mesh.clone();
     let client_component = client.component_id();
     let chaos = std::thread::spawn(move || {
+        // Steal counters die with their component, so they are sampled just
+        // before each kill. The sampling is *adaptive*: each kill is held
+        // (bounded) until a steal has been observed, so the firehose has
+        // demonstrably fired before chaos starts shooting — a fixed grace
+        // flaked on machines where the hot shards take longer to skew — and
+        // a final sweep while the drivers finish catches steals the
+        // pre-kill samples were too early for.
         let mut observed_steals = 0u64;
-        for round in 0..3 {
-            std::thread::sleep(Duration::from_millis(60));
-            if chaos_stop.load(Ordering::SeqCst) {
-                return observed_steals;
-            }
-            let victims: Vec<_> = chaos_mesh
+        let sample = |observed: &mut u64| {
+            for component in chaos_mesh
                 .live_components()
                 .into_iter()
                 .filter(|c| *c != client_component)
-                .collect();
-            for component in &victims {
-                observed_steals += chaos_mesh.steal_count(*component).unwrap_or(0);
+            {
+                *observed += chaos_mesh.steal_count(component).unwrap_or(0);
             }
-            if let Some(victim) = victims.into_iter().next_back() {
+        };
+        for round in 0..3 {
+            std::thread::sleep(Duration::from_millis(60));
+            let deadline = Instant::now() + Duration::from_secs(2);
+            loop {
+                if chaos_stop.load(Ordering::SeqCst) {
+                    return observed_steals;
+                }
+                sample(&mut observed_steals);
+                if observed_steals > 0 || Instant::now() > deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            let victim = chaos_mesh
+                .live_components()
+                .into_iter()
+                .rfind(|c| *c != client_component);
+            if let Some(victim) = victim {
                 chaos_mesh.kill_component(victim);
                 let node = chaos_mesh.add_node();
                 chaos_mesh.add_component(node, &format!("replacement-{round}"), |c| {
                     c.host("Ledger", || Box::new(Ledger))
                 });
             }
+        }
+        while !chaos_stop.load(Ordering::SeqCst) && observed_steals == 0 {
+            sample(&mut observed_steals);
+            std::thread::sleep(Duration::from_millis(10));
         }
         observed_steals
     });
