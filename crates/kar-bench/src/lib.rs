@@ -45,6 +45,12 @@
 //!   backoff under the mesh retry budget (the `bench_retry` binary emits
 //!   `BENCH_retry.json`, and its `--smoke` mode is the CI gate that the
 //!   retry lane never starves healthy traffic).
+//! * [`passivation`] — the resident-set harness: hot-head goodput over a
+//!   Zipf-distributed actor population far larger than memory should hold
+//!   (≥ 1 M distinct keys in the full run), with the resident set unbounded
+//!   vs bounded by the passivation watermarks (the `bench_passivation`
+//!   binary emits `BENCH_passivation.json`, and its `--smoke` mode is the
+//!   CI gate that bounding the resident set never starves the hot head).
 //!
 //! Each table/figure has a dedicated binary (see `bin/`) and a Criterion
 //! bench (see `benches/`); the binaries print the same rows the paper
@@ -58,6 +64,7 @@ pub mod fault;
 pub mod latency;
 pub mod lock_granularity;
 pub mod partitions;
+pub mod passivation;
 pub mod report;
 pub mod retry;
 pub mod store;
@@ -69,6 +76,7 @@ pub use fault::{FailureSample, FaultConfig, FaultReport};
 pub use latency::{LatencyConfig, LatencyRow};
 pub use lock_granularity::{ContendedConfig, ContendedReport, SkewedConfig, SkewedReport};
 pub use partitions::{PartitionReport, PartitionSweepConfig};
+pub use passivation::{PassivationBenchConfig, PassivationBenchReport};
 pub use report::Summary;
 pub use retry::{RetryBenchConfig, RetryBenchReport};
 pub use store::{ContendedStoreConfig, ContendedStoreReport, StateFlushConfig, StateFlushReport};

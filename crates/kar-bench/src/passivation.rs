@@ -1,0 +1,408 @@
+//! Resident-set harness: hot-head goodput over a Zipf-distributed actor
+//! population far larger than memory should hold, with the resident set
+//! unbounded vs bounded by the passivation watermarks.
+//!
+//! The scenario is the tentpole's memory story end to end: a small pool of
+//! *hot* callers hammers the hottest actors while a second pool walks a
+//! Zipf-shaped tail over a key space many times the resident budget
+//! (≥ 1 M distinct keys in the full run). In the "unbounded" arm
+//! passivation is off, so every actor ever touched keeps its slot, cached
+//! state and placement entry forever — the pre-PR behavior. In the
+//! "bounded" arm the resident watermarks cap the set at a fixed budget: the
+//! sweep evicts the coldest actors, the cold tail pages in and out through
+//! flush/rehydrate, and past the hard watermark new activations are
+//! deferred with shaped backoff (shed, never dropped).
+//!
+//! The gate is on what the *hot* population experiences: bounding the
+//! resident set must not starve the hot head — hot goodput with the
+//! watermarks must stay within 0.8× of the unbounded arm — while the
+//! reported peak resident count stays pinned at the budget instead of
+//! growing with every key the tail touches.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kar::{Actor, ActorContext, Mesh, MeshConfig, Outcome};
+use kar_types::{ActorRef, KarResult, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hot-head goodput with the watermarks must stay within this factor of
+/// the unbounded arm.
+pub const GATE_MIN_RATIO: f64 = 0.8;
+
+/// Configuration of one resident-set measurement.
+#[derive(Debug, Clone)]
+pub struct PassivationBenchConfig {
+    /// Caller threads driving the hot head (the measured population).
+    pub hot_callers: usize,
+    /// Sequential calls per hot caller (the measured window).
+    pub calls_per_caller: usize,
+    /// Distinct actors in the hot head.
+    pub hot_keys: usize,
+    /// Caller threads walking the Zipf tail for the whole window.
+    pub tail_callers: usize,
+    /// Total distinct actor keys the tail samples from (≥ 1 M in the full
+    /// run; 10× the resident budget in the smoke run).
+    pub key_space: usize,
+    /// Soft resident watermark of the bounded arm (the budget); the hard
+    /// watermark is twice this.
+    pub resident_budget: usize,
+    /// Wall-clock passivation window of the bounded arm.
+    pub window: Duration,
+    /// Seed of the tail's Zipf walk.
+    pub seed: u64,
+}
+
+impl Default for PassivationBenchConfig {
+    fn default() -> Self {
+        PassivationBenchConfig {
+            hot_callers: 4,
+            calls_per_caller: 4_000,
+            hot_keys: 64,
+            tail_callers: 4,
+            key_space: 1_000_000,
+            resident_budget: 256,
+            window: Duration::from_millis(150),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl PassivationBenchConfig {
+    /// A seconds-scale configuration for CI smoke runs: the tail's key
+    /// space is 10× over the resident budget.
+    pub fn smoke() -> Self {
+        PassivationBenchConfig {
+            hot_callers: 4,
+            calls_per_caller: 1_200,
+            hot_keys: 16,
+            tail_callers: 4,
+            key_space: 640,
+            resident_budget: 64,
+            ..PassivationBenchConfig::default()
+        }
+    }
+}
+
+/// The result of one arm.
+#[derive(Debug, Clone)]
+pub struct PassivationBenchReport {
+    /// `"unbounded"` (passivation off, the pre-PR behavior) or `"bounded"`
+    /// (resident watermarks at the budget).
+    pub arm: &'static str,
+    /// Hot calls completed (the measured window).
+    pub hot_calls: usize,
+    /// Wall-clock duration of the hot window.
+    pub elapsed: Duration,
+    /// Hot calls per second — the gated number.
+    pub hot_goodput: f64,
+    /// Tail calls acknowledged while the window ran (each one paged a cold
+    /// actor in, in the bounded arm).
+    pub tail_calls: u64,
+    /// Distinct tail keys touched.
+    pub distinct_tail_keys: usize,
+    /// Peak resident actors observed on the serving component.
+    pub peak_resident: usize,
+    /// Resident actors when the window closed.
+    pub final_resident: usize,
+    /// Actors passivated (flushed and dropped) during the run.
+    pub passivations: u64,
+    /// Passivated actors re-activated through the ordinary admission path.
+    pub rehydrations: u64,
+    /// New-actor activations deferred with shaped backoff at the hard
+    /// watermark (shed, never dropped).
+    pub admission_deferrals: u64,
+}
+
+/// A counter actor with durable state, so paging an actor out and back in
+/// exercises the flush and rehydration paths, not just slot bookkeeping.
+struct Counter;
+
+impl Actor for Counter {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        _method: &str,
+        _args: &[Value],
+    ) -> KarResult<Outcome> {
+        let value = ctx
+            .state()
+            .get("count")?
+            .and_then(|v| v.as_i64())
+            .unwrap_or(0);
+        ctx.state().set("count", Value::Int(value + 1))?;
+        Ok(Outcome::value(Value::Int(value + 1)))
+    }
+}
+
+/// A Zipf-shaped rank in `[0, key_space)`: inverse-CDF sampling of the
+/// `s = 1` distribution via the log-uniform approximation — dense on the
+/// head, long on the tail.
+fn zipf_rank(rng: &mut StdRng, key_space: usize) -> usize {
+    let u = rng.gen_range(0.0..1.0f64);
+    let rank = ((key_space as f64 + 1.0).powf(u) - 1.0) as usize;
+    rank.min(key_space - 1)
+}
+
+/// Measures hot-head goodput while the tail walks the key space — with the
+/// resident set bounded by the watermarks (`bounded == true`) or unbounded
+/// (`bounded == false`, passivation off).
+pub fn measure_arm(bounded: bool, config: &PassivationBenchConfig) -> PassivationBenchReport {
+    let mut mesh_config = MeshConfig::for_tests()
+        .with_dispatch_workers(4)
+        .with_reactor_threads(4);
+    if bounded {
+        mesh_config = mesh_config
+            .with_resident_watermarks(config.resident_budget, config.resident_budget * 2);
+        // The passivation clock: `window` of wall clock per compressed
+        // retention window, so the sweep cycles many times per run.
+        mesh_config.retention = config.window * 200;
+    } else {
+        mesh_config = mesh_config.with_actor_passivation(false);
+    }
+    let mesh = Mesh::new(mesh_config);
+    let node = mesh.add_node();
+    let server = mesh.add_component(node, "server", |c| c.host("Counter", || Box::new(Counter)));
+    let client = mesh.client();
+
+    // Warm the hot head so the window measures steady state.
+    for key in 0..config.hot_keys {
+        let actor = ActorRef::new("Counter", format!("hot-{key}"));
+        client.call(&actor, "bump", vec![]).expect("warmup call");
+    }
+
+    // The tail population pages cold actors in (and, bounded, out) until
+    // the hot window ends.
+    let stop = Arc::new(AtomicBool::new(false));
+    let tail: Vec<_> = (0..config.tail_callers)
+        .map(|caller| {
+            let client = client.clone();
+            let stop = Arc::clone(&stop);
+            let key_space = config.key_space;
+            let seed = config.seed.wrapping_add(caller as u64);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut touched = std::collections::HashSet::new();
+                let mut acknowledged = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let rank = zipf_rank(&mut rng, key_space);
+                    let actor = ActorRef::new("Counter", format!("tail-{rank}"));
+                    if client.call(&actor, "bump", vec![]).is_ok() {
+                        acknowledged += 1;
+                        touched.insert(rank);
+                    }
+                }
+                (acknowledged, touched)
+            })
+        })
+        .collect();
+
+    // Sample the resident set while the window runs.
+    let peak = Arc::new(AtomicUsize::new(0));
+    let sampler = {
+        let mesh = mesh.clone();
+        let stop = Arc::clone(&stop);
+        let peak = Arc::clone(&peak);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(resident) = mesh.resident_actors(server) {
+                    peak.fetch_max(resident, Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+
+    let started = Instant::now();
+    let hot: Vec<_> = (0..config.hot_callers)
+        .map(|caller| {
+            let client = client.clone();
+            let calls = config.calls_per_caller;
+            let hot_keys = config.hot_keys;
+            std::thread::spawn(move || {
+                for i in 0..calls {
+                    let key = (caller + i) % hot_keys;
+                    let actor = ActorRef::new("Counter", format!("hot-{key}"));
+                    client.call(&actor, "bump", vec![]).expect("hot call");
+                }
+                calls
+            })
+        })
+        .collect();
+    let mut hot_calls = 0usize;
+    for driver in hot {
+        hot_calls += driver.join().expect("hot driver");
+    }
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let mut tail_calls = 0u64;
+    let mut distinct = std::collections::HashSet::new();
+    for driver in tail {
+        let (acknowledged, touched) = driver.join().expect("tail driver");
+        tail_calls += acknowledged;
+        distinct.extend(touched);
+    }
+    sampler.join().expect("resident sampler");
+    let final_resident = mesh.resident_actors(server).unwrap_or(0);
+    let peak_resident = peak.load(Ordering::Relaxed).max(final_resident);
+    let (passivations, rehydrations, admission_deferrals) =
+        mesh.passivation_stats(server).unwrap_or((0, 0, 0));
+    mesh.shutdown();
+
+    PassivationBenchReport {
+        arm: if bounded { "bounded" } else { "unbounded" },
+        hot_calls,
+        elapsed,
+        hot_goodput: hot_calls as f64 / elapsed.as_secs_f64(),
+        tail_calls,
+        distinct_tail_keys: distinct.len(),
+        peak_resident,
+        final_resident,
+        passivations,
+        rehydrations,
+        admission_deferrals,
+    }
+}
+
+/// Runs the unbounded-then-bounded sweep.
+pub fn passivation_sweep(config: &PassivationBenchConfig) -> Vec<PassivationBenchReport> {
+    vec![measure_arm(false, config), measure_arm(true, config)]
+}
+
+/// Hot-goodput ratio of the bounded arm over the unbounded arm (0.0 if
+/// either is missing).
+pub fn bounded_over_unbounded(reports: &[PassivationBenchReport]) -> f64 {
+    let at = |arm: &str| reports.iter().find(|r| r.arm == arm).map(|r| r.hot_goodput);
+    match (at("unbounded"), at("bounded")) {
+        (Some(unbounded), Some(bounded)) if unbounded > 0.0 => bounded / unbounded,
+        _ => 0.0,
+    }
+}
+
+/// One human-readable table row.
+pub fn passivation_row(report: &PassivationBenchReport) -> String {
+    format!(
+        "{:>9} {:>9} {:>12.0} {:>9} {:>9} {:>8} {:>8} {:>10} {:>11} {:>9}",
+        report.arm,
+        report.hot_calls,
+        report.hot_goodput,
+        report.tail_calls,
+        report.distinct_tail_keys,
+        report.peak_resident,
+        report.final_resident,
+        report.passivations,
+        report.rehydrations,
+        report.admission_deferrals,
+    )
+}
+
+/// Serializes the sweep as the `BENCH_passivation.json` document
+/// (hand-rolled: the offline serde shim has no serializer).
+pub fn to_json(config: &PassivationBenchConfig, reports: &[PassivationBenchReport]) -> String {
+    let mut rows = String::new();
+    for (index, report) in reports.iter().enumerate() {
+        if index > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"arm\": \"{}\", \"hot_calls\": {}, \"elapsed_ms\": {:.3}, \
+             \"hot_goodput_calls_per_sec\": {:.1}, \"tail_calls\": {}, \
+             \"distinct_tail_keys\": {}, \"peak_resident\": {}, \
+             \"final_resident\": {}, \"passivations\": {}, \
+             \"rehydrations\": {}, \"admission_deferrals\": {}}}",
+            report.arm,
+            report.hot_calls,
+            report.elapsed.as_secs_f64() * 1e3,
+            report.hot_goodput,
+            report.tail_calls,
+            report.distinct_tail_keys,
+            report.peak_resident,
+            report.final_resident,
+            report.passivations,
+            report.rehydrations,
+            report.admission_deferrals,
+        ));
+    }
+    format!(
+        "{{\n  \"benchmark\": \"passivation\",\n  \
+         \"workload\": {{\"hot_callers\": {}, \"calls_per_caller\": {}, \
+         \"hot_keys\": {}, \"tail_callers\": {}, \"key_space\": {}, \
+         \"resident_budget\": {}, \"window_ms\": {}}},\n  \
+         \"hot_goodput_bounded_over_unbounded\": {:.2},\n  \
+         \"gate_min_ratio\": {GATE_MIN_RATIO},\n  \"rows\": [\n{rows}\n  ]\n}}\n",
+        config.hot_callers,
+        config.calls_per_caller,
+        config.hot_keys,
+        config.tail_callers,
+        config.key_space,
+        config.resident_budget,
+        config.window.as_millis(),
+        bounded_over_unbounded(reports),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_rank_is_head_heavy_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let key_space = 10_000;
+        let mut head = 0usize;
+        for _ in 0..2_000 {
+            let rank = zipf_rank(&mut rng, key_space);
+            assert!(rank < key_space);
+            if rank < key_space / 100 {
+                head += 1;
+            }
+        }
+        // Zipf(1): the top 1% of ranks draws roughly half the mass.
+        assert!(
+            head > 600,
+            "top-1% ranks drew only {head}/2000 samples — not Zipf-shaped"
+        );
+    }
+
+    #[test]
+    fn sweep_measures_both_arms_and_json_is_balanced() {
+        let config = PassivationBenchConfig {
+            hot_callers: 2,
+            calls_per_caller: 60,
+            hot_keys: 4,
+            tail_callers: 2,
+            key_space: 80,
+            resident_budget: 8,
+            ..PassivationBenchConfig::default()
+        };
+        let reports = passivation_sweep(&config);
+        assert_eq!(reports.len(), 2);
+        let unbounded = &reports[0];
+        let bounded = &reports[1];
+        assert_eq!(unbounded.arm, "unbounded");
+        assert_eq!(bounded.arm, "bounded");
+        assert_eq!(unbounded.hot_calls, 120);
+        assert_eq!(bounded.hot_calls, 120);
+        assert_eq!(
+            unbounded.passivations, 0,
+            "the unbounded arm must never passivate"
+        );
+        assert!(
+            bounded.peak_resident <= config.resident_budget * 2 + 4,
+            "bounded arm overshot the hard watermark: peak {} vs budget {}",
+            bounded.peak_resident,
+            config.resident_budget
+        );
+        assert!(bounded_over_unbounded(&reports) > 0.0);
+
+        let json = to_json(&config, &reports);
+        assert!(json.contains("\"benchmark\": \"passivation\""));
+        assert!(json.contains("\"gate_min_ratio\": 0.8"));
+        assert!(json.contains("\"arm\": \"bounded\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!passivation_row(&reports[0]).is_empty());
+    }
+}

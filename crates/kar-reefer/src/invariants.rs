@@ -11,8 +11,10 @@
 //! The [`InvariantChecker`] performs the same checks against a quiescent
 //! application (simulators paused, asynchronous notifications drained).
 
+use std::time::Duration;
+
 use kar::Client;
-use kar_types::{KarResult, Value};
+use kar_types::{KarResult, RetryPolicy, Value};
 
 use crate::types::refs;
 
@@ -60,6 +62,18 @@ impl InvariantChecker {
         }
     }
 
+    /// One read probe with the checker's retry schedule: a few shaped
+    /// attempts, transient errors only — an invariant pass right after a
+    /// recovery window should ride out the tail of it instead of failing.
+    fn probe(&self, target: &kar_types::ActorRef, method: &str) -> KarResult<Value> {
+        self.client.call_with_policy(
+            target,
+            method,
+            vec![],
+            RetryPolicy::exponential(5, Duration::from_millis(20)),
+        )
+    }
+
     /// Runs one invariant pass. `submitted_orders` are the orders whose
     /// booking was confirmed to a client; each must still be tracked by the
     /// application.
@@ -73,7 +87,7 @@ impl InvariantChecker {
         let mut report = InvariantReport::default();
 
         // --- Orders are never lost -------------------------------------
-        let stats = self.client.call(&refs::order_manager(), "stats", vec![])?;
+        let stats = self.probe(&refs::order_manager(), "stats")?;
         let tracked = stats
             .get("orders")
             .and_then(Value::as_map)
@@ -104,7 +118,7 @@ impl InvariantChecker {
         let mut allocated = 0i64;
         let mut received = 0i64;
         for port in &self.ports {
-            let info = self.client.call(&refs::depot(port), "info", vec![])?;
+            let info = self.probe(&refs::depot(port), "info")?;
             let get = |field: &str| info.get(field).and_then(Value::as_i64).unwrap_or(0);
             available += get("available");
             allocated += get("allocated_total");
@@ -142,16 +156,12 @@ impl InvariantChecker {
         }
 
         // --- Ships depart and arrive as scheduled ------------------------
-        let voyages = self
-            .client
-            .call(&refs::voyage_manager(), "list_voyages", vec![])?;
-        let day_value = self
-            .client
-            .call(&refs::voyage_manager(), "current_day", vec![])?;
+        let voyages = self.probe(&refs::voyage_manager(), "list_voyages")?;
+        let day_value = self.probe(&refs::voyage_manager(), "current_day")?;
         let day = day_value.as_i64().unwrap_or(0);
         if let Some(map) = voyages.as_map() {
             for (voyage_id, summary) in map {
-                let info = self.client.call(&refs::voyage(voyage_id), "info", vec![])?;
+                let info = self.probe(&refs::voyage(voyage_id), "info")?;
                 let phase = info
                     .get("phase")
                     .and_then(Value::as_str)
@@ -185,7 +195,7 @@ impl InvariantChecker {
                 if phase == "arrived" {
                     if let Some(orders) = info.get("orders").and_then(Value::as_list) {
                         for order in orders.iter().filter_map(Value::as_str) {
-                            let record = self.client.call(&refs::order(order), "info", vec![])?;
+                            let record = self.probe(&refs::order(order), "info")?;
                             let status = record
                                 .get("status")
                                 .and_then(Value::as_str)

@@ -6,6 +6,15 @@
 //! simulators interface with the Web API. The fault-injection harness calls
 //! their `step`-style methods in a loop, which keeps experiments
 //! deterministic and lets the harness interleave failures at will.
+//!
+//! Every call goes through [`Client::call_with_policy`] with an explicit
+//! retry policy, so transient failures are retried on a *persisted,
+//! shaped-backoff* schedule (the PR 7 orchestration) instead of blocking on
+//! the bare call timeout. Application errors (for example a booking
+//! rejected for lack of capacity) are never retried. With this migration no
+//! Reefer code — actor-side (`order.rs` parks continuations via
+//! `call_then_with_policy`) or client-side — issues a policy-less blocking
+//! call on the operation path.
 
 use std::time::{Duration, Instant};
 
@@ -13,7 +22,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use kar::Client;
-use kar_types::{KarResult, Value};
+use kar_types::{KarResult, RetryPolicy, Value};
+
+/// The simulators' shared schedule for transient failures: a handful of
+/// exponentially backed-off attempts (20 ms base, capped at 16×), mirroring
+/// the shape the order actor itself uses for its nested calls.
+fn simulator_policy() -> RetryPolicy {
+    RetryPolicy::exponential(5, Duration::from_millis(20))
+}
 
 use crate::types::refs;
 
@@ -94,7 +110,7 @@ impl OrderSimulator {
         let quantity = self.rng.gen_range(1..=3i64);
         self.stats.submitted += 1;
         let started = Instant::now();
-        let result = self.client.call(
+        let result = self.client.call_with_policy(
             &refs::order_manager(),
             "book",
             vec![
@@ -103,6 +119,7 @@ impl OrderSimulator {
                 Value::from("reefer goods"),
                 Value::from(quantity),
             ],
+            simulator_policy(),
         );
         match result {
             Ok(confirmation) => {
@@ -174,10 +191,11 @@ impl ShipSimulator {
     /// Propagates errors from the voyage manager call.
     pub fn advance_day(&mut self) -> KarResult<i64> {
         self.day += 1;
-        let confirmed = self.client.call(
+        let confirmed = self.client.call_with_policy(
             &refs::voyage_manager(),
             "advance_time",
             vec![Value::from(self.day)],
+            simulator_policy(),
         )?;
         Ok(confirmed.as_i64().unwrap_or(self.day))
     }
@@ -218,10 +236,11 @@ impl AnomalySimulator {
             return Ok(None);
         }
         let container = containers[self.rng.gen_range(0..containers.len())].clone();
-        let routed = self.client.call(
+        let routed = self.client.call_with_policy(
             &refs::anomaly_router(),
             "anomaly",
             vec![Value::from(container)],
+            simulator_policy(),
         )?;
         self.injected += 1;
         Ok(routed.as_str().map(str::to_owned))

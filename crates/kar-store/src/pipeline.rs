@@ -15,8 +15,12 @@
 //!    key lives on exactly one shard).
 //!
 //! Commands touching different shards are applied in shard order, not
-//! submission order; callers needing cross-key ordering must split flushes.
-//! Results are returned in submission order regardless.
+//! submission order; callers needing cross-key ordering insert a
+//! [`Pipeline::fence`] between the ordered commands. A fence splits the
+//! batch into segments: every command before the fence is applied — on
+//! every shard it touches — before any command after it, while the whole
+//! batch still costs one round trip and one fence check. Results are
+//! returned in submission order regardless.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
@@ -134,6 +138,10 @@ pub struct Pipeline {
     /// (unfenced, latency-free) pipelines used by the reconciliation leader.
     auth: Option<(ComponentId, Epoch)>,
     ops: Vec<Op>,
+    /// Ordering fences: `ops` lengths at which [`Pipeline::fence`] was
+    /// called, ascending. Each splits the batch into segments applied
+    /// strictly in order.
+    fences: Vec<usize>,
 }
 
 impl Pipeline {
@@ -142,6 +150,7 @@ impl Pipeline {
             inner,
             auth: Some((component, epoch)),
             ops: Vec::new(),
+            fences: Vec::new(),
         }
     }
 
@@ -150,6 +159,7 @@ impl Pipeline {
             inner,
             auth: None,
             ops: Vec::new(),
+            fences: Vec::new(),
         }
     }
 
@@ -249,6 +259,19 @@ impl Pipeline {
         self
     }
 
+    /// Inserts a cross-key ordering fence: every command buffered before
+    /// this point is applied — on every shard it touches — before any
+    /// command buffered after it, without splitting the flush (still one
+    /// round trip, one fence check). Within a segment the usual per-shard
+    /// grouping applies. Lets a caller interleave ordered writes and
+    /// deletes of *different* keys on *different* shards in a single
+    /// batch: `set(a); fence(); del(b)` guarantees no observer sees `b`
+    /// deleted while `a` is still unwritten.
+    pub fn fence(&mut self) -> &mut Self {
+        self.fences.push(self.ops.len());
+        self
+    }
+
     /// Applies every buffered command and returns their results in
     /// submission order. One round-trip latency charge and one fence check
     /// for the whole batch; per-shard grouped application (see the
@@ -261,7 +284,12 @@ impl Pipeline {
     /// Fails with `KarError::Fenced` — applying **none** of the batch — if
     /// the session's component has been forcefully disconnected.
     pub fn flush(self) -> KarResult<Vec<PipelineResult>> {
-        let Pipeline { inner, auth, ops } = self;
+        let Pipeline {
+            inner,
+            auth,
+            ops,
+            fences,
+        } = self;
         if ops.is_empty() {
             return Ok(Vec::new());
         }
@@ -275,16 +303,8 @@ impl Pipeline {
             inner.charge_round_trip();
         }
 
-        // Group command indices by target shard, preserving submission order
-        // within each group.
-        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
-        for (index, op) in ops.iter().enumerate() {
-            let shard = inner.shard_of(op.key());
-            match groups.iter_mut().find(|(s, _)| *s == shard) {
-                Some((_, indices)) => indices.push(index),
-                None => groups.push((shard, vec![index])),
-            }
-        }
+        let shards: Vec<usize> = ops.iter().map(|op| inner.shard_of(op.key())).collect();
+        let plan = plan_application(&shards, &fences, ops.len());
 
         let mut ops: Vec<Option<Op>> = ops.into_iter().map(Some).collect();
         let mut raw: Vec<Option<RawResult>> = (0..ops.len()).map(|_| None).collect();
@@ -302,7 +322,7 @@ impl Pipeline {
                 .pipeline_ops
                 .fetch_add(ops.len() as u64, Ordering::Relaxed);
             let _coarse = inner.coarse_guard();
-            for (shard, indices) in groups {
+            for (shard, indices) in plan {
                 let mut data = inner.lock_shard(shard);
                 for index in indices {
                     let op = ops[index].take().expect("pipeline op applied twice");
@@ -316,6 +336,39 @@ impl Pipeline {
             .map(|result| finish(result.expect("pipeline op not applied")))
             .collect())
     }
+}
+
+/// Plans the application order of a flush: splits the op indices into
+/// fence-ordered segments, then groups each segment's indices by target
+/// shard (first-touch order, submission order within a group). The flush
+/// applies the returned `(shard, indices)` groups strictly in order, one
+/// shard-lock acquisition each, so every op before a fence is applied
+/// before any op after it — on every shard — while unfenced ops still
+/// coalesce into minimal lock traffic.
+fn plan_application(shards: &[usize], fences: &[usize], len: usize) -> Vec<(usize, Vec<usize>)> {
+    let mut plan: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut boundaries: Vec<usize> = fences
+        .iter()
+        .copied()
+        .filter(|&fence| fence > 0 && fence < len)
+        .collect();
+    boundaries.push(len);
+    let mut start = 0;
+    for end in boundaries {
+        if end <= start {
+            continue;
+        }
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (index, &shard) in shards.iter().enumerate().take(end).skip(start) {
+            match groups.iter_mut().find(|(s, _)| *s == shard) {
+                Some((_, indices)) => indices.push(index),
+                None => groups.push((shard, vec![index])),
+            }
+        }
+        plan.extend(groups);
+        start = end;
+    }
+    plan
 }
 
 /// Applies one command to its shard, counting the logical operation.
@@ -512,6 +565,67 @@ mod tests {
         );
         assert_eq!(results[1], PipelineResult::Value(Some(Value::from(7))));
         assert_eq!(store.admin_get("placement/A/x"), None);
+    }
+
+    /// Flattened application order (op indices) of a plan.
+    fn applied_order(plan: &[(usize, Vec<usize>)]) -> Vec<usize> {
+        plan.iter().flat_map(|(_, idx)| idx.clone()).collect()
+    }
+
+    #[test]
+    fn unfenced_plan_pulls_later_ops_across_shards() {
+        // The documented hazard the fence exists for: with ops on shards
+        // [0, 1, 0], the second shard-0 op is pulled ahead of the shard-1
+        // op submitted before it.
+        let plan = plan_application(&[0, 1, 0], &[], 3);
+        assert_eq!(applied_order(&plan), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn fence_keeps_cross_shard_write_then_delete_in_submission_order() {
+        // Reconciliation's shape: interleave placement writes and deletes
+        // of different keys on different shards in one flush. Every op
+        // before a fence must apply before any op after it.
+        let shards = [0, 1, 0, 2, 1];
+        let plan = plan_application(&shards, &[1, 2, 3, 4], 5);
+        assert_eq!(applied_order(&plan), vec![0, 1, 2, 3, 4]);
+        // A single-lock acquisition per segment group, in segment order.
+        let locked: Vec<usize> = plan.iter().map(|(shard, _)| *shard).collect();
+        assert_eq!(locked, vec![0, 1, 0, 2, 1]);
+
+        // Partial fencing still coalesces within a segment: the two
+        // shard-0 ops in the first segment share one lock acquisition.
+        let plan = plan_application(&[0, 1, 0, 2], &[3], 4);
+        assert_eq!(applied_order(&plan), vec![0, 2, 1, 3]);
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn degenerate_fences_are_noops() {
+        // Leading, trailing, and doubled fences change nothing.
+        let plan = plan_application(&[0, 1], &[0, 1, 1, 2, 2], 2);
+        assert_eq!(applied_order(&plan), vec![0, 1]);
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn fenced_batch_still_one_round_trip_and_submission_order_results() {
+        let store = Store::with_config(StoreConfig::with_op_latency(Duration::from_millis(10)));
+        let conn = store.connect(ComponentId::from_raw(1));
+        let mut pipe = conn.pipeline();
+        pipe.set("a", Value::from(1))
+            .fence()
+            .del("b")
+            .fence()
+            .set("c", Value::from(3))
+            .get("a");
+        let results = pipe.flush().unwrap();
+        assert_eq!(results[0], PipelineResult::Value(None));
+        assert_eq!(results[1], PipelineResult::Value(None));
+        assert_eq!(results[3], PipelineResult::Value(Some(Value::from(1))));
+        assert_eq!(store.stats().round_trips, 1);
+        assert_eq!(store.stats().pipeline_flushes, 1);
+        assert_eq!(conn.get("c").unwrap(), Some(Value::from(3)));
     }
 
     #[test]

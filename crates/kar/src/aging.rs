@@ -67,6 +67,22 @@ impl<T: Eq + Hash> AgingSet<T> {
                 .count()
     }
 
+    /// Removes `value` from both generations. Returns true if it was a
+    /// member. Used by owners whose members have an explicit end of life
+    /// (e.g. a passivation tombstone consumed by the rehydrating admission)
+    /// rather than a purely clock-driven one.
+    pub(crate) fn remove(&mut self, value: &T) -> bool {
+        let in_current = self.current.remove(value);
+        let in_previous = self.previous.remove(value);
+        in_current || in_previous
+    }
+
+    /// Drops every member of both generations (owner killed).
+    pub(crate) fn clear(&mut self) {
+        self.current.clear();
+        self.previous.clear();
+    }
+
     /// Rotates the generations if the interval has elapsed: the old
     /// generation is dropped, the young one becomes old. Returns the number
     /// of members dropped.
@@ -126,6 +142,27 @@ impl<K: Eq + Hash + Clone, V: Copy> AgingMap<K, V> {
         })
     }
 
+    /// Looks `key` up *without* refreshing its stamp: for owners that need
+    /// the value on a path that must not count as activity (e.g. deciding
+    /// which shard's queue to inspect before dropping a route).
+    pub(crate) fn peek(&self, key: &K) -> Option<V> {
+        self.entries.get(key).map(|(value, _)| *value)
+    }
+
+    /// The current generation number (pairs with the stamps returned by
+    /// [`AgingMap::stamped_entries`]).
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Removes `key` unconditionally. Returns true if it was present. Used
+    /// when the owner has *independently* verified the entry is dead (e.g.
+    /// an eager coldest-first eviction under memory pressure, where the
+    /// entry may not have aged out yet).
+    pub(crate) fn remove(&mut self, key: &K) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
     /// Number of entries.
     pub(crate) fn len(&self) -> usize {
         self.entries.len()
@@ -162,6 +199,16 @@ impl<K: Eq + Hash + Clone, V: Copy> AgingMap<K, V> {
             .iter()
             .filter(|(_, (_, stamp))| stamp + 2 <= self.generation)
             .map(|(key, (value, _))| (key.clone(), *value))
+            .collect()
+    }
+
+    /// Every entry with its generation stamp (smaller stamp = colder). Lets
+    /// an owner under memory pressure order candidates coldest-first instead
+    /// of waiting for them to become fully stale.
+    pub(crate) fn stamped_entries(&self) -> Vec<(K, V, u64)> {
+        self.entries
+            .iter()
+            .map(|(key, (value, stamp))| (key.clone(), *value, *stamp))
             .collect()
     }
 
@@ -257,6 +304,54 @@ mod tests {
         assert_eq!(set.maybe_rotate(Instant::now()), 0);
         set.maybe_rotate(Instant::now());
         assert!(set.contains(&1), "no rotation before the interval elapses");
+    }
+
+    #[test]
+    fn peek_does_not_refresh_but_get_refresh_does() {
+        let mut map = AgingMap::new(Duration::from_millis(1));
+        map.insert("route", 9usize);
+        let t = Instant::now();
+        map.advance_due(t + Duration::from_millis(2));
+        map.advance_due(t + Duration::from_millis(4));
+        assert_eq!(map.peek(&"route"), Some(9), "peek sees the entry");
+        assert!(
+            map.remove_if_stale(&"route"),
+            "peek must not count as a touch"
+        );
+    }
+
+    #[test]
+    fn stamped_entries_order_coldest_first_and_remove_is_unconditional() {
+        let mut map = AgingMap::new(Duration::from_millis(1));
+        map.insert("cold", 1usize);
+        let t = Instant::now();
+        map.advance_due(t + Duration::from_millis(2));
+        map.insert("warm", 2usize);
+        assert_eq!(map.generation(), 1);
+        let mut stamped = map.stamped_entries();
+        stamped.sort_unstable_by_key(|&(_, _, stamp)| stamp);
+        assert_eq!(stamped[0].0, "cold");
+        assert_eq!(stamped[1].0, "warm");
+        // "warm" is not stale, but an eager eviction may drop it anyway.
+        assert!(!map.remove_if_stale(&"warm"));
+        assert!(map.remove(&"warm"));
+        assert!(!map.remove(&"warm"));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn set_remove_clears_both_generations() {
+        let mut set = AgingSet::new(Duration::from_millis(1));
+        set.insert(1u64);
+        set.maybe_rotate(Instant::now() + Duration::from_millis(2));
+        set.insert(1u64); // in both generations now
+        set.insert(2u64);
+        assert!(set.remove(&1));
+        assert!(!set.contains(&1));
+        assert!(!set.remove(&1), "second remove finds nothing");
+        set.clear();
+        assert_eq!(set.len(), 0);
+        assert!(!set.contains(&2));
     }
 
     #[test]

@@ -35,7 +35,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -47,12 +47,13 @@ use kar_store::{Connection, Store};
 use kar_types::ids::RequestIdGenerator;
 use kar_types::RequestId;
 use kar_types::{
-    epoch_ms, ActorRef, CallKind, ComponentId, Envelope, KarError, KarResult, NodeId, Payload,
-    RequestMessage, ResponseMessage, RetryPolicy, RetryState, RetryVerdict, Value, WaitSignalGroup,
+    epoch_ms, ActorRef, Backoff, CallKind, ComponentId, Envelope, KarError, KarResult, NodeId,
+    Payload, RequestMessage, ResponseMessage, RetryPolicy, RetryState, RetryVerdict, Value,
+    WaitSignalGroup,
 };
 
 use crate::actor::{ActorFactory, Outcome};
-use crate::aging::AgingSet;
+use crate::aging::{AgingMap, AgingSet};
 use crate::config::{CancellationPolicy, MeshConfig};
 use crate::context::{state_key, ActorContext};
 use crate::continuation::{Continuation, ContinuationTable, ParkedContinuation};
@@ -88,6 +89,14 @@ pub struct ComponentStats {
     /// Invocations moved to the dead-letter queue after exhausting their
     /// retry policy.
     pub dead_lettered: AtomicU64,
+    /// Idle actors passivated (state flushed, slot and cached image
+    /// dropped, tombstone recorded).
+    pub passivations: AtomicU64,
+    /// Passivated actors re-activated through the ordinary admission path.
+    pub rehydrations: AtomicU64,
+    /// New-actor activations deferred at an admission watermark (shed onto
+    /// the delayed heap with shaped backoff, never dropped).
+    pub admission_deferrals: AtomicU64,
 }
 
 /// The delayed-retry timer wheel of one component: scheduled retries wait
@@ -118,6 +127,15 @@ struct ActorSlot {
     /// entirely (not even a cache hit); a recovery-driven `clear_cache`
     /// bumps the epoch and thereby invalidates every stamp in O(1).
     verified_epoch: Option<u64>,
+    /// Set while admission has deferred this actor's activation at a
+    /// watermark: the id of the parked head request, waiting out its shaped
+    /// backoff in the delayed heap. Later requests mailbox behind it (so
+    /// per-actor FIFO holds across the deferral), and the passivation sweep
+    /// never drops a slot with a deferral pending.
+    activation_parked: Option<RequestId>,
+    /// Consecutive deferrals of the parked head: each one grows the shaped
+    /// backoff further.
+    activation_deferrals: u32,
 }
 
 /// The admission decision for one polled request.
@@ -365,6 +383,24 @@ pub struct ComponentCore {
     /// Earliest deadline in `delayed` (epoch ms; `0` = empty): lets every
     /// reactor sweep and timer tick skip the heap lock while nothing is due.
     delayed_earliest: AtomicU64,
+    /// The passivation clock: every admission stamps its actor here, and an
+    /// actor idle for two generations (one to two compressed retention
+    /// windows — the state cache's single-window interval, not the doubled
+    /// bookkeeping one) becomes a passivation candidate. Same
+    /// two-generation [`AgingMap`] idiom as the steal-route table; lock
+    /// order is actors → idle_actors everywhere.
+    idle_actors: Mutex<AgingMap<ActorRef, ()>>,
+    /// Passivation tombstones: consumed — and counted as a rehydration — by
+    /// the actor's next admission, and rotated out on the bookkeeping clock
+    /// so the set itself cannot leak.
+    passivated: Mutex<AgingSet<ActorRef>>,
+    /// Number of resident (activated, non-deferred) actor slots: what the
+    /// resident watermarks compare against. Mutated under the actors lock.
+    resident_count: AtomicUsize,
+    /// Total mailboxed (admitted, waiting behind a busy actor) requests
+    /// across all resident actors: what the mailbox watermark compares
+    /// against. Mutated under the actors lock.
+    mailboxed: AtomicUsize,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -467,6 +503,14 @@ impl ComponentCore {
             breakers,
             delayed: Mutex::new(DelayedRetries::default()),
             delayed_earliest: AtomicU64::new(0),
+            // The passivation clock shares the state cache's single-window
+            // interval: an actor and its cached state image go cold
+            // together, strictly inside the doubled dedup window — so a
+            // rehydrated actor can never outlive its retry-dedup entries.
+            idle_actors: Mutex::new(AgingMap::new(state_cache_interval)),
+            passivated: Mutex::new(AgingSet::new(bookkeeping_interval)),
+            resident_count: AtomicUsize::new(0),
+            mailboxed: AtomicUsize::new(0),
         }
     }
 
@@ -542,6 +586,14 @@ impl ComponentCore {
     pub(crate) fn kill(&self) {
         self.alive.store(false, Ordering::SeqCst);
         self.actors.lock().clear();
+        // Passivation bookkeeping is in-memory state: the resident set died
+        // with the slots, and a re-homed actor activates fresh on its
+        // adopter (tombstones are a live-component counting aid, nothing
+        // recovery depends on).
+        self.resident_count.store(0, Ordering::SeqCst);
+        self.mailboxed.store(0, Ordering::SeqCst);
+        self.idle_actors.lock().clear();
+        self.passivated.lock().clear();
         // Detach the consumers from the reactor wake group: partitions must
         // not keep notifying — or keep membership for — a dead component.
         let lanes: Vec<Arc<ConsumerLane>> = std::mem::take(&mut *self.lanes.lock());
@@ -692,6 +744,14 @@ impl ComponentCore {
             "  continuations: parked={} parks_total={}",
             self.continuations.len(),
             self.continuations.parked_total(),
+        );
+        let (passivations, rehydrations, deferrals) = self.passivation_stats();
+        let _ = writeln!(
+            out,
+            "  memory: resident={} mailboxed={} passivations={passivations} \
+             rehydrations={rehydrations} admission_deferrals={deferrals}",
+            self.resident_actors(),
+            self.mailboxed_requests(),
         );
         out.push_str(&self.pool.debug_snapshot());
         match self.actors.try_lock() {
@@ -1454,8 +1514,79 @@ impl ComponentCore {
             request.pending_callee = None;
         }
         let mut actors = self.actors.lock();
+        // Admission watermarks: a request that would *activate a new actor*
+        // while the resident set is at the hard watermark — or while the
+        // residents' mailbox backlog is at the mailbox watermark — is
+        // deferred with shaped backoff on the delayed-retry heap: shed,
+        // never dropped, and counted as locally pending so reconciliation
+        // never re-homes a duplicate. Requests for already-resident actors
+        // are never deferred (their memory is already paid for), so the hot
+        // head keeps executing at full speed while the cold tail waits.
+        if !actors.contains_key(&request.target) {
+            if self.admission_overloaded() {
+                let deadline = self.shape_activation_deferral(request.id, 0);
+                let slot = actors.entry(request.target.clone()).or_default();
+                slot.verified_epoch = stamp;
+                slot.activation_parked = Some(request.id);
+                drop(actors);
+                self.stats
+                    .admission_deferrals
+                    .fetch_add(1, Ordering::Relaxed);
+                self.park_delayed_at(request, deadline);
+                return Admission::Done;
+            }
+            // A new resident. A standing tombstone makes this a rehydration
+            // — the actor re-enters through this ordinary activation path,
+            // indistinguishable from a first activation.
+            self.resident_count.fetch_add(1, Ordering::Relaxed);
+            if self.passivated.lock().remove(&request.target) {
+                self.stats.rehydrations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let slot = actors.entry(request.target.clone()).or_default();
         slot.verified_epoch = stamp;
+        if let Some(parked) = slot.activation_parked {
+            if parked == request.id {
+                // The head of a deferred activation is back from the
+                // delayed heap. If the pressure has drained, activate;
+                // otherwise re-shape (the backoff grows with each deferral)
+                // and re-park — never drop.
+                if self.admission_overloaded() {
+                    slot.activation_deferrals = slot.activation_deferrals.saturating_add(1);
+                    let deferrals = slot.activation_deferrals;
+                    drop(actors);
+                    let deadline = self.shape_activation_deferral(request.id, deferrals);
+                    self.stats
+                        .admission_deferrals
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.park_delayed_at(request, deadline);
+                    return Admission::Done;
+                }
+                slot.activation_parked = None;
+                slot.activation_deferrals = 0;
+                slot.busy = true;
+                slot.busy_chain = request.chain();
+                self.resident_count.fetch_add(1, Ordering::Relaxed);
+                self.touch_idle(&request.target);
+                if self.passivated.lock().remove(&request.target) {
+                    self.stats.rehydrations.fetch_add(1, Ordering::Relaxed);
+                }
+                drop(actors);
+                self.inflight.lock().insert(request.id);
+                return Admission::Run(request, true, false);
+            }
+            // A sibling of a deferred activation: mailbox behind the parked
+            // head, preserving per-actor FIFO across the deferral (the head
+            // re-enters through the shard queue; the mailbox drains behind
+            // it in arrival order).
+            let id = request.id;
+            slot.mailbox.push_back(request);
+            self.mailboxed.fetch_add(1, Ordering::Relaxed);
+            drop(actors);
+            self.inflight.lock().insert(id);
+            return Admission::Done;
+        }
+        self.touch_idle(&request.target);
         if slot.awaiting_tail == Some(request.id) {
             // Continuation of a tail call to self: it owns the lock already.
             slot.awaiting_tail = None;
@@ -1478,6 +1609,7 @@ impl ComponentCore {
                 // id is all the bookkeeping needs.
                 let id = request.id;
                 slot.mailbox.push_back(request);
+                self.mailboxed.fetch_add(1, Ordering::Relaxed);
                 drop(actors);
                 self.inflight.lock().insert(id);
                 Admission::Done
@@ -1770,12 +1902,17 @@ impl ComponentCore {
                 }
                 match slot.mailbox.pop_front() {
                     Some(next) => {
+                        self.mailboxed.fetch_sub(1, Ordering::Relaxed);
                         slot.busy_chain = next.chain();
                         Some(next)
                     }
                     None => {
                         slot.busy = false;
                         slot.busy_chain.clear();
+                        // The mailbox ran dry: restart the actor's idle
+                        // clock from the end of its activity, not from its
+                        // last admission.
+                        self.touch_idle(&request.target);
                         None
                     }
                 }
@@ -1977,6 +2114,14 @@ impl ComponentCore {
     /// copies of one schedule collapse to the earlier park).
     fn park_delayed(&self, request: RequestMessage) {
         let not_before = request.retry.as_ref().map_or(0, |r| r.not_before_ms);
+        self.park_delayed_at(request, not_before);
+    }
+
+    /// Parks `request` until `not_before` (epoch ms), deduping by id. Also
+    /// the parking spot for watermark-deferred activations: they ride the
+    /// same heap, the same pump, and the same `locally_pending` coverage as
+    /// scheduled retries — without touching the request's own retry state.
+    fn park_delayed_at(&self, request: RequestMessage, not_before: u64) {
         let mut delayed = self.delayed.lock();
         if !delayed.ids.insert(request.id) {
             return;
@@ -2361,6 +2506,7 @@ impl ComponentCore {
         }
         self.sweep_orphan_responses(now);
         self.sweep_retirement();
+        self.sweep_passivation(now);
     }
 
     /// Mesh-timer retirement sweep: retires adopted partitions past their
@@ -2521,6 +2667,10 @@ impl ComponentCore {
         let now = Instant::now();
         self.completed.lock().maybe_rotate(now);
         self.seen_responses.lock().maybe_rotate(now);
+        // Passivation tombstones rotate on the same doubled clock as the
+        // dedup sets: a tombstone that was never consumed by a rehydration
+        // ages out instead of leaking.
+        self.passivated.lock().maybe_rotate(now);
         self.pool.age_routes(now);
         if let Some(cache) = &self.state_cache {
             cache.maybe_age(now);
@@ -2541,6 +2691,203 @@ impl ComponentCore {
             self.completed.lock().len(),
             self.seen_responses.lock().len(),
         )
+    }
+
+    // ------------------------------------------------------------------
+    // Idle-actor passivation & admission watermarks
+    // ------------------------------------------------------------------
+
+    /// Number of resident (activated, in-memory) actors.
+    pub fn resident_actors(&self) -> usize {
+        self.resident_count.load(Ordering::Relaxed)
+    }
+
+    /// `(passivations, rehydrations, admission deferrals)` performed by
+    /// this component so far.
+    pub fn passivation_stats(&self) -> (u64, u64, u64) {
+        (
+            self.stats.passivations.load(Ordering::Relaxed),
+            self.stats.rehydrations.load(Ordering::Relaxed),
+            self.stats.admission_deferrals.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total requests currently mailboxed behind busy resident actors.
+    pub fn mailboxed_requests(&self) -> usize {
+        self.mailboxed.load(Ordering::Relaxed)
+    }
+
+    /// True while admission must defer new-actor activations: the resident
+    /// set is at the hard watermark, or the residents' combined mailbox
+    /// backlog is at the mailbox watermark.
+    fn admission_overloaded(&self) -> bool {
+        if let Some(hard) = self.config.resident_hard_limit() {
+            if self.resident_count.load(Ordering::Relaxed) >= hard {
+                return true;
+            }
+        }
+        if let Some(limit) = self.config.mailbox_limit() {
+            if self.mailboxed.load(Ordering::Relaxed) >= limit {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The shaped-backoff deadline (epoch ms) of a deferred new-actor
+    /// activation: the same backoff shape as the retry orchestration —
+    /// exponential growth with deterministic jitter derived from the
+    /// request id — on the `passivation_backoff` base, capped at 16× the
+    /// base. `deferrals` counts prior deferrals of the same activation, so
+    /// a head that keeps finding the watermark crossed backs off further
+    /// each time.
+    fn shape_activation_deferral(&self, id: RequestId, deferrals: u32) -> u64 {
+        let base = self
+            .config
+            .passivation_backoff
+            .max(Duration::from_millis(1));
+        let backoff = Backoff::Exponential {
+            base,
+            multiplier: 2.0,
+            max: base * 16,
+            jitter: 0.2,
+        };
+        let delay = backoff
+            .delay_for(deferrals.saturating_add(1), id.as_u64())
+            .max(Duration::from_millis(1));
+        epoch_ms() + delay.as_millis() as u64
+    }
+
+    /// Stamps `actor` as recently used on the passivation clock. Called at
+    /// admission and when an actor's mailbox runs dry, always while the
+    /// actors lock is held (lock order actors → idle_actors everywhere).
+    fn touch_idle(&self, actor: &ActorRef) {
+        if !self.config.actor_passivation {
+            return;
+        }
+        let mut idle = self.idle_actors.lock();
+        if idle.get_refresh(actor).is_none() {
+            idle.insert(actor.clone(), ());
+        }
+    }
+
+    /// Heartbeat-driven passivation sweep (timer thread). Advances the idle
+    /// clock and passivates every actor idle for one to two retention
+    /// windows; past the soft resident watermark it turns *eager*, evicting
+    /// the coldest actors first until the resident set is back under the
+    /// watermark. Candidates are only suggestions — [`Self::try_passivate`]
+    /// re-verifies quiescence under the actors lock before dropping
+    /// anything.
+    fn sweep_passivation(self: &Arc<Self>, now: Instant) {
+        if !self.config.actor_passivation || !self.is_alive() || self.is_paused() {
+            return;
+        }
+        let rotated = self.idle_actors.lock().advance_due(now);
+        let excess = self.config.resident_soft_limit().map_or(0, |limit| {
+            self.resident_count
+                .load(Ordering::Relaxed)
+                .saturating_sub(limit)
+        });
+        if !rotated && excess == 0 {
+            return;
+        }
+        let candidates: Vec<ActorRef> = {
+            let idle = self.idle_actors.lock();
+            let generation = idle.generation();
+            let mut stamped = idle.stamped_entries();
+            drop(idle);
+            // Coldest first. The fully-stale prefix is always eligible;
+            // under soft-watermark pressure the next-coldest entries extend
+            // it until the excess is covered.
+            stamped.sort_unstable_by_key(|&(_, _, stamp)| stamp);
+            let stale = stamped
+                .iter()
+                .take_while(|&&(_, _, stamp)| stamp.saturating_add(2) <= generation)
+                .count();
+            let take = stale.max(excess.min(stamped.len()));
+            stamped
+                .into_iter()
+                .take(take)
+                .map(|(actor, _, _)| actor)
+                .collect()
+        };
+        for actor in &candidates {
+            if !self.is_alive() || self.is_paused() {
+                return;
+            }
+            self.try_passivate(actor);
+        }
+    }
+
+    /// Passivates one actor if it is truly quiescent: flushes its state,
+    /// then — re-verifying under the actors lock — drops its slot
+    /// (instance, mailbox, slot stamp), its cached state image, its cached
+    /// placement, its steal route, and its idle stamp, and records a
+    /// tombstone. The next request re-activates the actor through the
+    /// ordinary placement/admission path, exactly like a first activation.
+    /// Returns true if the actor was passivated.
+    fn try_passivate(self: &Arc<Self>, actor: &ActorRef) -> bool {
+        // Cheap pre-check under the actors lock: anything non-quiescent is
+        // skipped without touching the store.
+        {
+            let actors = self.actors.lock();
+            match actors.get(actor) {
+                None => {
+                    // Killed, or already passivated: drop the orphaned idle
+                    // stamp so it cannot stay a candidate forever.
+                    drop(actors);
+                    self.idle_actors.lock().remove(actor);
+                    return false;
+                }
+                Some(slot) if !Self::quiescent(slot) => return false,
+                Some(_) => {}
+            }
+        }
+        // Flush outside every lock: the store round trip must not stall
+        // admissions. A flush failure means this component is being fenced
+        // or killed — leave the slot alone; kill drops it wholesale.
+        if self.flush_actor_state(actor).is_err() {
+            return false;
+        }
+        // Decide-and-drop under the actors lock. An admission between the
+        // flush and here flips `busy` (or queues mail) under this same
+        // lock, so the re-check cannot miss it; a state write since the
+        // flush leaves the cache entry dirty and `passivate` refuses —
+        // either way the slot survives untouched.
+        let mut actors = self.actors.lock();
+        if !actors.get(actor).is_some_and(Self::quiescent) {
+            return false;
+        }
+        if let Some(cache) = &self.state_cache {
+            if !cache.passivate(&state_key(actor)) {
+                return false;
+            }
+        }
+        actors.remove(actor);
+        self.resident_count.fetch_sub(1, Ordering::Relaxed);
+        self.idle_actors.lock().remove(actor);
+        self.passivated.lock().insert(actor.clone());
+        drop(actors);
+        // Outside the actors lock — neither table is ordered after it. Both
+        // drops keep the per-actor caches bounded by the *resident* set:
+        // the placement record in the store is untouched (the actor is
+        // still placed here, just not in memory), and the steal route is
+        // subject to its usual active-veto.
+        self.placement.forget(actor);
+        self.pool.forget_route(actor);
+        self.stats.passivations.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// True while an actor slot has no running invocation (`busy` also
+    /// covers parked continuations and reentrant frames), no retained
+    /// tail-call lock, nothing mailboxed, and no deferred activation
+    /// pending.
+    fn quiescent(slot: &ActorSlot) -> bool {
+        !slot.busy
+            && slot.awaiting_tail.is_none()
+            && slot.mailbox.is_empty()
+            && slot.activation_parked.is_none()
     }
 
     // ------------------------------------------------------------------

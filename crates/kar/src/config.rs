@@ -166,6 +166,35 @@ pub struct MeshConfig {
     pub retry_budget_rate: f64,
     /// Burst capacity of the retry-budget token bucket.
     pub retry_budget_burst: f64,
+    /// Idle-actor passivation: a heartbeat-driven sweep flushes and drops
+    /// the in-memory slot (instance, mailbox, slot stamp, cached state) of
+    /// every actor idle for one to two (time-compressed) retention windows
+    /// with no running or parked invocation. The next request rehydrates the
+    /// actor through the ordinary placement/admission path — recovery treats
+    /// a passivated actor exactly like one it has never seen.
+    pub actor_passivation: bool,
+    /// Soft resident-set watermark (`0` = unbounded): while a component's
+    /// resident-actor count exceeds it, the passivation sweep turns *eager*
+    /// — coldest actors are evicted first, without waiting for them to age
+    /// out — until the count is back under the watermark.
+    pub resident_soft_watermark: usize,
+    /// Hard resident-set watermark (`0` = unbounded): at or above it,
+    /// admission defers requests that would *activate a new actor* with
+    /// shaped backoff on the delayed-retry heap (shed, never dropped).
+    /// Requests for already-resident actors are never deferred. Clamped up
+    /// to at least the soft watermark.
+    pub resident_hard_watermark: usize,
+    /// Mailbox-depth watermark (`0` = unbounded): when the total number of
+    /// mailboxed (admitted but waiting) requests across a component's
+    /// resident actors reaches it, new-actor activations are deferred
+    /// exactly as at the hard resident watermark — the backlog of the
+    /// residents drains before new working set is admitted.
+    pub mailbox_watermark: usize,
+    /// Base delay of the shaped backoff applied to deferred new-actor
+    /// activations (wall-clock, like retry policies — **not** compressed by
+    /// [`MeshConfig::time_scale`]). Grows exponentially with deterministic
+    /// jitter on repeated deferral, capped at 16× the base.
+    pub passivation_backoff: Duration,
 }
 
 /// Per-actor-type circuit-breaker settings (see
@@ -217,6 +246,14 @@ impl Default for MeshConfig {
             // unthrottled until an operator dials the budget down.
             retry_budget_rate: 10_000.0,
             retry_budget_burst: 20_000.0,
+            actor_passivation: true,
+            // Unbounded by default: the watermarks are capacity-planning
+            // knobs, and a wrong guess would shed load on meshes that never
+            // needed it. Passivation alone already bounds the *idle* set.
+            resident_soft_watermark: 0,
+            resident_hard_watermark: 0,
+            mailbox_watermark: 0,
+            passivation_backoff: Duration::from_millis(25),
         }
     }
 }
@@ -491,6 +528,67 @@ impl MeshConfig {
         self
     }
 
+    /// Enables or disables idle-actor passivation.
+    #[must_use]
+    pub fn with_actor_passivation(mut self, enabled: bool) -> Self {
+        self.actor_passivation = enabled;
+        self
+    }
+
+    /// Sets the resident-set watermarks (`0` = unbounded). `hard` is
+    /// clamped up to `soft` when both are set — a hard bound below the
+    /// point where eviction turns eager would shed load the sweep was
+    /// still allowed to reclaim.
+    #[must_use]
+    pub fn with_resident_watermarks(mut self, soft: usize, hard: usize) -> Self {
+        self.resident_soft_watermark = soft;
+        self.resident_hard_watermark = if hard == 0 { 0 } else { hard.max(soft) };
+        self
+    }
+
+    /// Sets the component-wide mailboxed-request watermark (`0` =
+    /// unbounded) past which new-actor activations are deferred.
+    #[must_use]
+    pub fn with_mailbox_watermark(mut self, watermark: usize) -> Self {
+        self.mailbox_watermark = watermark;
+        self
+    }
+
+    /// Sets the base delay of the deferred-activation backoff (clamped to
+    /// at least 1 ms).
+    #[must_use]
+    pub fn with_passivation_backoff(mut self, base: Duration) -> Self {
+        self.passivation_backoff = base.max(Duration::from_millis(1));
+        self
+    }
+
+    /// The soft resident-set watermark as a limit (`None` = unbounded).
+    pub fn resident_soft_limit(&self) -> Option<usize> {
+        (self.resident_soft_watermark > 0).then_some(self.resident_soft_watermark)
+    }
+
+    /// The hard resident-set watermark as a limit (`None` = unbounded),
+    /// clamped up to the soft watermark.
+    pub fn resident_hard_limit(&self) -> Option<usize> {
+        (self.resident_hard_watermark > 0).then_some(
+            self.resident_hard_watermark
+                .max(self.resident_soft_watermark),
+        )
+    }
+
+    /// The mailboxed-request watermark as a limit (`None` = unbounded).
+    pub fn mailbox_limit(&self) -> Option<usize> {
+        (self.mailbox_watermark > 0).then_some(self.mailbox_watermark)
+    }
+
+    /// The wall-clock passivation clock: one (time-compressed) retention
+    /// window — the same single-window clock the state cache ages on, so an
+    /// actor and its cached state image go cold together. An actor survives
+    /// between one and two windows after its last admission.
+    pub fn scaled_passivation_interval(&self) -> Duration {
+        self.time_scale.compress(self.retention)
+    }
+
     /// The compressed (wall-clock) session timeout.
     pub fn scaled_session_timeout(&self) -> Duration {
         self.time_scale.compress(self.session_timeout)
@@ -720,5 +818,46 @@ mod tests {
         assert_eq!(breaker.window, 1);
         assert_eq!(clamped.retry_budget_rate, 0.0);
         assert_eq!(clamped.retry_budget_burst, 1.0);
+    }
+
+    #[test]
+    fn passivation_defaults_on_watermarks_unbounded() {
+        let c = MeshConfig::default();
+        assert!(c.actor_passivation);
+        assert_eq!(c.resident_soft_limit(), None);
+        assert_eq!(c.resident_hard_limit(), None);
+        assert_eq!(c.mailbox_limit(), None);
+        assert_eq!(c.passivation_backoff, Duration::from_millis(25));
+        // The passivation clock is the single retention window — strictly
+        // inside the doubled bookkeeping window, so the dedup sets always
+        // outlive the actors they guard (a rehydrated actor cannot
+        // resurrect a completed request).
+        assert!(c.scaled_passivation_interval() < c.scaled_retirement_delay());
+        assert_eq!(
+            c.scaled_passivation_interval(),
+            c.time_scale.compress(c.retention)
+        );
+    }
+
+    #[test]
+    fn passivation_knobs_set_and_clamp() {
+        let c = MeshConfig::for_tests()
+            .with_actor_passivation(false)
+            .with_resident_watermarks(100, 40)
+            .with_mailbox_watermark(500)
+            .with_passivation_backoff(Duration::ZERO);
+        assert!(!c.actor_passivation);
+        assert_eq!(c.resident_soft_limit(), Some(100));
+        assert_eq!(c.resident_hard_limit(), Some(100), "hard clamps up to soft");
+        assert_eq!(c.mailbox_limit(), Some(500));
+        assert_eq!(c.passivation_backoff, Duration::from_millis(1), "clamped");
+
+        let soft_only = MeshConfig::for_tests().with_resident_watermarks(64, 0);
+        assert_eq!(soft_only.resident_soft_limit(), Some(64));
+        assert_eq!(soft_only.resident_hard_limit(), None, "0 stays unbounded");
+
+        let hard_only = MeshConfig::for_tests().with_resident_watermarks(0, 64);
+        assert_eq!(hard_only.resident_soft_limit(), None);
+        assert_eq!(hard_only.resident_hard_limit(), Some(64));
     }
 }

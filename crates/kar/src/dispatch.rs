@@ -226,6 +226,26 @@ impl DispatchPool {
         dropped
     }
 
+    /// Drops one actor's steal-route override immediately — called when the
+    /// actor is passivated, so the route table stays bounded by the resident
+    /// set instead of waiting out the (longer) bookkeeping clock. Subject to
+    /// the same active-veto as [`DispatchPool::age_routes`]: the override is
+    /// kept while the actor has anything queued or running, so a rehydration
+    /// racing the passivation can never split the actor's requests across
+    /// two shards. Lock order shard state → routes, as everywhere.
+    pub(crate) fn forget_route(&self, actor: &ActorRef) {
+        let Some(shard) = self.routes.lock().peek(actor) else {
+            return;
+        };
+        let state = self.shards[shard].state.lock();
+        let active =
+            state.busy_actors.contains(actor) || state.queue.iter().any(|r| r.target == *actor);
+        if !active {
+            self.routes.lock().remove(actor);
+        }
+        drop(state);
+    }
+
     /// The static (hash) shard of an actor, ignoring steal overrides.
     fn home_shard(&self, actor: &ActorRef) -> usize {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();

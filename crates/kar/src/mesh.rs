@@ -713,6 +713,34 @@ impl Mesh {
             .map(|core| core.retry_bookkeeping_len())
     }
 
+    /// Number of resident (activated, in-memory) actors on one component.
+    pub fn resident_actors(&self, component: ComponentId) -> Option<usize> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.resident_actors())
+    }
+
+    /// One component's `(passivations, rehydrations, admission deferrals)`
+    /// counters.
+    pub fn passivation_stats(&self, component: ComponentId) -> Option<(u64, u64, u64)> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.passivation_stats())
+    }
+
+    /// Requests currently mailboxed behind busy actors on one component.
+    pub fn mailboxed_requests(&self, component: ComponentId) -> Option<usize> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.mailboxed_requests())
+    }
+
     // ------------------------------------------------------------------
     // Retry orchestration
     // ------------------------------------------------------------------

@@ -170,6 +170,20 @@ impl PlacementService {
         self.repaired.bump();
     }
 
+    /// Drops one actor's cached placement (passivation: the actor's whole
+    /// in-memory footprint goes, so the cache stays bounded by the resident
+    /// set — a mesh touching millions of mostly-idle actors would otherwise
+    /// accumulate an entry per actor ever resolved). The *store* record is
+    /// untouched: the actor is still placed here, just not resident; the
+    /// rehydrating admission re-resolves and re-caches it.
+    pub(crate) fn forget(&self, actor: &ActorRef) {
+        if let Some(cache) = &self.cache {
+            if cache.shard(actor).lock().remove(actor).is_some() {
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Number of cached placements in the current epoch (used by tests and
     /// benchmarks). Walks every shard; not a hot-path operation.
     pub fn cache_len(&self) -> usize {

@@ -307,6 +307,9 @@ struct PlacementRewriter {
     decided: HashMap<String, ComponentId>,
     /// Decisions not yet flushed to the store.
     queued: Vec<(String, ComponentId)>,
+    /// Placement and host-announcement keys of failed components, deleted
+    /// ahead of the queued writes (fenced) in the same flush.
+    invalidations: Vec<String>,
     /// Live hosts per actor type, resolved once per round.
     hosts: HashMap<String, Vec<ComponentId>>,
 }
@@ -330,6 +333,12 @@ impl PlacementRewriter {
         self.queued.push((key, component));
     }
 
+    /// Queues a stale key (dead placement or host announcement) for
+    /// deletion in the next flush, ahead of every queued write.
+    fn queue_invalidation(&mut self, key: String) {
+        self.invalidations.push(key);
+    }
+
     /// The live components hosting `actor_type`, resolved once per round.
     fn hosts(
         &mut self,
@@ -343,7 +352,15 @@ impl PlacementRewriter {
             .clone()
     }
 
-    /// Flushes the queued placement writes as one admin pipeline.
+    /// Flushes the queued invalidations and placement writes as ONE admin
+    /// pipeline: the stale-key deletes apply first, then a cross-key fence,
+    /// then the writes. The fence matters: a re-homed actor's `set_nx` must
+    /// never be reordered ahead of the delete of the same actor's dead
+    /// placement — nor, for *different* keys on *different* shards, ahead of
+    /// any delete it was submitted after — or the delete would wipe the
+    /// fresh placement and strand the re-homed records. One round trip and
+    /// one lock pass per shard per segment, instead of the two flushes this
+    /// used to take.
     ///
     /// Written with `set_nx`, not `set`: every queued decision was made for
     /// a key that had no (live) placement, but a live caller can race the
@@ -355,10 +372,14 @@ impl PlacementRewriter {
     /// admission-time placement guard — the rebalance-safe path that already
     /// handles records landing at non-owners.
     fn flush_writes(&mut self, ctx: &RecoveryContext) {
-        if self.queued.is_empty() {
+        if self.queued.is_empty() && self.invalidations.is_empty() {
             return;
         }
         let mut pipe = ctx.store.admin_pipeline();
+        for key in self.invalidations.drain(..) {
+            pipe.del(&key);
+        }
+        pipe.fence();
         for (key, component) in self.queued.drain(..) {
             pipe.set_nx(&key, component_to_value(component));
         }
@@ -515,43 +536,48 @@ fn reconcile(
         .collect();
     let pending = reorder_tail_calls_first(pending);
 
-    // 4. Invalidate placements and host announcements of failed components —
-    //    through admin pipelines (one read flush, one delete flush, each
-    //    taking one lock per store shard touched) instead of three store
-    //    lock acquisitions per key.
+    // 4. Catalogue the placements and host announcements of failed
+    //    components for invalidation: one admin read flush, then queue the
+    //    deletes on the rewriter. The deletes themselves ride the SAME flush
+    //    as step 5's placement writes (fenced ahead of them), so the whole
+    //    placement repair is one interleaved batch instead of two. Safe to
+    //    defer: every placement read below (re-home decisions, response
+    //    routing, host lookups) filters against the frozen live set, never
+    //    trusting a stale record; and records a live racer appends to a
+    //    still-advertised dead queue meanwhile are caught by the second
+    //    sweep in step 6.
     let dead: HashSet<ComponentId> = removed.iter().copied().collect();
+    let mut rewrites = PlacementRewriter::default();
     let placement_keys = ctx.store.admin_keys_with_prefix("placement/");
     let mut reads = ctx.store.admin_pipeline();
     for key in &placement_keys {
         reads.get(key);
     }
     let values = reads.flush().expect("admin pipelines are unfenced");
-    let mut invalidations = ctx.store.admin_pipeline();
     for (key, result) in placement_keys.iter().zip(values) {
         if let Some(value) = result.into_value() {
             if component_from_value(&value).is_some_and(|c| dead.contains(&c)) {
-                invalidations.del(key);
+                rewrites.queue_invalidation(key.clone());
             }
         }
     }
     for key in ctx.store.admin_keys_with_prefix("host/") {
         if let Some(raw) = key.rsplit('/').next().and_then(|s| s.parse::<u64>().ok()) {
             if dead.contains(&ComponentId::from_raw(raw)) {
-                invalidations.del(&key);
+                rewrites.queue_invalidation(key);
             }
         }
     }
-    invalidations.flush().expect("admin pipelines are unfenced");
 
     // 5. Re-home pending requests, annotating each with its pending callee so
     //    the retry happens after the callee settles (happen-before). The
     //    placement decisions are made one by one (and paced like the paper's
     //    leader) with read-your-writes against a local rewrite buffer; the
-    //    placement writes flush through one admin pipeline and the queue
-    //    appends through per-partition admin batches — placements always
-    //    durable before the records that rely on them become consumable.
+    //    invalidations and placement writes flush through one fenced admin
+    //    pipeline and the queue appends through per-partition admin batches —
+    //    placements always durable before the records that rely on them
+    //    become consumable.
     let mut rehomed_ids: HashSet<RequestId> = HashSet::new();
-    let mut rewrites = PlacementRewriter::default();
     let mut batches = RehomeBatches::default();
     for mut request in pending {
         let pending_callee = all_requests

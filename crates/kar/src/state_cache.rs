@@ -374,6 +374,31 @@ impl StateCache {
         Ok(())
     }
 
+    /// Drops one actor's entry for passivation, but only if it is safe:
+    /// nothing else holds its handle and it has no buffered writes (the
+    /// caller flushed first). Returns true when the actor's slot may be
+    /// dropped — the entry was removed, or there was none — and false when
+    /// the entry must stay (the actor was touched between the caller's
+    /// flush and this call, so it is not actually idle).
+    ///
+    /// The `strong_count` check is the same no-orphaned-image rule as
+    /// [`StateCache::maybe_age`]: handing a handle out requires the map
+    /// lock held here, so the check cannot race a new borrower.
+    pub(crate) fn passivate(&self, key: &str) -> bool {
+        let mut entries = self.entries.lock();
+        let Some(entry) = entries.get(key) else {
+            return true;
+        };
+        if Arc::strong_count(entry) > 1 {
+            return false;
+        }
+        if entry.lock().has_pending() {
+            return false;
+        }
+        entries.remove(key);
+        true
+    }
+
     /// Drops every entry (the component was killed or fenced: its in-memory
     /// image dies with it; unflushed writes are lost exactly like the
     /// in-flight writes of a killed per-command component).
@@ -572,5 +597,24 @@ mod tests {
         cache.set(&conn, "dirty", "x", Value::from(1)).unwrap();
         cache.invalidate_all();
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn passivate_removes_only_clean_unreferenced_entries() {
+        let (store, conn, cache) = setup();
+        assert!(cache.passivate("absent"), "no entry means nothing to keep");
+
+        cache.set(&conn, "dirty", "v", Value::from(1)).unwrap();
+        assert!(!cache.passivate("dirty"), "buffered writes pin the entry");
+        assert_eq!(cache.len(), 1);
+
+        cache.flush(&conn, "dirty").unwrap();
+        let handle = cache.entry("dirty");
+        assert!(!cache.passivate("dirty"), "a held handle pins the entry");
+        drop(handle);
+        assert!(cache.passivate("dirty"), "clean and unreferenced: dropped");
+        assert_eq!(cache.len(), 0);
+        // The flushed image survives in the store for rehydration.
+        assert_eq!(store.admin_hgetall("dirty")["v"], Value::from(1));
     }
 }
