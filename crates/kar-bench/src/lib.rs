@@ -45,6 +45,12 @@
 //!   backoff under the mesh retry budget (the `bench_retry` binary emits
 //!   `BENCH_retry.json`, and its `--smoke` mode is the CI gate that the
 //!   retry lane never starves healthy traffic).
+//! * [`grayfault`] — the gray-failure harness: goodput of a stateful
+//!   workload under a seeded ~1% fault plan (transient errors, dropped
+//!   acks, a store brownout) with an exponential-backoff policy vs naive
+//!   immediate re-calls vs the fault-free baseline (the `bench_grayfault`
+//!   binary emits `BENCH_grayfault.json`, and its `--smoke` mode is the CI
+//!   gate that the hardened mesh holds goodput under gray failures).
 //! * [`passivation`] — the resident-set harness: hot-head goodput over a
 //!   Zipf-distributed actor population far larger than memory should hold
 //!   (≥ 1 M distinct keys in the full run), with the resident set unbounded
@@ -61,6 +67,7 @@
 
 pub mod delivery;
 pub mod fault;
+pub mod grayfault;
 pub mod latency;
 pub mod lock_granularity;
 pub mod partitions;
@@ -73,6 +80,7 @@ pub mod topology;
 
 pub use delivery::{DeliveryConfig, DeliveryReport, WakeupConfig, WakeupReport};
 pub use fault::{FailureSample, FaultConfig, FaultReport};
+pub use grayfault::{GrayFaultConfig, GrayFaultReport};
 pub use latency::{LatencyConfig, LatencyRow};
 pub use lock_granularity::{ContendedConfig, ContendedReport, SkewedConfig, SkewedReport};
 pub use partitions::{PartitionReport, PartitionSweepConfig};

@@ -103,6 +103,7 @@ pub fn measure_contended_store(
         op_latency: config.op_latency,
         shards: 0,
         coarse_global_lock: coarse,
+        faults: None,
     });
     let payload = "x".repeat(config.value_bytes);
     let started = Instant::now();

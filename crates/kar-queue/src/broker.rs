@@ -40,7 +40,10 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::{Mutex, RwLock};
 
-use kar_types::{ComponentId, Epoch, KarError, KarResult, WaitSignal, WaitSignalGroup};
+use kar_types::{
+    ComponentId, Epoch, FaultDecision, FaultPlane, FaultSite, KarError, KarResult, WaitSignal,
+    WaitSignalGroup,
+};
 
 use crate::config::BrokerConfig;
 use crate::group::{Group, GroupEvent, GroupView, MemberInfo, MemberState};
@@ -65,8 +68,13 @@ fn shard_of<T: Hash + ?Sized>(key: &T, shards: usize) -> usize {
 /// an application.
 ///
 /// Cloning a `Broker` returns another handle to the same underlying state.
-/// The broker itself never fails: the paper's fault model assumes the message
-/// queue survives the (non catastrophic) failures under study (§3.3).
+/// By default the broker never fails: the paper's fault model assumes the
+/// message queue survives the (non catastrophic) failures under study
+/// (§3.3). With [`BrokerConfig::faults`] set, fenced and admin appends are
+/// additionally subject to the plan's gray failures — transient errors,
+/// latency spikes, partition brownouts, and ack-lost appends where the
+/// record **is** durably appended (and consumers woken) but the producer is
+/// told the append failed.
 #[derive(Debug)]
 pub struct Broker<M> {
     inner: Arc<BrokerInner<M>>,
@@ -417,6 +425,38 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
         }
     }
 
+    /// Consults the fault injector (if any) for one append at `site` on
+    /// partition `lane`. `Ok(true)` means: append the record(s) fully — wake
+    /// consumers and all — then report failure anyway (ack-lost). Latency
+    /// decisions sleep here, outside the log lock. With no injector this is
+    /// one `Option` check.
+    fn fault_gate(&self, site: FaultSite, lane: usize) -> KarResult<bool> {
+        let Some(injector) = &self.inner.config.faults else {
+            return Ok(false);
+        };
+        match injector.decide(site, FaultPlane::Broker, lane as u64) {
+            None => Ok(false),
+            Some(FaultDecision::Transient) => Err(KarError::Queue(format!(
+                "injected transient fault at {}",
+                site.name()
+            ))),
+            Some(FaultDecision::AckLost) => Ok(true),
+            Some(FaultDecision::Latency(extra)) => {
+                std::thread::sleep(extra);
+                Ok(false)
+            }
+        }
+    }
+
+    /// The error reported for an ack-lost append at `site`: the record(s)
+    /// *are* in the log, but the producer cannot know that.
+    fn ack_lost_error(site: FaultSite) -> KarError {
+        KarError::Queue(format!(
+            "injected ack loss at {} (record appended)",
+            site.name()
+        ))
+    }
+
     // ------------------------------------------------------------------
     // Producers and consumers
     // ------------------------------------------------------------------
@@ -481,6 +521,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
         payload: M,
     ) -> KarResult<u64> {
         self.check_epoch(component, epoch)?;
+        let ack_lost = self.fault_gate(FaultSite::BrokerAppend, partition)?;
         let part = self.lookup_partition(topic, partition)?;
         let _coarse = self.inner.coarse.as_ref().map(Mutex::lock);
         let now = self.now();
@@ -502,6 +543,9 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             offset
         };
         part.notify();
+        if ack_lost {
+            return Err(Self::ack_lost_error(FaultSite::BrokerAppend));
+        }
         Ok(offset)
     }
 
@@ -519,6 +563,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             let end = part.log.lock().end_offset();
             return Ok(end..end);
         }
+        let ack_lost = self.fault_gate(FaultSite::BrokerAppend, partition)?;
         let _coarse = self.inner.coarse.as_ref().map(Mutex::lock);
         let now = self.now();
         let range = {
@@ -542,6 +587,9 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             first..end
         };
         part.notify();
+        if ack_lost {
+            return Err(Self::ack_lost_error(FaultSite::BrokerAppend));
+        }
         Ok(range)
     }
 
@@ -598,6 +646,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
     /// Appends a record on behalf of the runtime itself (reconciliation),
     /// bypassing component fencing.
     pub fn admin_append(&self, topic: &str, partition: usize, payload: M) -> KarResult<u64> {
+        let ack_lost = self.fault_gate(FaultSite::BrokerAdminAppend, partition)?;
         let part = self.lookup_partition(topic, partition)?;
         let now = self.now();
         let offset = {
@@ -607,6 +656,9 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             offset
         };
         part.notify();
+        if ack_lost {
+            return Err(Self::ack_lost_error(FaultSite::BrokerAdminAppend));
+        }
         Ok(offset)
     }
 
@@ -625,6 +677,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             let end = part.log.lock().end_offset();
             return Ok(end..end);
         }
+        let ack_lost = self.fault_gate(FaultSite::BrokerAdminAppend, partition)?;
         let now = self.now();
         let range = {
             let mut log = part.log.lock();
@@ -637,6 +690,9 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             first..end
         };
         part.notify();
+        if ack_lost {
+            return Err(Self::ack_lost_error(FaultSite::BrokerAdminAppend));
+        }
         Ok(range)
     }
 
@@ -947,6 +1003,14 @@ impl<M: Clone + Send + Sync + 'static> Producer<M> {
     pub fn component(&self) -> ComponentId {
         self.component
     }
+
+    /// Whether the broker this producer talks to has a fault plan armed.
+    /// Callers that keep replay copies of batches for transient-failure
+    /// recovery use this to skip the copy entirely on an un-faulted broker
+    /// (where transient append errors cannot occur in-process).
+    pub fn faults_armed(&self) -> bool {
+        self.broker.inner.config.faults.is_some()
+    }
 }
 
 /// A fenced, manually-assigned consumer of a single partition.
@@ -1193,6 +1257,56 @@ mod tests {
         let producer2 = broker.producer(c(1));
         producer2.send("t", 0, 3).unwrap();
         assert_eq!(broker.current_epoch(c(1)), Epoch::from_raw(1));
+    }
+
+    #[test]
+    fn injected_faults_gate_appends_but_ack_lost_still_appends() {
+        use kar_types::{FaultInjector, FaultPlan, FaultSpec};
+
+        // Exactly one transient fault on fenced appends: the record is NOT
+        // appended, and the next attempt goes through.
+        let plan = FaultPlan::new(7).with_site(
+            FaultSite::BrokerAppend,
+            FaultSpec::transient(1.0).with_budget(1),
+        );
+        let config = BrokerConfig {
+            faults: Some(Arc::new(FaultInjector::new(plan))),
+            ..BrokerConfig::default()
+        };
+        let broker: Broker<u32> = Broker::new(config);
+        broker.create_topic("t", 1).unwrap();
+        let producer = broker.producer(c(1));
+        let err = producer.send("t", 0, 1).unwrap_err();
+        assert!(matches!(err, KarError::Queue(_)), "got {err:?}");
+        assert_eq!(broker.partition_len("t", 0), 0, "transient applies nothing");
+        assert_eq!(producer.send("t", 0, 1).unwrap(), 0);
+
+        // Exactly one lost ack on admin appends: the record IS in the log —
+        // ground truth via read_partition — but the caller sees failure.
+        let plan = FaultPlan::new(7).with_site(
+            FaultSite::BrokerAdminAppend,
+            FaultSpec::NONE.with_ack_lost(1.0).with_budget(1),
+        );
+        let injector = Arc::new(FaultInjector::new(plan));
+        let config = BrokerConfig {
+            faults: Some(injector.clone()),
+            ..BrokerConfig::default()
+        };
+        let broker: Broker<u32> = Broker::new(config);
+        broker.create_topic("t", 1).unwrap();
+        let err = broker.admin_append("t", 0, 9).unwrap_err();
+        assert!(matches!(err, KarError::Queue(_)), "got {err:?}");
+        assert_eq!(
+            broker.partition_len("t", 0),
+            1,
+            "ack-lost record is durable"
+        );
+        assert_eq!(*broker.read_partition("t", 0)[0].payload, 9);
+        let site = injector.counters().site(FaultSite::BrokerAdminAppend);
+        assert_eq!(site.ack_lost, 1);
+        // Budget spent: further admin appends succeed normally.
+        broker.admin_append_batch("t", 0, vec![10, 11]).unwrap();
+        assert_eq!(broker.partition_len("t", 0), 3);
     }
 
     #[test]

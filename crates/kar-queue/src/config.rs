@@ -1,6 +1,9 @@
 //! Broker configuration.
 
+use std::sync::Arc;
 use std::time::Duration;
+
+use kar_types::FaultInjector;
 
 /// Configuration of a [`Broker`](crate::Broker).
 ///
@@ -39,6 +42,10 @@ pub struct BrokerConfig {
     /// plane. The lock-granularity benchmark measures the same code with the
     /// flag on (before) and off (after) to quantify per-partition locking.
     pub coarse_global_lock: bool,
+    /// Optional gray-failure injector consulted by fenced and admin appends
+    /// (see [`kar_types::FaultPlan`]). `None` — the default — keeps the
+    /// broker infallible at zero hot-path cost beyond one `Option` check.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for BrokerConfig {
@@ -52,6 +59,7 @@ impl Default for BrokerConfig {
             deliver_latency: Duration::ZERO,
             coordinator_interval: Duration::from_millis(5),
             coarse_global_lock: false,
+            faults: None,
         }
     }
 }
@@ -84,6 +92,7 @@ impl BrokerConfig {
                 .mul_f64(factor)
                 .max(Duration::from_millis(1)),
             coarse_global_lock: self.coarse_global_lock,
+            faults: self.faults.clone(),
         }
     }
 }

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use kar_types::{ComponentId, Epoch, KarResult, Value};
+use kar_types::{ComponentId, Epoch, FaultSite, KarResult, Value};
 
 use crate::pipeline::Pipeline;
 use crate::store::{materialize_hash, unshare, StoreInner};
@@ -54,6 +54,26 @@ impl Connection {
         Pipeline::new_fenced(self.inner.clone(), self.component, self.epoch)
     }
 
+    /// Consults the fault injector for this command, keyed to `key`'s shard.
+    /// `Ok(true)` means: apply the command, then report an ack loss. The
+    /// `is_none` short-circuit keeps the disabled path at one branch.
+    fn fault_gate(&self, key: &str) -> KarResult<bool> {
+        if self.inner.config.faults.is_none() {
+            return Ok(false);
+        }
+        self.inner
+            .fault_gate(FaultSite::StoreCommand, self.inner.shard_of(key))
+    }
+
+    /// Completes a command: the computed result, unless this command's ack
+    /// was chosen to be dropped.
+    fn finish<T>(&self, ack_lost: bool, value: T) -> KarResult<T> {
+        if ack_lost {
+            return Err(StoreInner::ack_lost_error(FaultSite::StoreCommand));
+        }
+        Ok(value)
+    }
+
     /// Reads a string key.
     ///
     /// # Errors
@@ -62,6 +82,7 @@ impl Connection {
     /// disconnected.
     pub fn get(&self, key: &str) -> KarResult<Option<Value>> {
         self.inner.charge_round_trip();
+        let ack_lost = self.fault_gate(key)?;
         let arc = {
             let _fence = self.inner.fence_guard(self.component, self.epoch)?;
             let _coarse = self.inner.coarse_guard();
@@ -72,7 +93,7 @@ impl Connection {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             data.strings.get(key).cloned()
         };
-        Ok(arc.map(unshare))
+        self.finish(ack_lost, arc.map(unshare))
     }
 
     /// Writes a string key, returning the previous value.
@@ -83,6 +104,7 @@ impl Connection {
     /// disconnected.
     pub fn set(&self, key: &str, value: Value) -> KarResult<Option<Value>> {
         self.inner.charge_round_trip();
+        let ack_lost = self.fault_gate(key)?;
         let value = Arc::new(value);
         let previous = {
             let _fence = self.inner.fence_guard(self.component, self.epoch)?;
@@ -94,7 +116,7 @@ impl Connection {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             data.strings.insert(key.to_owned(), value)
         };
-        Ok(previous.map(unshare))
+        self.finish(ack_lost, previous.map(unshare))
     }
 
     /// Writes a string key only if it does not exist yet. Returns `true` if
@@ -106,6 +128,7 @@ impl Connection {
     /// disconnected.
     pub fn set_nx(&self, key: &str, value: Value) -> KarResult<bool> {
         self.inner.charge_round_trip();
+        let ack_lost = self.fault_gate(key)?;
         let value = Arc::new(value);
         let written = {
             let _fence = self.inner.fence_guard(self.component, self.epoch)?;
@@ -122,7 +145,7 @@ impl Connection {
                 true
             }
         };
-        Ok(written)
+        self.finish(ack_lost, written)
     }
 
     /// Atomically replaces the value of `key` with `new` if its current value
@@ -143,6 +166,7 @@ impl Connection {
         new: Value,
     ) -> KarResult<Result<(), Option<Value>>> {
         self.inner.charge_round_trip();
+        let ack_lost = self.fault_gate(key)?;
         let new = Arc::new(new);
         let outcome = {
             let _fence = self.inner.fence_guard(self.component, self.epoch)?;
@@ -160,7 +184,7 @@ impl Connection {
                 Err(current)
             }
         };
-        Ok(outcome.map_err(|actual| actual.map(unshare)))
+        self.finish(ack_lost, outcome.map_err(|actual| actual.map(unshare)))
     }
 
     /// Deletes a string key, returning the previous value.
@@ -171,6 +195,7 @@ impl Connection {
     /// disconnected.
     pub fn del(&self, key: &str) -> KarResult<Option<Value>> {
         self.inner.charge_round_trip();
+        let ack_lost = self.fault_gate(key)?;
         let previous = {
             let _fence = self.inner.fence_guard(self.component, self.epoch)?;
             let _coarse = self.inner.coarse_guard();
@@ -181,7 +206,7 @@ impl Connection {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             data.strings.remove(key)
         };
-        Ok(previous.map(unshare))
+        self.finish(ack_lost, previous.map(unshare))
     }
 
     /// True if the string key exists.
@@ -192,6 +217,7 @@ impl Connection {
     /// disconnected.
     pub fn exists(&self, key: &str) -> KarResult<bool> {
         self.inner.charge_round_trip();
+        let ack_lost = self.fault_gate(key)?;
         let _fence = self.inner.fence_guard(self.component, self.epoch)?;
         let _coarse = self.inner.coarse_guard();
         let data = self.inner.lock_shard_of(key);
@@ -199,7 +225,7 @@ impl Connection {
             .stats
             .reads
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        Ok(data.strings.contains_key(key))
+        self.finish(ack_lost, data.strings.contains_key(key))
     }
 
     /// Lists string keys starting with `prefix`, sorted (walks every shard;
@@ -211,6 +237,7 @@ impl Connection {
     /// disconnected.
     pub fn keys_with_prefix(&self, prefix: &str) -> KarResult<Vec<String>> {
         self.inner.charge_round_trip();
+        let ack_lost = self.fault_gate(prefix)?;
         let _fence = self.inner.fence_guard(self.component, self.epoch)?;
         let _coarse = self.inner.coarse_guard();
         self.inner
@@ -229,7 +256,7 @@ impl Connection {
             );
         }
         keys.sort();
-        Ok(keys)
+        self.finish(ack_lost, keys)
     }
 
     /// Reads one field of a hash.
@@ -240,6 +267,7 @@ impl Connection {
     /// disconnected.
     pub fn hget(&self, key: &str, field: &str) -> KarResult<Option<Value>> {
         self.inner.charge_round_trip();
+        let ack_lost = self.fault_gate(key)?;
         let arc = {
             let _fence = self.inner.fence_guard(self.component, self.epoch)?;
             let _coarse = self.inner.coarse_guard();
@@ -250,7 +278,7 @@ impl Connection {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             data.hashes.get(key).and_then(|h| h.get(field)).cloned()
         };
-        Ok(arc.map(unshare))
+        self.finish(ack_lost, arc.map(unshare))
     }
 
     /// Writes one field of a hash, returning the previous value of the field.
@@ -261,6 +289,7 @@ impl Connection {
     /// disconnected.
     pub fn hset(&self, key: &str, field: &str, value: Value) -> KarResult<Option<Value>> {
         self.inner.charge_round_trip();
+        let ack_lost = self.fault_gate(key)?;
         let value = Arc::new(value);
         let previous = {
             let _fence = self.inner.fence_guard(self.component, self.epoch)?;
@@ -275,7 +304,7 @@ impl Connection {
                 .or_default()
                 .insert(field.to_owned(), value)
         };
-        Ok(previous.map(unshare))
+        self.finish(ack_lost, previous.map(unshare))
     }
 
     /// Writes several fields of a hash at once (a single command: one round
@@ -291,6 +320,7 @@ impl Connection {
         entries: impl IntoIterator<Item = (String, Value)>,
     ) -> KarResult<()> {
         self.inner.charge_round_trip();
+        let ack_lost = self.fault_gate(key)?;
         let entries: Vec<(String, Arc<Value>)> = entries
             .into_iter()
             .map(|(field, value)| (field, Arc::new(value)))
@@ -306,7 +336,7 @@ impl Connection {
         for (field, value) in entries {
             hash.insert(field, value);
         }
-        Ok(())
+        self.finish(ack_lost, ())
     }
 
     /// Deletes one field of a hash, returning its previous value.
@@ -317,6 +347,7 @@ impl Connection {
     /// disconnected.
     pub fn hdel(&self, key: &str, field: &str) -> KarResult<Option<Value>> {
         self.inner.charge_round_trip();
+        let ack_lost = self.fault_gate(key)?;
         let previous = {
             let _fence = self.inner.fence_guard(self.component, self.epoch)?;
             let _coarse = self.inner.coarse_guard();
@@ -327,7 +358,7 @@ impl Connection {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             data.hashes.get_mut(key).and_then(|h| h.remove(field))
         };
-        Ok(previous.map(unshare))
+        self.finish(ack_lost, previous.map(unshare))
     }
 
     /// Reads a whole hash (empty map if the key does not exist). Only `Arc`
@@ -340,6 +371,7 @@ impl Connection {
     /// disconnected.
     pub fn hgetall(&self, key: &str) -> KarResult<BTreeMap<String, Value>> {
         self.inner.charge_round_trip();
+        let ack_lost = self.fault_gate(key)?;
         let snapshot = {
             let _fence = self.inner.fence_guard(self.component, self.epoch)?;
             let _coarse = self.inner.coarse_guard();
@@ -350,7 +382,7 @@ impl Connection {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             data.hashes.get(key).cloned()
         };
-        Ok(snapshot.map(materialize_hash).unwrap_or_default())
+        self.finish(ack_lost, snapshot.map(materialize_hash).unwrap_or_default())
     }
 
     /// Deletes a whole hash, returning `true` if it existed.
@@ -361,6 +393,7 @@ impl Connection {
     /// disconnected.
     pub fn hclear(&self, key: &str) -> KarResult<bool> {
         self.inner.charge_round_trip();
+        let ack_lost = self.fault_gate(key)?;
         let removed = {
             let _fence = self.inner.fence_guard(self.component, self.epoch)?;
             let _coarse = self.inner.coarse_guard();
@@ -371,7 +404,7 @@ impl Connection {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             data.hashes.remove(key)
         };
-        Ok(removed.is_some())
+        self.finish(ack_lost, removed.is_some())
     }
 }
 

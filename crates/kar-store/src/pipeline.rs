@@ -26,7 +26,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use kar_types::{ComponentId, Epoch, KarResult, Value};
+use kar_types::{ComponentId, Epoch, FaultSite, KarResult, Value};
 
 use crate::store::{materialize_hash, unshare, ShardData, StoreInner};
 
@@ -282,7 +282,10 @@ impl Pipeline {
     /// # Errors
     ///
     /// Fails with `KarError::Fenced` — applying **none** of the batch — if
-    /// the session's component has been forcefully disconnected.
+    /// the session's component has been forcefully disconnected. With a
+    /// fault plan configured, may fail with an injected transient
+    /// `KarError::Store` (none of the batch applied) or an injected ack loss
+    /// (**all** of the batch applied, failure reported anyway).
     pub fn flush(self) -> KarResult<Vec<PipelineResult>> {
         let Pipeline {
             inner,
@@ -304,6 +307,24 @@ impl Pipeline {
         }
 
         let shards: Vec<usize> = ops.iter().map(|op| inner.shard_of(op.key())).collect();
+
+        // Gray-failure gate, before any lock: fenced flushes inject at the
+        // state plane's flush site, admin flushes at the admin site. A
+        // transient decision applies *none* of the batch (like a fence); an
+        // ack-lost decision applies *all* of it and reports failure — the
+        // indeterminate outcome the flush-then-respond hardening must
+        // absorb. The brownout/spike lane is the first op's shard.
+        let ack_lost = if inner.config.faults.is_some() {
+            let site = if auth.is_some() {
+                FaultSite::StoreFlush
+            } else {
+                FaultSite::StoreAdmin
+            };
+            inner.fault_gate(site, shards[0])?
+        } else {
+            false
+        };
+
         let plan = plan_application(&shards, &fences, ops.len());
 
         let mut ops: Vec<Option<Op>> = ops.into_iter().map(Some).collect();
@@ -329,6 +350,15 @@ impl Pipeline {
                     raw[index] = Some(apply(&inner, &mut data, op));
                 }
             }
+        }
+        if ack_lost {
+            // The batch is fully applied; only the acknowledgement is lost.
+            let site = if auth.is_some() {
+                FaultSite::StoreFlush
+            } else {
+                FaultSite::StoreAdmin
+            };
+            return Err(StoreInner::ack_lost_error(site));
         }
         // Materialize value trees strictly outside every lock.
         Ok(raw
@@ -626,6 +656,31 @@ mod tests {
         assert_eq!(store.stats().round_trips, 1);
         assert_eq!(store.stats().pipeline_flushes, 1);
         assert_eq!(conn.get("c").unwrap(), Some(Value::from(3)));
+    }
+
+    #[test]
+    fn flush_ack_lost_applies_batch_and_reports_failure() {
+        use kar_types::{FaultInjector, FaultPlan, FaultSite, FaultSpec};
+        let plan = FaultPlan::new(5).with_site(
+            FaultSite::StoreFlush,
+            FaultSpec::ack_lost(1.0).with_budget(1),
+        );
+        let store = Store::with_config(StoreConfig {
+            faults: Some(Arc::new(FaultInjector::new(plan))),
+            ..StoreConfig::default()
+        });
+        let conn = store.connect(ComponentId::from_raw(1));
+        let mut pipe = conn.pipeline();
+        pipe.set("a", Value::from(1)).set("b", Value::from(2));
+        let err = pipe.flush().unwrap_err();
+        assert!(err.is_transient(), "injected ack loss classifies transient");
+        // The whole batch applied even though the flush reported failure.
+        assert_eq!(store.admin_get("a"), Some(Value::from(1)));
+        assert_eq!(store.admin_get("b"), Some(Value::from(2)));
+        // Budget spent: replaying the idempotent batch succeeds cleanly.
+        let mut pipe = conn.pipeline();
+        pipe.set("a", Value::from(1)).set("b", Value::from(2));
+        pipe.flush().unwrap();
     }
 
     #[test]

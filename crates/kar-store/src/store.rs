@@ -32,7 +32,10 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
-use kar_types::{ComponentId, Epoch, KarError, KarResult, Value};
+use kar_types::{
+    ComponentId, Epoch, FaultDecision, FaultInjector, FaultPlane, FaultSite, KarError, KarResult,
+    Value,
+};
 
 use crate::connection::Connection;
 use crate::pipeline::Pipeline;
@@ -55,6 +58,11 @@ pub struct StoreConfig {
     /// every command's data section, restoring the pre-overhaul store whose
     /// single `Mutex<StoreData>` serialized every operation mesh-wide.
     pub coarse_global_lock: bool,
+    /// Optional gray-failure injector consulted by fenced commands, pipeline
+    /// flushes, and *checked* admin operations (see
+    /// [`kar_types::FaultPlan`]). `None` — the default — keeps the store
+    /// infallible at zero hot-path cost beyond one `Option` check.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl StoreConfig {
@@ -117,9 +125,14 @@ impl StatCounters {
 /// Cloning a `Store` produces another handle to the same underlying data
 /// (like connecting to the same Redis deployment twice).
 ///
-/// The store itself never fails in the reproduction: the paper's fault model
-/// (§3.3) assumes message queues and data stores survive the (non
-/// catastrophic) failures under study.
+/// By default the store never fails: the paper's fault model (§3.3) assumes
+/// message queues and data stores survive the (non catastrophic) failures
+/// under study. With [`StoreConfig::faults`] set, fenced commands, pipeline
+/// flushes and checked admin operations are additionally subject to the
+/// plan's gray failures — transient errors, latency spikes, shard brownouts,
+/// and ack-lost operations that **apply** but report failure. The unchecked
+/// `admin_*` accessors always stay fault-free: they are the harness's ground
+/// truth for what actually got stored.
 #[derive(Debug, Clone)]
 pub struct Store {
     inner: Arc<StoreInner>,
@@ -343,6 +356,95 @@ impl Store {
         arc.map(unshare)
     }
 
+    /// Administrative write of a string key only if it is absent, bypassing
+    /// fencing. Returns true if the write happened.
+    pub fn admin_set_nx(&self, key: &str, value: Value) -> bool {
+        let mut shard = self.inner.lock_shard_of(key);
+        if shard.strings.contains_key(key) {
+            return false;
+        }
+        shard.strings.insert(key.to_owned(), Arc::new(value));
+        true
+    }
+
+    /// [`Store::admin_get`] through the fault injector's `StoreAdmin` site:
+    /// the variant the *runtime* uses for DLQ and recovery bookkeeping, so
+    /// injected gray failures exercise those paths. For a read, an ack-lost
+    /// decision simply drops the response.
+    ///
+    /// # Errors
+    ///
+    /// Fails with an injected transient [`KarError::Store`] error.
+    pub fn admin_get_checked(&self, key: &str) -> KarResult<Option<Value>> {
+        let ack_lost = self
+            .inner
+            .fault_gate(FaultSite::StoreAdmin, self.inner.shard_of(key))?;
+        let value = self.admin_get(key);
+        if ack_lost {
+            return Err(StoreInner::ack_lost_error(FaultSite::StoreAdmin));
+        }
+        Ok(value)
+    }
+
+    /// [`Store::admin_set`] through the fault injector's `StoreAdmin` site.
+    /// Under an ack-lost decision the write **applies** and failure is
+    /// reported anyway.
+    ///
+    /// # Errors
+    ///
+    /// Fails with an injected transient [`KarError::Store`] error (nothing
+    /// applied) or an injected ack loss (applied).
+    pub fn admin_set_checked(&self, key: &str, value: Value) -> KarResult<Option<Value>> {
+        let ack_lost = self
+            .inner
+            .fault_gate(FaultSite::StoreAdmin, self.inner.shard_of(key))?;
+        let previous = self.admin_set(key, value);
+        if ack_lost {
+            return Err(StoreInner::ack_lost_error(FaultSite::StoreAdmin));
+        }
+        Ok(previous)
+    }
+
+    /// [`Store::admin_del`] through the fault injector's `StoreAdmin` site.
+    /// Under an ack-lost decision the delete **applies** — and the deleted
+    /// value is lost with the ack, which is exactly why delete-as-claim
+    /// protocols need a separate claim marker.
+    ///
+    /// # Errors
+    ///
+    /// Fails with an injected transient [`KarError::Store`] error (nothing
+    /// applied) or an injected ack loss (applied).
+    pub fn admin_del_checked(&self, key: &str) -> KarResult<Option<Value>> {
+        let ack_lost = self
+            .inner
+            .fault_gate(FaultSite::StoreAdmin, self.inner.shard_of(key))?;
+        let previous = self.admin_del(key);
+        if ack_lost {
+            return Err(StoreInner::ack_lost_error(FaultSite::StoreAdmin));
+        }
+        Ok(previous)
+    }
+
+    /// [`Store::admin_set_nx`] through the fault injector's `StoreAdmin`
+    /// site. Because set-if-absent is the one admin write that is *not*
+    /// idempotent-by-overwrite, a retry loop around it must resolve an
+    /// indeterminate ack by reading the key back and comparing tokens.
+    ///
+    /// # Errors
+    ///
+    /// Fails with an injected transient [`KarError::Store`] error (nothing
+    /// applied) or an injected ack loss (applied).
+    pub fn admin_set_nx_checked(&self, key: &str, value: Value) -> KarResult<bool> {
+        let ack_lost = self
+            .inner
+            .fault_gate(FaultSite::StoreAdmin, self.inner.shard_of(key))?;
+        let inserted = self.admin_set_nx(key, value);
+        if ack_lost {
+            return Err(StoreInner::ack_lost_error(FaultSite::StoreAdmin));
+        }
+        Ok(inserted)
+    }
+
     /// An administrative (unfenced, latency-free) [`Pipeline`]: commands are
     /// buffered and applied in one per-shard grouped flush. Used by the
     /// reconciliation leader to batch placement rewrites and invalidations
@@ -418,6 +520,40 @@ impl StoreInner {
             });
         }
         Ok(guard)
+    }
+
+    /// Consults the fault injector (if any) for one operation at `site` on
+    /// shard `lane`. Returns `Ok(false)` to proceed normally, `Ok(true)` to
+    /// apply the operation fully **and then report failure** (ack-lost), or
+    /// the injected transient error — in which case the caller must not
+    /// apply anything. Latency decisions sleep here, strictly outside any
+    /// data lock (callers gate before locking). With no injector this is one
+    /// `Option` check.
+    pub(crate) fn fault_gate(&self, site: FaultSite, lane: usize) -> KarResult<bool> {
+        let Some(injector) = &self.config.faults else {
+            return Ok(false);
+        };
+        match injector.decide(site, FaultPlane::Store, lane as u64) {
+            None => Ok(false),
+            Some(FaultDecision::Transient) => Err(KarError::Store(format!(
+                "injected transient fault at {}",
+                site.name()
+            ))),
+            Some(FaultDecision::AckLost) => Ok(true),
+            Some(FaultDecision::Latency(extra)) => {
+                std::thread::sleep(extra);
+                Ok(false)
+            }
+        }
+    }
+
+    /// The error reported for an ack-lost operation at `site`: the operation
+    /// *has applied*, but the caller cannot know that.
+    pub(crate) fn ack_lost_error(site: FaultSite) -> KarError {
+        KarError::Store(format!(
+            "injected ack loss at {} (operation applied)",
+            site.name()
+        ))
     }
 
     /// The coarse-lock ablation guard (held around data sections when the
@@ -593,6 +729,68 @@ mod tests {
         }
         assert!(store.shard_contention().iter().all(|&c| c == 0));
         assert_eq!(store.shard_contention().len(), store.shard_count());
+    }
+
+    #[test]
+    fn injected_faults_gate_commands_and_checked_admin() {
+        use kar_types::{FaultInjector, FaultPlan, FaultSpec};
+        let plan = FaultPlan::new(1)
+            .with_site(
+                FaultSite::StoreCommand,
+                FaultSpec::transient(1.0).with_budget(1),
+            )
+            .with_site(
+                FaultSite::StoreAdmin,
+                FaultSpec::ack_lost(1.0).with_budget(1),
+            );
+        let injector = Arc::new(FaultInjector::new(plan));
+        let store = Store::with_config(StoreConfig {
+            faults: Some(Arc::clone(&injector)),
+            ..StoreConfig::default()
+        });
+        let conn = store.connect(ComponentId::from_raw(1));
+        // First fenced command fails transiently — and applied nothing.
+        let err = conn.set("k", Value::from(1)).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(store.admin_get("k"), None);
+        // The budget is spent, so the retry applies cleanly.
+        conn.set("k", Value::from(1)).unwrap();
+        assert_eq!(store.admin_get("k"), Some(Value::from(1)));
+        // Checked admin: the ack drops but the write *applied* — the
+        // unchecked accessor is the harness ground truth proving it.
+        let err = store.admin_set_checked("a", Value::from(2)).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(store.admin_get("a"), Some(Value::from(2)));
+        store.admin_set_checked("b", Value::from(3)).unwrap();
+        // Unchecked admin accessors never consult the injector.
+        assert_eq!(store.admin_del("b"), Some(Value::from(3)));
+        let counters = injector.counters();
+        assert_eq!(counters.site(FaultSite::StoreCommand).transient, 1);
+        assert_eq!(counters.site(FaultSite::StoreAdmin).ack_lost, 1);
+    }
+
+    #[test]
+    fn admin_set_nx_checked_claims_once() {
+        let store = Store::new();
+        assert!(store.admin_set_nx("claim", Value::from("t1")));
+        assert!(!store.admin_set_nx("claim", Value::from("t2")));
+        assert_eq!(store.admin_get("claim"), Some(Value::from("t1")));
+        // Checked variants with no injector behave like the unchecked ones.
+        assert_eq!(
+            store.admin_get_checked("claim").unwrap(),
+            Some(Value::from("t1"))
+        );
+        assert!(store
+            .admin_set_nx_checked("claim2", Value::from("x"))
+            .unwrap());
+        assert_eq!(
+            store.admin_del_checked("claim2").unwrap(),
+            Some(Value::from("x"))
+        );
+        assert_eq!(
+            store.admin_set_checked("claim2", Value::from("y")).unwrap(),
+            None
+        );
     }
 
     #[test]

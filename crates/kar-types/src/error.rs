@@ -88,20 +88,37 @@ impl KarError {
         KarError::Internal(msg.into())
     }
 
-    /// True if the error is transient from the point of view of retry
-    /// orchestration: the invocation did not complete and may be retried by
-    /// the runtime (as opposed to an application error that is a completed,
-    /// failed result).
-    pub fn is_retryable(&self) -> bool {
+    /// True if the error is a *transient infrastructure* error: the substrate
+    /// (queue, store) or the wire failed an operation in a way that is
+    /// expected to heal on its own — including the gray-failure regime where
+    /// the operation may have applied but its ack was lost. This is the
+    /// single classification point consulted everywhere a path decides
+    /// whether to replay an operation in place (state-flush retry, DLQ
+    /// claims, placement rewrites, retry re-appends).
+    ///
+    /// `Fenced`/`Killed` are deliberately *not* transient: they mean the
+    /// issuing component's epoch is dead and local replay must stop — only
+    /// retry orchestration (a fresh queue copy on the re-homed component)
+    /// may continue the invocation.
+    pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            KarError::Fenced { .. }
-                | KarError::Killed { .. }
-                | KarError::CircuitOpen { .. }
-                | KarError::Timeout { .. }
-                | KarError::Queue(_)
-                | KarError::Store(_)
+            KarError::Timeout { .. } | KarError::Queue(_) | KarError::Store(_)
         )
+    }
+
+    /// True if the error is retryable from the point of view of retry
+    /// orchestration: the invocation did not complete and may be retried by
+    /// the runtime (as opposed to an application error that is a completed,
+    /// failed result). A superset of [`KarError::is_transient`]: fencing and
+    /// kill events are also retryable — by a queue copy on the re-homed
+    /// component, never by local replay.
+    pub fn is_retryable(&self) -> bool {
+        self.is_transient()
+            || matches!(
+                self,
+                KarError::Fenced { .. } | KarError::Killed { .. } | KarError::CircuitOpen { .. }
+            )
     }
 
     /// True if the error represents a fencing/forceful-disconnection event.
@@ -163,6 +180,47 @@ mod tests {
             after_ms: 10,
         };
         assert!(e.to_string().contains("10 ms"));
+    }
+
+    #[test]
+    fn transient_classification_is_the_narrow_infra_subset() {
+        // Transient: the substrate failed but the epoch is still live, so
+        // local replay is allowed.
+        assert!(KarError::Queue("q".into()).is_transient());
+        assert!(KarError::Store("s".into()).is_transient());
+        assert!(KarError::Timeout {
+            request: RequestId::from_raw(1),
+            after_ms: 10
+        }
+        .is_transient());
+        // Not transient: fencing/kill end the epoch (queue-copy territory),
+        // and completed results are not infrastructure failures at all.
+        assert!(!KarError::Fenced {
+            component: ComponentId::from_raw(1),
+            detail: "d".into()
+        }
+        .is_transient());
+        assert!(!KarError::Killed {
+            component: ComponentId::from_raw(1)
+        }
+        .is_transient());
+        assert!(!KarError::CircuitOpen {
+            actor_type: "Flaky".into()
+        }
+        .is_transient());
+        assert!(!KarError::application("x").is_transient());
+        assert!(!KarError::ShuttingDown.is_transient());
+        // Every transient error is retryable.
+        for e in [
+            KarError::Queue("q".into()),
+            KarError::Store("s".into()),
+            KarError::Timeout {
+                request: RequestId::from_raw(1),
+                after_ms: 10,
+            },
+        ] {
+            assert!(e.is_retryable(), "{e} transient but not retryable");
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * [`message`] — the wire-level request/response messages exchanged through
 //!   the reliable queue substrate.
 //! * [`error`] — the [`KarError`] error type shared across the workspace.
+//! * [`fault`] — the seeded gray-failure injection plane: [`FaultPlan`]
+//!   specs and the [`FaultInjector`] the store and broker consult for
+//!   transient errors, lost acks, latency spikes and brownout windows.
 //! * [`retry`] — the retry-orchestration policy surface: [`RetryPolicy`]
 //!   backoff shapes and the [`RetryState`] schedule persisted inside
 //!   request records.
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod message;
 pub mod retry;
@@ -42,6 +46,10 @@ pub mod time;
 pub mod value;
 
 pub use error::{KarError, KarResult};
+pub use fault::{
+    BrownoutSpec, FaultCounters, FaultDecision, FaultInjector, FaultPlan, FaultPlane, FaultSite,
+    FaultSpec, SiteCounters,
+};
 pub use ids::{ActorId, ActorRef, ActorType, ComponentId, Epoch, NodeId, RequestId};
 pub use message::{CallKind, Envelope, Payload, RequestMessage, ResponseMessage};
 pub use retry::{epoch_ms, Backoff, RetryOn, RetryPolicy, RetryState, RetryVerdict};

@@ -59,6 +59,7 @@ use crate::context::{state_key, ActorContext};
 use crate::continuation::{Continuation, ContinuationTable, ParkedContinuation};
 use crate::delivery::{RequestBatcher, ResponseBatcher};
 use crate::dispatch::DispatchPool;
+use crate::faults::{retry_transient, TRANSIENT_ATTEMPTS};
 use crate::placement::{LiveSet, PlacementService};
 use crate::retry::{BreakerRegistry, RetryBudget};
 use crate::state_cache::StateCache;
@@ -917,9 +918,15 @@ impl ComponentCore {
             // Snapshot the repair signal before resolving: a repair landing
             // between the lookup and the wait wakes the waiter at once.
             let seen = self.placement.repair_epoch();
-            match self.placement.resolve_nowait(&message.target)? {
-                Some(component) => break component,
-                None => {
+            // A transient store failure during resolution is a gray failure
+            // on the submission path — the request record (and with it any
+            // retry policy) does not exist yet, so nothing downstream can
+            // absorb it. Treat it exactly like an unresolved placement:
+            // wait and retry under the same call-timeout deadline.
+            match self.placement.resolve_nowait(&message.target) {
+                Ok(Some(component)) => break component,
+                Err(error) if !error.is_transient() => return Err(error),
+                Ok(None) | Err(_) => {
                     let now = Instant::now();
                     if now >= deadline {
                         return Err(KarError::Timeout {
@@ -968,8 +975,14 @@ impl ComponentCore {
             .ok_or_else(|| {
                 KarError::internal(format!("no partition set recorded for {component}"))
             })?;
-        self.producer
-            .send_keyed(&self.topic, &set, &key, Envelope::Request(message))?;
+        // A transient append failure is replayed bounded: the append is
+        // keyed by request id downstream, so a duplicate from an ack-lost
+        // attempt is absorbed by the invocation-layer dedup.
+        let envelope = Envelope::Request(message);
+        retry_transient(TRANSIENT_ATTEMPTS, || {
+            self.producer
+                .send_keyed(&self.topic, &set, &key, envelope.clone())
+        })?;
         Ok(())
     }
 
@@ -1799,17 +1812,30 @@ impl ComponentCore {
                 // Flush-before-respond: the invocation's buffered state
                 // writes become durable (one pipelined round trip) before
                 // ANY completion — response, error response, or tail-call
-                // continuation — is sent. A failed flush means this
-                // component was fenced or killed mid-completion: nothing is
-                // sent, nothing was applied, and the queue copy drives the
-                // retry from the pre-invocation durable state.
-                if !matches!(
+                // continuation — is sent. The flush batch is idempotent
+                // (pure sets/deletes), so a *transient* store failure —
+                // including a gray failure whose ack was lost after the
+                // batch applied — is replayed locally a bounded number of
+                // times; past that, the transient error is escalated into
+                // the ordinary failure arm below, where retry orchestration
+                // (queue copy + dedup) takes over. A fenced or killed flush
+                // means this component died mid-completion: nothing is sent,
+                // and the queue copy drives the retry from the last durable
+                // state.
+                let result = if matches!(
                     result,
                     Err(KarError::Killed { .. } | KarError::Fenced { .. })
-                ) && self.flush_actor_state(&request.target).is_err()
-                {
-                    return;
-                }
+                ) {
+                    result
+                } else {
+                    match retry_transient(TRANSIENT_ATTEMPTS, || {
+                        self.flush_actor_state(&request.target)
+                    }) {
+                        Ok(()) => result,
+                        Err(error) if error.is_transient() => Err(error),
+                        Err(_) => return,
+                    }
+                };
                 match result {
                     Ok(Outcome::Value(value)) => {
                         self.stats.executed.fetch_add(1, Ordering::Relaxed);
@@ -1836,10 +1862,16 @@ impl ComponentCore {
                             pending_callee: None,
                             caller_actor: request.caller_actor.clone(),
                             reply_to: request.reply_to,
-                            // A tail call is a *new* invocation that happens
-                            // to reuse the id: it starts a clean schedule
-                            // (its callee's defaults can still apply).
-                            retry: None,
+                            // A tail call continues the same logical request,
+                            // so it inherits the caller's retry *policy* — as
+                            // a fresh schedule for the new stage (a stage is
+                            // never admitted as a scheduled-retry copy). A
+                            // policy-covered call stays covered across its
+                            // §2.3 read/commit decomposition; the callee's
+                            // defaults still apply when the caller set none.
+                            retry: request.retry.as_ref().map(|state| {
+                                Box::new(RetryState::fresh(state.policy.clone(), epoch_ms()))
+                            }),
                         };
                         self.inflight.lock().remove(&request.id);
                         if same_actor && holds_lock {
@@ -2035,12 +2067,17 @@ impl ComponentCore {
                 // is safe — the original queue copy still drives recovery,
                 // schedule state included.
                 self.inflight.lock().remove(&request.id);
+                // The re-append is replayed through transient gray failures:
+                // an ack-lost replay appends a second copy, which the
+                // delayed-heap/in-flight id dedup collapses at admission.
                 let appended = self
                     .own_partition_for(&request.target)
                     .is_some_and(|partition| {
-                        self.producer
-                            .send(&self.topic, partition, Envelope::Request(copy))
-                            .is_ok()
+                        let envelope = Envelope::Request(copy);
+                        retry_transient(TRANSIENT_ATTEMPTS, || {
+                            self.producer.send(&self.topic, partition, envelope.clone())
+                        })
+                        .is_ok()
                     });
                 if appended {
                     self.stats.retries_scheduled.fetch_add(1, Ordering::Relaxed);
@@ -2182,11 +2219,23 @@ impl ComponentCore {
     /// partition for provenance, and a durable store index entry — which
     /// outlives queue retention — feeds `Mesh::dlq_stats` / `dlq_retry`.
     fn dead_letter(&self, request: &RequestMessage, state: &RetryState, error: &KarError) {
+        // The done-marker claim is the exactly-once gate; the unique token
+        // plus read-back in `claim_marker` keeps it exact even when the
+        // admin store path drops acks. A store unreachable past the bounded
+        // retries skips dead-lettering (best effort — the failure still
+        // settles below either way).
         let marker = format!("dlq/done/{}", request.id.as_u64());
-        if self.store.admin_get(&marker).is_some() {
+        let token = Value::from(format!(
+            "dead-letter-{}-{}",
+            self.id.as_u64(),
+            self.ids.fresh().as_u64()
+        ));
+        if !matches!(
+            crate::faults::claim_marker(&self.store, &marker, &token),
+            Ok(true)
+        ) {
             return;
         }
-        self.store.admin_set(&marker, Value::Bool(true));
         let now = epoch_ms();
         let mut final_state = state.clone();
         final_state.not_before_ms = now;
@@ -2198,9 +2247,15 @@ impl ComponentCore {
             .ensure_partitions(DLQ_TOPIC, partition + 1)
             .is_ok()
         {
-            let _ = self
-                .broker
-                .admin_append(DLQ_TOPIC, partition, Envelope::Request(entry));
+            // Provenance append, replayed through gray failures. An ack-lost
+            // replay can duplicate the record in the provenance topic, which
+            // is tolerated: `dlq_stats`/`dlq_retry` read the store index,
+            // never this topic.
+            let entry = Envelope::Request(entry);
+            let _ = retry_transient(TRANSIENT_ATTEMPTS, || {
+                self.broker
+                    .admin_append(DLQ_TOPIC, partition, entry.clone())
+            });
         }
         let record = Value::map([
             ("component", Value::Int(self.id.as_u64() as i64)),
@@ -2219,8 +2274,14 @@ impl ComponentCore {
             ("started_ms", Value::Int(final_state.started_ms as i64)),
             ("dead_lettered_ms", Value::Int(now as i64)),
         ]);
-        self.store
-            .admin_set(&format!("dlq/entry/{}", request.id.as_u64()), record);
+        // The index entry feeds `dlq_stats`/`dlq_retry`; the write is
+        // idempotent, so the bounded replay absorbs dropped acks.
+        let _ = retry_transient(TRANSIENT_ATTEMPTS, || {
+            self.store.admin_set_checked(
+                &format!("dlq/entry/{}", request.id.as_u64()),
+                record.clone(),
+            )
+        });
         self.stats.dead_lettered.fetch_add(1, Ordering::Relaxed);
     }
 

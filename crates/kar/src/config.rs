@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use kar_queue::BrokerConfig;
 use kar_store::StoreConfig;
-use kar_types::{DeploymentProfile, LatencyProfile, RetryPolicy, TimeScale};
+use kar_types::{DeploymentProfile, FaultPlan, LatencyProfile, RetryPolicy, TimeScale};
 
 /// What to do with callees whose caller's component has failed (§3.6, §4.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -195,6 +195,12 @@ pub struct MeshConfig {
     /// [`MeshConfig::time_scale`]). Grows exponentially with deterministic
     /// jitter on repeated deferral, capped at 16× the base.
     pub passivation_backoff: Duration,
+    /// Optional gray-failure plan (`None` = no injection, zero hot-path
+    /// cost). The mesh builds one [`kar_types::FaultInjector`] from the plan
+    /// and threads it through both the store and the broker, so one seed
+    /// drives the whole schedule and [`Mesh::fault_stats`](crate::Mesh)
+    /// reads one set of counters.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 /// Per-actor-type circuit-breaker settings (see
@@ -254,6 +260,7 @@ impl Default for MeshConfig {
             resident_hard_watermark: 0,
             mailbox_watermark: 0,
             passivation_backoff: Duration::from_millis(25),
+            fault_plan: None,
         }
     }
 }
@@ -599,7 +606,19 @@ impl MeshConfig {
         self.time_scale.compress(self.heartbeat_interval)
     }
 
-    /// The broker configuration derived from this mesh configuration.
+    /// Arms the mesh with a gray-failure plan: seeded transient faults,
+    /// dropped acks, latency spikes, and brownout windows across the store
+    /// and the broker (see [`FaultPlan`]). The same seed replays the same
+    /// fault schedule. An empty plan is equivalent to `None`.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = (!plan.is_empty()).then_some(plan);
+        self
+    }
+
+    /// The broker configuration derived from this mesh configuration. The
+    /// fault injector (if any) is attached by `Mesh::new`, which shares one
+    /// injector between both substrates.
     pub fn broker_config(&self) -> BrokerConfig {
         BrokerConfig {
             session_timeout: self.time_scale.compress(self.session_timeout),
@@ -615,15 +634,19 @@ impl MeshConfig {
                 .compress(Duration::from_millis(200))
                 .max(Duration::from_millis(1)),
             coarse_global_lock: self.coarse_broker_lock,
+            faults: None,
         }
     }
 
-    /// The store configuration derived from this mesh configuration.
+    /// The store configuration derived from this mesh configuration. As with
+    /// [`MeshConfig::broker_config`], the fault injector is attached by
+    /// `Mesh::new`.
     pub fn store_config(&self) -> StoreConfig {
         StoreConfig {
             op_latency: self.latency.store_op,
             shards: self.store_shards,
             coarse_global_lock: self.coarse_store_lock,
+            faults: None,
         }
     }
 }

@@ -133,6 +133,11 @@ impl ResponseBatcher {
         partition: usize,
         queue: &Arc<Mutex<PartitionQueue>>,
     ) {
+        // Consecutive transiently-failed rounds replayed so far: a gray
+        // failure on one response flush must not cost every buffered caller
+        // a redelivery round trip. Duplicate responses from an ack-lost
+        // append are dropped by request-id matching at the receiver.
+        let mut transient_rounds = 0u32;
         loop {
             let batch = {
                 let mut state = queue.lock();
@@ -142,15 +147,35 @@ impl ResponseBatcher {
                 }
                 std::mem::take(&mut state.pending)
             };
-            self.flushes.fetch_add(1, Ordering::Relaxed);
-            if producer.send_batch(topic, partition, batch).is_err() {
-                // Fenced or killed mid-completion: nothing was appended, the
-                // queue copies of the affected requests drive the retry.
-                // Drop whatever queued meanwhile too — the component is dead.
-                let mut state = queue.lock();
-                state.pending.clear();
-                state.flushing = false;
-                return;
+            // A replay copy is only kept while the fault plane is armed: the
+            // ordinary hot path moves the batch without copying.
+            let replay = producer.faults_armed().then(|| batch.clone());
+            match producer.send_batch(topic, partition, batch) {
+                Ok(_) => {
+                    self.flushes.fetch_add(1, Ordering::Relaxed);
+                    transient_rounds = 0;
+                }
+                Err(error)
+                    if error.is_transient()
+                        && transient_rounds + 1 < crate::faults::TRANSIENT_ATTEMPTS
+                        && replay.is_some() =>
+                {
+                    transient_rounds += 1;
+                    let mut state = queue.lock();
+                    state
+                        .pending
+                        .splice(0..0, replay.expect("guarded by is_some"));
+                }
+                Err(_) => {
+                    // Fenced or killed mid-completion (or transient replays
+                    // exhausted): nothing was appended, the queue copies of
+                    // the affected requests drive the retry. Drop whatever
+                    // queued meanwhile too — the component is dead.
+                    let mut state = queue.lock();
+                    state.pending.clear();
+                    state.flushing = false;
+                    return;
+                }
             }
         }
     }
@@ -186,8 +211,10 @@ struct DestinationQueue {
     /// Tickets whose envelope has been durably appended.
     completed: u64,
     /// Sticky failure: this producer was fenced/killed or the destination's
-    /// partition set vanished. All parked and future sends fail fast — every
-    /// cause is terminal for this component.
+    /// partition set vanished. All parked and future sends fail fast.
+    /// Transient append failures (injected gray faults) are *not* terminal:
+    /// the flusher replays the round a bounded number of times before it
+    /// concludes the substrate is genuinely down and poisons the queue.
     poisoned: bool,
 }
 
@@ -285,6 +312,12 @@ impl RequestBatcher {
         state: &DestinationState,
         my_ticket: u64,
     ) -> KarResult<()> {
+        // Consecutive transiently-failed rounds replayed so far. A gray
+        // failure on one flush (an injected transient or dropped ack) must
+        // not poison the destination forever; the round is re-queued and
+        // re-sent instead. Duplicate records from an ack-lost append are
+        // absorbed by request-id dedup at the consumer.
+        let mut transient_rounds = 0u32;
         loop {
             let batch = {
                 let mut queue = state.queue.lock();
@@ -295,6 +328,10 @@ impl RequestBatcher {
                 std::mem::take(&mut queue.pending)
             };
             let count = batch.len() as u64;
+            // A replay copy is only kept while the fault plane is armed: an
+            // un-faulted in-process broker has no transient append errors,
+            // so the ordinary hot path moves the batch without copying.
+            let replay = producer.faults_armed().then(|| batch.clone());
             let appended = match set_of(destination) {
                 Some(set) => producer
                     .send_keyed_batch(topic, &set, batch)
@@ -303,36 +340,49 @@ impl RequestBatcher {
                     "no partition set recorded for {destination}"
                 ))),
             };
-            match appended {
+            let error = match appended {
                 Ok(()) => {
                     self.flushes.fetch_add(1, Ordering::Relaxed);
+                    transient_rounds = 0;
                     let mut queue = state.queue.lock();
                     queue.completed += count;
                     drop(queue);
                     state.progress.bump();
+                    continue;
                 }
-                Err(error) => {
-                    // Fenced/killed mid-send or the destination is gone:
-                    // terminal for this component either way. Poison the
-                    // destination so parked and future enqueuers fail fast
-                    // instead of waiting out their ticket.
-                    let completed = {
-                        let mut queue = state.queue.lock();
-                        queue.poisoned = true;
-                        queue.pending.clear();
-                        queue.flushing = false;
-                        queue.completed
-                    };
-                    state.progress.bump();
-                    // Our own envelope was in an earlier, successful round iff
-                    // our ticket is already covered.
-                    return if completed > my_ticket {
-                        Ok(())
-                    } else {
-                        Err(error)
-                    };
+                Err(error) => error,
+            };
+            if error.is_transient() && transient_rounds + 1 < crate::faults::TRANSIENT_ATTEMPTS {
+                if let Some(replay) = replay {
+                    transient_rounds += 1;
+                    // Restore the round at the front so envelopes still go
+                    // out in ticket order ahead of newly queued ones, and
+                    // let the loop re-drain it.
+                    let mut queue = state.queue.lock();
+                    queue.pending.splice(0..0, replay);
+                    continue;
                 }
             }
+            // Fenced/killed mid-send, the destination is gone, or transient
+            // replays are exhausted (the substrate is genuinely down):
+            // terminal for this component. Poison the destination so parked
+            // and future enqueuers fail fast instead of waiting out their
+            // ticket.
+            let completed = {
+                let mut queue = state.queue.lock();
+                queue.poisoned = true;
+                queue.pending.clear();
+                queue.flushing = false;
+                queue.completed
+            };
+            state.progress.bump();
+            // Our own envelope was in an earlier, successful round iff our
+            // ticket is already covered.
+            return if completed > my_ticket {
+                Ok(())
+            } else {
+                Err(error)
+            };
         }
     }
 

@@ -1,0 +1,160 @@
+//! Mesh-facing glue for the gray-failure injection plane.
+//!
+//! The injection engine itself lives in [`kar_types::fault`] so the store and
+//! the broker — which cannot depend on this crate — can consult it directly.
+//! This module re-exports the plan/spec vocabulary under `kar::faults`,
+//! provides the bounded transient-retry helper the hardened runtime paths
+//! share, and renders fault counters for [`Mesh::debug_report`](crate::Mesh).
+//!
+//! The hardening contract the injector forces (and the chaos tests check):
+//! an injected failure whose [`KarError::is_transient`] holds may be replayed
+//! *locally* only when the operation is idempotent (pipelined state flushes,
+//! recovery placement/queue rewrites, DLQ bookkeeping). Everything else must
+//! flow through retry orchestration, where the queue copy plus dedup absorb
+//! an indeterminate ack.
+
+use kar_store::Store;
+use kar_types::{KarError, KarResult, Value};
+
+pub use kar_types::{
+    BrownoutSpec, FaultCounters, FaultDecision, FaultInjector, FaultPlan, FaultPlane, FaultSite,
+    FaultSpec, SiteCounters,
+};
+
+/// How often the runtime replays an idempotent substrate operation that
+/// failed transiently before escalating. Three attempts ride out the
+/// injection plane's per-operation faults (which are independent draws, so
+/// consecutive failures decay geometrically) without masking a substrate
+/// that is genuinely down.
+pub(crate) const TRANSIENT_ATTEMPTS: u32 = 3;
+
+/// Runs `op` up to `attempts` times (at least once), replaying it only while
+/// it fails with a *transient* infra error ([`KarError::is_transient`]).
+/// Non-transient errors — fencing above all — propagate immediately: a
+/// fenced component must never retry its way past its epoch.
+///
+/// Only idempotent operations belong here. An ack-lost injection reports a
+/// transient error *after* applying, so the replay this helper performs must
+/// be absorbable (set-style store writes, dedup-guarded appends).
+pub(crate) fn retry_transient<T>(
+    attempts: u32,
+    mut op: impl FnMut() -> KarResult<T>,
+) -> KarResult<T> {
+    let mut last: Option<KarError> = None;
+    for _ in 0..attempts.max(1) {
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(error) if error.is_transient() => last = Some(error),
+            Err(error) => return Err(error),
+        }
+    }
+    Err(last.expect("loop ran at least once"))
+}
+
+/// Plants a unique claim marker at `key` with `set_nx`, returning whether
+/// *this* caller won the claim — exactly once across every caller that ever
+/// races `key`, even when the admin store path drops acks.
+///
+/// An indeterminate ack (transient error from `set_nx`, which may or may not
+/// have applied) is resolved by reading the marker back: the caller's own
+/// `token` means the claim applied despite the reported failure, a foreign
+/// token means another caller won, and no marker at all means the write
+/// truly never applied, so it is replayed. `token` must be unique per call
+/// (not merely per caller), otherwise a failed replay could mistake an
+/// earlier claim of its own for this one.
+pub(crate) fn claim_marker(store: &Store, key: &str, token: &Value) -> KarResult<bool> {
+    let mut last = None;
+    for _ in 0..TRANSIENT_ATTEMPTS {
+        match store.admin_set_nx_checked(key, token.clone()) {
+            Ok(won) => return Ok(won),
+            Err(error) if error.is_transient() => {
+                match retry_transient(TRANSIENT_ATTEMPTS, || store.admin_get_checked(key))? {
+                    Some(marker) => return Ok(&marker == token),
+                    None => last = Some(error),
+                }
+            }
+            Err(error) => return Err(error),
+        }
+    }
+    Err(last.expect("loop ran at least once"))
+}
+
+/// Renders a counter snapshot as the `fault plane:` section of
+/// [`Mesh::debug_report`](crate::Mesh).
+pub(crate) fn format_fault_stats(counters: &FaultCounters) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fault plane: total_faults={} store_brownout_ops={} broker_brownout_ops={}",
+        counters.total_faults(),
+        counters.store_brownout_ops,
+        counters.broker_brownout_ops,
+    );
+    for site in FaultSite::ALL {
+        let s = counters.site(site);
+        if s.draws == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {}: draws={} transient={} ack_lost={} spikes={}",
+            site.name(),
+            s.draws,
+            s.transient,
+            s.ack_lost,
+            s.spikes,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_transient_replays_only_transient_errors() {
+        let mut calls = 0;
+        let result: KarResult<u32> = retry_transient(3, || {
+            calls += 1;
+            if calls < 3 {
+                Err(KarError::Store("injected".into()))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(calls, 3);
+
+        // Exhaustion surfaces the last transient error.
+        let mut calls = 0;
+        let result: KarResult<()> = retry_transient(2, || {
+            calls += 1;
+            Err(KarError::Queue("injected".into()))
+        });
+        assert!(result.unwrap_err().is_transient());
+        assert_eq!(calls, 2);
+
+        // Non-transient errors are never replayed.
+        let mut calls = 0;
+        let result: KarResult<()> = retry_transient(3, || {
+            calls += 1;
+            Err(KarError::application("bug"))
+        });
+        assert!(!result.unwrap_err().is_transient());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn fault_stats_render_only_active_sites() {
+        let injector = FaultInjector::new(
+            FaultPlan::new(3).with_site(FaultSite::StoreCommand, FaultSpec::transient(1.0)),
+        );
+        injector.decide(FaultSite::StoreCommand, FaultPlane::Store, 0);
+        let rendered = format_fault_stats(&injector.counters());
+        assert!(rendered.contains("total_faults=1"));
+        assert!(rendered.contains("store_command: draws=1 transient=1"));
+        assert!(!rendered.contains("broker_append:"));
+    }
+}

@@ -75,6 +75,7 @@ pub mod context;
 pub mod continuation;
 mod delivery;
 mod dispatch;
+pub mod faults;
 pub mod mesh;
 pub mod placement;
 pub mod recovery;
@@ -86,6 +87,7 @@ pub use client::Client;
 pub use config::{CancellationPolicy, CircuitBreakerConfig, MeshConfig};
 pub use context::{ActorContext, ActorState};
 pub use continuation::Continuation;
+pub use faults::{BrownoutSpec, FaultCounters, FaultPlan, FaultSite, FaultSpec};
 pub use mesh::{ComponentBuilder, Mesh};
 pub use placement::PlacementCounters;
 pub use recovery::{OutageRecord, RecoveryLog};

@@ -21,6 +21,7 @@ use crate::actor::{Actor, ActorFactory};
 use crate::client::Client;
 use crate::component::{ComponentCore, DLQ_TOPIC};
 use crate::config::MeshConfig;
+use crate::faults::{format_fault_stats, retry_transient, TRANSIENT_ATTEMPTS};
 use crate::placement::host_key;
 use crate::recovery::{run_recovery_manager, OutageRecord, RecoveryContext, RecoveryLog};
 use crate::retry::{
@@ -206,6 +207,9 @@ struct MeshInner {
     config: MeshConfig,
     broker: Broker<Envelope>,
     store: Store,
+    /// The gray-failure injector (if armed), shared by both substrates so
+    /// one seed drives one schedule and one set of counters.
+    faults: Option<Arc<kar_types::FaultInjector>>,
     ids: Arc<RequestIdGenerator>,
     next_component: AtomicU64,
     next_node: AtomicU64,
@@ -249,9 +253,21 @@ pub struct Mesh {
 impl Mesh {
     /// Starts an empty mesh.
     pub fn new(config: MeshConfig) -> Self {
-        let broker: Broker<Envelope> = Broker::new(config.broker_config());
+        // One injector serves both substrates: store shards and broker
+        // partitions draw from the same seeded schedule, and `fault_stats`
+        // reads one counter set.
+        let faults = config
+            .fault_plan
+            .as_ref()
+            .filter(|plan| !plan.is_empty())
+            .map(|plan| Arc::new(kar_types::FaultInjector::new(plan.clone())));
+        let mut broker_config = config.broker_config();
+        broker_config.faults = faults.clone();
+        let broker: Broker<Envelope> = Broker::new(broker_config);
         broker.spawn_coordinator();
-        let store = Store::with_config(config.store_config());
+        let mut store_config = config.store_config();
+        store_config.faults = faults.clone();
+        let store = Store::with_config(store_config);
         broker
             .ensure_partitions(TOPIC, 1)
             .expect("topic creation cannot fail");
@@ -298,6 +314,7 @@ impl Mesh {
             config,
             broker: broker.clone(),
             store,
+            faults,
             ids: Arc::new(RequestIdGenerator::new()),
             next_component: AtomicU64::new(1),
             next_node: AtomicU64::new(1),
@@ -807,19 +824,46 @@ impl Mesh {
     /// id: the first call consumes the DLQ index entry and returns
     /// `Ok(true)`; later calls, and unknown ids, return `Ok(false)`.
     ///
+    /// The claim is a compare-and-delete protocol built to survive gray
+    /// failures on the admin store path: the caller first plants a unique
+    /// claim marker with `set_nx`, and an indeterminate ack on that write is
+    /// resolved by reading the marker back — if it carries this caller's
+    /// token the claim applied despite the reported failure. Only the claim
+    /// winner deletes the index entry and re-injects, so concurrent callers
+    /// racing the same id still observe `true` exactly once.
+    ///
     /// # Errors
     ///
-    /// Fails (leaving the entry in the DLQ) if the index record is
-    /// malformed, no live component exists to re-inject through, or the
-    /// enqueue itself fails.
+    /// Fails (leaving the entry in the DLQ, claimable again) if the index
+    /// record is malformed, no live component exists to re-inject through,
+    /// the store stays unreachable past the bounded transient retries, or
+    /// the enqueue itself fails.
     pub fn dlq_retry(&self, id: RequestId) -> KarResult<bool> {
         let key = format!("dlq/entry/{}", id.as_u64());
+        let claim_key = format!("dlq/claim/{}", id.as_u64());
         let store = &self.inner.store;
-        // Removing the index entry *is* the exactly-once claim: only one
-        // caller ever observes the record.
-        let Some(record) = store.admin_del(&key) else {
+        // The read is a cheap pre-check: a consumed entry (or unknown id)
+        // bails before planting any claim state.
+        let Some(record) = retry_transient(TRANSIENT_ATTEMPTS, || store.admin_get_checked(&key))?
+        else {
             return Ok(false);
         };
+        let token = Value::from(format!("claimed-by-{}", self.inner.ids.fresh().as_u64()));
+        if !crate::faults::claim_marker(store, &claim_key, &token)? {
+            return Ok(false);
+        }
+        // From here this caller owns the entry; every failure path must
+        // restore it and release the claim before surfacing the error.
+        let restore = |store: &Store| {
+            let _ = retry_transient(TRANSIENT_ATTEMPTS, || {
+                store.admin_set_checked(&key, record.clone())
+            });
+            let _ = retry_transient(TRANSIENT_ATTEMPTS, || store.admin_del_checked(&claim_key));
+        };
+        // Deleting the already-claimed entry is idempotent: an ack-lost
+        // delete replays to `None`, which is fine — the record in hand is
+        // authoritative.
+        retry_transient(TRANSIENT_ATTEMPTS, || store.admin_del_checked(&key))?;
         let args = match &record {
             Value::Map(map) => match map.get("args") {
                 Some(Value::List(args)) => args.clone(),
@@ -828,7 +872,7 @@ impl Mesh {
             _ => Vec::new(),
         };
         let Some(entry) = decode_dlq_entry(id.as_u64(), &record) else {
-            store.admin_set(&key, record);
+            restore(store);
             return Err(KarError::application(format!(
                 "malformed DLQ index entry for request {}",
                 id.as_u64()
@@ -842,15 +886,20 @@ impl Mesh {
             .find(|core| core.is_alive())
             .cloned();
         let Some(core) = core else {
-            store.admin_set(&key, record);
+            restore(store);
             return Err(KarError::application(
                 "no live component to re-inject the dead-lettered request through",
             ));
         };
         match core.external_tell(&entry.target, &entry.method, args) {
-            Ok(()) => Ok(true),
+            Ok(()) => {
+                // Release the marker; the entry is gone, so later calls
+                // return `false` at the pre-check.
+                let _ = retry_transient(TRANSIENT_ATTEMPTS, || store.admin_del_checked(&claim_key));
+                Ok(true)
+            }
             Err(error) => {
-                store.admin_set(&key, record);
+                restore(store);
                 Err(error)
             }
         }
@@ -936,7 +985,18 @@ impl Mesh {
         for (actor_type, position) in self.inner.breakers.snapshot() {
             let _ = writeln!(out, "  breaker {actor_type}: {}", position.as_str());
         }
+        // The fault plane (only when armed): what the injector actually did.
+        if let Some(counters) = self.fault_stats() {
+            out.push_str(&format_fault_stats(&counters));
+        }
         out
+    }
+
+    /// Snapshot of the gray-failure injection counters: per-site draws and
+    /// injected faults plus brownout surcharges. `None` unless the mesh was
+    /// built with [`MeshConfig::with_fault_plan`].
+    pub fn fault_stats(&self) -> Option<crate::faults::FaultCounters> {
+        self.inner.faults.as_ref().map(|f| f.counters())
     }
 
     /// The log of completed recoveries.

@@ -44,6 +44,7 @@ use kar_types::{ComponentId, Envelope, RequestId, RequestMessage, ResponseMessag
 
 use crate::component::ComponentCore;
 use crate::config::MeshConfig;
+use crate::faults::{retry_transient, TRANSIENT_ATTEMPTS};
 use crate::placement::{component_from_value, component_to_value, host_prefix, placement_key};
 
 /// Timings and size of one recovery (one completed rebalance that removed at
@@ -375,15 +376,26 @@ impl PlacementRewriter {
         if self.queued.is_empty() && self.invalidations.is_empty() {
             return;
         }
-        let mut pipe = ctx.store.admin_pipeline();
-        for key in self.invalidations.drain(..) {
-            pipe.del(&key);
-        }
-        pipe.fence();
-        for (key, component) in self.queued.drain(..) {
-            pipe.set_nx(&key, component_to_value(component));
-        }
-        pipe.flush().expect("admin pipelines are unfenced");
+        let invalidations: Vec<String> = self.invalidations.drain(..).collect();
+        let queued: Vec<(String, ComponentId)> = self.queued.drain(..).collect();
+        // Replayed through injected gray failures on the admin path: the
+        // batch is deletes plus `set_nx`, so a replay after an ack-lost
+        // flush re-deletes (idempotent) and leaves the applied placements
+        // standing. Admin pipelines are unfenced, so any error left after
+        // the bounded replay is an injected storm; proceeding without the
+        // rewrite is safe — admission-time placement guards forward records
+        // that land at non-owners.
+        let _ = retry_transient(TRANSIENT_ATTEMPTS, || {
+            let mut pipe = ctx.store.admin_pipeline();
+            for key in &invalidations {
+                pipe.del(key);
+            }
+            pipe.fence();
+            for (key, component) in &queued {
+                pipe.set_nx(key, component_to_value(*component));
+            }
+            pipe.flush()
+        });
     }
 }
 
@@ -418,9 +430,13 @@ impl RehomeBatches {
 
     fn flush(self, ctx: &RecoveryContext) -> usize {
         for (partition, envelopes) in self.batches {
-            let _ = ctx
-                .broker
-                .admin_append_batch(&ctx.topic, partition, envelopes);
+            // Replayed through injected gray failures: an ack-lost replay
+            // appends duplicate copies, which admission-time request-id
+            // dedup absorbs.
+            let _ = retry_transient(TRANSIENT_ATTEMPTS, || {
+                ctx.broker
+                    .admin_append_batch(&ctx.topic, partition, envelopes.clone())
+            });
         }
         self.count
     }
@@ -549,11 +565,17 @@ fn reconcile(
     let dead: HashSet<ComponentId> = removed.iter().copied().collect();
     let mut rewrites = PlacementRewriter::default();
     let placement_keys = ctx.store.admin_keys_with_prefix("placement/");
-    let mut reads = ctx.store.admin_pipeline();
-    for key in &placement_keys {
-        reads.get(key);
-    }
-    let values = reads.flush().expect("admin pipelines are unfenced");
+    // A read-only batch: replay freely; if the admin path stays down past
+    // the bounded retries, skip the invalidation sweep this round (step 6's
+    // second sweep and the admission-time guards cover stale records).
+    let values = retry_transient(TRANSIENT_ATTEMPTS, || {
+        let mut reads = ctx.store.admin_pipeline();
+        for key in &placement_keys {
+            reads.get(key);
+        }
+        reads.flush()
+    })
+    .unwrap_or_default();
     for (key, result) in placement_keys.iter().zip(values) {
         if let Some(value) = result.into_value() {
             if component_from_value(&value).is_some_and(|c| dead.contains(&c)) {

@@ -311,7 +311,11 @@ impl StateCache {
     ///
     /// Fails with `KarError::Fenced` if the component has been forcefully
     /// disconnected; the entry is dropped (the component's image is no
-    /// longer authoritative) and nothing was applied.
+    /// longer authoritative) and nothing was applied. A *transient* store
+    /// failure ([`kar_types::KarError::is_transient`]) keeps the entry and
+    /// its buffered writes intact instead: the batch is pure sets/deletes —
+    /// idempotent — so the caller replays the flush, and a gray failure
+    /// whose ack was lost after the batch applied is absorbed by the replay.
     pub(crate) fn flush(&self, conn: &Connection, key: &str) -> KarResult<()> {
         let Some(entry) = self.entries.lock().get(key).cloned() else {
             return Ok(());
@@ -352,7 +356,11 @@ impl StateCache {
         };
         if let Err(error) = result {
             drop(state);
-            self.entries.lock().remove(key);
+            // Only a dead epoch invalidates the image; a transient infra
+            // error leaves the dirty entry for the caller to replay.
+            if !error.is_transient() {
+                self.entries.lock().remove(key);
+            }
             return Err(error);
         }
         // Fold the now-durable writes into the cached image.
@@ -506,6 +514,46 @@ mod tests {
         assert!(cache.flush(&conn, "k").unwrap_err().is_fenced());
         assert_eq!(cache.len(), 0, "fenced entry must be invalidated");
         assert!(store.admin_hgetall("k").is_empty());
+    }
+
+    #[test]
+    fn transient_flush_failure_keeps_the_entry_for_replay() {
+        use crate::faults::{FaultPlan, FaultSite, FaultSpec};
+        use kar_store::StoreConfig;
+        use kar_types::FaultInjector;
+        use std::sync::Arc;
+
+        // Exactly one ack-lost fault on the pipeline-flush path: the batch
+        // *applies* but the flush reports failure. The entry must survive
+        // with its buffered writes so the replay (idempotent sets/deletes)
+        // converges on the same durable image.
+        let plan = FaultPlan::new(11).with_site(
+            FaultSite::StoreFlush,
+            FaultSpec::ack_lost(1.0).with_budget(1),
+        );
+        let store = Store::with_config(StoreConfig {
+            faults: Some(Arc::new(FaultInjector::new(plan))),
+            ..StoreConfig::default()
+        });
+        let conn = store.connect(ComponentId::from_raw(1));
+        let cache = StateCache::new(Duration::from_millis(1));
+        conn.hset("k", "stale", Value::from(0)).unwrap();
+        cache.set(&conn, "k", "v", Value::from(1)).unwrap();
+        cache.remove(&conn, "k", "stale").unwrap();
+
+        let err = cache.flush(&conn, "k").unwrap_err();
+        assert!(err.is_transient(), "injected gray failure: {err:?}");
+        assert_eq!(cache.len(), 1, "transient failure must keep the entry");
+        // The ack was lost *after* the batch applied.
+        assert_eq!(store.admin_hgetall("k")["v"], Value::from(1));
+
+        cache.flush(&conn, "k").unwrap();
+        let durable = store.admin_hgetall("k");
+        assert_eq!(durable["v"], Value::from(1));
+        assert!(!durable.contains_key("stale"));
+        // Replay folded the writes in: the entry is clean again.
+        cache.flush(&conn, "k").unwrap();
+        assert!(cache.passivate("k"));
     }
 
     #[test]

@@ -10,6 +10,9 @@ use kar_semantics::explore::{ExploreOptions, Explorer};
 use kar_semantics::programs;
 use kar_types::{ActorRef, KarError, KarResult, Value};
 
+mod common;
+use common::{chaos_seed, SplitMix64};
+
 struct Accumulator;
 
 impl Actor for Accumulator {
@@ -58,6 +61,9 @@ fn the_formal_semantics_proves_the_accumulator_exactly_once() {
 
 #[test]
 fn the_runtime_matches_the_semantics_under_random_failures() {
+    let seed = chaos_seed(0xACC0);
+    println!("chaos seed: {seed} (re-run with KAR_CHAOS_SEED={seed})");
+
     let mesh = Mesh::new(MeshConfig::for_tests());
     let node = mesh.add_node();
     mesh.add_component(node, "replica-a", |c| {
@@ -74,8 +80,9 @@ fn the_runtime_matches_the_semantics_under_random_failures() {
     let mesh_for_chaos = mesh.clone();
     let client_component = client.component_id();
     let chaos = std::thread::spawn(move || {
-        // Kill a live application component every ~40 ms, replacing it so the
-        // actor always has somewhere to go.
+        // Kill a seeded-random live application component every ~40 ms,
+        // replacing it so the actor always has somewhere to go.
+        let mut rng = SplitMix64::new(seed);
         for round in 0..6 {
             std::thread::sleep(Duration::from_millis(40));
             let victims: Vec<_> = mesh_for_chaos
@@ -83,7 +90,12 @@ fn the_runtime_matches_the_semantics_under_random_failures() {
                 .into_iter()
                 .filter(|c| *c != client_component)
                 .collect();
-            if let Some(victim) = victims.into_iter().next_back() {
+            let pick = if victims.is_empty() {
+                None
+            } else {
+                Some(rng.below(0, victims.len() as u64) as usize)
+            };
+            if let Some(victim) = pick.map(|index| victims[index]) {
                 mesh_for_chaos.kill_component(victim);
                 let node = mesh_for_chaos.add_node();
                 mesh_for_chaos.add_component(node, &format!("replacement-{round}"), |c| {
