@@ -74,6 +74,7 @@ pub mod partitions;
 pub mod passivation;
 pub mod report;
 pub mod retry;
+pub mod sim;
 pub mod store;
 pub mod throughput;
 pub mod topology;
@@ -87,6 +88,7 @@ pub use partitions::{PartitionReport, PartitionSweepConfig};
 pub use passivation::{PassivationBenchConfig, PassivationBenchReport};
 pub use report::Summary;
 pub use retry::{RetryBenchConfig, RetryBenchReport};
+pub use sim::{run_scenario, SimOutcome, SCENARIOS};
 pub use store::{ContendedStoreConfig, ContendedStoreReport, StateFlushConfig, StateFlushReport};
 pub use throughput::{ThroughputConfig, ThroughputReport};
 pub use topology::{TopologyReport, TopologyScale, TopologyScaleConfig};

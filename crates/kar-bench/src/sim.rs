@@ -1,0 +1,571 @@
+//! Deterministic-simulation chaos scenarios for the `sim_explore` binary.
+//!
+//! Each scenario builds a [`MeshConfig::deterministic`] mesh, runs a small
+//! workload with a component kill scheduled at a caller-chosen simulation
+//! step, and records everything observable — requests issued, actor-side
+//! commits, completions, kills — as a [`kar_semantics::history`] event
+//! stream. The conformance oracle then replays the paper's guarantees over
+//! the observed history: exactly-once commits, no lost responses at
+//! surviving callers, per-caller FIFO, and completion of every issued
+//! request.
+//!
+//! One `(scenario, seed, kill_step)` triple is one exact execution: the
+//! seed fixes the scheduler's lane choices, the kill step fixes where the
+//! crash lands in that schedule. The explorer sweeps both axes; a failing
+//! triple IS the minimized reproducer.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use kar::{Actor, ActorContext, Mesh, MeshConfig, Outcome, RetryPolicy};
+use kar_semantics::{HistoryChecker, HistoryEvent, HistoryViolation};
+use kar_types::{ActorRef, KarError, KarResult, Value};
+
+/// Shared commit log: every actor execution that applies effects appends
+/// the request id it was carrying. The simulation is single-threaded, so
+/// the log order is the (deterministic) commit order.
+type CommitLog = Arc<Mutex<Vec<u64>>>;
+
+/// The result of one simulated run.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// Scenario name (one of [`SCENARIOS`]).
+    pub scenario: &'static str,
+    /// Scheduler seed.
+    pub seed: u64,
+    /// Kill offset, in simulation steps from the moment the scenario arms
+    /// its kill.
+    pub kill_step: u64,
+    /// Total simulation steps the run took.
+    pub steps: u64,
+    /// History events observed.
+    pub events: usize,
+    /// Conformance violations the oracle found (empty = clean).
+    pub violations: Vec<HistoryViolation>,
+}
+
+/// A scenario runner: `(seed, kill_step, rebreak) -> outcome`.
+pub type ScenarioFn = fn(u64, u64, bool) -> SimOutcome;
+
+/// Scenario registry: name → runner. `rebreak` re-opens the known
+/// stranded-response bug (`debug_skip_stranded_rehoming`) so the explorer
+/// can prove the oracle catches a real, historical defect.
+pub const SCENARIOS: &[(&str, ScenarioFn)] = &[
+    ("kill-while-parked", kill_while_parked),
+    ("kill-mid-passivation", kill_mid_passivation),
+    ("kill-during-backoff", kill_during_backoff),
+    ("dlq-reinjection", dlq_reinjection),
+];
+
+/// Runs one scenario by name. Returns `None` for an unknown name.
+pub fn run_scenario(name: &str, seed: u64, kill_step: u64, rebreak: bool) -> Option<SimOutcome> {
+    SCENARIOS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, run)| run(seed, kill_step, rebreak))
+}
+
+/// Driver state shared by every scenario: the mesh, the oracle, and the
+/// bookkeeping that turns blocking client calls into history events.
+struct Driver {
+    mesh: Mesh,
+    checker: HistoryChecker,
+    log: CommitLog,
+    drained: usize,
+    targets: HashMap<u64, String>,
+    seqs: HashMap<String, u64>,
+}
+
+impl Driver {
+    fn new(mesh: Mesh, log: CommitLog) -> Self {
+        Driver {
+            mesh,
+            checker: HistoryChecker::new(),
+            log,
+            drained: 0,
+            targets: HashMap::new(),
+            seqs: HashMap::new(),
+        }
+    }
+
+    /// Moves freshly logged actor commits into the oracle, in commit order.
+    fn drain_commits(&mut self) {
+        let log = self.log.lock().expect("commit log");
+        for &req in &log[self.drained..] {
+            let actor = self
+                .targets
+                .get(&req)
+                .cloned()
+                .unwrap_or_else(|| "unknown".to_string());
+            self.checker.record(HistoryEvent::Commit { req, actor });
+        }
+        self.drained = log.len();
+    }
+
+    /// One observed blocking invocation: records the issue, runs the call
+    /// (driving the simulation), drains commits, records the completion.
+    fn call(&mut self, target: &ActorRef, method: &str, req: u64, policy: Option<RetryPolicy>) {
+        let actor = target.qualified_name();
+        let seq = self.seqs.entry(actor.clone()).or_insert(0);
+        *seq += 1;
+        self.checker.record(HistoryEvent::Issue {
+            req,
+            caller: "client".to_string(),
+            actor: actor.clone(),
+            seq: *seq,
+        });
+        self.targets.insert(req, actor);
+        let client = self.mesh.client();
+        let args = vec![Value::Int(req as i64)];
+        let result = match policy {
+            Some(policy) => client.call_with_policy(target, method, args, policy),
+            None => client.call(target, method, args),
+        };
+        self.drain_commits();
+        self.checker.record(HistoryEvent::Complete {
+            req,
+            ok: result.is_ok(),
+        });
+    }
+
+    /// Schedules a kill `kill_step` steps from now and tells the oracle.
+    fn arm_kill(&mut self, kill_step: u64, component: kar_types::ComponentId, name: &str) {
+        self.mesh
+            .sim_schedule_kill(self.mesh.sim_step_count() + kill_step, component);
+        self.checker.record(HistoryEvent::Kill {
+            component: name.to_string(),
+        });
+    }
+
+    /// Waits (in virtual time) for `count` completed recoveries of the
+    /// named killed component.
+    fn await_recoveries(&mut self, count: usize, component: &str) {
+        // A kill scheduled beyond the workload may not have fired yet; give
+        // the scheduler room, then wait out the recovery pipeline.
+        self.mesh
+            .wait_for_recoveries(count, Duration::from_secs(300));
+        self.checker.record(HistoryEvent::Recovered {
+            component: component.to_string(),
+        });
+    }
+
+    fn finish(mut self) -> (u64, usize, Vec<HistoryViolation>) {
+        self.drain_commits();
+        let steps = self.mesh.sim_step_count();
+        let events = self.checker.events();
+        self.mesh.shutdown();
+        (steps, events, self.checker.finalize())
+    }
+}
+
+/// Applies the scenario actors' one effect for `req`: a durable
+/// per-request state write, logged on *first* application only.
+///
+/// The guard is the paper's §2.3 discipline: a re-homed caller replays its
+/// invocation from the top under a fresh nested request id, so the callee
+/// legitimately executes again and must absorb the replay by consulting its
+/// own state. With the guard, a request id appearing twice in the commit
+/// log is a genuine exactly-once violation — never benign replay. The
+/// runtime flushes the state write strictly before the response is sent
+/// (and the whole invoke-flush-respond slice is atomic under the
+/// single-threaded scheduler), so the log mirrors durable commits exactly.
+fn commit_once(ctx: &ActorContext<'_>, log: &CommitLog, req: u64) -> KarResult<()> {
+    let key = format!("r{req}");
+    if ctx.state().get(&key)?.is_none() {
+        ctx.state().set(&key, Value::Int(1))?;
+        log.lock().expect("commit log").push(req);
+    }
+    Ok(())
+}
+
+/// An actor whose effects are one idempotent write per request id; the
+/// *first* execution that applies the write appends to the shared commit
+/// log (a duplicate execution that dedup should have absorbed shows up as
+/// a duplicate log entry).
+struct Ledger {
+    log: CommitLog,
+}
+
+impl Actor for Ledger {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "apply" => {
+                let req = args[0].as_i64().unwrap_or(0) as u64;
+                commit_once(ctx, &self.log, req)?;
+                Ok(Outcome::value(Value::Int(req as i64)))
+            }
+            other => Err(KarError::application(format!("no method {other}"))),
+        }
+    }
+}
+
+fn ledger_host(log: &CommitLog) -> impl Fn() -> Box<dyn Actor> + Send + Sync + 'static {
+    let log = Arc::clone(log);
+    move || -> Box<dyn Actor> {
+        Box::new(Ledger {
+            log: Arc::clone(&log),
+        })
+    }
+}
+
+/// A front actor that parks on a nested call to a back actor; the *back*
+/// actor is the commit point. Killing the front's component while the
+/// continuation is parked is the stranded-response window: the back has
+/// committed and responded, the response sits in the dead queue.
+struct Front;
+
+impl Actor for Front {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "apply" => {
+                let req = args[0].as_i64().unwrap_or(0);
+                let back = ActorRef::new("Back", format!("b{}", (req + 1) % 3));
+                Ok(
+                    ctx.call_then(&back, "echo", args.to_vec(), move |_ctx, result| {
+                        Ok(Outcome::value(result?))
+                    }),
+                )
+            }
+            other => Err(KarError::application(format!("no method {other}"))),
+        }
+    }
+}
+
+struct Back {
+    log: CommitLog,
+}
+
+impl Actor for Back {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "echo" => {
+                let req = args[0].as_i64().unwrap_or(0) as u64;
+                commit_once(ctx, &self.log, req)?;
+                Ok(Outcome::value(args[0].clone()))
+            }
+            other => Err(KarError::application(format!("no method {other}"))),
+        }
+    }
+}
+
+/// A dependency that fails its first `remaining` executions (never
+/// committing), then succeeds (committing once).
+struct Flaky {
+    log: CommitLog,
+    remaining: Arc<AtomicI64>,
+}
+
+impl Actor for Flaky {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "work" => {
+                let req = args[0].as_i64().unwrap_or(0) as u64;
+                // A replay of an already-committed request must not touch
+                // the flaky countdown: it is absorbed before the gate.
+                if ctx.state().get(&format!("r{req}"))?.is_some() {
+                    return Ok(Outcome::value("ok"));
+                }
+                if self.remaining.fetch_sub(1, Ordering::SeqCst) > 0 {
+                    return Err(KarError::application("dependency down"));
+                }
+                commit_once(ctx, &self.log, req)?;
+                Ok(Outcome::value("ok"))
+            }
+            other => Err(KarError::application(format!("no method {other}"))),
+        }
+    }
+}
+
+/// A dependency gated on a healthy flag: down, every execution fails
+/// without committing; up, it commits.
+struct Doomed {
+    log: CommitLog,
+    healthy: Arc<AtomicBool>,
+}
+
+impl Actor for Doomed {
+    fn invoke(
+        &mut self,
+        ctx: &mut ActorContext<'_>,
+        method: &str,
+        args: &[Value],
+    ) -> KarResult<Outcome> {
+        match method {
+            "work" => {
+                let req = args[0].as_i64().unwrap_or(0) as u64;
+                if ctx.state().get(&format!("r{req}"))?.is_some() {
+                    return Ok(Outcome::value("ok"));
+                }
+                if !self.healthy.load(Ordering::SeqCst) {
+                    return Err(KarError::application("dependency down"));
+                }
+                commit_once(ctx, &self.log, req)?;
+                Ok(Outcome::value("ok"))
+            }
+            other => Err(KarError::application(format!("no method {other}"))),
+        }
+    }
+}
+
+fn outcome(scenario: &'static str, seed: u64, kill_step: u64, driver: Driver) -> SimOutcome {
+    let (steps, events, violations) = driver.finish();
+    SimOutcome {
+        scenario,
+        seed,
+        kill_step,
+        steps,
+        events,
+        violations,
+    }
+}
+
+/// Schedules a kill of whichever component hosts `victim` to land `gap`
+/// steps after the mesh completes its first `after` recoveries: a
+/// self-rescheduling scheduler event polls the recovery counter once per
+/// step, then resolves the victim's (freshly re-homed) placement and arms
+/// the real kill. Lets a scenario chase an actor across a re-homing without
+/// knowing (or fixing) how many steps that recovery takes or where the
+/// placement lands.
+fn kill_after_recovery(mesh: &Mesh, victim: ActorRef, after: usize, gap: u64) {
+    let Some(scheduler) = kar_types::sim::current() else {
+        return;
+    };
+    let mesh = mesh.clone();
+    scheduler.schedule_at(scheduler.steps() + 1, "kill-after-recovery", move || {
+        if mesh.recoveries() < after {
+            kill_after_recovery(&mesh, victim, after, gap);
+            return;
+        }
+        let key = format!("placement/{}", victim.qualified_name());
+        let Some(raw) = mesh.store().admin_get(&key).and_then(|v| v.as_i64()) else {
+            return;
+        };
+        let component = kar_types::ComponentId::from_raw(raw as u64);
+        mesh.sim_schedule_kill(mesh.sim_step_count() + gap, component);
+    });
+}
+
+/// The stranded-response double-kill. The first kill lands on a component
+/// hosting a parked caller whose nested callee already committed and
+/// responded — the response sits in the soon-to-be-dead queue. With
+/// reconciliation's step 6½ in place the response is re-homed alongside the
+/// caller and everything completes, even across a *second* kill. With it
+/// skipped (`rebreak`) the first recovery destroys the response while still
+/// cataloguing the nested call as answered; the second kill, landing on the
+/// caller's new home before it finishes re-executing, makes the *second*
+/// recovery see that nested call as pending (its response no longer exists
+/// anywhere) and defer the re-homed caller on a response no survivor will
+/// ever send — the caller times out over a committed effect:
+/// `lost_response`.
+///
+/// `kill_step` packs both timing axes: `kill_step % 16` is the first kill's
+/// offset (sweeping the parked-continuation window), `kill_step / 16` the
+/// second kill's offset after the first recovery completes.
+fn kill_while_parked(seed: u64, kill_step: u64, rebreak: bool) -> SimOutcome {
+    let first_kill = kill_step % 16;
+    let second_kill = kill_step / 16;
+    let mut config = MeshConfig::deterministic(seed);
+    config.debug_skip_stranded_rehoming = rebreak;
+    let log: CommitLog = CommitLog::default();
+    let mesh = Mesh::new(config);
+    let node = mesh.add_node();
+    let host = |log: &CommitLog| {
+        let log = Arc::clone(log);
+        move |b: kar::ComponentBuilder| {
+            let log = Arc::clone(&log);
+            b.host("Front", || Box::new(Front)).host("Back", move || {
+                Box::new(Back {
+                    log: Arc::clone(&log),
+                })
+            })
+        }
+    };
+    let alpha = mesh.add_component(node, "alpha", host(&log));
+    mesh.add_component(node, "beta", host(&log));
+    mesh.add_component(node, "gamma", host(&log));
+    let mut driver = Driver::new(mesh, log);
+    for req in 1..=3u64 {
+        let target = ActorRef::new("Front", format!("f{}", req % 3));
+        driver.call(&target, "apply", req, None);
+    }
+    driver.arm_kill(first_kill, alpha, "alpha");
+    // The second kill chases the caller of request 4 (`Front/f1`) across its
+    // re-homing: whether it lands inside the re-execution window is part of
+    // what the sweep explores.
+    kill_after_recovery(&driver.mesh, ActorRef::new("Front", "f1"), 1, second_kill);
+    driver.checker.record(HistoryEvent::Kill {
+        component: "f1-rehome".to_string(),
+    });
+    for req in 4..=6u64 {
+        let target = ActorRef::new("Front", format!("f{}", req % 3));
+        driver.call(&target, "apply", req, None);
+    }
+    driver.await_recoveries(1, "alpha");
+    driver.await_recoveries(2, "f1-rehome");
+    for req in 7..=9u64 {
+        let target = ActorRef::new("Front", format!("f{}", req % 3));
+        driver.call(&target, "apply", req, None);
+    }
+    outcome("kill-while-parked", seed, kill_step, driver)
+}
+
+/// Kill a component while its passivation sweep is aging out idle actors:
+/// a crash landing between a passivation flush and the drop must not lose
+/// or duplicate the flushed state when the actors rehydrate elsewhere.
+fn kill_mid_passivation(seed: u64, kill_step: u64, _rebreak: bool) -> SimOutcome {
+    let mut config = MeshConfig::deterministic(seed);
+    // Shrink the retention clock so passivation windows elapse within the
+    // simulated workload (the sweep runs off the virtual clock).
+    config.retention = Duration::from_millis(800);
+    let log: CommitLog = CommitLog::default();
+    let mesh = Mesh::new(config);
+    let node = mesh.add_node();
+    let alpha = mesh.add_component(node, "alpha", {
+        let log = Arc::clone(&log);
+        move |b| b.host("Ledger", ledger_host(&log))
+    });
+    mesh.add_component(node, "beta", {
+        let log = Arc::clone(&log);
+        move |b| b.host("Ledger", ledger_host(&log))
+    });
+    let mut driver = Driver::new(mesh, log);
+    // Activate a working set, then go idle long enough for the sweep to
+    // start passivating it.
+    for req in 1..=12u64 {
+        let target = ActorRef::new("Ledger", format!("p{}", req % 6));
+        driver.call(&target, "apply", req, None);
+    }
+    driver.mesh.sim_steps(3_000);
+    driver.arm_kill(kill_step, alpha, "alpha");
+    driver.mesh.sim_steps(kill_step + 200);
+    driver.await_recoveries(1, "alpha");
+    // Rehydrate everything through the re-homed placement.
+    for req in 13..=24u64 {
+        let target = ActorRef::new("Ledger", format!("p{}", req % 6));
+        driver.call(&target, "apply", req, None);
+    }
+    outcome("kill-mid-passivation", seed, kill_step, driver)
+}
+
+/// Kill the hosting component while an orchestrated retry is waiting out
+/// its backoff: the persisted schedule must survive re-homing and fire
+/// exactly once on the survivor.
+fn kill_during_backoff(seed: u64, kill_step: u64, _rebreak: bool) -> SimOutcome {
+    let config = MeshConfig::deterministic(seed);
+    let log: CommitLog = CommitLog::default();
+    let remaining = Arc::new(AtomicI64::new(2));
+    let mesh = Mesh::new(config);
+    let node = mesh.add_node();
+    let host = |log: &CommitLog, remaining: &Arc<AtomicI64>| {
+        let log = Arc::clone(log);
+        let remaining = Arc::clone(remaining);
+        move || -> Box<dyn Actor> {
+            Box::new(Flaky {
+                log: Arc::clone(&log),
+                remaining: Arc::clone(&remaining),
+            })
+        }
+    };
+    let alpha = mesh.add_component(node, "alpha", {
+        let host = host(&log, &remaining);
+        move |b| b.host("Flaky", host)
+    });
+    mesh.add_component(node, "beta", {
+        let host = host(&log, &remaining);
+        move |b| b.host("Flaky", host)
+    });
+    let mut driver = Driver::new(mesh, log);
+    driver.arm_kill(kill_step, alpha, "alpha");
+    let policy = RetryPolicy::fixed(6, Duration::from_millis(400)).retry_all_errors();
+    driver.call(&ActorRef::new("Flaky", "f"), "work", 1, Some(policy));
+    driver.await_recoveries(1, "alpha");
+    outcome("kill-during-backoff", seed, kill_step, driver)
+}
+
+/// Exhaust a schedule into the DLQ, heal, kill a component, and re-inject
+/// through `dlq_retry` under the recovery churn: the re-injection must
+/// claim and execute exactly once.
+fn dlq_reinjection(seed: u64, kill_step: u64, _rebreak: bool) -> SimOutcome {
+    let config = MeshConfig::deterministic(seed);
+    let log: CommitLog = CommitLog::default();
+    let healthy = Arc::new(AtomicBool::new(false));
+    let mesh = Mesh::new(config);
+    let node = mesh.add_node();
+    let host = |log: &CommitLog, healthy: &Arc<AtomicBool>| {
+        let log = Arc::clone(log);
+        let healthy = Arc::clone(healthy);
+        move || -> Box<dyn Actor> {
+            Box::new(Doomed {
+                log: Arc::clone(&log),
+                healthy: Arc::clone(&healthy),
+            })
+        }
+    };
+    let alpha = mesh.add_component(node, "alpha", {
+        let host = host(&log, &healthy);
+        move |b| b.host("Doomed", host)
+    });
+    mesh.add_component(node, "beta", {
+        let host = host(&log, &healthy);
+        move |b| b.host("Doomed", host)
+    });
+    let mut driver = Driver::new(mesh, log);
+    let policy = RetryPolicy::fixed(2, Duration::from_millis(10)).retry_all_errors();
+    driver.call(&ActorRef::new("Doomed", "d"), "work", 1, Some(policy));
+    let entries = driver.mesh.dlq_stats().entries;
+    healthy.store(true, Ordering::SeqCst);
+    driver.arm_kill(kill_step, alpha, "alpha");
+    // Re-inject under the churn: `Err` leaves the entry claimable (the
+    // honest operator-loop shape); `true` must happen at most once, and
+    // the oracle's duplicate-commit rule catches a double execution.
+    let mut claims = 0u32;
+    for entry in &entries {
+        for _ in 0..100 {
+            match driver.mesh.dlq_retry(entry.id) {
+                Ok(true) => {
+                    claims += 1;
+                    break;
+                }
+                Ok(false) => break,
+                Err(_) => driver.mesh.sim_steps(200),
+            }
+        }
+    }
+    driver.await_recoveries(1, "alpha");
+    // Drive until the re-injected tell lands (bounded in virtual time).
+    let log = Arc::clone(&driver.log);
+    driver
+        .mesh
+        .sim_run_until(|| !log.lock().expect("commit log").is_empty(), 200_000);
+    let mut result = outcome("dlq-reinjection", seed, kill_step, driver);
+    if claims > 1 {
+        result.violations.push(HistoryViolation {
+            rule: "duplicate_claim",
+            detail: format!("DLQ entry claimed {claims} times — dlq_retry is not exactly-once"),
+            at: usize::MAX,
+        });
+    }
+    result
+}

@@ -165,7 +165,7 @@ impl<M> Topic<M> {
 #[derive(Debug)]
 struct BrokerInner<M> {
     config: BrokerConfig,
-    origin: Instant,
+    origin: Duration,
     /// Sharded topic index: a topic name hashes to one shard, and hot paths
     /// only read-lock that shard to clone the topic's `Arc`.
     topic_shards: Vec<RwLock<HashMap<String, Arc<Topic<M>>>>>,
@@ -198,7 +198,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
         Broker {
             inner: Arc::new(BrokerInner {
                 config,
-                origin: Instant::now(),
+                origin: kar_types::mono_now(),
                 topic_shards: (0..TOPIC_INDEX_SHARDS)
                     .map(|_| RwLock::new(HashMap::new()))
                     .collect(),
@@ -218,9 +218,12 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
         &self.inner.config
     }
 
-    /// Broker-clock time: elapsed since the broker was created.
+    /// Broker-clock time: elapsed since the broker was created. Reads the
+    /// shared monotonic timeline, so a [`kar_types::VirtualClock`] override
+    /// (deterministic simulation) drives session timeouts, rebalance
+    /// stabilization and retention in virtual time.
     pub fn now(&self) -> Duration {
-        self.inner.origin.elapsed()
+        kar_types::mono_now().saturating_sub(self.inner.origin)
     }
 
     // ------------------------------------------------------------------
@@ -442,7 +445,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             ))),
             Some(FaultDecision::AckLost) => Ok(true),
             Some(FaultDecision::Latency(extra)) => {
-                std::thread::sleep(extra);
+                kar_types::pace_sleep(extra);
                 Ok(false)
             }
         }
@@ -530,9 +533,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             // The durable-ack latency is paid while holding the partition
             // log lock: a partition acknowledges its appends in sequence,
             // while appends to other partitions overlap freely.
-            if !self.inner.config.append_latency.is_zero() {
-                std::thread::sleep(self.inner.config.append_latency);
-            }
+            kar_types::pace_sleep(self.inner.config.append_latency);
             let offset = log.append(now, payload);
             log.expire(
                 now,
@@ -570,9 +571,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
             let mut log = part.log.lock();
             // One durable-ack latency for the whole batch: batching exists
             // precisely to amortize the ack and the lock acquisition.
-            if !self.inner.config.append_latency.is_zero() {
-                std::thread::sleep(self.inner.config.append_latency);
-            }
+            kar_types::pace_sleep(self.inner.config.append_latency);
             let first = log.end_offset();
             for payload in payloads {
                 log.append(now, payload);
@@ -601,9 +600,7 @@ impl<M: Clone + Send + Sync + 'static> Broker<M> {
         from_offset: u64,
         max: usize,
     ) -> KarResult<Vec<Record<Arc<M>>>> {
-        if !self.inner.config.deliver_latency.is_zero() {
-            std::thread::sleep(self.inner.config.deliver_latency);
-        }
+        kar_types::pace_sleep(self.inner.config.deliver_latency);
         self.check_epoch(component, epoch)?;
         let _coarse = self.inner.coarse.as_ref().map(Mutex::lock);
         Ok(partition.log.lock().read_from(from_offset, max))
@@ -1063,6 +1060,28 @@ impl<M: Clone + Send + Sync + 'static> Consumer<M> {
     /// forcefully disconnected or the partition has been reassigned.
     pub fn poll(&self, max: usize) -> KarResult<Vec<Record<Arc<M>>>> {
         self.check_partition_epoch()?;
+        // Consumer-side gray failures: a poll is a read, so `Transient`
+        // fails before fetching (nothing moves), and `AckLost` becomes
+        // *redelivery* — records are returned but the position stays put,
+        // so the next poll reads them again (Kafka's at-least-once regime;
+        // the runtime's dedup layer must absorb the duplicates).
+        let mut redeliver = false;
+        if let Some(injector) = &self.broker.inner.config.faults {
+            match injector.decide(
+                FaultSite::ConsumerPoll,
+                FaultPlane::Broker,
+                self.partition as u64,
+            ) {
+                None => {}
+                Some(FaultDecision::Transient) => {
+                    return Err(KarError::Queue(
+                        "injected transient fault at consumer_poll".to_owned(),
+                    ));
+                }
+                Some(FaultDecision::AckLost) => redeliver = true,
+                Some(FaultDecision::Latency(extra)) => kar_types::pace_sleep(extra),
+            }
+        }
         let mut position = self.position.lock();
         // Snapshot the end offset *before* fetching: an append racing the
         // fetch is never skipped, while an empty fetch proves every offset
@@ -1077,6 +1096,10 @@ impl<M: Clone + Send + Sync + 'static> Consumer<M> {
             *position,
             max,
         )?;
+        if redeliver {
+            // Position untouched: the same records come back next poll.
+            return Ok(records);
+        }
         if let Some(last) = records.last() {
             *position = last.offset + 1;
         } else if max > 0 && end > *position {
@@ -1109,6 +1132,19 @@ impl<M: Clone + Send + Sync + 'static> Consumer<M> {
     /// Fails with `KarError::Fenced` if the owning component has been
     /// forcefully disconnected.
     pub fn poll_wait(&self, max: usize, timeout: Duration) -> KarResult<Vec<Record<Arc<M>>>> {
+        if kar_types::sim::active() {
+            // Single-threaded simulation: nobody else can append — step the
+            // scheduler (becoming the rest of the mesh) until a record
+            // lands or the virtual deadline passes.
+            let deadline = kar_types::mono_now() + timeout;
+            loop {
+                let records = self.poll(max)?;
+                if !records.is_empty() || kar_types::mono_now() >= deadline {
+                    return Ok(records);
+                }
+                kar_types::sim::step();
+            }
+        }
         let deadline = Instant::now() + timeout;
         loop {
             // Snapshot the append signal before polling: an append landing

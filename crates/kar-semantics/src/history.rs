@@ -1,0 +1,361 @@
+//! History conformance: checking an *observed* execution against the
+//! calculus's guarantees.
+//!
+//! The [`explore`](crate::explore) module checks the guarantees of §3 by
+//! exhaustively walking the semantics itself. This module points the same
+//! guarantees at the *implementation*: a test harness (the deterministic
+//! simulation explorer above all) records what actually happened — requests
+//! issued, effects committed, completions observed, components killed and
+//! recovered — as a flat event history, and [`HistoryChecker`] replays the
+//! paper's theorems over it:
+//!
+//! * **exactly-once** (Theorem 3.2): at most one [`Commit`](HistoryEvent)
+//!   per request id — a retried invocation whose first execution already
+//!   committed must be absorbed by dedup, never re-applied;
+//! * **no lost responses** (Theorem 3.3): a request that committed must not
+//!   complete with failure at a surviving caller — the response outlives
+//!   the failure of the component that produced it;
+//! * **completion** (Theorem 3.4): under bounded failures every issued
+//!   request eventually completes; an issue with no completion at the end
+//!   of a quiescent history is a stuck request;
+//! * **per-caller FIFO order**: two requests one caller issues to one actor
+//!   commit in issue order.
+//!
+//! The checker is incremental — feed events as they are observed with
+//! [`HistoryChecker::record`] — and the liveness rules (which are only
+//! meaningful once the history is complete) run in
+//! [`HistoryChecker::finalize`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One observed event in an execution history.
+///
+/// Request ids must be unique per logical request (retries of the same
+/// request reuse its id — that is what makes the exactly-once rule
+/// checkable). `seq` on [`HistoryEvent::Issue`] is the caller's own issue
+/// counter toward that actor, used for the FIFO rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryEvent {
+    /// A caller issued request `req` to `actor`; `seq` is the caller's
+    /// per-actor issue sequence number (1, 2, 3, … per `(caller, actor)`).
+    Issue {
+        /// Unique id of the logical request.
+        req: u64,
+        /// The issuing caller.
+        caller: String,
+        /// The target actor.
+        actor: String,
+        /// Caller's issue index toward this actor.
+        seq: u64,
+    },
+    /// The invocation's effects were applied (actor-side commit point).
+    Commit {
+        /// Id of the committed request.
+        req: u64,
+        /// The actor that applied it.
+        actor: String,
+    },
+    /// The caller observed the request completing; `ok` is whether it
+    /// completed with a response (`true`) or surfaced as a failure or
+    /// timeout (`false`).
+    Complete {
+        /// Id of the completed request.
+        req: u64,
+        /// Whether the caller received a response.
+        ok: bool,
+    },
+    /// A component was killed (context for reports; no rule keys on it).
+    Kill {
+        /// Name of the killed component.
+        component: String,
+    },
+    /// A failed component's work was re-homed (context for reports).
+    Recovered {
+        /// Name of the recovered component.
+        component: String,
+    },
+}
+
+/// One conformance violation: which rule broke, where in the history, and a
+/// human-readable account good enough to file a bug from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryViolation {
+    /// Stable rule name (`duplicate_commit`, `lost_response`,
+    /// `orphan_commit`, `duplicate_completion`, `orphan_completion`,
+    /// `fifo_order`, `lost_invocation`).
+    pub rule: &'static str,
+    /// What happened, with the ids involved.
+    pub detail: String,
+    /// Index of the offending event in the recorded history
+    /// (`usize::MAX` for liveness violations found at finalize time).
+    pub at: usize,
+}
+
+impl fmt::Display for HistoryViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+#[derive(Default)]
+struct RequestState {
+    caller: Option<String>,
+    actor: Option<String>,
+    seq: u64,
+    commits: u32,
+    completions: u32,
+    completed_ok: bool,
+    completed_err: bool,
+}
+
+/// Incremental conformance checker over an observed history. See the module
+/// docs for the rules.
+#[derive(Default)]
+pub struct HistoryChecker {
+    requests: HashMap<u64, RequestState>,
+    /// Last committed issue-seq per `(caller, actor)` pair.
+    fifo: HashMap<(String, String), u64>,
+    violations: Vec<HistoryViolation>,
+    events: usize,
+}
+
+impl HistoryChecker {
+    /// A checker with an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// Violations found so far (liveness rules excluded until
+    /// [`finalize`](Self::finalize)).
+    pub fn violations(&self) -> &[HistoryViolation] {
+        &self.violations
+    }
+
+    /// Records one event, checking every safety rule it can trip.
+    pub fn record(&mut self, event: HistoryEvent) {
+        let at = self.events;
+        self.events += 1;
+        match event {
+            HistoryEvent::Issue {
+                req,
+                caller,
+                actor,
+                seq,
+            } => {
+                let state = self.requests.entry(req).or_default();
+                state.caller = Some(caller);
+                state.actor = Some(actor);
+                state.seq = seq;
+            }
+            HistoryEvent::Commit { req, actor } => {
+                let state = self.requests.entry(req).or_default();
+                state.commits += 1;
+                if state.caller.is_none() {
+                    self.violations.push(HistoryViolation {
+                        rule: "orphan_commit",
+                        detail: format!("request {req} committed at {actor} but was never issued"),
+                        at,
+                    });
+                } else if state.commits > 1 {
+                    self.violations.push(HistoryViolation {
+                        rule: "duplicate_commit",
+                        detail: format!(
+                            "request {req} committed {} times at {actor} — retry not absorbed \
+                             by dedup",
+                            state.commits
+                        ),
+                        at,
+                    });
+                } else if let (Some(caller), Some(target)) = (&state.caller, &state.actor) {
+                    // First commit: enforce issue-order per (caller, actor).
+                    let key = (caller.clone(), target.clone());
+                    let seq = state.seq;
+                    let last = self.fifo.entry(key).or_insert(0);
+                    if seq <= *last {
+                        self.violations.push(HistoryViolation {
+                            rule: "fifo_order",
+                            detail: format!(
+                                "request {req} (issue #{seq} from {caller} to {target}) \
+                                 committed after issue #{last} — per-caller order broken"
+                            ),
+                            at,
+                        });
+                    } else {
+                        *last = seq;
+                    }
+                }
+            }
+            HistoryEvent::Complete { req, ok } => {
+                let state = self.requests.entry(req).or_default();
+                state.completions += 1;
+                if ok {
+                    state.completed_ok = true;
+                } else {
+                    state.completed_err = true;
+                }
+                if state.caller.is_none() && state.completions == 1 {
+                    self.violations.push(HistoryViolation {
+                        rule: "orphan_completion",
+                        detail: format!("request {req} completed but was never issued"),
+                        at,
+                    });
+                }
+                if state.completions > 1 {
+                    self.violations.push(HistoryViolation {
+                        rule: "duplicate_completion",
+                        detail: format!(
+                            "request {req} completed {} times — a caller observes exactly \
+                             one outcome",
+                            state.completions
+                        ),
+                        at,
+                    });
+                }
+                if state.commits > 0 && !ok {
+                    self.violations.push(HistoryViolation {
+                        rule: "lost_response",
+                        detail: format!(
+                            "request {req} committed its effects but surfaced as a failure \
+                             at the caller — the response was lost"
+                        ),
+                        at,
+                    });
+                }
+            }
+            HistoryEvent::Kill { .. } | HistoryEvent::Recovered { .. } => {}
+        }
+    }
+
+    /// Runs the liveness rules over the complete history and returns every
+    /// violation found. Call once the system is quiescent: a request still
+    /// legitimately in flight would be reported as stuck.
+    pub fn finalize(mut self) -> Vec<HistoryViolation> {
+        let mut stuck: Vec<u64> = self
+            .requests
+            .iter()
+            .filter(|(_, s)| s.caller.is_some() && s.completions == 0)
+            .map(|(req, _)| *req)
+            .collect();
+        stuck.sort_unstable();
+        for req in stuck {
+            self.violations.push(HistoryViolation {
+                rule: "lost_invocation",
+                detail: format!("request {req} was issued but never completed — stuck forever"),
+                at: usize::MAX,
+            });
+        }
+        self.violations
+    }
+}
+
+/// Checks a complete history in one call (records everything, then
+/// finalizes).
+pub fn check_history(events: impl IntoIterator<Item = HistoryEvent>) -> Vec<HistoryViolation> {
+    let mut checker = HistoryChecker::new();
+    for event in events {
+        checker.record(event);
+    }
+    checker.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn issue(req: u64, seq: u64) -> HistoryEvent {
+        HistoryEvent::Issue {
+            req,
+            caller: "c".into(),
+            actor: "a".into(),
+            seq,
+        }
+    }
+
+    fn commit(req: u64) -> HistoryEvent {
+        HistoryEvent::Commit {
+            req,
+            actor: "a".into(),
+        }
+    }
+
+    fn complete(req: u64, ok: bool) -> HistoryEvent {
+        HistoryEvent::Complete { req, ok }
+    }
+
+    #[test]
+    fn a_clean_history_has_no_violations() {
+        let violations = check_history(vec![
+            issue(1, 1),
+            commit(1),
+            complete(1, true),
+            issue(2, 2),
+            HistoryEvent::Kill {
+                component: "alpha".into(),
+            },
+            HistoryEvent::Recovered {
+                component: "alpha".into(),
+            },
+            commit(2),
+            complete(2, true),
+        ]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn a_failed_completion_without_commit_is_allowed() {
+        // A request that never applied may surface as a failure (an
+        // exhausted retry schedule) — only commit + failure is a loss.
+        let violations = check_history(vec![issue(1, 1), complete(1, false)]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn duplicate_commit_is_exactly_once_broken() {
+        let violations = check_history(vec![issue(1, 1), commit(1), commit(1), complete(1, true)]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "duplicate_commit");
+    }
+
+    #[test]
+    fn commit_plus_failed_completion_is_a_lost_response() {
+        let violations = check_history(vec![issue(1, 1), commit(1), complete(1, false)]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "lost_response");
+    }
+
+    #[test]
+    fn an_issue_that_never_completes_is_stuck() {
+        let violations = check_history(vec![issue(1, 1), commit(1)]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "lost_invocation");
+    }
+
+    #[test]
+    fn out_of_order_commits_break_fifo() {
+        let violations = check_history(vec![
+            issue(1, 1),
+            issue(2, 2),
+            commit(2),
+            commit(1),
+            complete(1, true),
+            complete(2, true),
+        ]);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, "fifo_order");
+    }
+
+    #[test]
+    fn orphans_and_double_completions_are_reported() {
+        let violations = check_history(vec![commit(9), complete(9, true), complete(9, true)]);
+        let rules: Vec<_> = violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"orphan_commit"));
+        assert!(rules.contains(&"orphan_completion"));
+        assert!(rules.contains(&"duplicate_completion"));
+    }
+}

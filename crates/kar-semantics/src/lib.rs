@@ -20,7 +20,10 @@
 //!   configuration, plus termination of the root request under bounded
 //!   failures,
 //! * [`programs`] — the example programs used throughout the paper (the
-//!   `Latch`, the reentrant `A`/`B` callback, the tail-call `Accumulator`).
+//!   `Latch`, the reentrant `A`/`B` callback, the tail-call `Accumulator`),
+//! * [`history`] — a conformance checker that replays the same guarantees
+//!   over an *observed* execution history, used by the deterministic
+//!   simulation explorer as its oracle against the real runtime.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@
 
 pub mod config;
 pub mod explore;
+pub mod history;
 pub mod program;
 pub mod programs;
 pub mod rules;
@@ -49,6 +53,7 @@ pub mod term;
 
 pub use config::{Config, Message, Process, ProcessBody};
 pub use explore::{ExploreOptions, ExploreReport, Explorer, Violation};
+pub use history::{check_history, HistoryChecker, HistoryEvent, HistoryViolation};
 pub use program::{Expr, Op, Program, ProgramBuilder};
 pub use rules::{reachable, runnable, RuleKind};
 pub use term::{ActorName, Env, Sequel, Term, Val};

@@ -356,6 +356,22 @@ impl Store {
         arc.map(unshare)
     }
 
+    /// Administrative compare-and-delete: removes `key` only while it still
+    /// holds exactly `expected`, bypassing fencing. Returns true if the
+    /// delete happened. This is the primitive lease-takeover protocols need:
+    /// deleting a stale claim unconditionally would also delete a *fresh*
+    /// claim planted by a racing reclaimer between the read and the delete.
+    pub fn admin_del_if_eq(&self, key: &str, expected: &Value) -> bool {
+        let mut shard = self.inner.lock_shard_of(key);
+        match shard.strings.get(key) {
+            Some(current) if current.as_ref() == expected => {
+                shard.strings.remove(key);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Administrative write of a string key only if it is absent, bypassing
     /// fencing. Returns true if the write happened.
     pub fn admin_set_nx(&self, key: &str, value: Value) -> bool {
@@ -445,6 +461,28 @@ impl Store {
         Ok(inserted)
     }
 
+    /// [`Store::admin_del_if_eq`] through the fault injector's `StoreAdmin`
+    /// site. Under an ack-lost decision the conditional delete **applies**
+    /// and failure is reported anyway; a replay then observes the key absent
+    /// (or re-claimed) and reports `false`, which callers must treat as
+    /// "someone else owns the takeover now" — never as proof the old value
+    /// survived.
+    ///
+    /// # Errors
+    ///
+    /// Fails with an injected transient [`KarError::Store`] error (nothing
+    /// applied) or an injected ack loss (applied).
+    pub fn admin_del_if_eq_checked(&self, key: &str, expected: &Value) -> KarResult<bool> {
+        let ack_lost = self
+            .inner
+            .fault_gate(FaultSite::StoreAdmin, self.inner.shard_of(key))?;
+        let deleted = self.admin_del_if_eq(key, expected);
+        if ack_lost {
+            return Err(StoreInner::ack_lost_error(FaultSite::StoreAdmin));
+        }
+        Ok(deleted)
+    }
+
     /// An administrative (unfenced, latency-free) [`Pipeline`]: commands are
     /// buffered and applied in one per-shard grouped flush. Used by the
     /// reconciliation leader to batch placement rewrites and invalidations
@@ -496,9 +534,7 @@ impl StoreInner {
     /// strictly outside any data lock) plus the round-trip counter. Called
     /// once per single command and once per pipeline flush.
     pub(crate) fn charge_round_trip(&self) {
-        if !self.config.op_latency.is_zero() {
-            std::thread::sleep(self.config.op_latency);
-        }
+        kar_types::pace_sleep(self.config.op_latency);
         self.stats.round_trips.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -541,7 +577,7 @@ impl StoreInner {
             ))),
             Some(FaultDecision::AckLost) => Ok(true),
             Some(FaultDecision::Latency(extra)) => {
-                std::thread::sleep(extra);
+                kar_types::pace_sleep(extra);
                 Ok(false)
             }
         }

@@ -49,16 +49,30 @@ pub enum FaultSite {
     /// One admin (unfenced) broker append or append batch — recovery
     /// re-homing and DLQ provenance writes.
     BrokerAdminAppend,
+    /// One consumer-side poll of a broker partition. A poll is a read, so
+    /// the decision semantics shift: `Transient` fails the poll before
+    /// fetching (nothing moves), while `AckLost` becomes *redelivery* — the
+    /// records are returned but the consumer position does **not** advance,
+    /// so the next poll reads them again (the Kafka at-least-once regime
+    /// the runtime's dedup layer must absorb).
+    ConsumerPoll,
+    /// One read of the retry scheduler's `epoch_ms` clock. Driven by
+    /// [`ClockSkewSpec`], not a [`FaultSpec`]: a skewed read shifts the
+    /// observed epoch by a fixed offset, modelling a component whose
+    /// wall clock disagrees with the rest of the mesh.
+    RetryClock,
 }
 
 impl FaultSite {
     /// All sites, in display order.
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 7] = [
         FaultSite::StoreCommand,
         FaultSite::StoreFlush,
         FaultSite::StoreAdmin,
         FaultSite::BrokerAppend,
         FaultSite::BrokerAdminAppend,
+        FaultSite::ConsumerPoll,
+        FaultSite::RetryClock,
     ];
 
     /// Stable short name (used in stats and debug reports).
@@ -69,6 +83,8 @@ impl FaultSite {
             FaultSite::StoreAdmin => "store_admin",
             FaultSite::BrokerAppend => "broker_append",
             FaultSite::BrokerAdminAppend => "broker_admin_append",
+            FaultSite::ConsumerPoll => "consumer_poll",
+            FaultSite::RetryClock => "retry_clock",
         }
     }
 
@@ -79,6 +95,8 @@ impl FaultSite {
             FaultSite::StoreAdmin => 2,
             FaultSite::BrokerAppend => 3,
             FaultSite::BrokerAdminAppend => 4,
+            FaultSite::ConsumerPoll => 5,
+            FaultSite::RetryClock => 6,
         }
     }
 }
@@ -185,6 +203,21 @@ pub struct BrownoutSpec {
     pub extra_latency: Duration,
 }
 
+/// Clock skew injected into the retry scheduler's `epoch_ms` reads (see
+/// [`FaultSite::RetryClock`]): with probability `rate`, a read at the
+/// injection site observes the epoch shifted by `skew_ms` — so a component
+/// schedules (or fires) retry deadlines on a clock that disagrees with the
+/// rest of the mesh by that much.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockSkewSpec {
+    /// Probability a clock read at the site is skewed.
+    pub rate: f64,
+    /// Signed offset applied to a skewed read, in milliseconds.
+    pub skew_ms: i64,
+    /// Optional cap on the number of skewed reads; `None` is unlimited.
+    pub budget: Option<u64>,
+}
+
 /// The full fault plan for one mesh: per-site specs, optional brownouts,
 /// and the seed every decision derives from.
 #[derive(Debug, Clone, PartialEq)]
@@ -201,6 +234,11 @@ pub struct FaultPlan {
     pub broker_appends: FaultSpec,
     /// Admin broker appends (recovery re-homing, DLQ provenance).
     pub broker_admin_appends: FaultSpec,
+    /// Consumer-side partition polls (see [`FaultSite::ConsumerPoll`] for
+    /// the read-shaped decision semantics).
+    pub consumer_polls: FaultSpec,
+    /// Optional clock skew on the retry scheduler's `epoch_ms` reads.
+    pub clock_skew: Option<ClockSkewSpec>,
     /// Optional store-shard brownout window.
     pub store_brownout: Option<BrownoutSpec>,
     /// Optional broker-partition brownout window.
@@ -218,12 +256,16 @@ impl FaultPlan {
             store_admin: FaultSpec::NONE,
             broker_appends: FaultSpec::NONE,
             broker_admin_appends: FaultSpec::NONE,
+            consumer_polls: FaultSpec::NONE,
+            clock_skew: None,
             store_brownout: None,
             broker_brownout: None,
         }
     }
 
-    /// Sets the spec for one site.
+    /// Sets the spec for one site. [`FaultSite::RetryClock`] is driven by
+    /// [`FaultPlan::with_clock_skew`], not a [`FaultSpec`]; setting a spec
+    /// on it is a no-op.
     #[must_use]
     pub fn with_site(mut self, site: FaultSite, spec: FaultSpec) -> Self {
         match site {
@@ -232,15 +274,41 @@ impl FaultPlan {
             FaultSite::StoreAdmin => self.store_admin = spec,
             FaultSite::BrokerAppend => self.broker_appends = spec,
             FaultSite::BrokerAdminAppend => self.broker_admin_appends = spec,
+            FaultSite::ConsumerPoll => self.consumer_polls = spec,
+            FaultSite::RetryClock => {}
         }
         self
     }
 
-    /// Applies `spec` to every site (the "~1% everywhere" chaos shape).
+    /// Applies `spec` to every spec-driven site (the "~1% everywhere" chaos
+    /// shape). Clock skew stays off unless armed explicitly.
     #[must_use]
     pub fn with_all_sites(mut self, spec: FaultSpec) -> Self {
         for site in FaultSite::ALL {
             self = self.with_site(site, spec);
+        }
+        self
+    }
+
+    /// Arms clock-skew injection on the retry scheduler's `epoch_ms` reads:
+    /// each read at the injection site is shifted by `skew_ms` with
+    /// probability `rate`.
+    #[must_use]
+    pub fn with_clock_skew(mut self, rate: f64, skew_ms: i64) -> Self {
+        self.clock_skew = Some(ClockSkewSpec {
+            rate,
+            skew_ms,
+            budget: None,
+        });
+        self
+    }
+
+    /// Caps the number of skewed clock reads (requires
+    /// [`FaultPlan::with_clock_skew`] first; no-op otherwise).
+    #[must_use]
+    pub fn with_clock_skew_budget(mut self, budget: u64) -> Self {
+        if let Some(spec) = &mut self.clock_skew {
+            spec.budget = Some(budget);
         }
         self
     }
@@ -266,6 +334,8 @@ impl FaultPlan {
             && self.store_admin.is_none()
             && self.broker_appends.is_none()
             && self.broker_admin_appends.is_none()
+            && self.consumer_polls.is_none()
+            && self.clock_skew.is_none_or(|s| s.rate <= 0.0)
             && self.store_brownout.is_none()
             && self.broker_brownout.is_none()
     }
@@ -277,6 +347,9 @@ impl FaultPlan {
             FaultSite::StoreAdmin => &self.store_admin,
             FaultSite::BrokerAppend => &self.broker_appends,
             FaultSite::BrokerAdminAppend => &self.broker_admin_appends,
+            FaultSite::ConsumerPoll => &self.consumer_polls,
+            // Clock skew is not spec-driven; decide() never reaches here.
+            FaultSite::RetryClock => &FaultSpec::NONE,
         }
     }
 }
@@ -292,13 +365,15 @@ pub struct SiteCounters {
     pub ack_lost: u64,
     /// Latency spikes injected.
     pub spikes: u64,
+    /// Skewed clock reads injected ([`FaultSite::RetryClock`] only).
+    pub skews: u64,
 }
 
 /// A counter snapshot across all sites, plus brownout surcharges.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultCounters {
     /// Per-site counters, indexed like [`FaultSite::ALL`].
-    pub sites: [SiteCounters; 5],
+    pub sites: [SiteCounters; 7],
     /// Store operations that paid a brownout surcharge.
     pub store_brownout_ops: u64,
     /// Broker operations that paid a brownout surcharge.
@@ -333,6 +408,7 @@ struct SiteState {
     transient: AtomicU64,
     ack_lost: AtomicU64,
     spikes: AtomicU64,
+    skews: AtomicU64,
     injected: AtomicU64,
 }
 
@@ -341,7 +417,7 @@ struct SiteState {
 /// of counters.
 pub struct FaultInjector {
     plan: FaultPlan,
-    sites: [SiteState; 5],
+    sites: [SiteState; 7],
     store_ops: AtomicU64,
     broker_ops: AtomicU64,
     store_brownout_ops: AtomicU64,
@@ -468,15 +544,44 @@ impl FaultInjector {
         }
     }
 
+    /// Draws one retry-clock reading: the signed epoch-millisecond offset
+    /// the reader must add to its `epoch_ms` observation. Zero unless the
+    /// plan arms [`ClockSkewSpec`] and this draw lands inside its rate.
+    /// Counted at [`FaultSite::RetryClock`] (`draws` / `skews`).
+    pub fn epoch_skew_ms(&self) -> i64 {
+        let Some(spec) = self.plan.clock_skew else {
+            return 0;
+        };
+        let state = &self.sites[FaultSite::RetryClock.index()];
+        let n = state.draws.fetch_add(1, Ordering::Relaxed);
+        if spec.rate <= 0.0 {
+            return 0;
+        }
+        let site_seed =
+            mix(self.plan.seed ^ (FaultSite::RetryClock.index() as u64 + 1).wrapping_mul(GOLDEN));
+        if unit(site_seed, n) >= spec.rate {
+            return 0;
+        }
+        if let Some(budget) = spec.budget {
+            let already = state.injected.fetch_add(1, Ordering::Relaxed);
+            if already >= budget {
+                return 0;
+            }
+        }
+        state.skews.fetch_add(1, Ordering::Relaxed);
+        spec.skew_ms
+    }
+
     /// Snapshot of the injection counters.
     pub fn counters(&self) -> FaultCounters {
-        let mut sites = [SiteCounters::default(); 5];
+        let mut sites = [SiteCounters::default(); 7];
         for (slot, state) in sites.iter_mut().zip(&self.sites) {
             *slot = SiteCounters {
                 draws: state.draws.load(Ordering::Relaxed),
                 transient: state.transient.load(Ordering::Relaxed),
                 ack_lost: state.ack_lost.load(Ordering::Relaxed),
                 spikes: state.spikes.load(Ordering::Relaxed),
+                skews: state.skews.load(Ordering::Relaxed),
             };
         }
         FaultCounters {
@@ -632,6 +737,59 @@ mod tests {
             injector.decide(FaultSite::BrokerAppend, FaultPlane::Broker, 2),
             None
         );
+    }
+
+    #[test]
+    fn consumer_poll_site_draws_independently() {
+        let plan = FaultPlan::new(11).with_site(
+            FaultSite::ConsumerPoll,
+            FaultSpec::transient(1.0).with_budget(2),
+        );
+        let injector = FaultInjector::new(plan);
+        assert_eq!(
+            injector.decide(FaultSite::ConsumerPoll, FaultPlane::Broker, 0),
+            Some(FaultDecision::Transient)
+        );
+        assert_eq!(
+            injector.decide(FaultSite::ConsumerPoll, FaultPlane::Broker, 1),
+            Some(FaultDecision::Transient)
+        );
+        // Budget spent: polls proceed cleanly, other sites untouched.
+        assert_eq!(
+            injector.decide(FaultSite::ConsumerPoll, FaultPlane::Broker, 0),
+            None
+        );
+        let counters = injector.counters();
+        assert_eq!(counters.site(FaultSite::ConsumerPoll).transient, 2);
+        assert_eq!(counters.site(FaultSite::BrokerAppend).draws, 0);
+    }
+
+    #[test]
+    fn clock_skew_draws_count_and_respect_budget() {
+        // Unarmed: zero offset, zero draws.
+        let clean = FaultInjector::new(FaultPlan::new(5));
+        assert_eq!(clean.epoch_skew_ms(), 0);
+        assert_eq!(clean.counters().site(FaultSite::RetryClock).draws, 0);
+
+        let plan = FaultPlan::new(5)
+            .with_clock_skew(1.0, -250)
+            .with_clock_skew_budget(3);
+        assert!(!plan.is_empty());
+        let injector = FaultInjector::new(plan);
+        let skews: Vec<i64> = (0..10).map(|_| injector.epoch_skew_ms()).collect();
+        assert_eq!(skews.iter().filter(|s| **s == -250).count(), 3);
+        assert_eq!(skews.iter().filter(|s| **s == 0).count(), 7);
+        let site = injector.counters().site(FaultSite::RetryClock);
+        assert_eq!(site.draws, 10);
+        assert_eq!(site.skews, 3);
+        // Same seed, same skew schedule.
+        let replay = FaultInjector::new(
+            FaultPlan::new(5)
+                .with_clock_skew(1.0, -250)
+                .with_clock_skew_budget(3),
+        );
+        let again: Vec<i64> = (0..10).map(|_| replay.epoch_skew_ms()).collect();
+        assert_eq!(skews, again);
     }
 
     #[test]

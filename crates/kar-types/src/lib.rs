@@ -41,18 +41,24 @@ pub mod fault;
 pub mod ids;
 pub mod message;
 pub mod retry;
+pub mod sim;
 pub mod sync;
 pub mod time;
 pub mod value;
 
 pub use error::{KarError, KarResult};
 pub use fault::{
-    BrownoutSpec, FaultCounters, FaultDecision, FaultInjector, FaultPlan, FaultPlane, FaultSite,
-    FaultSpec, SiteCounters,
+    BrownoutSpec, ClockSkewSpec, FaultCounters, FaultDecision, FaultInjector, FaultPlan,
+    FaultPlane, FaultSite, FaultSpec, SiteCounters,
 };
 pub use ids::{ActorId, ActorRef, ActorType, ComponentId, Epoch, NodeId, RequestId};
 pub use message::{CallKind, Envelope, Payload, RequestMessage, ResponseMessage};
 pub use retry::{epoch_ms, Backoff, RetryOn, RetryPolicy, RetryState, RetryVerdict};
+pub use sim::SimScheduler;
 pub use sync::{WaitSignal, WaitSignalGroup};
-pub use time::{Clock, DeploymentProfile, LatencyProfile, ScaledClock, SystemClock, TimeScale};
+pub use time::{
+    clear_virtual_clock, install_virtual_clock, mono_now, pace_sleep, virtual_clock,
+    virtual_time_active, Clock, DeploymentProfile, LatencyProfile, ScaledClock, SystemClock,
+    TimeScale, VirtualClock,
+};
 pub use value::Value;

@@ -40,9 +40,22 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::KarError;
 
+/// The epoch-milliseconds value a freshly created [`crate::VirtualClock`]
+/// reports: an arbitrary but realistic instant, so simulated retry deadlines
+/// look like production timestamps and never underflow epoch arithmetic.
+pub const SIM_EPOCH_BASE_MS: u64 = 1_600_000_000_000;
+
 /// Current wall-clock time in milliseconds since the Unix epoch: the clock
 /// every retry deadline is expressed in.
+///
+/// Under an installed [`crate::VirtualClock`] (deterministic simulation),
+/// this is [`SIM_EPOCH_BASE_MS`] plus the virtual elapsed time, so the whole
+/// retry schedule — backoff deadlines, aged bookkeeping, DLQ lease expiry —
+/// rides the simulated timeline.
 pub fn epoch_ms() -> u64 {
+    if let Some(clock) = crate::time::virtual_clock() {
+        return SIM_EPOCH_BASE_MS + clock.now().as_millis() as u64;
+    }
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .unwrap_or(Duration::ZERO)

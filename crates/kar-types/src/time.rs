@@ -7,6 +7,9 @@
 //! *Managed*) via [`LatencyProfile`]s injected into the queue and store
 //! substrates.
 
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -149,6 +152,109 @@ impl Clock for ScaledClock {
         if !compressed.is_zero() {
             std::thread::sleep(compressed);
         }
+    }
+}
+
+/// A deterministic clock that only moves when told to.
+///
+/// In the deterministic simulation mode, one `VirtualClock` replaces every
+/// wall-clock read in the runtime — retry `epoch_ms`, backoff deadlines,
+/// retention/aging clocks, brownout windows, the timer lane — so a run's
+/// timeline is a pure function of the schedule, not of host speed.
+/// [`Clock::sleep`] *advances* the clock instead of blocking: a modelled
+/// latency charge becomes virtual-time progression.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    nanos: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock starting at virtual time zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Current virtual time (elapsed since the clock's creation).
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        VirtualClock::now(self)
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+thread_local! {
+    /// The thread's virtual-clock override. A *thread*-local (not a global)
+    /// so a deterministic simulation running on one thread never perturbs
+    /// unrelated tests executing in parallel in the same process.
+    static VIRTUAL: RefCell<Option<Arc<VirtualClock>>> = const { RefCell::new(None) };
+}
+
+/// Installs `clock` as this thread's virtual-time source. Every subsequent
+/// [`mono_now`]/[`pace_sleep`]/`epoch_ms` call on this thread reads (or
+/// advances) the virtual clock until [`clear_virtual_clock`] runs.
+pub fn install_virtual_clock(clock: Arc<VirtualClock>) {
+    VIRTUAL.with(|v| *v.borrow_mut() = Some(clock));
+}
+
+/// Removes this thread's virtual-time override.
+pub fn clear_virtual_clock() {
+    VIRTUAL.with(|v| *v.borrow_mut() = None);
+}
+
+/// This thread's virtual clock, if one is installed.
+pub fn virtual_clock() -> Option<Arc<VirtualClock>> {
+    VIRTUAL.with(|v| v.borrow().clone())
+}
+
+/// True if this thread is running under a virtual clock.
+pub fn virtual_time_active() -> bool {
+    VIRTUAL.with(|v| v.borrow().is_some())
+}
+
+fn global_origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// The process-wide monotonic timestamp every runtime timing surface reads.
+///
+/// In real mode this is elapsed time since a process-global origin (one
+/// shared timeline, so timestamps taken on different threads compare
+/// meaningfully). Under an installed [`VirtualClock`] it is the virtual
+/// time instead.
+pub fn mono_now() -> Duration {
+    if let Some(clock) = virtual_clock() {
+        clock.now()
+    } else {
+        global_origin().elapsed()
+    }
+}
+
+/// Sleeps for `d` in real mode; advances the virtual clock by `d` under a
+/// [`VirtualClock`]. Modelled latency charges (store ops, broker acks,
+/// reconciliation pacing) go through here so simulated executions pay them
+/// in virtual time.
+pub fn pace_sleep(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    if let Some(clock) = virtual_clock() {
+        clock.advance(d);
+    } else {
+        std::thread::sleep(d);
     }
 }
 
@@ -319,6 +425,43 @@ mod tests {
         assert!(start.elapsed() < Duration::from_millis(500));
         assert_eq!(c.scale().factor(), 0.01);
         let _ = c.now();
+    }
+
+    #[test]
+    fn virtual_clock_advances_only_when_told() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.now(), Duration::from_millis(5));
+        // sleep() is an advance, not a block.
+        let start = Instant::now();
+        c.sleep(Duration::from_secs(30));
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(c.now(), Duration::from_millis(30_005));
+    }
+
+    #[test]
+    fn virtual_override_is_thread_local() {
+        let clock = Arc::new(VirtualClock::new());
+        assert!(!virtual_time_active());
+        install_virtual_clock(clock.clone());
+        assert!(virtual_time_active());
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(mono_now(), Duration::from_secs(1));
+        // pace_sleep under the override advances virtual time instantly.
+        let start = Instant::now();
+        pace_sleep(Duration::from_secs(10));
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(mono_now(), Duration::from_secs(11));
+        // Another thread sees the real clock, not this thread's override.
+        let handle = std::thread::spawn(virtual_time_active);
+        assert!(!handle.join().unwrap());
+        clear_virtual_clock();
+        assert!(!virtual_time_active());
+        // Real mono time flows from the shared process origin.
+        let t0 = mono_now();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(mono_now() > t0);
     }
 
     #[test]

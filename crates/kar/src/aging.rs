@@ -20,7 +20,9 @@
 
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use kar_types::mono_now;
 
 /// A set whose members are dropped in bulk once they have been idle for one
 /// to two rotation intervals. Rotation is driven by the owner (the
@@ -30,7 +32,7 @@ pub(crate) struct AgingSet<T> {
     current: HashSet<T>,
     previous: HashSet<T>,
     interval: Duration,
-    last_rotation: Instant,
+    last_rotation: Duration,
 }
 
 impl<T: Eq + Hash> AgingSet<T> {
@@ -41,7 +43,7 @@ impl<T: Eq + Hash> AgingSet<T> {
             current: HashSet::new(),
             previous: HashSet::new(),
             interval: interval.max(Duration::from_millis(1)),
-            last_rotation: Instant::now(),
+            last_rotation: mono_now(),
         }
     }
 
@@ -86,8 +88,8 @@ impl<T: Eq + Hash> AgingSet<T> {
     /// Rotates the generations if the interval has elapsed: the old
     /// generation is dropped, the young one becomes old. Returns the number
     /// of members dropped.
-    pub(crate) fn maybe_rotate(&mut self, now: Instant) -> usize {
-        if now.duration_since(self.last_rotation) < self.interval {
+    pub(crate) fn maybe_rotate(&mut self, now: Duration) -> usize {
+        if now.saturating_sub(self.last_rotation) < self.interval {
             return 0;
         }
         self.last_rotation = now;
@@ -113,7 +115,7 @@ pub(crate) struct AgingMap<K, V> {
     entries: HashMap<K, (V, u64)>,
     generation: u64,
     interval: Duration,
-    last_rotation: Instant,
+    last_rotation: Duration,
 }
 
 impl<K: Eq + Hash + Clone, V: Copy> AgingMap<K, V> {
@@ -123,7 +125,7 @@ impl<K: Eq + Hash + Clone, V: Copy> AgingMap<K, V> {
             entries: HashMap::new(),
             generation: 0,
             interval: interval.max(Duration::from_millis(1)),
-            last_rotation: Instant::now(),
+            last_rotation: mono_now(),
         }
     }
 
@@ -183,8 +185,8 @@ impl<K: Eq + Hash + Clone, V: Copy> AgingMap<K, V> {
 
     /// Advances the generation if the interval elapsed. Returns true when it
     /// did — the owner should then sweep [`AgingMap::stale_entries`].
-    pub(crate) fn advance_due(&mut self, now: Instant) -> bool {
-        if now.duration_since(self.last_rotation) < self.interval {
+    pub(crate) fn advance_due(&mut self, now: Duration) -> bool {
+        if now.saturating_sub(self.last_rotation) < self.interval {
             return false;
         }
         self.last_rotation = now;
@@ -236,7 +238,7 @@ mod tests {
         map.insert("route", 3usize);
         assert_eq!(map.get_refresh(&"route"), Some(3));
         assert_eq!(map.len(), 1);
-        let t1 = Instant::now() + Duration::from_millis(2);
+        let t1 = mono_now() + Duration::from_millis(2);
         assert!(map.advance_due(t1));
         assert!(!map.advance_due(t1), "second advance within interval");
         assert!(
@@ -254,7 +256,7 @@ mod tests {
     fn aging_map_touch_vetoes_removal() {
         let mut map = AgingMap::new(Duration::from_millis(1));
         map.insert("route", 1usize);
-        let t = Instant::now();
+        let t = mono_now();
         map.advance_due(t + Duration::from_millis(2));
         map.advance_due(t + Duration::from_millis(4));
         assert_eq!(map.stale_entries().len(), 1);
@@ -272,7 +274,7 @@ mod tests {
         set.insert(7u64);
         assert!(set.contains(&7));
         assert_eq!(set.len(), 1);
-        let later = Instant::now() + Duration::from_millis(2);
+        let later = mono_now() + Duration::from_millis(2);
         assert_eq!(set.maybe_rotate(later), 0, "first rotation only demotes");
         assert!(set.contains(&7), "still present in the old generation");
         assert_eq!(
@@ -288,7 +290,7 @@ mod tests {
     fn reinsertion_refreshes_the_generation() {
         let mut set = AgingSet::new(Duration::from_millis(1));
         set.insert(7u64);
-        let t1 = Instant::now() + Duration::from_millis(2);
+        let t1 = mono_now() + Duration::from_millis(2);
         set.maybe_rotate(t1);
         // Re-inserted after demotion: not fresh, but young again.
         assert!(!set.insert(7));
@@ -301,8 +303,8 @@ mod tests {
     fn rotation_respects_the_interval() {
         let mut set = AgingSet::new(Duration::from_secs(3600));
         set.insert(1u64);
-        assert_eq!(set.maybe_rotate(Instant::now()), 0);
-        set.maybe_rotate(Instant::now());
+        assert_eq!(set.maybe_rotate(mono_now()), 0);
+        set.maybe_rotate(mono_now());
         assert!(set.contains(&1), "no rotation before the interval elapses");
     }
 
@@ -310,7 +312,7 @@ mod tests {
     fn peek_does_not_refresh_but_get_refresh_does() {
         let mut map = AgingMap::new(Duration::from_millis(1));
         map.insert("route", 9usize);
-        let t = Instant::now();
+        let t = mono_now();
         map.advance_due(t + Duration::from_millis(2));
         map.advance_due(t + Duration::from_millis(4));
         assert_eq!(map.peek(&"route"), Some(9), "peek sees the entry");
@@ -324,7 +326,7 @@ mod tests {
     fn stamped_entries_order_coldest_first_and_remove_is_unconditional() {
         let mut map = AgingMap::new(Duration::from_millis(1));
         map.insert("cold", 1usize);
-        let t = Instant::now();
+        let t = mono_now();
         map.advance_due(t + Duration::from_millis(2));
         map.insert("warm", 2usize);
         assert_eq!(map.generation(), 1);
@@ -343,7 +345,7 @@ mod tests {
     fn set_remove_clears_both_generations() {
         let mut set = AgingSet::new(Duration::from_millis(1));
         set.insert(1u64);
-        set.maybe_rotate(Instant::now() + Duration::from_millis(2));
+        set.maybe_rotate(mono_now() + Duration::from_millis(2));
         set.insert(1u64); // in both generations now
         set.insert(2u64);
         assert!(set.remove(&1));
@@ -358,7 +360,7 @@ mod tests {
     fn len_does_not_double_count_members_in_both_generations() {
         let mut set = AgingSet::new(Duration::from_millis(1));
         set.insert(1u64);
-        set.maybe_rotate(Instant::now() + Duration::from_millis(2));
+        set.maybe_rotate(mono_now() + Duration::from_millis(2));
         set.insert(1u64);
         set.insert(2u64);
         assert_eq!(set.len(), 2);

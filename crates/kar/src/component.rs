@@ -37,7 +37,9 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use kar_types::mono_now;
 
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -211,7 +213,7 @@ struct ResponseRun {
     /// `(destination partition, completion)` in send order.
     buffered: Vec<(usize, Envelope)>,
     /// When the oldest buffered completion was produced.
-    opened: Instant,
+    opened: Duration,
 }
 
 thread_local! {
@@ -260,7 +262,7 @@ impl ResponseRunGuard {
                     owner: Arc::as_ptr(core) as usize,
                     core: Arc::clone(core),
                     buffered: Vec::new(),
-                    opened: Instant::now(),
+                    opened: mono_now(),
                 });
             });
         }
@@ -332,7 +334,7 @@ pub struct ComponentCore {
     /// Responses whose caller's component failed, parked until
     /// reconciliation re-places the caller actor (swept by the mesh timer;
     /// dropped at their deadline). Replaces the per-response routing thread.
-    orphan_responses: Mutex<Vec<(ResponseMessage, Instant)>>,
+    orphan_responses: Mutex<Vec<(ResponseMessage, Duration)>>,
     /// Set after the first failed heartbeat (the component was fenced or its
     /// group is gone): parity with the old dedicated heartbeat thread, which
     /// exited at that point and took the bookkeeping aging with it.
@@ -352,7 +354,7 @@ pub struct ComponentCore {
     requests: Option<RequestBatcher>,
     /// Broker-clock instants at which each currently-adopted partition was
     /// adopted; drives the retirement horizon (see `maybe_retire_partitions`).
-    adopted_at: Mutex<HashMap<usize, Instant>>,
+    adopted_at: Mutex<HashMap<usize, Duration>>,
     /// Adopted partitions this component has retired (fenced, dropped from
     /// the reactor wake group, removed from the partition set).
     retired: Mutex<Vec<usize>>,
@@ -402,6 +404,13 @@ pub struct ComponentCore {
     /// across all resident actors: what the mailbox watermark compares
     /// against. Mutated under the actors lock.
     mailboxed: AtomicUsize,
+    /// Transient consumer-poll failures survived (injected or real). The
+    /// consumer stays subscribed and is retried on the next sweep; only a
+    /// fencing error detaches it.
+    poll_faults: AtomicU64,
+    /// The mesh's gray-failure injector, consulted by the retry scheduler
+    /// for clock-skew injection on its `epoch_ms` reads (`None` = no plan).
+    faults: Option<Arc<kar_types::FaultInjector>>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -423,6 +432,7 @@ impl ComponentCore {
         wakeup: Arc<WaitSignalGroup>,
         budget: Arc<RetryBudget>,
         breakers: Arc<BreakerRegistry>,
+        faults: Option<Arc<kar_types::FaultInjector>>,
     ) -> Self {
         let producer = broker.producer(id);
         let conn = store.connect(id);
@@ -512,6 +522,8 @@ impl ComponentCore {
             passivated: Mutex::new(AgingSet::new(bookkeeping_interval)),
             resident_count: AtomicUsize::new(0),
             mailboxed: AtomicUsize::new(0),
+            poll_faults: AtomicU64::new(0),
+            faults,
         }
     }
 
@@ -710,7 +722,7 @@ impl ComponentCore {
         // response-batching amortization achieved so far.
         {
             let delay = self.config.scaled_retirement_delay();
-            let now = Instant::now();
+            let now = mono_now();
             let horizons: Vec<String> = {
                 let adopted_at = self.adopted_at.lock();
                 let mut entries: Vec<(usize, Duration)> = adopted_at
@@ -718,7 +730,7 @@ impl ComponentCore {
                     .map(|(partition, adopted)| {
                         (
                             *partition,
-                            delay.saturating_sub(now.duration_since(*adopted)),
+                            delay.saturating_sub(now.saturating_sub(*adopted)),
                         )
                     })
                     .collect();
@@ -888,7 +900,7 @@ impl ComponentCore {
     fn sidecar_hop(&self) {
         let hop = self.config.latency.sidecar_hop;
         if !hop.is_zero() {
-            std::thread::sleep(hop);
+            kar_types::pace_sleep(hop);
         }
     }
 
@@ -910,7 +922,7 @@ impl ComponentCore {
         // flush buffered completions first so nothing this thread produced
         // is held back while it waits.
         flush_thread_completions();
-        let deadline = Instant::now() + self.config.call_timeout;
+        let deadline = mono_now() + self.config.call_timeout;
         let component = loop {
             if !self.is_alive() {
                 return Err(KarError::Killed { component: self.id });
@@ -927,7 +939,7 @@ impl ComponentCore {
                 Ok(Some(component)) => break component,
                 Err(error) if !error.is_transient() => return Err(error),
                 Ok(None) | Err(_) => {
-                    let now = Instant::now();
+                    let now = mono_now();
                     if now >= deadline {
                         return Err(KarError::Timeout {
                             request: message.id,
@@ -938,7 +950,9 @@ impl ComponentCore {
                     // one unresolved actor never stalls the others pinned
                     // to it (idempotent across loop iterations).
                     self.yield_shard_claim();
-                    if !crate::mesh::pump_current_reactor() {
+                    if kar_types::sim::active() {
+                        kar_types::sim::step();
+                    } else if !crate::mesh::pump_current_reactor() {
                         self.placement
                             .wait_for_repair(seen, Duration::from_millis(5).min(deadline - now));
                     }
@@ -1015,11 +1029,11 @@ impl ComponentCore {
             match stack.last_mut() {
                 Some(run) if run.owner == owner => {
                     if run.buffered.is_empty() {
-                        run.opened = Instant::now();
+                        run.opened = mono_now();
                     }
                     run.buffered.push((partition, envelope));
                     let flush = run.buffered.len() >= RESPONSE_RUN_CAP
-                        || run.opened.elapsed() >= RESPONSE_RUN_HOLD;
+                        || mono_now().saturating_sub(run.opened) >= RESPONSE_RUN_HOLD;
                     let drained = if flush {
                         std::mem::take(&mut run.buffered)
                     } else {
@@ -1093,7 +1107,7 @@ impl ComponentCore {
         // the parked list each tick and delivers to the caller's new home
         // (or drops the response at the call-timeout deadline). No thread is
         // spawned and no thread blocks.
-        let deadline = Instant::now() + self.config.call_timeout;
+        let deadline = mono_now() + self.config.call_timeout;
         self.orphan_responses.lock().push((response, deadline));
     }
 
@@ -1132,7 +1146,7 @@ impl ComponentCore {
     /// Mesh-timer sweep of the orphaned-response park list: responses whose
     /// caller became routable are delivered, unroutable ones stay parked
     /// until their deadline.
-    fn sweep_orphan_responses(&self, now: Instant) {
+    fn sweep_orphan_responses(&self, now: Duration) {
         if self.orphan_responses.lock().is_empty() {
             return;
         }
@@ -1313,21 +1327,44 @@ impl ComponentCore {
         // — keeps making progress even on a single-reactor mesh. Any reactor
         // can deliver this response; pumping is about throughput, not
         // correctness. Off-reactor threads (clients) just block.
-        let deadline = Instant::now() + self.config.call_timeout;
-        let outcome = loop {
-            let slice = if crate::mesh::on_reactor_thread() {
-                Duration::from_millis(1).min(self.config.call_timeout)
-            } else {
-                deadline.saturating_duration_since(Instant::now())
-            };
-            match receiver.recv_timeout(slice) {
-                Ok(payload) => break Ok(payload),
-                Err(RecvTimeoutError::Disconnected) => break Err(RecvTimeoutError::Disconnected),
-                Err(RecvTimeoutError::Timeout) => {
-                    if Instant::now() >= deadline {
-                        break Err(RecvTimeoutError::Timeout);
+        let deadline = mono_now() + self.config.call_timeout;
+        let outcome = if kar_types::sim::active() {
+            // Simulation: the driver thread owns every lane, so parking on
+            // the channel would deadlock the whole mesh. Drive the seeded
+            // scheduler instead; time only advances when the scheduler says
+            // so, making the timeout below a *virtual* deadline.
+            loop {
+                match receiver.try_recv() {
+                    Ok(payload) => break Ok(payload),
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                        break Err(RecvTimeoutError::Disconnected)
                     }
-                    crate::mesh::pump_current_reactor();
+                    Err(crossbeam::channel::TryRecvError::Empty) => {
+                        if mono_now() >= deadline {
+                            break Err(RecvTimeoutError::Timeout);
+                        }
+                        kar_types::sim::step();
+                    }
+                }
+            }
+        } else {
+            loop {
+                let slice = if crate::mesh::on_reactor_thread() {
+                    Duration::from_millis(1).min(self.config.call_timeout)
+                } else {
+                    deadline.saturating_sub(mono_now())
+                };
+                match receiver.recv_timeout(slice) {
+                    Ok(payload) => break Ok(payload),
+                    Err(RecvTimeoutError::Disconnected) => {
+                        break Err(RecvTimeoutError::Disconnected)
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if mono_now() >= deadline {
+                            break Err(RecvTimeoutError::Timeout);
+                        }
+                        crate::mesh::pump_current_reactor();
+                    }
                 }
             }
         };
@@ -1425,7 +1462,7 @@ impl ComponentCore {
                         }
                     }
                     _ => {
-                        let deadline = Instant::now() + self.config.call_timeout;
+                        let deadline = mono_now() + self.config.call_timeout;
                         self.orphan_responses.lock().push((response, deadline));
                     }
                 }
@@ -1702,7 +1739,7 @@ impl ComponentCore {
                 request: request.clone(),
                 holds_lock,
                 reentrant,
-                deadline: Instant::now() + self.config.call_timeout,
+                deadline: mono_now() + self.config.call_timeout,
                 then,
             },
         );
@@ -2048,7 +2085,7 @@ impl ComponentCore {
         request: &RequestMessage,
         error: KarError,
     ) -> Option<KarError> {
-        let now = epoch_ms();
+        let now = self.retry_epoch_now();
         let state = match request.retry.clone() {
             Some(state) => *state,
             None => match self.config.retry_policy_for(request.target.actor_type()) {
@@ -2107,7 +2144,7 @@ impl ComponentCore {
         self: &Arc<Self>,
         mut request: RequestMessage,
     ) -> Option<RequestMessage> {
-        let now = epoch_ms();
+        let now = self.retry_epoch_now();
         let seed = request.id.as_u64();
         let due = request.retry.as_ref().is_some_and(|retry| retry.due(now));
         if due {
@@ -2183,10 +2220,13 @@ impl ComponentCore {
     /// atomic loads.
     fn pump_retries(self: &Arc<Self>) -> bool {
         let earliest = self.delayed_earliest.load(Ordering::Relaxed);
-        if earliest == 0 || epoch_ms() < earliest {
+        if earliest == 0 {
             return false;
         }
-        let now = epoch_ms();
+        let now = self.retry_epoch_now();
+        if now < earliest {
+            return false;
+        }
         let mut due: Vec<RequestMessage> = Vec::new();
         {
             let mut delayed = self.delayed.lock();
@@ -2389,7 +2429,7 @@ impl ComponentCore {
                         }
                         index += 1;
                     }
-                    Err(_) => {
+                    Err(error) if error.is_fenced() => {
                         // Fenced: the partition was reassigned (or the
                         // component is gone). Detach it from the wake group
                         // and — if it was adopted — from the retirement
@@ -2399,6 +2439,16 @@ impl ComponentCore {
                         let partition = consumers[index].partition();
                         self.adopted_at.lock().remove(&partition);
                         consumers.remove(index);
+                    }
+                    Err(_) => {
+                        // Transient poll failure (a gray fault at the
+                        // consumer_poll site, or a store brownout surfacing
+                        // through the broker): the subscription is still
+                        // valid, so keep the consumer and retry on the next
+                        // sweep. Dropping it here would silently orphan the
+                        // partition until reconciliation noticed.
+                        self.poll_faults.fetch_add(1, Ordering::Relaxed);
+                        index += 1;
                     }
                 }
             }
@@ -2540,7 +2590,7 @@ impl ComponentCore {
     /// One mesh-timer tick: heartbeat, bookkeeping aging, continuation
     /// deadlines, orphaned-response routing, partition retirement. Called at
     /// the scaled heartbeat interval by the mesh's single timer thread.
-    pub(crate) fn tick(self: &Arc<Self>, now: Instant) {
+    pub(crate) fn tick(self: &Arc<Self>, now: Duration) {
         if !self.is_alive() {
             return;
         }
@@ -2610,7 +2660,7 @@ impl ComponentCore {
             }
         }
         {
-            let now = Instant::now();
+            let now = mono_now();
             let mut adopted_at = self.adopted_at.lock();
             for partition in &adopted {
                 adopted_at.insert(*partition, now);
@@ -2640,7 +2690,7 @@ impl ComponentCore {
             return;
         }
         let delay = self.config.scaled_retirement_delay();
-        let now = Instant::now();
+        let now = mono_now();
         let mut index = 0;
         while index < consumers.len() {
             let partition = consumers[index].partition();
@@ -2648,7 +2698,7 @@ impl ComponentCore {
                 .adopted_at
                 .lock()
                 .get(&partition)
-                .is_some_and(|adopted| now.duration_since(*adopted) >= delay);
+                .is_some_and(|adopted| now.saturating_sub(*adopted) >= delay);
             if !due || self.broker.partition_len(&self.topic, partition) != 0 {
                 index += 1;
                 continue;
@@ -2725,7 +2775,7 @@ impl ComponentCore {
     /// their retention interval elapsed (piggybacked on the mesh timer's
     /// heartbeat tick).
     fn age_retry_bookkeeping(&self) {
-        let now = Instant::now();
+        let now = mono_now();
         self.completed.lock().maybe_rotate(now);
         self.seen_responses.lock().maybe_rotate(now);
         // Passivation tombstones rotate on the same doubled clock as the
@@ -2761,6 +2811,30 @@ impl ComponentCore {
     /// Number of resident (activated, in-memory) actors.
     pub fn resident_actors(&self) -> usize {
         self.resident_count.load(Ordering::Relaxed)
+    }
+
+    /// Transient consumer-poll failures this component has survived.
+    pub(crate) fn poll_fault_count(&self) -> u64 {
+        self.poll_faults.load(Ordering::Relaxed)
+    }
+
+    /// The retry scheduler's view of the epoch clock: `epoch_ms` plus any
+    /// injected clock skew (the `retry_clock` fault site). Skew simulates a
+    /// component whose local clock drifts from the queue substrate's —
+    /// backoff deadlines computed here fire early (positive skew) or late
+    /// (negative), which the orchestration layer must tolerate because a
+    /// re-homed retry is re-scheduled by a *different* component's clock.
+    fn retry_epoch_now(&self) -> u64 {
+        let now = epoch_ms();
+        let Some(injector) = &self.faults else {
+            return now;
+        };
+        let skew = injector.epoch_skew_ms();
+        if skew >= 0 {
+            now.saturating_add(skew as u64)
+        } else {
+            now.saturating_sub(skew.unsigned_abs())
+        }
     }
 
     /// `(passivations, rehydrations, admission deferrals)` performed by
@@ -2839,7 +2913,7 @@ impl ComponentCore {
     /// watermark. Candidates are only suggestions — [`Self::try_passivate`]
     /// re-verifies quiescence under the actors lock before dropping
     /// anything.
-    fn sweep_passivation(self: &Arc<Self>, now: Instant) {
+    fn sweep_passivation(self: &Arc<Self>, now: Duration) {
         if !self.config.actor_passivation || !self.is_alive() || self.is_paused() {
             return;
         }

@@ -201,6 +201,27 @@ pub struct MeshConfig {
     /// drives the whole schedule and [`Mesh::fault_stats`](crate::Mesh)
     /// reads one set of counters.
     pub fault_plan: Option<FaultPlan>,
+    /// Deterministic-simulation seed. `Some(seed)` puts the mesh in
+    /// simulation mode: no runtime threads are spawned, a
+    /// [`kar_types::VirtualClock`] replaces every wall-clock read, and a
+    /// seeded single-threaded [`kar_types::SimScheduler`] owns every
+    /// runnable lane (reactor pumps, the timer sweep, the broker
+    /// coordinator, the recovery manager). One `(seed, config)` pair is one
+    /// exact execution, replayable bit for bit. Use
+    /// [`MeshConfig::deterministic`] rather than setting this directly.
+    pub sim_seed: Option<u64>,
+    /// Lease applied to DLQ claim markers. A claimer that plants a marker
+    /// and dies before restoring the entry is reclaimable by a later
+    /// `dlq_retry` after this lease (measured in retry-epoch milliseconds)
+    /// expires. Zero disables expiry (markers are permanent, the pre-lease
+    /// behavior).
+    pub dlq_claim_lease: Duration,
+    /// Test-only regression hook: skip reconciliation step 6½ (re-homing
+    /// responses stranded in failed queues), deliberately re-opening the
+    /// lost-response liveness bug so the simulation explorer can prove its
+    /// conformance oracle catches it. Never set this outside tests.
+    #[doc(hidden)]
+    pub debug_skip_stranded_rehoming: bool,
 }
 
 /// Per-actor-type circuit-breaker settings (see
@@ -261,6 +282,9 @@ impl Default for MeshConfig {
             mailbox_watermark: 0,
             passivation_backoff: Duration::from_millis(25),
             fault_plan: None,
+            sim_seed: None,
+            dlq_claim_lease: Duration::from_secs(30),
+            debug_skip_stranded_rehoming: false,
         }
     }
 }
@@ -273,6 +297,24 @@ impl MeshConfig {
             time_scale: TimeScale::new(0.005),
             call_timeout: Duration::from_secs(20),
             ..MeshConfig::default()
+        }
+    }
+
+    /// A deterministic-simulation configuration: `for_tests` timings with
+    /// `sim_seed` armed. The mesh spawns zero threads; the calling thread
+    /// owns a seeded [`kar_types::SimScheduler`] and drives every lane
+    /// (reactor pumps, timer sweeps, the broker coordinator, the recovery
+    /// manager) from one SplitMix64 stream over a virtual clock. Request
+    /// and response batching are disabled: their flush heuristics park on
+    /// real condvars, and in simulation nothing else runs while the driver
+    /// blocks.
+    pub fn deterministic(seed: u64) -> Self {
+        MeshConfig {
+            sim_seed: Some(seed),
+            request_batching: false,
+            response_batching: false,
+            reactor_threads: 1,
+            ..MeshConfig::for_tests()
         }
     }
 
@@ -362,6 +404,13 @@ impl MeshConfig {
     #[must_use]
     pub fn with_consumers_per_component(mut self, consumers: usize) -> Self {
         self.consumers_per_component = consumers;
+        self
+    }
+
+    /// Sets the DLQ claim-marker lease (zero = markers never expire).
+    #[must_use]
+    pub fn with_dlq_claim_lease(mut self, lease: Duration) -> Self {
+        self.dlq_claim_lease = lease;
         self
     }
 

@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -81,7 +81,7 @@ pub(crate) struct ParkedContinuation {
     pub reentrant: bool,
     /// When the nested call times out; the sweep resumes the continuation
     /// with [`kar_types::KarError::Timeout`] past this instant.
-    pub deadline: Instant,
+    pub deadline: Duration,
     /// The rest of the handler.
     pub then: Continuation,
 }
@@ -111,7 +111,7 @@ impl ContinuationTable {
 
     /// Drains every continuation whose deadline has passed, so the caller
     /// can resume them with a timeout error.
-    pub fn take_expired(&self, now: Instant) -> Vec<(RequestId, ParkedContinuation)> {
+    pub fn take_expired(&self, now: Duration) -> Vec<(RequestId, ParkedContinuation)> {
         let mut parked = self.parked.lock();
         if parked.values().all(|p| now < p.deadline) {
             return Vec::new();
@@ -150,11 +150,12 @@ impl ContinuationTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kar_types::mono_now;
     use std::time::Duration;
 
     use kar_types::{ActorRef, RequestMessage};
 
-    fn parked(deadline: Instant) -> ParkedContinuation {
+    fn parked(deadline: Duration) -> ParkedContinuation {
         ParkedContinuation {
             request: RequestMessage::root(
                 RequestId::from_raw(1),
@@ -172,7 +173,7 @@ mod tests {
     #[test]
     fn park_take_and_clear() {
         let table = ContinuationTable::default();
-        let far = Instant::now() + Duration::from_secs(60);
+        let far = mono_now() + Duration::from_secs(60);
         table.park(RequestId::from_raw(7), parked(far));
         table.park(RequestId::from_raw(8), parked(far));
         assert_eq!(table.len(), 2);
@@ -190,7 +191,7 @@ mod tests {
     #[test]
     fn take_expired_only_drains_past_deadline() {
         let table = ContinuationTable::default();
-        let now = Instant::now();
+        let now = mono_now() + Duration::from_secs(1);
         table.park(
             RequestId::from_raw(1),
             parked(now - Duration::from_millis(1)),

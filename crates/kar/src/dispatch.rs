@@ -56,7 +56,7 @@ use std::collections::{HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -203,7 +203,7 @@ impl DispatchPool {
     /// not introduce). Lock order is shard state → routes, the same order
     /// `submit`'s route re-check and `try_steal` use. Returns the number of
     /// overrides dropped.
-    pub(crate) fn age_routes(&self, now: Instant) -> usize {
+    pub(crate) fn age_routes(&self, now: Duration) -> usize {
         let stale = {
             let mut routes = self.routes.lock();
             if !routes.advance_due(now) {
@@ -611,7 +611,7 @@ impl DispatchPool {
     /// instead of polling.
     #[cfg(test)]
     pub(crate) fn next_request(&self, shard: usize, timeout: Duration) -> Option<RequestMessage> {
-        let deadline = Instant::now() + timeout;
+        let deadline = std::time::Instant::now() + timeout;
         loop {
             if let Some(request) = self.try_pop(shard) {
                 return Some(request);
@@ -621,7 +621,7 @@ impl DispatchPool {
                     return Some(request);
                 }
             }
-            if Instant::now() >= deadline {
+            if std::time::Instant::now() >= deadline {
                 return None;
             }
             std::thread::sleep(Duration::from_micros(50));
@@ -917,7 +917,7 @@ mod tests {
         let mut r = request(1, "busy");
         r.target = busy.clone();
         pool.submit(r);
-        let t = Instant::now();
+        let t = kar_types::mono_now();
         assert_eq!(pool.age_routes(t + Duration::from_millis(2)), 0);
         // A refresh between the generations keeps a route young: touching
         // "idle" now postpones its expiry past the next rotation.
@@ -949,7 +949,7 @@ mod tests {
         let home = pool.shard_of(&actor);
         pool.routes.lock().insert(actor.clone(), 1 - home);
         assert_eq!(pool.shard_of(&actor), 1 - home);
-        let t = Instant::now();
+        let t = kar_types::mono_now();
         assert_eq!(pool.age_routes(t + Duration::from_millis(2)), 0);
         assert_eq!(pool.age_routes(t + Duration::from_millis(4)), 1);
         assert_eq!(pool.shard_of(&actor), home);

@@ -79,6 +79,63 @@ pub(crate) fn claim_marker(store: &Store, key: &str, token: &Value) -> KarResult
     Err(last.expect("loop ran at least once"))
 }
 
+/// Builds a claim-marker token carrying its own lease: a unique claimer id
+/// plus the epoch-milliseconds instant after which any other caller may
+/// treat the claim as abandoned. `expiry_ms == 0` encodes "no lease" — the
+/// marker never expires and only its planter can release it.
+pub(crate) fn claim_token(claimer: u64, expiry_ms: u64) -> Value {
+    Value::from(format!("claimed-by-{claimer}@{expiry_ms}"))
+}
+
+/// Parses the lease expiry out of a claim marker. `None` means the marker
+/// carries no parseable lease (pre-lease format, or foreign data) and must
+/// be treated as permanent — expiring markers we cannot read would turn a
+/// decoding gap into a double-claim.
+pub(crate) fn claim_expiry_ms(marker: &Value) -> Option<u64> {
+    let text = marker.as_str()?;
+    let (_, expiry) = text.rsplit_once('@')?;
+    expiry.parse::<u64>().ok()
+}
+
+/// [`claim_marker`] with lease takeover: a lost claim is re-examined, and
+/// when the standing marker's embedded lease has expired at `now_ms` the
+/// stale marker is removed with compare-and-delete and the claim re-raced.
+///
+/// The compare-and-delete is what keeps takeover exactly-once: two
+/// reclaimers can both observe the same stale marker, but only one delete
+/// of *that exact value* succeeds, and the subsequent `set_nx` race has a
+/// single winner. An indeterminate ack on the delete is safe to ignore —
+/// whether or not it applied, `set_nx` still admits at most one claimer.
+pub(crate) fn claim_marker_leased(
+    store: &Store,
+    key: &str,
+    token: &Value,
+    now_ms: u64,
+) -> KarResult<bool> {
+    if claim_marker(store, key, token)? {
+        return Ok(true);
+    }
+    let Some(marker) = retry_transient(TRANSIENT_ATTEMPTS, || store.admin_get_checked(key))? else {
+        // The standing claim was released between our set_nx and this read;
+        // one more plain claim round resolves the now-open race.
+        return claim_marker(store, key, token);
+    };
+    if &marker == token {
+        return Ok(true);
+    }
+    let expired =
+        matches!(claim_expiry_ms(&marker), Some(expiry) if expiry != 0 && now_ms > expiry);
+    if !expired {
+        return Ok(false);
+    }
+    // Drop the abandoned marker (result intentionally unused: see above) and
+    // race for the claim like any first-time caller.
+    retry_transient(TRANSIENT_ATTEMPTS, || {
+        store.admin_del_if_eq_checked(key, &marker)
+    })?;
+    claim_marker(store, key, token)
+}
+
 /// Renders a counter snapshot as the `fault plane:` section of
 /// [`Mesh::debug_report`](crate::Mesh).
 pub(crate) fn format_fault_stats(counters: &FaultCounters) -> String {
@@ -98,12 +155,13 @@ pub(crate) fn format_fault_stats(counters: &FaultCounters) -> String {
         }
         let _ = writeln!(
             out,
-            "  {}: draws={} transient={} ack_lost={} spikes={}",
+            "  {}: draws={} transient={} ack_lost={} spikes={} skews={}",
             site.name(),
             s.draws,
             s.transient,
             s.ack_lost,
             s.spikes,
+            s.skews,
         );
     }
     out

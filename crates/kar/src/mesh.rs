@@ -5,7 +5,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -54,8 +54,8 @@ struct ReactorShared {
     /// it must still be promptly interruptible at shutdown.
     timer_signal: WaitSignal,
     shutdown: AtomicBool,
-    /// Instant anchoring `last_tick_ms`.
-    started: Instant,
+    /// Mono timestamp anchoring `last_tick_ms`.
+    started: Duration,
     /// The component tick cadence, so reactors can tell when the timer lane
     /// has fallen behind it.
     tick_interval: Duration,
@@ -79,12 +79,16 @@ impl ReactorShared {
         };
         let Some(_guard) = guard else { return false };
         let components: Vec<Arc<ComponentCore>> = self.registry.read().clone();
-        let now = Instant::now();
+        let now = kar_types::mono_now();
         for core in &components {
             core.tick(now);
         }
-        self.last_tick_ms
-            .store(self.started.elapsed().as_millis() as u64, Ordering::Relaxed);
+        self.last_tick_ms.store(
+            kar_types::mono_now()
+                .saturating_sub(self.started)
+                .as_millis() as u64,
+            Ordering::Relaxed,
+        );
         true
     }
 
@@ -95,7 +99,9 @@ impl ReactorShared {
     /// and backoff deadlines starve unless a reactor rescues the lane.
     fn tick_overdue(&self) -> bool {
         let last = self.last_tick_ms.load(Ordering::Relaxed);
-        let now = self.started.elapsed().as_millis() as u64;
+        let now = kar_types::mono_now()
+            .saturating_sub(self.started)
+            .as_millis() as u64;
         now.saturating_sub(last) >= 2 * (self.tick_interval.as_millis() as u64).max(1)
     }
 }
@@ -252,7 +258,26 @@ pub struct Mesh {
 
 impl Mesh {
     /// Starts an empty mesh.
+    ///
+    /// With [`MeshConfig::sim_seed`] armed the mesh starts in deterministic
+    /// simulation mode: a virtual clock replaces every wall-clock read, no
+    /// runtime threads are spawned, and the calling thread's seeded
+    /// [`kar_types::SimScheduler`] (installed thread-locally here) owns
+    /// every runnable lane. Blocking mesh APIs (`Client::call`,
+    /// `wait_for_recoveries`, …) drive the scheduler instead of parking, so
+    /// the whole execution is a pure function of `(seed, config)`.
     pub fn new(config: MeshConfig) -> Self {
+        // Simulation mode: install the virtual clock FIRST, so the broker,
+        // store and reactor clocks below all anchor to virtual time zero.
+        let sim = config.sim_seed.map(|seed| {
+            let clock = Arc::new(kar_types::VirtualClock::new());
+            kar_types::install_virtual_clock(Arc::clone(&clock));
+            std::rc::Rc::new(kar_types::SimScheduler::new(
+                seed,
+                clock,
+                Duration::from_millis(1),
+            ))
+        });
         // One injector serves both substrates: store shards and broker
         // partitions draw from the same seeded schedule, and `fault_stats`
         // reads one counter set.
@@ -263,8 +288,11 @@ impl Mesh {
             .map(|plan| Arc::new(kar_types::FaultInjector::new(plan.clone())));
         let mut broker_config = config.broker_config();
         broker_config.faults = faults.clone();
+        let coordinator_interval = broker_config.coordinator_interval;
         let broker: Broker<Envelope> = Broker::new(broker_config);
-        broker.spawn_coordinator();
+        if sim.is_none() {
+            broker.spawn_coordinator();
+        }
         let mut store_config = config.store_config();
         store_config.faults = faults.clone();
         let store = Store::with_config(store_config);
@@ -282,29 +310,31 @@ impl Mesh {
             group: Arc::new(WaitSignalGroup::new()),
             timer_signal: WaitSignal::new(),
             shutdown: AtomicBool::new(false),
-            started: Instant::now(),
+            started: kar_types::mono_now(),
             tick_interval: tick,
             last_tick_ms: AtomicU64::new(0),
             tick_lock: Mutex::new(()),
         });
         let reactor_count = config.effective_reactor_threads();
         let mut runtime_threads = Vec::with_capacity(reactor_count + 1);
-        for i in 0..reactor_count {
+        if sim.is_none() {
+            for i in 0..reactor_count {
+                let shared = Arc::clone(&reactors);
+                runtime_threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("kar-reactor-{i}"))
+                        .spawn(move || reactor_loop(shared))
+                        .expect("failed to spawn reactor"),
+                );
+            }
             let shared = Arc::clone(&reactors);
             runtime_threads.push(
                 std::thread::Builder::new()
-                    .name(format!("kar-reactor-{i}"))
-                    .spawn(move || reactor_loop(shared))
-                    .expect("failed to spawn reactor"),
+                    .name("kar-timer".to_owned())
+                    .spawn(move || timer_loop(shared, tick))
+                    .expect("failed to spawn timer"),
             );
         }
-        let shared = Arc::clone(&reactors);
-        runtime_threads.push(
-            std::thread::Builder::new()
-                .name("kar-timer".to_owned())
-                .spawn(move || timer_loop(shared, tick))
-                .expect("failed to spawn timer"),
-        );
         let budget = Arc::new(RetryBudget::new(
             config.retry_budget_rate,
             config.retry_budget_burst,
@@ -347,10 +377,68 @@ impl Mesh {
             shutdown: inner.shutdown.clone(),
         };
         let events = broker.subscribe(GROUP);
-        std::thread::Builder::new()
-            .name("kar-recovery-manager".to_owned())
-            .spawn(move || run_recovery_manager(ctx, events))
-            .expect("failed to spawn recovery manager");
+        match sim {
+            None => {
+                std::thread::Builder::new()
+                    .name("kar-recovery-manager".to_owned())
+                    .spawn(move || run_recovery_manager(ctx, events))
+                    .expect("failed to spawn recovery manager");
+            }
+            Some(sim) => {
+                // Every runnable lane of the threaded runtime, re-registered
+                // on the seeded scheduler in a FIXED order (lane indices are
+                // part of the deterministic schedule). Each lane returns
+                // whether it made progress; when none does, the scheduler
+                // advances the virtual clock by one idle quantum.
+                let shared = Arc::clone(&inner.reactors);
+                sim.add_lane("reactor", move || {
+                    let components: Vec<Arc<ComponentCore>> = shared.registry.read().clone();
+                    let mut did = false;
+                    for core in &components {
+                        did |= core.pump();
+                    }
+                    if did {
+                        crate::component::flush_thread_completions();
+                    }
+                    did
+                });
+                let shared = Arc::clone(&inner.reactors);
+                let next_tick = std::cell::Cell::new(Duration::ZERO);
+                sim.add_lane("timer", move || {
+                    let now = kar_types::mono_now();
+                    if now < next_tick.get() {
+                        return false;
+                    }
+                    next_tick.set(now + shared.tick_interval);
+                    shared.run_tick(true)
+                });
+                let broker = inner.broker.clone();
+                let next_tick = std::cell::Cell::new(Duration::ZERO);
+                sim.add_lane("coordinator", move || {
+                    let now = kar_types::mono_now();
+                    if now < next_tick.get() {
+                        return false;
+                    }
+                    next_tick.set(now + coordinator_interval.max(Duration::from_millis(1)));
+                    broker.tick();
+                    true
+                });
+                let detections = std::cell::RefCell::new(HashMap::<ComponentId, Duration>::new());
+                sim.add_lane("recovery", move || {
+                    let mut did = false;
+                    while let Ok(event) = events.try_recv() {
+                        crate::recovery::handle_group_event(
+                            &ctx,
+                            &mut detections.borrow_mut(),
+                            event,
+                        );
+                        did = true;
+                    }
+                    did
+                });
+                kar_types::sim::install(sim);
+            }
+        }
         Mesh { inner }
     }
 
@@ -459,6 +547,7 @@ impl Mesh {
             Arc::clone(&self.inner.reactors.group),
             Arc::clone(&self.inner.budget),
             Arc::clone(&self.inner.breakers),
+            self.inner.faults.clone(),
         ));
         self.inner.components.write().insert(id, core.clone());
         self.inner.nodes.write().entry(node).or_default().push(id);
@@ -474,6 +563,68 @@ impl Mesh {
     }
 
     // ------------------------------------------------------------------
+    // Deterministic simulation
+    // ------------------------------------------------------------------
+
+    /// True when this mesh runs in deterministic simulation mode (built
+    /// from [`MeshConfig::deterministic`]).
+    pub fn is_simulated(&self) -> bool {
+        self.inner.config.sim_seed.is_some()
+    }
+
+    /// Runs `steps` scheduler steps. Simulation mode only (panics
+    /// otherwise — stepping a threaded mesh is meaningless).
+    pub fn sim_steps(&self, steps: u64) {
+        let scheduler = kar_types::sim::current()
+            .expect("sim_steps requires a mesh built with MeshConfig::deterministic");
+        for _ in 0..steps {
+            scheduler.step();
+        }
+    }
+
+    /// Drives the simulation until `pred` returns true or `max_steps`
+    /// scheduler steps have run; returns whether the predicate was reached.
+    pub fn sim_run_until(&self, pred: impl Fn() -> bool, max_steps: u64) -> bool {
+        let scheduler = kar_types::sim::current()
+            .expect("sim_run_until requires a mesh built with MeshConfig::deterministic");
+        for _ in 0..max_steps {
+            if pred() {
+                return true;
+            }
+            scheduler.step();
+        }
+        pred()
+    }
+
+    /// Drains the simulation's execution trace (the byte-exact schedule:
+    /// one line per productive lane run, scheduled event, and recorded
+    /// mesh event). Two runs of the same `(seed, config, workload)` produce
+    /// identical traces.
+    pub fn sim_take_trace(&self) -> Vec<String> {
+        kar_types::sim::current()
+            .map(|s| s.take_trace())
+            .unwrap_or_default()
+    }
+
+    /// The simulation's step counter (0 outside simulation mode).
+    pub fn sim_step_count(&self) -> u64 {
+        kar_types::sim::current().map(|s| s.steps()).unwrap_or(0)
+    }
+
+    /// Schedules `component` to be killed once the simulation reaches
+    /// `at_step` — the schedule-perturbation axis the explorer sweeps: the
+    /// same workload with the kill planted one step later explores a
+    /// different interleaving of failure against progress.
+    pub fn sim_schedule_kill(&self, at_step: u64, component: ComponentId) {
+        let scheduler = kar_types::sim::current()
+            .expect("sim_schedule_kill requires a mesh built with MeshConfig::deterministic");
+        let mesh = self.clone();
+        scheduler.schedule_at(at_step, format!("kill:{component}"), move || {
+            mesh.kill_component(component);
+        });
+    }
+
+    // ------------------------------------------------------------------
     // Fault injection
     // ------------------------------------------------------------------
 
@@ -481,6 +632,9 @@ impl Mesh {
     /// threads stop at their next runtime interaction, and it is fenced from
     /// both substrates. Queue contents and persisted actor state survive.
     pub fn kill_component(&self, id: ComponentId) {
+        if kar_types::sim::active() {
+            kar_types::sim::record(format!("kill:{id}"));
+        }
         let now = self.inner.broker.now();
         self.inner.kill_times.lock().insert(id, now);
         if let Some(core) = self.inner.components.read().get(&id) {
@@ -832,6 +986,14 @@ impl Mesh {
     /// winner deletes the index entry and re-injects, so concurrent callers
     /// racing the same id still observe `true` exactly once.
     ///
+    /// Claim markers carry a lease
+    /// ([`MeshConfig::dlq_claim_lease`](crate::MeshConfig)): a claimer that
+    /// dies holding the claim leaves a marker other callers may take over
+    /// once the lease expires, so the entry stays reachable instead of being
+    /// stranded behind a dead claimer. Takeover uses compare-and-delete on
+    /// the exact stale marker, keeping the claim single-winner even when
+    /// several reclaimers race the same expired lease.
+    ///
     /// # Errors
     ///
     /// Fails (leaving the entry in the DLQ, claimable again) if the index
@@ -848,8 +1010,20 @@ impl Mesh {
         else {
             return Ok(false);
         };
-        let token = Value::from(format!("claimed-by-{}", self.inner.ids.fresh().as_u64()));
-        if !crate::faults::claim_marker(store, &claim_key, &token)? {
+        // The token embeds a lease deadline so a claimer that dies between
+        // planting the marker and restoring/releasing does not strand the
+        // entry forever: after the lease expires the marker is reclaimable
+        // (compare-and-delete keeps the takeover single-winner). A zero
+        // lease disables expiry.
+        let lease = self.inner.config.dlq_claim_lease;
+        let now_ms = kar_types::epoch_ms();
+        let expiry_ms = if lease.is_zero() {
+            0
+        } else {
+            now_ms.saturating_add(lease.as_millis() as u64)
+        };
+        let token = crate::faults::claim_token(self.inner.ids.fresh().as_u64(), expiry_ms);
+        if !crate::faults::claim_marker_leased(store, &claim_key, &token, now_ms)? {
             return Ok(false);
         }
         // From here this caller owns the entry; every failure path must
@@ -935,6 +1109,7 @@ impl Mesh {
                  dead_lettered={dead_lettered} delayed={}",
                 core.delayed_retries(),
             );
+            let _ = writeln!(out, "  poll faults survived: {}", core.poll_fault_count());
             if let Some(set) = self.inner.topology.read().get(&id) {
                 for partition in set.all() {
                     let _ = writeln!(
@@ -999,6 +1174,17 @@ impl Mesh {
         self.inner.faults.as_ref().map(|f| f.counters())
     }
 
+    /// Transient consumer-poll failures a component has survived without
+    /// dropping its subscriptions (injected `consumer_poll` faults or real
+    /// broker brownouts). `None` for unknown components.
+    pub fn poll_faults(&self, component: ComponentId) -> Option<u64> {
+        self.inner
+            .components
+            .read()
+            .get(&component)
+            .map(|core| core.poll_fault_count())
+    }
+
     /// The log of completed recoveries.
     pub fn recovery_log(&self) -> Vec<OutageRecord> {
         self.inner.recovery.snapshot()
@@ -1053,6 +1239,13 @@ impl Mesh {
             let _ = handle.join();
         }
         self.inner.broker.shutdown();
+        if self.inner.config.sim_seed.is_some() {
+            // Drop the thread-local scheduler (its lanes hold Arcs into this
+            // mesh) and restore the real clock, so a later mesh — simulated
+            // or not — starts clean on this thread.
+            kar_types::sim::clear();
+            kar_types::clear_virtual_clock();
+        }
     }
 }
 

@@ -11,7 +11,7 @@ use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -300,7 +300,7 @@ impl PlacementService {
         if let Some(component) = self.cache_lookup(actor) {
             return Ok(component);
         }
-        let deadline = Instant::now() + self.lookup_timeout;
+        let deadline = kar_types::mono_now() + self.lookup_timeout;
         // Waiting for repair parks on the repair signal (bumped when recovery
         // completes here) rather than sleep-polling. Each wait is capped so
         // repairs made without a local cache clear — e.g. the leader
@@ -318,14 +318,21 @@ impl PlacementService {
                     return Ok(component);
                 }
                 None => {
-                    let now = Instant::now();
+                    let now = kar_types::mono_now();
                     if now >= deadline {
                         return Err(KarError::Timeout {
                             request: kar_types::RequestId::from_raw(0),
                             after_ms: self.lookup_timeout.as_millis() as u64,
                         });
                     }
-                    self.repaired.wait(seen, wait_slice.min(deadline - now));
+                    if kar_types::sim::active() {
+                        // Simulation: drive the scheduler instead of parking;
+                        // repairs land from the lanes it runs.
+                        kar_types::sim::step();
+                    } else {
+                        self.repaired
+                            .wait(seen, wait_slice.min(deadline.saturating_sub(now)));
+                    }
                 }
             }
         }
@@ -699,7 +706,7 @@ mod tests {
                 .unwrap();
             repair_placement.clear_cache();
         });
-        let t0 = Instant::now();
+        let t0 = std::time::Instant::now();
         let resolved = placement.resolve(&actor).unwrap();
         let elapsed = t0.elapsed();
         repair.join().unwrap();

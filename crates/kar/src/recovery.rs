@@ -154,6 +154,20 @@ impl RecoveryLog {
     /// elapses, parking on the push signal instead of polling. Returns true
     /// if the target was reached.
     pub fn wait_for(&self, count: usize, timeout: Duration) -> bool {
+        if kar_types::sim::active() {
+            // Simulation: the caller is the only thread; drive the scheduler
+            // until the recoveries land or the *virtual* deadline passes.
+            let deadline = kar_types::mono_now() + timeout;
+            loop {
+                if self.lock().len() >= count {
+                    return true;
+                }
+                if kar_types::mono_now() >= deadline {
+                    return false;
+                }
+                kar_types::sim::step();
+            }
+        }
         let deadline = std::time::Instant::now() + timeout;
         let mut records = self.lock();
         while records.len() < count {
@@ -204,69 +218,80 @@ pub(crate) fn run_recovery_manager(ctx: RecoveryContext, events: Receiver<GroupE
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => return,
         };
-        match event {
-            GroupEvent::MemberJoined { .. } | GroupEvent::MemberLeft { .. } => {}
-            GroupEvent::FailureDetected { component, at } => {
-                detections.entry(component).or_insert(at);
+        handle_group_event(&ctx, &mut detections, event);
+    }
+}
+
+/// Handles one membership event from the broker's group coordinator. Shared
+/// by the threaded manager loop above and the deterministic-simulation lane,
+/// which drains the same channel via `try_recv` from the scheduler.
+pub(crate) fn handle_group_event(
+    ctx: &RecoveryContext,
+    detections: &mut HashMap<ComponentId, Duration>,
+    event: GroupEvent,
+) {
+    match event {
+        GroupEvent::MemberJoined { .. } | GroupEvent::MemberLeft { .. } => {}
+        GroupEvent::FailureDetected { component, at } => {
+            detections.entry(component).or_insert(at);
+        }
+        GroupEvent::RebalanceCompleted {
+            generation,
+            live,
+            removed,
+            at,
+        } => {
+            {
+                let mut live_set = ctx.live.write();
+                for c in &removed {
+                    live_set.remove(c);
+                }
+                live_set.extend(live.iter().copied());
             }
-            GroupEvent::RebalanceCompleted {
-                generation,
-                live,
-                removed,
-                at,
-            } => {
-                {
-                    let mut live_set = ctx.live.write();
-                    for c in &removed {
-                        live_set.remove(c);
-                    }
-                    live_set.extend(live.iter().copied());
-                }
-                if removed.is_empty() {
-                    retry_orphans(&ctx);
-                    continue;
-                }
-                // Pause message processing on the survivors while the leader
-                // reconciles ("all components temporarily stop sending and
-                // receiving messages"). This halts their queue consumers and
-                // dispatch workers; in-flight invocations drain on their own.
-                let survivors: Vec<Arc<ComponentCore>> = {
-                    let components = ctx.components.read();
-                    live.iter()
-                        .filter_map(|c| components.get(c).cloned())
-                        .collect()
-                };
-                for component in &survivors {
-                    component.pause();
-                }
-                let (rehomed, rehomed_partitions) = reconcile(&ctx, &removed, &live);
-                for component in &survivors {
-                    component.resume();
-                }
-                let reconciled_at = ctx.broker.now();
-                let killed_at = {
-                    let kill_times = ctx.kill_times.lock();
-                    removed
-                        .iter()
-                        .filter_map(|c| kill_times.get(c).copied())
-                        .min()
-                };
-                let detected_at = removed
+            if removed.is_empty() {
+                retry_orphans(ctx);
+                return;
+            }
+            // Pause message processing on the survivors while the leader
+            // reconciles ("all components temporarily stop sending and
+            // receiving messages"). This halts their queue consumers and
+            // dispatch workers; in-flight invocations drain on their own.
+            let survivors: Vec<Arc<ComponentCore>> = {
+                let components = ctx.components.read();
+                live.iter()
+                    .filter_map(|c| components.get(c).cloned())
+                    .collect()
+            };
+            for component in &survivors {
+                component.pause();
+            }
+            let (rehomed, rehomed_partitions) = reconcile(ctx, &removed, &live);
+            for component in &survivors {
+                component.resume();
+            }
+            let reconciled_at = ctx.broker.now();
+            let killed_at = {
+                let kill_times = ctx.kill_times.lock();
+                removed
                     .iter()
-                    .filter_map(|c| detections.remove(c))
+                    .filter_map(|c| kill_times.get(c).copied())
                     .min()
-                    .unwrap_or(at);
-                ctx.log.push(OutageRecord {
-                    generation,
-                    failed_components: removed,
-                    killed_at,
-                    detected_at,
-                    consensus_at: at,
-                    reconciled_at,
-                    rehomed_requests: rehomed,
-                    rehomed_partitions,
-                });
-            }
+            };
+            let detected_at = removed
+                .iter()
+                .filter_map(|c| detections.remove(c))
+                .min()
+                .unwrap_or(at);
+            ctx.log.push(OutageRecord {
+                generation,
+                failed_components: removed,
+                killed_at,
+                detected_at,
+                consensus_at: at,
+                reconciled_at,
+                rehomed_requests: rehomed,
+                rehomed_partitions,
+            });
         }
     }
 }
@@ -429,7 +454,9 @@ impl RehomeBatches {
     }
 
     fn flush(self, ctx: &RecoveryContext) -> usize {
-        for (partition, envelopes) in self.batches {
+        let mut batches: Vec<(usize, Vec<Envelope>)> = self.batches.into_iter().collect();
+        batches.sort_by_key(|(partition, _)| *partition);
+        for (partition, envelopes) in batches {
             // Replayed through injected gray failures: an ack-lost replay
             // appends duplicate copies, which admission-time request-id
             // dedup absorbs.
@@ -473,7 +500,12 @@ fn reconcile(
     let mut all_requests: Vec<Arc<Envelope>> = Vec::new();
     let mut dead_queues: Vec<(ComponentId, Vec<Arc<Envelope>>)> = Vec::new();
     let mut dead_responses: Vec<ResponseMessage> = Vec::new();
-    for (component, set) in &topology {
+    // Iterate the topology in component order: reconciliation decisions
+    // (re-home targets, adoption spread) must not depend on HashMap
+    // iteration order or deterministic-simulation replays diverge.
+    let mut topology_sorted: Vec<(&ComponentId, &PartitionSet)> = topology.iter().collect();
+    topology_sorted.sort_by_key(|(component, _)| **component);
+    for (component, set) in topology_sorted {
         let mut requests_here: Vec<Arc<Envelope>> = Vec::new();
         let live_core = if live.contains(component) {
             components.get(component)
@@ -659,6 +691,14 @@ fn reconcile(
     //    receiver's seen-response dedupe.
     let mut batches = RehomeBatches::default();
     let mut rehomed_responses: HashSet<RequestId> = HashSet::new();
+    // Test-only regression hook: dropping this step re-opens the
+    // stranded-response liveness bug, giving the simulation explorer a
+    // known-bad tree to prove its oracle against.
+    let dead_responses = if ctx.config.debug_skip_stranded_rehoming {
+        Vec::new()
+    } else {
+        dead_responses
+    };
     for response in dead_responses.into_iter().rev() {
         if !rehomed_responses.insert(response.id) {
             continue;
@@ -765,6 +805,8 @@ fn rehome_partition_ranges(
         *load.entry(adopter.id()).or_default() += 1;
         adoption.entry(adopter.id()).or_default().push(*partition);
     }
+    let mut adoption: Vec<(ComponentId, Vec<usize>)> = adoption.into_iter().collect();
+    adoption.sort_by_key(|(component, _)| *component);
     for (component, partitions) in adoption {
         // Record the adoption in the shared topology FIRST: it is the
         // authoritative map recovery itself catalogs. If the adopter is
@@ -919,7 +961,7 @@ fn reorder_tail_calls_first(pending: Vec<RequestMessage>) -> Vec<RequestMessage>
 fn sleep_scaled(ctx: &RecoveryContext, paper_duration: Duration) {
     let compressed = ctx.config.time_scale.compress(paper_duration);
     if !compressed.is_zero() {
-        std::thread::sleep(compressed);
+        kar_types::pace_sleep(compressed);
     }
 }
 

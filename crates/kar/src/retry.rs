@@ -25,7 +25,9 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::Duration;
+
+use kar_types::mono_now;
 
 use parking_lot::Mutex;
 
@@ -49,7 +51,7 @@ pub(crate) struct RetryBudget {
 
 struct BudgetState {
     tokens: f64,
-    last_refill: Instant,
+    last_refill: Duration,
 }
 
 impl RetryBudget {
@@ -62,7 +64,7 @@ impl RetryBudget {
             burst,
             state: Mutex::new(BudgetState {
                 tokens: burst,
-                last_refill: Instant::now(),
+                last_refill: mono_now(),
             }),
             spent: AtomicU64::new(0),
             sheds: AtomicU64::new(0),
@@ -73,8 +75,8 @@ impl RetryBudget {
     /// shed the retry (re-queue it on its backoff timer) and is counted.
     pub(crate) fn try_take(&self) -> bool {
         let mut state = self.state.lock();
-        let now = Instant::now();
-        let elapsed = now.duration_since(state.last_refill).as_secs_f64();
+        let now = mono_now();
+        let elapsed = now.saturating_sub(state.last_refill).as_secs_f64();
         state.tokens = (state.tokens + elapsed * self.rate).min(self.burst);
         state.last_refill = now;
         if state.tokens >= 1.0 {
@@ -128,7 +130,7 @@ struct Breaker {
     /// filled while closed.
     window: VecDeque<bool>,
     /// While open: the instant the cooldown ends and a probe is admitted.
-    open_until: Instant,
+    open_until: Duration,
     /// While half-open: whether the probe invocation has been admitted and
     /// its outcome is still pending.
     probe_in_flight: bool,
@@ -136,7 +138,7 @@ struct Breaker {
     /// reporting (its component killed mid-execution never records), so a
     /// probe older than one cooldown is presumed lost and a new one is
     /// admitted in its place.
-    probe_started: Instant,
+    probe_started: Duration,
 }
 
 /// The mesh-wide set of per-actor-type circuit breakers. Disabled (every
@@ -172,7 +174,7 @@ impl BreakerRegistry {
         let Some(breaker) = breakers.get_mut(actor_type) else {
             return Ok(()); // no outcomes recorded yet: trivially closed
         };
-        let now = Instant::now();
+        let now = mono_now();
         match breaker.position {
             BreakerPosition::Closed => Ok(()),
             BreakerPosition::Open => {
@@ -221,9 +223,9 @@ impl BreakerRegistry {
             .or_insert_with(|| Breaker {
                 position: BreakerPosition::Closed,
                 window: VecDeque::with_capacity(config.window),
-                open_until: Instant::now(),
+                open_until: mono_now(),
                 probe_in_flight: false,
-                probe_started: Instant::now(),
+                probe_started: mono_now(),
             });
         match breaker.position {
             BreakerPosition::Closed => {
@@ -236,7 +238,7 @@ impl BreakerRegistry {
                     let rate = failures as f64 / breaker.window.len() as f64;
                     if rate >= config.failure_threshold {
                         breaker.position = BreakerPosition::Open;
-                        breaker.open_until = Instant::now() + config.cooldown;
+                        breaker.open_until = mono_now() + config.cooldown;
                         breaker.window.clear();
                         self.opened.fetch_add(1, Ordering::Relaxed);
                     }
@@ -249,7 +251,7 @@ impl BreakerRegistry {
                     breaker.window.clear();
                 } else {
                     breaker.position = BreakerPosition::Open;
-                    breaker.open_until = Instant::now() + config.cooldown;
+                    breaker.open_until = mono_now() + config.cooldown;
                     self.opened.fetch_add(1, Ordering::Relaxed);
                 }
             }

@@ -42,7 +42,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -139,7 +139,7 @@ pub(crate) struct StateCache {
     /// The (time-compressed) retention window driving the generations.
     interval: Duration,
     /// Wall-clock time of the last generation advance.
-    last_rotation: Mutex<Instant>,
+    last_rotation: Mutex<Duration>,
 }
 
 impl StateCache {
@@ -152,7 +152,7 @@ impl StateCache {
             generation: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             interval: interval.max(Duration::from_millis(1)),
-            last_rotation: Mutex::new(Instant::now()),
+            last_rotation: Mutex::new(kar_types::mono_now()),
         }
     }
 
@@ -192,10 +192,10 @@ impl StateCache {
     /// an orphaned image that no later flush can find, silently dropping the
     /// invocation's state writes. Handing a clone out requires the map lock
     /// held here, so the count check cannot race a new borrower.
-    pub(crate) fn maybe_age(&self, now: Instant) -> usize {
+    pub(crate) fn maybe_age(&self, now: Duration) -> usize {
         {
             let mut last = self.last_rotation.lock();
-            if now.duration_since(*last) < self.interval {
+            if now.saturating_sub(*last) < self.interval {
                 return 0;
             }
             *last = now;
@@ -566,7 +566,7 @@ mod tests {
             .unwrap();
         assert_eq!(cache.len(), 2);
 
-        let t = Instant::now();
+        let t = kar_types::mono_now();
         // One generation idle: not yet a candidate.
         assert_eq!(cache.maybe_age(t + Duration::from_millis(2)), 0);
         // A second advance within the interval is a no-op.
@@ -596,7 +596,7 @@ mod tests {
         let (store, conn, cache) = setup();
         cache.get(&conn, "k", "v").unwrap();
         let handle = cache.entry("k");
-        let t = Instant::now();
+        let t = kar_types::mono_now();
         cache.maybe_age(t + Duration::from_millis(2));
         assert_eq!(
             cache.maybe_age(t + Duration::from_millis(4)),
@@ -622,7 +622,7 @@ mod tests {
     fn touches_refresh_the_eviction_stamp() {
         let (_store, conn, cache) = setup();
         cache.get(&conn, "state/A/hot", "v").unwrap();
-        let t = Instant::now();
+        let t = kar_types::mono_now();
         cache.maybe_age(t + Duration::from_millis(2));
         // Touched between generations: survives the next sweep.
         cache.get(&conn, "state/A/hot", "v").unwrap();

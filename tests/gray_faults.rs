@@ -375,3 +375,111 @@ fn kills_layered_on_gray_faults_keep_order_and_exactly_once() {
     );
     mesh.shutdown();
 }
+
+/// Faults on the consumer's poll path: a transient poll failure must be
+/// absorbed in place (the consumer stays attached and re-polls — only
+/// fencing may detach it), and a lost poll ack redelivers the same batch,
+/// which request-id dedup must absorb. A sequential caller still reads
+/// exactly 1, 2, 3, … — redelivery costs latency, never arithmetic.
+#[test]
+fn consumer_poll_faults_redeliver_without_duplication() {
+    const CALLS: i64 = 60;
+
+    let seed = chaos_seed(0xC0_9011);
+    println!("chaos seed: {seed} (re-run with KAR_CHAOS_SEED={seed})");
+
+    let plan = FaultPlan::new(seed).with_site(
+        FaultSite::ConsumerPoll,
+        FaultSpec::transient(0.05).with_ack_lost(0.05),
+    );
+    let mesh = Mesh::new(MeshConfig::for_tests().with_fault_plan(plan));
+    let node = mesh.add_node();
+    let host = mesh.add_component(node, "seq-host", |c| c.host("Seq", seq_host()));
+    let client = mesh.client();
+    let actor = ActorRef::new("Seq", "s");
+    for expected in 1..=CALLS {
+        let value = client.call(&actor, "next", vec![]).expect("next");
+        assert_eq!(
+            value.as_i64(),
+            Some(expected),
+            "poll redelivery must not duplicate or reorder applies"
+        );
+    }
+    let site = mesh
+        .fault_stats()
+        .expect("the fault plan is armed")
+        .site(FaultSite::ConsumerPoll);
+    println!(
+        "consumer-poll site: {} draws, {} transient, {} redelivered",
+        site.draws, site.transient, site.ack_lost
+    );
+    assert!(
+        site.transient >= 1 && site.ack_lost >= 1,
+        "5% transient + 5% ack-lost over a continuously polling consumer must fire: {site:?}"
+    );
+    let survived = mesh.poll_faults(host).expect("the host is alive");
+    assert!(
+        survived >= 1,
+        "transient poll failures are retried in place, not fatal to the consumer"
+    );
+    mesh.shutdown();
+}
+
+/// Skew injected into the retry scheduler's epoch reads: some reads run
+/// ahead of others, so backoff deadlines are written and gated against
+/// disagreeing clocks. Orchestration must stay exactly-once — skew may
+/// stretch or shrink a backoff, never duplicate an attempt — and the
+/// injection surfaces in the per-site counters.
+#[test]
+fn retry_clock_skew_is_counted_and_keeps_orchestration_exactly_once() {
+    let seed = chaos_seed(0x5E_C10C);
+    println!("chaos seed: {seed} (re-run with KAR_CHAOS_SEED={seed})");
+
+    let plan = FaultPlan::new(seed).with_clock_skew(0.7, 300);
+    let mesh = Mesh::new(MeshConfig::for_tests().with_fault_plan(plan));
+    let node = mesh.add_node();
+    let healthy = Arc::new(AtomicBool::new(false));
+    let executions = Arc::new(AtomicU64::new(0));
+    mesh.add_component(node, "doomed-host", |c| {
+        c.host("Doomed", doomed_host(&healthy, &executions))
+    });
+    let client = mesh.client();
+    let target = ActorRef::new("Doomed", "skewed");
+
+    // Exhaust a short schedule under skewed clocks: every attempt fails,
+    // none executes twice, and the terminal error still reaches the caller.
+    let policy = RetryPolicy::fixed(3, Duration::from_millis(20)).retry_all_errors();
+    let result = client.call_with_policy(&target, "work", vec![], policy);
+    assert!(result.is_err(), "an exhausted schedule fails the caller");
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        0,
+        "skew must not conjure executions out of failed attempts"
+    );
+
+    // Heal and confirm the actor is reachable exactly once afterwards.
+    healthy.store(true, Ordering::SeqCst);
+    assert_eq!(
+        client.call(&target, "work", vec![]).unwrap().as_str(),
+        Some("ok")
+    );
+    assert_eq!(executions.load(Ordering::SeqCst), 1);
+
+    let site = mesh
+        .fault_stats()
+        .expect("the fault plan is armed")
+        .site(FaultSite::RetryClock);
+    println!(
+        "retry-clock site: {} draws, {} skewed reads",
+        site.draws, site.skews
+    );
+    assert!(
+        site.draws >= 1 && site.skews >= 1,
+        "a 70% skew rate across the retry schedule must fire: {site:?}"
+    );
+    assert!(
+        mesh.debug_report().contains("retry_clock:"),
+        "skew counters surface in the debug report"
+    );
+    mesh.shutdown();
+}

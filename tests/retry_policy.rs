@@ -451,3 +451,109 @@ fn dead_letter_is_exactly_once_and_dlq_retry_reinjects_exactly_once() {
     assert_eq!(mesh.dlq_stats().total(), 0, "the DLQ entry is consumed");
     mesh.shutdown();
 }
+
+#[test]
+fn a_dead_claimers_expired_lease_is_reclaimed_exactly_once() {
+    let mesh = Mesh::new(MeshConfig::for_tests().with_dlq_claim_lease(Duration::from_millis(150)));
+    let node = mesh.add_node();
+    let healthy = Arc::new(AtomicBool::new(false));
+    let executions = Arc::new(AtomicU64::new(0));
+    mesh.add_component(node, "doomed-host", |c| {
+        c.host("Doomed", brittle_host(&healthy, &executions))
+    });
+    let client = mesh.client();
+    let target = ActorRef::new("Doomed", "d");
+
+    // Produce one DLQ entry.
+    let policy = RetryPolicy::fixed(2, Duration::from_millis(10)).retry_all_errors();
+    assert!(client
+        .call_with_policy(&target, "work", vec![], policy)
+        .is_err());
+    let stats = mesh.dlq_stats();
+    assert_eq!(stats.total(), 1);
+    let id = stats.entries[0].id;
+    let claim_key = format!("dlq/claim/{}", id.as_u64());
+    let executed_before = executions.load(Ordering::SeqCst);
+    healthy.store(true, Ordering::SeqCst);
+
+    // A claimer that died mid-protocol: its marker stands, its lease is
+    // still live. The entry is claimed — later callers must honor it.
+    let live_until = kar_types::epoch_ms() + 60_000;
+    mesh.store().admin_set(
+        &claim_key,
+        Value::from(format!("claimed-by-424242@{live_until}")),
+    );
+    assert!(
+        !mesh.dlq_retry(id).unwrap(),
+        "a live foreign lease blocks re-injection"
+    );
+    assert_eq!(mesh.dlq_stats().total(), 1, "the entry stays in the DLQ");
+
+    // The same dead claimer with an already-expired lease: reclaimable.
+    mesh.store().admin_set(
+        &claim_key,
+        Value::from(format!("claimed-by-424242@{}", kar_types::epoch_ms() - 1)),
+    );
+    assert!(
+        mesh.dlq_retry(id).unwrap(),
+        "an expired lease is taken over and the entry re-injected"
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while executions.load(Ordering::SeqCst) < executed_before + 1 {
+        assert!(
+            Instant::now() < deadline,
+            "the reclaimed re-injection never executed"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        !mesh.dlq_retry(id).unwrap(),
+        "a consumed entry must not re-inject again"
+    );
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        executed_before + 1,
+        "takeover re-executes exactly once"
+    );
+    assert_eq!(mesh.dlq_stats().total(), 0);
+    mesh.shutdown();
+}
+
+#[test]
+fn a_permanent_claim_marker_is_never_reclaimed() {
+    // Zero lease = pre-lease semantics: markers never expire, so a standing
+    // foreign claim blocks re-injection forever (only its planter may
+    // release it). The same holds for markers with no parseable lease.
+    let mesh = Mesh::new(MeshConfig::for_tests().with_dlq_claim_lease(Duration::ZERO));
+    let node = mesh.add_node();
+    let healthy = Arc::new(AtomicBool::new(true));
+    let executions = Arc::new(AtomicU64::new(0));
+    mesh.add_component(node, "doomed-host", |c| {
+        c.host("Doomed", brittle_host(&healthy, &executions))
+    });
+    let client = mesh.client();
+    healthy.store(false, Ordering::SeqCst);
+    let policy = RetryPolicy::fixed(2, Duration::from_millis(10)).retry_all_errors();
+    assert!(client
+        .call_with_policy(&ActorRef::new("Doomed", "d"), "work", vec![], policy)
+        .is_err());
+    let id = mesh.dlq_stats().entries[0].id;
+    let claim_key = format!("dlq/claim/{}", id.as_u64());
+    healthy.store(true, Ordering::SeqCst);
+
+    for marker in ["claimed-by-424242@0", "claimed-by-424242"] {
+        mesh.store().admin_set(&claim_key, Value::from(marker));
+        assert!(
+            !mesh.dlq_retry(id).unwrap(),
+            "marker {marker:?} must never be reclaimed"
+        );
+        assert_eq!(mesh.dlq_stats().total(), 1);
+    }
+    mesh.store().admin_del(&claim_key);
+    assert!(
+        mesh.dlq_retry(id).unwrap(),
+        "a released claim re-opens the entry"
+    );
+    mesh.shutdown();
+}
